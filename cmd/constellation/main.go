@@ -1,0 +1,123 @@
+// Command constellation generates the synthetic Starlink shell-1
+// constellation, writes it as a CelesTrak-style TLE file, and answers the
+// visibility questions the paper's Figure 7 analysis needed: which
+// satellites are overhead of a location, which one a terminal would use,
+// and when the serving satellite will drop below the elevation mask.
+//
+// Usage:
+//
+//	constellation -write shell1.tle                 # dump the TLE catalogue
+//	constellation -read shell1.tle -city Wiltshire  # visibility from a file
+//	constellation -city London -passes 30m          # upcoming passes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"starlinkview/internal/ispnet"
+	"starlinkview/internal/orbit"
+	"starlinkview/internal/tle"
+)
+
+func main() {
+	var (
+		write    = flag.String("write", "", "write the generated catalogue to this TLE file and exit")
+		read     = flag.String("read", "", "load the catalogue from this TLE file instead of generating it")
+		cityName = flag.String("city", "Wiltshire", "observer city")
+		atStr    = flag.String("at", "2022-04-11T12:00:00Z", "observation time (RFC 3339)")
+		passes   = flag.Duration("passes", 0, "also list serving-satellite passes over this window")
+		planes   = flag.Int("planes", 72, "orbital planes when generating")
+	)
+	flag.Parse()
+
+	at, err := time.Parse(time.RFC3339, *atStr)
+	if err != nil {
+		fatal(fmt.Errorf("parsing -at: %w", err))
+	}
+
+	var constellation *orbit.Constellation
+	if *read != "" {
+		f, err := os.Open(*read)
+		if err != nil {
+			fatal(err)
+		}
+		cat, err := tle.ReadCatalogue(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cat = cat.Filter("STARLINK")
+		constellation, err = orbit.FromCatalogue(cat, 25)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d Starlink satellites from %s\n", len(constellation.Sats), *read)
+	} else {
+		shell := orbit.Shell1(at.Add(-12 * time.Hour))
+		shell.Planes = *planes
+		constellation, err = orbit.GenerateShell(shell)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("generated shell-1: %d satellites (%d planes x %d)\n",
+			len(constellation.Sats), *planes, shell.SatsPerPlane)
+	}
+
+	if *write != "" {
+		f, err := os.Create(*write)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tle.WriteCatalogue(f, constellation.Catalogue()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d element sets to %s\n", len(constellation.Sats), *write)
+		return
+	}
+
+	city, err := ispnet.CityByName(*cityName)
+	if err != nil {
+		fatal(err)
+	}
+	vis := constellation.VisibleFrom(city.Loc, at)
+	fmt.Printf("\n%s at %s: %d satellites above %.0f deg\n",
+		city.Name, at.Format(time.RFC3339), len(vis), constellation.MinElevationDeg)
+	sort.Slice(vis, func(i, j int) bool { return vis[i].Look.ElevationDeg > vis[j].Look.ElevationDeg })
+	for i, v := range vis {
+		if i >= 8 {
+			fmt.Printf("  ... and %d more\n", len(vis)-8)
+			break
+		}
+		fmt.Printf("  %-16s el %5.1f deg  az %5.1f deg  range %6.1f km\n",
+			v.Sat.Name, v.Look.ElevationDeg, v.Look.AzimuthDeg, v.Look.RangeKm)
+	}
+	if srv := constellation.Serving(city.Loc, at, orbit.HighestElevation); srv != nil {
+		fmt.Printf("serving (highest elevation): %s\n", srv.Sat.Name)
+	}
+
+	if *passes > 0 {
+		fmt.Printf("\nserving-satellite passes over the next %v:\n", *passes)
+		srv := constellation.Serving(city.Loc, at, orbit.HighestElevation)
+		if srv == nil {
+			fmt.Println("  no serving satellite")
+			return
+		}
+		ps := constellation.Passes(srv.Sat, city.Loc, at, at.Add(*passes), 5*time.Second)
+		for _, p := range ps {
+			fmt.Printf("  %-16s %s .. %s (max el %.1f deg)\n",
+				p.Sat.Name, p.Start.Format("15:04:05"), p.End.Format("15:04:05"), p.MaxElevDeg)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "constellation:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command datasetgen produces the reproduction's two release datasets — the
+// anonymised browser-extension records (CSV) and the volunteer-node
+// measurement samples (JSON lines) — mirroring the datasets the paper
+// contributes "to equip LEO simulations with real-world data".
+//
+// Usage:
+//
+//	datasetgen [-out .] [-days 60] [-seed 1] [-planes 36] [-node-hours 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"starlinkview/internal/core"
+	"starlinkview/internal/dataset"
+	"starlinkview/internal/ispnet"
+	"starlinkview/internal/rpinode"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", ".", "output directory")
+		days      = flag.Int("days", 60, "browsing campaign length (days)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		planes    = flag.Int("planes", 36, "orbital planes in the constellation")
+		nodeHours = flag.Int("node-hours", 12, "volunteer-node schedule length (hours)")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.BrowsingDays = *days
+	cfg.Planes = *planes
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Dataset 1: the browsing campaign.
+	fmt.Printf("simulating %d days of browsing for 28 users...\n", *days)
+	if err := study.RunBrowsing(); err != nil {
+		fatal(err)
+	}
+	extPath := filepath.Join(*out, "extension_records.csv")
+	f, err := os.Create(extPath)
+	if err != nil {
+		fatal(err)
+	}
+	records := study.Collector.Records()
+	if err := dataset.WriteExtensionCSV(f, records); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %s: %d records\n", extPath, len(records))
+
+	// Dataset 2: the volunteer nodes.
+	var samples []dataset.NodeSample
+	for i, city := range []ispnet.City{ispnet.NorthCarolina, ispnet.Wiltshire, ispnet.Barcelona} {
+		fmt.Printf("running %s volunteer node for %dh...\n", city.Name, *nodeHours)
+		node, err := rpinode.New(rpinode.Config{
+			City: city, Constellation: study.Constellation,
+			Epoch: cfg.Epoch, WithWeather: true, Seed: *seed + int64(100+i),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := node.RunSchedule(rpinode.Schedule{
+			Total:      time.Duration(*nodeHours) * time.Hour,
+			IperfEvery: 30 * time.Minute, IperfDur: 4 * time.Second,
+			UDPEvery: 20 * time.Minute, UDPRateBps: 100e6, UDPDur: 4 * time.Second,
+		}); err != nil {
+			fatal(err)
+		}
+		samples = append(samples, dataset.CollectNodeSamples(city.Name, node)...)
+	}
+	nodePath := filepath.Join(*out, "node_samples.jsonl")
+	nf, err := os.Create(nodePath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := dataset.WriteNodeJSON(nf, samples); err != nil {
+		fatal(err)
+	}
+	if err := nf.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %s: %d samples\n", nodePath, len(samples))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datasetgen:", err)
+	os.Exit(1)
+}

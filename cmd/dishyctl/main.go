@@ -1,0 +1,92 @@
+// Command dishyctl talks to a dishy status API server — either one started
+// with -serve (backed by a simulated volunteer node) or any address given
+// with -addr. It mirrors the starlink-cli tooling the paper used to inspect
+// receiver state over the LAN.
+//
+// Usage:
+//
+//	dishyctl -serve              # start a simulated node, query it, exit
+//	dishyctl -addr 127.0.0.1:9200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"starlinkview/internal/dishy"
+	"starlinkview/internal/ispnet"
+	"starlinkview/internal/orbit"
+	"starlinkview/internal/rpinode"
+)
+
+func main() {
+	var (
+		serve    = flag.Bool("serve", false, "start a simulated node's dishy server, query it, and exit")
+		addr     = flag.String("addr", "", "address of a running dishy server to query")
+		cityName = flag.String("city", "Wiltshire", "simulated node location (with -serve)")
+		seed     = flag.Int64("seed", 1, "random seed (with -serve)")
+	)
+	flag.Parse()
+
+	target := *addr
+	if *serve {
+		city, err := ispnet.CityByName(*cityName)
+		if err != nil {
+			fatal(err)
+		}
+		epoch := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC)
+		constellation, err := orbit.GenerateShell(orbit.Shell1(epoch))
+		if err != nil {
+			fatal(err)
+		}
+		node, err := rpinode.New(rpinode.Config{
+			City: city, Constellation: constellation, Epoch: epoch,
+			WithWeather: true, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		node.Sim.RunUntil(10 * time.Minute) // give the link some history
+		srv, bound, err := node.ServeDishy("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("dishy server (simulated %s node) listening on %s\n", city.Name, bound)
+		target = bound
+	}
+	if target == "" {
+		fatal(fmt.Errorf("need -serve or -addr"))
+	}
+
+	c := dishy.NewClient(target)
+	if err := c.Ping(); err != nil {
+		fatal(err)
+	}
+	st, err := c.GetStatus()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("uptime:                  %ds\n", st.UptimeS)
+	fmt.Printf("pop ping latency:        %.1f ms\n", st.PopPingLatencyMs)
+	fmt.Printf("pop ping drop rate:      %.3f\n", st.PopPingDropRate)
+	fmt.Printf("downlink throughput:     %.1f Mbps\n", st.DownlinkThroughputBps/1e6)
+	fmt.Printf("uplink throughput:       %.1f Mbps\n", st.UplinkThroughputBps/1e6)
+	fmt.Printf("snr:                     %.1f dB\n", st.SNR)
+	fmt.Printf("connected satellite:     %s\n", st.ConnectedSatellite)
+	fmt.Printf("obstructed:              %v (fraction %.3f)\n", st.CurrentlyObstructed, st.FractionObstructed)
+	fmt.Printf("next reconfig slot in:   %.1fs\n", st.SecondsToFirstNonemptySlot)
+	if len(st.Alerts) > 0 {
+		fmt.Printf("alerts:                  %v\n", st.Alerts)
+	}
+	if h, err := c.GetHistory(); err == nil && len(h.Samples) > 0 {
+		fmt.Printf("history:                 %d telemetry samples\n", len(h.Samples))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dishyctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command pageload prints the full resource waterfall of one page load over
+// a simulated access network — the view the paper's extension details tab
+// gives its users, for any Tranco rank and any of the study's cities.
+//
+// Usage:
+//
+//	pageload [-rank 12] [-city London] [-isp starlink] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"starlinkview/internal/bentpipe"
+	"starlinkview/internal/ispnet"
+	"starlinkview/internal/orbit"
+	"starlinkview/internal/tranco"
+	"starlinkview/internal/webperf"
+)
+
+func main() {
+	var (
+		rank     = flag.Int("rank", 12, "Tranco rank of the page to load")
+		cityName = flag.String("city", "London", "vantage city")
+		ispName  = flag.String("isp", "starlink", "starlink, broadband or cellular")
+		seed     = flag.Int64("seed", 1, "random seed")
+		harPath  = flag.String("har", "", "also write the waterfall as a HAR 1.2 file")
+	)
+	flag.Parse()
+
+	city, err := ispnet.CityByName(*cityName)
+	if err != nil {
+		fatal(err)
+	}
+	list, err := tranco.NewList(1, 0)
+	if err != nil {
+		fatal(err)
+	}
+	site, err := list.Site(*rank)
+	if err != nil {
+		fatal(err)
+	}
+
+	acc, err := accessFor(*ispName, city, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	opts := webperf.Options{ClientLoc: city.Loc, CDNEdgeRTT: 4 * time.Millisecond}
+	rng := rand.New(rand.NewSource(*seed))
+
+	pl := webperf.LoadPage(rng, site, acc, opts)
+	fmt.Printf("%s (rank %d) from %s over %s: PTT %v, PLT %v\n",
+		site.Domain, site.Rank, city.Name, *ispName,
+		pl.PTT().Round(time.Millisecond), pl.PLT().Round(time.Millisecond))
+	fmt.Printf("  redirect %v  dns %v  connect %v  tls %v  ttfb %v  download %v\n\n",
+		pl.Redirect.Round(time.Millisecond), pl.DNS.Round(time.Millisecond),
+		pl.Connect.Round(time.Millisecond), pl.TLS.Round(time.Millisecond),
+		pl.TTFB.Round(time.Millisecond), pl.Download.Round(time.Millisecond))
+
+	entries := webperf.Waterfall(rng, site, acc, opts)
+	load := webperf.LoadEvent(entries)
+	if *harPath != "" {
+		f, err := os.Create(*harPath)
+		if err != nil {
+			fatal(err)
+		}
+		navStart := time.Date(2022, 4, 11, 18, 0, 0, 0, time.UTC)
+		if err := webperf.WriteHAR(f, "https://"+site.Domain+"/", navStart, entries); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote HAR to %s\n", *harPath)
+	}
+	fmt.Printf("waterfall (%d resources, load event at %v):\n", len(entries)-1, load.Round(time.Millisecond))
+	const cols = 50
+	for i, e := range entries {
+		if i > 24 {
+			fmt.Printf("  ... and %d more resources\n", len(entries)-i)
+			break
+		}
+		startCol := int(float64(e.Start) / float64(load) * cols)
+		endCol := int(float64(e.End()) / float64(load) * cols)
+		if endCol <= startCol {
+			endCol = startCol + 1
+		}
+		if endCol > cols {
+			endCol = cols
+		}
+		bar := strings.Repeat(" ", startCol) + strings.Repeat("=", endCol-startCol)
+		tag := "  "
+		if e.FromCache {
+			tag = "C "
+		}
+		fmt.Printf("  %s%-50s %7.0fms  %s\n", tag, bar, float64(e.End())/1e6, short(e.URL))
+	}
+}
+
+// accessFor builds the access snapshot for the chosen ISP.
+func accessFor(isp string, city ispnet.City, seed int64) (webperf.Access, error) {
+	switch isp {
+	case "broadband":
+		return webperf.Access{RTT: 12 * time.Millisecond, JitterMean: 2 * time.Millisecond, DownBps: 300e6, LossProb: 0.00005}, nil
+	case "cellular":
+		return webperf.Access{RTT: 55 * time.Millisecond, JitterMean: 14 * time.Millisecond, DownBps: 50e6, LossProb: 0.0002}, nil
+	case "starlink":
+		epoch := time.Date(2022, 4, 11, 18, 0, 0, 0, time.UTC)
+		constellation, err := orbit.GenerateShell(orbit.Shell1(epoch))
+		if err != nil {
+			return webperf.Access{}, err
+		}
+		pipe, err := bentpipe.New(bentpipe.Config{
+			Terminal: city.Loc, PoP: city.PoP,
+			Constellation: constellation, Epoch: epoch,
+			DownCapacityBps: 330e6, UpCapacityBps: 28e6,
+			Load: bentpipe.DiurnalLoad{Base: 0.15, Peak: 0.62, PeakHour: 21,
+				UTCOffsetHours: city.UTCOffsetHours, Subscribers: city.Subscribers},
+			Seed: seed,
+		})
+		if err != nil {
+			return webperf.Access{}, err
+		}
+		st := pipe.StateAt(time.Minute)
+		return webperf.Access{
+			RTT:        2 * st.OneWayDelay,
+			JitterMean: 2 * st.JitterMean,
+			DownBps:    st.DownCapacityBps,
+			LossProb:   st.LossProb,
+		}, nil
+	default:
+		return webperf.Access{}, fmt.Errorf("unknown ISP %q", isp)
+	}
+}
+
+func short(url string) string {
+	if len(url) > 52 {
+		return url[:49] + "..."
+	}
+	return url
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pageload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,260 @@
+// Command starlinkbench regenerates every table and figure of "A
+// Browser-side View of Starlink Connectivity" (IMC '22) from the simulated
+// reproduction and prints them next to the paper's published values.
+//
+// Usage:
+//
+//	starlinkbench [-exp all|table1|fig1|fig3|fig4|fig5|table2|table3|fig6a|fig6b|fig6c|fig7|fig8|isl|ablations]
+//	              [-scale 1.0] [-seed 1] [-days 180] [-planes 72] [-svg dir]
+//
+// Scale trades fidelity for runtime: -scale 0.2 runs in a couple of minutes,
+// -scale 1 reproduces the paper-sized experiments. With -svg, each figure is
+// additionally written as an SVG into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"starlinkview/internal/core"
+	"starlinkview/internal/plot"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (all, table1, fig1, fig3, fig4, fig5, table2, table3, fig6a, fig6b, fig6c, fig7, fig8, isl, ablations)")
+		scale  = flag.Float64("scale", 0.3, "experiment scale: 1.0 = paper-sized, smaller = faster")
+		seed   = flag.Int64("seed", 1, "random seed (results are deterministic per seed)")
+		days   = flag.Int("days", 0, "browsing campaign length in days (default: 180*scale, min 60)")
+		planes = flag.Int("planes", 72, "orbital planes in the synthetic shell-1 constellation")
+		svgDir = flag.String("svg", "", "also write each figure as an SVG into this directory")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	cfg.Planes = *planes
+	if *days > 0 {
+		cfg.BrowsingDays = *days
+	} else {
+		cfg.BrowsingDays = int(180 * *scale)
+		if cfg.BrowsingDays < 60 {
+			cfg.BrowsingDays = 60
+		}
+		// Figure 3 needs data on both sides of the April 2022 Sydney AS
+		// migration, which sits ~5 months after the December 2021 start.
+		if cfg.BrowsingDays < 150 {
+			cfg.BrowsingDays = 150
+		}
+	}
+
+	valid := "all table1 fig1 fig3 fig4 fig5 table2 table3 fig6a fig6b fig6c fig7 fig8 isl ablations"
+	known := false
+	for _, name := range strings.Fields(valid) {
+		if *exp == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fatal(fmt.Errorf("unknown experiment %q (choose from: %s)", *exp, valid))
+	}
+
+	start := time.Now()
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("  [%s took %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	out := os.Stdout
+	writeSVG := func(name string, render func(w *os.File) error) {
+		if *svgDir == "" {
+			return
+		}
+		path := filepath.Join(*svgDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+
+	run("table1", func() error {
+		rows, err := study.Table1()
+		if err != nil {
+			return err
+		}
+		core.ReportTable1(out, rows)
+		return nil
+	})
+	run("fig1", func() error {
+		core.ReportFigure1(out, study.Figure1())
+		return nil
+	})
+	run("fig3", func() error {
+		series, err := study.Figure3()
+		if err != nil {
+			return err
+		}
+		core.ReportFigure3(out, series)
+		for _, city := range []string{"London", "Sydney"} {
+			city := city
+			writeSVG("fig3-"+strings.ToLower(city)+".svg", func(w *os.File) error {
+				return plot.WriteLineSVG(w, core.Fig3Chart(series, city))
+			})
+		}
+		return nil
+	})
+	run("fig4", func() error {
+		rows, err := study.Figure4()
+		if err != nil {
+			return err
+		}
+		core.ReportFigure4(out, rows)
+		writeSVG("fig4.svg", func(w *os.File) error {
+			return plot.WriteBoxSVG(w, core.Fig4Chart(rows))
+		})
+		return nil
+	})
+	run("fig5", func() error {
+		res, err := study.Figure5()
+		if err != nil {
+			return err
+		}
+		core.ReportFigure5(out, res)
+		writeSVG("fig5.svg", func(w *os.File) error {
+			return plot.WriteLineSVG(w, core.Fig5Chart(res))
+		})
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := study.Table2()
+		if err != nil {
+			return err
+		}
+		core.ReportTable2(out, rows)
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := study.Table3()
+		if err != nil {
+			return err
+		}
+		core.ReportTable3(out, rows)
+		return nil
+	})
+	run("fig6a", func() error {
+		rows, err := study.Figure6a()
+		if err != nil {
+			return err
+		}
+		core.ReportFigure6a(out, rows)
+		writeSVG("fig6a.svg", func(w *os.File) error {
+			return plot.WriteLineSVG(w, core.Fig6aChart(rows))
+		})
+		return nil
+	})
+	run("fig6b", func() error {
+		pts, err := study.Figure6b()
+		if err != nil {
+			return err
+		}
+		core.ReportFigure6b(out, pts)
+		writeSVG("fig6b.svg", func(w *os.File) error {
+			return plot.WriteLineSVG(w, core.Fig6bChart(pts))
+		})
+		return nil
+	})
+	run("fig6c", func() error {
+		res, err := study.Figure6c()
+		if err != nil {
+			return err
+		}
+		core.ReportFigure6c(out, res)
+		writeSVG("fig6c.svg", func(w *os.File) error {
+			return plot.WriteLineSVG(w, core.Fig6cChart(res))
+		})
+		return nil
+	})
+	run("fig7", func() error {
+		res, err := study.Figure7()
+		if err != nil {
+			return err
+		}
+		core.ReportFigure7(out, res)
+		writeSVG("fig7.svg", func(w *os.File) error {
+			return plot.WriteLineSVG(w, core.Fig7Chart(res))
+		})
+		return nil
+	})
+	run("fig8", func() error {
+		rows, err := study.Figure8()
+		if err != nil {
+			return err
+		}
+		core.ReportFigure8(out, rows)
+		writeSVG("fig8.svg", func(w *os.File) error {
+			return plot.WriteBarSVG(w, core.Fig8Chart(rows))
+		})
+		return nil
+	})
+	run("isl", func() error {
+		rows, err := study.ExtensionISL()
+		if err != nil {
+			return err
+		}
+		core.ReportExtensionISL(out, rows)
+		return nil
+	})
+	run("ablations", func() error {
+		loss, err := study.AblationLossModel()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Ablation: bursty handover loss vs i.i.d. loss of equal mean (goodput, Mbps)")
+		for _, r := range loss {
+			fmt.Fprintf(out, "  %-7s bursty %7.1f   iid %7.1f\n", r.Algorithm, r.Bursty, r.IID)
+		}
+		ho, err := study.AblationHandoverPolicy()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Ablation: serving-satellite selection policy (1h of UDP probing)")
+		for _, r := range ho {
+			fmt.Fprintf(out, "  %-20s handovers=%3d hard=%3d mean loss %5.2f%%\n",
+				r.Policy, r.Handovers, r.HardHandovers, r.MeanLossPct)
+		}
+		return nil
+	})
+
+	fmt.Printf("total: %v (seed=%d scale=%.2f days=%d planes=%d)\n",
+		time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Scale, cfg.BrowsingDays, cfg.Planes)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "starlinkbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command tracesim runs traceroute/mtr over the simulated ISP paths, like
+// the paper's Figure 5 methodology, and optionally the max-min queueing
+// estimate behind Table 2.
+//
+// Usage:
+//
+//	tracesim [-city London] [-isp starlink|broadband|cellular]
+//	         [-server nvirginia|closest] [-runs 20] [-maxmin] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"starlinkview/internal/ispnet"
+	"starlinkview/internal/measure"
+	"starlinkview/internal/netsim"
+	"starlinkview/internal/orbit"
+)
+
+func main() {
+	var (
+		cityName = flag.String("city", "London", "vantage city")
+		ispName  = flag.String("isp", "starlink", "starlink, broadband or cellular")
+		server   = flag.String("server", "nvirginia", "nvirginia (the paper's Figure 5 target) or closest")
+		runs     = flag.Int("runs", 20, "traceroute repetitions")
+		maxmin   = flag.Bool("maxmin", false, "also print the Table 2 max-min queueing estimate")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	city, err := ispnet.CityByName(*cityName)
+	if err != nil {
+		fatal(err)
+	}
+	var kind ispnet.Kind
+	switch *ispName {
+	case "starlink":
+		kind = ispnet.Starlink
+	case "broadband":
+		kind = ispnet.Broadband
+	case "cellular":
+		kind = ispnet.Cellular
+	default:
+		fatal(fmt.Errorf("unknown ISP %q", *ispName))
+	}
+	site := ispnet.NVirginiaDC
+	if *server == "closest" {
+		site = ispnet.ClosestDC(city)
+	}
+
+	epoch := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC)
+	cfg := ispnet.Config{Kind: kind, City: city, Server: site, Seed: *seed}
+	if kind == ispnet.Starlink {
+		constellation, err := orbit.GenerateShell(orbit.Shell1(epoch))
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Constellation = constellation
+		cfg.Epoch = epoch
+	}
+	built, err := ispnet.Build(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	sim := netsim.NewSim(*seed)
+
+	fmt.Printf("traceroute: %s over %s -> %s (%d runs)\n", city.Name, kind, site.Name, *runs)
+	hops, err := measure.MTR(sim, built.Path, *runs, measure.TracerouteOptions{ProbesPerHop: 3})
+	if err != nil {
+		fatal(err)
+	}
+	for _, h := range hops {
+		if len(h.RTTs) == 0 {
+			fmt.Printf("  %2d  %-36s *\n", h.TTL, h.Addr)
+			continue
+		}
+		min, sum, max := h.RTTs[0], time.Duration(0), h.RTTs[0]
+		for _, r := range h.RTTs {
+			if r < min {
+				min = r
+			}
+			if r > max {
+				max = r
+			}
+			sum += r
+		}
+		avg := sum / time.Duration(len(h.RTTs))
+		fmt.Printf("  %2d  %-36s %7.1f %7.1f %7.1f ms (n=%d)\n",
+			h.TTL, h.Addr, ms(min), ms(avg), ms(max), len(h.RTTs))
+	}
+
+	if *maxmin {
+		fmt.Println("max-min queueing estimate (30 runs x 30 probes of 60B):")
+		first, whole, err := measure.MaxMinBoth(sim, built.Path, 30, 30)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  first hop:  min %5.1f  median %5.1f  max %5.1f ms\n", first.MinMs, first.MedianMs, first.MaxMs)
+		fmt.Printf("  whole path: min %5.1f  median %5.1f  max %5.1f ms\n", whole.MinMs, whole.MedianMs, whole.MaxMs)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Quickstart: build a Starlink terminal in London, fetch a popular web page
+// over it (the extension's Page Transit Time decomposition), and run one
+// speedtest — the two measurements the paper's browser extension performs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"starlinkview/internal/bentpipe"
+	"starlinkview/internal/ispnet"
+	"starlinkview/internal/measure"
+	"starlinkview/internal/netsim"
+	"starlinkview/internal/orbit"
+	"starlinkview/internal/tranco"
+	"starlinkview/internal/webperf"
+)
+
+func main() {
+	epoch := time.Date(2022, 4, 11, 18, 0, 0, 0, time.UTC)
+	city := ispnet.London
+
+	// 1. The world: Starlink shell-1 (72 planes x 22 satellites at 550 km).
+	constellation, err := orbit.GenerateShell(orbit.Shell1(epoch))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("constellation: %d satellites, %.0f km, min elevation %.0f deg\n",
+		len(constellation.Sats), constellation.Sats[0].AltitudeKm(), constellation.MinElevationDeg)
+
+	// 2. A bent-pipe terminal in London.
+	pipe, err := bentpipe.New(bentpipe.Config{
+		Terminal: city.Loc, PoP: city.PoP,
+		Constellation: constellation, Epoch: epoch,
+		DownCapacityBps: 330e6, UpCapacityBps: 28e6,
+		Load: bentpipe.DiurnalLoad{Base: 0.15, Peak: 0.62, PeakHour: 21,
+			UTCOffsetHours: city.UTCOffsetHours, Subscribers: city.Subscribers},
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := pipe.StateAt(time.Minute)
+	fmt.Printf("terminal state: serving %s at %.0f km, one-way delay %v, downlink %.0f Mbps\n",
+		st.Serving.Name, st.SlantRangeKm, st.OneWayDelay.Round(time.Millisecond), st.DownCapacityBps/1e6)
+
+	// 3. One page load: a popular (CDN-served) site, decomposed the way the
+	// extension reports it.
+	list, err := tranco.NewList(1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, err := list.Site(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pl := webperf.LoadPage(rng, site, webperf.Access{
+		RTT:        2 * st.OneWayDelay,
+		JitterMean: 2 * st.JitterMean,
+		DownBps:    st.DownCapacityBps,
+		LossProb:   st.LossProb,
+	}, webperf.Options{ClientLoc: city.Loc, CDNEdgeRTT: 4 * time.Millisecond})
+	fmt.Printf("page load of %s (rank %d, %d KB):\n", site.Domain, site.Rank, site.PageBytes/1024)
+	fmt.Printf("  redirect %v  dns %v  connect %v  tls %v  ttfb %v  download %v\n",
+		pl.Redirect.Round(time.Millisecond), pl.DNS.Round(time.Millisecond),
+		pl.Connect.Round(time.Millisecond), pl.TLS.Round(time.Millisecond),
+		pl.TTFB.Round(time.Millisecond), pl.Download.Round(time.Millisecond))
+	fmt.Printf("  PTT %v   PLT %v\n", pl.PTT().Round(time.Millisecond), pl.PLT().Round(time.Millisecond))
+
+	// 4. One speedtest over a packet-level path to the Iowa server.
+	built, err := ispnet.Build(ispnet.Config{
+		Kind: ispnet.Starlink, City: city, Server: ispnet.IowaDC,
+		Constellation: constellation, Epoch: epoch, Short: true, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := netsim.NewSim(42)
+	res, err := measure.Speedtest(sim, built.Path, measure.SpeedtestOptions{PhaseDuration: 5 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("speedtest to %s: ping %.1f ms, down %.1f Mbps, up %.1f Mbps\n",
+		ispnet.IowaDC.Name, res.PingMs, res.DownMbps, res.UpMbps)
+}

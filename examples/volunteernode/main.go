@@ -1,0 +1,122 @@
+// Volunteernode reproduces the paper's Figure 2 setup end to end: a
+// Raspberry Pi wired to a Starlink dish in Wiltshire runs its cron jobs
+// (speedtests every 5 minutes, iperf every 30), polls the local dishy status
+// API over a real TCP socket, measures latency under load, and exports its
+// samples in the release dataset format.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"starlinkview/internal/dataset"
+	"starlinkview/internal/dishy"
+	"starlinkview/internal/ispnet"
+	"starlinkview/internal/measure"
+	"starlinkview/internal/orbit"
+	"starlinkview/internal/rpinode"
+)
+
+func main() {
+	epoch := time.Date(2022, 4, 11, 17, 0, 0, 0, time.UTC)
+	constellation, err := orbit.GenerateShell(orbit.Shell1(epoch))
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := rpinode.New(rpinode.Config{
+		City:          ispnet.Wiltshire,
+		Constellation: constellation,
+		Epoch:         epoch,
+		WithWeather:   true,
+		Seed:          11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("volunteer node in %s, measuring against %s\n", node.City.Name, node.Server.Name)
+
+	// The dishy status API, served over a real TCP socket like the dish's
+	// gRPC endpoint on 192.168.100.1.
+	srv, addr, err := node.ServeDishy("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	st, err := dishy.NewClient(addr).GetStatus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dishy (%s): satellite %s, pop ping %.1f ms, downlink %.0f Mbps\n",
+		addr, st.ConnectedSatellite, st.PopPingLatencyMs, st.DownlinkThroughputBps/1e6)
+
+	// One hour of the paper's cron schedule.
+	fmt.Println("\nrunning 1h of cron jobs (speedtest /5min, iperf /30min)...")
+	if err := node.RunSchedule(rpinode.Schedule{
+		Total:          time.Hour,
+		SpeedtestEvery: 5 * time.Minute,
+		SpeedtestPhase: 3 * time.Second,
+		IperfEvery:     30 * time.Minute,
+		IperfDur:       4 * time.Second,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range node.IperfSamples() {
+		fmt.Printf("  iperf     %s  DL %6.1f Mbps  UL %5.1f Mbps\n",
+			s.Wall.Format("15:04"), s.DownBps/1e6, s.UpBps/1e6)
+	}
+	fmt.Printf("  speedtests: %d samples (median DL %.1f Mbps)\n",
+		len(node.SpeedSamples()), medianSpeed(node))
+
+	// Latency under load: the bufferbloat view of Table 2's queueing story.
+	loaded, err := measure.RTTUnderLoad(node.Sim, node.Short.Path, "cubic", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRTT idle %v -> loaded %v (%.1fx inflation under a saturating download)\n",
+		loaded.IdleRTT.Round(time.Millisecond), loaded.LoadedRTT.Round(time.Millisecond), loaded.Inflation)
+
+	// Table 2's methodology on this node.
+	wireless, whole, err := node.MaxMinQueueing(10, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max-min queueing: bent pipe median %.1f ms, whole path %.1f ms\n",
+		wireless.MedianMs, whole.MedianMs)
+
+	// The dish's telemetry ring buffer accumulated during the cron jobs.
+	hist, err := dishy.NewClient(addr).GetHistory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dishy history: %d telemetry snapshots during the schedule\n", len(hist.Samples))
+
+	// Export everything in the release format.
+	samples := dataset.CollectNodeSamples(node.City.Name, node)
+	var buf bytes.Buffer
+	if err := dataset.WriteNodeJSON(&buf, samples); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexported %d samples (%d bytes of JSONL)\n", len(samples), buf.Len())
+}
+
+func medianSpeed(n *rpinode.Node) float64 {
+	ss := n.SpeedSamples()
+	if len(ss) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(ss))
+	for i, s := range ss {
+		vals[i] = s.Res.DownMbps
+	}
+	// Simple selection for the example's purposes.
+	for i := range vals {
+		for j := i + 1; j < len(vals); j++ {
+			if vals[j] < vals[i] {
+				vals[i], vals[j] = vals[j], vals[i]
+			}
+		}
+	}
+	return vals[len(vals)/2]
+}

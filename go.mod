@@ -1,0 +1,3 @@
+module starlinkview
+
+go 1.22

@@ -1,0 +1,203 @@
+// Package analysis provides the statistical analyses behind the paper's
+// claims: correlation between packet loss and handover events ("losses are
+// associated with a handover", Figure 7), rank correlation for weather
+// trends (Figure 4), and bootstrap confidence intervals for the median
+// comparisons that Tables 1 and 3 rest on.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrMismatchedLengths is returned when paired series differ in length.
+var ErrMismatchedLengths = errors.New("analysis: paired series must have equal length")
+
+// Pearson returns the Pearson product-moment correlation of two equal-length
+// series. It errors on fewer than 3 points or zero variance.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrMismatchedLengths
+	}
+	n := len(x)
+	if n < 3 {
+		return 0, fmt.Errorf("analysis: need >= 3 points, got %d", n)
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("analysis: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// ranks assigns average ranks (ties share the mean rank).
+func ranks(v []float64) []float64 {
+	type iv struct {
+		val float64
+		idx int
+	}
+	s := make([]iv, len(v))
+	for i, x := range v {
+		s[i] = iv{x, i}
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a].val < s[b].val })
+	out := make([]float64, len(v))
+	for i := 0; i < len(s); {
+		j := i
+		for j+1 < len(s) && s[j+1].val == s[i].val {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[s[k].idx] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Spearman returns the rank correlation of two equal-length series.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrMismatchedLengths
+	}
+	return Pearson(ranks(x), ranks(y))
+}
+
+// PointBiserial correlates a binary indicator (the handover flag) with a
+// continuous outcome (per-second loss). It is Pearson with the indicator
+// encoded 0/1, the standard statistic for Figure 7's claim.
+func PointBiserial(flag []bool, y []float64) (float64, error) {
+	if len(flag) != len(y) {
+		return 0, ErrMismatchedLengths
+	}
+	x := make([]float64, len(flag))
+	for i, f := range flag {
+		if f {
+			x[i] = 1
+		}
+	}
+	return Pearson(x, y)
+}
+
+// EventLossAttribution computes, for an event-marked time series, the share
+// of total loss that falls within `window` samples after an event — the
+// quantitative form of "each clump of packet losses is associated with a
+// satellite going out of line of sight".
+type EventLossAttribution struct {
+	// NearShare is the fraction of total loss inside event windows.
+	NearShare float64
+	// NearFraction is the fraction of time covered by event windows.
+	NearFraction float64
+	// Lift is NearShare / NearFraction: how overrepresented loss is near
+	// events (1 = no association).
+	Lift float64
+}
+
+// AttributeLossToEvents computes the attribution. events marks the samples
+// at which an event occurred; window is the number of subsequent samples
+// attributed to it.
+func AttributeLossToEvents(events []bool, loss []float64, window int) (EventLossAttribution, error) {
+	if len(events) != len(loss) {
+		return EventLossAttribution{}, ErrMismatchedLengths
+	}
+	if window < 1 {
+		return EventLossAttribution{}, fmt.Errorf("analysis: window must be >= 1, got %d", window)
+	}
+	near := make([]bool, len(loss))
+	for i, e := range events {
+		if !e {
+			continue
+		}
+		for d := 0; d < window && i+d < len(near); d++ {
+			near[i+d] = true
+		}
+	}
+	var total, nearLoss float64
+	nearN := 0
+	for i, l := range loss {
+		total += l
+		if near[i] {
+			nearLoss += l
+			nearN++
+		}
+	}
+	out := EventLossAttribution{
+		NearFraction: float64(nearN) / float64(len(loss)),
+	}
+	if total > 0 {
+		out.NearShare = nearLoss / total
+	}
+	if out.NearFraction > 0 {
+		out.Lift = out.NearShare / out.NearFraction
+	}
+	return out, nil
+}
+
+// BootstrapMedianCI returns a percentile bootstrap confidence interval for
+// the median at the given level (e.g. 0.95), using the supplied random
+// source for reproducibility.
+func BootstrapMedianCI(rng *rand.Rand, samples []float64, level float64, iterations int) (lo, hi float64, err error) {
+	if len(samples) < 2 {
+		return 0, 0, fmt.Errorf("analysis: need >= 2 samples, got %d", len(samples))
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("analysis: level must be in (0,1), got %v", level)
+	}
+	if iterations < 100 {
+		iterations = 100
+	}
+	meds := make([]float64, iterations)
+	resample := make([]float64, len(samples))
+	for it := 0; it < iterations; it++ {
+		for i := range resample {
+			resample[i] = samples[rng.Intn(len(samples))]
+		}
+		meds[it] = median(resample)
+	}
+	sort.Float64s(meds)
+	alpha := (1 - level) / 2
+	lo = meds[int(alpha*float64(iterations))]
+	hi = meds[int((1-alpha)*float64(iterations))-1]
+	return lo, hi, nil
+}
+
+// MediansDiffer reports whether two sample sets' medians differ at the given
+// confidence level, by checking their bootstrap CIs for overlap. It is the
+// test backing statements like "Starlink offers among the lowest PTTs".
+func MediansDiffer(rng *rand.Rand, a, b []float64, level float64) (bool, error) {
+	aLo, aHi, err := BootstrapMedianCI(rng, a, level, 500)
+	if err != nil {
+		return false, err
+	}
+	bLo, bHi, err := BootstrapMedianCI(rng, b, level, 500)
+	if err != nil {
+		return false, err
+	}
+	return aHi < bLo || bHi < aLo, nil
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	r, err := Pearson(x, yPos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, r, 1, 1e-12, "positive")
+	r, err = Pearson(x, yNeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, r, -1, 1e-12, "negative")
+}
+
+func TestPearsonIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 2000)
+	y := make([]float64, 2000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.08 {
+		t.Errorf("independent series correlation = %v, want ~0", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err != ErrMismatchedLengths {
+		t.Errorf("err = %v, want mismatched lengths", err)
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("want error for n < 3")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("want error for zero variance")
+	}
+}
+
+func TestPearsonBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+			y[i] = rng.NormFloat64()*2 + x[i]*0.3
+		}
+		r, err := Pearson(x, y)
+		if err != nil {
+			return true // degenerate draw
+		}
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// A nonlinear but monotone relation: Spearman 1, Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{1, 8, 27, 64, 125, 216}
+	rs, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, rs, 1, 1e-12, "spearman of monotone")
+	rp, _ := Pearson(x, y)
+	if rp >= rs {
+		t.Errorf("pearson %v should be below spearman %v for convex data", rp, rs)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 2, 2, 3}
+	y := []float64{10, 20, 20, 30}
+	rs, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, rs, 1, 1e-12, "tied monotone")
+}
+
+func TestRanksAveraging(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("ranks[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+func TestPointBiserial(t *testing.T) {
+	// Loss elevated exactly when the flag is set.
+	flag := make([]bool, 100)
+	loss := make([]float64, 100)
+	rng := rand.New(rand.NewSource(2))
+	for i := range flag {
+		flag[i] = i%10 == 0
+		if flag[i] {
+			loss[i] = 20 + rng.Float64()
+		} else {
+			loss[i] = rng.Float64() * 0.1
+		}
+	}
+	r, err := PointBiserial(flag, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.9 {
+		t.Errorf("point-biserial = %v, want near 1 for perfectly flagged loss", r)
+	}
+	if _, err := PointBiserial([]bool{true}, []float64{1, 2}); err != ErrMismatchedLengths {
+		t.Error("want mismatched lengths error")
+	}
+}
+
+func TestAttributeLossToEvents(t *testing.T) {
+	// 100 seconds, events at 20 and 60, loss only within 5s after them.
+	events := make([]bool, 100)
+	loss := make([]float64, 100)
+	events[20], events[60] = true, true
+	for _, base := range []int{20, 60} {
+		for d := 0; d < 5; d++ {
+			loss[base+d] = 10
+		}
+	}
+	att, err := AttributeLossToEvents(events, loss, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, att.NearShare, 1, 1e-12, "near share")
+	almost(t, att.NearFraction, 0.2, 1e-12, "near fraction")
+	almost(t, att.Lift, 5, 1e-9, "lift")
+}
+
+func TestAttributeLossUniform(t *testing.T) {
+	// Uniform loss: lift ~1 regardless of events.
+	events := make([]bool, 200)
+	loss := make([]float64, 200)
+	for i := range loss {
+		loss[i] = 1
+		events[i] = i%50 == 0
+	}
+	att, err := AttributeLossToEvents(events, loss, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, att.Lift, 1, 1e-9, "uniform lift")
+}
+
+func TestAttributeLossErrors(t *testing.T) {
+	if _, err := AttributeLossToEvents([]bool{true}, []float64{1, 2}, 5); err != ErrMismatchedLengths {
+		t.Error("want mismatched lengths")
+	}
+	if _, err := AttributeLossToEvents([]bool{true}, []float64{1}, 0); err == nil {
+		t.Error("want window error")
+	}
+}
+
+func TestBootstrapMedianCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 300)
+	for i := range samples {
+		samples[i] = 100 + rng.NormFloat64()*10
+	}
+	lo, hi, err := BootstrapMedianCI(rng, samples, 0.95, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 100 && 100 < hi) {
+		t.Errorf("CI [%v, %v] should contain the true median 100", lo, hi)
+	}
+	if hi-lo > 5 {
+		t.Errorf("CI width %v too wide for n=300, sigma=10", hi-lo)
+	}
+}
+
+func TestBootstrapMedianCIErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, _, err := BootstrapMedianCI(rng, []float64{1}, 0.95, 100); err == nil {
+		t.Error("want error for tiny sample")
+	}
+	if _, _, err := BootstrapMedianCI(rng, []float64{1, 2, 3}, 1.5, 100); err == nil {
+		t.Error("want error for bad level")
+	}
+}
+
+func TestMediansDiffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	c := make([]float64, 200)
+	for i := range a {
+		a[i] = 100 + rng.NormFloat64()*5
+		b[i] = 160 + rng.NormFloat64()*5 // clearly different
+		c[i] = 100.5 + rng.NormFloat64()*5
+	}
+	diff, err := MediansDiffer(rng, a, b, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff {
+		t.Error("medians 100 vs 160 should differ")
+	}
+	diff, err = MediansDiffer(rng, a, c, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff {
+		t.Error("medians 100 vs 100.5 should overlap at n=200, sigma=5")
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+}

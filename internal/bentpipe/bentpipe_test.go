@@ -1,0 +1,386 @@
+package bentpipe
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"starlinkview/internal/geo"
+	"starlinkview/internal/orbit"
+	"starlinkview/internal/weather"
+)
+
+var testEpoch = time.Date(2022, 4, 1, 0, 0, 0, 0, time.UTC)
+
+var (
+	london    = geo.LatLon{LatDeg: 51.5074, LonDeg: -0.1278}
+	londonPoP = geo.LatLon{LatDeg: 51.2, LonDeg: 0.5}
+)
+
+func testConstellation(t *testing.T) *orbit.Constellation {
+	t.Helper()
+	c, err := orbit.GenerateShell(orbit.ShellConfig{
+		Name: "STARLINK", AltitudeKm: 550, InclinationDeg: 53,
+		Planes: 24, SatsPerPlane: 22, PhasingF: 13,
+		Epoch: testEpoch, FirstSatNum: 44000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testPipe(t *testing.T, seed int64, wx *weather.Generator) *BentPipe {
+	t.Helper()
+	bp, err := New(Config{
+		Terminal:        london,
+		PoP:             londonPoP,
+		Constellation:   testConstellation(t),
+		Epoch:           testEpoch,
+		Weather:         wx,
+		DownCapacityBps: 300e6,
+		UpCapacityBps:   25e6,
+		Load:            DiurnalLoad{Base: 0.15, Peak: 0.6, PeakHour: 21, Subscribers: 1},
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestNewValidation(t *testing.T) {
+	c := testConstellation(t)
+	base := Config{
+		Terminal: london, PoP: londonPoP, Constellation: c, Epoch: testEpoch,
+		DownCapacityBps: 1e8, UpCapacityBps: 1e7,
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"nil constellation", func(c *Config) { c.Constellation = nil }},
+		{"bad terminal", func(c *Config) { c.Terminal = geo.LatLon{LatDeg: 99} }},
+		{"zero down capacity", func(c *Config) { c.DownCapacityBps = 0 }},
+		{"zero up capacity", func(c *Config) { c.UpCapacityBps = 0 }},
+		{"negative handover interval", func(c *Config) { c.HandoverInterval = -time.Second }},
+		{"zero epoch", func(c *Config) { c.Epoch = time.Time{} }},
+	}
+	for _, cse := range cases {
+		cfg := base
+		cse.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: want error", cse.name)
+		}
+	}
+	if _, err := New(base); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestDiurnalLoadShape(t *testing.T) {
+	d := DiurnalLoad{Base: 0.1, Peak: 0.6, PeakHour: 21}
+	peak := d.UtilizationAt(time.Date(2022, 4, 11, 21, 0, 0, 0, time.UTC))
+	// The overnight trough sits at 04-05 local, per the paper's observation
+	// that throughput peaks at 00:00-06:00.
+	trough := d.UtilizationAt(time.Date(2022, 4, 11, 4, 0, 0, 0, time.UTC))
+	daytime := d.UtilizationAt(time.Date(2022, 4, 11, 13, 0, 0, 0, time.UTC))
+	if !(peak > daytime && daytime > trough) {
+		t.Errorf("diurnal ordering broken: peak %v daytime %v trough %v", peak, daytime, trough)
+	}
+	if math.Abs(peak-0.6) > 0.02 {
+		t.Errorf("peak utilisation = %v, want ~0.6", peak)
+	}
+	if math.Abs(trough-0.15) > 0.03 {
+		t.Errorf("trough utilisation = %v, want ~0.15 (base + 10%% of range)", trough)
+	}
+}
+
+func TestDiurnalLoadSubscribersAndClamp(t *testing.T) {
+	d := DiurnalLoad{Base: 0.3, Peak: 0.8, PeakHour: 21, Subscribers: 2}
+	at := d.UtilizationAt(time.Date(2022, 4, 11, 21, 0, 0, 0, time.UTC))
+	if at != 0.95 {
+		t.Errorf("clamped utilisation = %v, want 0.95", at)
+	}
+	// Zero subscribers defaults to nominal.
+	d2 := DiurnalLoad{Base: 0.2, Peak: 0.2, PeakHour: 12}
+	if got := d2.UtilizationAt(testEpoch); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("nominal subscribers utilisation = %v, want 0.2", got)
+	}
+}
+
+func TestDiurnalLoadUTCOffset(t *testing.T) {
+	// Same UTC instant, different local offsets: peak shifts.
+	base := DiurnalLoad{Base: 0.1, Peak: 0.6, PeakHour: 21, UTCOffsetHours: 0}
+	shifted := DiurnalLoad{Base: 0.1, Peak: 0.6, PeakHour: 21, UTCOffsetHours: 12}
+	at := time.Date(2022, 4, 11, 21, 0, 0, 0, time.UTC)
+	if base.UtilizationAt(at) <= shifted.UtilizationAt(at) {
+		// 21:00 UTC is the peak for offset 0 but 09:00 local for offset 12.
+		t.Error("UTC offset did not shift the diurnal peak")
+	}
+}
+
+func TestStateDelayPlausible(t *testing.T) {
+	bp := testPipe(t, 1, nil)
+	st := bp.StateAt(0)
+	// One-way: ~2x slant-range propagation (3-8 ms) + 11 ms processing.
+	if st.OneWayDelay < 12*time.Millisecond || st.OneWayDelay > 30*time.Millisecond {
+		t.Errorf("one-way delay = %v, want 12-30ms", st.OneWayDelay)
+	}
+	if st.Serving == nil {
+		t.Skip("no serving satellite at epoch")
+	}
+	maxRange := geo.MaxSlantRangeKm(550, 25)
+	if st.SlantRangeKm <= 500 || st.SlantRangeKm > maxRange+20 {
+		t.Errorf("slant range = %v km", st.SlantRangeKm)
+	}
+}
+
+func TestStateMonotonicCalls(t *testing.T) {
+	bp := testPipe(t, 2, nil)
+	prev := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		at := time.Duration(i) * 200 * time.Millisecond
+		st := bp.StateAt(at)
+		if st.At < prev {
+			t.Fatal("state went backwards")
+		}
+		if st.DownCapacityBps <= 0 || st.UpCapacityBps <= 0 {
+			t.Fatalf("non-positive capacity at %v", at)
+		}
+		if st.LossProb < 0 || st.LossProb > 1 {
+			t.Fatalf("loss probability %v out of range", st.LossProb)
+		}
+		prev = st.At
+	}
+}
+
+func TestHandoversHappen(t *testing.T) {
+	bp := testPipe(t, 3, nil)
+	// Over 12 minutes of 15s slots there are 48 reselections; with a dense
+	// shell the serving satellite changes at least a few times.
+	for s := 0; s <= 720; s++ {
+		bp.StateAt(time.Duration(s) * time.Second)
+	}
+	total, _ := bp.HandoverCount()
+	if total < 3 {
+		t.Errorf("only %d handovers in 12 minutes", total)
+	}
+}
+
+func TestLossClumpsDuringBursts(t *testing.T) {
+	bp := testPipe(t, 4, nil)
+	spec := bp.DownLinkSpec(0)
+	inBurst, outBurst := 0, 0
+	inBurstN, outBurstN := 0, 0
+	for ms := 0; ms < 12*60*1000; ms += 10 {
+		at := time.Duration(ms) * time.Millisecond
+		lost := spec.LossFn(at, nil)
+		st := bp.StateAt(at)
+		if st.InHandover || st.Outage {
+			inBurstN++
+			if lost {
+				inBurst++
+			}
+		} else {
+			outBurstN++
+			if lost {
+				outBurst++
+			}
+		}
+	}
+	if inBurstN == 0 {
+		t.Skip("no burst sampled")
+	}
+	inRate := float64(inBurst) / float64(inBurstN)
+	outRate := float64(outBurst) / float64(max(1, outBurstN))
+	if inRate < 10*outRate {
+		t.Errorf("burst loss rate %v not >> steady rate %v", inRate, outRate)
+	}
+	if outRate > 0.02 {
+		t.Errorf("steady loss rate %v too high", outRate)
+	}
+}
+
+func TestWeatherReducesCapacityAndRaisesDelay(t *testing.T) {
+	// Deterministic rain: a climatology that is always moderate rain.
+	rainClim := weather.Climatology{
+		Name:      "rain",
+		MeanDwell: time.Hour,
+	}
+	rainClim.Weights[weather.ModerateRain] = 1
+	rainGen, err := weather.NewGenerator(rainClim, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clearClim := weather.Climatology{Name: "clear", MeanDwell: time.Hour}
+	clearClim.Weights[weather.ClearSky] = 1
+	clearGen, err := weather.NewGenerator(clearClim, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rainy := testPipe(t, 5, rainGen)
+	clear := testPipe(t, 5, clearGen)
+	rs := rainy.StateAt(time.Minute)
+	cs := clear.StateAt(time.Minute)
+
+	if rs.Condition != weather.ModerateRain || cs.Condition != weather.ClearSky {
+		t.Fatalf("conditions = %v / %v", rs.Condition, cs.Condition)
+	}
+	if rs.AttenuationDB <= 0 || cs.AttenuationDB != 0 {
+		t.Errorf("attenuation rain=%v clear=%v", rs.AttenuationDB, cs.AttenuationDB)
+	}
+	if rs.DownCapacityBps >= cs.DownCapacityBps {
+		t.Errorf("rain capacity %v not below clear %v", rs.DownCapacityBps, cs.DownCapacityBps)
+	}
+	if rs.LossProb <= cs.LossProb {
+		t.Errorf("rain loss %v not above clear %v", rs.LossProb, cs.LossProb)
+	}
+}
+
+func TestCapacityDiurnalSwing(t *testing.T) {
+	bp := testPipe(t, 6, nil)
+	var night, evening float64
+	// 03:00 local vs 21:00 local on the first day.
+	night = bp.StateAt(3 * time.Hour).DownCapacityBps
+	evening = bp.StateAt(21 * time.Hour).DownCapacityBps
+	if night <= evening {
+		t.Errorf("night capacity %v not above evening %v", night, evening)
+	}
+	if night/evening < 1.5 {
+		t.Errorf("diurnal swing %vx, want >= 1.5x (paper reports > 2x throughput swing)", night/evening)
+	}
+}
+
+func TestSubscribersReduceCapacity(t *testing.T) {
+	mk := func(subs float64) float64 {
+		c := testConstellation(t)
+		bp, err := New(Config{
+			Terminal: london, PoP: londonPoP, Constellation: c, Epoch: testEpoch,
+			DownCapacityBps: 300e6, UpCapacityBps: 25e6,
+			Load: DiurnalLoad{Base: 0.15, Peak: 0.6, PeakHour: 21, Subscribers: subs},
+			Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bp.StateAt(12 * time.Hour).DownCapacityBps
+	}
+	sparse, dense := mk(0.6), mk(1.6)
+	if sparse <= dense {
+		t.Errorf("sparse-cell capacity %v not above dense-cell %v", sparse, dense)
+	}
+}
+
+func TestVisibleDistances(t *testing.T) {
+	bp := testPipe(t, 8, nil)
+	sats := bp.cfg.Constellation.Sats[:40]
+	dists, serving := bp.VisibleDistances(time.Minute, sats)
+	if len(dists) != 40 {
+		t.Fatalf("distances len = %d", len(dists))
+	}
+	maxRange := geo.MaxSlantRangeKm(550, 25)
+	anyVisible := false
+	for name, d := range dists {
+		if d == 0 {
+			continue
+		}
+		anyVisible = true
+		if d > maxRange+20 {
+			t.Errorf("%s visible at %v km beyond max range", name, d)
+		}
+	}
+	_ = anyVisible
+	_ = serving // serving may or may not be among the 40 sampled satellites
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		bp := testPipe(t, 42, nil)
+		spec := bp.DownLinkSpec(0)
+		var out []float64
+		for s := 0; s < 300; s++ {
+			at := time.Duration(s) * time.Second
+			st := bp.StateAt(at)
+			out = append(out, st.DownCapacityBps, float64(st.OneWayDelay))
+			if spec.LossFn(at, nil) {
+				out = append(out, 1)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestPolarTerminalOutage(t *testing.T) {
+	// A 53-degree shell cannot serve 78N (Svalbard): the terminal stays in
+	// outage with near-total loss — the failure mode of out-of-coverage use.
+	c := testConstellation(t)
+	bp, err := New(Config{
+		Terminal:        geo.LatLon{LatDeg: 78.22, LonDeg: 15.65},
+		PoP:             geo.LatLon{LatDeg: 69.65, LonDeg: 18.96},
+		Constellation:   c,
+		Epoch:           testEpoch,
+		DownCapacityBps: 300e6, UpCapacityBps: 25e6,
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outages := 0
+	for s := 0; s < 300; s += 10 {
+		st := bp.StateAt(time.Duration(s) * time.Second)
+		if st.Outage {
+			outages++
+		}
+		if st.Serving != nil {
+			t.Fatalf("polar terminal acquired %s", st.Serving.Name)
+		}
+	}
+	if outages < 25 {
+		t.Errorf("outage samples = %d/30, want nearly all", outages)
+	}
+}
+
+func TestSlotPhaseVariesPerSeed(t *testing.T) {
+	// Regression: the reconfiguration slot grid carries a per-terminal
+	// random phase. Without it, measurements scheduled on multiples of
+	// 15 s (every cron cadence) would systematically dodge every slot
+	// boundary and observe zero handover loss.
+	phases := map[time.Duration]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		bp, err := New(Config{
+			Terminal: london, PoP: londonPoP,
+			Constellation: testConstellation(t), Epoch: testEpoch,
+			DownCapacityBps: 300e6, UpCapacityBps: 25e6,
+			Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.StateAt(0) // starts the model, draws the phase
+		phases[bp.phase] = true
+		if bp.phase < 0 || bp.phase >= DefaultHandoverInterval {
+			t.Errorf("seed %d: phase %v outside [0, 15s)", seed, bp.phase)
+		}
+	}
+	if len(phases) < 4 {
+		t.Errorf("only %d distinct phases over 8 seeds", len(phases))
+	}
+}

@@ -1,0 +1,429 @@
+package cc
+
+import (
+	"testing"
+	"time"
+)
+
+const testMSS = 1448
+
+func ackEv(now time.Duration, rtt time.Duration, acked int) AckEvent {
+	return AckEvent{Now: now, RTT: rtt, MinRTT: rtt, AckedBytes: acked, MSS: testMSS}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range Names() {
+		a, err := New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if a.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, a.Name())
+		}
+		a.Init(testMSS)
+		if a.Cwnd() <= 0 {
+			t.Errorf("%s: non-positive initial cwnd", name)
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+}
+
+func TestRenoSlowStartDoublesPerRTT(t *testing.T) {
+	r := NewReno()
+	r.Init(testMSS)
+	start := r.Cwnd()
+	// Ack a full window: slow start adds one MSS per acked MSS.
+	for acked := 0; acked < start; acked += testMSS {
+		r.OnAck(ackEv(time.Second, 50*time.Millisecond, testMSS))
+	}
+	if got := r.Cwnd(); got != 2*start {
+		t.Errorf("cwnd after one slow-start window = %d, want %d", got, 2*start)
+	}
+}
+
+func TestRenoCongestionAvoidanceLinear(t *testing.T) {
+	r := NewReno()
+	r.Init(testMSS)
+	// Force CA by faking a loss.
+	r.OnLoss(LossEvent{MSS: testMSS})
+	w := r.Cwnd()
+	// One window of acks adds about one MSS.
+	for acked := 0; acked < w; acked += testMSS {
+		r.OnAck(ackEv(time.Second, 50*time.Millisecond, testMSS))
+	}
+	growth := r.Cwnd() - w
+	if growth < testMSS/2 || growth > 2*testMSS {
+		t.Errorf("CA growth per RTT = %d bytes, want ~%d", growth, testMSS)
+	}
+}
+
+func TestRenoLossHalvesWindow(t *testing.T) {
+	r := NewReno()
+	r.Init(testMSS)
+	for i := 0; i < 100; i++ {
+		r.OnAck(ackEv(time.Second, 50*time.Millisecond, testMSS))
+	}
+	w := r.Cwnd()
+	r.OnLoss(LossEvent{MSS: testMSS})
+	if got := r.Cwnd(); got != w/2 {
+		t.Errorf("cwnd after loss = %d, want %d", got, w/2)
+	}
+}
+
+func TestRenoTimeoutCollapses(t *testing.T) {
+	r := NewReno()
+	r.Init(testMSS)
+	r.OnLoss(LossEvent{IsTimeout: true, MSS: testMSS})
+	if got := r.Cwnd(); got != testMSS {
+		t.Errorf("cwnd after timeout = %d, want %d", got, testMSS)
+	}
+}
+
+func TestRenoFloorsAtMinCwnd(t *testing.T) {
+	r := NewReno()
+	r.Init(testMSS)
+	for i := 0; i < 20; i++ {
+		r.OnLoss(LossEvent{MSS: testMSS})
+	}
+	if got := r.Cwnd(); got < MinCwndSegments*testMSS {
+		t.Errorf("cwnd = %d below floor", got)
+	}
+}
+
+func TestRenoRecoveryFreezesWindow(t *testing.T) {
+	r := NewReno()
+	r.Init(testMSS)
+	w := r.Cwnd()
+	ev := ackEv(time.Second, 50*time.Millisecond, testMSS)
+	ev.InRecovery = true
+	r.OnAck(ev)
+	if r.Cwnd() != w {
+		t.Error("window grew during recovery")
+	}
+}
+
+func TestCubicDecreaseFactor(t *testing.T) {
+	c := NewCubic()
+	c.Init(testMSS)
+	for i := 0; i < 200; i++ {
+		c.OnAck(ackEv(time.Duration(i)*10*time.Millisecond, 50*time.Millisecond, testMSS))
+	}
+	w := c.Cwnd()
+	c.OnLoss(LossEvent{MSS: testMSS})
+	want := int(float64(w) * cubicBeta)
+	got := c.Cwnd()
+	if got < want-2*testMSS || got > want+2*testMSS {
+		t.Errorf("cwnd after loss = %d, want ~%d (0.7x)", got, want)
+	}
+}
+
+func TestCubicGrowsTowardWMax(t *testing.T) {
+	c := NewCubic()
+	c.Init(testMSS)
+	// Exit slow start at a large window, then lose.
+	for i := 0; i < 300; i++ {
+		c.OnAck(ackEv(time.Duration(i)*time.Millisecond, 50*time.Millisecond, testMSS))
+	}
+	c.OnLoss(LossEvent{Now: 300 * time.Millisecond, MSS: testMSS})
+	after := c.Cwnd()
+
+	// Feed acks over simulated time; CUBIC should grow back toward wMax.
+	now := 300 * time.Millisecond
+	for i := 0; i < 400; i++ {
+		now += 10 * time.Millisecond
+		c.OnAck(ackEv(now, 50*time.Millisecond, testMSS))
+	}
+	if c.Cwnd() <= after {
+		t.Errorf("cubic did not grow after loss: %d -> %d", after, c.Cwnd())
+	}
+}
+
+func TestCubicTimeout(t *testing.T) {
+	c := NewCubic()
+	c.Init(testMSS)
+	c.OnLoss(LossEvent{IsTimeout: true, MSS: testMSS})
+	if got := c.Cwnd(); got != testMSS {
+		t.Errorf("cwnd after timeout = %d, want %d", got, testMSS)
+	}
+}
+
+func TestVegasIncreasesWhenUncongested(t *testing.T) {
+	v := NewVegas()
+	v.Init(testMSS)
+	v.OnLoss(LossEvent{MSS: testMSS}) // leave slow start
+	w := v.Cwnd()
+	// RTT equal to baseRTT: no queueing, diff=0 < alpha -> grow.
+	now := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		now += 100 * time.Millisecond
+		v.OnAck(ackEv(now, 50*time.Millisecond, testMSS))
+	}
+	if v.Cwnd() <= w {
+		t.Errorf("vegas did not grow with empty queue: %d -> %d", w, v.Cwnd())
+	}
+}
+
+func TestVegasDecreasesWhenQueueing(t *testing.T) {
+	v := NewVegas()
+	v.Init(testMSS)
+	v.OnLoss(LossEvent{MSS: testMSS})
+	// Establish a low base RTT and let one adjustment consume that epoch
+	// (the backlog estimate uses per-epoch minimum RTTs).
+	v.OnAck(ackEv(10*time.Millisecond, 50*time.Millisecond, testMSS))
+	v.OnAck(ackEv(110*time.Millisecond, 50*time.Millisecond, testMSS))
+	w := v.Cwnd()
+	// Now much larger RTTs: heavy queueing -> diff > beta -> shrink.
+	// (With cwnd = 5 segments, diff = 5*(450-50)/450 = 4.4 > beta.)
+	now := 200 * time.Millisecond
+	for i := 0; i < 10; i++ {
+		now += 500 * time.Millisecond
+		v.OnAck(ackEv(now, 450*time.Millisecond, testMSS))
+	}
+	if v.Cwnd() >= w {
+		t.Errorf("vegas did not shrink under queueing: %d -> %d", w, v.Cwnd())
+	}
+}
+
+func TestVegasAdjustsOncePerRTT(t *testing.T) {
+	v := NewVegas()
+	v.Init(testMSS)
+	v.OnLoss(LossEvent{MSS: testMSS})
+	v.OnAck(ackEv(time.Millisecond, 50*time.Millisecond, testMSS))
+	w := v.Cwnd()
+	// Many acks within one RTT must not each adjust the window.
+	for i := 0; i < 50; i++ {
+		v.OnAck(ackEv(time.Millisecond+time.Duration(i)*100*time.Microsecond, 50*time.Millisecond, testMSS))
+	}
+	if d := v.Cwnd() - w; d > testMSS {
+		t.Errorf("vegas adjusted %d bytes within one RTT, want <= %d", d, testMSS)
+	}
+}
+
+func TestVenoRandomLossGentleCut(t *testing.T) {
+	v := NewVeno()
+	v.Init(testMSS)
+	// Low RTT = empty queue: loss should be judged random (cut to 4/5).
+	v.OnAck(ackEv(time.Second, 50*time.Millisecond, testMSS))
+	w := v.Cwnd()
+	v.OnLoss(LossEvent{MSS: testMSS, RTT: 50 * time.Millisecond, MinRTT: 50 * time.Millisecond})
+	want := w * 4 / 5
+	if got := v.Cwnd(); got != want {
+		t.Errorf("cwnd after random loss = %d, want %d (4/5)", got, want)
+	}
+}
+
+func TestVenoCongestiveLossHalves(t *testing.T) {
+	v := NewVeno()
+	v.Init(testMSS)
+	v.OnAck(ackEv(time.Second, 20*time.Millisecond, testMSS)) // base RTT 20ms
+	// Grow the window so the backlog estimate can exceed the threshold.
+	for i := 0; i < 200; i++ {
+		v.OnAck(ackEv(time.Second+time.Duration(i)*time.Millisecond, 20*time.Millisecond, testMSS))
+	}
+	// Sustained inflated RTTs across several epochs: a large standing queue.
+	now := 2 * time.Second
+	for i := 0; i < 5; i++ {
+		now += 250 * time.Millisecond
+		v.OnAck(ackEv(now, 200*time.Millisecond, testMSS))
+	}
+	w := v.Cwnd()
+	v.OnLoss(LossEvent{MSS: testMSS, RTT: 200 * time.Millisecond, MinRTT: 20 * time.Millisecond})
+	if got := v.Cwnd(); got != w/2 {
+		t.Errorf("cwnd after congestive loss = %d, want %d", got, w/2)
+	}
+}
+
+func TestBBRStartupAndDrain(t *testing.T) {
+	b := NewBBR()
+	b.Init(testMSS)
+	if b.State() != "startup" {
+		t.Fatalf("initial state = %s", b.State())
+	}
+	// Feed acks with growing delivery rate: stays in startup.
+	now := time.Duration(0)
+	rate := 1e6
+	delivered := int64(0)
+	for i := 0; i < 5; i++ {
+		now += 50 * time.Millisecond
+		delivered += 50000
+		b.OnAck(AckEvent{
+			Now: now, RTT: 50 * time.Millisecond, AckedBytes: testMSS,
+			DeliveryRate: rate, TotalDelivered: delivered, MSS: testMSS,
+			Inflight: 10 * testMSS,
+		})
+		rate *= 2
+	}
+	if b.State() != "startup" {
+		t.Fatalf("state with growing bw = %s, want startup", b.State())
+	}
+	// Plateau: three rounds without 25% growth -> drain.
+	for i := 0; i < 10 && b.State() == "startup"; i++ {
+		now += 50 * time.Millisecond
+		delivered += 50000
+		b.OnAck(AckEvent{
+			Now: now, RTT: 50 * time.Millisecond, AckedBytes: testMSS,
+			DeliveryRate: rate, TotalDelivered: delivered, MSS: testMSS,
+			Inflight: 10 * testMSS,
+		})
+	}
+	if b.State() != "drain" {
+		t.Fatalf("state after bw plateau = %s, want drain", b.State())
+	}
+	// Inflight below BDP -> probe_bw.
+	now += 50 * time.Millisecond
+	delivered += 50000
+	b.OnAck(AckEvent{
+		Now: now, RTT: 50 * time.Millisecond, AckedBytes: testMSS,
+		DeliveryRate: rate, TotalDelivered: delivered, MSS: testMSS,
+		Inflight: 0,
+	})
+	if b.State() != "probe_bw" {
+		t.Fatalf("state after drain = %s, want probe_bw", b.State())
+	}
+	if b.PacingRate() <= 0 {
+		t.Error("pacing rate should be positive once bandwidth is measured")
+	}
+}
+
+func TestBBRIgnoresFastRetransmitLoss(t *testing.T) {
+	b := NewBBR()
+	b.Init(testMSS)
+	b.OnAck(AckEvent{Now: time.Second, RTT: 50 * time.Millisecond, AckedBytes: testMSS,
+		DeliveryRate: 1e6, TotalDelivered: 1e5, MSS: testMSS, Inflight: 5 * testMSS})
+	w := b.Cwnd()
+	b.OnLoss(LossEvent{MSS: testMSS}) // not a timeout
+	if b.Cwnd() != w {
+		t.Errorf("BBR reduced cwnd on fast-retransmit loss: %d -> %d", w, b.Cwnd())
+	}
+	b.OnLoss(LossEvent{MSS: testMSS, IsTimeout: true})
+	if b.Cwnd() != bbrMinPipeCwnd*testMSS {
+		t.Errorf("BBR cwnd after timeout = %d, want %d", b.Cwnd(), bbrMinPipeCwnd*testMSS)
+	}
+}
+
+func TestBBRProbeRTT(t *testing.T) {
+	b := NewBBR()
+	b.Init(testMSS)
+	now := time.Duration(0)
+	delivered := int64(0)
+	// Reach probe_bw quickly.
+	for i := 0; i < 20 && b.State() != "probe_bw"; i++ {
+		now += 50 * time.Millisecond
+		delivered += 50000
+		inflight := 10 * testMSS
+		if b.State() == "drain" {
+			inflight = 0
+		}
+		b.OnAck(AckEvent{Now: now, RTT: 50 * time.Millisecond, AckedBytes: testMSS,
+			DeliveryRate: 2e6, TotalDelivered: delivered, MSS: testMSS, Inflight: inflight})
+	}
+	if b.State() != "probe_bw" {
+		t.Skip("did not reach probe_bw")
+	}
+	// Advance 11 seconds without a new min RTT: must enter probe_rtt.
+	now += 11 * time.Second
+	delivered += 50000
+	b.OnAck(AckEvent{Now: now, RTT: 60 * time.Millisecond, AckedBytes: testMSS,
+		DeliveryRate: 2e6, TotalDelivered: delivered, MSS: testMSS, Inflight: 10 * testMSS})
+	if b.State() != "probe_rtt" {
+		t.Fatalf("state after stale min-RTT = %s, want probe_rtt", b.State())
+	}
+	if b.Cwnd() != bbrMinPipeCwnd*testMSS {
+		t.Errorf("probe_rtt cwnd = %d, want %d", b.Cwnd(), bbrMinPipeCwnd*testMSS)
+	}
+	// After the probe interval it returns to probe_bw.
+	now += bbrProbeRTTTime + 50*time.Millisecond
+	delivered += 50000
+	b.OnAck(AckEvent{Now: now, RTT: 60 * time.Millisecond, AckedBytes: testMSS,
+		DeliveryRate: 2e6, TotalDelivered: delivered, MSS: testMSS, Inflight: testMSS})
+	if b.State() != "probe_bw" {
+		t.Errorf("state after probe_rtt = %s, want probe_bw", b.State())
+	}
+}
+
+func TestBBRGainCycling(t *testing.T) {
+	b := NewBBR()
+	b.Init(testMSS)
+	now := time.Duration(0)
+	delivered := int64(0)
+	seen := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		now += 50 * time.Millisecond
+		delivered += 50000
+		inflight := 10 * testMSS
+		if b.State() == "drain" || b.pacingGain == 0.75 {
+			inflight = 0
+		}
+		b.OnAck(AckEvent{Now: now, RTT: 50 * time.Millisecond, AckedBytes: testMSS,
+			DeliveryRate: 2e6, TotalDelivered: delivered, MSS: testMSS, Inflight: inflight})
+		if b.State() == "probe_bw" {
+			seen[b.pacingGain] = true
+		}
+	}
+	if !seen[1.25] || !seen[0.75] || !seen[1.0] {
+		t.Errorf("gain cycle phases seen = %v, want 1.25, 0.75 and 1.0", seen)
+	}
+}
+
+func TestCubicHyStartExitsOnDelayIncrease(t *testing.T) {
+	c := NewCubic()
+	c.EnableHyStart = true
+	c.Init(testMSS)
+	now := time.Duration(0)
+	delivered := int64(0)
+	// Round 1: flat RTTs establish the baseline.
+	feed := func(rtt time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			now += 5 * time.Millisecond
+			delivered += int64(testMSS)
+			// A large inflight keeps rounds long enough to accumulate the
+			// minimum sample count HyStart requires.
+			c.OnAck(AckEvent{
+				Now: now, RTT: rtt, AckedBytes: testMSS, MSS: testMSS,
+				TotalDelivered: delivered, Inflight: 20 * testMSS,
+			})
+		}
+	}
+	// Grow past the HyStart gate (64 segments) with flat RTTs first.
+	feed(40*time.Millisecond, 80)
+	grew := c.Cwnd()
+	if grew < hystartMinCwndSegs*testMSS {
+		t.Fatalf("cwnd %d below the HyStart gate after 80 acks", grew)
+	}
+	// Rounds with sharply higher RTTs: queue building -> HyStart exit.
+	feed(80*time.Millisecond, 60)
+	afterExit := c.Cwnd()
+	feed(80*time.Millisecond, 20)
+	// Post-exit growth is congestion avoidance (slow), not doubling.
+	growth := float64(c.Cwnd()-afterExit) / float64(afterExit)
+	if growth > 0.5 {
+		t.Errorf("cwnd grew %.0f%% after HyStart exit; slow start did not end", growth*100)
+	}
+	if !c.hystartDone {
+		t.Error("HyStart did not latch after the delay increase")
+	}
+}
+
+func TestCubicHyStartNotTriggeredByFlatRTT(t *testing.T) {
+	c := NewCubic()
+	c.EnableHyStart = true
+	c.Init(testMSS)
+	now := time.Duration(0)
+	delivered := int64(0)
+	start := c.Cwnd()
+	for i := 0; i < 60; i++ {
+		now += 5 * time.Millisecond
+		delivered += int64(testMSS)
+		c.OnAck(AckEvent{
+			Now: now, RTT: 40 * time.Millisecond, AckedBytes: testMSS, MSS: testMSS,
+			TotalDelivered: delivered, Inflight: 4 * testMSS,
+		})
+	}
+	// With flat RTTs the exponential growth continues.
+	if c.Cwnd() < 4*start {
+		t.Errorf("cwnd = %d after 60 flat-RTT acks, want continued slow start (>%d)", c.Cwnd(), 4*start)
+	}
+}

@@ -1,0 +1,279 @@
+package cc
+
+import "time"
+
+// BBR v1 constants (Cardwell et al., 2016).
+const (
+	bbrHighGain     = 2.885 // 2/ln(2): startup pacing and cwnd gain
+	bbrDrainGain    = 1 / bbrHighGain
+	bbrCwndGain     = 2.0
+	bbrBtlBwWindow  = 10 // rounds for the max-bandwidth filter
+	bbrRtPropWindow = 10 * time.Second
+	bbrProbeRTTTime = 200 * time.Millisecond
+	bbrMinPipeCwnd  = 4 // segments during PROBE_RTT
+	bbrFullBwThresh = 1.25
+	bbrFullBwRounds = 3
+	bbrGainCycleLen = 8
+)
+
+// bbrState is the BBR state machine phase.
+type bbrState int
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+var bbrPacingGainCycle = [bbrGainCycleLen]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// bwSample is one delivery-rate measurement tagged with its round number.
+type bwSample struct {
+	round int
+	rate  float64
+}
+
+// BBR implements a simplified BBR v1: a model-based controller that paces at
+// the estimated bottleneck bandwidth and caps inflight at a multiple of the
+// bandwidth-delay product. It does not reduce its window on packet loss,
+// which is exactly why the paper finds it the best performer on Starlink's
+// handover-lossy link — and why even BBR only reaches about half the link's
+// UDP capacity there.
+type BBR struct {
+	mss  int
+	cwnd int
+
+	state      bbrState
+	pacingGain float64
+	cwndGain   float64
+
+	// Bottleneck bandwidth (bytes/sec): windowed max over recent rounds,
+	// kept as a ring of per-round maxima.
+	bwRing [bbrBtlBwWindow]bwSample
+	btlBw  float64
+
+	// Round-trip propagation delay: windowed min.
+	rtProp      time.Duration
+	rtPropStamp time.Duration
+
+	// Round accounting.
+	round              int
+	nextRoundDelivered int64
+
+	// Startup full-pipe detection.
+	fullBw       float64
+	fullBwRounds int
+	filledPipe   bool
+
+	// ProbeBW gain cycling.
+	cycleIndex int
+	cycleStamp time.Duration
+
+	// ProbeRTT bookkeeping.
+	probeRTTDone time.Duration
+	savedCwnd    int
+}
+
+// NewBBR returns a BBR controller.
+func NewBBR() *BBR { return &BBR{} }
+
+// Name implements Algorithm.
+func (b *BBR) Name() string { return "bbr" }
+
+// Init implements Algorithm.
+func (b *BBR) Init(mss int) {
+	b.mss = mss
+	b.cwnd = InitialWindowSegments * mss
+	b.state = bbrStartup
+	b.pacingGain = bbrHighGain
+	b.cwndGain = bbrHighGain
+	b.rtProp = 0
+}
+
+// bdpBytes returns gain * estimated bandwidth-delay product.
+func (b *BBR) bdpBytes(gain float64) int {
+	if b.btlBw == 0 || b.rtProp == 0 {
+		return InitialWindowSegments * b.mss
+	}
+	bdp := b.btlBw * b.rtProp.Seconds()
+	return int(gain * bdp)
+}
+
+// updateBtlBw folds a delivery-rate sample into the windowed max filter:
+// each ring slot holds one round's maximum, and the estimate is the max over
+// the last bbrBtlBwWindow rounds.
+func (b *BBR) updateBtlBw(rate float64) {
+	if rate <= 0 {
+		return
+	}
+	idx := b.round % bbrBtlBwWindow
+	if b.bwRing[idx].round != b.round {
+		b.bwRing[idx] = bwSample{round: b.round, rate: rate}
+	} else if rate > b.bwRing[idx].rate {
+		b.bwRing[idx].rate = rate
+	}
+	b.btlBw = 0
+	for _, s := range b.bwRing {
+		if s.round > b.round-bbrBtlBwWindow && s.rate > b.btlBw {
+			b.btlBw = s.rate
+		}
+	}
+}
+
+// OnAck implements Algorithm.
+func (b *BBR) OnAck(ev AckEvent) {
+	// Round accounting: a round ends when a packet sent after the previous
+	// round's end is acknowledged. TotalDelivered is monotone, so this
+	// triggers once per RTT of acked data.
+	roundAdvanced := false
+	if ev.TotalDelivered >= b.nextRoundDelivered {
+		b.round++
+		b.nextRoundDelivered = ev.TotalDelivered + int64(ev.Inflight)
+		roundAdvanced = true
+	}
+
+	b.updateBtlBw(ev.DeliveryRate)
+
+	if ev.RTT > 0 && (b.rtProp == 0 || ev.RTT <= b.rtProp) {
+		b.rtProp = ev.RTT
+		b.rtPropStamp = ev.Now
+	}
+
+	switch b.state {
+	case bbrStartup:
+		// Full-pipe detection is evaluated once per round: three rounds
+		// without ~25% bandwidth growth means the pipe is full.
+		if roundAdvanced {
+			b.checkFullPipe()
+		}
+		if b.filledPipe {
+			b.state = bbrDrain
+			b.pacingGain = bbrDrainGain
+			b.cwndGain = bbrHighGain
+		}
+	case bbrDrain:
+		if ev.Inflight <= b.bdpBytes(1.0) {
+			b.enterProbeBW(ev.Now)
+		}
+	case bbrProbeBW:
+		b.advanceCycle(ev)
+	case bbrProbeRTT:
+		if ev.Now >= b.probeRTTDone {
+			b.rtPropStamp = ev.Now
+			if b.filledPipe {
+				b.enterProbeBW(ev.Now)
+			} else {
+				b.state = bbrStartup
+				b.pacingGain = bbrHighGain
+				b.cwndGain = bbrHighGain
+			}
+			if b.savedCwnd > 0 {
+				b.cwnd = b.savedCwnd
+				b.savedCwnd = 0
+			}
+		}
+	}
+
+	// Expired min-RTT: probe for it.
+	if b.state != bbrProbeRTT && b.rtProp > 0 && ev.Now-b.rtPropStamp > bbrRtPropWindow {
+		b.state = bbrProbeRTT
+		b.pacingGain = 1
+		b.cwndGain = 1
+		b.savedCwnd = b.cwnd
+		b.probeRTTDone = ev.Now + bbrProbeRTTTime
+	}
+
+	// Set cwnd from the model.
+	if b.state == bbrProbeRTT {
+		b.cwnd = bbrMinPipeCwnd * b.mss
+		return
+	}
+	target := b.bdpBytes(b.cwndGain)
+	if target < bbrMinPipeCwnd*b.mss {
+		target = bbrMinPipeCwnd * b.mss
+	}
+	if b.state == bbrStartup {
+		// During startup the model lags reality by design (the bandwidth
+		// estimate is still ramping), so the window also grows slow-start
+		// style by the acked bytes.
+		grown := b.cwnd + ev.AckedBytes
+		if grown > target {
+			target = grown
+		}
+	}
+	b.cwnd = target
+}
+
+func (b *BBR) checkFullPipe() {
+	if b.filledPipe || b.btlBw == 0 {
+		return
+	}
+	if b.btlBw >= b.fullBw*bbrFullBwThresh {
+		b.fullBw = b.btlBw
+		b.fullBwRounds = 0
+		return
+	}
+	b.fullBwRounds++
+	if b.fullBwRounds >= bbrFullBwRounds {
+		b.filledPipe = true
+	}
+}
+
+func (b *BBR) enterProbeBW(now time.Duration) {
+	b.state = bbrProbeBW
+	b.cwndGain = bbrCwndGain
+	b.cycleIndex = 0
+	b.cycleStamp = now
+	b.pacingGain = bbrPacingGainCycle[b.cycleIndex]
+}
+
+func (b *BBR) advanceCycle(ev AckEvent) {
+	if b.rtProp == 0 || ev.Now-b.cycleStamp < b.rtProp {
+		return
+	}
+	// The 0.75 drain phase may end early once inflight falls to the BDP.
+	if bbrPacingGainCycle[b.cycleIndex] == 0.75 && ev.Inflight > b.bdpBytes(1.0) {
+		return
+	}
+	b.cycleIndex = (b.cycleIndex + 1) % bbrGainCycleLen
+	b.cycleStamp = ev.Now
+	b.pacingGain = bbrPacingGainCycle[b.cycleIndex]
+}
+
+// OnLoss implements Algorithm. BBR v1 deliberately does not treat packet
+// loss as a congestion signal; only a retransmission timeout collapses the
+// window (rfc-style conservation), after which the model rebuilds it.
+func (b *BBR) OnLoss(ev LossEvent) {
+	if ev.IsTimeout {
+		b.savedCwnd = b.cwnd
+		b.cwnd = bbrMinPipeCwnd * b.mss
+	}
+}
+
+// Cwnd implements Algorithm.
+func (b *BBR) Cwnd() int { return b.cwnd }
+
+// PacingRate implements Algorithm: pacing_gain x btlBw, in bytes/second.
+func (b *BBR) PacingRate() float64 {
+	if b.btlBw == 0 {
+		return 0 // not yet measured; sender falls back to window pacing
+	}
+	return b.pacingGain * b.btlBw
+}
+
+// State returns a short name for the current phase, for debugging and tests.
+func (b *BBR) State() string {
+	switch b.state {
+	case bbrStartup:
+		return "startup"
+	case bbrDrain:
+		return "drain"
+	case bbrProbeBW:
+		return "probe_bw"
+	case bbrProbeRTT:
+		return "probe_rtt"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,96 @@
+// Package cc implements the five TCP congestion-control algorithms the paper
+// stress-tests on its Raspberry Pi measurement nodes (Figure 8): Reno, CUBIC,
+// BBR (v1), Vegas and Veno, together with the sender/receiver machinery that
+// runs them over a netsim path.
+//
+// The implementations follow the published algorithms closely enough to
+// reproduce their qualitative behaviour under Starlink's bursty handover
+// loss: BBR's rate-based probing rides through loss bursts that collapse the
+// window-halving algorithms, while Vegas' delay sensitivity keeps it
+// persistently below capacity.
+package cc
+
+import (
+	"fmt"
+	"time"
+)
+
+// AckEvent carries the information an algorithm receives when new data is
+// cumulatively acknowledged.
+type AckEvent struct {
+	Now        time.Duration // simulated time
+	RTT        time.Duration // sample from the acked packet (0 if invalid)
+	MinRTT     time.Duration // connection minimum so far
+	AckedBytes int           // newly acknowledged bytes
+	Inflight   int           // bytes outstanding after this ack
+	// DeliveryRate is the sampled delivery rate in bytes/second attributed
+	// to the acked packet (Linux-style rate sampling), 0 if unavailable.
+	DeliveryRate float64
+	// TotalDelivered is the connection's cumulative delivered byte count,
+	// used by BBR for round accounting.
+	TotalDelivered int64
+	MSS            int
+	// InRecovery reports whether the sender is in fast recovery.
+	InRecovery bool
+}
+
+// LossEvent carries the information an algorithm receives when loss is
+// detected.
+type LossEvent struct {
+	Now       time.Duration
+	IsTimeout bool // retransmission timeout rather than fast retransmit
+	Inflight  int
+	MSS       int
+	// RTT and MinRTT let loss-differentiating algorithms (Veno) judge
+	// whether the network was congested when the loss happened.
+	RTT    time.Duration
+	MinRTT time.Duration
+}
+
+// Algorithm is a pluggable congestion controller. Implementations are not
+// safe for concurrent use; each flow owns its instance.
+type Algorithm interface {
+	// Name returns the algorithm's name as used in the paper's Figure 8.
+	Name() string
+	// Init tells the algorithm the flow's MSS and lets it set its initial
+	// window.
+	Init(mss int)
+	// OnAck is invoked for every cumulative-ack advance.
+	OnAck(ev AckEvent)
+	// OnLoss is invoked once per loss event (not per lost packet).
+	OnLoss(ev LossEvent)
+	// Cwnd returns the congestion window in bytes.
+	Cwnd() int
+	// PacingRate returns the sending rate in bytes/second for paced
+	// algorithms (BBR), or 0 for pure window-based algorithms.
+	PacingRate() float64
+}
+
+// New constructs an algorithm by name: "reno", "cubic", "bbr", "vegas" or
+// "veno".
+func New(name string) (Algorithm, error) {
+	switch name {
+	case "reno":
+		return NewReno(), nil
+	case "cubic":
+		return NewCubic(), nil
+	case "bbr":
+		return NewBBR(), nil
+	case "vegas":
+		return NewVegas(), nil
+	case "veno":
+		return NewVeno(), nil
+	default:
+		return nil, fmt.Errorf("cc: unknown algorithm %q", name)
+	}
+}
+
+// Names lists the available algorithms in the order the paper plots them.
+func Names() []string { return []string{"bbr", "cubic", "reno", "veno", "vegas"} }
+
+const (
+	// InitialWindowSegments is the standard IW10 initial window.
+	InitialWindowSegments = 10
+	// MinCwndSegments is the floor most algorithms keep after decreases.
+	MinCwndSegments = 2
+)

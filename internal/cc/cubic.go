@@ -1,0 +1,188 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// CUBIC constants from RFC 8312.
+const (
+	cubicC    = 0.4 // scaling constant (segments/sec^3)
+	cubicBeta = 0.7 // multiplicative decrease factor
+
+	// HyStart delay-increase detection (Ha & Rhee, 2008): slow start exits
+	// once a round's minimum RTT rises clearly above the previous round's,
+	// instead of blasting until loss. The thresholds are deliberately
+	// conservative — jittery links (the Starlink bent pipe) otherwise
+	// false-trigger at tiny windows and cripple the ramp, the failure mode
+	// HyStart++ (RFC 9406) was designed around.
+	hystartMinSamples = 16
+	hystartDelayFloor = 8 * time.Millisecond
+	// hystartMinCwndSegs gates the heuristic until the window is large
+	// enough that a delay rise means a standing queue, not noise.
+	hystartMinCwndSegs = 64
+)
+
+// Cubic implements TCP CUBIC (RFC 8312): the window grows as a cubic
+// function of time since the last decrease, anchored at the window size
+// where the loss occurred, with a TCP-friendly (Reno-tracking) lower bound.
+//
+// An optional HyStart slow-start exit is included but disabled by default:
+// on the Starlink bent pipe the per-packet scheduling jitter looks exactly
+// like the queue growth HyStart watches for, so it exits slow start at tiny
+// windows and cripples the ramp — the same false-trigger behaviour real
+// Linux HyStart exhibits on jittery links.
+type Cubic struct {
+	mss      int
+	cwnd     int
+	ssthresh int
+
+	// EnableHyStart turns on the delay-increase slow-start exit. Leave it
+	// off for links with heavy per-packet jitter.
+	EnableHyStart bool
+
+	wMax       float64       // window (segments) at last loss
+	k          float64       // time (sec) to reach wMax again
+	epochStart time.Duration // time of last decrease; -1 if no epoch
+	ackCount   float64       // acked segments since epoch start (for Reno est.)
+	wTCP       float64       // Reno-equivalent window estimate (segments)
+
+	// HyStart state (active only in the initial slow start).
+	hystartDone        bool
+	nextRoundDelivered int64
+	roundMinRTT        time.Duration
+	roundSamples       int
+	lastRoundMinRTT    time.Duration
+}
+
+// NewCubic returns a CUBIC controller.
+func NewCubic() *Cubic { return &Cubic{} }
+
+// Name implements Algorithm.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Init implements Algorithm.
+func (c *Cubic) Init(mss int) {
+	c.mss = mss
+	c.cwnd = InitialWindowSegments * mss
+	c.ssthresh = 1 << 30
+	c.epochStart = -1
+}
+
+// hystart runs the delay-increase heuristic during slow start. It returns
+// true when slow start should end now.
+func (c *Cubic) hystart(ev AckEvent) bool {
+	if !c.EnableHyStart || c.hystartDone || ev.RTT <= 0 {
+		return false
+	}
+	if c.cwnd < hystartMinCwndSegs*c.mss {
+		return false
+	}
+	if ev.RTT < c.roundMinRTT || c.roundMinRTT == 0 {
+		c.roundMinRTT = ev.RTT
+	}
+	c.roundSamples++
+	if ev.TotalDelivered < c.nextRoundDelivered {
+		return false
+	}
+	// Round boundary: compare this round's floor to the previous one's.
+	c.nextRoundDelivered = ev.TotalDelivered + int64(ev.Inflight)
+	exit := false
+	if c.lastRoundMinRTT > 0 && c.roundSamples >= hystartMinSamples {
+		threshold := c.lastRoundMinRTT / 4
+		if threshold < hystartDelayFloor {
+			threshold = hystartDelayFloor
+		}
+		if c.roundMinRTT >= c.lastRoundMinRTT+threshold {
+			exit = true
+		}
+	}
+	c.lastRoundMinRTT = c.roundMinRTT
+	c.roundMinRTT = 0
+	c.roundSamples = 0
+	return exit
+}
+
+// OnAck implements Algorithm.
+func (c *Cubic) OnAck(ev AckEvent) {
+	if ev.InRecovery {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		if c.hystart(ev) {
+			// Queue growth detected: leave slow start here rather than
+			// overshooting until loss.
+			c.hystartDone = true
+			c.ssthresh = c.cwnd
+			return
+		}
+		c.cwnd += ev.AckedBytes
+		if c.cwnd > c.ssthresh {
+			c.cwnd = c.ssthresh
+		}
+		return
+	}
+
+	if c.epochStart < 0 {
+		c.epochStart = ev.Now
+		cur := float64(c.cwnd) / float64(c.mss)
+		if cur < c.wMax {
+			c.k = math.Cbrt((c.wMax - cur) / cubicC)
+		} else {
+			c.k = 0
+			c.wMax = cur
+		}
+		c.ackCount = 0
+		c.wTCP = cur
+	}
+
+	t := (ev.Now - c.epochStart).Seconds()
+	// Target window one RTT in the future, per RFC 8312 §4.1.
+	rtt := ev.RTT.Seconds()
+	target := cubicC*math.Pow(t+rtt-c.k, 3) + c.wMax
+
+	// TCP-friendly region: estimate the window Reno would have.
+	c.ackCount += float64(ev.AckedBytes) / float64(c.mss)
+	// Reno adds one segment per window's worth of acks.
+	c.wTCP += c.ackCount / (float64(c.cwnd) / float64(c.mss))
+	c.ackCount = 0
+	if target < c.wTCP {
+		target = c.wTCP
+	}
+
+	cur := float64(c.cwnd) / float64(c.mss)
+	if target > cur {
+		// Spread the increase over the acks of one window.
+		inc := (target - cur) / cur * float64(c.mss)
+		c.cwnd += maxInt(1, int(inc))
+	} else {
+		c.cwnd++ // minimal growth to stay responsive
+	}
+}
+
+// OnLoss implements Algorithm.
+func (c *Cubic) OnLoss(ev LossEvent) {
+	cur := float64(c.cwnd) / float64(c.mss)
+	// Fast convergence (RFC 8312 §4.6).
+	if cur < c.wMax {
+		c.wMax = cur * (1 + cubicBeta) / 2
+	} else {
+		c.wMax = cur
+	}
+	c.epochStart = -1
+
+	c.hystartDone = true // any loss ends the initial slow start for good
+	if ev.IsTimeout {
+		c.ssthresh = maxInt(int(cur*cubicBeta)*c.mss, MinCwndSegments*c.mss)
+		c.cwnd = c.mss
+		return
+	}
+	c.cwnd = maxInt(int(cur*cubicBeta)*c.mss, MinCwndSegments*c.mss)
+	c.ssthresh = c.cwnd
+}
+
+// Cwnd implements Algorithm.
+func (c *Cubic) Cwnd() int { return c.cwnd }
+
+// PacingRate implements Algorithm; CUBIC is window-based.
+func (c *Cubic) PacingRate() float64 { return 0 }

@@ -1,0 +1,252 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"starlinkview/internal/netsim"
+)
+
+// buildPath creates a simple 3-node path: client -- access -- server,
+// with the given access rate, one-way delay and loss probability.
+func buildPath(t *testing.T, sim *netsim.Sim, rateBps float64, delay time.Duration, lossProb float64) *netsim.Path {
+	t.Helper()
+	nodes := []*netsim.Node{
+		netsim.NewNode("client", ""),
+		netsim.NewNode("router", ""),
+		netsim.NewNode("server", ""),
+	}
+	var lossFn func(netsim.Time, *netsim.Packet) bool
+	if lossProb > 0 {
+		lossFn = func(_ netsim.Time, _ *netsim.Packet) bool {
+			return sim.Rand().Float64() < lossProb
+		}
+	}
+	// The bottleneck queue is one BDP deep.
+	queue := int(rateBps / 8 * delay.Seconds() * 2)
+	if queue < 20000 {
+		queue = 20000
+	}
+	specs := []netsim.LinkSpec{
+		{RateBps: rateBps, Delay: delay / 2, QueueByte: queue, LossFn: lossFn},
+		{RateBps: 10 * rateBps, Delay: delay / 2},
+	}
+	p, err := netsim.NewPath(nodes, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runFlow(t *testing.T, algo string, rateBps float64, delay time.Duration, lossProb float64, dur time.Duration) FlowStats {
+	t.Helper()
+	sim := netsim.NewSim(99)
+	path := buildPath(t, sim, rateBps, delay, lossProb)
+	a, err := New(algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFlow(sim, path, FlowConfig{Algorithm: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	sim.RunUntil(dur)
+	f.Stop()
+	return f.Stats()
+}
+
+func TestFlowValidation(t *testing.T) {
+	sim := netsim.NewSim(1)
+	path := buildPath(t, sim, 1e6, 10*time.Millisecond, 0)
+	if _, err := NewFlow(sim, path, FlowConfig{}); err == nil {
+		t.Error("want error for missing algorithm")
+	}
+	if _, err := NewFlow(sim, path, FlowConfig{Algorithm: NewReno(), MSS: -1}); err == nil {
+		t.Error("want error for negative MSS")
+	}
+}
+
+func TestFlowFillsCleanLink(t *testing.T) {
+	// On a clean 20 Mbps, 40 ms path every loss-based algorithm should
+	// reach most of the link rate within a few seconds.
+	for _, algo := range []string{"reno", "cubic", "bbr"} {
+		st := runFlow(t, algo, 20e6, 40*time.Millisecond, 0, 10*time.Second)
+		gp := st.GoodputBps()
+		if gp < 0.65*20e6 {
+			t.Errorf("%s: goodput %.1f Mbps on clean 20 Mbps link", algo, gp/1e6)
+		}
+		if gp > 20e6 {
+			t.Errorf("%s: goodput %.1f Mbps exceeds link rate", algo, gp/1e6)
+		}
+	}
+}
+
+func TestFlowRandomLossDegradesLossBased(t *testing.T) {
+	clean := runFlow(t, "reno", 20e6, 40*time.Millisecond, 0, 10*time.Second)
+	lossy := runFlow(t, "reno", 20e6, 40*time.Millisecond, 0.01, 10*time.Second)
+	if lossy.GoodputBps() >= clean.GoodputBps() {
+		t.Errorf("reno goodput did not degrade under loss: clean %.1f vs lossy %.1f Mbps",
+			clean.GoodputBps()/1e6, lossy.GoodputBps()/1e6)
+	}
+	if lossy.RetransPackets == 0 {
+		t.Error("no retransmissions recorded on lossy link")
+	}
+	if lossy.FastRecoveries == 0 {
+		t.Error("no fast recoveries recorded on lossy link")
+	}
+}
+
+func TestFlowBBRBeatsRenoUnderLoss(t *testing.T) {
+	// The core Figure 8 effect: under random loss BBR sustains much more
+	// throughput than Reno.
+	reno := runFlow(t, "reno", 20e6, 40*time.Millisecond, 0.02, 10*time.Second)
+	bbr := runFlow(t, "bbr", 20e6, 40*time.Millisecond, 0.02, 10*time.Second)
+	if bbr.GoodputBps() < 1.5*reno.GoodputBps() {
+		t.Errorf("BBR %.1f Mbps not clearly ahead of Reno %.1f Mbps under 2%% loss",
+			bbr.GoodputBps()/1e6, reno.GoodputBps()/1e6)
+	}
+}
+
+func TestFlowLimitedTransferCompletes(t *testing.T) {
+	sim := netsim.NewSim(5)
+	path := buildPath(t, sim, 10e6, 30*time.Millisecond, 0)
+	done := false
+	f, err := NewFlow(sim, path, FlowConfig{Algorithm: NewCubic(), LimitBytes: 500000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.OnDone = func() { done = true }
+	f.Start()
+	sim.Run()
+	if !done {
+		t.Fatal("transfer did not complete")
+	}
+	if st := f.Stats(); st.DeliveredBytes != 500000 {
+		t.Errorf("delivered = %d, want 500000", st.DeliveredBytes)
+	}
+}
+
+func TestFlowLimitedTransferCompletesUnderLoss(t *testing.T) {
+	sim := netsim.NewSim(5)
+	path := buildPath(t, sim, 10e6, 30*time.Millisecond, 0.05)
+	done := false
+	f, err := NewFlow(sim, path, FlowConfig{Algorithm: NewReno(), LimitBytes: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.OnDone = func() { done = true }
+	f.Start()
+	sim.RunUntil(5 * time.Minute)
+	if !done {
+		t.Fatalf("lossy transfer did not complete; delivered %d", f.Stats().DeliveredBytes)
+	}
+}
+
+func TestFlowRTTMeasurement(t *testing.T) {
+	st := runFlow(t, "cubic", 50e6, 40*time.Millisecond, 0, 3*time.Second)
+	// One-way delay is 40ms (20ms per link), so the base RTT is 80ms plus
+	// small serialisation; min RTT should be close to it.
+	if st.MinRTT < 80*time.Millisecond || st.MinRTT > 90*time.Millisecond {
+		t.Errorf("min RTT = %v, want ~80ms", st.MinRTT)
+	}
+	if st.SRTT < st.MinRTT {
+		t.Errorf("srtt %v below min rtt %v", st.SRTT, st.MinRTT)
+	}
+}
+
+func TestFlowDeterminism(t *testing.T) {
+	run := func() int64 {
+		sim := netsim.NewSim(1234)
+		path := buildPath(t, sim, 20e6, 40*time.Millisecond, 0.01)
+		a, _ := New("cubic")
+		f, _ := NewFlow(sim, path, FlowConfig{Algorithm: a})
+		f.Start()
+		sim.RunUntil(5 * time.Second)
+		f.Stop()
+		return f.Stats().DeliveredBytes
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic flow: %d vs %d", a, b)
+	}
+}
+
+func TestFlowRecoversFromTimeout(t *testing.T) {
+	// A brutal outage (100% loss for a second) forces an RTO; the flow must
+	// recover and finish afterwards.
+	sim := netsim.NewSim(3)
+	nodes := []*netsim.Node{
+		netsim.NewNode("client", ""),
+		netsim.NewNode("server", ""),
+	}
+	blackout := func(now netsim.Time, _ *netsim.Packet) bool {
+		return now > 500*time.Millisecond && now < 1500*time.Millisecond
+	}
+	specs := []netsim.LinkSpec{{RateBps: 10e6, Delay: 20 * time.Millisecond, LossFn: blackout}}
+	path, err := netsim.NewPath(nodes, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFlow(sim, path, FlowConfig{Algorithm: NewReno(), LimitBytes: 3_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	f.OnDone = func() { done = true }
+	f.Start()
+	sim.RunUntil(2 * time.Minute)
+	if f.Stats().Timeouts == 0 {
+		t.Error("blackout did not cause an RTO")
+	}
+	if !done {
+		t.Errorf("flow did not recover after blackout; delivered %d", f.Stats().DeliveredBytes)
+	}
+}
+
+func TestGoodputBpsZeroDuration(t *testing.T) {
+	var st FlowStats
+	if st.GoodputBps() != 0 {
+		t.Error("zero-duration goodput should be 0")
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	// Two cubic flows over one bottleneck converge to roughly equal shares
+	// — the classic congestion-control sanity check.
+	sim := netsim.NewSim(17)
+	path := buildPath(t, sim, 40e6, 40*time.Millisecond, 0)
+	a1, _ := New("cubic")
+	a2, _ := New("cubic")
+	f1, err := NewFlow(sim, path, FlowConfig{Algorithm: a1, SrcPort: 41001, DstPort: 41002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewFlow(sim, path, FlowConfig{Algorithm: a2, SrcPort: 41003, DstPort: 41004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1.Start()
+	sim.RunUntil(2 * time.Second) // f1 grabs the link first
+	f2.Start()
+	sim.RunUntil(30 * time.Second)
+	f1.Stop()
+	f2.Stop()
+
+	// Compare deliveries over the shared period only.
+	d1 := f1.Stats().DeliveredBytes
+	d2 := f2.Stats().DeliveredBytes
+	if d2 == 0 {
+		t.Fatal("second flow starved completely")
+	}
+	ratio := float64(d1) / float64(d2)
+	// f1 has a 2s head start, so some skew is expected; an order-of-
+	// magnitude imbalance would mean broken fairness.
+	if ratio > 3 || ratio < 0.5 {
+		t.Errorf("fairness ratio = %.2f (d1=%d d2=%d), want within [0.5, 3]", ratio, d1, d2)
+	}
+	// Together they should saturate most of the link.
+	total := float64(d1+d2) * 8 / 30
+	if total < 0.6*40e6 {
+		t.Errorf("aggregate %.1f Mbps on a 40 Mbps link", total/1e6)
+	}
+}

@@ -1,0 +1,69 @@
+package cc
+
+// Reno is TCP NewReno's congestion controller: slow start to ssthresh,
+// additive increase of one segment per RTT in congestion avoidance, and
+// multiplicative decrease to half on loss.
+type Reno struct {
+	mss      int
+	cwnd     int
+	ssthresh int
+}
+
+// NewReno returns a Reno controller.
+func NewReno() *Reno { return &Reno{} }
+
+// Name implements Algorithm.
+func (r *Reno) Name() string { return "reno" }
+
+// Init implements Algorithm.
+func (r *Reno) Init(mss int) {
+	r.mss = mss
+	r.cwnd = InitialWindowSegments * mss
+	r.ssthresh = 1 << 30 // effectively unbounded until first loss
+}
+
+// OnAck implements Algorithm.
+func (r *Reno) OnAck(ev AckEvent) {
+	if ev.InRecovery {
+		return // window frozen during fast recovery
+	}
+	if r.cwnd < r.ssthresh {
+		// Slow start: one segment per acked segment.
+		r.cwnd += ev.AckedBytes
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+		return
+	}
+	// Congestion avoidance: cwnd += mss*mss/cwnd per ack, i.e. one segment
+	// per window.
+	inc := r.mss * r.mss / r.cwnd
+	if inc < 1 {
+		inc = 1
+	}
+	r.cwnd += inc
+}
+
+// OnLoss implements Algorithm.
+func (r *Reno) OnLoss(ev LossEvent) {
+	if ev.IsTimeout {
+		r.ssthresh = maxInt(r.cwnd/2, MinCwndSegments*r.mss)
+		r.cwnd = r.mss
+		return
+	}
+	r.ssthresh = maxInt(r.cwnd/2, MinCwndSegments*r.mss)
+	r.cwnd = r.ssthresh
+}
+
+// Cwnd implements Algorithm.
+func (r *Reno) Cwnd() int { return r.cwnd }
+
+// PacingRate implements Algorithm; Reno is purely window-based.
+func (r *Reno) PacingRate() float64 { return 0 }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package cc
+
+import "time"
+
+// Vegas parameters (in segments of backlog).
+const (
+	vegasAlpha = 2
+	vegasBeta  = 4
+)
+
+// Vegas implements TCP Vegas: a delay-based controller that keeps between
+// alpha and beta segments queued in the network, estimated from the gap
+// between expected (cwnd/baseRTT) and actual (cwnd/RTT) throughput.
+//
+// Under Starlink's fluctuating bent-pipe delay, the base-RTT estimate is
+// frequently stale and the controller backs off aggressively — the paper's
+// Figure 8 shows Vegas achieving the lowest normalised throughput of the
+// five algorithms.
+type Vegas struct {
+	mss      int
+	cwnd     int
+	ssthresh int
+
+	baseRTT    time.Duration
+	lastAdjust time.Duration // last once-per-RTT window adjustment
+	// epochMin is the smallest RTT sample seen since the last adjustment;
+	// Brakmo's Vegas filters per-ack jitter by using the per-epoch minimum
+	// rather than instantaneous samples.
+	epochMin time.Duration
+}
+
+// NewVegas returns a Vegas controller.
+func NewVegas() *Vegas { return &Vegas{} }
+
+// Name implements Algorithm.
+func (v *Vegas) Name() string { return "vegas" }
+
+// Init implements Algorithm.
+func (v *Vegas) Init(mss int) {
+	v.mss = mss
+	v.cwnd = InitialWindowSegments * mss
+	v.ssthresh = 1 << 30
+}
+
+// OnAck implements Algorithm.
+func (v *Vegas) OnAck(ev AckEvent) {
+	if ev.RTT > 0 && (v.baseRTT == 0 || ev.RTT < v.baseRTT) {
+		v.baseRTT = ev.RTT
+	}
+	if ev.RTT > 0 && (v.epochMin == 0 || ev.RTT < v.epochMin) {
+		v.epochMin = ev.RTT
+	}
+	if ev.InRecovery || ev.RTT <= 0 || v.baseRTT <= 0 {
+		return
+	}
+
+	// Adjust at most once per RTT, using the epoch's minimum RTT so a few
+	// jittered samples do not masquerade as standing queue.
+	if ev.Now-v.lastAdjust < ev.RTT {
+		return
+	}
+	v.lastAdjust = ev.Now
+	rtt := v.epochMin
+	if rtt == 0 {
+		rtt = ev.RTT
+	}
+	v.epochMin = 0
+
+	// diff = cwnd * (RTT - baseRTT) / RTT, in segments: the number of
+	// segments sitting in queues.
+	cwndSeg := float64(v.cwnd) / float64(v.mss)
+	diff := cwndSeg * float64(rtt-v.baseRTT) / float64(rtt)
+
+	if v.cwnd < v.ssthresh {
+		// Vegas slow start: grow every other RTT; leave early if queueing
+		// appears.
+		if diff > vegasBeta {
+			v.ssthresh = v.cwnd
+			return
+		}
+		v.cwnd += ev.MSS * int(cwndSeg) / 2
+		return
+	}
+
+	switch {
+	case diff < vegasAlpha:
+		v.cwnd += v.mss
+	case diff > vegasBeta:
+		v.cwnd -= v.mss
+		if v.cwnd < MinCwndSegments*v.mss {
+			v.cwnd = MinCwndSegments * v.mss
+		}
+	}
+}
+
+// OnLoss implements Algorithm.
+func (v *Vegas) OnLoss(ev LossEvent) {
+	if ev.IsTimeout {
+		v.ssthresh = maxInt(v.cwnd/2, MinCwndSegments*v.mss)
+		v.cwnd = v.mss
+		return
+	}
+	v.ssthresh = maxInt(v.cwnd/2, MinCwndSegments*v.mss)
+	v.cwnd = v.ssthresh
+}
+
+// Cwnd implements Algorithm.
+func (v *Vegas) Cwnd() int { return v.cwnd }
+
+// PacingRate implements Algorithm; Vegas is window-based.
+func (v *Vegas) PacingRate() float64 { return 0 }

@@ -1,0 +1,118 @@
+package cc
+
+import "time"
+
+// venoBeta is the queue-backlog threshold (segments) separating random loss
+// from congestive loss in Veno's heuristic.
+const venoBeta = 3
+
+// Veno implements TCP Veno (Fu & Liew, 2003): Reno's window dynamics
+// augmented with Vegas' backlog estimate to distinguish random (wireless)
+// loss from congestive loss. When a loss occurs while the estimated backlog
+// is small, the window is reduced by only 1/5 instead of 1/2.
+//
+// Veno targets exactly the regime the paper measures — lossy wireless access
+// links — which is why it is in the Figure 8 comparison set.
+type Veno struct {
+	mss      int
+	cwnd     int
+	ssthresh int
+
+	baseRTT time.Duration
+	lastRTT time.Duration
+	// epochMin filters per-ack jitter like Vegas: the backlog estimate uses
+	// the minimum RTT observed over the last RTT's worth of acks.
+	epochMin   time.Duration
+	lastUpdate time.Duration
+
+	// diff is the most recent backlog estimate in segments.
+	diff float64
+	// ackCredit alternates congestion-avoidance growth when the backlog is
+	// high (grow every other window, per the Veno paper).
+	ackCredit int
+}
+
+// NewVeno returns a Veno controller.
+func NewVeno() *Veno { return &Veno{} }
+
+// Name implements Algorithm.
+func (v *Veno) Name() string { return "veno" }
+
+// Init implements Algorithm.
+func (v *Veno) Init(mss int) {
+	v.mss = mss
+	v.cwnd = InitialWindowSegments * mss
+	v.ssthresh = 1 << 30
+}
+
+func (v *Veno) updateBacklog(now, rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if v.baseRTT == 0 || rtt < v.baseRTT {
+		v.baseRTT = rtt
+	}
+	if v.epochMin == 0 || rtt < v.epochMin {
+		v.epochMin = rtt
+	}
+	v.lastRTT = rtt
+	if now-v.lastUpdate < rtt {
+		return
+	}
+	v.lastUpdate = now
+	cwndSeg := float64(v.cwnd) / float64(v.mss)
+	v.diff = cwndSeg * float64(v.epochMin-v.baseRTT) / float64(v.epochMin)
+	v.epochMin = 0
+}
+
+// OnAck implements Algorithm.
+func (v *Veno) OnAck(ev AckEvent) {
+	v.updateBacklog(ev.Now, ev.RTT)
+	if ev.InRecovery {
+		return
+	}
+	if v.cwnd < v.ssthresh {
+		v.cwnd += ev.AckedBytes
+		if v.cwnd > v.ssthresh {
+			v.cwnd = v.ssthresh
+		}
+		return
+	}
+	// Congestion avoidance. With a small backlog grow like Reno; with a
+	// large one, grow half as fast.
+	inc := v.mss * v.mss / v.cwnd
+	if inc < 1 {
+		inc = 1
+	}
+	if v.diff < venoBeta {
+		v.cwnd += inc
+		return
+	}
+	v.ackCredit++
+	if v.ackCredit%2 == 0 {
+		v.cwnd += inc
+	}
+}
+
+// OnLoss implements Algorithm.
+func (v *Veno) OnLoss(ev LossEvent) {
+	if ev.IsTimeout {
+		v.ssthresh = maxInt(v.cwnd/2, MinCwndSegments*v.mss)
+		v.cwnd = v.mss
+		return
+	}
+	if v.diff < venoBeta {
+		// Random loss: cut by 1/5 only.
+		v.ssthresh = maxInt(v.cwnd*4/5, MinCwndSegments*v.mss)
+	} else {
+		// Congestive loss: behave like Reno.
+		v.ssthresh = maxInt(v.cwnd/2, MinCwndSegments*v.mss)
+	}
+	v.cwnd = v.ssthresh
+}
+
+// Cwnd implements Algorithm.
+func (v *Veno) Cwnd() int { return v.cwnd }
+
+// PacingRate implements Algorithm; Veno is window-based.
+func (v *Veno) PacingRate() float64 { return 0 }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestCalibration prints every experiment's headline numbers next to the
+// paper's. It only runs when STARLINKVIEW_CALIBRATE=1, since it is a
+// human-inspection harness rather than an assertion suite.
+func TestCalibration(t *testing.T) {
+	if os.Getenv("STARLINKVIEW_CALIBRATE") == "" {
+		t.Skip("set STARLINKVIEW_CALIBRATE=1 to run")
+	}
+	cfg := QuickConfig()
+	cfg.BrowsingDays = 150
+	cfg.Planes = 72
+	cfg.Scale = 0.5
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t1, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("== Table 1 (paper: London 327/443, Seattle 395/566, Sydney 622/675) ==")
+	for _, r := range t1 {
+		fmt.Printf("%-10s SL: %5d req %4d dom %6.1f ms | non-SL: %5d req %4d dom %6.1f ms\n",
+			r.City, r.StarlinkReqs, r.StarlinkDomains, r.StarlinkMedianPTT,
+			r.NonSLReqs, r.NonSLDomains, r.NonSLMedianPTT)
+	}
+
+	f3, err := s.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("== Figure 3 medians (paper: PTT increases slightly after move to SpaceX AS) ==")
+	for _, sr := range f3 {
+		fmt.Printf("%-8s popular=%-5v AS%d: median %6.1f ms (n=%d)\n", sr.City, sr.Popular, sr.ASN, sr.Median, sr.N)
+	}
+
+	f4, err := s.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("== Figure 4 (paper: clear 470.5 -> moderate rain 931.5 ms) ==")
+	for _, r := range f4 {
+		fmt.Printf("%-18s median %6.1f ms (n=%d)\n", r.Condition, r.Summary.Median, r.Summary.N)
+	}
+
+	f5, err := s.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("== Figure 5 (mean RTT per hop, ms) ==")
+	for kind, hops := range f5 {
+		fmt.Printf("%-10s:", kind)
+		for _, h := range hops {
+			fmt.Printf(" %5.1f", h.MeanMs)
+		}
+		fmt.Println()
+	}
+
+	t2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("== Table 2 (paper: NC 48.3/72.4, London 24.3/33.5, Barcelona 16.5/18.2 median ms) ==")
+	for _, r := range t2 {
+		fmt.Printf("%-14s wireless %5.1f|%5.1f|%5.1f  whole %5.1f|%5.1f|%5.1f\n",
+			r.City, r.Wireless.MinMs, r.Wireless.MedianMs, r.Wireless.MaxMs,
+			r.Whole.MinMs, r.Whole.MedianMs, r.Whole.MaxMs)
+	}
+
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("== Table 3 (paper: London 123.2/11.3, Seattle 90.3/6.6, Toronto 65.8/6.9, Warsaw 44.9/7.7) ==")
+	for _, r := range t3 {
+		fmt.Printf("%-10s %6.1f down %5.1f up (n=%d)\n", r.City, r.DownMbps, r.UpMbps, r.N)
+	}
+
+	f6a, err := s.Figure6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("== Figure 6a (paper medians: Barcelona 147, NC 34.3, London between) ==")
+	for _, r := range f6a {
+		fmt.Printf("%-14s median %6.1f Mbps (n=%d)\n", r.Label, r.MedianMbps, r.N)
+	}
+
+	f6b, err := s.Figure6b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minD, maxD float64 = 1e12, 0
+	for _, p := range f6b {
+		if p.DownMbps < minD {
+			minD = p.DownMbps
+		}
+		if p.DownMbps > maxD {
+			maxD = p.DownMbps
+		}
+	}
+	fmt.Printf("== Figure 6b: DL %0.1f..%0.1f Mbps over %d samples (paper: swing > 2x, max ~300) ==\n", minD, maxD, len(f6b))
+
+	f6c, err := s.Figure6c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("== Figure 6c: CCDF(5%%)=%.3f CCDF(10%%)=%.3f max=%.1f%% over %d runs (paper: 0.12 / 0.06 / ~50) ==\n",
+		f6c.CCDFAt5, f6c.CCDFAt10, f6c.MaxPct, len(f6c.LossPcts))
+
+	f7, err := s.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := 0
+	for _, l := range f7.LossPct {
+		if l >= 2 {
+			lossy++
+		}
+	}
+	fmt.Printf("== Figure 7: %d satellites served; %d/%d seconds with >=2%% loss ==\n",
+		len(f7.DistanceKm), lossy, len(f7.LossPct))
+
+	f8, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("== Figure 8 (paper: SL bbr~0.55 > cubic/reno/veno > vegas; WiFi all >0.75, bbr >0.9) ==")
+	for _, r := range f8 {
+		fmt.Printf("%-6s starlink %0.2f  wifi %0.2f\n", r.Algorithm, r.Starlink, r.WiFi)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"starlinkview/internal/plot"
+)
+
+func plotWriteLine(w io.Writer, c plot.Chart) error   { return plot.WriteLineSVG(w, c) }
+func plotWriteBox(w io.Writer, c plot.BoxChart) error { return plot.WriteBoxSVG(w, c) }
+func plotWriteBar(w io.Writer, c plot.BarChart) error { return plot.WriteBarSVG(w, c) }
+
+// TestStudyDeterminism: two studies with identical configuration produce
+// byte-identical Table 1 reports — the property README promises.
+func TestStudyDeterminism(t *testing.T) {
+	render := func() string {
+		cfg := QuickConfig()
+		cfg.BrowsingDays = 14
+		s, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := s.Table1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		ReportTable1(&buf, rows)
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("same-seed studies diverge:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSeedChangesResults: a different seed produces different data (the
+// randomness is live, not vestigial).
+func TestSeedChangesResults(t *testing.T) {
+	render := func(seed int64) string {
+		cfg := QuickConfig()
+		cfg.Seed = seed
+		cfg.BrowsingDays = 14
+		s, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := s.Table1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		ReportTable1(&buf, rows)
+		return buf.String()
+	}
+	if render(1) == render(2) {
+		t.Error("different seeds produced identical tables")
+	}
+}
+
+// TestAllReportsRender drives every report function over the shared study.
+func TestAllReportsRender(t *testing.T) {
+	s := quickStudy(t)
+	var buf bytes.Buffer
+
+	if rows, err := s.Table2(); err != nil {
+		t.Fatal(err)
+	} else {
+		ReportTable2(&buf, rows)
+	}
+	if rows, err := s.Table3(); err != nil {
+		t.Fatal(err)
+	} else {
+		ReportTable3(&buf, rows)
+	}
+	if res, err := s.Figure5(); err != nil {
+		t.Fatal(err)
+	} else {
+		ReportFigure5(&buf, res)
+	}
+	if rows, err := s.Figure6a(); err != nil {
+		t.Fatal(err)
+	} else {
+		ReportFigure6a(&buf, rows)
+	}
+	if pts, err := s.Figure6b(); err != nil {
+		t.Fatal(err)
+	} else {
+		ReportFigure6b(&buf, pts)
+	}
+	if res, err := s.Figure6c(); err != nil {
+		t.Fatal(err)
+	} else {
+		ReportFigure6c(&buf, res)
+	}
+	if res, err := s.Figure7(); err != nil {
+		t.Fatal(err)
+	} else {
+		ReportFigure7(&buf, res)
+	}
+	if rows, err := s.Figure8(); err != nil {
+		t.Fatal(err)
+	} else {
+		ReportFigure8(&buf, rows)
+	}
+
+	out := buf.String()
+	for _, want := range []string{
+		"Table 2", "Table 3", "Figure 5", "Figure 6a", "Figure 6b",
+		"Figure 6c", "Figure 7", "Figure 8", "bbr", "starlink",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered reports missing %q", want)
+		}
+	}
+	// The sparkline must contain only its level runes.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "DL ") {
+			body := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "DL "))
+			for _, r := range body {
+				if !strings.ContainsRune("_.-=^", r) {
+					t.Errorf("sparkline contains unexpected rune %q", r)
+				}
+			}
+		}
+	}
+}
+
+// TestFigureChartsRender drives every chart converter over real results and
+// validates the resulting SVGs are well-formed.
+func TestFigureChartsRender(t *testing.T) {
+	s := quickStudy(t)
+	var buf bytes.Buffer
+
+	f3, err := s.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plotWriteLine(&buf, Fig3Chart(f3, "London")); err != nil {
+		t.Errorf("fig3 chart: %v", err)
+	}
+	f4, err := s.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plotWriteBox(&buf, Fig4Chart(f4)); err != nil {
+		t.Errorf("fig4 chart: %v", err)
+	}
+	f5, err := s.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plotWriteLine(&buf, Fig5Chart(f5)); err != nil {
+		t.Errorf("fig5 chart: %v", err)
+	}
+	f6a, err := s.Figure6a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plotWriteLine(&buf, Fig6aChart(f6a)); err != nil {
+		t.Errorf("fig6a chart: %v", err)
+	}
+	f6b, err := s.Figure6b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plotWriteLine(&buf, Fig6bChart(f6b)); err != nil {
+		t.Errorf("fig6b chart: %v", err)
+	}
+	f6c, err := s.Figure6c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plotWriteLine(&buf, Fig6cChart(f6c)); err != nil {
+		t.Errorf("fig6c chart: %v", err)
+	}
+	f7, err := s.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plotWriteLine(&buf, Fig7Chart(f7)); err != nil {
+		t.Errorf("fig7 chart: %v", err)
+	}
+	f8, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plotWriteBar(&buf, Fig8Chart(f8)); err != nil {
+		t.Errorf("fig8 chart: %v", err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("no SVG produced")
+	}
+}

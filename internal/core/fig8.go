@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"starlinkview/internal/cc"
+	"starlinkview/internal/ispnet"
+	"starlinkview/internal/measure"
+	"starlinkview/internal/netsim"
+	"starlinkview/internal/orbit"
+)
+
+// Fig8Row is one congestion-control algorithm's normalised throughput on
+// the two access networks.
+type Fig8Row struct {
+	Algorithm string
+	// Starlink and WiFi are download throughput normalised by each link's
+	// UDP-burst capacity.
+	Starlink float64
+	WiFi     float64
+}
+
+// PaperFig8Shape captures the published qualitative result: on Starlink BBR
+// leads at roughly half the UDP-measured capacity while Vegas trails badly;
+// on campus WiFi every algorithm exceeds ~0.8 and BBR exceeds 0.9.
+type PaperFig8Shape struct {
+	StarlinkBBRApprox float64
+	WiFiBBRMin        float64
+	WiFiAllMin        float64
+}
+
+// PaperFig8 returns the published shape.
+func PaperFig8() PaperFig8Shape {
+	return PaperFig8Shape{StarlinkBBRApprox: 0.55, WiFiBBRMin: 0.9, WiFiAllMin: 0.75}
+}
+
+// fig8Env is one measurement environment for the CC stress test.
+type fig8Env struct {
+	build func(seed int64) (*netsim.Sim, *ispnet.Built, error)
+}
+
+func (s *Study) fig8Envs() map[string]fig8Env {
+	return map[string]fig8Env{
+		"starlink": {build: func(seed int64) (*netsim.Sim, *ispnet.Built, error) {
+			sim := netsim.NewSim(seed)
+			b, err := ispnet.Build(ispnet.Config{
+				Kind: ispnet.Starlink, City: ispnet.Wiltshire, Server: ispnet.LondonDC,
+				Constellation: s.Constellation, Epoch: s.cfg.Epoch, Short: true, Seed: seed,
+			})
+			return sim, b, err
+		}},
+		"wifi": {build: func(seed int64) (*netsim.Sim, *ispnet.Built, error) {
+			sim := netsim.NewSim(seed)
+			b, err := ispnet.Build(ispnet.Config{
+				Kind: ispnet.Broadband, City: ispnet.London, Server: ispnet.LondonDC,
+				Short: true, Seed: seed,
+			})
+			return sim, b, err
+		}},
+	}
+}
+
+// Figure8 reproduces the congestion-control stress test: each of the five
+// algorithms bulk-downloads for a stretch on both environments; results are
+// normalised by the UDP burst capacity measured on a fresh instance of the
+// same link.
+func (s *Study) Figure8() ([]Fig8Row, error) {
+	dur := s.scaledDur(60*time.Second, 12*time.Second)
+	rows := make(map[string]*Fig8Row)
+	for _, name := range cc.Names() {
+		rows[name] = &Fig8Row{Algorithm: name}
+	}
+
+	for envName, env := range s.fig8Envs() {
+		// UDP capacity baseline on its own link instance (same seed, so
+		// identical handover/weather history).
+		sim, built, err := env.build(s.cfg.Seed + 2000)
+		if err != nil {
+			return nil, err
+		}
+		udp, err := measure.IperfUDP(sim, built.Path, 2e9, dur, true)
+		if err != nil {
+			return nil, err
+		}
+		if udp.ThroughputBps <= 0 {
+			return nil, fmt.Errorf("core: UDP baseline on %s is zero", envName)
+		}
+
+		for _, algo := range cc.Names() {
+			sim, built, err := env.build(s.cfg.Seed + 2000)
+			if err != nil {
+				return nil, err
+			}
+			res, err := measure.IperfTCPReverse(sim, built.Path, algo, dur)
+			if err != nil {
+				return nil, err
+			}
+			norm := res.ThroughputBps / udp.ThroughputBps
+			if envName == "starlink" {
+				rows[algo].Starlink = norm
+			} else {
+				rows[algo].WiFi = norm
+			}
+		}
+	}
+
+	out := make([]Fig8Row, 0, len(rows))
+	for _, name := range cc.Names() {
+		out = append(out, *rows[name])
+	}
+	return out, nil
+}
+
+// AblationLossModel compares CC throughput under the bent pipe's bursty
+// handover loss vs independent random loss of the same mean rate — the
+// design choice that drives the Figure 8 gap. It returns normalised
+// throughput per algorithm under each model.
+type AblationLossRow struct {
+	Algorithm string
+	Bursty    float64 // goodput under handover-burst loss, Mbps
+	IID       float64 // goodput under i.i.d. loss of equal mean, Mbps
+}
+
+// AblationLossModel runs the comparison.
+func (s *Study) AblationLossModel() ([]AblationLossRow, error) {
+	dur := s.scaledDur(45*time.Second, 10*time.Second)
+
+	// First, measure the bursty link's mean loss rate with a UDP blast.
+	sim := netsim.NewSim(s.cfg.Seed + 2100)
+	built, err := ispnet.Build(ispnet.Config{
+		Kind: ispnet.Starlink, City: ispnet.Wiltshire, Server: ispnet.LondonDC,
+		Constellation: s.Constellation, Epoch: s.cfg.Epoch, Short: true,
+		Seed: s.cfg.Seed + 2100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The mean-loss measurement needs a window long enough to include the
+	// handover cycle several times over, or a lucky quiet stretch would
+	// understate the i.i.d. equivalent.
+	lossWindow := 3 * dur
+	if lossWindow < 150*time.Second {
+		lossWindow = 150 * time.Second
+	}
+	// A modest probing rate keeps the packet count tractable; the loss-rate
+	// estimate only needs enough samples per burst.
+	udp, err := measure.IperfUDP(sim, built.Path, 20e6, lossWindow, true)
+	if err != nil {
+		return nil, err
+	}
+	meanLoss := udp.LossPct / 100
+
+	var out []AblationLossRow
+	for _, algo := range cc.Names() {
+		row := AblationLossRow{Algorithm: algo}
+
+		// Bursty: the real bent pipe.
+		sim, built, err := s.fig8Envs()["starlink"].build(s.cfg.Seed + 2100)
+		if err != nil {
+			return nil, err
+		}
+		res, err := measure.IperfTCPReverse(sim, built.Path, algo, dur)
+		if err != nil {
+			return nil, err
+		}
+		row.Bursty = res.ThroughputBps / 1e6
+
+		// IID: a static link with the same capacity/delay and i.i.d. loss
+		// at the measured mean rate.
+		iidSim := netsim.NewSim(s.cfg.Seed + 2200)
+		iid, err := buildIIDPath(iidSim, meanLoss, s.cfg.Seed+2200)
+		if err != nil {
+			return nil, err
+		}
+		res, err = measure.IperfTCPReverse(iidSim, iid, algo, dur)
+		if err != nil {
+			return nil, err
+		}
+		row.IID = res.ThroughputBps / 1e6
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// buildIIDPath creates a 2-hop path that mimics the bent pipe's averages
+// with independent loss.
+func buildIIDPath(sim *netsim.Sim, lossProb float64, seed int64) (*netsim.Path, error) {
+	client := netsim.NewNode("iid-client", "")
+	server := netsim.NewNode("iid-server", "")
+	rng := sim.Rand()
+	_ = seed
+	lossFn := func(netsim.Time, *netsim.Packet) bool { return rng.Float64() < lossProb }
+	spec := func(rate float64) netsim.LinkSpec {
+		return netsim.LinkSpec{
+			RateBps:   rate,
+			Delay:     28 * time.Millisecond,
+			QueueByte: int(rate / 8 * 0.1),
+			LossFn:    lossFn,
+		}
+	}
+	return netsim.NewPath([]*netsim.Node{client, server},
+		[]netsim.LinkSpec{spec(25e6)}, []netsim.LinkSpec{spec(180e6)})
+}
+
+// AblationHandoverRow compares serving-satellite selection policies.
+type AblationHandoverRow struct {
+	Policy        string
+	Handovers     int
+	HardHandovers int
+	MeanLossPct   float64
+}
+
+// AblationHandoverPolicy measures, over an hour, how the selection policy
+// changes handover counts and observed UDP loss.
+func (s *Study) AblationHandoverPolicy() ([]AblationHandoverRow, error) {
+	window := s.scaledDur(30*time.Minute, 10*time.Minute)
+	var out []AblationHandoverRow
+	for _, policy := range []orbit.SelectionPolicy{orbit.HighestElevation, orbit.LongestRemainingVisibility} {
+		sim := netsim.NewSim(s.cfg.Seed + 2300)
+		built, err := ispnet.Build(ispnet.Config{
+			Kind: ispnet.Starlink, City: ispnet.Wiltshire, Server: ispnet.LondonDC,
+			Constellation: s.Constellation, Epoch: s.cfg.Epoch, Short: true,
+			Policy: policy, Seed: s.cfg.Seed + 2300,
+		})
+		if err != nil {
+			return nil, err
+		}
+		udp, err := measure.IperfUDP(sim, built.Path, 8e6, window, true)
+		if err != nil {
+			return nil, err
+		}
+		total, hard := built.Pipe.HandoverCount()
+		out = append(out, AblationHandoverRow{
+			Policy:        policy.String(),
+			Handovers:     total,
+			HardHandovers: hard,
+			MeanLossPct:   udp.LossPct,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"starlinkview/internal/plot"
+)
+
+// This file converts experiment results into plot specifications, so the
+// bench CLI can emit each figure as an SVG that can be eyeballed against
+// the paper's.
+
+// Fig3Chart renders Figure 3's CDFs (one city per call).
+func Fig3Chart(series []Fig3Series, city string) plot.Chart {
+	c := plot.Chart{
+		Title:  fmt.Sprintf("Figure 3 (%s): PTT CDF, popular vs unpopular, by egress AS", city),
+		XLabel: "page transit time (ms)",
+		YLabel: "CDF",
+		XLog:   true,
+	}
+	for _, s := range series {
+		if s.City != city {
+			continue
+		}
+		band := "unpopular"
+		if s.Popular {
+			band = "popular"
+		}
+		ps := plot.Series{
+			Name:   fmt.Sprintf("%s AS%d", band, s.ASN),
+			Dashed: s.ASN == 14593, // SpaceX AS dashed, Google solid
+		}
+		for _, p := range s.CDF {
+			ps.Points = append(ps.Points, plot.Point{X: p.X, Y: p.Y})
+		}
+		c.Series = append(c.Series, ps)
+	}
+	return c
+}
+
+// Fig4Chart renders Figure 4's weather box plots.
+func Fig4Chart(rows []Fig4Row) plot.BoxChart {
+	c := plot.BoxChart{
+		Title:  "Figure 4: PTT of Google services (London, Starlink) by weather",
+		YLabel: "page transit time (ms)",
+	}
+	for _, r := range rows {
+		c.Boxes = append(c.Boxes, plot.BoxStat{
+			Label: r.Condition.String(),
+			Min:   r.Summary.Min, Q1: r.Summary.Q1, Median: r.Summary.Median,
+			Q3: r.Summary.Q3, Max: r.Summary.Max,
+		})
+	}
+	return c
+}
+
+// Fig5Chart renders the hop-by-hop RTT comparison.
+func Fig5Chart(res Fig5Result) plot.Chart {
+	c := plot.Chart{
+		Title:  "Figure 5: RTT per hop, London -> N. Virginia",
+		XLabel: "hop count",
+		YLabel: "RTT (ms)",
+	}
+	for _, kind := range []string{"starlink", "broadband", "cellular"} {
+		hops := res[kind]
+		s := plot.Series{Name: kind}
+		for _, h := range hops {
+			if h.Samples == 0 {
+				continue
+			}
+			s.Points = append(s.Points, plot.Point{X: float64(h.Hop), Y: h.MeanMs})
+		}
+		if len(s.Points) > 0 {
+			c.Series = append(c.Series, s)
+		}
+	}
+	return c
+}
+
+// Fig6aChart renders the per-node throughput CDFs.
+func Fig6aChart(rows []Fig6aSeries) plot.Chart {
+	c := plot.Chart{
+		Title:  "Figure 6a: iperf download CDF per volunteer node",
+		XLabel: "throughput (Mbps)",
+		YLabel: "CDF",
+	}
+	for _, r := range rows {
+		s := plot.Series{Name: r.Label}
+		for _, p := range r.CDF {
+			s.Points = append(s.Points, plot.Point{X: p.X, Y: p.Y})
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// Fig6bChart renders the UK throughput time series.
+func Fig6bChart(pts []Fig6bPoint) plot.Chart {
+	c := plot.Chart{
+		Title:  "Figure 6b: UK downlink/uplink over time",
+		XLabel: "hours since 2022-04-11 00:00",
+		YLabel: "throughput (Mbps)",
+	}
+	var dl, ul plot.Series
+	dl.Name, ul.Name = "downlink", "uplink (x10)"
+	ul.Dashed = true
+	if len(pts) == 0 {
+		return c
+	}
+	t0 := pts[0].Wall
+	for _, p := range pts {
+		h := p.Wall.Sub(t0).Hours()
+		dl.Points = append(dl.Points, plot.Point{X: h, Y: p.DownMbps})
+		ul.Points = append(ul.Points, plot.Point{X: h, Y: p.UpMbps * 10})
+	}
+	c.Series = []plot.Series{dl, ul}
+	return c
+}
+
+// Fig6cChart renders the loss CCDF.
+func Fig6cChart(res Fig6cResult) plot.Chart {
+	c := plot.Chart{
+		Title:  "Figure 6c: packet-loss CCDF, London Starlink receiver",
+		XLabel: "packet loss (%)",
+		YLabel: "CCDF",
+	}
+	s := plot.Series{Name: "UDP runs"}
+	// Build the CCDF as 1-CDF over the recorded points.
+	for _, p := range res.CCDF {
+		s.Points = append(s.Points, plot.Point{X: p.X, Y: 1 - p.Y})
+	}
+	c.Series = []plot.Series{s}
+	return c
+}
+
+// Fig7Chart renders the loss time series with the serving satellites'
+// distances (distances scaled to tenths of km so both fit one axis, as the
+// paper's dual-axis plot does visually).
+func Fig7Chart(res Fig7Result) plot.Chart {
+	c := plot.Chart{
+		Title:  "Figure 7: per-second loss and serving-satellite distance (km/10)",
+		XLabel: "time (s)",
+		YLabel: "loss (%) / distance (km/10)",
+	}
+	loss := plot.Series{Name: "packet loss %"}
+	for sec, l := range res.LossPct {
+		loss.Points = append(loss.Points, plot.Point{X: float64(sec), Y: l})
+	}
+	c.Series = append(c.Series, loss)
+	for name, series := range res.DistanceKm {
+		s := plot.Series{Name: name, Dashed: true}
+		for sec, d := range series {
+			if d == 0 {
+				continue // out of sight: gap, like the paper's zeroed lines
+			}
+			s.Points = append(s.Points, plot.Point{X: float64(sec), Y: d / 10})
+		}
+		if len(s.Points) > 0 {
+			c.Series = append(c.Series, s)
+		}
+	}
+	return c
+}
+
+// Fig8Chart renders the congestion-control bars.
+func Fig8Chart(rows []Fig8Row) plot.BarChart {
+	c := plot.BarChart{
+		Title:  "Figure 8: normalised TCP throughput by congestion control",
+		YLabel: "goodput / UDP capacity",
+		Groups: []string{"starlink", "campus wifi"},
+	}
+	for _, r := range rows {
+		c.Bars = append(c.Bars, plot.Bar{Label: r.Algorithm, Values: []float64{r.Starlink, r.WiFi}})
+	}
+	return c
+}

@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"starlinkview/internal/tranco"
+	"starlinkview/internal/webperf"
+
+	"starlinkview/internal/extension"
+	"starlinkview/internal/ispnet"
+	"starlinkview/internal/orbit"
+	"starlinkview/internal/rpinode"
+	"starlinkview/internal/weather"
+)
+
+func sampleRecords() []extension.Record {
+	at := time.Date(2022, 2, 10, 14, 30, 0, 0, time.UTC)
+	return []extension.Record{
+		{
+			UserID: "anon-0a1b2c3d", City: "London", Country: "GB", ISP: "starlink",
+			ASN: 36492, At: at, Domain: "site-000012.example", Rank: 12,
+			Popular: true, PTTMs: 341.25, PLTMs: 822.5,
+			Condition: weather.LightRain, HasWx: true, Benchmark: false, Google: false,
+		},
+		{
+			UserID: "anon-99ffee11", City: "Sydney", Country: "AU", ISP: "cellular",
+			ASN: 65100, At: at.Add(90 * time.Minute), Domain: "site-454545.example", Rank: 454545,
+			Popular: false, PTTMs: 1290.125, PLTMs: 1911,
+			Condition: weather.ClearSky, HasWx: false, Benchmark: true, Google: false,
+		},
+	}
+}
+
+func TestExtensionCSVRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteExtensionCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadExtensionCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestExtensionCSVNoPII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExtensionCSV(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The ethics constraint: only the random identifier leaves the pipeline.
+	header := strings.SplitN(out, "\n", 2)[0]
+	for _, banned := range []string{"ip", "address", "email", "name"} {
+		for _, col := range strings.Split(header, ",") {
+			if col == banned {
+				t.Errorf("dataset header leaks column %q", banned)
+			}
+		}
+	}
+	if !strings.Contains(out, "anon-") {
+		t.Error("user identifiers missing")
+	}
+}
+
+func TestReadExtensionCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "a,b,c\n"},
+		{"bad asn", strings.Join(extensionHeader, ",") + "\nu,c,GB,starlink,notanumber,2022-01-01T00:00:00Z,d,1,true,1,2,Clear Sky,true,false,false\n"},
+		{"bad time", strings.Join(extensionHeader, ",") + "\nu,c,GB,starlink,1,yesterday,d,1,true,1,2,Clear Sky,true,false,false\n"},
+		{"bad weather", strings.Join(extensionHeader, ",") + "\nu,c,GB,starlink,1,2022-01-01T00:00:00Z,d,1,true,1,2,Hailstorm,true,false,false\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadExtensionCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestNodeJSONRoundTrip(t *testing.T) {
+	samples := []NodeSample{
+		{Node: "Wiltshire", Kind: "iperf", At: time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC), DownMbps: 187.5, UpMbps: 14.2, LossPct: 0.4},
+		{Node: "Wiltshire", Kind: "udp", At: time.Date(2022, 4, 11, 0, 10, 0, 0, time.UTC), LossPct: 7.25},
+		{Node: "Barcelona", Kind: "speedtest", At: time.Date(2022, 4, 11, 1, 0, 0, 0, time.UTC), DownMbps: 201, UpMbps: 18, PingMs: 41.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteNodeJSON(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, samples) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, samples)
+	}
+}
+
+func TestReadNodeJSONErrors(t *testing.T) {
+	if _, err := ReadNodeJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("want error for malformed json")
+	}
+	got, err := ReadNodeJSON(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: got %v, %v", got, err)
+	}
+}
+
+func TestCollectNodeSamples(t *testing.T) {
+	epoch := time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC)
+	c, err := orbit.GenerateShell(orbit.ShellConfig{
+		Name: "STARLINK", AltitudeKm: 550, InclinationDeg: 53,
+		Planes: 24, SatsPerPlane: 22, PhasingF: 13, Epoch: epoch, FirstSatNum: 44000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := rpinode.New(rpinode.Config{
+		City: ispnet.Wiltshire, Constellation: c, Epoch: epoch, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.RunIperfOnce("cubic", 2*time.Second, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.RunUDPOnce(40e6, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	samples := CollectNodeSamples("Wiltshire", node)
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(samples))
+	}
+	kinds := map[string]bool{}
+	for _, s := range samples {
+		kinds[s.Kind] = true
+		if s.Node != "Wiltshire" || s.At.Before(epoch) {
+			t.Errorf("bad sample %+v", s)
+		}
+	}
+	if !kinds["iperf"] || !kinds["udp"] {
+		t.Errorf("kinds = %v", kinds)
+	}
+
+	// Full pipeline: collect -> write -> read.
+	var buf bytes.Buffer
+	if err := WriteNodeJSON(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(samples) {
+		t.Errorf("round trip lost samples")
+	}
+}
+
+func TestReplayReproducesAggregations(t *testing.T) {
+	// Analysis over a round-tripped dataset must equal analysis over the
+	// original records: collect, export, import into a fresh collector,
+	// compare the Table 1 aggregation.
+	list, err := tranco.NewList(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := extension.NewCollector(list, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &extension.User{
+		City: "London", Country: "GB", ISP: "starlink", SharesData: true,
+		PagesPerDay: 10,
+		Access: func(time.Time) webperf.Access {
+			return webperf.Access{RTT: 30 * time.Millisecond, DownBps: 100e6}
+		},
+	}
+	if err := c1.Enroll(u); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+	if err := c1.SimulateUser(u, start, start.Add(10*24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteExtensionCSV(&buf, c1.Records()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadExtensionCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := extension.NewCollector(list, 99) // different seed: must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.LoadRecords(loaded)
+
+	t1 := c1.CityTable([]string{"London"})
+	t2 := c2.CityTable([]string{"London"})
+	if len(t1) != 1 || len(t2) != 1 {
+		t.Fatalf("rows: %d vs %d", len(t1), len(t2))
+	}
+	a, b := t1[0], t2[0]
+	if a.StarlinkReqs != b.StarlinkReqs || a.StarlinkDomains != b.StarlinkDomains {
+		t.Errorf("counts differ: %+v vs %+v", a, b)
+	}
+	// The CSV rounds timings to 3 decimals; medians must agree within that.
+	if math.Abs(a.StarlinkMedianPTT-b.StarlinkMedianPTT) > 0.001 {
+		t.Errorf("median differs beyond serialisation precision: %v vs %v",
+			a.StarlinkMedianPTT, b.StarlinkMedianPTT)
+	}
+}

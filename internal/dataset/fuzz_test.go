@@ -1,0 +1,27 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadExtensionCSV ensures arbitrary CSV input never panics the loader.
+func FuzzReadExtensionCSV(f *testing.F) {
+	f.Add(strings.Join(extensionHeader, ",") + "\n")
+	f.Add("")
+	f.Add("a,b\n1,2\n")
+	f.Add(strings.Join(extensionHeader, ",") + "\nu,c,GB,starlink,1,2022-01-01T00:00:00Z,d,1,true,1,2,Clear Sky,true,false,false\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		_, _ = ReadExtensionCSV(strings.NewReader(in))
+	})
+}
+
+// FuzzReadNodeJSON ensures arbitrary JSONL input never panics the loader.
+func FuzzReadNodeJSON(f *testing.F) {
+	f.Add(`{"node":"x","kind":"iperf","at":"2022-04-11T00:00:00Z"}` + "\n")
+	f.Add("{")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		_, _ = ReadNodeJSON(strings.NewReader(in))
+	})
+}

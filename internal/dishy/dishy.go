@@ -1,0 +1,274 @@
+// Package dishy reimplements the local Starlink terminal status API (the
+// "Dishy API" the paper's Raspberry Pis query over the LAN, normally gRPC on
+// 192.168.100.1:9200) as a newline-delimited JSON protocol over TCP. The
+// fields mirror what the real get_status call exposes: uptime, pop ping
+// latency and drop rate, throughput, obstruction statistics, SNR, and the
+// currently serving satellite.
+//
+// A Server wraps any StatusSource; the production source adapts the bentpipe
+// link model, so the API reports the same state the simulated network
+// exhibits.
+package dishy
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Status is the terminal's self-reported state.
+type Status struct {
+	// UptimeS is seconds since the terminal booted.
+	UptimeS int64 `json:"uptime_s"`
+	// PopPingLatencyMs is the measured RTT to the point of presence.
+	PopPingLatencyMs float64 `json:"pop_ping_latency_ms"`
+	// PopPingDropRate is the fraction of pings lost in the last interval.
+	PopPingDropRate float64 `json:"pop_ping_drop_rate"`
+	// DownlinkThroughputBps and UplinkThroughputBps are instantaneous
+	// usable rates.
+	DownlinkThroughputBps float64 `json:"downlink_throughput_bps"`
+	UplinkThroughputBps   float64 `json:"uplink_throughput_bps"`
+	// SNR is the current signal-to-noise ratio in dB.
+	SNR float64 `json:"snr"`
+	// FractionObstructed is the sky fraction currently obstructed.
+	FractionObstructed float64 `json:"fraction_obstructed"`
+	// CurrentlyObstructed reports an active obstruction/outage.
+	CurrentlyObstructed bool `json:"currently_obstructed"`
+	// ConnectedSatellite names the serving satellite ("" while searching).
+	ConnectedSatellite string `json:"connected_satellite"`
+	// SecondsToFirstNonemptySlot is the time until the next scheduled
+	// reconfiguration slot.
+	SecondsToFirstNonemptySlot float64 `json:"seconds_to_first_nonempty_slot"`
+	// Alerts carries active alert flags (e.g. "thermal_throttle",
+	// "unexpected_location", "slow_ethernet").
+	Alerts []string `json:"alerts,omitempty"`
+}
+
+// HistorySample is one entry of the terminal's telemetry ring buffer, like
+// the real API's get_history arrays.
+type HistorySample struct {
+	AtUnix           int64   `json:"at_unix"`
+	PopPingLatencyMs float64 `json:"pop_ping_latency_ms"`
+	PopPingDropRate  float64 `json:"pop_ping_drop_rate"`
+	DownlinkBps      float64 `json:"downlink_throughput_bps"`
+	UplinkBps        float64 `json:"uplink_throughput_bps"`
+}
+
+// History is the get_history response body.
+type History struct {
+	Samples []HistorySample `json:"samples"`
+}
+
+// StatusSource produces the current status.
+type StatusSource interface {
+	Status() (Status, error)
+}
+
+// StatusFunc adapts a function to StatusSource.
+type StatusFunc func() (Status, error)
+
+// Status implements StatusSource.
+func (f StatusFunc) Status() (Status, error) { return f() }
+
+// request and response frame the wire protocol.
+type request struct {
+	Method string `json:"method"`
+}
+
+type response struct {
+	Status  *Status  `json:"status,omitempty"`
+	History *History `json:"history,omitempty"`
+	Pong    bool     `json:"pong,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// Server serves the dishy API on a TCP listener.
+type Server struct {
+	src StatusSource
+	// historySrc, if set, answers get_history.
+	historySrc func() (History, error)
+
+	mu       sync.Mutex
+	listener net.Listener
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server around the source.
+func NewServer(src StatusSource) (*Server, error) {
+	if src == nil {
+		return nil, errors.New("dishy: status source is required")
+	}
+	return &Server{src: src}, nil
+}
+
+// SetHistorySource attaches a get_history provider. Must be called before
+// Listen.
+func (s *Server) SetHistorySource(f func() (History, error)) { s.historySrc = f }
+
+// Listen starts serving on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		return "", errors.New("dishy: already listening")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("dishy: listen: %w", err)
+	}
+	s.listener = ln
+	s.done = make(chan struct{})
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				return // listener failed; nothing else to do
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var req request
+		if err := json.Unmarshal(line, &req); err != nil {
+			_ = enc.Encode(response{Error: "malformed request"})
+			continue
+		}
+		switch req.Method {
+		case "get_status":
+			st, err := s.src.Status()
+			if err != nil {
+				_ = enc.Encode(response{Error: err.Error()})
+				continue
+			}
+			_ = enc.Encode(response{Status: &st})
+		case "get_history":
+			if s.historySrc == nil {
+				_ = enc.Encode(response{Error: "history not available"})
+				continue
+			}
+			h, err := s.historySrc()
+			if err != nil {
+				_ = enc.Encode(response{Error: err.Error()})
+				continue
+			}
+			_ = enc.Encode(response{History: &h})
+		case "ping":
+			_ = enc.Encode(response{Pong: true})
+		default:
+			_ = enc.Encode(response{Error: fmt.Sprintf("unknown method %q", req.Method)})
+		}
+	}
+}
+
+// Close stops the server and waits for connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.listener
+	if ln != nil {
+		close(s.done)
+		s.listener = nil
+	}
+	s.mu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	err := ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client talks to a dishy server.
+type Client struct {
+	addr    string
+	timeout time.Duration
+}
+
+// NewClient creates a client for the address.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, timeout: 5 * time.Second}
+}
+
+// call performs one request/response round trip on a fresh connection.
+func (c *Client) call(req request) (response, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return response{}, fmt.Errorf("dishy: dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(c.timeout))
+
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return response{}, fmt.Errorf("dishy: send: %w", err)
+	}
+	var resp response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("dishy: receive: %w", err)
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("dishy: server error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// GetStatus fetches the terminal status.
+func (c *Client) GetStatus() (Status, error) {
+	resp, err := c.call(request{Method: "get_status"})
+	if err != nil {
+		return Status{}, err
+	}
+	if resp.Status == nil {
+		return Status{}, errors.New("dishy: empty status response")
+	}
+	return *resp.Status, nil
+}
+
+// GetHistory fetches the telemetry ring buffer.
+func (c *Client) GetHistory() (History, error) {
+	resp, err := c.call(request{Method: "get_history"})
+	if err != nil {
+		return History{}, err
+	}
+	if resp.History == nil {
+		return History{}, errors.New("dishy: empty history response")
+	}
+	return *resp.History, nil
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	resp, err := c.call(request{Method: "ping"})
+	if err != nil {
+		return err
+	}
+	if !resp.Pong {
+		return errors.New("dishy: no pong")
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package dishy
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testStatus() Status {
+	return Status{
+		UptimeS:                    86400,
+		PopPingLatencyMs:           34.5,
+		PopPingDropRate:            0.01,
+		DownlinkThroughputBps:      180e6,
+		UplinkThroughputBps:        15e6,
+		SNR:                        9.2,
+		FractionObstructed:         0.002,
+		ConnectedSatellite:         "STARLINK-2356",
+		SecondsToFirstNonemptySlot: 7.5,
+	}
+}
+
+func startServer(t *testing.T, src StatusSource) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Error("want error for nil source")
+	}
+}
+
+func TestGetStatusRoundTrip(t *testing.T) {
+	want := testStatus()
+	_, addr := startServer(t, StatusFunc(func() (Status, error) { return want, nil }))
+	c := NewClient(addr)
+	got, err := c.GetStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Alerts, want.Alerts = nil, nil
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("status = %+v, want %+v", got, want)
+	}
+}
+
+func TestAlertsSurvive(t *testing.T) {
+	want := testStatus()
+	want.Alerts = []string{"thermal_throttle", "slow_ethernet"}
+	_, addr := startServer(t, StatusFunc(func() (Status, error) { return want, nil }))
+	got, err := NewClient(addr).GetStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Alerts) != 2 || got.Alerts[0] != "thermal_throttle" {
+		t.Errorf("alerts = %v", got.Alerts)
+	}
+}
+
+func TestPing(t *testing.T) {
+	_, addr := startServer(t, StatusFunc(func() (Status, error) { return testStatus(), nil }))
+	if err := NewClient(addr).Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceErrorPropagates(t *testing.T) {
+	_, addr := startServer(t, StatusFunc(func() (Status, error) {
+		return Status{}, errors.New("antenna stowed")
+	}))
+	_, err := NewClient(addr).GetStatus()
+	if err == nil || !strings.Contains(err.Error(), "antenna stowed") {
+		t.Errorf("err = %v, want antenna stowed", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	_, addr := startServer(t, StatusFunc(func() (Status, error) { return testStatus(), nil }))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"method":"self_destruct"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp map[string]interface{}
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["error"] == nil {
+		t.Errorf("response = %v, want error", resp)
+	}
+}
+
+func TestMalformedRequest(t *testing.T) {
+	_, addr := startServer(t, StatusFunc(func() (Status, error) { return testStatus(), nil }))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp map[string]interface{}
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["error"] != "malformed request" {
+		t.Errorf("response = %v", resp)
+	}
+}
+
+func TestMultipleRequestsPerConnection(t *testing.T) {
+	calls := 0
+	_, addr := startServer(t, StatusFunc(func() (Status, error) {
+		calls++
+		s := testStatus()
+		s.UptimeS = int64(calls)
+		return s, nil
+	}))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for i := 1; i <= 3; i++ {
+		if _, err := conn.Write([]byte(`{"method":"get_status"}` + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		var resp struct {
+			Status *Status `json:"status"`
+		}
+		if err := json.NewDecoder(r).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status == nil || resp.Status.UptimeS != int64(i) {
+			t.Fatalf("request %d: %+v", i, resp.Status)
+		}
+	}
+}
+
+func TestCloseIdempotentAndRejectsDoubleListen(t *testing.T) {
+	srv, _ := startServer(t, StatusFunc(func() (Status, error) { return testStatus(), nil }))
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("want error for double listen")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestClientDialFailure(t *testing.T) {
+	c := NewClient("127.0.0.1:1") // nothing listens there
+	if _, err := c.GetStatus(); err == nil {
+		t.Error("want dial error")
+	}
+}
+
+func TestGetHistory(t *testing.T) {
+	srv, err := NewServer(StatusFunc(func() (Status, error) { return testStatus(), nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := History{Samples: []HistorySample{
+		{AtUnix: 1649692800, PopPingLatencyMs: 31.5, DownlinkBps: 150e6, UplinkBps: 12e6},
+		{AtUnix: 1649692860, PopPingLatencyMs: 44.0, PopPingDropRate: 0.02, DownlinkBps: 90e6, UplinkBps: 8e6},
+	}}
+	srv.SetHistorySource(func() (History, error) { return want, nil })
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	got, err := NewClient(addr).GetHistory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("history = %+v, want %+v", got, want)
+	}
+}
+
+func TestGetHistoryUnavailable(t *testing.T) {
+	_, addr := startServer(t, StatusFunc(func() (Status, error) { return testStatus(), nil }))
+	if _, err := NewClient(addr).GetHistory(); err == nil {
+		t.Error("want error when history source is absent")
+	}
+}

@@ -1,0 +1,156 @@
+// Package geo provides the WGS-84 geodesy primitives used throughout the
+// reproduction: geodetic and Earth-centred Earth-fixed (ECEF) coordinates,
+// great-circle distances, and antenna look angles (azimuth, elevation, slant
+// range) from a ground station to a satellite.
+//
+// The paper's Figure 7 and its visibility argument rest on two geometric
+// facts from the SpaceX FCC filings: Starlink shell-1 serves terminals above
+// a 25 degree minimum elevation angle, which at a 550 km orbital altitude
+// bounds the feasible Earth-satellite slant range at roughly 1089 km. Both
+// computations are performed by this package.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// WGS-84 ellipsoid constants.
+const (
+	// EarthRadiusKm is the mean Earth radius in kilometres, used for
+	// great-circle distances.
+	EarthRadiusKm = 6371.0088
+
+	// EquatorialRadiusKm is the WGS-84 semi-major axis in kilometres.
+	EquatorialRadiusKm = 6378.137
+
+	// Flattening is the WGS-84 flattening factor.
+	Flattening = 1.0 / 298.257223563
+)
+
+// Deg2Rad converts degrees to radians.
+func Deg2Rad(d float64) float64 { return d * math.Pi / 180 }
+
+// Rad2Deg converts radians to degrees.
+func Rad2Deg(r float64) float64 { return r * 180 / math.Pi }
+
+// LatLon is a geodetic coordinate in degrees with an altitude in kilometres
+// above the reference ellipsoid.
+type LatLon struct {
+	LatDeg float64
+	LonDeg float64
+	AltKm  float64
+}
+
+// String implements fmt.Stringer.
+func (p LatLon) String() string {
+	return fmt.Sprintf("(%.4f, %.4f, %.1fkm)", p.LatDeg, p.LonDeg, p.AltKm)
+}
+
+// Valid reports whether the coordinate lies in the conventional ranges
+// (latitude within [-90, 90], longitude within [-180, 180]).
+func (p LatLon) Valid() bool {
+	return p.LatDeg >= -90 && p.LatDeg <= 90 && p.LonDeg >= -180 && p.LonDeg <= 180
+}
+
+// ECEF is an Earth-centred Earth-fixed Cartesian coordinate in kilometres.
+type ECEF struct {
+	X, Y, Z float64
+}
+
+// Sub returns the vector difference a-b.
+func (a ECEF) Sub(b ECEF) ECEF { return ECEF{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Norm returns the Euclidean length of the vector in kilometres.
+func (a ECEF) Norm() float64 { return math.Sqrt(a.X*a.X + a.Y*a.Y + a.Z*a.Z) }
+
+// Dot returns the dot product of the two vectors.
+func (a ECEF) Dot(b ECEF) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// ToECEF converts a geodetic coordinate to ECEF using the WGS-84 ellipsoid.
+func (p LatLon) ToECEF() ECEF {
+	lat := Deg2Rad(p.LatDeg)
+	lon := Deg2Rad(p.LonDeg)
+	sinLat, cosLat := math.Sincos(lat)
+	sinLon, cosLon := math.Sincos(lon)
+
+	e2 := Flattening * (2 - Flattening)
+	n := EquatorialRadiusKm / math.Sqrt(1-e2*sinLat*sinLat)
+
+	return ECEF{
+		X: (n + p.AltKm) * cosLat * cosLon,
+		Y: (n + p.AltKm) * cosLat * sinLon,
+		Z: (n*(1-e2) + p.AltKm) * sinLat,
+	}
+}
+
+// HaversineKm returns the great-circle distance in kilometres between two
+// geodetic points, ignoring altitude.
+func HaversineKm(a, b LatLon) float64 {
+	lat1, lon1 := Deg2Rad(a.LatDeg), Deg2Rad(a.LonDeg)
+	lat2, lon2 := Deg2Rad(b.LatDeg), Deg2Rad(b.LonDeg)
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// LookAngles describes the pointing geometry from an observer to a target.
+type LookAngles struct {
+	AzimuthDeg   float64 // clockwise from true north
+	ElevationDeg float64 // above the local horizon; negative if below
+	RangeKm      float64 // slant range
+}
+
+// Look computes the look angles from a geodetic observer to a target given in
+// ECEF coordinates. It uses the standard ECEF-to-ENU (east, north, up)
+// rotation at the observer.
+func Look(observer LatLon, target ECEF) LookAngles {
+	obsECEF := observer.ToECEF()
+	d := target.Sub(obsECEF)
+
+	lat := Deg2Rad(observer.LatDeg)
+	lon := Deg2Rad(observer.LonDeg)
+	sinLat, cosLat := math.Sincos(lat)
+	sinLon, cosLon := math.Sincos(lon)
+
+	east := -sinLon*d.X + cosLon*d.Y
+	north := -sinLat*cosLon*d.X - sinLat*sinLon*d.Y + cosLat*d.Z
+	up := cosLat*cosLon*d.X + cosLat*sinLon*d.Y + sinLat*d.Z
+
+	rng := d.Norm()
+	az := Rad2Deg(math.Atan2(east, north))
+	if az < 0 {
+		az += 360
+	}
+	el := 90.0
+	if rng > 0 {
+		el = Rad2Deg(math.Asin(up / rng))
+	}
+	return LookAngles{AzimuthDeg: az, ElevationDeg: el, RangeKm: rng}
+}
+
+// MaxSlantRangeKm returns the maximum feasible slant range to a satellite at
+// the given altitude when the terminal's minimum elevation angle is
+// minElevDeg. For Starlink shell-1 (550 km, 25 degrees) this evaluates to
+// approximately 1123 km; the paper quotes the FCC filings' rounder figure of
+// 1089 km for the same configuration.
+func MaxSlantRangeKm(altKm, minElevDeg float64) float64 {
+	re := EarthRadiusKm
+	e := Deg2Rad(minElevDeg)
+	// Law of sines in the Earth-centre / observer / satellite triangle:
+	// the angle at the observer is 90+e, so the slant range is
+	//   d = re*( sqrt(((re+h)/re)^2 - cos^2 e) - sin e ).
+	ratio := (re + altKm) / re
+	return re * (math.Sqrt(ratio*ratio-math.Cos(e)*math.Cos(e)) - math.Sin(e))
+}
+
+// SpeedOfLightKmPerSec is the vacuum speed of light in km/s.
+const SpeedOfLightKmPerSec = 299792.458
+
+// PropagationDelayMs returns the one-way free-space propagation delay in
+// milliseconds over the given distance in kilometres.
+func PropagationDelayMs(distanceKm float64) float64 {
+	return distanceKm / SpeedOfLightKmPerSec * 1000
+}

@@ -1,0 +1,205 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (tol %g)", what, got, want, tol)
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	for _, d := range []float64{-180, -90, 0, 1, 45, 90, 179.5} {
+		almost(t, Rad2Deg(Deg2Rad(d)), d, 1e-12, "Rad2Deg(Deg2Rad)")
+	}
+}
+
+func TestLatLonValid(t *testing.T) {
+	cases := []struct {
+		p    LatLon
+		want bool
+	}{
+		{LatLon{0, 0, 0}, true},
+		{LatLon{90, 180, 0}, true},
+		{LatLon{-90, -180, 0}, true},
+		{LatLon{90.01, 0, 0}, false},
+		{LatLon{0, 180.01, 0}, false},
+		{LatLon{-91, 0, 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestToECEFEquator(t *testing.T) {
+	// A point on the equator at the prime meridian lies on the +X axis at
+	// the equatorial radius.
+	e := LatLon{0, 0, 0}.ToECEF()
+	almost(t, e.X, EquatorialRadiusKm, 1e-6, "X")
+	almost(t, e.Y, 0, 1e-6, "Y")
+	almost(t, e.Z, 0, 1e-6, "Z")
+}
+
+func TestToECEFPole(t *testing.T) {
+	// The pole's distance from the centre is the semi-minor axis b = a(1-f).
+	e := LatLon{90, 0, 0}.ToECEF()
+	b := EquatorialRadiusKm * (1 - Flattening)
+	almost(t, e.Z, b, 1e-6, "Z at pole")
+	almost(t, math.Hypot(e.X, e.Y), 0, 1e-6, "XY at pole")
+}
+
+func TestToECEFAltitudeAddsRadially(t *testing.T) {
+	ground := LatLon{0, 90, 0}.ToECEF()
+	raised := LatLon{0, 90, 550}.ToECEF()
+	almost(t, raised.Norm()-ground.Norm(), 550, 1e-9, "radial altitude gain")
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	london := LatLon{51.5074, -0.1278, 0}
+	newYork := LatLon{40.7128, -74.0060, 0}
+	sydney := LatLon{-33.8688, 151.2093, 0}
+
+	// Published great-circle distances (within ~0.5%).
+	almost(t, HaversineKm(london, newYork), 5570, 30, "London-NYC")
+	almost(t, HaversineKm(london, sydney), 16994, 100, "London-Sydney")
+	almost(t, HaversineKm(london, london), 0, 1e-9, "self distance")
+}
+
+func TestHaversineSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := LatLon{clampLat(lat1), clampLon(lon1), 0}
+		b := LatLon{clampLat(lat2), clampLon(lon2), 0}
+		d1 := HaversineKm(a, b)
+		d2 := HaversineKm(b, a)
+		return math.Abs(d1-d2) < 1e-9 && d1 >= 0 && d1 <= math.Pi*EarthRadiusKm+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampLat(v float64) float64 { return math.Mod(math.Abs(v), 180) - 90 }
+func clampLon(v float64) float64 { return math.Mod(math.Abs(v), 360) - 180 }
+
+func TestLookStraightUp(t *testing.T) {
+	obs := LatLon{51.5, -0.12, 0}
+	sat := LatLon{51.5, -0.12, 550}.ToECEF()
+	la := Look(obs, sat)
+	almost(t, la.ElevationDeg, 90, 0.01, "elevation overhead")
+	almost(t, la.RangeKm, 550, 0.5, "range overhead")
+}
+
+func TestLookNorthward(t *testing.T) {
+	obs := LatLon{0, 0, 0}
+	// A target slightly north at the same longitude and high altitude should
+	// appear roughly northward (azimuth near 0) with positive elevation.
+	sat := LatLon{5, 0, 550}.ToECEF()
+	la := Look(obs, sat)
+	if la.AzimuthDeg > 1 && la.AzimuthDeg < 359 {
+		t.Errorf("azimuth = %v, want ~0 (north)", la.AzimuthDeg)
+	}
+	if la.ElevationDeg <= 0 {
+		t.Errorf("elevation = %v, want > 0", la.ElevationDeg)
+	}
+}
+
+func TestLookBelowHorizon(t *testing.T) {
+	obs := LatLon{0, 0, 0}
+	// A satellite on the opposite side of the planet is far below the horizon.
+	sat := LatLon{0, 180, 550}.ToECEF()
+	la := Look(obs, sat)
+	if la.ElevationDeg >= 0 {
+		t.Errorf("elevation = %v, want < 0 for antipodal target", la.ElevationDeg)
+	}
+}
+
+func TestLookAzimuthQuadrants(t *testing.T) {
+	obs := LatLon{0, 0, 0}
+	cases := []struct {
+		target LatLon
+		azMin  float64
+		azMax  float64
+		name   string
+	}{
+		{LatLon{5, 0, 550}, 359, 1, "north"},
+		{LatLon{0, 5, 550}, 89, 91, "east"},
+		{LatLon{-5, 0, 550}, 179, 181, "south"},
+		{LatLon{0, -5, 550}, 269, 271, "west"},
+	}
+	for _, c := range cases {
+		la := Look(obs, c.target.ToECEF())
+		ok := false
+		if c.azMin > c.azMax { // wraps through 0
+			ok = la.AzimuthDeg >= c.azMin || la.AzimuthDeg <= c.azMax
+		} else {
+			ok = la.AzimuthDeg >= c.azMin && la.AzimuthDeg <= c.azMax
+		}
+		if !ok {
+			t.Errorf("%s: azimuth = %v, want in [%v, %v]", c.name, la.AzimuthDeg, c.azMin, c.azMax)
+		}
+	}
+}
+
+func TestMaxSlantRangeStarlinkShell1(t *testing.T) {
+	// The paper (FCC filings) quotes ~1089 km for 550 km altitude at a
+	// 25 degree minimum elevation angle; exact spherical geometry gives
+	// ~1123 km. Accept the geometric value and require it to be within a
+	// few percent of the paper's figure.
+	got := MaxSlantRangeKm(550, 25)
+	almost(t, got, 1123.3, 1, "shell-1 max slant range (geometric)")
+	if math.Abs(got-1089)/1089 > 0.05 {
+		t.Errorf("slant range %v deviates more than 5%% from the paper's 1089 km", got)
+	}
+}
+
+func TestMaxSlantRangeMonotonicInElevation(t *testing.T) {
+	// Raising the minimum elevation must shorten the maximum slant range.
+	prev := math.Inf(1)
+	for e := 5.0; e <= 90; e += 5 {
+		r := MaxSlantRangeKm(550, e)
+		if r >= prev {
+			t.Fatalf("slant range not decreasing at elevation %v: %v >= %v", e, r, prev)
+		}
+		prev = r
+	}
+	// At zenith-only visibility the range is exactly the altitude.
+	almost(t, MaxSlantRangeKm(550, 90), 550, 1e-6, "zenith range")
+}
+
+func TestPropagationDelay(t *testing.T) {
+	// 550 km bent-pipe leg: ~1.83 ms one way.
+	almost(t, PropagationDelayMs(550), 1.834, 0.01, "550km delay")
+	// Transatlantic fibre-ish distance.
+	almost(t, PropagationDelayMs(5570), 18.58, 0.05, "5570km delay")
+}
+
+func TestECEFVectorOps(t *testing.T) {
+	a := ECEF{1, 2, 3}
+	b := ECEF{4, 5, 6}
+	d := b.Sub(a)
+	almost(t, d.X, 3, 0, "Sub.X")
+	almost(t, d.Y, 3, 0, "Sub.Y")
+	almost(t, d.Z, 3, 0, "Sub.Z")
+	almost(t, a.Dot(b), 32, 0, "Dot")
+	almost(t, ECEF{3, 4, 0}.Norm(), 5, 1e-12, "Norm")
+}
+
+func TestLookRangeMatchesECEFDistance(t *testing.T) {
+	f := func(latO, lonO, latT, lonT float64) bool {
+		obs := LatLon{clampLat(latO), clampLon(lonO), 0}
+		tgt := LatLon{clampLat(latT), clampLon(lonT), 550}
+		la := Look(obs, tgt.ToECEF())
+		want := tgt.ToECEF().Sub(obs.ToECEF()).Norm()
+		return math.Abs(la.RangeKm-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

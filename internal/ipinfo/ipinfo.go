@@ -1,0 +1,139 @@
+// Package ipinfo is an offline stand-in for the IPinfo API the paper used to
+// classify each web request's ISP and city. It assigns synthetic IPs to
+// users, resolves them to {ASN, organisation, city, country}, and — crucially
+// for Figure 3 — reproduces the AS migration the paper observed: Starlink
+// traffic initially egressed through Google's AS36492 and switched to
+// SpaceX's own AS14593 (London between 16 and 24 Feb 2022, Sydney between 1
+// and 2 Apr 2022, Seattle on AS14593 throughout).
+//
+// As in the study's ethics protocol, the resolver never stores the IP after
+// lookup: Resolve returns the record and the caller keeps only ISP and
+// geography.
+package ipinfo
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Well-known autonomous systems from the paper.
+const (
+	ASGoogle = 36492
+	ASSpaceX = 14593
+)
+
+// Record is what a lookup returns.
+type Record struct {
+	ASN     int
+	Org     string
+	City    string
+	Country string
+	ISP     string // "starlink", "broadband" or "cellular"
+}
+
+// migration describes one city's Starlink egress-AS switchover window.
+type migration struct {
+	begin time.Time // last instant wholly on the old AS
+	end   time.Time // first instant wholly on the new AS
+}
+
+// The observed switchover windows.
+var migrations = map[string]migration{
+	"London": {
+		begin: time.Date(2022, 2, 16, 0, 0, 0, 0, time.UTC),
+		end:   time.Date(2022, 2, 24, 0, 0, 0, 0, time.UTC),
+	},
+	"Sydney": {
+		begin: time.Date(2022, 4, 1, 0, 0, 0, 0, time.UTC),
+		end:   time.Date(2022, 4, 2, 0, 0, 0, 0, time.UTC),
+	},
+	// Seattle intentionally absent: AS14593 throughout the study.
+}
+
+// StarlinkASAt returns the egress ASN for a Starlink user in the city at
+// the given time. Cities without a recorded migration observed SpaceX's AS
+// for the whole study.
+func StarlinkASAt(city string, at time.Time) int {
+	m, ok := migrations[city]
+	if !ok {
+		return ASSpaceX
+	}
+	switch {
+	case at.Before(m.begin):
+		return ASGoogle
+	case !at.Before(m.end):
+		return ASSpaceX
+	default:
+		// Inside the switchover window: the cut is modelled at the midpoint.
+		if at.Sub(m.begin) < m.end.Sub(m.begin)/2 {
+			return ASGoogle
+		}
+		return ASSpaceX
+	}
+}
+
+// MigrationWindow reports the switchover window for a city, if any.
+func MigrationWindow(city string) (begin, end time.Time, ok bool) {
+	m, found := migrations[city]
+	if !found {
+		return time.Time{}, time.Time{}, false
+	}
+	return m.begin, m.end, true
+}
+
+// Resolver maps synthetic IPs to subscriber metadata.
+type Resolver struct {
+	mu    sync.Mutex
+	next  int
+	users map[string]subscriber
+}
+
+type subscriber struct {
+	city    string
+	country string
+	isp     string
+}
+
+// NewResolver creates an empty resolver.
+func NewResolver() *Resolver {
+	return &Resolver{users: make(map[string]subscriber)}
+}
+
+// Assign allocates a synthetic IP for a subscriber.
+func (r *Resolver) Assign(city, country, isp string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	ip := fmt.Sprintf("100.64.%d.%d", r.next/256%256, r.next%256)
+	r.users[ip] = subscriber{city: city, country: country, isp: isp}
+	return ip
+}
+
+// Resolve looks an IP up at a point in time; the time matters because the
+// Starlink egress AS changed during the study.
+func (r *Resolver) Resolve(ip string, at time.Time) (Record, error) {
+	r.mu.Lock()
+	sub, ok := r.users[ip]
+	r.mu.Unlock()
+	if !ok {
+		return Record{}, fmt.Errorf("ipinfo: unknown ip %s", ip)
+	}
+	rec := Record{City: sub.city, Country: sub.country, ISP: sub.isp}
+	switch sub.isp {
+	case "starlink":
+		rec.ASN = StarlinkASAt(sub.city, at)
+		if rec.ASN == ASSpaceX {
+			rec.Org = "SpaceX Services, Inc."
+		} else {
+			rec.Org = "Google LLC"
+		}
+	case "cellular":
+		rec.ASN = 65100
+		rec.Org = "National Mobile Carrier"
+	default:
+		rec.ASN = 65200
+		rec.Org = "Metro Cable & Fibre"
+	}
+	return rec, nil
+}

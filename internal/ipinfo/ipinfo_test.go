@@ -1,0 +1,112 @@
+package ipinfo
+
+import (
+	"testing"
+	"time"
+)
+
+func date(y, m, d int) time.Time { return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC) }
+
+func TestStarlinkASMigrationLondon(t *testing.T) {
+	cases := []struct {
+		at   time.Time
+		want int
+	}{
+		{date(2021, 12, 1), ASGoogle},
+		{date(2022, 2, 15), ASGoogle},
+		{date(2022, 2, 17), ASGoogle}, // first half of the window
+		{date(2022, 2, 23), ASSpaceX}, // second half
+		{date(2022, 2, 24), ASSpaceX},
+		{date(2022, 5, 1), ASSpaceX},
+	}
+	for _, c := range cases {
+		if got := StarlinkASAt("London", c.at); got != c.want {
+			t.Errorf("London@%v = AS%d, want AS%d", c.at.Format("2006-01-02"), got, c.want)
+		}
+	}
+}
+
+func TestStarlinkASMigrationSydney(t *testing.T) {
+	if got := StarlinkASAt("Sydney", date(2022, 3, 31)); got != ASGoogle {
+		t.Errorf("Sydney before window = AS%d", got)
+	}
+	if got := StarlinkASAt("Sydney", date(2022, 4, 2)); got != ASSpaceX {
+		t.Errorf("Sydney after window = AS%d", got)
+	}
+}
+
+func TestStarlinkASSeattleAlwaysSpaceX(t *testing.T) {
+	for _, at := range []time.Time{date(2021, 12, 1), date(2022, 3, 1), date(2022, 5, 30)} {
+		if got := StarlinkASAt("Seattle", at); got != ASSpaceX {
+			t.Errorf("Seattle@%v = AS%d, want AS%d", at, got, ASSpaceX)
+		}
+	}
+}
+
+func TestMigrationWindow(t *testing.T) {
+	begin, end, ok := MigrationWindow("London")
+	if !ok {
+		t.Fatal("London should have a migration window")
+	}
+	if !begin.Equal(date(2022, 2, 16)) || !end.Equal(date(2022, 2, 24)) {
+		t.Errorf("window = %v..%v", begin, end)
+	}
+	if _, _, ok := MigrationWindow("Seattle"); ok {
+		t.Error("Seattle should have no migration window")
+	}
+}
+
+func TestResolverAssignAndResolve(t *testing.T) {
+	r := NewResolver()
+	ip := r.Assign("London", "GB", "starlink")
+	if ip == "" {
+		t.Fatal("empty IP")
+	}
+	rec, err := r.Resolve(ip, date(2022, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.City != "London" || rec.Country != "GB" || rec.ISP != "starlink" {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.ASN != ASGoogle || rec.Org != "Google LLC" {
+		t.Errorf("pre-migration record = %+v", rec)
+	}
+	rec2, _ := r.Resolve(ip, date(2022, 5, 1))
+	if rec2.ASN != ASSpaceX || rec2.Org != "SpaceX Services, Inc." {
+		t.Errorf("post-migration record = %+v", rec2)
+	}
+}
+
+func TestResolverOtherISPs(t *testing.T) {
+	r := NewResolver()
+	cell := r.Assign("London", "GB", "cellular")
+	bb := r.Assign("London", "GB", "broadband")
+	rc, _ := r.Resolve(cell, date(2022, 1, 1))
+	rb, _ := r.Resolve(bb, date(2022, 1, 1))
+	if rc.ASN == rb.ASN {
+		t.Error("cellular and broadband should differ")
+	}
+	if rc.ASN == ASGoogle || rc.ASN == ASSpaceX || rb.ASN == ASGoogle || rb.ASN == ASSpaceX {
+		t.Error("terrestrial ISPs must not use Starlink ASNs")
+	}
+}
+
+func TestResolverUnknownIP(t *testing.T) {
+	r := NewResolver()
+	if _, err := r.Resolve("203.0.113.9", date(2022, 1, 1)); err == nil {
+		t.Error("want error for unknown IP")
+	}
+}
+
+func TestResolverUniqueIPs(t *testing.T) {
+	r := NewResolver()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		ip := r.Assign("X", "Y", "starlink")
+		if seen[ip] {
+			t.Fatalf("duplicate IP %s", ip)
+		}
+		seen[ip] = true
+	}
+}

@@ -1,0 +1,465 @@
+// Package ispnet builds the end-to-end network paths the study measures
+// over: a Starlink bent-pipe access path, a terrestrial broadband (WiFi)
+// path, and a cellular path, each from a city to a measurement server, with
+// named hops so traceroute output looks like the paper's Figure 5.
+//
+// Inter-city fibre delays are derived from great-circle distance with a 1.4x
+// route factor at 2/3 c — the standard approximation for terrestrial and
+// submarine fibre.
+package ispnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"starlinkview/internal/bentpipe"
+	"starlinkview/internal/geo"
+	"starlinkview/internal/netsim"
+	"starlinkview/internal/orbit"
+	"starlinkview/internal/weather"
+)
+
+// Kind identifies the access technology.
+type Kind int
+
+// The three access technologies of Figure 5.
+const (
+	Starlink Kind = iota
+	Broadband
+	Cellular
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Starlink:
+		return "starlink"
+	case Broadband:
+		return "broadband"
+	case Cellular:
+		return "cellular"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// City is a vantage point with everything the Starlink model needs.
+type City struct {
+	Name           string
+	Loc            geo.LatLon
+	UTCOffsetHours float64
+	// PoP is the Starlink gateway location serving the city.
+	PoP geo.LatLon
+	// Subscribers scales Starlink cell crowding (1 = nominal). The paper
+	// hypothesises that crowding explains the geographic throughput spread.
+	Subscribers float64
+	// Climatology drives the weather generator.
+	Climatology weather.Climatology
+	// ASN strings for IPinfo tagging.
+	CountryCode string
+}
+
+// The study's vantage points. Coordinates are city centres; PoPs are the
+// closest known 2022-era Starlink gateways.
+var (
+	London = City{
+		Name: "London", Loc: geo.LatLon{LatDeg: 51.5074, LonDeg: -0.1278},
+		UTCOffsetHours: 1, PoP: geo.LatLon{LatDeg: 51.28, LonDeg: 0.53},
+		Subscribers: 0.85, Climatology: weather.London(), CountryCode: "GB",
+	}
+	Wiltshire = City{
+		Name: "Wiltshire", Loc: geo.LatLon{LatDeg: 51.3492, LonDeg: -1.9927},
+		UTCOffsetHours: 1, PoP: geo.LatLon{LatDeg: 51.28, LonDeg: 0.53},
+		Subscribers: 0.85, Climatology: weather.London(), CountryCode: "GB",
+	}
+	Seattle = City{
+		Name: "Seattle", Loc: geo.LatLon{LatDeg: 47.6062, LonDeg: -122.3321},
+		UTCOffsetHours: -7, PoP: geo.LatLon{LatDeg: 47.30, LonDeg: -122.27},
+		Subscribers: 1.05, Climatology: weather.Seattle(), CountryCode: "US",
+	}
+	Sydney = City{
+		Name: "Sydney", Loc: geo.LatLon{LatDeg: -33.8688, LonDeg: 151.2093},
+		UTCOffsetHours: 10, PoP: geo.LatLon{LatDeg: -34.06, LonDeg: 150.79},
+		Subscribers: 1.05, Climatology: weather.Sydney(), CountryCode: "AU",
+	}
+	Toronto = City{
+		Name: "Toronto", Loc: geo.LatLon{LatDeg: 43.6532, LonDeg: -79.3832},
+		UTCOffsetHours: -4, PoP: geo.LatLon{LatDeg: 43.86, LonDeg: -79.03},
+		Subscribers: 2.15, Climatology: weather.Seattle(), CountryCode: "CA",
+	}
+	Warsaw = City{
+		Name: "Warsaw", Loc: geo.LatLon{LatDeg: 52.2297, LonDeg: 21.0122},
+		UTCOffsetHours: 2, PoP: geo.LatLon{LatDeg: 50.11, LonDeg: 8.68},
+		Subscribers: 2.35, Climatology: weather.London(), CountryCode: "PL",
+	}
+	Barcelona = City{
+		Name: "Barcelona", Loc: geo.LatLon{LatDeg: 41.3874, LonDeg: 2.1686},
+		UTCOffsetHours: 2, PoP: geo.LatLon{LatDeg: 40.42, LonDeg: -3.70},
+		Subscribers: 0.45, Climatology: weather.Barcelona(), CountryCode: "ES",
+	}
+	NorthCarolina = City{
+		Name: "NorthCarolina", Loc: geo.LatLon{LatDeg: 35.7796, LonDeg: -78.6382},
+		UTCOffsetHours: -4, PoP: geo.LatLon{LatDeg: 33.75, LonDeg: -84.39},
+		Subscribers: 2.2, Climatology: weather.NorthCarolina(), CountryCode: "US",
+	}
+	Berlin = City{
+		Name: "Berlin", Loc: geo.LatLon{LatDeg: 52.52, LonDeg: 13.405},
+		UTCOffsetHours: 2, PoP: geo.LatLon{LatDeg: 50.11, LonDeg: 8.68},
+		Subscribers: 1.1, Climatology: weather.London(), CountryCode: "DE",
+	}
+	Denver = City{
+		Name: "Denver", Loc: geo.LatLon{LatDeg: 39.7392, LonDeg: -104.9903},
+		UTCOffsetHours: -6, PoP: geo.LatLon{LatDeg: 39.74, LonDeg: -104.99},
+		Subscribers: 1.35, Climatology: weather.NorthCarolina(), CountryCode: "US",
+	}
+)
+
+// Cities returns all modelled vantage points — the ten cities of the
+// paper's Figure 1.
+func Cities() []City {
+	return []City{London, Wiltshire, Seattle, Sydney, Toronto, Warsaw, Barcelona, NorthCarolina, Berlin, Denver}
+}
+
+// CityByName finds a city by name.
+func CityByName(name string) (City, error) {
+	for _, c := range Cities() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return City{}, fmt.Errorf("ispnet: unknown city %q", name)
+}
+
+// ServerSite is a measurement server location.
+type ServerSite struct {
+	Name string
+	Loc  geo.LatLon
+}
+
+// The Google Cloud regions the paper's servers lived in.
+var (
+	IowaDC      = ServerSite{Name: "gcp-iowa", Loc: geo.LatLon{LatDeg: 41.26, LonDeg: -95.86}}
+	NVirginiaDC = ServerSite{Name: "gcp-nvirginia", Loc: geo.LatLon{LatDeg: 39.04, LonDeg: -77.49}}
+	LondonDC    = ServerSite{Name: "gcp-london", Loc: geo.LatLon{LatDeg: 51.51, LonDeg: -0.12}}
+	MadridDC    = ServerSite{Name: "gcp-madrid", Loc: geo.LatLon{LatDeg: 40.42, LonDeg: -3.70}}
+	SydneyDC    = ServerSite{Name: "gcp-sydney", Loc: geo.LatLon{LatDeg: -33.87, LonDeg: 151.21}}
+	TorontoDC   = ServerSite{Name: "gcp-toronto", Loc: geo.LatLon{LatDeg: 43.65, LonDeg: -79.38}}
+	WarsawDC    = ServerSite{Name: "gcp-warsaw", Loc: geo.LatLon{LatDeg: 52.23, LonDeg: 21.01}}
+)
+
+// ClosestDC returns the closest Google Cloud site to the city — the paper's
+// rule for matching volunteer nodes to iperf servers.
+func ClosestDC(c City) ServerSite {
+	sites := []ServerSite{IowaDC, NVirginiaDC, LondonDC, MadridDC, SydneyDC, TorontoDC, WarsawDC}
+	best := sites[0]
+	bestD := geo.HaversineKm(c.Loc, best.Loc)
+	for _, s := range sites[1:] {
+		if d := geo.HaversineKm(c.Loc, s.Loc); d < bestD {
+			best, bestD = s, d
+		}
+	}
+	return best
+}
+
+// FibreDelay returns the one-way fibre propagation delay between two points:
+// great-circle distance x 1.4 route factor at 2/3 the speed of light.
+func FibreDelay(a, b geo.LatLon) time.Duration {
+	km := geo.HaversineKm(a, b) * 1.4
+	const fibreKmPerSec = geo.SpeedOfLightKmPerSec * 2 / 3
+	return time.Duration(km / fibreKmPerSec * float64(time.Second))
+}
+
+// Config describes one end-to-end path to build.
+type Config struct {
+	Kind   Kind
+	City   City
+	Server ServerSite
+
+	// Starlink-only inputs.
+	Constellation *orbit.Constellation
+	Policy        orbit.SelectionPolicy
+	Weather       *weather.Generator
+	Epoch         time.Time
+	// DownCapacityBps/UpCapacityBps override the access capacities
+	// (defaults per kind if zero).
+	DownCapacityBps float64
+	UpCapacityBps   float64
+
+	// Short collapses the wide-area segment into a single link with the
+	// same total delay. Throughput and loss experiments use short paths
+	// (the access link is the bottleneck either way) so packet-level
+	// simulation stays cheap; traceroute experiments need the full path.
+	Short bool
+
+	Seed int64
+}
+
+// Built is a constructed path plus its metadata.
+type Built struct {
+	Path *netsim.Path
+	// Pipe is the bent-pipe model for Starlink paths, nil otherwise.
+	Pipe *bentpipe.BentPipe
+	// HopAddrs lists the addresses revealed by traceroute, in order from the
+	// first router after the client to the server.
+	HopAddrs []string
+	Kind     Kind
+}
+
+// Default access capacities per kind.
+const (
+	defaultStarlinkDown  = 330e6
+	defaultStarlinkUp    = 28e6
+	defaultBroadbandDown = 350e6
+	defaultBroadbandUp   = 100e6
+	defaultCellularDown  = 55e6
+	defaultCellularUp    = 18e6
+)
+
+// jitterFn returns a DelayFn adding exponential jitter with the given mean,
+// drawn from a deterministic per-link source.
+func jitterFn(seed int64, mean time.Duration) func(netsim.Time) netsim.Time {
+	if mean <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return func(netsim.Time) netsim.Time {
+		return time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+}
+
+// lossFn returns a LossFn with fixed probability.
+func lossFn(seed int64, prob float64) func(netsim.Time, *netsim.Packet) bool {
+	if prob <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return func(netsim.Time, *netsim.Packet) bool { return rng.Float64() < prob }
+}
+
+// Build constructs the path. The client node is named "<city>-<kind>-client"
+// and the server node after the server site.
+func Build(cfg Config) (*Built, error) {
+	if cfg.Server.Name == "" {
+		return nil, fmt.Errorf("ispnet: server site is required")
+	}
+	switch cfg.Kind {
+	case Starlink:
+		return buildStarlink(cfg)
+	case Broadband:
+		return buildBroadband(cfg)
+	case Cellular:
+		return buildCellular(cfg)
+	default:
+		return nil, fmt.Errorf("ispnet: unknown kind %v", cfg.Kind)
+	}
+}
+
+// core builds the shared wide-area segment: IX -> transit -> (ocean) ->
+// dc-core -> dc-edge -> server. It returns nodes (excluding the IX) and the
+// link specs connecting them, starting from the IX.
+func core(cfg Config, ixLoc geo.LatLon, prefix string) (nodes []*netsim.Node, fwd, rev []netsim.LinkSpec) {
+	serverLoc := cfg.Server.Loc
+	total := FibreDelay(ixLoc, serverLoc)
+	// Split the wide-area delay: 10% to a transit hop, 80% on the long-haul
+	// link, 10% inside the destination metro.
+	transit := netsim.NewNode(prefix+"-transit", fmt.Sprintf("be3.%s.transit.net", prefix))
+	landing := netsim.NewNode(prefix+"-landing", fmt.Sprintf("ae1.%s.landing.net", cfg.Server.Name))
+	dcCore := netsim.NewNode(cfg.Server.Name+"-core", "core1."+cfg.Server.Name+".google.com")
+	dcEdge := netsim.NewNode(cfg.Server.Name+"-edge", "edge2."+cfg.Server.Name+".google.com")
+	server := netsim.NewNode(cfg.Server.Name, cfg.Server.Name+".vm.google.com")
+
+	seed := cfg.Seed * 31
+	mk := func(frac float64, rate float64, jm time.Duration, s int64) netsim.LinkSpec {
+		return netsim.LinkSpec{
+			RateBps: rate,
+			Delay:   time.Duration(float64(total) * frac),
+			DelayFn: jitterFn(s, jm),
+		}
+	}
+	nodes = []*netsim.Node{transit, landing, dcCore, dcEdge, server}
+	fwd = []netsim.LinkSpec{
+		mk(0.10, 100e9, 1500*time.Microsecond, seed+1),
+		mk(0.80, 100e9, 2500*time.Microsecond, seed+2),
+		mk(0.06, 100e9, 800*time.Microsecond, seed+3),
+		mk(0.02, 40e9, 400*time.Microsecond, seed+4),
+		mk(0.02, 10e9, 200*time.Microsecond, seed+5),
+	}
+	rev = []netsim.LinkSpec{
+		mk(0.10, 100e9, 1500*time.Microsecond, seed+6),
+		mk(0.80, 100e9, 2500*time.Microsecond, seed+7),
+		mk(0.06, 100e9, 800*time.Microsecond, seed+8),
+		mk(0.02, 40e9, 400*time.Microsecond, seed+9),
+		mk(0.02, 10e9, 200*time.Microsecond, seed+10),
+	}
+	return nodes, fwd, rev
+}
+
+// coreShort is the Short-path variant of core: one hop carrying the whole
+// wide-area delay.
+func coreShort(cfg Config, ixLoc geo.LatLon) (nodes []*netsim.Node, fwd, rev []netsim.LinkSpec) {
+	total := FibreDelay(ixLoc, cfg.Server.Loc)
+	server := netsim.NewNode(cfg.Server.Name, cfg.Server.Name+".vm.google.com")
+	seed := cfg.Seed * 37
+	spec := func(s int64) netsim.LinkSpec {
+		return netsim.LinkSpec{RateBps: 10e9, Delay: total, DelayFn: jitterFn(s, 80*time.Microsecond)}
+	}
+	return []*netsim.Node{server}, []netsim.LinkSpec{spec(seed + 1)}, []netsim.LinkSpec{spec(seed + 2)}
+}
+
+// coreSegment picks the full or collapsed wide-area segment.
+func coreSegment(cfg Config, ixLoc geo.LatLon, prefix string) ([]*netsim.Node, []netsim.LinkSpec, []netsim.LinkSpec) {
+	if cfg.Short {
+		return coreShort(cfg, ixLoc)
+	}
+	return core(cfg, ixLoc, prefix)
+}
+
+func hopAddrs(p *netsim.Path) []string {
+	addrs := make([]string, 0, len(p.Nodes)-1)
+	for _, n := range p.Nodes[1:] {
+		addrs = append(addrs, n.HopAddr)
+	}
+	return addrs
+}
+
+func buildStarlink(cfg Config) (*Built, error) {
+	if cfg.Constellation == nil {
+		return nil, fmt.Errorf("ispnet: starlink path needs a constellation")
+	}
+	if cfg.Epoch.IsZero() {
+		return nil, fmt.Errorf("ispnet: starlink path needs an epoch")
+	}
+	down := cfg.DownCapacityBps
+	if down == 0 {
+		down = defaultStarlinkDown
+	}
+	up := cfg.UpCapacityBps
+	if up == 0 {
+		up = defaultStarlinkUp
+	}
+	pipe, err := bentpipe.New(bentpipe.Config{
+		Terminal:        cfg.City.Loc,
+		PoP:             cfg.City.PoP,
+		Constellation:   cfg.Constellation,
+		Policy:          cfg.Policy,
+		Epoch:           cfg.Epoch,
+		Weather:         cfg.Weather,
+		DownCapacityBps: down,
+		UpCapacityBps:   up,
+		Load: bentpipe.DiurnalLoad{
+			Base: 0.15, Peak: 0.62, PeakHour: 21,
+			UTCOffsetHours: cfg.City.UTCOffsetHours,
+			Subscribers:    cfg.City.Subscribers,
+		},
+		Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	client := netsim.NewNode(cfg.City.Name+"-starlink-client", "rpi."+cfg.City.Name+".lan")
+	pop := netsim.NewNode(cfg.City.Name+"-starlink-pop", fmt.Sprintf("customer.%spop.starlinkisp.net", cfg.City.CountryCode))
+	ix := netsim.NewNode(cfg.City.Name+"-iex", cfg.City.Name+"IEX")
+
+	coreNodes, coreFwd, coreRev := coreSegment(cfg, cfg.City.PoP, cfg.City.Name+"-sl")
+	nodes := append([]*netsim.Node{client, pop, ix}, coreNodes...)
+
+	// Buffer sizing: roughly one BDP at nominal capacity and 60 ms RTT.
+	upQ := int(up / 8 * 0.12)
+	downQ := int(down / 8 * 0.12)
+
+	ixDelay := FibreDelay(cfg.City.PoP, cfg.City.Loc) / 2
+	if ixDelay < 500*time.Microsecond {
+		ixDelay = 500 * time.Microsecond
+	}
+	fwd := append([]netsim.LinkSpec{
+		pipe.UpLinkSpec(upQ),
+		{RateBps: 50e9, Delay: ixDelay, DelayFn: jitterFn(cfg.Seed+101, 200*time.Microsecond)},
+	}, coreFwd...)
+	rev := append([]netsim.LinkSpec{
+		pipe.DownLinkSpec(downQ),
+		{RateBps: 50e9, Delay: ixDelay, DelayFn: jitterFn(cfg.Seed+102, 200*time.Microsecond)},
+	}, coreRev...)
+
+	p, err := netsim.NewPath(nodes, fwd, rev)
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Path: p, Pipe: pipe, HopAddrs: hopAddrs(p), Kind: Starlink}, nil
+}
+
+func buildBroadband(cfg Config) (*Built, error) {
+	down := cfg.DownCapacityBps
+	if down == 0 {
+		down = defaultBroadbandDown
+	}
+	up := cfg.UpCapacityBps
+	if up == 0 {
+		up = defaultBroadbandUp
+	}
+	client := netsim.NewNode(cfg.City.Name+"-broadband-client", "laptop."+cfg.City.Name+".wlan")
+	router := netsim.NewNode(cfg.City.Name+"-home-router", "gw.campus."+cfg.City.CountryCode)
+	bng := netsim.NewNode(cfg.City.Name+"-bng", fmt.Sprintf("ae29.%shx-sbr1.ja.net", cfg.City.CountryCode))
+	ix := netsim.NewNode(cfg.City.Name+"-bb-iex", cfg.City.Name+"IEX")
+
+	coreNodes, coreFwd, coreRev := coreSegment(cfg, cfg.City.Loc, cfg.City.Name+"-bb")
+	nodes := append([]*netsim.Node{client, router, bng, ix}, coreNodes...)
+
+	// WiFi hop: sub-millisecond wired-equivalent with light jitter and a
+	// whisper of loss; access network hops are fast and stable.
+	wifiLoss := lossFn(cfg.Seed+201, 0.00001)
+	fwd := append([]netsim.LinkSpec{
+		{RateBps: up, Delay: time.Millisecond, QueueByte: int(up / 8 * 0.05), DelayFn: jitterFn(cfg.Seed+202, 40*time.Microsecond), LossFn: wifiLoss},
+		{RateBps: 10e9, Delay: 1500 * time.Microsecond, DelayFn: jitterFn(cfg.Seed+203, 40*time.Microsecond)},
+		{RateBps: 100e9, Delay: time.Millisecond, DelayFn: jitterFn(cfg.Seed+204, 200*time.Microsecond)},
+	}, coreFwd...)
+	rev := append([]netsim.LinkSpec{
+		{RateBps: down, Delay: time.Millisecond, QueueByte: int(down / 8 * 0.05), DelayFn: jitterFn(cfg.Seed+205, 40*time.Microsecond), LossFn: lossFn(cfg.Seed+206, 0.00001)},
+		{RateBps: 10e9, Delay: 1500 * time.Microsecond, DelayFn: jitterFn(cfg.Seed+207, 40*time.Microsecond)},
+		{RateBps: 100e9, Delay: time.Millisecond, DelayFn: jitterFn(cfg.Seed+208, 200*time.Microsecond)},
+	}, coreRev...)
+
+	p, err := netsim.NewPath(nodes, fwd, rev)
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Path: p, HopAddrs: hopAddrs(p), Kind: Broadband}, nil
+}
+
+func buildCellular(cfg Config) (*Built, error) {
+	down := cfg.DownCapacityBps
+	if down == 0 {
+		down = defaultCellularDown
+	}
+	up := cfg.UpCapacityBps
+	if up == 0 {
+		up = defaultCellularUp
+	}
+	client := netsim.NewNode(cfg.City.Name+"-cellular-client", "ue."+cfg.City.Name+".cell")
+	gnb := netsim.NewNode(cfg.City.Name+"-gnb", "Cellular-"+cfg.City.CountryCode)
+	epc := netsim.NewNode(cfg.City.Name+"-epc", "cgnat.epc."+cfg.City.CountryCode)
+	ix := netsim.NewNode(cfg.City.Name+"-cell-iex", cfg.City.Name+"IEX")
+
+	coreNodes, coreFwd, coreRev := coreSegment(cfg, cfg.City.Loc, cfg.City.Name+"-cell")
+	nodes := append([]*netsim.Node{client, gnb, epc, ix}, coreNodes...)
+
+	// Radio access: ~20 ms scheduling latency each way with heavy jitter and
+	// a deep (bufferbloated) queue, as LTE/5G NSA measured in 2022.
+	fwd := append([]netsim.LinkSpec{
+		{RateBps: up, Delay: 18 * time.Millisecond, QueueByte: int(up / 8 * 0.5), DelayFn: jitterFn(cfg.Seed+301, 9*time.Millisecond), LossFn: lossFn(cfg.Seed+302, 0.00005)},
+		{RateBps: 10e9, Delay: 4 * time.Millisecond, DelayFn: jitterFn(cfg.Seed+303, time.Millisecond)},
+		{RateBps: 100e9, Delay: 2 * time.Millisecond, DelayFn: jitterFn(cfg.Seed+304, 500*time.Microsecond)},
+	}, coreFwd...)
+	rev := append([]netsim.LinkSpec{
+		{RateBps: down, Delay: 18 * time.Millisecond, QueueByte: int(down / 8 * 0.5), DelayFn: jitterFn(cfg.Seed+305, 9*time.Millisecond), LossFn: lossFn(cfg.Seed+306, 0.00005)},
+		{RateBps: 10e9, Delay: 4 * time.Millisecond, DelayFn: jitterFn(cfg.Seed+307, time.Millisecond)},
+		{RateBps: 100e9, Delay: 2 * time.Millisecond, DelayFn: jitterFn(cfg.Seed+308, 500*time.Microsecond)},
+	}, coreRev...)
+
+	p, err := netsim.NewPath(nodes, fwd, rev)
+	if err != nil {
+		return nil, err
+	}
+	return &Built{Path: p, HopAddrs: hopAddrs(p), Kind: Cellular}, nil
+}

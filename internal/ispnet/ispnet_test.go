@@ -1,0 +1,179 @@
+package ispnet
+
+import (
+	"testing"
+	"time"
+
+	"starlinkview/internal/geo"
+	"starlinkview/internal/orbit"
+)
+
+var testEpoch = time.Date(2022, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func testConstellation(t *testing.T) *orbit.Constellation {
+	t.Helper()
+	c, err := orbit.GenerateShell(orbit.ShellConfig{
+		Name: "STARLINK", AltitudeKm: 550, InclinationDeg: 53,
+		Planes: 24, SatsPerPlane: 22, PhasingF: 13,
+		Epoch: testEpoch, FirstSatNum: 44000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestKindString(t *testing.T) {
+	if Starlink.String() != "starlink" || Broadband.String() != "broadband" || Cellular.String() != "cellular" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestCitiesCatalogue(t *testing.T) {
+	cities := Cities()
+	if len(cities) < 8 {
+		t.Fatalf("only %d cities", len(cities))
+	}
+	names := map[string]bool{}
+	for _, c := range cities {
+		if names[c.Name] {
+			t.Errorf("duplicate city %q", c.Name)
+		}
+		names[c.Name] = true
+		if !c.Loc.Valid() || !c.PoP.Valid() {
+			t.Errorf("%s: invalid coordinates", c.Name)
+		}
+		if c.Subscribers <= 0 {
+			t.Errorf("%s: non-positive subscribers", c.Name)
+		}
+	}
+	if _, err := CityByName("London"); err != nil {
+		t.Error(err)
+	}
+	if _, err := CityByName("Atlantis"); err == nil {
+		t.Error("want error for unknown city")
+	}
+}
+
+func TestClosestDC(t *testing.T) {
+	cases := []struct {
+		city City
+		want string
+	}{
+		{London, "gcp-london"},
+		{Wiltshire, "gcp-london"},
+		{Barcelona, "gcp-madrid"},
+		{NorthCarolina, "gcp-nvirginia"},
+		{Sydney, "gcp-sydney"},
+		{Warsaw, "gcp-warsaw"},
+	}
+	for _, c := range cases {
+		if got := ClosestDC(c.city); got.Name != c.want {
+			t.Errorf("ClosestDC(%s) = %s, want %s", c.city.Name, got.Name, c.want)
+		}
+	}
+}
+
+func TestFibreDelay(t *testing.T) {
+	// London -> Ashburn is ~5900 km great circle; with the 1.4x route
+	// factor at 2/3 c the one-way fibre delay is ~40 ms.
+	d := FibreDelay(London.Loc, NVirginiaDC.Loc)
+	if d < 35*time.Millisecond || d > 48*time.Millisecond {
+		t.Errorf("London->NVirginia fibre delay = %v, want ~40ms", d)
+	}
+	if FibreDelay(London.Loc, London.Loc) != 0 {
+		t.Error("zero-distance delay should be zero")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{Kind: Starlink, City: London}); err == nil {
+		t.Error("want error for missing server")
+	}
+	if _, err := Build(Config{Kind: Starlink, City: London, Server: NVirginiaDC}); err == nil {
+		t.Error("want error for missing constellation")
+	}
+	if _, err := Build(Config{Kind: Kind(42), City: London, Server: NVirginiaDC}); err == nil {
+		t.Error("want error for unknown kind")
+	}
+	if _, err := Build(Config{
+		Kind: Starlink, City: London, Server: NVirginiaDC,
+		Constellation: testConstellation(t),
+	}); err == nil {
+		t.Error("want error for missing epoch")
+	}
+}
+
+func TestBuildAllKinds(t *testing.T) {
+	c := testConstellation(t)
+	for _, kind := range []Kind{Starlink, Broadband, Cellular} {
+		b, err := Build(Config{
+			Kind: kind, City: London, Server: NVirginiaDC,
+			Constellation: c, Epoch: testEpoch, Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(b.HopAddrs) < 6 {
+			t.Errorf("%v: only %d hops", kind, len(b.HopAddrs))
+		}
+		if b.HopAddrs[len(b.HopAddrs)-1] != NVirginiaDC.Name+".vm.google.com" {
+			t.Errorf("%v: final hop %q", kind, b.HopAddrs[len(b.HopAddrs)-1])
+		}
+		if kind == Starlink && b.Pipe == nil {
+			t.Error("starlink build missing bent pipe")
+		}
+		if kind != Starlink && b.Pipe != nil {
+			t.Errorf("%v build has a bent pipe", kind)
+		}
+		// Base RTT must be dominated by the transatlantic crossing.
+		if rtt := b.Path.BaseRTT(); rtt < 60*time.Millisecond || rtt > 200*time.Millisecond {
+			t.Errorf("%v: base RTT %v implausible for London->NVirginia", kind, rtt)
+		}
+	}
+}
+
+func TestStarlinkHopNames(t *testing.T) {
+	b, err := Build(Config{
+		Kind: Starlink, City: London, Server: NVirginiaDC,
+		Constellation: testConstellation(t), Epoch: testEpoch, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First hop is the Starlink PoP, second the IX — the structure of the
+	// paper's Figure 5.
+	if b.HopAddrs[0] != "customer.GBpop.starlinkisp.net" {
+		t.Errorf("hop1 = %q", b.HopAddrs[0])
+	}
+	if b.HopAddrs[1] != "LondonIEX" {
+		t.Errorf("hop2 = %q", b.HopAddrs[1])
+	}
+}
+
+func TestSubscribersOrderingMatchesPaper(t *testing.T) {
+	// The calibration encodes the paper's throughput ordering: Barcelona
+	// least crowded, then London/UK, then the North-American cells.
+	if !(Barcelona.Subscribers < London.Subscribers &&
+		London.Subscribers < Seattle.Subscribers &&
+		Seattle.Subscribers < NorthCarolina.Subscribers) {
+		t.Error("subscriber crowding ordering does not match the paper's throughput ordering")
+	}
+	if !(Toronto.Subscribers > Seattle.Subscribers && Warsaw.Subscribers > Toronto.Subscribers) {
+		t.Error("Table 3 ordering (London > Seattle > Toronto > Warsaw) not encoded")
+	}
+}
+
+func TestClosestDCIsClosest(t *testing.T) {
+	for _, c := range Cities() {
+		best := ClosestDC(c)
+		for _, s := range []ServerSite{IowaDC, NVirginiaDC, LondonDC, MadridDC, SydneyDC, TorontoDC, WarsawDC} {
+			if geo.HaversineKm(c.Loc, s.Loc) < geo.HaversineKm(c.Loc, best.Loc)-1e-9 {
+				t.Errorf("%s: %s is closer than ClosestDC result %s", c.Name, s.Name, best.Name)
+			}
+		}
+	}
+}

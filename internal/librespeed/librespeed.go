@@ -1,0 +1,392 @@
+// Package librespeed implements the HTTP speedtest protocol of the
+// Librespeed project, which the paper embedded in its browser extension and
+// hosted on a Google Cloud VM in Iowa ("we developed a Web Browser extension
+// that can do speedtests within the browser (based on [33])" — [33] is
+// Librespeed).
+//
+// The server exposes the standard Librespeed endpoints over real TCP:
+//
+//	GET  /garbage?ckSize=N   N chunks of 1 MiB of incompressible bytes (download)
+//	POST /empty              discards the request body (upload)
+//	GET  /empty              empty 200 (latency probe)
+//	GET  /getIP              the caller's address
+//
+// The client runs the protocol phases the way the extension did: latency
+// pings, a parallel-stream download, and a parallel-stream upload, measuring
+// over a grace-trimmed window. Against a loopback server this measures real
+// socket throughput; the unit tests throttle the connection to verify the
+// measurement logic.
+package librespeed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const chunkSize = 1 << 20 // Librespeed's 1 MiB garbage chunk
+
+// Server is a Librespeed-protocol speedtest server.
+type Server struct {
+	httpServer *http.Server
+	listener   net.Listener
+	chunk      []byte
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer builds a server with a deterministic incompressible chunk.
+func NewServer(seed int64) *Server {
+	chunk := make([]byte, chunkSize)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range chunk {
+		chunk[i] = byte(rng.Intn(256))
+	}
+	s := &Server{chunk: chunk}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/garbage", s.handleGarbage)
+	mux.HandleFunc("/empty", s.handleEmpty)
+	mux.HandleFunc("/getIP", s.handleGetIP)
+	s.httpServer = &http.Server{Handler: mux}
+	return s
+}
+
+// Listen binds the server ("127.0.0.1:0" picks a port) and starts serving in
+// the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("librespeed: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	go func() {
+		_ = s.httpServer.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.httpServer.Shutdown(ctx)
+}
+
+func (s *Server) handleGarbage(w http.ResponseWriter, r *http.Request) {
+	n := 4
+	if v := r.URL.Query().Get("ckSize"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 || parsed > 1024 {
+			http.Error(w, "bad ckSize", http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(n*chunkSize))
+	for i := 0; i < n; i++ {
+		if _, err := w.Write(s.chunk); err != nil {
+			return // client went away
+		}
+	}
+}
+
+func (s *Server) handleEmpty(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		_, _ = io.Copy(io.Discard, r.Body)
+	}
+	w.Header().Set("Content-Length", "0")
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Server) handleGetIP(w http.ResponseWriter, r *http.Request) {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	fmt.Fprint(w, host)
+}
+
+// Result is one client measurement.
+type Result struct {
+	PingMs   float64
+	JitterMs float64
+	DownMbps float64
+	UpMbps   float64
+	ClientIP string
+}
+
+// ClientOptions tunes a test run.
+type ClientOptions struct {
+	// Streams is the parallel connection count per direction (default 4,
+	// Librespeed's xhr default is 3-6).
+	Streams int
+	// Duration is the per-direction measuring time (default 3s).
+	Duration time.Duration
+	// Grace is trimmed from the start of each phase (default 20% of
+	// Duration), like Librespeed's overheadCompensation window.
+	Grace time.Duration
+	// PingCount is the number of latency probes (default 8).
+	PingCount int
+	// Transport overrides the HTTP transport (tests inject a throttled one).
+	Transport http.RoundTripper
+}
+
+func (o *ClientOptions) defaults() {
+	if o.Streams == 0 {
+		o.Streams = 4
+	}
+	if o.Duration == 0 {
+		o.Duration = 3 * time.Second
+	}
+	if o.Grace == 0 {
+		o.Grace = o.Duration / 5
+	}
+	if o.PingCount == 0 {
+		o.PingCount = 8
+	}
+}
+
+// Client runs the Librespeed protocol against a server.
+type Client struct {
+	base string
+	http *http.Client
+	opts ClientOptions
+}
+
+// NewClient creates a client for the server at addr (host:port).
+func NewClient(addr string, opts ClientOptions) *Client {
+	opts.defaults()
+	transport := opts.Transport
+	if transport == nil {
+		transport = &http.Transport{MaxIdleConnsPerHost: opts.Streams * 2}
+	}
+	return &Client{
+		base: "http://" + addr,
+		http: &http.Client{Transport: transport, Timeout: opts.Duration*4 + 10*time.Second},
+		opts: opts,
+	}
+}
+
+// Run executes all phases: getIP, ping, download, upload.
+func (c *Client) Run() (Result, error) {
+	var res Result
+
+	ip, err := c.getIP()
+	if err != nil {
+		return res, err
+	}
+	res.ClientIP = ip
+
+	res.PingMs, res.JitterMs, err = c.pingPhase()
+	if err != nil {
+		return res, err
+	}
+	res.DownMbps, err = c.downloadPhase()
+	if err != nil {
+		return res, err
+	}
+	res.UpMbps, err = c.uploadPhase()
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func (c *Client) getIP() (string, error) {
+	resp, err := c.http.Get(c.base + "/getIP")
+	if err != nil {
+		return "", fmt.Errorf("librespeed: getIP: %w", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 256))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (c *Client) pingPhase() (pingMs, jitterMs float64, err error) {
+	var rtts []float64
+	for i := 0; i < c.opts.PingCount; i++ {
+		t0 := time.Now()
+		resp, err := c.http.Get(c.base + "/empty")
+		if err != nil {
+			return 0, 0, fmt.Errorf("librespeed: ping: %w", err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		rtts = append(rtts, float64(time.Since(t0))/float64(time.Millisecond))
+	}
+	if len(rtts) == 0 {
+		return 0, 0, errors.New("librespeed: no ping samples")
+	}
+	sum := 0.0
+	for _, v := range rtts {
+		sum += v
+	}
+	pingMs = sum / float64(len(rtts))
+	for i := 1; i < len(rtts); i++ {
+		d := rtts[i] - rtts[i-1]
+		if d < 0 {
+			d = -d
+		}
+		jitterMs += d
+	}
+	if len(rtts) > 1 {
+		jitterMs /= float64(len(rtts) - 1)
+	}
+	return pingMs, jitterMs, nil
+}
+
+// phase runs worker goroutines that stream bytes and returns the Mbps
+// measured between the grace point and the deadline.
+func (c *Client) phase(worker func(counted *atomic.Int64, stop <-chan struct{})) (float64, error) {
+	var counted atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < c.opts.Streams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(&counted, stop)
+		}()
+	}
+	time.Sleep(c.opts.Grace)
+	counted.Store(0)
+	t0 := time.Now()
+	time.Sleep(c.opts.Duration)
+	bytes := counted.Load()
+	elapsed := time.Since(t0)
+	close(stop)
+	wg.Wait()
+	if elapsed <= 0 {
+		return 0, errors.New("librespeed: zero measurement window")
+	}
+	return float64(bytes*8) / elapsed.Seconds() / 1e6, nil
+}
+
+func (c *Client) downloadPhase() (float64, error) {
+	var firstErr atomic.Value
+	mbps, err := c.phase(func(counted *atomic.Int64, stop <-chan struct{}) {
+		buf := make([]byte, 64<<10)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := c.http.Get(c.base + "/garbage?ckSize=8")
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			for {
+				n, err := resp.Body.Read(buf)
+				counted.Add(int64(n))
+				if err != nil {
+					break
+				}
+				select {
+				case <-stop:
+					resp.Body.Close()
+					return
+				default:
+				}
+			}
+			resp.Body.Close()
+		}
+	})
+	if err == nil {
+		if e := firstErr.Load(); e != nil {
+			return 0, fmt.Errorf("librespeed: download: %w", e.(error))
+		}
+	}
+	return mbps, err
+}
+
+// countingReader feeds deterministic bytes and counts what the transport
+// consumed.
+type countingReader struct {
+	counted *atomic.Int64
+	stop    <-chan struct{}
+	limit   int64
+	read    int64
+}
+
+func (r *countingReader) Read(p []byte) (int, error) {
+	select {
+	case <-r.stop:
+		return 0, io.EOF
+	default:
+	}
+	if r.read >= r.limit {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if n > r.limit-r.read {
+		n = r.limit - r.read
+	}
+	for i := int64(0); i < n; i++ {
+		p[i] = byte(r.read + i)
+	}
+	r.read += n
+	r.counted.Add(n)
+	return int(n), nil
+}
+
+func (c *Client) uploadPhase() (float64, error) {
+	var firstErr atomic.Value
+	mbps, err := c.phase(func(counted *atomic.Int64, stop <-chan struct{}) {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body := &countingReader{counted: counted, stop: stop, limit: 8 * chunkSize}
+			req, err := http.NewRequest(http.MethodPost, c.base+"/empty", body)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			req.ContentLength = body.limit
+			resp, err := c.http.Do(req)
+			if err != nil {
+				// A request cut off by stop is expected at phase end.
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+	if err == nil {
+		if e := firstErr.Load(); e != nil {
+			return 0, fmt.Errorf("librespeed: upload: %w", e.(error))
+		}
+	}
+	return mbps, err
+}

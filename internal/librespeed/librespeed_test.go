@@ -1,0 +1,218 @@
+package librespeed
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv := NewServer(1)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+func TestGarbageEndpoint(t *testing.T) {
+	addr := startServer(t)
+	resp, err := http.Get("http://" + addr + "/garbage?ckSize=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2*chunkSize {
+		t.Errorf("garbage bytes = %d, want %d", n, 2*chunkSize)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestGarbageDefaultAndValidation(t *testing.T) {
+	addr := startServer(t)
+	resp, err := http.Get("http://" + addr + "/garbage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if n != 4*chunkSize {
+		t.Errorf("default garbage = %d, want %d", n, 4*chunkSize)
+	}
+	for _, bad := range []string{"0", "-1", "4097", "x"} {
+		resp, err := http.Get("http://" + addr + "/garbage?ckSize=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("ckSize=%s -> %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestEmptyEndpoint(t *testing.T) {
+	addr := startServer(t)
+	resp, err := http.Get("http://" + addr + "/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.ContentLength != 0 {
+		t.Errorf("GET /empty: status %d length %d", resp.StatusCode, resp.ContentLength)
+	}
+	// POST with a body: server must drain and ack.
+	resp, err = http.Post("http://"+addr+"/empty", "application/octet-stream",
+		strings.NewReader(strings.Repeat("x", 100000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("POST /empty: status %d", resp.StatusCode)
+	}
+}
+
+func TestGetIP(t *testing.T) {
+	addr := startServer(t)
+	resp, err := http.Get("http://" + addr + "/getIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if got := string(b); got != "127.0.0.1" {
+		t.Errorf("getIP = %q, want 127.0.0.1", got)
+	}
+}
+
+func TestClientFullRun(t *testing.T) {
+	addr := startServer(t)
+	c := NewClient(addr, ClientOptions{
+		Streams:   2,
+		Duration:  300 * time.Millisecond,
+		Grace:     60 * time.Millisecond,
+		PingCount: 4,
+	})
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientIP != "127.0.0.1" {
+		t.Errorf("client IP = %q", res.ClientIP)
+	}
+	if res.PingMs <= 0 || res.PingMs > 100 {
+		t.Errorf("loopback ping = %v ms", res.PingMs)
+	}
+	// Loopback throughput should be large in both directions.
+	if res.DownMbps < 50 {
+		t.Errorf("loopback download = %.1f Mbps, want >> 50", res.DownMbps)
+	}
+	if res.UpMbps < 50 {
+		t.Errorf("loopback upload = %.1f Mbps, want >> 50", res.UpMbps)
+	}
+}
+
+// throttledTransport limits download bandwidth to verify measurement logic.
+type throttledTransport struct {
+	inner       http.RoundTripper
+	bytesPerSec float64
+}
+
+type throttledBody struct {
+	io.ReadCloser
+	bytesPerSec float64
+	start       time.Time
+	read        atomic.Int64
+}
+
+func (b *throttledBody) Read(p []byte) (int, error) {
+	// Cap read sizes so pacing is smooth.
+	if len(p) > 16<<10 {
+		p = p[:16<<10]
+	}
+	n, err := b.ReadCloser.Read(p)
+	total := b.read.Add(int64(n))
+	// Sleep until the cumulative budget allows this many bytes.
+	budgetTime := time.Duration(float64(total) / b.bytesPerSec * float64(time.Second))
+	if elapsed := time.Since(b.start); elapsed < budgetTime {
+		time.Sleep(budgetTime - elapsed)
+	}
+	return n, err
+}
+
+func (t *throttledTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if strings.Contains(req.URL.Path, "garbage") {
+		resp.Body = &throttledBody{
+			ReadCloser:  resp.Body,
+			bytesPerSec: t.bytesPerSec,
+			start:       time.Now(),
+		}
+	}
+	return resp, nil
+}
+
+func TestClientMeasuresThrottledRate(t *testing.T) {
+	addr := startServer(t)
+	const targetMbps = 80.0
+	c := NewClient(addr, ClientOptions{
+		Streams:   1,
+		Duration:  500 * time.Millisecond,
+		Grace:     100 * time.Millisecond,
+		PingCount: 2,
+		Transport: &throttledTransport{
+			inner:       http.DefaultTransport,
+			bytesPerSec: targetMbps / 8 * 1e6,
+		},
+	})
+	down, err := c.downloadPhase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down < targetMbps*0.6 || down > targetMbps*1.4 {
+		t.Errorf("measured %.1f Mbps on an %.0f Mbps throttled pipe", down, targetMbps)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	// Grab a port and close it so nothing listens.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	c := NewClient(addr, ClientOptions{Duration: 100 * time.Millisecond, PingCount: 1})
+	if _, err := c.Run(); err == nil {
+		t.Error("want error against dead server")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(2)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

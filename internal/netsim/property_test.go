@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestLinkConservation: every packet offered to a link is either delivered
+// or counted as dropped, and deliveries never reorder.
+func TestLinkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sim := NewSim(seed)
+		var deliveries []uint64
+		var lastArrive Time
+		ordered := true
+		l := &Link{
+			RateBps:   float64(1+rng.Intn(100)) * 1e6,
+			Delay:     time.Duration(rng.Intn(20)) * time.Millisecond,
+			QueueByte: 1000 * (1 + rng.Intn(50)),
+			DelayFn: func(Time) Time {
+				return time.Duration(rng.Intn(5000)) * time.Microsecond
+			},
+			LossFn: func(Time, *Packet) bool { return rng.Float64() < 0.1 },
+			Dst: HandlerFunc(func(s *Sim, p *Packet) {
+				if s.Now() < lastArrive {
+					ordered = false
+				}
+				lastArrive = s.Now()
+				deliveries = append(deliveries, p.ID)
+			}),
+		}
+		const n = 200
+		for i := 0; i < n; i++ {
+			i := i
+			sim.Schedule(time.Duration(rng.Intn(50))*time.Millisecond, func() {
+				l.Send(sim, &Packet{ID: uint64(i), Size: 200 + rng.Intn(1300)})
+			})
+		}
+		sim.Run()
+		st := l.Stats()
+		if st.SentPackets+st.DroppedPackets != n {
+			t.Logf("seed %d: sent %d + dropped %d != %d", seed, st.SentPackets, st.DroppedPackets, n)
+			return false
+		}
+		if len(deliveries) != st.SentPackets {
+			t.Logf("seed %d: delivered %d != sent %d", seed, len(deliveries), st.SentPackets)
+			return false
+		}
+		if !ordered {
+			t.Logf("seed %d: FIFO violated", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlowDataIntegrity: under random loss, a limited transfer completes
+// with exactly LimitBytes delivered — never more — and the receiver's
+// cumulative ack equals the limit.
+func TestEventTimeMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		sim := NewSim(5)
+		var last Time = -1
+		mono := true
+		for _, d := range delays {
+			sim.Schedule(time.Duration(d)*time.Microsecond, func() {
+				if sim.Now() < last {
+					mono = false
+				}
+				last = sim.Now()
+			})
+		}
+		sim.Run()
+		return mono
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,438 @@
+// Package netsim is a deterministic discrete-event packet-level network
+// simulator: simulated clock, event queue, store-and-forward links with
+// implicit drop-tail queues, and nodes with TTL handling (so traceroute works
+// exactly as it does on a real path).
+//
+// It plays the role the physical testbed played in the paper: the volunteer
+// Raspberry Pis, the Starlink bent pipe, the terrestrial ISP paths and the
+// measurement servers are all nodes and links in a netsim topology. The
+// congestion-control experiments (Figure 8) and all throughput/loss
+// experiments (Figures 6a-c) run packet by packet on this engine.
+//
+// Determinism: every run is driven by a seeded *rand.Rand owned by the Sim;
+// two runs with the same seed produce identical event sequences.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is simulated time since the start of the run.
+type Time = time.Duration
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker preserving schedule order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation run.
+type Sim struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	rng     *rand.Rand
+	pktID   uint64
+	stopped bool
+}
+
+// NewSim creates a simulation with a deterministic random source.
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's random source. All stochastic behaviour in a
+// run must draw from it to keep runs reproducible.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// NextPacketID returns a fresh unique packet identifier.
+func (s *Sim) NextPacketID() uint64 {
+	s.pktID++
+	return s.pktID
+}
+
+// Schedule runs fn after delay of simulated time. A negative delay is
+// treated as zero.
+func (s *Sim) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute simulated time. Times in the past
+// fire immediately (at the current time).
+func (s *Sim) ScheduleAt(at Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// Stop makes Run and RunUntil return after the current event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run processes events until the queue is empty or Stop is called.
+func (s *Sim) Run() {
+	for len(s.pq) > 0 && !s.stopped {
+		e := heap.Pop(&s.pq).(*event)
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// RunUntil processes all events scheduled at or before t, then advances the
+// clock to t.
+func (s *Sim) RunUntil(t Time) {
+	for len(s.pq) > 0 && !s.stopped && s.pq[0].at <= t {
+		e := heap.Pop(&s.pq).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.pq) }
+
+// ICMPType marks control packets generated inside the network.
+type ICMPType int
+
+const (
+	// ICMPNone marks a normal packet.
+	ICMPNone ICMPType = iota
+	// ICMPTimeExceeded is the TTL-expiry reply traceroute relies on.
+	ICMPTimeExceeded
+	// ICMPEchoReply answers an ICMPEcho probe (ping).
+	ICMPEchoReply
+	// ICMPEcho is a ping request.
+	ICMPEcho
+)
+
+// Packet is the unit of transmission. Fields double as protocol headers for
+// the simplified TCP/UDP/ICMP machinery built on top.
+type Packet struct {
+	ID   uint64
+	Flow uint64 // flow identifier; 0 for bare probes
+	Size int    // bytes on the wire
+
+	Src, Dst string // node names
+	SrcPort  int
+	DstPort  int
+	TTL      int // hop limit; decremented per node
+
+	// Transport fields.
+	Seq   int64 // first data byte carried (data) or sequence echo (ack)
+	Ack   int64 // cumulative ack (next expected byte)
+	IsAck bool
+	// Sack lists the receiver's out-of-order blocks above Ack. Real TCP
+	// caps this at 3-4 blocks per segment; the simulation reports the full
+	// state, which approximates what a modern SACK+RACK stack reconstructs
+	// across consecutive acks.
+	Sack   []SackBlock
+	SentAt Time // stamped at first transmission; echoed back in acks
+
+	// Rate-sampling fields (see cc package): the sender's delivered-bytes
+	// counter and its timestamp at the moment this packet was sent.
+	Delivered   int64
+	DeliveredAt Time
+	Retrans     bool // this packet is a retransmission
+
+	// Control plane.
+	ICMP     ICMPType
+	ICMPFrom string // node that generated the ICMP reply
+	ProbeID  uint64 // correlates probes with replies
+}
+
+// SackBlock is one contiguous received byte range [Start, End) above the
+// cumulative ack.
+type SackBlock struct {
+	Start, End int64
+}
+
+// Handler consumes packets delivered by a link.
+type Handler interface {
+	Handle(s *Sim, p *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(s *Sim, p *Packet)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(s *Sim, p *Packet) { f(s, p) }
+
+// LinkStats counts traffic through a link.
+type LinkStats struct {
+	SentPackets    int
+	SentBytes      int64
+	DroppedPackets int
+	DroppedBytes   int64
+	LossDropped    int // dropped by the loss process rather than the queue
+}
+
+// Link is a unidirectional store-and-forward link with an implicit drop-tail
+// queue: the backlog is tracked as the time the transmitter remains busy, so
+// queueing delay and occupancy need no explicit queue structure.
+type Link struct {
+	Name      string
+	RateBps   float64 // transmission rate in bits/s; 0 means infinitely fast
+	Delay     Time    // fixed propagation delay
+	QueueByte int     // drop-tail threshold in bytes of backlog; 0 = unlimited
+
+	// DelayFn, if set, returns extra one-way delay for a departure at the
+	// given time (the bent pipe's geometry-driven term).
+	DelayFn func(now Time) Time
+	// LossFn, if set, reports whether the packet is lost at the given time
+	// (the bent pipe's handover bursts). Loss is applied before queueing.
+	LossFn func(now Time, p *Packet) bool
+	// RateFn, if set, overrides RateBps at the given time (weather or
+	// diurnal capacity changes).
+	RateFn func(now Time) float64
+
+	Dst Handler
+
+	busyUntil   Time
+	lastArrival Time
+	stats       LinkStats
+}
+
+// Stats returns a copy of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// ResetStats zeroes the link's counters.
+func (l *Link) ResetStats() { l.stats = LinkStats{} }
+
+// QueueDelay returns the current backlog ahead of a new arrival.
+func (l *Link) QueueDelay(now Time) Time {
+	if l.busyUntil <= now {
+		return 0
+	}
+	return l.busyUntil - now
+}
+
+// rate returns the effective transmission rate at the given time.
+func (l *Link) rate(now Time) float64 {
+	if l.RateFn != nil {
+		if r := l.RateFn(now); r > 0 {
+			return r
+		}
+	}
+	return l.RateBps
+}
+
+// Send transmits the packet over the link, applying loss, the drop-tail
+// queue, serialisation delay, and propagation delay. Delivery is scheduled
+// on the simulator.
+func (l *Link) Send(s *Sim, p *Packet) {
+	if l.Dst == nil {
+		panic(fmt.Sprintf("netsim: link %q has no destination", l.Name))
+	}
+	now := s.Now()
+	if l.LossFn != nil && l.LossFn(now, p) {
+		l.stats.DroppedPackets++
+		l.stats.DroppedBytes += int64(p.Size)
+		l.stats.LossDropped++
+		return
+	}
+
+	rate := l.rate(now)
+	var txTime Time
+	if rate > 0 {
+		txTime = Time(float64(p.Size*8) / rate * float64(time.Second))
+	}
+
+	// Backlog in bytes implied by the busy period.
+	if l.QueueByte > 0 && rate > 0 {
+		backlog := int(l.QueueDelay(now).Seconds() * rate / 8)
+		if backlog+p.Size > l.QueueByte {
+			l.stats.DroppedPackets++
+			l.stats.DroppedBytes += int64(p.Size)
+			return
+		}
+	}
+
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	depart := start + txTime
+	l.busyUntil = depart
+
+	extra := Time(0)
+	if l.DelayFn != nil {
+		extra = l.DelayFn(now)
+		if extra < 0 {
+			extra = 0
+		}
+	}
+	arrive := depart + l.Delay + extra
+	// A FIFO link cannot reorder: a packet whose jitter draw would overtake
+	// an earlier packet queues behind it instead.
+	if arrive < l.lastArrival {
+		arrive = l.lastArrival
+	}
+	l.lastArrival = arrive
+
+	l.stats.SentPackets++
+	l.stats.SentBytes += int64(p.Size)
+	s.ScheduleAt(arrive, func() { l.Dst.Handle(s, p) })
+}
+
+// Node is a router/host. It forwards packets by destination name, decrements
+// TTL and emits ICMP time-exceeded replies, and delivers packets addressed
+// to itself to per-port local handlers.
+type Node struct {
+	Name string
+	// HopAddr is the address string the node reveals in ICMP replies, e.g.
+	// "ae29.londhx-sbr1.ja.net" in the paper's Figure 5.
+	HopAddr string
+
+	routes   map[string]*Link // destination node -> next link
+	defRoute *Link
+	locals   map[int]Handler // port -> endpoint
+
+	// ICMPDelay simulates router control-plane processing time for ICMP
+	// generation (often slower than forwarding).
+	ICMPDelay Time
+	// Mute suppresses the node's ICMP replies (time-exceeded and echo):
+	// many production routers rate-limit or disable ICMP generation, which
+	// is why real traceroutes show "*" hops.
+	Mute bool
+}
+
+// NewNode creates a node. hopAddr may be empty, in which case the name is
+// used in ICMP replies.
+func NewNode(name, hopAddr string) *Node {
+	if hopAddr == "" {
+		hopAddr = name
+	}
+	return &Node{
+		Name:    name,
+		HopAddr: hopAddr,
+		routes:  make(map[string]*Link),
+		locals:  make(map[int]Handler),
+	}
+}
+
+// AddRoute installs the next-hop link towards the destination node.
+func (n *Node) AddRoute(dst string, l *Link) { n.routes[dst] = l }
+
+// SetDefaultRoute installs the link used when no specific route matches.
+func (n *Node) SetDefaultRoute(l *Link) { n.defRoute = l }
+
+// RegisterLocal attaches an endpoint handler to a local port.
+func (n *Node) RegisterLocal(port int, h Handler) { n.locals[port] = h }
+
+// UnregisterLocal detaches the endpoint at the port.
+func (n *Node) UnregisterLocal(port int) { delete(n.locals, port) }
+
+// route returns the link toward dst, or nil.
+func (n *Node) route(dst string) *Link {
+	if l, ok := n.routes[dst]; ok {
+		return l
+	}
+	return n.defRoute
+}
+
+// Handle implements Handler: local delivery, TTL handling, and forwarding.
+func (n *Node) Handle(s *Sim, p *Packet) {
+	if p.Dst == n.Name {
+		if h, ok := n.locals[p.DstPort]; ok {
+			h.Handle(s, p)
+		}
+		// Packets to unknown ports are silently dropped, as on a host with
+		// no listener (probes to high ports rely on this).
+		if p.ICMP == ICMPEcho {
+			n.replyEcho(s, p)
+		}
+		return
+	}
+
+	// A node originating its own packet acts as a host, not a router: it
+	// does not decrement the TTL it just set.
+	if p.TTL > 0 && p.Src != n.Name {
+		p.TTL--
+		if p.TTL == 0 {
+			n.replyTimeExceeded(s, p)
+			return
+		}
+	}
+
+	l := n.route(p.Dst)
+	if l == nil {
+		return // no route: drop
+	}
+	l.Send(s, p)
+}
+
+// replyTimeExceeded sends an ICMP time-exceeded message back to the source.
+func (n *Node) replyTimeExceeded(s *Sim, orig *Packet) {
+	back := n.route(orig.Src)
+	if back == nil || n.Mute {
+		return
+	}
+	reply := &Packet{
+		ID:       s.NextPacketID(),
+		Size:     56, // ICMP time-exceeded with quoted header
+		Src:      n.Name,
+		Dst:      orig.Src,
+		DstPort:  orig.SrcPort,
+		TTL:      64,
+		ICMP:     ICMPTimeExceeded,
+		ICMPFrom: n.HopAddr,
+		ProbeID:  orig.ProbeID,
+		SentAt:   orig.SentAt,
+	}
+	s.Schedule(n.ICMPDelay, func() { back.Send(s, reply) })
+}
+
+// replyEcho answers a ping.
+func (n *Node) replyEcho(s *Sim, orig *Packet) {
+	back := n.route(orig.Src)
+	if back == nil || n.Mute {
+		return
+	}
+	reply := &Packet{
+		ID:       s.NextPacketID(),
+		Size:     orig.Size,
+		Src:      n.Name,
+		Dst:      orig.Src,
+		DstPort:  orig.SrcPort,
+		TTL:      64,
+		ICMP:     ICMPEchoReply,
+		ICMPFrom: n.HopAddr,
+		ProbeID:  orig.ProbeID,
+		SentAt:   orig.SentAt,
+	}
+	s.Schedule(n.ICMPDelay, func() { back.Send(s, reply) })
+}

@@ -1,0 +1,434 @@
+// Package orbit propagates Earth satellites from their two-line element sets
+// and generates the synthetic Starlink shell-1 constellation used throughout
+// the reproduction.
+//
+// The propagator is a first-order Keplerian model with J2 secular precession
+// of the ascending node and argument of perigee. This is far simpler than a
+// full SGP4 implementation but is accurate to a few kilometres over the
+// minutes-to-hours horizons the study needs (serving-satellite selection,
+// handover cadence, Figure 7's line-of-sight windows), where the dominant
+// effect is simply the satellite's ~7.6 km/s ground-track motion.
+package orbit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"starlinkview/internal/geo"
+	"starlinkview/internal/tle"
+)
+
+// Physical constants.
+const (
+	// MuEarth is the Earth's gravitational parameter in km^3/s^2.
+	MuEarth = 398600.4418
+	// J2 is the Earth's second zonal harmonic.
+	J2 = 1.08262668e-3
+	// EarthRotationRadPerSec is the sidereal rotation rate.
+	EarthRotationRadPerSec = 7.2921158553e-5
+)
+
+// Satellite is a propagatable Earth satellite.
+type Satellite struct {
+	Name  string
+	Elems tle.TLE
+
+	// Derived at construction.
+	semiMajorKm float64
+	meanMotion  float64 // rad/s
+	raanDot     float64 // rad/s, J2 secular
+	argpDot     float64 // rad/s, J2 secular
+}
+
+// FromTLE builds a Satellite from a parsed element set.
+func FromTLE(t tle.TLE) (*Satellite, error) {
+	if t.MeanMotionRevPD <= 0 {
+		return nil, fmt.Errorf("orbit: satellite %q has non-positive mean motion %v", t.Name, t.MeanMotionRevPD)
+	}
+	if t.Eccentricity < 0 || t.Eccentricity >= 1 {
+		return nil, fmt.Errorf("orbit: satellite %q has eccentricity %v outside [0,1)", t.Name, t.Eccentricity)
+	}
+	n := t.MeanMotionRevPD * 2 * math.Pi / 86400 // rad/s
+	a := math.Cbrt(MuEarth / (n * n))
+
+	inc := geo.Deg2Rad(t.InclinationDeg)
+	p := a * (1 - t.Eccentricity*t.Eccentricity)
+	factor := -1.5 * J2 * (geo.EquatorialRadiusKm / p) * (geo.EquatorialRadiusKm / p) * n
+
+	return &Satellite{
+		Name:        t.Name,
+		Elems:       t,
+		semiMajorKm: a,
+		meanMotion:  n,
+		raanDot:     factor * math.Cos(inc),
+		argpDot:     -factor * (2 - 2.5*math.Sin(inc)*math.Sin(inc)),
+	}, nil
+}
+
+// AltitudeKm returns the mean orbital altitude above the equatorial radius.
+func (s *Satellite) AltitudeKm() float64 { return s.semiMajorKm - geo.EquatorialRadiusKm }
+
+// PeriodSec returns the orbital period in seconds.
+func (s *Satellite) PeriodSec() float64 { return 2 * math.Pi / s.meanMotion }
+
+// solveKepler solves E - e*sin(E) = M for the eccentric anomaly by Newton
+// iteration. Converges in a handful of steps for LEO eccentricities.
+func solveKepler(m, e float64) float64 {
+	em := math.Mod(m, 2*math.Pi)
+	E := em
+	if e > 0.8 {
+		E = math.Pi
+	}
+	for i := 0; i < 12; i++ {
+		d := (E - e*math.Sin(E) - em) / (1 - e*math.Cos(E))
+		E -= d
+		if math.Abs(d) < 1e-12 {
+			break
+		}
+	}
+	return E
+}
+
+// PositionECI returns the satellite position at time t in an Earth-centred
+// inertial frame (km).
+func (s *Satellite) PositionECI(t time.Time) geo.ECEF {
+	dt := t.Sub(s.Elems.Epoch).Seconds()
+	e := s.Elems.Eccentricity
+
+	m := geo.Deg2Rad(s.Elems.MeanAnomalyDeg) + s.meanMotion*dt
+	E := solveKepler(m, e)
+
+	// True anomaly and orbital radius.
+	nu := 2 * math.Atan2(math.Sqrt(1+e)*math.Sin(E/2), math.Sqrt(1-e)*math.Cos(E/2))
+	r := s.semiMajorKm * (1 - e*math.Cos(E))
+
+	// Perifocal coordinates.
+	xp := r * math.Cos(nu)
+	yp := r * math.Sin(nu)
+
+	// Rotate perifocal -> ECI by argument of perigee, inclination, RAAN
+	// (with J2 secular drift applied to RAAN and argp).
+	argp := geo.Deg2Rad(s.Elems.ArgPerigeeDeg) + s.argpDot*dt
+	raan := geo.Deg2Rad(s.Elems.RAANDeg) + s.raanDot*dt
+	inc := geo.Deg2Rad(s.Elems.InclinationDeg)
+
+	cosO, sinO := math.Cos(raan), math.Sin(raan)
+	cosw, sinw := math.Cos(argp), math.Sin(argp)
+	cosi, sini := math.Cos(inc), math.Sin(inc)
+
+	x := (cosO*cosw-sinO*sinw*cosi)*xp + (-cosO*sinw-sinO*cosw*cosi)*yp
+	y := (sinO*cosw+cosO*sinw*cosi)*xp + (-sinO*sinw+cosO*cosw*cosi)*yp
+	z := (sinw*sini)*xp + (cosw*sini)*yp
+	return geo.ECEF{X: x, Y: y, Z: z}
+}
+
+// gmstRad returns the Greenwich mean sidereal time at t, in radians.
+func gmstRad(t time.Time) float64 {
+	// Julian date from Unix time.
+	jd := float64(t.UnixNano())/86400e9 + 2440587.5
+	d := jd - 2451545.0
+	// IAU 1982 approximation, adequate for link geometry.
+	gmstDeg := 280.46061837 + 360.98564736629*d
+	gmstDeg = math.Mod(gmstDeg, 360)
+	if gmstDeg < 0 {
+		gmstDeg += 360
+	}
+	return geo.Deg2Rad(gmstDeg)
+}
+
+// PositionECEF returns the satellite position at time t in Earth-centred
+// Earth-fixed coordinates (km), i.e. rotating with the Earth.
+func (s *Satellite) PositionECEF(t time.Time) geo.ECEF {
+	eci := s.PositionECI(t)
+	theta := gmstRad(t)
+	cosT, sinT := math.Cos(theta), math.Sin(theta)
+	return geo.ECEF{
+		X: cosT*eci.X + sinT*eci.Y,
+		Y: -sinT*eci.X + cosT*eci.Y,
+		Z: eci.Z,
+	}
+}
+
+// Look returns the look angles from the observer to the satellite at time t.
+func (s *Satellite) Look(obs geo.LatLon, t time.Time) geo.LookAngles {
+	return geo.Look(obs, s.PositionECEF(t))
+}
+
+// Constellation is a set of satellites with shared visibility parameters.
+type Constellation struct {
+	Sats []*Satellite
+
+	// MinElevationDeg is the terminal's minimum usable elevation angle;
+	// Starlink shell-1 operates at 25 degrees per the FCC filings the paper
+	// cites.
+	MinElevationDeg float64
+}
+
+// ShellConfig describes one orbital shell of a Walker-delta constellation.
+type ShellConfig struct {
+	Name           string  // name prefix for generated satellites
+	AltitudeKm     float64 // orbital altitude
+	InclinationDeg float64
+	Planes         int // number of orbital planes
+	SatsPerPlane   int
+	PhasingF       int       // Walker phasing parameter (0..Planes-1)
+	Epoch          time.Time // element epoch
+	FirstSatNum    int       // catalogue number of the first satellite
+}
+
+// Shell1 returns the configuration of Starlink's first (and in 2022,
+// dominant) shell: 550 km, 53 degrees, 72 planes of 22 satellites.
+func Shell1(epoch time.Time) ShellConfig {
+	return ShellConfig{
+		Name:           "STARLINK",
+		AltitudeKm:     550,
+		InclinationDeg: 53,
+		Planes:         72,
+		SatsPerPlane:   22,
+		PhasingF:       39,
+		Epoch:          epoch,
+		FirstSatNum:    44000,
+	}
+}
+
+// GenerateShell builds a Walker-delta shell as a Constellation with TLE-backed
+// satellites, so the same objects can be serialised to a CelesTrak-style file
+// and re-read.
+func GenerateShell(cfg ShellConfig) (*Constellation, error) {
+	if cfg.Planes <= 0 || cfg.SatsPerPlane <= 0 {
+		return nil, fmt.Errorf("orbit: invalid shell geometry %d x %d", cfg.Planes, cfg.SatsPerPlane)
+	}
+	if cfg.AltitudeKm <= 0 {
+		return nil, fmt.Errorf("orbit: invalid altitude %v", cfg.AltitudeKm)
+	}
+	a := geo.EquatorialRadiusKm + cfg.AltitudeKm
+	n := math.Sqrt(MuEarth / (a * a * a)) // rad/s
+	revPD := n * 86400 / (2 * math.Pi)    // rev/day
+	total := cfg.Planes * cfg.SatsPerPlane
+
+	c := &Constellation{MinElevationDeg: 25}
+	idx := 0
+	for p := 0; p < cfg.Planes; p++ {
+		raan := 360 * float64(p) / float64(cfg.Planes)
+		for k := 0; k < cfg.SatsPerPlane; k++ {
+			// Walker delta phasing: in-plane spacing plus inter-plane phase
+			// offset F*360/T per plane index.
+			ma := 360*float64(k)/float64(cfg.SatsPerPlane) +
+				360*float64(cfg.PhasingF)*float64(p)/float64(total)
+			ma = math.Mod(ma, 360)
+
+			t := tle.TLE{
+				Name:            fmt.Sprintf("%s-%d", cfg.Name, 1000+idx),
+				SatNum:          cfg.FirstSatNum + idx,
+				Classification:  'U',
+				IntlDesignator:  fmt.Sprintf("20%03dA", p+1),
+				Epoch:           cfg.Epoch,
+				InclinationDeg:  cfg.InclinationDeg,
+				RAANDeg:         raan,
+				Eccentricity:    0.0001,
+				ArgPerigeeDeg:   90,
+				MeanAnomalyDeg:  ma,
+				MeanMotionRevPD: revPD,
+				ElementSet:      999,
+				RevNumber:       1,
+			}
+			sat, err := FromTLE(t)
+			if err != nil {
+				return nil, err
+			}
+			c.Sats = append(c.Sats, sat)
+			idx++
+		}
+	}
+	return c, nil
+}
+
+// FromCatalogue builds a Constellation from a parsed TLE catalogue.
+func FromCatalogue(cat tle.Catalogue, minElevDeg float64) (*Constellation, error) {
+	c := &Constellation{MinElevationDeg: minElevDeg}
+	for _, t := range cat {
+		s, err := FromTLE(t)
+		if err != nil {
+			return nil, err
+		}
+		c.Sats = append(c.Sats, s)
+	}
+	return c, nil
+}
+
+// Catalogue serialises the constellation back to TLE records.
+func (c *Constellation) Catalogue() tle.Catalogue {
+	cat := make(tle.Catalogue, 0, len(c.Sats))
+	for _, s := range c.Sats {
+		cat = append(cat, s.Elems)
+	}
+	return cat
+}
+
+// Visible is one satellite currently above the observer's minimum elevation.
+type Visible struct {
+	Sat  *Satellite
+	Look geo.LookAngles
+}
+
+// VisibleFrom returns the satellites above the constellation's minimum
+// elevation at time t, sorted by descending elevation.
+func (c *Constellation) VisibleFrom(obs geo.LatLon, t time.Time) []Visible {
+	var out []Visible
+	for _, s := range c.Sats {
+		la := s.Look(obs, t)
+		if la.ElevationDeg >= c.MinElevationDeg {
+			out = append(out, Visible{Sat: s, Look: la})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Look.ElevationDeg > out[j].Look.ElevationDeg
+	})
+	return out
+}
+
+// SelectionPolicy chooses a serving satellite among the visible ones.
+type SelectionPolicy int
+
+const (
+	// HighestElevation picks the satellite with the greatest elevation,
+	// the default assumption for Starlink terminals.
+	HighestElevation SelectionPolicy = iota
+	// LongestRemainingVisibility picks the visible satellite that will stay
+	// above the elevation mask the longest, minimising handover rate. Used
+	// by the handover-policy ablation.
+	LongestRemainingVisibility
+)
+
+// String implements fmt.Stringer.
+func (p SelectionPolicy) String() string {
+	switch p {
+	case HighestElevation:
+		return "highest-elevation"
+	case LongestRemainingVisibility:
+		return "longest-visibility"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Serving returns the satellite a terminal at obs would use at time t under
+// the given policy, or nil if none is visible.
+func (c *Constellation) Serving(obs geo.LatLon, t time.Time, policy SelectionPolicy) *Visible {
+	vis := c.VisibleFrom(obs, t)
+	if len(vis) == 0 {
+		return nil
+	}
+	switch policy {
+	case LongestRemainingVisibility:
+		best := 0
+		bestDur := -1.0
+		for i := range vis {
+			d := c.remainingVisibility(vis[i].Sat, obs, t)
+			if d > bestDur {
+				bestDur = d
+				best = i
+			}
+		}
+		return &vis[best]
+	default: // HighestElevation: vis is already sorted
+		return &vis[0]
+	}
+}
+
+// remainingVisibility estimates, by 5-second stepping, how long the satellite
+// stays above the elevation mask from obs (capped at 20 minutes).
+func (c *Constellation) remainingVisibility(s *Satellite, obs geo.LatLon, t time.Time) float64 {
+	const step = 5 * time.Second
+	const maxHorizon = 20 * time.Minute
+	for dt := step; dt <= maxHorizon; dt += step {
+		la := s.Look(obs, t.Add(dt))
+		if la.ElevationDeg < c.MinElevationDeg {
+			return dt.Seconds()
+		}
+	}
+	return maxHorizon.Seconds()
+}
+
+// Pass is one interval during which a satellite is continuously visible.
+type Pass struct {
+	Sat        *Satellite
+	Start      time.Time
+	End        time.Time
+	MaxElevDeg float64
+}
+
+// Passes scans [start, end] at the given step and returns the visibility
+// passes of the satellite from obs.
+func (c *Constellation) Passes(s *Satellite, obs geo.LatLon, start, end time.Time, step time.Duration) []Pass {
+	if step <= 0 {
+		step = time.Second
+	}
+	var passes []Pass
+	var cur *Pass
+	for t := start; !t.After(end); t = t.Add(step) {
+		la := s.Look(obs, t)
+		if la.ElevationDeg >= c.MinElevationDeg {
+			if cur == nil {
+				cur = &Pass{Sat: s, Start: t, MaxElevDeg: la.ElevationDeg}
+			} else if la.ElevationDeg > cur.MaxElevDeg {
+				cur.MaxElevDeg = la.ElevationDeg
+			}
+			cur.End = t
+		} else if cur != nil {
+			passes = append(passes, *cur)
+			cur = nil
+		}
+	}
+	if cur != nil {
+		passes = append(passes, *cur)
+	}
+	return passes
+}
+
+// CoverageStats summarises constellation visibility from one observer over
+// a scan window — the geometry behind the paper's geographic variability
+// discussion (a 53-degree shell serves mid-latitudes far better than the
+// tropics).
+type CoverageStats struct {
+	Samples     int
+	MinVisible  int
+	MeanVisible float64
+	MaxVisible  int
+	// OutageFraction is the share of samples with no satellite above the
+	// elevation mask.
+	OutageFraction float64
+}
+
+// Coverage scans [start, end] at the given step and tallies visibility.
+func (c *Constellation) Coverage(obs geo.LatLon, start, end time.Time, step time.Duration) CoverageStats {
+	if step <= 0 {
+		step = time.Minute
+	}
+	st := CoverageStats{MinVisible: int(^uint(0) >> 1)}
+	total := 0
+	outages := 0
+	for t := start; !t.After(end); t = t.Add(step) {
+		n := len(c.VisibleFrom(obs, t))
+		st.Samples++
+		total += n
+		if n == 0 {
+			outages++
+		}
+		if n < st.MinVisible {
+			st.MinVisible = n
+		}
+		if n > st.MaxVisible {
+			st.MaxVisible = n
+		}
+	}
+	if st.Samples > 0 {
+		st.MeanVisible = float64(total) / float64(st.Samples)
+		st.OutageFraction = float64(outages) / float64(st.Samples)
+	} else {
+		st.MinVisible = 0
+	}
+	return st
+}

@@ -1,0 +1,332 @@
+package orbit
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"starlinkview/internal/geo"
+	"starlinkview/internal/tle"
+)
+
+var epoch = time.Date(2022, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func testShell(t *testing.T) *Constellation {
+	t.Helper()
+	// A smaller shell keeps unit tests fast while preserving geometry:
+	// same altitude/inclination, fewer planes.
+	c, err := GenerateShell(ShellConfig{
+		Name:           "STARLINK",
+		AltitudeKm:     550,
+		InclinationDeg: 53,
+		Planes:         24,
+		SatsPerPlane:   22,
+		PhasingF:       13,
+		Epoch:          epoch,
+		FirstSatNum:    44000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFromTLEValidation(t *testing.T) {
+	bad := tle.TLE{Name: "X", MeanMotionRevPD: 0}
+	if _, err := FromTLE(bad); err == nil {
+		t.Error("want error for zero mean motion")
+	}
+	bad = tle.TLE{Name: "X", MeanMotionRevPD: 15, Eccentricity: 1.5}
+	if _, err := FromTLE(bad); err == nil {
+		t.Error("want error for hyperbolic eccentricity")
+	}
+}
+
+func TestAltitudeAndPeriodShell1(t *testing.T) {
+	c := testShell(t)
+	s := c.Sats[0]
+	if alt := s.AltitudeKm(); math.Abs(alt-550) > 1 {
+		t.Errorf("altitude = %v, want ~550", alt)
+	}
+	// A 550 km circular orbit has a ~95.7 minute period.
+	if p := s.PeriodSec() / 60; math.Abs(p-95.7) > 1 {
+		t.Errorf("period = %v min, want ~95.7", p)
+	}
+}
+
+func TestOrbitalRadiusConstantForCircular(t *testing.T) {
+	c := testShell(t)
+	s := c.Sats[0]
+	want := geo.EquatorialRadiusKm + s.AltitudeKm()
+	for dt := 0; dt < 6000; dt += 600 {
+		r := s.PositionECI(epoch.Add(time.Duration(dt) * time.Second)).Norm()
+		if math.Abs(r-want)/want > 0.001 {
+			t.Errorf("radius at +%ds = %v, want ~%v", dt, r, want)
+		}
+	}
+}
+
+func TestPeriodicity(t *testing.T) {
+	c := testShell(t)
+	s := c.Sats[0]
+	p0 := s.PositionECI(epoch)
+	p1 := s.PositionECI(epoch.Add(time.Duration(s.PeriodSec() * float64(time.Second))))
+	// After one period the ECI position repeats except for slow J2 drift.
+	if d := p1.Sub(p0).Norm(); d > 30 {
+		t.Errorf("position drift after one period = %v km, want < 30", d)
+	}
+}
+
+func TestGroundSpeed(t *testing.T) {
+	c := testShell(t)
+	s := c.Sats[0]
+	// LEO orbital speed at 550 km is ~7.59 km/s.
+	p0 := s.PositionECI(epoch)
+	p1 := s.PositionECI(epoch.Add(time.Second))
+	v := p1.Sub(p0).Norm()
+	if math.Abs(v-7.59) > 0.1 {
+		t.Errorf("orbital speed = %v km/s, want ~7.59", v)
+	}
+}
+
+func TestLatitudeBoundedByInclination(t *testing.T) {
+	c := testShell(t)
+	for _, s := range c.Sats[:10] {
+		for dt := 0; dt < 6000; dt += 60 {
+			p := s.PositionECEF(epoch.Add(time.Duration(dt) * time.Second))
+			lat := geo.Rad2Deg(math.Asin(p.Z / p.Norm()))
+			if math.Abs(lat) > 53.6 { // inclination + small slack
+				t.Fatalf("satellite %s latitude %v exceeds inclination", s.Name, lat)
+			}
+		}
+	}
+}
+
+func TestGenerateShellCounts(t *testing.T) {
+	c := testShell(t)
+	if len(c.Sats) != 24*22 {
+		t.Fatalf("sat count = %d, want %d", len(c.Sats), 24*22)
+	}
+	names := map[string]bool{}
+	nums := map[int]bool{}
+	for _, s := range c.Sats {
+		if names[s.Name] {
+			t.Fatalf("duplicate name %q", s.Name)
+		}
+		if nums[s.Elems.SatNum] {
+			t.Fatalf("duplicate satnum %d", s.Elems.SatNum)
+		}
+		names[s.Name] = true
+		nums[s.Elems.SatNum] = true
+		if !strings.HasPrefix(s.Name, "STARLINK-") {
+			t.Fatalf("unexpected name %q", s.Name)
+		}
+	}
+}
+
+func TestGenerateShellValidation(t *testing.T) {
+	if _, err := GenerateShell(ShellConfig{Planes: 0, SatsPerPlane: 1, AltitudeKm: 550}); err == nil {
+		t.Error("want error for zero planes")
+	}
+	if _, err := GenerateShell(ShellConfig{Planes: 1, SatsPerPlane: 1, AltitudeKm: -1}); err == nil {
+		t.Error("want error for negative altitude")
+	}
+}
+
+func TestCatalogueRoundTrip(t *testing.T) {
+	c := testShell(t)
+	cat := c.Catalogue()
+	if len(cat) != len(c.Sats) {
+		t.Fatalf("catalogue len = %d", len(cat))
+	}
+	// The generated elements survive TLE formatting and re-parsing.
+	l1, l2 := cat[0].Format()
+	back, err := tle.Parse(cat[0].Name, l1, l2)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	c2, err := FromCatalogue(tle.Catalogue{back}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := c.Sats[0].PositionECEF(epoch.Add(time.Minute))
+	p2 := c2.Sats[0].PositionECEF(epoch.Add(time.Minute))
+	if d := p1.Sub(p2).Norm(); d > 20 {
+		t.Errorf("position diverges %v km after TLE round trip", d)
+	}
+}
+
+func TestVisibleFromMidLatitude(t *testing.T) {
+	c := testShell(t)
+	london := geo.LatLon{LatDeg: 51.5, LonDeg: -0.12}
+	// With 528 satellites at 53 degrees, London (51.5N) should almost always
+	// see at least one above 25 degrees. Check a few instants.
+	misses := 0
+	for dt := 0; dt < 3600; dt += 300 {
+		vis := c.VisibleFrom(london, epoch.Add(time.Duration(dt)*time.Second))
+		if len(vis) == 0 {
+			misses++
+			continue
+		}
+		// Sorted by descending elevation.
+		for i := 1; i < len(vis); i++ {
+			if vis[i].Look.ElevationDeg > vis[i-1].Look.ElevationDeg {
+				t.Fatal("visible list not sorted by elevation")
+			}
+		}
+		for _, v := range vis {
+			if v.Look.ElevationDeg < c.MinElevationDeg {
+				t.Fatalf("satellite below elevation mask: %v", v.Look.ElevationDeg)
+			}
+			maxRange := geo.MaxSlantRangeKm(v.Sat.AltitudeKm(), c.MinElevationDeg)
+			if v.Look.RangeKm > maxRange+20 {
+				t.Fatalf("visible satellite at range %v km beyond geometric max %v", v.Look.RangeKm, maxRange)
+			}
+		}
+	}
+	if misses > 6 {
+		t.Errorf("no visible satellite in %d of 12 instants", misses)
+	}
+}
+
+func TestServingHighestElevation(t *testing.T) {
+	c := testShell(t)
+	london := geo.LatLon{LatDeg: 51.5, LonDeg: -0.12}
+	at := epoch.Add(10 * time.Minute)
+	vis := c.VisibleFrom(london, at)
+	if len(vis) == 0 {
+		t.Skip("no visibility at this instant")
+	}
+	srv := c.Serving(london, at, HighestElevation)
+	if srv == nil {
+		t.Fatal("Serving returned nil with visible satellites")
+	}
+	if srv.Sat != vis[0].Sat {
+		t.Errorf("serving = %s, want highest-elevation %s", srv.Sat.Name, vis[0].Sat.Name)
+	}
+}
+
+func TestServingPolicyDiffers(t *testing.T) {
+	c := testShell(t)
+	london := geo.LatLon{LatDeg: 51.5, LonDeg: -0.12}
+	// Over an hour the two policies should pick a different satellite at
+	// least once (longest-visibility trades elevation for dwell time).
+	differs := false
+	for dt := 0; dt < 3600 && !differs; dt += 120 {
+		at := epoch.Add(time.Duration(dt) * time.Second)
+		a := c.Serving(london, at, HighestElevation)
+		b := c.Serving(london, at, LongestRemainingVisibility)
+		if a != nil && b != nil && a.Sat != b.Sat {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("policies never differ over an hour; longest-visibility looks broken")
+	}
+}
+
+func TestServingNoneVisible(t *testing.T) {
+	// A constellation with an impossible elevation mask yields no serving
+	// satellite.
+	c := testShell(t)
+	c.MinElevationDeg = 89.999
+	srv := c.Serving(geo.LatLon{LatDeg: 51.5, LonDeg: -0.12}, epoch, HighestElevation)
+	if srv != nil {
+		t.Errorf("Serving = %v, want nil", srv.Sat.Name)
+	}
+}
+
+func TestPasses(t *testing.T) {
+	c := testShell(t)
+	london := geo.LatLon{LatDeg: 51.5, LonDeg: -0.12}
+
+	// Find a satellite that is visible at some point in a 30-minute window,
+	// then check pass structure.
+	end := epoch.Add(30 * time.Minute)
+	var passes []Pass
+	for _, s := range c.Sats {
+		passes = c.Passes(s, london, epoch, end, 5*time.Second)
+		if len(passes) > 0 {
+			break
+		}
+	}
+	if len(passes) == 0 {
+		t.Skip("no passes in window")
+	}
+	for _, p := range passes {
+		if p.End.Before(p.Start) {
+			t.Errorf("pass ends before it starts: %+v", p)
+		}
+		if p.MaxElevDeg < c.MinElevationDeg {
+			t.Errorf("pass max elevation %v below mask", p.MaxElevDeg)
+		}
+		// Shell-1 passes last at most ~6 minutes above a 25 degree mask.
+		if d := p.End.Sub(p.Start); d > 10*time.Minute {
+			t.Errorf("pass duration %v implausibly long", d)
+		}
+	}
+}
+
+func TestSolveKepler(t *testing.T) {
+	for _, e := range []float64{0, 0.0001, 0.1, 0.7, 0.9} {
+		for m := 0.0; m < 2*math.Pi; m += 0.5 {
+			E := solveKepler(m, e)
+			if res := E - e*math.Sin(E) - math.Mod(m, 2*math.Pi); math.Abs(res) > 1e-9 {
+				t.Errorf("Kepler residual %v for e=%v m=%v", res, e, m)
+			}
+		}
+	}
+}
+
+func TestGMSTReference(t *testing.T) {
+	// At J2000.0 (2000-01-01 12:00 UT) GMST was ~280.46 degrees.
+	j2000 := time.Date(2000, 1, 1, 12, 0, 0, 0, time.UTC)
+	got := geo.Rad2Deg(gmstRad(j2000))
+	if math.Abs(got-280.46) > 0.1 {
+		t.Errorf("GMST(J2000) = %v deg, want ~280.46", got)
+	}
+}
+
+func TestSelectionPolicyString(t *testing.T) {
+	if HighestElevation.String() != "highest-elevation" {
+		t.Error(HighestElevation.String())
+	}
+	if LongestRemainingVisibility.String() != "longest-visibility" {
+		t.Error(LongestRemainingVisibility.String())
+	}
+	if SelectionPolicy(99).String() == "" {
+		t.Error("unknown policy should still render")
+	}
+}
+
+func TestCoverageLatitudeDependence(t *testing.T) {
+	c := testShell(t)
+	window := 90 * time.Minute
+	scan := func(lat float64) CoverageStats {
+		return c.Coverage(geo.LatLon{LatDeg: lat, LonDeg: 0}, epoch, epoch.Add(window), time.Minute)
+	}
+	equator := scan(0)
+	midLat := scan(52)
+	if midLat.MeanVisible <= equator.MeanVisible {
+		t.Errorf("53-degree shell should favour mid-latitudes: equator %.1f vs 52N %.1f",
+			equator.MeanVisible, midLat.MeanVisible)
+	}
+	if midLat.Samples != int(window/time.Minute)+1 {
+		t.Errorf("samples = %d", midLat.Samples)
+	}
+	if midLat.MinVisible > midLat.MaxVisible {
+		t.Error("min > max")
+	}
+	if midLat.OutageFraction < 0 || midLat.OutageFraction > 1 {
+		t.Errorf("outage fraction = %v", midLat.OutageFraction)
+	}
+}
+
+func TestCoverageEmptyWindow(t *testing.T) {
+	c := testShell(t)
+	st := c.Coverage(geo.LatLon{LatDeg: 51.5}, epoch, epoch.Add(time.Second), 0)
+	if st.Samples == 0 {
+		t.Error("zero-step scan should default the step and sample")
+	}
+}

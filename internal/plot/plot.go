@@ -1,0 +1,339 @@
+// Package plot renders the study's figures as standalone SVG files using
+// only the standard library: line charts for CDFs and time series, grouped
+// bar charts for the congestion-control comparison, and box plots for the
+// weather/PTT distributions. The output is deliberately simple — axes,
+// ticks, series in distinguishable strokes, a legend — enough to eyeball
+// every figure against the paper's.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Size and layout constants.
+const (
+	width   = 640.0
+	height  = 400.0
+	marginL = 70.0
+	marginR = 20.0
+	marginT = 40.0
+	marginB = 60.0
+)
+
+// palette cycles through distinguishable stroke colours.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Point is an (x, y) pair.
+type Point struct{ X, Y float64 }
+
+// Series is one named line.
+type Series struct {
+	Name   string
+	Points []Point
+	// Dashed draws the series with a dash pattern (used to distinguish
+	// before/after pairs like Figure 3's).
+	Dashed bool
+}
+
+// Chart is a 2D chart specification.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// XLog plots the x axis in log10 (Figure 3 uses a log PTT axis).
+	XLog bool
+}
+
+type bounds struct{ xmin, xmax, ymin, ymax float64 }
+
+func (c *Chart) bounds() (bounds, error) {
+	b := bounds{math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)}
+	n := 0
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			x := p.X
+			if c.XLog {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if x < b.xmin {
+				b.xmin = x
+			}
+			if x > b.xmax {
+				b.xmax = x
+			}
+			if p.Y < b.ymin {
+				b.ymin = p.Y
+			}
+			if p.Y > b.ymax {
+				b.ymax = p.Y
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return b, fmt.Errorf("plot: chart %q has no plottable points", c.Title)
+	}
+	if b.xmax == b.xmin {
+		b.xmax = b.xmin + 1
+	}
+	if b.ymax == b.ymin {
+		b.ymax = b.ymin + 1
+	}
+	return b, nil
+}
+
+// WriteLineSVG renders the chart as an SVG line plot.
+func WriteLineSVG(w io.Writer, c Chart) error {
+	b, err := c.bounds()
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	header(&sb, c.Title)
+	axes(&sb, c.XLabel, c.YLabel)
+	ticks(&sb, b, c.XLog)
+
+	sx := func(x float64) float64 {
+		if c.XLog {
+			x = math.Log10(x)
+		}
+		return marginL + (x-b.xmin)/(b.xmax-b.xmin)*(width-marginL-marginR)
+	}
+	sy := func(y float64) float64 {
+		return height - marginB - (y-b.ymin)/(b.ymax-b.ymin)*(height-marginT-marginB)
+	}
+
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var path strings.Builder
+		started := false
+		for _, p := range s.Points {
+			if c.XLog && p.X <= 0 {
+				continue
+			}
+			cmd := "L"
+			if !started {
+				cmd = "M"
+				started = true
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, sx(p.X), sy(p.Y))
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6 4"`
+		}
+		fmt.Fprintf(&sb, `<path d=%q fill="none" stroke=%q stroke-width="1.8"%s/>`+"\n",
+			strings.TrimSpace(path.String()), color, dash)
+		legendEntry(&sb, i, s.Name, color, s.Dashed)
+	}
+	footer(&sb)
+	_, err = io.WriteString(w, sb.String())
+	return err
+}
+
+// Bar is one bar of a grouped bar chart.
+type Bar struct {
+	Label  string
+	Values []float64 // one per group
+}
+
+// BarChart is a grouped bar chart (Figure 8's shape).
+type BarChart struct {
+	Title  string
+	YLabel string
+	Groups []string // names of the value groups (e.g. "starlink", "wifi")
+	Bars   []Bar
+}
+
+// WriteBarSVG renders the grouped bar chart.
+func WriteBarSVG(w io.Writer, c BarChart) error {
+	if len(c.Bars) == 0 {
+		return fmt.Errorf("plot: bar chart %q has no bars", c.Title)
+	}
+	ymax := 0.0
+	for _, bar := range c.Bars {
+		if len(bar.Values) != len(c.Groups) {
+			return fmt.Errorf("plot: bar %q has %d values for %d groups", bar.Label, len(bar.Values), len(c.Groups))
+		}
+		for _, v := range bar.Values {
+			if v < 0 {
+				return fmt.Errorf("plot: negative bar value %v in %q", v, bar.Label)
+			}
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	var sb strings.Builder
+	header(&sb, c.Title)
+	axes(&sb, "", c.YLabel)
+
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	slot := plotW / float64(len(c.Bars))
+	barW := slot * 0.8 / float64(len(c.Groups))
+
+	// Y ticks at 5 divisions.
+	for i := 0; i <= 5; i++ {
+		v := ymax * float64(i) / 5
+		y := height - marginB - plotH*float64(i)/5
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%.2g</text>`+"\n", marginL-6, y+3, v)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, y, width-marginR, y)
+	}
+
+	for bi, bar := range c.Bars {
+		x0 := marginL + slot*float64(bi) + slot*0.1
+		for gi, v := range bar.Values {
+			h := plotH * v / ymax
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill=%q/>`+"\n",
+				x0+barW*float64(gi), height-marginB-h, barW-1, h, palette[gi%len(palette)])
+		}
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x0+slot*0.4, height-marginB+16, escape(bar.Label))
+	}
+	for gi, g := range c.Groups {
+		legendEntry(&sb, gi, g, palette[gi%len(palette)], false)
+	}
+	footer(&sb)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// BoxChart is a box plot (Figure 4's shape).
+type BoxChart struct {
+	Title  string
+	YLabel string
+	Boxes  []BoxStat
+}
+
+// BoxStat is one labelled five-number summary.
+type BoxStat struct {
+	Label                    string
+	Min, Q1, Median, Q3, Max float64
+}
+
+// WriteBoxSVG renders the box plot.
+func WriteBoxSVG(w io.Writer, c BoxChart) error {
+	if len(c.Boxes) == 0 {
+		return fmt.Errorf("plot: box chart %q has no boxes", c.Title)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, b := range c.Boxes {
+		if !(b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max) {
+			return fmt.Errorf("plot: box %q is not ordered", b.Label)
+		}
+		ymin = math.Min(ymin, b.Min)
+		ymax = math.Max(ymax, b.Max)
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	var sb strings.Builder
+	header(&sb, c.Title)
+	axes(&sb, "", c.YLabel)
+
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	slot := plotW / float64(len(c.Boxes))
+	sy := func(v float64) float64 {
+		return height - marginB - (v-ymin)/(ymax-ymin)*plotH
+	}
+	for i := 0; i <= 5; i++ {
+		v := ymin + (ymax-ymin)*float64(i)/5
+		y := sy(v)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%.3g</text>`+"\n", marginL-6, y+3, v)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, y, width-marginR, y)
+	}
+
+	for i, b := range c.Boxes {
+		cx := marginL + slot*(float64(i)+0.5)
+		bw := slot * 0.4
+		color := palette[i%len(palette)]
+		// Whiskers.
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", cx, sy(b.Min), cx, sy(b.Q1))
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", cx, sy(b.Q3), cx, sy(b.Max))
+		// Box.
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill=%q fill-opacity="0.5" stroke="#333"/>`+"\n",
+			cx-bw/2, sy(b.Q3), bw, sy(b.Q1)-sy(b.Q3), color)
+		// Median line.
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#000" stroke-width="2"/>`+"\n",
+			cx-bw/2, sy(b.Median), cx+bw/2, sy(b.Median))
+		// Label, wrapped crudely if long.
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			cx, height-marginB+16, escape(b.Label))
+	}
+	footer(&sb)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// --- shared SVG scaffolding ---
+
+func header(sb *strings.Builder, title string) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(sb, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(sb, `<text x="%.1f" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, escape(title))
+}
+
+func axes(sb *strings.Builder, xlabel, ylabel string) {
+	fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#000"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#000"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	if xlabel != "" {
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			(marginL+width-marginR)/2, height-14, escape(xlabel))
+	}
+	if ylabel != "" {
+		fmt.Fprintf(sb, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+			(marginT+height-marginB)/2, (marginT+height-marginB)/2, escape(ylabel))
+	}
+}
+
+func ticks(sb *strings.Builder, b bounds, xlog bool) {
+	for i := 0; i <= 5; i++ {
+		fx := b.xmin + (b.xmax-b.xmin)*float64(i)/5
+		x := marginL + (width-marginL-marginR)*float64(i)/5
+		v := fx
+		if xlog {
+			v = math.Pow(10, fx)
+		}
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%.3g</text>`+"\n",
+			x, height-marginB+14, v)
+		fy := b.ymin + (b.ymax-b.ymin)*float64(i)/5
+		y := height - marginB - (height-marginT-marginB)*float64(i)/5
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%.3g</text>`+"\n",
+			marginL-6, y+3, fy)
+		fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n",
+			marginL, y, width-marginR, y)
+	}
+}
+
+func legendEntry(sb *strings.Builder, i int, name, color string, dashed bool) {
+	y := marginT + float64(i)*16
+	dash := ""
+	if dashed {
+		dash = ` stroke-dasharray="6 4"`
+	}
+	fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke=%q stroke-width="2"%s/>`+"\n",
+		width-marginR-150, y, width-marginR-130, y, color, dash)
+	fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", width-marginR-124, y+4, escape(name))
+}
+
+func footer(sb *strings.Builder) { sb.WriteString("</svg>\n") }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,179 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// validXML checks the SVG parses as XML (catches unescaped content and
+// malformed attributes).
+func validXML(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestWriteLineSVG(t *testing.T) {
+	c := Chart{
+		Title: "Figure 6a: download CDF", XLabel: "Mbps", YLabel: "CDF",
+		Series: []Series{
+			{Name: "Barcelona", Points: []Point{{10, 0.1}, {100, 0.5}, {250, 1}}},
+			{Name: "N. Carolina", Points: []Point{{5, 0.2}, {30, 0.5}, {90, 1}}, Dashed: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteLineSVG(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	validXML(t, out)
+	for _, want := range []string{"<svg", "Figure 6a", "Barcelona", "stroke-dasharray", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestWriteLineSVGLogAxis(t *testing.T) {
+	c := Chart{
+		Title: "Figure 3", XLabel: "PTT (ms)", YLabel: "CDF", XLog: true,
+		Series: []Series{{Name: "popular", Points: []Point{{10, 0}, {100, 0.5}, {1000, 1}}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteLineSVG(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	validXML(t, buf.String())
+	// Log ticks render the decoded values (10, 1000 appear as labels).
+	if !strings.Contains(buf.String(), ">1e+03<") && !strings.Contains(buf.String(), ">1000<") {
+		t.Error("log axis labels missing")
+	}
+}
+
+func TestWriteLineSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLineSVG(&buf, Chart{Title: "empty"}); err == nil {
+		t.Error("want error for chart without points")
+	}
+	// Log chart with only non-positive xs has nothing plottable.
+	c := Chart{Title: "bad", XLog: true, Series: []Series{{Points: []Point{{-1, 0}, {0, 1}}}}}
+	if err := WriteLineSVG(&buf, c); err == nil {
+		t.Error("want error for log chart without positive xs")
+	}
+}
+
+func TestWriteBarSVG(t *testing.T) {
+	c := BarChart{
+		Title: "Figure 8", YLabel: "normalised throughput",
+		Groups: []string{"starlink", "wifi"},
+		Bars: []Bar{
+			{Label: "bbr", Values: []float64{0.6, 0.9}},
+			{Label: "cubic", Values: []float64{0.3, 0.95}},
+			{Label: "vegas", Values: []float64{0.05, 0.4}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteBarSVG(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	validXML(t, out)
+	for _, want := range []string{"bbr", "cubic", "vegas", "starlink", "wifi", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bar SVG missing %q", want)
+		}
+	}
+}
+
+func TestWriteBarSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBarSVG(&buf, BarChart{Title: "x"}); err == nil {
+		t.Error("want error for no bars")
+	}
+	c := BarChart{Groups: []string{"a", "b"}, Bars: []Bar{{Label: "x", Values: []float64{1}}}}
+	if err := WriteBarSVG(&buf, c); err == nil {
+		t.Error("want error for mismatched group count")
+	}
+	c = BarChart{Groups: []string{"a"}, Bars: []Bar{{Label: "x", Values: []float64{-1}}}}
+	if err := WriteBarSVG(&buf, c); err == nil {
+		t.Error("want error for negative value")
+	}
+}
+
+func TestWriteBoxSVG(t *testing.T) {
+	c := BoxChart{
+		Title: "Figure 4", YLabel: "PTT (ms)",
+		Boxes: []BoxStat{
+			{Label: "Clear Sky", Min: 200, Q1: 300, Median: 380, Q3: 500, Max: 900},
+			{Label: "Moderate Rain", Min: 400, Q1: 600, Median: 760, Q3: 950, Max: 2100},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteBoxSVG(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	validXML(t, out)
+	for _, want := range []string{"Clear Sky", "Moderate Rain", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("box SVG missing %q", want)
+		}
+	}
+}
+
+func TestWriteBoxSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBoxSVG(&buf, BoxChart{Title: "x"}); err == nil {
+		t.Error("want error for no boxes")
+	}
+	c := BoxChart{Boxes: []BoxStat{{Label: "bad", Min: 10, Q1: 5, Median: 7, Q3: 8, Max: 9}}}
+	if err := WriteBoxSVG(&buf, c); err == nil {
+		t.Error("want error for unordered box")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := Chart{
+		Title:  `<script>"attack" & more</script>`,
+		Series: []Series{{Name: "a<b", Points: []Point{{1, 1}, {2, 2}, {3, 3}}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteLineSVG(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	validXML(t, out)
+	if strings.Contains(out, "<script>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// All points identical: bounds expand instead of dividing by zero.
+	c := Chart{Title: "flat", Series: []Series{{Name: "s", Points: []Point{{5, 7}, {5, 7}}}}}
+	var buf bytes.Buffer
+	if err := WriteLineSVG(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	validXML(t, buf.String())
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}

@@ -1,0 +1,269 @@
+package rpinode
+
+import (
+	"testing"
+	"time"
+
+	"starlinkview/internal/dishy"
+	"starlinkview/internal/ispnet"
+	"starlinkview/internal/measure"
+	"starlinkview/internal/orbit"
+)
+
+var testEpoch = time.Date(2022, 4, 11, 0, 0, 0, 0, time.UTC)
+
+func testConstellation(t *testing.T) *orbit.Constellation {
+	t.Helper()
+	c, err := orbit.GenerateShell(orbit.ShellConfig{
+		Name: "STARLINK", AltitudeKm: 550, InclinationDeg: 53,
+		Planes: 24, SatsPerPlane: 22, PhasingF: 13,
+		Epoch: testEpoch, FirstSatNum: 44000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testNode(t *testing.T, city ispnet.City, seed int64) *Node {
+	t.Helper()
+	n, err := New(Config{
+		City: city, Constellation: testConstellation(t),
+		Epoch: testEpoch, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{City: ispnet.Wiltshire, Epoch: testEpoch}); err == nil {
+		t.Error("want error for missing constellation")
+	}
+	if _, err := New(Config{City: ispnet.Wiltshire, Constellation: testConstellation(t)}); err == nil {
+		t.Error("want error for missing epoch")
+	}
+}
+
+func TestNewPicksClosestServer(t *testing.T) {
+	n := testNode(t, ispnet.Wiltshire, 1)
+	if n.Server.Name != "gcp-london" {
+		t.Errorf("server = %s, want gcp-london", n.Server.Name)
+	}
+	override := ispnet.IowaDC
+	n2, err := New(Config{
+		City: ispnet.Wiltshire, Constellation: testConstellation(t),
+		Epoch: testEpoch, Server: &override,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Server.Name != "gcp-iowa" {
+		t.Errorf("override server = %s", n2.Server.Name)
+	}
+}
+
+func TestShortAndFullPathsAgreeOnRTT(t *testing.T) {
+	n := testNode(t, ispnet.Wiltshire, 2)
+	fullRTT := n.Full.Path.BaseRTT()
+	shortRTT := n.Short.Path.BaseRTT()
+	diff := fullRTT - shortRTT
+	if diff < 0 {
+		diff = -diff
+	}
+	// The collapsed path must preserve end-to-end delay within a few ms.
+	if diff > 10*time.Millisecond {
+		t.Errorf("full RTT %v vs short RTT %v", fullRTT, shortRTT)
+	}
+	if len(n.Short.Path.Nodes) >= len(n.Full.Path.Nodes) {
+		t.Error("short path is not shorter")
+	}
+}
+
+func TestRunIperfOnce(t *testing.T) {
+	n := testNode(t, ispnet.Wiltshire, 3)
+	s, err := n.RunIperfOnce("cubic", 4*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DownBps <= 0 || s.UpBps <= 0 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if s.DownBps < s.UpBps {
+		t.Errorf("downlink %v below uplink %v on Starlink", s.DownBps, s.UpBps)
+	}
+	if !s.Wall.Equal(testEpoch.Add(s.At)) {
+		t.Error("wall time mismatch")
+	}
+	if len(n.IperfSamples()) != 1 {
+		t.Error("sample not recorded")
+	}
+}
+
+func TestRunUDPOnce(t *testing.T) {
+	n := testNode(t, ispnet.Wiltshire, 4)
+	s, err := n.RunUDPOnce(50e6, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LossPct < 0 || s.LossPct > 100 {
+		t.Fatalf("loss = %v", s.LossPct)
+	}
+	if len(n.UDPSamples()) != 1 {
+		t.Error("sample not recorded")
+	}
+}
+
+func TestRunSpeedtestOnce(t *testing.T) {
+	n := testNode(t, ispnet.Wiltshire, 5)
+	s, err := n.RunSpeedtestOnce(measure.SpeedtestOptions{PhaseDuration: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Res.DownMbps <= 0 || s.Res.UpMbps <= 0 || s.Res.PingMs <= 0 {
+		t.Fatalf("speedtest = %+v", s.Res)
+	}
+}
+
+func TestRunSchedule(t *testing.T) {
+	n := testNode(t, ispnet.Wiltshire, 6)
+	err := n.RunSchedule(Schedule{
+		Total:      31 * time.Minute,
+		IperfEvery: 10 * time.Minute,
+		IperfDur:   2 * time.Second,
+		UDPEvery:   15 * time.Minute,
+		UDPRateBps: 40e6,
+		UDPDur:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.IperfSamples()); got != 4 { // t=0,10,20,30
+		t.Errorf("iperf samples = %d, want 4", got)
+	}
+	if got := len(n.UDPSamples()); got != 3 { // t=0,15,30
+		t.Errorf("udp samples = %d, want 3", got)
+	}
+	// Samples are time-ordered and stamped within the window.
+	prev := time.Duration(-1)
+	for _, s := range n.IperfSamples() {
+		if s.At <= prev {
+			t.Error("iperf samples out of order")
+		}
+		prev = s.At
+	}
+	if err := n.RunSchedule(Schedule{}); err == nil {
+		t.Error("want error for zero total")
+	}
+}
+
+func TestTracerouteOnFullPath(t *testing.T) {
+	n := testNode(t, ispnet.Wiltshire, 7)
+	hops, err := n.Traceroute(measure.TracerouteOptions{ProbesPerHop: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != len(n.Full.HopAddrs) {
+		t.Errorf("hops = %d, want %d", len(hops), len(n.Full.HopAddrs))
+	}
+}
+
+func TestMaxMinQueueing(t *testing.T) {
+	n := testNode(t, ispnet.Wiltshire, 8)
+	wireless, whole, err := n.MaxMinQueueing(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wireless.MedianMs <= 0 || whole.MedianMs <= 0 {
+		t.Errorf("estimates: wireless=%+v whole=%+v", wireless, whole)
+	}
+	if wireless.MedianMs > whole.MaxMs+20 {
+		t.Errorf("bent-pipe queueing %v wildly exceeds whole-path %v", wireless.MedianMs, whole.MaxMs)
+	}
+}
+
+func TestDishyStatusAndServer(t *testing.T) {
+	n := testNode(t, ispnet.Wiltshire, 9)
+	st, err := n.DishyStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PopPingLatencyMs < 20 || st.PopPingLatencyMs > 150 {
+		t.Errorf("pop ping latency = %v ms", st.PopPingLatencyMs)
+	}
+	if st.DownlinkThroughputBps <= 0 {
+		t.Error("no downlink capacity in status")
+	}
+	if st.SecondsToFirstNonemptySlot <= 0 || st.SecondsToFirstNonemptySlot > 15 {
+		t.Errorf("slot remainder = %v", st.SecondsToFirstNonemptySlot)
+	}
+
+	srv, addr, err := n.ServeDishy("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	got, err := dishy.NewClient(addr).GetStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DownlinkThroughputBps != st.DownlinkThroughputBps {
+		t.Errorf("served status disagrees: %v vs %v", got.DownlinkThroughputBps, st.DownlinkThroughputBps)
+	}
+}
+
+func TestRunScheduleWithSpeedtests(t *testing.T) {
+	n := testNode(t, ispnet.Wiltshire, 10)
+	err := n.RunSchedule(Schedule{
+		Total:          16 * time.Minute,
+		SpeedtestEvery: 5 * time.Minute,
+		SpeedtestPhase: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.SpeedSamples()); got != 4 { // t=0,5,10,15
+		t.Errorf("speed samples = %d, want 4", got)
+	}
+	for _, s := range n.SpeedSamples() {
+		if s.Res.DownMbps <= 0 || s.Res.UpMbps <= 0 {
+			t.Errorf("empty speedtest at %v: %+v", s.At, s.Res)
+		}
+	}
+}
+
+func TestDishyHistory(t *testing.T) {
+	n := testNode(t, ispnet.Wiltshire, 12)
+	if _, err := n.RunIperfOnce("cubic", 2*time.Second, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RunUDPOnce(30e6, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h, err := n.DishyHistory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Samples) != 2 {
+		t.Fatalf("history samples = %d, want 2", len(h.Samples))
+	}
+	for _, s := range h.Samples {
+		if s.PopPingLatencyMs <= 0 || s.DownlinkBps <= 0 {
+			t.Errorf("bad sample %+v", s)
+		}
+	}
+	// And over the wire.
+	srv, addr, err := n.ServeDishy("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	got, err := dishy.NewClient(addr).GetHistory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 2 {
+		t.Errorf("served history = %d samples", len(got.Samples))
+	}
+}

@@ -1,0 +1,33 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"starlinkview/internal/stats"
+)
+
+// ExampleNewCDF builds the empirical distribution behind every CDF figure
+// in the study.
+func ExampleNewCDF() {
+	lossPct := []float64{0, 0, 1, 2, 5, 8, 12, 50}
+	cdf, err := stats.NewCDF(lossPct)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("P(loss >= 5%%) = %.3f\n", cdf.CCDFAt(5))
+	fmt.Printf("P(loss >= 10%%) = %.3f\n", cdf.CCDFAt(10))
+	// Output:
+	// P(loss >= 5%) = 0.500
+	// P(loss >= 10%) = 0.250
+}
+
+// ExampleSummarize produces the five-number summary behind Figure 4's box
+// plots.
+func ExampleSummarize() {
+	ptt := []float64{300, 350, 400, 470, 520, 800, 930}
+	sum, _ := stats.Summarize(ptt)
+	fmt.Printf("median %.0f ms (q1 %.0f, q3 %.0f)\n", sum.Median, sum.Q1, sum.Q3)
+	// Output:
+	// median 470 ms (q1 375, q3 660)
+}

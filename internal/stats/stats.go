@@ -1,0 +1,298 @@
+// Package stats provides the small statistical toolkit the study uses to
+// turn raw measurement samples into the paper's tables and figures:
+// empirical CDFs and CCDFs, quantiles, five-number summaries for box plots,
+// histograms, and time-series binning.
+//
+// All functions are deterministic and operate on copies; callers' slices are
+// never reordered.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrNoSamples is returned by constructors that require at least one sample.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the samples using linear
+// interpolation between closest ranks. It returns NaN for an empty slice.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile of the samples.
+func Median(samples []float64) float64 { return Quantile(samples, 0.5) }
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// Min returns the smallest sample, or NaN for an empty slice.
+func Min(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	m := samples[0]
+	for _, v := range samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or NaN for an empty slice.
+func Max(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	m := samples[0]
+	for _, v := range samples[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation, or NaN for an empty slice.
+func StdDev(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	mu := Mean(samples)
+	ss := 0.0
+	for _, v := range samples {
+		d := v - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(samples)))
+}
+
+// Summary is a five-number summary plus mean and count, the shape of every
+// box plot in the paper (Figure 4) and of Table 2's min/median/max rows.
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+}
+
+// Summarize computes a Summary over the samples.
+func Summarize(samples []float64) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, ErrNoSamples
+	}
+	return Summary{
+		N:      len(samples),
+		Min:    Min(samples),
+		Q1:     Quantile(samples, 0.25),
+		Median: Median(samples),
+		Q3:     Quantile(samples, 0.75),
+		Max:    Max(samples),
+		Mean:   Mean(samples),
+	}, nil
+}
+
+// String implements fmt.Stringer with a compact box-plot style rendering.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.1f q1=%.1f med=%.1f q3=%.1f max=%.1f mean=%.1f",
+		s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean)
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF over the samples.
+func NewCDF(samples []float64) (*CDF, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}, nil
+}
+
+// N returns the number of underlying samples.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x, so we
+	// advance over equal values to implement <=.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// CCDFAt returns P(X >= x), the complementary CDF the paper plots in
+// Figure 6(c).
+func (c *CDF) CCDFAt(x float64) float64 {
+	i := sort.SearchFloat64s(c.sorted, x)
+	return float64(len(c.sorted)-i) / float64(len(c.sorted))
+}
+
+// InverseAt returns the q-quantile of the underlying samples.
+func (c *CDF) InverseAt(q float64) float64 { return Quantile(c.sorted, q) }
+
+// Points returns up to n evenly spaced (value, cumulative probability) points
+// suitable for plotting the CDF as a line series.
+func (c *CDF) Points(n int) []Point {
+	if n <= 0 || len(c.sorted) == 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.sorted) - 1) / max(1, n-1)
+		pts = append(pts, Point{
+			X: c.sorted[idx],
+			Y: float64(idx+1) / float64(len(c.sorted)),
+		})
+	}
+	return pts
+}
+
+// Point is a plottable (x, y) pair.
+type Point struct{ X, Y float64 }
+
+// Histogram counts samples into uniform-width bins over [lo, hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+}
+
+// NewHistogram creates a histogram with bins uniform-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins must be positive, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: invalid histogram range [%v, %v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one sample. Samples outside [lo, hi) are tallied separately and
+// reported by Outliers.
+func (h *Histogram) Add(v float64) {
+	switch {
+	case v < h.Lo:
+		h.under++
+	case v >= h.Hi:
+		h.over++
+	default:
+		i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // guard against floating-point edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// N returns the number of in-range samples.
+func (h *Histogram) N() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Outliers returns the number of samples below and above the range.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// TimeBin aggregates (time, value) observations into fixed-width time bins,
+// used for the diurnal throughput series in Figure 6(b).
+type TimeBin struct {
+	Start time.Time
+	Width time.Duration
+	vals  map[int][]float64
+}
+
+// NewTimeBin creates a binner anchored at start with the given bin width.
+func NewTimeBin(start time.Time, width time.Duration) (*TimeBin, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("stats: bin width must be positive, got %v", width)
+	}
+	return &TimeBin{Start: start, Width: width, vals: make(map[int][]float64)}, nil
+}
+
+// Add records an observation. Observations before the anchor are dropped.
+func (b *TimeBin) Add(at time.Time, v float64) {
+	if at.Before(b.Start) {
+		return
+	}
+	i := int(at.Sub(b.Start) / b.Width)
+	b.vals[i] = append(b.vals[i], v)
+}
+
+// Series returns the per-bin means in time order, with the bin start time.
+type SeriesPoint struct {
+	At    time.Time
+	Value float64
+	N     int
+}
+
+// Series returns per-bin mean values ordered by time. Empty bins are skipped.
+func (b *TimeBin) Series() []SeriesPoint {
+	idx := make([]int, 0, len(b.vals))
+	for i := range b.vals {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	out := make([]SeriesPoint, 0, len(idx))
+	for _, i := range idx {
+		v := b.vals[i]
+		out = append(out, SeriesPoint{
+			At:    b.Start.Add(time.Duration(i) * b.Width),
+			Value: Mean(v),
+			N:     len(v),
+		})
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package tle_test
+
+import (
+	"fmt"
+	"strings"
+
+	"starlinkview/internal/tle"
+)
+
+// ExampleParse parses the canonical ISS element set from the CelesTrak
+// format documentation.
+func ExampleParse() {
+	l1 := "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+	l2 := "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+	t, err := tle.Parse("ISS (ZARYA)", l1, l2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s: satnum %d, inclination %.4f deg, %.4f rev/day\n",
+		t.Name, t.SatNum, t.InclinationDeg, t.MeanMotionRevPD)
+	// Output:
+	// ISS (ZARYA): satnum 25544, inclination 51.6416 deg, 15.7213 rev/day
+}
+
+// ExampleCatalogue_Filter selects Starlink satellites from a mixed feed, as
+// the paper did with the full CelesTrak catalogue.
+func ExampleCatalogue_Filter() {
+	l1 := "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+	l2 := "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+	a, _ := tle.Parse("STARLINK-2356", l1, l2)
+	b, _ := tle.Parse("ONEWEB-0102", l1, l2)
+	cat := tle.Catalogue{a, b}
+	for _, t := range cat.Filter("starlink") {
+		fmt.Println(t.Name)
+	}
+	// Output:
+	// STARLINK-2356
+}
+
+// ExampleChecksum verifies a line body's checksum digit.
+func ExampleChecksum() {
+	body := "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  292"
+	fmt.Println(tle.Checksum(body))
+	// Output:
+	// 7
+}
+
+// ExampleWriteCatalogue shows the 3LE output format.
+func ExampleWriteCatalogue() {
+	l1 := "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+	l2 := "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+	t, _ := tle.Parse("DEMO-1", l1, l2)
+	var sb strings.Builder
+	_ = tle.WriteCatalogue(&sb, tle.Catalogue{t})
+	fmt.Println(strings.Split(sb.String(), "\n")[0])
+	// Output:
+	// DEMO-1
+}

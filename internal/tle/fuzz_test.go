@@ -1,0 +1,39 @@
+package tle
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures arbitrary input never panics the TLE parser; it either
+// returns a TLE or an error.
+func FuzzParse(f *testing.F) {
+	f.Add("ISS (ZARYA)", issL1, issL2)
+	f.Add("", "", "")
+	f.Add("0 X", strings.Repeat("1", 69), strings.Repeat("2", 69))
+	f.Add("N", issL1[:30], issL2)
+	f.Add("N", "1"+strings.Repeat(" ", 68), "2"+strings.Repeat(" ", 68))
+	f.Fuzz(func(t *testing.T, name, l1, l2 string) {
+		tle, err := Parse(name, l1, l2)
+		if err == nil {
+			// A successful parse must round-trip through Format without
+			// panicking (equality is not required for arbitrary input, but
+			// well-formedness is).
+			a, b := tle.Format()
+			if len(a) != 69 || len(b) != 69 {
+				t.Errorf("Format produced lines of %d/%d chars", len(a), len(b))
+			}
+		}
+	})
+}
+
+// FuzzReadCatalogue ensures arbitrary files never panic the reader.
+func FuzzReadCatalogue(f *testing.F) {
+	f.Add("NAME\n" + issL1 + "\n" + issL2 + "\n")
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(issL1)
+	f.Fuzz(func(t *testing.T, in string) {
+		_, _ = ReadCatalogue(strings.NewReader(in))
+	})
+}

@@ -1,0 +1,340 @@
+// Package tle implements the NORAD Two-Line Element set format used by the
+// paper to track Starlink satellites overhead of the UK measurement node
+// (Figure 7). It supports parsing, checksum verification, formatting, and
+// catalogue filtering, so a synthetic Starlink constellation can round-trip
+// through the exact file format CelesTrak distributes.
+package tle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TLE is one two-line element set, optionally preceded by a name line
+// ("0 STARLINK-2356" or bare "STARLINK-2356").
+type TLE struct {
+	Name string
+
+	// Line 1 fields.
+	SatNum         int
+	Classification byte   // 'U', 'C' or 'S'
+	IntlDesignator string // e.g. "20019BK"
+	Epoch          time.Time
+	MeanMotionDot  float64 // rev/day^2 / 2 (as stored)
+	BStar          float64 // 1/earth radii
+	ElementSet     int
+
+	// Line 2 fields.
+	InclinationDeg  float64
+	RAANDeg         float64
+	Eccentricity    float64
+	ArgPerigeeDeg   float64
+	MeanAnomalyDeg  float64
+	MeanMotionRevPD float64 // revolutions per day
+	RevNumber       int
+}
+
+// Checksum returns the TLE checksum of a 68-character line body: the sum of
+// all digits plus one for each minus sign, modulo 10.
+func Checksum(line string) int {
+	sum := 0
+	for _, r := range line {
+		switch {
+		case r >= '0' && r <= '9':
+			sum += int(r - '0')
+		case r == '-':
+			sum++
+		}
+	}
+	return sum % 10
+}
+
+// ParseError describes a malformed TLE line.
+type ParseError struct {
+	Line   int // 1 or 2
+	Reason string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("tle: line %d: %s", e.Line, e.Reason)
+}
+
+// Parse parses a two-line element set. name may be empty.
+func Parse(name, line1, line2 string) (TLE, error) {
+	var t TLE
+	t.Name = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), "0 "))
+
+	if err := checkLine(1, line1); err != nil {
+		return t, err
+	}
+	if err := checkLine(2, line2); err != nil {
+		return t, err
+	}
+
+	var err error
+	if t.SatNum, err = atoi(line1[2:7]); err != nil {
+		return t, &ParseError{1, "satellite number: " + err.Error()}
+	}
+	n2, err := atoi(line2[2:7])
+	if err != nil {
+		return t, &ParseError{2, "satellite number: " + err.Error()}
+	}
+	if n2 != t.SatNum {
+		return t, &ParseError{2, fmt.Sprintf("satellite number %d does not match line 1's %d", n2, t.SatNum)}
+	}
+	t.Classification = line1[7]
+	t.IntlDesignator = strings.TrimSpace(line1[9:17])
+
+	if t.Epoch, err = parseEpoch(line1[18:32]); err != nil {
+		return t, &ParseError{1, "epoch: " + err.Error()}
+	}
+	if t.MeanMotionDot, err = atof(line1[33:43]); err != nil {
+		return t, &ParseError{1, "mean motion derivative: " + err.Error()}
+	}
+	if t.BStar, err = parseExpNotation(line1[53:61]); err != nil {
+		return t, &ParseError{1, "bstar: " + err.Error()}
+	}
+	if t.ElementSet, err = atoi(line1[64:68]); err != nil {
+		return t, &ParseError{1, "element set: " + err.Error()}
+	}
+
+	if t.InclinationDeg, err = atof(line2[8:16]); err != nil {
+		return t, &ParseError{2, "inclination: " + err.Error()}
+	}
+	if t.RAANDeg, err = atof(line2[17:25]); err != nil {
+		return t, &ParseError{2, "raan: " + err.Error()}
+	}
+	eccRaw, err := atoi(line2[26:33])
+	if err != nil {
+		return t, &ParseError{2, "eccentricity: " + err.Error()}
+	}
+	t.Eccentricity = float64(eccRaw) / 1e7
+	if t.ArgPerigeeDeg, err = atof(line2[34:42]); err != nil {
+		return t, &ParseError{2, "argument of perigee: " + err.Error()}
+	}
+	if t.MeanAnomalyDeg, err = atof(line2[43:51]); err != nil {
+		return t, &ParseError{2, "mean anomaly: " + err.Error()}
+	}
+	if t.MeanMotionRevPD, err = atof(line2[52:63]); err != nil {
+		return t, &ParseError{2, "mean motion: " + err.Error()}
+	}
+	if t.RevNumber, err = atoi(line2[63:68]); err != nil {
+		return t, &ParseError{2, "rev number: " + err.Error()}
+	}
+	return t, nil
+}
+
+func checkLine(n int, line string) error {
+	if len(line) < 69 {
+		return &ParseError{n, fmt.Sprintf("length %d, want 69", len(line))}
+	}
+	if line[0] != byte('0'+n) {
+		return &ParseError{n, fmt.Sprintf("line number field is %q", line[0])}
+	}
+	want := Checksum(line[:68])
+	got := int(line[68] - '0')
+	if got != want {
+		return &ParseError{n, fmt.Sprintf("checksum %d, want %d", got, want)}
+	}
+	return nil
+}
+
+func atoi(s string) (int, error)     { return strconv.Atoi(strings.TrimSpace(s)) }
+func atof(s string) (float64, error) { return strconv.ParseFloat(strings.TrimSpace(s), 64) }
+
+// parseEpoch parses the "YYDDD.DDDDDDDD" epoch field. Years 57-99 map to
+// 1957-1999, 00-56 to 2000-2056 (the standard pivot).
+func parseEpoch(s string) (time.Time, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 5 {
+		return time.Time{}, fmt.Errorf("too short: %q", s)
+	}
+	yy, err := strconv.Atoi(s[:2])
+	if err != nil {
+		return time.Time{}, err
+	}
+	year := 2000 + yy
+	if yy >= 57 {
+		year = 1900 + yy
+	}
+	doy, err := strconv.ParseFloat(s[2:], 64)
+	if err != nil {
+		return time.Time{}, err
+	}
+	if doy < 1 || doy >= 367 {
+		return time.Time{}, fmt.Errorf("day of year %v out of range", doy)
+	}
+	base := time.Date(year, 1, 1, 0, 0, 0, 0, time.UTC)
+	return base.Add(time.Duration((doy - 1) * 24 * float64(time.Hour))), nil
+}
+
+// parseExpNotation parses the TLE's implied-decimal exponent format, e.g.
+// " 34123-4" = 0.34123e-4 and "-12345+1" = -0.12345e1.
+func parseExpNotation(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "00000-0" || s == "00000+0" {
+		return 0, nil
+	}
+	sign := 1.0
+	if s[0] == '-' {
+		sign = -1
+		s = s[1:]
+	} else if s[0] == '+' {
+		s = s[1:]
+	}
+	// The exponent sign is the last '+' or '-'.
+	cut := strings.LastIndexAny(s, "+-")
+	if cut <= 0 {
+		return 0, fmt.Errorf("missing exponent in %q", s)
+	}
+	mant, err := strconv.Atoi(s[:cut])
+	if err != nil {
+		return 0, fmt.Errorf("mantissa: %w", err)
+	}
+	exp, err := strconv.Atoi(s[cut:])
+	if err != nil {
+		return 0, fmt.Errorf("exponent: %w", err)
+	}
+	m := float64(mant) / math.Pow(10, float64(len(s[:cut])))
+	return sign * m * math.Pow(10, float64(exp)), nil
+}
+
+// Format renders the TLE as its two 69-character lines (without a name line).
+// The output parses back to an equivalent element set.
+func (t TLE) Format() (line1, line2 string) {
+	epochYY := t.Epoch.Year() % 100
+	yearStart := time.Date(t.Epoch.Year(), 1, 1, 0, 0, 0, 0, time.UTC)
+	doy := 1 + t.Epoch.Sub(yearStart).Hours()/24
+
+	cls := t.Classification
+	if cls == 0 {
+		cls = 'U'
+	}
+	l1 := fmt.Sprintf("1 %05d%c %-8s %02d%012.8f %s  00000-0 %s 0 %4d",
+		t.SatNum, cls, t.IntlDesignator, epochYY, doy,
+		formatMeanMotionDot(t.MeanMotionDot), formatExpNotation(t.BStar), t.ElementSet%10000)
+	l1 = fixWidth(l1)
+	line1 = l1 + strconv.Itoa(Checksum(l1))
+
+	l2 := fmt.Sprintf("2 %05d %8.4f %8.4f %07d %8.4f %8.4f %11.8f%5d",
+		t.SatNum, t.InclinationDeg, t.RAANDeg, int(math.Round(t.Eccentricity*1e7)),
+		t.ArgPerigeeDeg, t.MeanAnomalyDeg, t.MeanMotionRevPD, t.RevNumber%100000)
+	l2 = fixWidth(l2)
+	line2 = l2 + strconv.Itoa(Checksum(l2))
+	return line1, line2
+}
+
+func fixWidth(l string) string {
+	if len(l) > 68 {
+		return l[:68]
+	}
+	return l + strings.Repeat(" ", 68-len(l))
+}
+
+func formatMeanMotionDot(v float64) string {
+	sign := " "
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	s := strconv.FormatFloat(v, 'f', 8, 64)
+	// Drop the leading "0" of "0.xxxxxxxx" per TLE convention.
+	s = strings.TrimPrefix(s, "0")
+	if len(s) > 9 {
+		s = s[:9]
+	}
+	return sign + s
+}
+
+func formatExpNotation(v float64) string {
+	if v == 0 {
+		return " 00000-0"
+	}
+	sign := " "
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	exp := int(math.Floor(math.Log10(v))) + 1
+	mant := int(math.Round(v / math.Pow(10, float64(exp)) * 1e5))
+	if mant == 100000 { // rounding carried over
+		mant = 10000
+		exp++
+	}
+	expSign := "+"
+	if exp < 0 {
+		expSign = "-"
+		exp = -exp
+	}
+	return fmt.Sprintf("%s%05d%s%d", sign, mant, expSign, exp)
+}
+
+// Catalogue is an ordered collection of TLEs, as read from a CelesTrak-style
+// file.
+type Catalogue []TLE
+
+// ReadCatalogue parses a TLE file: repeated [name line,] line 1, line 2.
+func ReadCatalogue(r io.Reader) (Catalogue, error) {
+	sc := bufio.NewScanner(r)
+	var lines []string
+	for sc.Scan() {
+		l := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(l) == "" {
+			continue
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tle: reading catalogue: %w", err)
+	}
+
+	var cat Catalogue
+	for i := 0; i < len(lines); {
+		name := ""
+		if !strings.HasPrefix(lines[i], "1 ") {
+			name = lines[i]
+			i++
+		}
+		if i+1 >= len(lines) {
+			return nil, fmt.Errorf("tle: truncated element set at line %d", i+1)
+		}
+		t, err := Parse(name, lines[i], lines[i+1])
+		if err != nil {
+			return nil, err
+		}
+		cat = append(cat, t)
+		i += 2
+	}
+	return cat, nil
+}
+
+// WriteCatalogue writes the catalogue in CelesTrak 3LE format (name line
+// followed by the two element lines).
+func WriteCatalogue(w io.Writer, cat Catalogue) error {
+	for _, t := range cat {
+		l1, l2 := t.Format()
+		if _, err := fmt.Fprintf(w, "%s\n%s\n%s\n", t.Name, l1, l2); err != nil {
+			return fmt.Errorf("tle: writing catalogue: %w", err)
+		}
+	}
+	return nil
+}
+
+// Filter returns the subset of the catalogue whose names contain substr
+// (case-insensitive), mirroring the paper's "filter for Starlink satellites"
+// step on the full CelesTrak feed.
+func (c Catalogue) Filter(substr string) Catalogue {
+	needle := strings.ToLower(substr)
+	var out Catalogue
+	for _, t := range c {
+		if strings.Contains(strings.ToLower(t.Name), needle) {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+package tle
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A real ISS TLE (epoch 2008-09-20), the canonical test vector from the
+// CelesTrak format documentation.
+const (
+	issL1 = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+	issL2 = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+)
+
+func TestChecksumKnownVectors(t *testing.T) {
+	if got := Checksum(issL1[:68]); got != 7 {
+		t.Errorf("line1 checksum = %d, want 7", got)
+	}
+	if got := Checksum(issL2[:68]); got != 7 {
+		t.Errorf("line2 checksum = %d, want 7", got)
+	}
+}
+
+func TestParseISS(t *testing.T) {
+	tle, err := Parse("ISS (ZARYA)", issL1, issL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tle.Name != "ISS (ZARYA)" {
+		t.Errorf("name = %q", tle.Name)
+	}
+	if tle.SatNum != 25544 {
+		t.Errorf("satnum = %d, want 25544", tle.SatNum)
+	}
+	if tle.Classification != 'U' {
+		t.Errorf("classification = %c", tle.Classification)
+	}
+	if tle.IntlDesignator != "98067A" {
+		t.Errorf("designator = %q", tle.IntlDesignator)
+	}
+	if tle.Epoch.Year() != 2008 {
+		t.Errorf("epoch year = %d, want 2008", tle.Epoch.Year())
+	}
+	if doy := tle.Epoch.YearDay(); doy != 264 {
+		t.Errorf("epoch day-of-year = %d, want 264", doy)
+	}
+	if math.Abs(tle.InclinationDeg-51.6416) > 1e-9 {
+		t.Errorf("inclination = %v", tle.InclinationDeg)
+	}
+	if math.Abs(tle.RAANDeg-247.4627) > 1e-9 {
+		t.Errorf("raan = %v", tle.RAANDeg)
+	}
+	if math.Abs(tle.Eccentricity-0.0006703) > 1e-12 {
+		t.Errorf("eccentricity = %v", tle.Eccentricity)
+	}
+	if math.Abs(tle.MeanMotionRevPD-15.72125391) > 1e-9 {
+		t.Errorf("mean motion = %v", tle.MeanMotionRevPD)
+	}
+	if tle.RevNumber != 56353 {
+		t.Errorf("rev number = %d, want 56353", tle.RevNumber)
+	}
+	if math.Abs(tle.BStar-(-0.11606e-4)) > 1e-12 {
+		t.Errorf("bstar = %v, want -0.11606e-4", tle.BStar)
+	}
+}
+
+func TestParseNamePrefixStripped(t *testing.T) {
+	tle, err := Parse("0 STARLINK-2356", issL1, issL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tle.Name != "STARLINK-2356" {
+		t.Errorf("name = %q, want STARLINK-2356", tle.Name)
+	}
+}
+
+func TestParseRejectsBadChecksum(t *testing.T) {
+	bad := issL1[:68] + "9"
+	if _, err := Parse("", bad, issL2); err == nil {
+		t.Fatal("want checksum error")
+	} else if pe, ok := err.(*ParseError); !ok || pe.Line != 1 {
+		t.Errorf("err = %v, want ParseError on line 1", err)
+	}
+}
+
+func TestParseRejectsShortLine(t *testing.T) {
+	if _, err := Parse("", "1 25544U", issL2); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestParseRejectsWrongLineNumber(t *testing.T) {
+	swapped := "2" + issL1[1:]
+	// Fix the checksum so only the line-number check can fail.
+	swapped = swapped[:68] + string(rune('0'+Checksum(swapped[:68])))
+	if _, err := Parse("", swapped, issL2); err == nil {
+		t.Fatal("want line-number error")
+	}
+}
+
+func TestParseRejectsMismatchedSatNum(t *testing.T) {
+	l2 := "2 99999" + issL2[7:]
+	l2 = l2[:68] + string(rune('0'+Checksum(l2[:68])))
+	if _, err := Parse("", issL1, l2); err == nil {
+		t.Fatal("want satnum mismatch error")
+	}
+}
+
+func TestEpochPivot(t *testing.T) {
+	cases := []struct {
+		field string
+		year  int
+	}{
+		{"57001.00000000", 1957},
+		{"99365.00000000", 1999},
+		{"00001.00000000", 2000},
+		{"22091.50000000", 2022},
+		{"56366.00000000", 2056},
+	}
+	for _, c := range cases {
+		got, err := parseEpoch(c.field)
+		if err != nil {
+			t.Errorf("parseEpoch(%q): %v", c.field, err)
+			continue
+		}
+		if got.Year() != c.year {
+			t.Errorf("parseEpoch(%q).Year() = %d, want %d", c.field, got.Year(), c.year)
+		}
+	}
+	if _, err := parseEpoch("22400.0"); err == nil {
+		t.Error("want error for day-of-year 400")
+	}
+	if _, err := parseEpoch("2"); err == nil {
+		t.Error("want error for truncated epoch")
+	}
+}
+
+func TestEpochFraction(t *testing.T) {
+	got, err := parseEpoch("22091.50000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2022, 4, 1, 12, 0, 0, 0, time.UTC) // day 91 of 2022 is April 1
+	if !got.Equal(want) {
+		t.Errorf("epoch = %v, want %v", got, want)
+	}
+}
+
+func TestParseExpNotation(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{" 00000-0", 0},
+		{"00000+0", 0},
+		{" 34123-4", 0.34123e-4},
+		{"-11606-4", -0.11606e-4},
+		{" 12345+1", 0.12345e1},
+	}
+	for _, c := range cases {
+		got, err := parseExpNotation(c.in)
+		if err != nil {
+			t.Errorf("parseExpNotation(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("parseExpNotation(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := parseExpNotation("12345"); err == nil {
+		t.Error("want error for missing exponent")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig, err := Parse("ISS (ZARYA)", issL1, issL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, l2 := orig.Format()
+	if len(l1) != 69 || len(l2) != 69 {
+		t.Fatalf("formatted lengths = %d, %d, want 69", len(l1), len(l2))
+	}
+	back, err := Parse(orig.Name, l1, l2)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s\n%s", err, l1, l2)
+	}
+	if back.SatNum != orig.SatNum {
+		t.Errorf("satnum %d != %d", back.SatNum, orig.SatNum)
+	}
+	if math.Abs(back.InclinationDeg-orig.InclinationDeg) > 1e-4 {
+		t.Errorf("inclination %v != %v", back.InclinationDeg, orig.InclinationDeg)
+	}
+	if math.Abs(back.RAANDeg-orig.RAANDeg) > 1e-4 {
+		t.Errorf("raan %v != %v", back.RAANDeg, orig.RAANDeg)
+	}
+	if math.Abs(back.Eccentricity-orig.Eccentricity) > 1e-7 {
+		t.Errorf("eccentricity %v != %v", back.Eccentricity, orig.Eccentricity)
+	}
+	if math.Abs(back.MeanMotionRevPD-orig.MeanMotionRevPD) > 1e-7 {
+		t.Errorf("mean motion %v != %v", back.MeanMotionRevPD, orig.MeanMotionRevPD)
+	}
+	if d := back.Epoch.Sub(orig.Epoch); d > time.Second || d < -time.Second {
+		t.Errorf("epoch drift %v", d)
+	}
+}
+
+func TestCatalogueRoundTrip(t *testing.T) {
+	orig, _ := Parse("STARLINK-1636", issL1, issL2)
+	var sb strings.Builder
+	if err := WriteCatalogue(&sb, Catalogue{orig, orig}); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := ReadCatalogue(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 2 {
+		t.Fatalf("catalogue len = %d, want 2", len(cat))
+	}
+	if cat[0].Name != "STARLINK-1636" {
+		t.Errorf("name = %q", cat[0].Name)
+	}
+}
+
+func TestReadCatalogueWithoutNames(t *testing.T) {
+	in := issL1 + "\n" + issL2 + "\n"
+	cat, err := ReadCatalogue(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 1 || cat[0].Name != "" {
+		t.Errorf("cat = %+v", cat)
+	}
+}
+
+func TestReadCatalogueTruncated(t *testing.T) {
+	if _, err := ReadCatalogue(strings.NewReader("SAT-1\n" + issL1 + "\n")); err == nil {
+		t.Error("want truncation error")
+	}
+}
+
+func TestReadCatalogueSkipsBlankLines(t *testing.T) {
+	in := "\nISS\n" + issL1 + "\n" + issL2 + "\n\n"
+	cat, err := ReadCatalogue(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 1 {
+		t.Fatalf("catalogue len = %d, want 1", len(cat))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	a, _ := Parse("STARLINK-2356", issL1, issL2)
+	b, _ := Parse("ONEWEB-0001", issL1, issL2)
+	c, _ := Parse("starlink-1636", issL1, issL2)
+	cat := Catalogue{a, b, c}
+	got := cat.Filter("STARLINK")
+	if len(got) != 2 {
+		t.Fatalf("filtered len = %d, want 2", len(got))
+	}
+	if got := cat.Filter("NOSUCH"); len(got) != 0 {
+		t.Errorf("filtered len = %d, want 0", len(got))
+	}
+}
+
+func TestFormatExpNotationRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1e-5, -1e-5, 0.34123e-4, -0.11606e-4, 0.5, 12.3} {
+		s := formatExpNotation(v)
+		got, err := parseExpNotation(s)
+		if err != nil {
+			t.Errorf("parse(format(%v)=%q): %v", v, s, err)
+			continue
+		}
+		if v == 0 {
+			if got != 0 {
+				t.Errorf("round trip of 0 gave %v", got)
+			}
+			continue
+		}
+		if math.Abs(got-v)/math.Abs(v) > 1e-4 {
+			t.Errorf("round trip %v -> %q -> %v", v, s, got)
+		}
+	}
+}
+
+// failWriter errors after n bytes, exercising write error paths.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, fmt.Errorf("disk full")
+	}
+	return n, nil
+}
+
+func TestWriteCatalogueError(t *testing.T) {
+	orig, _ := Parse("SAT", issL1, issL2)
+	if err := WriteCatalogue(&failWriter{left: 10}, Catalogue{orig}); err == nil {
+		t.Error("want write error")
+	}
+}
+
+func TestFormatMeanMotionDotNegative(t *testing.T) {
+	got := formatMeanMotionDot(-0.00002182)
+	if got[0] != '-' {
+		t.Errorf("negative dot formatted as %q", got)
+	}
+	if len(got) != 10 {
+		t.Errorf("field width = %d, want 10 (%q)", len(got), got)
+	}
+	pos := formatMeanMotionDot(0.00002182)
+	if pos[0] != ' ' {
+		t.Errorf("positive dot formatted as %q", pos)
+	}
+}
+
+func TestFormatNegativeDotRoundTrip(t *testing.T) {
+	orig, err := Parse("ISS (ZARYA)", issL1, issL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.MeanMotionDot = -0.00002182
+	l1, l2 := orig.Format()
+	back, err := Parse(orig.Name, l1, l2)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s\n%s", err, l1, l2)
+	}
+	if math.Abs(back.MeanMotionDot-orig.MeanMotionDot) > 1e-9 {
+		t.Errorf("mean motion dot %v != %v", back.MeanMotionDot, orig.MeanMotionDot)
+	}
+}
+
+func TestChecksumIgnoresLetters(t *testing.T) {
+	if Checksum("ABC") != 0 {
+		t.Error("letters should not contribute")
+	}
+	if Checksum("1-2") != 4 { // 1 + 1(minus) + 2
+		t.Errorf("checksum('1-2') = %d, want 4", Checksum("1-2"))
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	err := &ParseError{Line: 2, Reason: "boom"}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error message = %q", err.Error())
+	}
+}

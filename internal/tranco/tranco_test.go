@@ -1,0 +1,183 @@
+package tranco
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newList(t *testing.T) *List {
+	t.Helper()
+	l, err := NewList(7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewListValidation(t *testing.T) {
+	if _, err := NewList(1, 50); err == nil {
+		t.Error("want error for tiny list")
+	}
+	l, err := NewList(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != DefaultSize {
+		t.Errorf("default size = %d", l.Size())
+	}
+}
+
+func TestSiteDeterministic(t *testing.T) {
+	l := newList(t)
+	a, err := l.Site(1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := l.Site(1234)
+	if a != b {
+		t.Errorf("site not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Rank != 1234 {
+		t.Errorf("rank = %d", a.Rank)
+	}
+	if a.Domain == "" || !a.Origin.Valid() {
+		t.Errorf("incomplete site: %+v", a)
+	}
+	if a.PageBytes < 20_000 || a.PageBytes > 12_000_000 {
+		t.Errorf("page bytes out of range: %d", a.PageBytes)
+	}
+}
+
+func TestSiteRankBounds(t *testing.T) {
+	l := newList(t)
+	if _, err := l.Site(0); err == nil {
+		t.Error("want error for rank 0")
+	}
+	if _, err := l.Site(l.Size() + 1); err == nil {
+		t.Error("want error for rank > size")
+	}
+	if _, err := l.Site(1); err != nil {
+		t.Error(err)
+	}
+	if _, err := l.Site(l.Size()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDNAdoptionFallsWithRank(t *testing.T) {
+	l := newList(t)
+	frac := func(lo, hi int) float64 {
+		n, cdn := 0, 0
+		for r := lo; r <= hi; r++ {
+			s, err := l.Site(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+			if s.OnCDN {
+				cdn++
+			}
+		}
+		return float64(cdn) / float64(n)
+	}
+	top := frac(1, 200)
+	mid := frac(5_001, 5_400)
+	tail := frac(500_001, 500_400)
+	if !(top > mid && mid > tail) {
+		t.Errorf("CDN adoption not falling: top=%v mid=%v tail=%v", top, mid, tail)
+	}
+	if top < 0.8 {
+		t.Errorf("top-200 CDN adoption = %v, want > 0.8", top)
+	}
+	if tail > 0.3 {
+		t.Errorf("tail CDN adoption = %v, want < 0.3", tail)
+	}
+}
+
+func TestPopularCutoff(t *testing.T) {
+	l := newList(t)
+	s200, _ := l.Site(200)
+	s201, _ := l.Site(201)
+	if !s200.Popular() || s201.Popular() {
+		t.Error("popular cutoff must sit at rank 200")
+	}
+}
+
+func TestSampleZipfSkew(t *testing.T) {
+	l := newList(t)
+	rng := rand.New(rand.NewSource(1))
+	top := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if l.SampleZipf(rng).Rank <= 1000 {
+			top++
+		}
+	}
+	// Zipf browsing: a large share of visits go to the top 1000 of 1M.
+	if frac := float64(top) / n; frac < 0.4 {
+		t.Errorf("top-1000 visit share = %v, want > 0.4 under Zipf", frac)
+	}
+}
+
+func TestSampleBand(t *testing.T) {
+	l := newList(t)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		s, err := l.SampleBand(rng, 501, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Rank < 501 || s.Rank > 10_000 {
+			t.Fatalf("band sample rank %d outside [501, 10000]", s.Rank)
+		}
+	}
+	if _, err := l.SampleBand(rng, 0, 10); err == nil {
+		t.Error("want error for lo < 1")
+	}
+	if _, err := l.SampleBand(rng, 10, 5); err == nil {
+		t.Error("want error for inverted band")
+	}
+}
+
+func TestBenchmarkSetPolicy(t *testing.T) {
+	l := newList(t)
+	rng := rand.New(rand.NewSource(3))
+	set, err := l.BenchmarkSet(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 10 {
+		t.Fatalf("benchmark set size = %d, want 10", len(set))
+	}
+	counts := [3]int{}
+	for _, s := range set {
+		switch {
+		case s.Rank <= 500:
+			counts[0]++
+		case s.Rank <= 10_000:
+			counts[1]++
+		default:
+			counts[2]++
+		}
+	}
+	if counts != [3]int{5, 3, 2} {
+		t.Errorf("band counts = %v, want [5 3 2]", counts)
+	}
+}
+
+func TestGoogleSite(t *testing.T) {
+	l := newList(t)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10; i++ {
+		s := l.GoogleSite(rng)
+		if !s.GoogleService {
+			t.Fatal("GoogleSite returned a non-Google site")
+		}
+		if !s.OnCDN {
+			t.Error("Google services must be CDN-served")
+		}
+		if s.Rank > 40 {
+			t.Errorf("Google service at rank %d", s.Rank)
+		}
+	}
+}

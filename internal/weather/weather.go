@@ -1,0 +1,329 @@
+// Package weather generates synthetic weather condition sequences and models
+// rain fade on the Starlink Ku-band link.
+//
+// The paper tags every Page Transit Time sample from its London users with
+// the historical OpenWeatherMap condition and finds a ~2x median PTT increase
+// from clear sky to moderate rain (Figure 4). With no access to that API,
+// this package substitutes (a) a per-city Markov chain over the same seven
+// OpenWeatherMap condition icons the paper uses, and (b) an ITU-R P.838-style
+// specific-attenuation model (gamma = k * R^alpha dB/km) that converts each
+// condition's rain rate into link attenuation, which the bent-pipe link model
+// turns into longer transmission times, retries and losses. The paper's
+// observation that raindrop size matters (moderate rain >> overcast) is
+// preserved because attenuation is strongly super-linear in rain rate.
+package weather
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Condition is an OpenWeatherMap-style weather condition icon, ordered by
+// increasing cloud cover / precipitation exactly as in the paper's Figure 4.
+type Condition int
+
+// The seven conditions of Figure 4.
+const (
+	ClearSky Condition = iota
+	FewClouds
+	ScatteredClouds
+	BrokenClouds
+	OvercastClouds
+	LightRain
+	ModerateRain
+	numConditions
+)
+
+// Conditions lists all conditions in Figure 4's order.
+func Conditions() []Condition {
+	return []Condition{ClearSky, FewClouds, ScatteredClouds, BrokenClouds, OvercastClouds, LightRain, ModerateRain}
+}
+
+// String implements fmt.Stringer using the paper's labels.
+func (c Condition) String() string {
+	switch c {
+	case ClearSky:
+		return "Clear Sky"
+	case FewClouds:
+		return "Few Clouds"
+	case ScatteredClouds:
+		return "Scattered Clouds"
+	case BrokenClouds:
+		return "Broken Clouds"
+	case OvercastClouds:
+		return "Overcast Clouds"
+	case LightRain:
+		return "Light Rain"
+	case ModerateRain:
+		return "Moderate Rain"
+	default:
+		return fmt.Sprintf("Condition(%d)", int(c))
+	}
+}
+
+// RainRateMmPerHour returns the representative rain rate for the condition.
+// Cloud conditions carry tiny equivalent rates representing suspended
+// droplets (~0.1 mm diameter, as the paper notes), rain conditions carry
+// standard meteorological rates.
+func (c Condition) RainRateMmPerHour() float64 {
+	switch c {
+	case ClearSky:
+		return 0
+	case FewClouds:
+		return 0.02
+	case ScatteredClouds:
+		return 0.05
+	case BrokenClouds:
+		return 0.1
+	case OvercastClouds:
+		return 0.2
+	case LightRain:
+		return 2.0
+	case ModerateRain:
+		return 7.5
+	default:
+		return 0
+	}
+}
+
+// Ku-band (12 GHz downlink) ITU-R P.838 regression coefficients,
+// horizontal polarisation (approximate).
+const (
+	ituK     = 0.0188
+	ituAlpha = 1.217
+)
+
+// SpecificAttenuationDBPerKm returns the rain-induced specific attenuation
+// gamma = k * R^alpha for the condition's rain rate.
+func (c Condition) SpecificAttenuationDBPerKm() float64 {
+	r := c.RainRateMmPerHour()
+	if r <= 0 {
+		return 0
+	}
+	return ituK * math.Pow(r, ituAlpha)
+}
+
+// PathAttenuationDB returns total attenuation over an effective rain-slab
+// path length. For a 25-degree minimum elevation the wet path through a
+// ~4 km rain layer is about 9 km; elevation shortens it.
+func (c Condition) PathAttenuationDB(elevationDeg float64) float64 {
+	gamma := c.SpecificAttenuationDBPerKm()
+	if gamma == 0 {
+		return 0
+	}
+	if elevationDeg < 5 {
+		elevationDeg = 5
+	}
+	const rainLayerKm = 4.0
+	pathKm := rainLayerKm / math.Sin(elevationDeg*math.Pi/180)
+	return gamma * pathKm
+}
+
+// Climatology weights a city's long-run condition distribution. Values need
+// not sum to 1; they are normalised.
+type Climatology struct {
+	Name    string
+	Weights [numConditions]float64
+	// MeanDwell is the average time the weather stays in one condition.
+	MeanDwell time.Duration
+}
+
+// London returns a climatology tuned to the paper's main vantage point:
+// frequently cloudy, regularly rainy.
+func London() Climatology {
+	return Climatology{
+		Name:      "London",
+		Weights:   [numConditions]float64{0.18, 0.14, 0.14, 0.16, 0.17, 0.14, 0.07},
+		MeanDwell: 2 * time.Hour,
+	}
+}
+
+// Seattle returns a rainy maritime climatology.
+func Seattle() Climatology {
+	return Climatology{
+		Name:      "Seattle",
+		Weights:   [numConditions]float64{0.14, 0.12, 0.13, 0.16, 0.19, 0.17, 0.09},
+		MeanDwell: 2 * time.Hour,
+	}
+}
+
+// Sydney returns a sunnier climatology with occasional heavy showers.
+func Sydney() Climatology {
+	return Climatology{
+		Name:      "Sydney",
+		Weights:   [numConditions]float64{0.34, 0.18, 0.14, 0.11, 0.09, 0.09, 0.05},
+		MeanDwell: 3 * time.Hour,
+	}
+}
+
+// Barcelona returns a dry Mediterranean climatology.
+func Barcelona() Climatology {
+	return Climatology{
+		Name:      "Barcelona",
+		Weights:   [numConditions]float64{0.40, 0.19, 0.13, 0.10, 0.08, 0.07, 0.03},
+		MeanDwell: 3 * time.Hour,
+	}
+}
+
+// NorthCarolina returns a humid subtropical climatology.
+func NorthCarolina() Climatology {
+	return Climatology{
+		Name:      "NorthCarolina",
+		Weights:   [numConditions]float64{0.28, 0.16, 0.14, 0.13, 0.11, 0.11, 0.07},
+		MeanDwell: 2 * time.Hour,
+	}
+}
+
+// Generator produces a condition time series from a climatology using a
+// semi-Markov process: dwell times are exponential (scaled by the
+// condition's long-run weight) and transitions prefer adjacent conditions
+// (weather evolves gradually through the cloud-cover scale rather than
+// jumping from clear sky to rain).
+//
+// The generated timeline is memoised as segments, so At supports random
+// access: the same generator can tag many users' records in any time order
+// and always reports the same history, like a real weather archive.
+type Generator struct {
+	clim Climatology
+	rng  *rand.Rand
+
+	cur      Condition
+	segments []segment
+	genUntil time.Duration
+	started  bool
+}
+
+// segment is one dwell period of the memoised timeline.
+type segment struct {
+	start time.Duration
+	cond  Condition
+}
+
+// NewGenerator creates a deterministic generator for the climatology.
+func NewGenerator(clim Climatology, seed int64) (*Generator, error) {
+	total := 0.0
+	for _, w := range clim.Weights {
+		if w < 0 {
+			return nil, fmt.Errorf("weather: negative weight in climatology %q", clim.Name)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("weather: climatology %q has all-zero weights", clim.Name)
+	}
+	if clim.MeanDwell <= 0 {
+		return nil, fmt.Errorf("weather: climatology %q has non-positive dwell", clim.Name)
+	}
+	return &Generator{clim: clim, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// At returns the condition at time t (relative to the generator's origin).
+// Queries may arrive in any order; times before the origin report the
+// origin's condition.
+func (g *Generator) At(t time.Duration) Condition {
+	if !g.started {
+		g.started = true
+		g.cur = g.sampleStationary()
+		g.segments = append(g.segments, segment{start: 0, cond: g.cur})
+		g.genUntil = g.sampleDwell()
+	}
+	for t >= g.genUntil {
+		g.cur = g.transition(g.cur)
+		g.segments = append(g.segments, segment{start: g.genUntil, cond: g.cur})
+		g.genUntil += g.sampleDwell()
+	}
+	if t < 0 {
+		return g.segments[0].cond
+	}
+	// Binary search for the last segment starting at or before t.
+	lo, hi := 0, len(g.segments)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if g.segments[mid].start <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return g.segments[lo].cond
+}
+
+// sampleStationary draws from the climatology's long-run distribution.
+func (g *Generator) sampleStationary() Condition {
+	total := 0.0
+	for _, w := range g.clim.Weights {
+		total += w
+	}
+	x := g.rng.Float64() * total
+	for i, w := range g.clim.Weights {
+		x -= w
+		if x < 0 {
+			return Condition(i)
+		}
+	}
+	return ModerateRain
+}
+
+// transition moves to a nearby condition, biased by the climatology.
+func (g *Generator) transition(from Condition) Condition {
+	// Candidate moves: -2..+2 steps along the severity scale, never staying.
+	var cands []Condition
+	var weights []float64
+	for d := -2; d <= 2; d++ {
+		if d == 0 {
+			continue
+		}
+		c := int(from) + d
+		if c < 0 || c >= int(numConditions) {
+			continue
+		}
+		// Adjacent steps are 3x more likely than two-steps, scaled by the
+		// climatology weight so dry cities drift back to clear sky.
+		w := g.clim.Weights[c]
+		if d == -1 || d == 1 {
+			w *= 3
+		}
+		cands = append(cands, Condition(c))
+		weights = append(weights, w)
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return from
+	}
+	x := g.rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return cands[i]
+		}
+	}
+	return cands[len(cands)-1]
+}
+
+// sampleDwell draws an exponential dwell time whose mean is the
+// climatology's dwell scaled by the current condition's long-run weight, so
+// common conditions persist longer and the chain's stationary distribution
+// tracks the climatology instead of favouring mid-scale conditions.
+func (g *Generator) sampleDwell() time.Duration {
+	total := 0.0
+	for _, w := range g.clim.Weights {
+		total += w
+	}
+	rel := g.clim.Weights[g.cur] / total * float64(numConditions)
+	if rel < 0.2 {
+		rel = 0.2
+	}
+	d := time.Duration(g.rng.ExpFloat64() * float64(g.clim.MeanDwell) * rel)
+	if d < 10*time.Minute {
+		d = 10 * time.Minute
+	}
+	if d > 12*time.Hour {
+		d = 12 * time.Hour
+	}
+	return d
+}

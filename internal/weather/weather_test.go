@@ -1,0 +1,188 @@
+package weather
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConditionStrings(t *testing.T) {
+	want := []string{
+		"Clear Sky", "Few Clouds", "Scattered Clouds", "Broken Clouds",
+		"Overcast Clouds", "Light Rain", "Moderate Rain",
+	}
+	conds := Conditions()
+	if len(conds) != len(want) {
+		t.Fatalf("Conditions() len = %d", len(conds))
+	}
+	for i, c := range conds {
+		if c.String() != want[i] {
+			t.Errorf("condition %d = %q, want %q", i, c.String(), want[i])
+		}
+	}
+	if Condition(99).String() == "" {
+		t.Error("unknown condition should still render")
+	}
+}
+
+func TestRainRateMonotone(t *testing.T) {
+	prev := -1.0
+	for _, c := range Conditions() {
+		r := c.RainRateMmPerHour()
+		if r < prev {
+			t.Errorf("rain rate not monotone at %v: %v < %v", c, r, prev)
+		}
+		prev = r
+	}
+	if ClearSky.RainRateMmPerHour() != 0 {
+		t.Error("clear sky should have zero rain rate")
+	}
+}
+
+func TestSpecificAttenuationSuperLinear(t *testing.T) {
+	// The paper emphasises raindrop size: moderate rain must attenuate far
+	// more than overcast clouds, more than the rain-rate ratio alone.
+	light := LightRain.SpecificAttenuationDBPerKm()
+	moderate := ModerateRain.SpecificAttenuationDBPerKm()
+	overcast := OvercastClouds.SpecificAttenuationDBPerKm()
+	if !(moderate > light && light > overcast) {
+		t.Errorf("attenuation ordering broken: overcast=%v light=%v moderate=%v", overcast, light, moderate)
+	}
+	rateRatio := ModerateRain.RainRateMmPerHour() / LightRain.RainRateMmPerHour()
+	attRatio := moderate / light
+	if attRatio <= rateRatio {
+		t.Errorf("attenuation should be super-linear in rain rate: att ratio %v <= rate ratio %v", attRatio, rateRatio)
+	}
+	if ClearSky.SpecificAttenuationDBPerKm() != 0 {
+		t.Error("clear sky attenuation must be zero")
+	}
+}
+
+func TestPathAttenuationElevation(t *testing.T) {
+	// Lower elevation means a longer wet path and more attenuation.
+	low := ModerateRain.PathAttenuationDB(25)
+	high := ModerateRain.PathAttenuationDB(80)
+	if low <= high {
+		t.Errorf("attenuation at 25 deg (%v) should exceed 80 deg (%v)", low, high)
+	}
+	if ClearSky.PathAttenuationDB(25) != 0 {
+		t.Error("clear sky path attenuation must be zero")
+	}
+	// Degenerate elevation is clamped, not infinite.
+	if v := ModerateRain.PathAttenuationDB(0); v <= 0 || v > 100 {
+		t.Errorf("clamped low-elevation attenuation = %v", v)
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	bad := Climatology{Name: "bad", MeanDwell: time.Hour}
+	if _, err := NewGenerator(bad, 1); err == nil {
+		t.Error("want error for zero weights")
+	}
+	bad2 := London()
+	bad2.MeanDwell = 0
+	if _, err := NewGenerator(bad2, 1); err == nil {
+		t.Error("want error for zero dwell")
+	}
+	bad3 := London()
+	bad3.Weights[0] = -1
+	if _, err := NewGenerator(bad3, 1); err == nil {
+		t.Error("want error for negative weight")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	seq := func() []Condition {
+		g, err := NewGenerator(London(), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Condition
+		for h := 0; h < 200; h++ {
+			out = append(out, g.At(time.Duration(h)*time.Hour))
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at %d", i)
+		}
+	}
+}
+
+func TestGeneratorCoversConditions(t *testing.T) {
+	g, err := NewGenerator(London(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Condition]int{}
+	for h := 0; h < 24*180; h++ { // six months, hourly
+		seen[g.At(time.Duration(h)*time.Hour)]++
+	}
+	for _, c := range Conditions() {
+		if seen[c] == 0 {
+			t.Errorf("condition %v never generated in 6 months of London weather", c)
+		}
+	}
+	// London should be mostly not-raining.
+	rainy := seen[LightRain] + seen[ModerateRain]
+	total := 0
+	for _, n := range seen {
+		total += n
+	}
+	frac := float64(rainy) / float64(total)
+	if frac < 0.05 || frac > 0.5 {
+		t.Errorf("rain fraction = %v, want a plausible 5-50%%", frac)
+	}
+}
+
+func TestGeneratorTransitionsAreGradual(t *testing.T) {
+	g, err := NewGenerator(London(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := g.At(0)
+	for m := 1; m < 60*24*30; m += 5 { // month at 5-minute steps
+		cur := g.At(time.Duration(m) * time.Minute)
+		if d := int(cur) - int(prev); d < -2 || d > 2 {
+			t.Fatalf("weather jumped %d steps (%v -> %v)", d, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestGeneratorDwell(t *testing.T) {
+	g, err := NewGenerator(Barcelona(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count changes over a month at minute resolution; with a 3h mean dwell
+	// there should be roughly 240 changes, certainly not thousands.
+	changes := 0
+	prev := g.At(0)
+	for m := 1; m < 60*24*30; m++ {
+		cur := g.At(time.Duration(m) * time.Minute)
+		if cur != prev {
+			changes++
+			prev = cur
+		}
+	}
+	if changes < 60 || changes > 1200 {
+		t.Errorf("month of weather had %d changes, want a plausible count for 3h dwell", changes)
+	}
+}
+
+func TestClimatologiesAreValid(t *testing.T) {
+	for _, clim := range []Climatology{London(), Seattle(), Sydney(), Barcelona(), NorthCarolina()} {
+		if _, err := NewGenerator(clim, 1); err != nil {
+			t.Errorf("%s: %v", clim.Name, err)
+		}
+		sum := 0.0
+		for _, w := range clim.Weights {
+			sum += w
+		}
+		if sum < 0.95 || sum > 1.05 {
+			t.Errorf("%s: weights sum to %v, want ~1", clim.Name, sum)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package webperf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// HAR export: the browser-standard HTTP Archive (HAR 1.2) rendering of a
+// simulated page-load waterfall, so the reproduction's page loads can be
+// inspected in any HAR viewer exactly like captures from the paper's real
+// browser extension.
+
+// harLog is the top-level HAR structure (the subset a waterfall needs).
+type harLog struct {
+	Log harLogBody `json:"log"`
+}
+
+type harLogBody struct {
+	Version string     `json:"version"`
+	Creator harCreator `json:"creator"`
+	Pages   []harPage  `json:"pages"`
+	Entries []harEntry `json:"entries"`
+}
+
+type harCreator struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+type harPage struct {
+	StartedDateTime string         `json:"startedDateTime"`
+	ID              string         `json:"id"`
+	Title           string         `json:"title"`
+	PageTimings     harPageTimings `json:"pageTimings"`
+}
+
+type harPageTimings struct {
+	OnLoad float64 `json:"onLoad"` // ms
+}
+
+type harEntry struct {
+	Pageref         string      `json:"pageref"`
+	StartedDateTime string      `json:"startedDateTime"`
+	Time            float64     `json:"time"` // total ms
+	Request         harRequest  `json:"request"`
+	Response        harResponse `json:"response"`
+	Timings         harTimings  `json:"timings"`
+}
+
+type harRequest struct {
+	Method string `json:"method"`
+	URL    string `json:"url"`
+}
+
+type harResponse struct {
+	Status      int    `json:"status"`
+	StatusText  string `json:"statusText"`
+	BodySize    int    `json:"bodySize"`
+	FromCache   bool   `json:"_fromCache,omitempty"`
+	ContentType string `json:"_contentType,omitempty"`
+}
+
+type harTimings struct {
+	Blocked float64 `json:"blocked"`
+	DNS     float64 `json:"dns"`
+	Connect float64 `json:"connect"`
+	Send    float64 `json:"send"`
+	Wait    float64 `json:"wait"`
+	Receive float64 `json:"receive"`
+}
+
+// WriteHAR serialises a waterfall as HAR 1.2. navStart anchors the absolute
+// timestamps (the extension records wall-clock times).
+func WriteHAR(w io.Writer, pageURL string, navStart time.Time, entries []ResourceTiming) error {
+	if len(entries) == 0 {
+		return fmt.Errorf("webperf: empty waterfall")
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+	doc := harLog{Log: harLogBody{
+		Version: "1.2",
+		Creator: harCreator{Name: "starlinkview", Version: "1.0"},
+		Pages: []harPage{{
+			StartedDateTime: navStart.UTC().Format(time.RFC3339Nano),
+			ID:              "page_1",
+			Title:           pageURL,
+			PageTimings:     harPageTimings{OnLoad: ms(LoadEvent(entries))},
+		}},
+	}}
+	for _, e := range entries {
+		doc.Log.Entries = append(doc.Log.Entries, harEntry{
+			Pageref:         "page_1",
+			StartedDateTime: navStart.Add(e.Start).UTC().Format(time.RFC3339Nano),
+			Time:            ms(e.End() - e.Start),
+			Request:         harRequest{Method: "GET", URL: e.URL},
+			Response: harResponse{
+				Status: 200, StatusText: "OK",
+				BodySize: e.Bytes, FromCache: e.FromCache,
+			},
+			Timings: harTimings{
+				Blocked: 0,
+				DNS:     ms(e.DNS),
+				Connect: ms(e.Connect),
+				Send:    0,
+				Wait:    ms(e.TTFB),
+				Receive: ms(e.Download),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("webperf: encoding HAR: %w", err)
+	}
+	return nil
+}

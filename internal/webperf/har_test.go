@@ -1,0 +1,79 @@
+package webperf
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestWriteHAR(t *testing.T) {
+	s := site(t, 50)
+	rng := rand.New(rand.NewSource(7))
+	entries := Waterfall(rng, s, starlinkAccess(), baseOpts())
+	navStart := time.Date(2022, 4, 11, 18, 30, 0, 0, time.UTC)
+
+	var buf bytes.Buffer
+	if err := WriteHAR(&buf, "https://"+s.Domain+"/", navStart, entries); err != nil {
+		t.Fatal(err)
+	}
+
+	// The output must be valid JSON in HAR shape.
+	var doc struct {
+		Log struct {
+			Version string `json:"version"`
+			Pages   []struct {
+				ID          string `json:"id"`
+				PageTimings struct {
+					OnLoad float64 `json:"onLoad"`
+				} `json:"pageTimings"`
+			} `json:"pages"`
+			Entries []struct {
+				Pageref string  `json:"pageref"`
+				Time    float64 `json:"time"`
+				Request struct {
+					URL string `json:"url"`
+				} `json:"request"`
+				Timings struct {
+					DNS     float64 `json:"dns"`
+					Connect float64 `json:"connect"`
+					Wait    float64 `json:"wait"`
+					Receive float64 `json:"receive"`
+				} `json:"timings"`
+			} `json:"entries"`
+		} `json:"log"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid HAR JSON: %v", err)
+	}
+	if doc.Log.Version != "1.2" {
+		t.Errorf("version = %q", doc.Log.Version)
+	}
+	if len(doc.Log.Pages) != 1 || doc.Log.Pages[0].PageTimings.OnLoad <= 0 {
+		t.Errorf("pages = %+v", doc.Log.Pages)
+	}
+	if len(doc.Log.Entries) != len(entries) {
+		t.Fatalf("entries = %d, want %d", len(doc.Log.Entries), len(entries))
+	}
+	for i, e := range doc.Log.Entries {
+		if e.Pageref != "page_1" || e.Request.URL == "" {
+			t.Fatalf("entry %d malformed: %+v", i, e)
+		}
+		if e.Time < 0 || e.Timings.DNS < 0 || e.Timings.Receive < 0 {
+			t.Fatalf("entry %d has negative timings: %+v", i, e)
+		}
+		// Component sum matches the total within rounding.
+		sum := e.Timings.DNS + e.Timings.Connect + e.Timings.Wait + e.Timings.Receive
+		if diff := e.Time - sum; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("entry %d: time %.3f != component sum %.3f", i, e.Time, sum)
+		}
+	}
+}
+
+func TestWriteHAREmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHAR(&buf, "x", time.Now(), nil); err == nil {
+		t.Error("want error for empty waterfall")
+	}
+}

@@ -1,0 +1,177 @@
+package webperf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"starlinkview/internal/tranco"
+)
+
+// ResourceTiming is one entry of a page-load waterfall, in the shape of the
+// browser Resource Timing API the extension reads: when the fetch started
+// relative to navigation start, how long each network component took, and
+// how many bytes moved.
+type ResourceTiming struct {
+	URL       string
+	Domain    string
+	Start     time.Duration // offset from navigation start
+	DNS       time.Duration
+	Connect   time.Duration // TCP+TLS (zero on a reused connection)
+	TTFB      time.Duration
+	Download  time.Duration
+	Bytes     int
+	FromCache bool
+}
+
+// End returns the resource's finish offset.
+func (r ResourceTiming) End() time.Duration {
+	return r.Start + r.DNS + r.Connect + r.TTFB + r.Download
+}
+
+// Waterfall simulates the full sub-resource fetch schedule of a page load:
+// the main document first, then the page's resources spread over its
+// third-party domains, at most six parallel connections per domain (the
+// classic HTTP/1.1 browser limit), with warm connections skipping setup.
+// The returned entries are sorted by start time; the last End() approximates
+// the load event.
+func Waterfall(rng *rand.Rand, site tranco.Site, acc Access, opts Options) []ResourceTiming {
+	if opts.DeviceFactor == 0 {
+		opts.DeviceFactor = 1
+	}
+	wide := wideRTT(site, opts)
+	rtt := func() time.Duration {
+		j := time.Duration(0)
+		if acc.JitterMean > 0 {
+			j = time.Duration(rng.ExpFloat64() * float64(acc.JitterMean))
+		}
+		return acc.RTT + j + wide
+	}
+
+	// Main document: DNS + connect + TLS + TTFB + download of the HTML
+	// (roughly 15% of the page bytes).
+	var out []ResourceTiming
+	main := ResourceTiming{
+		URL:      "https://" + site.Domain + "/",
+		Domain:   site.Domain,
+		Start:    0,
+		DNS:      dnsTime(rng, acc),
+		Connect:  rtt() + rtt(), // TCP + TLS
+		TTFB:     rtt() + time.Duration(10+rng.Intn(40))*time.Millisecond,
+		Bytes:    site.PageBytes * 15 / 100,
+		Download: 0,
+	}
+	main.Download = transferTime(rng, main.Bytes, acc, rtt)
+	out = append(out, main)
+
+	// Parsing begins after the document's first bytes; sub-resources are
+	// discovered progressively.
+	parseStart := main.Start + main.DNS + main.Connect + main.TTFB + main.Download/4
+
+	// Assign resources to domains; remaining page bytes spread across them.
+	nRes := site.Resources
+	if nRes < 1 {
+		nRes = 1
+	}
+	restBytes := site.PageBytes - main.Bytes
+	domains := make([]string, site.Domains)
+	domains[0] = site.Domain
+	for i := 1; i < len(domains); i++ {
+		domains[i] = fmt.Sprintf("cdn%d.%s", i, site.Domain)
+	}
+
+	// Per-domain connection pools: up to 6 lanes, each lane tracks when it
+	// frees up and whether it is warm.
+	type lane struct {
+		freeAt time.Duration
+		warm   bool
+	}
+	pools := make(map[string][]lane, len(domains))
+	for _, d := range domains {
+		pools[d] = make([]lane, 6)
+		for i := range pools[d] {
+			pools[d][i].freeAt = parseStart
+		}
+	}
+	// The main document's connection is warm.
+	pools[site.Domain][0].warm = true
+	pools[site.Domain][0].freeAt = main.End()
+
+	for i := 0; i < nRes; i++ {
+		d := domains[rng.Intn(len(domains))]
+		// Pick the lane that frees up first.
+		pool := pools[d]
+		best := 0
+		for j := 1; j < len(pool); j++ {
+			if pool[j].freeAt < pool[best].freeAt {
+				best = j
+			}
+		}
+		// Discovery is staggered through parsing.
+		discovered := parseStart + time.Duration(rng.Intn(150))*time.Millisecond*
+			time.Duration(opts.DeviceFactor*10)/10
+		start := pool[best].freeAt
+		if discovered > start {
+			start = discovered
+		}
+
+		res := ResourceTiming{
+			URL:    fmt.Sprintf("https://%s/asset-%03d", d, i),
+			Domain: d,
+			Start:  start,
+			Bytes:  restBytes / nRes,
+		}
+		if rng.Float64() < 0.25 {
+			// Browser cache hit: no network time at all.
+			res.FromCache = true
+			res.Download = time.Duration(1+rng.Intn(3)) * time.Millisecond
+		} else {
+			if !pool[best].warm {
+				res.DNS = dnsTime(rng, acc)
+				res.Connect = rtt() + rtt()
+				pool[best].warm = true
+			}
+			res.TTFB = rtt() + time.Duration(5+rng.Intn(25))*time.Millisecond
+			res.Download = transferTime(rng, res.Bytes, acc, rtt)
+		}
+		pool[best].freeAt = res.End()
+		pools[d] = pool
+		out = append(out, res)
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// LoadEvent returns the finish time of the last resource — the waterfall's
+// approximation of the browser load event.
+func LoadEvent(entries []ResourceTiming) time.Duration {
+	var end time.Duration
+	for _, e := range entries {
+		if v := e.End(); v > end {
+			end = v
+		}
+	}
+	return end
+}
+
+// dnsTime mirrors LoadPage's DNS model.
+func dnsTime(rng *rand.Rand, acc Access) time.Duration {
+	if rng.Float64() < 0.45 {
+		return time.Duration(200+rng.Intn(800)) * time.Microsecond
+	}
+	d := acc.RTT/2 + 4*time.Millisecond
+	if rng.Float64() < 0.4 {
+		d += time.Duration(15+rng.Intn(70)) * time.Millisecond
+	}
+	return d
+}
+
+// wideRTT mirrors LoadPage's wide-area term.
+func wideRTT(site tranco.Site, opts Options) time.Duration {
+	if site.OnCDN {
+		return opts.CDNEdgeRTT + opts.ASPenaltyRTT
+	}
+	return fibreRTT(opts.ClientLoc, site.Origin) + 2*time.Millisecond + opts.ASPenaltyRTT
+}

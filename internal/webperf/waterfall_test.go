@@ -1,0 +1,150 @@
+package webperf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func waterfallFor(t *testing.T, rank int, seed int64) []ResourceTiming {
+	t.Helper()
+	s := site(t, rank)
+	rng := rand.New(rand.NewSource(seed))
+	return Waterfall(rng, s, starlinkAccess(), baseOpts())
+}
+
+func TestWaterfallStructure(t *testing.T) {
+	entries := waterfallFor(t, 50, 1)
+	if len(entries) < 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// First entry is the main document at offset zero.
+	if entries[0].Start != 0 || !strings.HasSuffix(entries[0].URL, "/") {
+		t.Errorf("first entry = %+v, want the main document at t=0", entries[0])
+	}
+	// Sorted by start, all components non-negative, ends after starts.
+	for i, e := range entries {
+		if i > 0 && e.Start < entries[i-1].Start {
+			t.Fatal("entries not sorted by start")
+		}
+		if e.DNS < 0 || e.Connect < 0 || e.TTFB < 0 || e.Download < 0 {
+			t.Errorf("negative component in %+v", e)
+		}
+		if e.End() < e.Start {
+			t.Errorf("entry ends before it starts: %+v", e)
+		}
+		if e.Bytes < 0 {
+			t.Errorf("negative bytes: %+v", e)
+		}
+	}
+	// Sub-resources start only after parsing begins (after the document's
+	// first bytes arrived).
+	for _, e := range entries[1:] {
+		if e.Start <= entries[0].DNS+entries[0].Connect {
+			t.Errorf("resource started before the document handshake finished: %+v", e)
+		}
+	}
+}
+
+func TestWaterfallResourceCount(t *testing.T) {
+	s := site(t, 50)
+	rng := rand.New(rand.NewSource(2))
+	entries := Waterfall(rng, s, starlinkAccess(), baseOpts())
+	if len(entries) != s.Resources+1 {
+		t.Errorf("entries = %d, want %d resources + document", len(entries), s.Resources)
+	}
+}
+
+func TestWaterfallCacheHitsAreFast(t *testing.T) {
+	entries := waterfallFor(t, 50, 3)
+	cached, fetched := 0, 0
+	for _, e := range entries[1:] {
+		if e.FromCache {
+			cached++
+			if e.DNS != 0 || e.Connect != 0 || e.TTFB != 0 {
+				t.Errorf("cache hit with network components: %+v", e)
+			}
+			if e.End()-e.Start > 10*time.Millisecond {
+				t.Errorf("cache hit too slow: %+v", e)
+			}
+		} else {
+			fetched++
+		}
+	}
+	if cached == 0 || fetched == 0 {
+		t.Errorf("cached=%d fetched=%d, want a mix", cached, fetched)
+	}
+}
+
+func TestWaterfallConnectionReuse(t *testing.T) {
+	// With at most 6 lanes per domain, at most 6 cold connects per domain
+	// among non-cached fetches.
+	entries := waterfallFor(t, 50, 4)
+	cold := map[string]int{}
+	for _, e := range entries {
+		if !e.FromCache && e.Connect > 0 {
+			cold[e.Domain]++
+		}
+	}
+	for d, n := range cold {
+		if n > 6 {
+			t.Errorf("domain %s used %d cold connections, max 6 lanes", d, n)
+		}
+	}
+}
+
+func TestWaterfallParallelismLimit(t *testing.T) {
+	// No more than 6 overlapping non-cached fetches per domain at any time.
+	entries := waterfallFor(t, 10, 5)
+	for _, probe := range entries {
+		if probe.FromCache {
+			continue
+		}
+		mid := probe.Start + (probe.End()-probe.Start)/2
+		overlap := map[string]int{}
+		for _, e := range entries {
+			if e.FromCache {
+				continue
+			}
+			if e.Start <= mid && mid < e.End() {
+				overlap[e.Domain]++
+			}
+		}
+		for d, n := range overlap {
+			if n > 6 {
+				t.Fatalf("domain %s has %d concurrent fetches at %v", d, n, mid)
+			}
+		}
+	}
+}
+
+func TestLoadEventCoversAll(t *testing.T) {
+	entries := waterfallFor(t, 50, 6)
+	load := LoadEvent(entries)
+	for _, e := range entries {
+		if e.End() > load {
+			t.Errorf("entry ends after the load event: %+v", e)
+		}
+	}
+	if load <= 0 {
+		t.Error("zero load event")
+	}
+	if LoadEvent(nil) != 0 {
+		t.Error("empty waterfall should have zero load event")
+	}
+}
+
+func TestWaterfallSlowerOnWorseLink(t *testing.T) {
+	s := site(t, 50)
+	fast := Access{RTT: 15 * time.Millisecond, DownBps: 300e6}
+	slow := Access{RTT: 120 * time.Millisecond, JitterMean: 20 * time.Millisecond, DownBps: 20e6}
+	var fastLoad, slowLoad time.Duration
+	for seed := int64(0); seed < 10; seed++ {
+		fastLoad += LoadEvent(Waterfall(rand.New(rand.NewSource(seed)), s, fast, baseOpts()))
+		slowLoad += LoadEvent(Waterfall(rand.New(rand.NewSource(seed)), s, slow, baseOpts()))
+	}
+	if slowLoad <= fastLoad {
+		t.Errorf("slow link load %v not above fast link %v", slowLoad, fastLoad)
+	}
+}

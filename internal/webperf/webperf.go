@@ -1,0 +1,194 @@
+// Package webperf models what the paper's browser extension measures: the
+// decomposition of a page load into network components — redirect, DNS,
+// connection setup, TLS, request/response — whose sum is the Page Transit
+// Time (PTT), plus the compute-bound DOM/render components that complete the
+// conventional Page Load Time (PLT).
+//
+// The model is analytic rather than packet-level because the extension
+// dataset spans six months of browsing by 28 users; it consumes a snapshot
+// of the access link (from the bentpipe model for Starlink users) and the
+// site's hosting geometry (from the tranco catalogue) and derives each
+// component the way TCP/TLS actually spends round trips: slow-start rounds
+// for the transfer, an extra round trip per redirect, handshake round
+// trips, and loss-driven retransmission penalties.
+package webperf
+
+import (
+	"math/rand"
+	"time"
+
+	"starlinkview/internal/geo"
+	"starlinkview/internal/tranco"
+)
+
+// Access is a snapshot of the client's access network at load time.
+type Access struct {
+	// RTT is the base access-network round trip (client to the ISP's edge
+	// and back), excluding jitter.
+	RTT time.Duration
+	// JitterMean is the mean of the per-round-trip extra delay.
+	JitterMean time.Duration
+	// DownBps is the currently-available downlink bandwidth.
+	DownBps float64
+	// LossProb is the per-packet loss probability.
+	LossProb float64
+}
+
+// Options situates the client for wide-area latency.
+type Options struct {
+	// ClientLoc is the user's location, for origin-distance computation.
+	ClientLoc geo.LatLon
+	// CDNEdgeRTT is the round trip from the ISP edge to the metro's CDN
+	// edge (small, but larger in poorly-served metros like 2022 Sydney).
+	CDNEdgeRTT time.Duration
+	// ASPenaltyRTT is added to every wide-area round trip; the paper's
+	// Figure 3 attributes a small PTT increase to SpaceX's own AS having
+	// worse peering than Google's (extra AS hops).
+	ASPenaltyRTT time.Duration
+	// DeviceFactor scales the compute-bound PLT components; the paper
+	// deliberately excludes them from PTT because they vary per user.
+	DeviceFactor float64
+}
+
+// PageLoad is one load's timing decomposition.
+type PageLoad struct {
+	Redirect time.Duration
+	DNS      time.Duration
+	Connect  time.Duration
+	TLS      time.Duration
+	TTFB     time.Duration // request sent to first response byte
+	Download time.Duration // response body transfer
+	DOM      time.Duration // parse/execute (not in PTT)
+	Render   time.Duration // layout/paint (not in PTT)
+}
+
+// PTT is the Page Transit Time: all network-bound wait.
+func (p PageLoad) PTT() time.Duration {
+	return p.Redirect + p.DNS + p.Connect + p.TLS + p.TTFB + p.Download
+}
+
+// PLT is the conventional Page Load Time: PTT plus compute.
+func (p PageLoad) PLT() time.Duration {
+	return p.PTT() + p.DOM + p.Render
+}
+
+// fibre delay constants (duplicated from ispnet to keep webperf free of the
+// simulator dependency chain).
+const fibreKmPerSec = geo.SpeedOfLightKmPerSec * 2 / 3
+
+func fibreRTT(a, b geo.LatLon) time.Duration {
+	km := geo.HaversineKm(a, b) * 1.4
+	return time.Duration(km / fibreKmPerSec * 2 * float64(time.Second))
+}
+
+// LoadPage simulates one load of the site over the access snapshot.
+func LoadPage(rng *rand.Rand, site tranco.Site, acc Access, opts Options) PageLoad {
+	if opts.DeviceFactor == 0 {
+		opts.DeviceFactor = 1
+	}
+
+	// Wide-area round trip to the content server.
+	wide := wideRTT(site, opts)
+
+	// One application-level round trip: access + jitter + wide area.
+	rtt := func() time.Duration {
+		j := time.Duration(0)
+		if acc.JitterMean > 0 {
+			j = time.Duration(rng.ExpFloat64() * float64(acc.JitterMean))
+		}
+		return acc.RTT + j + wide
+	}
+
+	var p PageLoad
+
+	// Redirects: each costs a round trip plus server processing.
+	for i := 0; i < site.Redirects; i++ {
+		p.Redirect += rtt() + time.Duration(10+rng.Intn(40))*time.Millisecond
+	}
+
+	// DNS: warm cache about half the time; a resolver miss walks upstream.
+	p.DNS = dnsTime(rng, acc)
+
+	// TCP handshake and TLS 1.3 (one round trip each).
+	p.Connect = rtt()
+	p.TLS = rtt() + time.Duration(2+rng.Intn(4))*time.Millisecond
+
+	// Losses during setup are expensive: a lost SYN or handshake packet
+	// waits out a 1s retransmission timer.
+	if acc.LossProb > 0 && rng.Float64() < 3*acc.LossProb {
+		p.Connect += time.Second
+	}
+
+	// Request to first byte: one round trip plus server think time.
+	p.TTFB = rtt() + time.Duration(10+rng.Intn(40))*time.Millisecond
+
+	// Body download: slow-start rounds from IW10 until the window covers
+	// the bandwidth-delay product, then line-rate, over all contacted
+	// domains (extra domains contribute partially-overlapped setup).
+	p.Download = transferTime(rng, site.PageBytes, acc, rtt)
+	if site.Domains > 1 {
+		// Connection setup to third-party domains overlaps the main
+		// transfer; a fraction lands on the critical path.
+		extra := time.Duration(float64(site.Domains-1) * 0.12 * float64(rtt()))
+		p.Download += extra
+	}
+
+	// Loss-driven recovery: each lost data packet costs roughly one extra
+	// round trip of stall on the critical path (SACK recovery), and heavy
+	// loss risks a timeout.
+	if acc.LossProb > 0 {
+		segs := float64(site.PageBytes) / 1448
+		expectedLost := segs * acc.LossProb
+		p.Download += time.Duration(expectedLost * 1.2 * float64(rtt()))
+		if acc.LossProb > 0.05 && rng.Float64() < 0.3 {
+			p.Download += time.Duration(200+rng.Intn(800)) * time.Millisecond
+		}
+	}
+
+	// Compute-bound components (PLT only).
+	p.DOM = time.Duration(opts.DeviceFactor*float64(120+site.Resources*4)) * time.Millisecond
+	p.Render = time.Duration(opts.DeviceFactor*float64(40+rng.Intn(80))) * time.Millisecond
+
+	return p
+}
+
+// transferTime models a congestion-controlled transfer: exponential window
+// growth from 10 segments, then bandwidth-limited delivery.
+func transferTime(rng *rand.Rand, bytes int, acc Access, rtt func() time.Duration) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	const mss = 1448.0
+	segs := float64(bytes) / mss
+	if acc.DownBps <= 0 {
+		acc.DownBps = 1e6
+	}
+
+	var t time.Duration
+	// Browsers fetch over ~6 parallel connections (or one multiplexed
+	// HTTP/2 stream with a warmed window), so the effective initial window
+	// is several times a single socket's IW10.
+	window := 30.0
+	sent := 0.0
+	for sent < segs {
+		r := rtt()
+		// Segments deliverable this round: limited by the window and by
+		// what the link can carry in one RTT.
+		perRTT := acc.DownBps * r.Seconds() / 8 / mss
+		send := window
+		if send > perRTT && perRTT > 1 {
+			// Window exceeds the BDP: the link streams at line rate from
+			// here on.
+			rest := segs - sent
+			t += r/2 + time.Duration(rest*mss*8/acc.DownBps*float64(time.Second))
+			return t
+		}
+		if send > segs-sent {
+			send = segs - sent
+		}
+		t += r
+		sent += send
+		window *= 2
+	}
+	return t
+}

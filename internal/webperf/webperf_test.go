@@ -1,0 +1,192 @@
+package webperf
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"starlinkview/internal/geo"
+	"starlinkview/internal/stats"
+	"starlinkview/internal/tranco"
+)
+
+var london = geo.LatLon{LatDeg: 51.5074, LonDeg: -0.1278}
+
+func starlinkAccess() Access {
+	return Access{
+		RTT:        32 * time.Millisecond,
+		JitterMean: 10 * time.Millisecond,
+		DownBps:    180e6,
+		LossProb:   0.003,
+	}
+}
+
+func baseOpts() Options {
+	return Options{ClientLoc: london, CDNEdgeRTT: 4 * time.Millisecond, DeviceFactor: 1}
+}
+
+func site(t *testing.T, rank int) tranco.Site {
+	t.Helper()
+	l, err := tranco.NewList(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.Site(rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func medianPTT(t *testing.T, s tranco.Site, acc Access, opts Options, n int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var vals []float64
+	for i := 0; i < n; i++ {
+		pl := LoadPage(rng, s, acc, opts)
+		vals = append(vals, float64(pl.PTT())/float64(time.Millisecond))
+	}
+	return stats.Median(vals)
+}
+
+func TestPTTComponentsSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pl := LoadPage(rng, site(t, 50), starlinkAccess(), baseOpts())
+	sum := pl.Redirect + pl.DNS + pl.Connect + pl.TLS + pl.TTFB + pl.Download
+	if pl.PTT() != sum {
+		t.Errorf("PTT %v != component sum %v", pl.PTT(), sum)
+	}
+	if pl.PLT() != pl.PTT()+pl.DOM+pl.Render {
+		t.Error("PLT != PTT + compute")
+	}
+	if pl.PLT() <= pl.PTT() {
+		t.Error("PLT must exceed PTT")
+	}
+}
+
+func TestPTTPlausibleRange(t *testing.T) {
+	// A popular CDN site over a decent Starlink link: a few hundred ms.
+	med := medianPTT(t, site(t, 10), starlinkAccess(), baseOpts(), 300)
+	if med < 100 || med > 900 {
+		t.Errorf("median PTT = %v ms, want 100-900", med)
+	}
+}
+
+func TestPopularFasterThanUnpopular(t *testing.T) {
+	l, _ := tranco.NewList(3, 0)
+	rng := rand.New(rand.NewSource(9))
+	var pop, unpop []float64
+	for i := 0; i < 400; i++ {
+		sp, _ := l.SampleBand(rng, 1, 200)
+		su, _ := l.SampleBand(rng, 100_000, 900_000)
+		pp := LoadPage(rng, sp, starlinkAccess(), baseOpts())
+		pu := LoadPage(rng, su, starlinkAccess(), baseOpts())
+		pop = append(pop, float64(pp.PTT())/1e6)
+		unpop = append(unpop, float64(pu.PTT())/1e6)
+	}
+	if stats.Median(pop) >= stats.Median(unpop) {
+		t.Errorf("popular median %v >= unpopular %v", stats.Median(pop), stats.Median(unpop))
+	}
+}
+
+func TestASPenaltyIncreasesPTT(t *testing.T) {
+	s := site(t, 10)
+	base := medianPTT(t, s, starlinkAccess(), baseOpts(), 400)
+	withPenalty := baseOpts()
+	withPenalty.ASPenaltyRTT = 9 * time.Millisecond
+	pen := medianPTT(t, s, starlinkAccess(), withPenalty, 400)
+	if pen <= base {
+		t.Errorf("AS penalty did not increase PTT: %v vs %v", pen, base)
+	}
+	// The Figure 3 effect is small: well under 2x.
+	if pen > base*1.5 {
+		t.Errorf("AS penalty too large: %v vs %v", pen, base)
+	}
+}
+
+func TestLossInflatesPTT(t *testing.T) {
+	s := site(t, 10)
+	clean := starlinkAccess()
+	clean.LossProb = 0
+	lossy := starlinkAccess()
+	lossy.LossProb = 0.08
+	cm := medianPTT(t, s, clean, baseOpts(), 400)
+	lm := medianPTT(t, s, lossy, baseOpts(), 400)
+	if lm <= cm {
+		t.Errorf("loss did not inflate PTT: %v vs %v", lm, cm)
+	}
+}
+
+func TestBandwidthMattersForHeavyPages(t *testing.T) {
+	s := site(t, 10)
+	s.PageBytes = 5_000_000
+	fast := starlinkAccess()
+	slow := starlinkAccess()
+	slow.DownBps = 10e6
+	fm := medianPTT(t, s, fast, baseOpts(), 200)
+	sm := medianPTT(t, s, slow, baseOpts(), 200)
+	if sm <= fm {
+		t.Errorf("bandwidth had no effect: fast %v vs slow %v", fm, sm)
+	}
+}
+
+func TestRTTDominatesForLightPages(t *testing.T) {
+	s := site(t, 10)
+	s.PageBytes = 40_000
+	s.Redirects = 0
+	lowRTT := Access{RTT: 10 * time.Millisecond, DownBps: 100e6}
+	highRTT := Access{RTT: 120 * time.Millisecond, DownBps: 100e6}
+	lm := medianPTT(t, s, lowRTT, baseOpts(), 200)
+	hm := medianPTT(t, s, highRTT, baseOpts(), 200)
+	if hm < lm+200 {
+		// 120ms vs 10ms RTT across >= 4 round trips should cost >= ~400ms.
+		t.Errorf("RTT effect too small: %v vs %v ms", lm, hm)
+	}
+}
+
+func TestDeviceFactorOnlyAffectsPLT(t *testing.T) {
+	s := site(t, 10)
+	rngA := rand.New(rand.NewSource(5))
+	rngB := rand.New(rand.NewSource(5))
+	slow := baseOpts()
+	slow.DeviceFactor = 3
+	a := LoadPage(rngA, s, starlinkAccess(), baseOpts())
+	b := LoadPage(rngB, s, starlinkAccess(), slow)
+	if a.PTT() != b.PTT() {
+		t.Errorf("device factor changed PTT: %v vs %v", a.PTT(), b.PTT())
+	}
+	if b.PLT() <= a.PLT() {
+		t.Errorf("device factor did not slow PLT: %v vs %v", a.PLT(), b.PLT())
+	}
+}
+
+func TestTransferTimeLineRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	acc := Access{RTT: 40 * time.Millisecond, DownBps: 100e6}
+	fixedRTT := func() time.Duration { return 40 * time.Millisecond }
+	// A 10 MB transfer is bandwidth-bound: ~0.8s of line rate plus a few
+	// slow-start rounds.
+	tt := transferTime(rng, 10_000_000, acc, fixedRTT)
+	if tt < 800*time.Millisecond || tt > 2*time.Second {
+		t.Errorf("10MB at 100Mbps/40ms = %v, want 0.8-2s", tt)
+	}
+	// A tiny transfer completes in about one round trip.
+	tt = transferTime(rng, 5_000, acc, fixedRTT)
+	if tt > 100*time.Millisecond {
+		t.Errorf("5KB transfer = %v, want ~1 RTT", tt)
+	}
+	if transferTime(rng, 0, acc, fixedRTT) != 0 {
+		t.Error("zero bytes should take zero time")
+	}
+}
+
+func TestRedirectsCost(t *testing.T) {
+	s := site(t, 10)
+	s.Redirects = 0
+	none := medianPTT(t, s, starlinkAccess(), baseOpts(), 300)
+	s.Redirects = 2
+	two := medianPTT(t, s, starlinkAccess(), baseOpts(), 300)
+	if two <= none {
+		t.Errorf("redirects free: %v vs %v", none, two)
+	}
+}
