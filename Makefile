@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: everything must build and the unit tests must pass.
+test: build
+	$(GO) test ./...
+
+# Tier-2 gate: vet-clean and race-clean across the whole tree. The collector
+# is the most concurrency-heavy package, but the gate covers everything.
+check: build
+	$(GO) vet ./...
+	$(GO) test -race -timeout 30m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

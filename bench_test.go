@@ -14,13 +14,17 @@
 package bench
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"starlinkview/internal/cc"
+	"starlinkview/internal/collector"
 	"starlinkview/internal/core"
+	"starlinkview/internal/extension"
 	"starlinkview/internal/geo"
 	"starlinkview/internal/ispnet"
 	"starlinkview/internal/measure"
@@ -368,6 +372,44 @@ func BenchmarkExtensionISL(b *testing.B) {
 }
 
 // --- Micro-benchmarks of the hot substrates ---
+
+// BenchmarkCollectorIngest measures records/sec through the ingest
+// service's sharded aggregation path (hash, bounded queue, per-shard
+// streaming stats) at 1, 4 and 8 shards, with concurrent producers.
+func BenchmarkCollectorIngest(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	cities := []string{"London", "Seattle", "Sydney", "Berlin", "Warsaw", "Toronto"}
+	isps := []string{"starlink", "broadband", "cellular"}
+	recs := make([]extension.Record, 8192)
+	for i := range recs {
+		recs[i] = extension.Record{
+			UserID: "anon-bench", City: cities[rng.Intn(len(cities))],
+			Country: "GB", ISP: isps[rng.Intn(len(isps))], ASN: 14593,
+			Domain: "site-" + string(rune('a'+rng.Intn(26))) + ".example",
+			Rank:   1 + rng.Intn(1000),
+			PTTMs:  100 + rng.Float64()*900, PLTMs: 500 + rng.Float64()*2000,
+		}
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			agg := collector.NewAggregator(collector.Config{Shards: shards, QueueLen: 4096})
+			var idx atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					agg.OfferExtension(recs[int(idx.Add(1))%len(recs)])
+				}
+			})
+			b.StopTimer()
+			agg.Close()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			snap := agg.Snapshot()
+			if snap.Processed != uint64(b.N) {
+				b.Fatalf("processed %d != offered %d", snap.Processed, b.N)
+			}
+		})
+	}
+}
 
 // BenchmarkNetsimEvents measures raw event-loop throughput.
 func BenchmarkNetsimEvents(b *testing.B) {

@@ -1,0 +1,85 @@
+// Command collectord serves the measurement-ingest collector: it accepts
+// browser-extension records (CSV rows) and volunteer-node samples (JSON
+// lines) over HTTP, aggregates them online across sharded goroutines, and
+// exposes the running aggregates at /snapshot and ingest counters at
+// /stats. On SIGINT/SIGTERM it stops accepting, drains every shard queue,
+// and prints the final city table and per-shard counters.
+//
+// Usage:
+//
+//	collectord [-addr 127.0.0.1:8787] [-shards 4] [-queue 1024]
+//	           [-policy block|drop] [-relerr 0.01]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"starlinkview/internal/collector"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8787", "listen address")
+		shards = flag.Int("shards", 4, "aggregation shards")
+		queue  = flag.Int("queue", 1024, "per-shard queue length")
+		policy = flag.String("policy", "block", "full-queue policy: block (backpressure) or drop (shed)")
+		relerr = flag.Float64("relerr", 0.01, "quantile sketch relative error")
+	)
+	flag.Parse()
+
+	pol, err := collector.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	srv := collector.NewServer(collector.Config{
+		Shards: *shards, QueueLen: *queue, Policy: pol, SketchRelErr: *relerr,
+	})
+	if err := srv.Start(*addr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("collectord: listening on %s (%d shards, queue %d, policy %s)\n",
+		srv.Addr(), *shards, *queue, pol)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("collectord: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+
+	snap := srv.Aggregator().Snapshot()
+	fmt.Printf("collectord: accepted %d, dropped %d, processed %d\n",
+		snap.Accepted, snap.Dropped, snap.Processed)
+	for _, sh := range snap.Shards {
+		fmt.Printf("  shard %d: accepted %8d  dropped %6d  groups %3d  ingest p50/p95/p99 %.0f/%.0f/%.0f µs\n",
+			sh.Shard, sh.Accepted, sh.Dropped, sh.Groups,
+			sh.IngestP50Us, sh.IngestP95Us, sh.IngestP99Us)
+	}
+	if cities := snap.Cities(); len(cities) > 0 {
+		fmt.Printf("\n%-15s %10s %8s %10s %10s %8s %10s\n",
+			"City", "SL reqs", "SL doms", "SL medPTT", "nonSL reqs", "doms", "medPTT")
+		for _, r := range snap.CityTable(cities) {
+			fmt.Printf("%-15s %10d %8d %9.1fms %10d %8d %9.1fms\n",
+				r.City, r.StarlinkReqs, r.StarlinkDomains, r.StarlinkMedianPTT,
+				r.NonSLReqs, r.NonSLDomains, r.NonSLMedianPTT)
+		}
+	}
+	for _, n := range snap.Nodes {
+		fmt.Printf("node %-15s %-10s n=%-6d down p50 %.1f Mbps  p95 %.1f Mbps  loss %.2f%%\n",
+			n.Node, n.Kind, n.Count, n.P50Down, n.P95Down, n.MeanLossPct)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "collectord:", err)
+	os.Exit(1)
+}

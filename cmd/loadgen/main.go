@@ -1,0 +1,181 @@
+// Command loadgen drives a running collectord with K concurrent synthetic
+// users replaying a generated browsing campaign at a target aggregate rate,
+// then reports achieved throughput, batch POST tail latency, and the
+// server's accept/drop counters.
+//
+// Usage:
+//
+//	loadgen [-addr 127.0.0.1:8787] [-users 8] [-rate 100000] [-duration 10s]
+//	        [-batch 1000] [-days 10] [-seed 1]
+//
+// A rate of 0 removes the pacing and measures the sustainable maximum.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"starlinkview/internal/collector"
+	"starlinkview/internal/core"
+	"starlinkview/internal/stats"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8787", "collectord address")
+		users    = flag.Int("users", 8, "concurrent synthetic users")
+		rate     = flag.Float64("rate", 100000, "target aggregate records/sec (0 = unthrottled)")
+		duration = flag.Duration("duration", 10*time.Second, "send duration")
+		batch    = flag.Int("batch", 1000, "records per POST")
+		days     = flag.Int("days", 10, "length of the generated campaign being replayed")
+		seed     = flag.Int64("seed", 1, "campaign seed")
+	)
+	flag.Parse()
+	if *users <= 0 {
+		fatal(fmt.Errorf("need at least one user"))
+	}
+
+	fmt.Printf("loadgen: generating a %d-day campaign (seed %d)...\n", *days, *seed)
+	cfg := core.QuickConfig()
+	cfg.Seed = *seed
+	cfg.BrowsingDays = *days
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := study.RunBrowsing(); err != nil {
+		fatal(err)
+	}
+	records := study.Collector.Records()
+	if len(records) == 0 {
+		fatal(fmt.Errorf("campaign produced no records"))
+	}
+	fmt.Printf("loadgen: replaying %d records with %d users at %.0f rec/s for %v\n",
+		len(records), *users, *rate, *duration)
+
+	// Encode the replay set into wire payloads once; every user then
+	// resends the same bytes, so client-side marshalling never competes
+	// with the server for CPU.
+	var payloads []payload
+	for off := 0; off < len(records); off += *batch {
+		end := off + *batch
+		if end > len(records) {
+			end = len(records)
+		}
+		data, err := collector.EncodeExtensionBatch(records[off:end])
+		if err != nil {
+			fatal(err)
+		}
+		payloads = append(payloads, payload{data: data, n: end - off})
+	}
+
+	base := "http://" + *addr
+	perUser := *rate / float64(*users)
+	deadline := time.Now().Add(*duration)
+	results := make([]workerResult, *users)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *users; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = replay(base, payloads, w*len(payloads) / *users, perUser, deadline)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var sent uint64
+	lat, _ := stats.NewQuantileSketch(stats.DefaultSketchRelErr)
+	for _, r := range results {
+		if r.err != nil {
+			fatal(r.err)
+		}
+		sent += r.stats.Records
+		if err := lat.Merge(r.stats.Latency); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("\nloadgen: sent %d records in %v — %.0f rec/s achieved\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	fmt.Printf("POST latency: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (%d batches)\n",
+		lat.Quantile(0.50)/1e3, lat.Quantile(0.95)/1e3, lat.Quantile(0.99)/1e3, lat.Count())
+
+	var st collector.StatsReply
+	if err := getJSON(base+collector.PathStats, &st); err != nil {
+		fatal(err)
+	}
+	dropRate := 0.0
+	if st.Accepted+st.Dropped > 0 {
+		dropRate = 100 * float64(st.Dropped) / float64(st.Accepted+st.Dropped)
+	}
+	fmt.Printf("server: accepted %d, dropped %d (%.3f%% drop rate), processed %d\n",
+		st.Accepted, st.Dropped, dropRate, st.Processed)
+	for _, sh := range st.Shards {
+		fmt.Printf("  shard %d: accepted %8d  dropped %6d  queue %4d  ingest p95 %.0f µs\n",
+			sh.Shard, sh.Accepted, sh.Dropped, sh.QueueLen, sh.IngestP95Us)
+	}
+}
+
+type payload struct {
+	data []byte
+	n    int
+}
+
+type workerResult struct {
+	stats collector.ClientStats
+	err   error
+}
+
+// replay cycles one worker through the shared pre-encoded payloads from
+// its own offset, pacing itself to rate records/sec until the deadline.
+func replay(base string, payloads []payload, offset int, rate float64, deadline time.Time) workerResult {
+	client := collector.NewClient(base, collector.ClientConfig{
+		// Flushes are explicit sends of pre-encoded payloads; the timer
+		// would only add jitter to the latency measurement.
+		FlushEvery: 0,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	})
+	start := time.Now()
+	sent := 0
+	var err error
+	for i := 0; time.Now().Before(deadline); i++ {
+		p := payloads[(offset+i)%len(payloads)]
+		if err = client.SendExtensionBatch(p.data, p.n); err != nil {
+			break
+		}
+		sent += p.n
+		if rate > 0 {
+			expected := time.Duration(float64(sent) / rate * float64(time.Second))
+			if ahead := expected - time.Since(start); ahead > time.Millisecond {
+				time.Sleep(ahead)
+			}
+		}
+	}
+	if cerr := client.Close(); err == nil {
+		err = cerr
+	}
+	return workerResult{stats: client.Stats(), err: err}
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,230 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"starlinkview/internal/dataset"
+	"starlinkview/internal/extension"
+	"starlinkview/internal/stats"
+)
+
+// ClientConfig tunes the batching ingest client.
+type ClientConfig struct {
+	// BatchSize flushes a buffer once it holds this many records
+	// (default 512).
+	BatchSize int
+	// FlushEvery flushes non-empty buffers on this period even when they
+	// are short of BatchSize (default 200ms). Zero disables the timer;
+	// flushes then happen on size and on Close only.
+	FlushEvery time.Duration
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+func (c *ClientConfig) normalize() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+}
+
+// ClientStats summarise a client's sends. Latencies are wall-clock per
+// POST, in microseconds.
+type ClientStats struct {
+	Records uint64
+	Batches uint64
+	Latency *stats.QuantileSketch
+}
+
+// Client batches records and ships them to a collector Server. Adds flush
+// on size; a background timer flushes stragglers on ClientConfig.FlushEvery;
+// Close flushes whatever remains. Safe for use by one goroutine at a time
+// (loadgen gives each worker its own client).
+type Client struct {
+	base string
+	cfg  ClientConfig
+
+	mu      sync.Mutex
+	ext     []extension.Record
+	nodes   []dataset.NodeSample
+	records uint64
+	batches uint64
+	latency *stats.QuantileSketch
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewClient builds a client for the server at baseURL (e.g. Server.URL()).
+func NewClient(baseURL string, cfg ClientConfig) *Client {
+	cfg.normalize()
+	lat, _ := stats.NewQuantileSketch(stats.DefaultSketchRelErr)
+	c := &Client{
+		base:    baseURL,
+		cfg:     cfg,
+		latency: lat,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.flushLoop()
+	return c
+}
+
+func (c *Client) flushLoop() {
+	defer close(c.done)
+	if c.cfg.FlushEvery <= 0 {
+		<-c.stop
+		return
+	}
+	t := time.NewTicker(c.cfg.FlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// Timer flushes are best-effort; Add and Close surface errors.
+			_ = c.Flush()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// AddRecord buffers one browsing record, flushing if the batch is full.
+func (c *Client) AddRecord(r extension.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ext = append(c.ext, r)
+	if len(c.ext) >= c.cfg.BatchSize {
+		return c.flushExtLocked()
+	}
+	return nil
+}
+
+// AddNodeSample buffers one node sample, flushing if the batch is full.
+func (c *Client) AddNodeSample(s dataset.NodeSample) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes = append(c.nodes, s)
+	if len(c.nodes) >= c.cfg.BatchSize {
+		return c.flushNodesLocked()
+	}
+	return nil
+}
+
+// Flush sends both pending buffers.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.flushExtLocked(); err != nil {
+		return err
+	}
+	return c.flushNodesLocked()
+}
+
+func (c *Client) flushExtLocked() error {
+	if len(c.ext) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	cw := csv.NewWriter(&buf)
+	for _, r := range c.ext {
+		if err := cw.Write(dataset.MarshalExtensionRow(r)); err != nil {
+			return fmt.Errorf("collector: encode: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("collector: encode: %w", err)
+	}
+	n := len(c.ext)
+	c.ext = c.ext[:0]
+	return c.post(PathIngestExtension, extensionContentType, &buf, n)
+}
+
+func (c *Client) flushNodesLocked() error {
+	if len(c.nodes) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, s := range c.nodes {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("collector: encode: %w", err)
+		}
+	}
+	n := len(c.nodes)
+	c.nodes = c.nodes[:0]
+	return c.post(PathIngestNode, nodeContentType, &buf, n)
+}
+
+// EncodeExtensionBatch renders records as one wire payload, the body a
+// single POST to PathIngestExtension carries. Load generators encode their
+// replay set once and resend the payloads, keeping the client side cheap.
+func EncodeExtensionBatch(records []extension.Record) ([]byte, error) {
+	var buf bytes.Buffer
+	cw := csv.NewWriter(&buf)
+	for _, r := range records {
+		if err := cw.Write(dataset.MarshalExtensionRow(r)); err != nil {
+			return nil, fmt.Errorf("collector: encode: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return nil, fmt.Errorf("collector: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// SendExtensionBatch posts a pre-encoded batch of n records, bypassing the
+// client's buffer but sharing its latency and throughput accounting.
+func (c *Client) SendExtensionBatch(payload []byte, n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.post(PathIngestExtension, extensionContentType, bytes.NewReader(payload), n)
+}
+
+func (c *Client) post(path, contentType string, body io.Reader, n int) error {
+	start := time.Now()
+	resp, err := c.cfg.HTTPClient.Post(c.base+path, contentType, body)
+	if err != nil {
+		return fmt.Errorf("collector: post %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	c.latency.Add(float64(time.Since(start)) / float64(time.Microsecond))
+	c.batches++
+	c.records += uint64(n)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("collector: post %s: %s: %s", path, resp.Status, msg)
+	}
+	// Drain so the connection is reused.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Stats returns a copy of the client's send counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ClientStats{Records: c.records, Batches: c.batches, Latency: c.latency.Clone()}
+}
+
+// Close stops the flush timer and sends anything still buffered.
+func (c *Client) Close() error {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+	return c.Flush()
+}

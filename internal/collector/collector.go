@@ -1,0 +1,226 @@
+// Package collector is the measurement-ingest service that turns the
+// reproduction's 28-user replay into collection infrastructure: a concurrent
+// front end that accepts the study's two record formats — anonymised
+// browser-extension records and volunteer-node samples, in the same
+// encodings internal/dataset releases them in — over a local HTTP endpoint,
+// and aggregates them online.
+//
+// The aggregation core is sharded: records hash by (city, ISP) onto N
+// shards, each owned by a single goroutine fed from a bounded channel, so
+// no aggregate state is ever shared between goroutines. Each shard keeps
+// streaming per-(city, ISP) statistics — exact counts, sums and domain
+// sets, plus a bounded-error quantile sketch (stats.QuantileSketch) for
+// PTT percentiles — that converge to the batch pipeline's answers
+// (extension.Collector.CityTable) within the sketch's error bound.
+//
+// Overload behaviour is explicit: with the Block policy a full shard queue
+// exerts backpressure on the producer (and, through the HTTP server, on the
+// client's TCP connection); with DropNewest the record is shed and counted.
+// Closing the aggregator drains every queue before the final snapshot, so a
+// graceful shutdown loses nothing that was accepted.
+package collector
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"starlinkview/internal/dataset"
+	"starlinkview/internal/extension"
+	"starlinkview/internal/stats"
+)
+
+// Policy selects what a full shard queue does to new records.
+type Policy int
+
+const (
+	// Block makes Offer wait for queue space: backpressure propagates to
+	// the producer (for HTTP ingest, to the sender's connection).
+	Block Policy = iota
+	// DropNewest sheds the incoming record and counts it as dropped.
+	DropNewest
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "drop"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a CLI flag value to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop":
+		return DropNewest, nil
+	default:
+		return 0, fmt.Errorf("collector: unknown policy %q (want block or drop)", s)
+	}
+}
+
+// Config parameterises the ingest service.
+type Config struct {
+	// Shards is the number of single-goroutine aggregation shards
+	// (default 4).
+	Shards int
+	// QueueLen is each shard's bounded queue length (default 1024).
+	QueueLen int
+	// Policy is the full-queue behaviour (default Block).
+	Policy Policy
+	// SketchRelErr is the quantile sketches' guaranteed relative error
+	// (default stats.DefaultSketchRelErr, 1%).
+	SketchRelErr float64
+
+	// applyDelay slows each record application; tests use it to force
+	// queue pressure deterministically.
+	applyDelay time.Duration
+}
+
+func (c *Config) normalize() {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	if c.SketchRelErr <= 0 {
+		c.SketchRelErr = stats.DefaultSketchRelErr
+	}
+}
+
+// itemKind discriminates the two record families on a shard queue.
+type itemKind uint8
+
+const (
+	itemExtension itemKind = iota
+	itemNode
+)
+
+// item is one queued record, stamped at enqueue so shards can measure
+// ingest latency (time spent queued before application).
+type item struct {
+	kind     itemKind
+	enqueued time.Time
+	ext      extension.Record
+	node     dataset.NodeSample
+}
+
+// Aggregator is the sharded online-aggregation core.
+type Aggregator struct {
+	cfg    Config
+	shards []*shard
+
+	// mu orders Offer/Snapshot (read side) against Close (write side), so
+	// channels are never sent on after they are closed.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewAggregator starts the shard goroutines and returns the aggregator.
+func NewAggregator(cfg Config) *Aggregator {
+	cfg.normalize()
+	a := &Aggregator{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range a.shards {
+		a.shards[i] = newShard(i, cfg)
+		a.wg.Add(1)
+		go a.shards[i].run(&a.wg)
+	}
+	return a
+}
+
+// Config returns the normalised configuration.
+func (a *Aggregator) Config() Config { return a.cfg }
+
+// shardFor hashes an aggregation key to its owning shard, so every record
+// of one (city, ISP) — or one (node, kind) — lands on the same goroutine.
+func (a *Aggregator) shardFor(k1, k2 string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(k1))
+	h.Write([]byte{0})
+	h.Write([]byte(k2))
+	return a.shards[h.Sum32()%uint32(len(a.shards))]
+}
+
+// OfferExtension submits one browsing record. It reports false when the
+// record was shed (DropNewest under pressure, or after Close).
+func (a *Aggregator) OfferExtension(r extension.Record) bool {
+	return a.offer(a.shardFor(r.City, r.ISP), item{kind: itemExtension, ext: r})
+}
+
+// OfferNodeSample submits one volunteer-node sample.
+func (a *Aggregator) OfferNodeSample(s dataset.NodeSample) bool {
+	return a.offer(a.shardFor(s.Node, s.Kind), item{kind: itemNode, node: s})
+}
+
+func (a *Aggregator) offer(sh *shard, it item) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		sh.dropped.Add(1)
+		return false
+	}
+	it.enqueued = time.Now()
+	if a.cfg.Policy == Block {
+		sh.ch <- it
+		sh.accepted.Add(1)
+		return true
+	}
+	select {
+	case sh.ch <- it:
+		sh.accepted.Add(1)
+		return true
+	default:
+		sh.dropped.Add(1)
+		return false
+	}
+}
+
+// Snapshot returns the current aggregate state. While the aggregator runs,
+// each shard is captured atomically (between record applications) but the
+// shards are visited in turn; after Close the final, fully-drained state is
+// returned.
+func (a *Aggregator) Snapshot() *Snapshot {
+	a.mu.RLock()
+	if !a.closed {
+		parts := make([]shardSnap, len(a.shards))
+		for i, sh := range a.shards {
+			reply := make(chan shardSnap, 1)
+			sh.ctl <- reply
+			parts[i] = <-reply
+		}
+		a.mu.RUnlock()
+		return mergeSnapshot(parts, a.cfg.SketchRelErr)
+	}
+	a.mu.RUnlock()
+	// After Close the goroutines have exited (wg.Wait is the memory
+	// barrier), so shard state can be read directly.
+	a.wg.Wait()
+	parts := make([]shardSnap, len(a.shards))
+	for i, sh := range a.shards {
+		parts[i] = sh.snapshot()
+	}
+	return mergeSnapshot(parts, a.cfg.SketchRelErr)
+}
+
+// Close stops intake and drains every shard queue before returning: all
+// accepted records are reflected in subsequent Snapshots. It is idempotent.
+func (a *Aggregator) Close() {
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		for _, sh := range a.shards {
+			close(sh.ch)
+		}
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+}

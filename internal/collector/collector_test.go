@@ -1,0 +1,301 @@
+package collector
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"starlinkview/internal/dataset"
+	"starlinkview/internal/extension"
+)
+
+// testRecord builds a cheap synthetic browsing record.
+func testRecord(rng *rand.Rand, city, isp string) extension.Record {
+	return extension.Record{
+		UserID: fmt.Sprintf("anon-%08x", rng.Uint32()),
+		City:   city, Country: "GB", ISP: isp, ASN: 14593,
+		At:     time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(rng.Intn(86400)) * time.Second),
+		Domain: fmt.Sprintf("site-%d.example", rng.Intn(40)),
+		Rank:   1 + rng.Intn(1000), Popular: rng.Intn(2) == 0,
+		PTTMs: 100 + rng.Float64()*900, PLTMs: 500 + rng.Float64()*2000,
+	}
+}
+
+func TestAggregatorCountsAndGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	agg := NewAggregator(Config{Shards: 4, QueueLen: 64})
+	const n = 5000
+	perGroup := map[extKey]int{}
+	for i := 0; i < n; i++ {
+		city := []string{"London", "Seattle", "Sydney"}[rng.Intn(3)]
+		isp := []string{"starlink", "broadband", "cellular"}[rng.Intn(3)]
+		if !agg.OfferExtension(testRecord(rng, city, isp)) {
+			t.Fatal("Block policy must never shed")
+		}
+		perGroup[extKey{city, isp}]++
+	}
+	agg.Close()
+	snap := agg.Snapshot()
+	if snap.Accepted != n || snap.Processed != n || snap.Dropped != 0 {
+		t.Fatalf("counters: %+v", snap)
+	}
+	if len(snap.Groups) != len(perGroup) {
+		t.Fatalf("got %d groups, want %d", len(snap.Groups), len(perGroup))
+	}
+	for _, g := range snap.Groups {
+		if int(g.Count) != perGroup[extKey{g.City, g.ISP}] {
+			t.Fatalf("group %s/%s count %d, want %d", g.City, g.ISP, g.Count, perGroup[extKey{g.City, g.ISP}])
+		}
+		if g.P50PTTMs < 100 || g.P50PTTMs > 1000 {
+			t.Fatalf("group %s/%s implausible p50 %v", g.City, g.ISP, g.P50PTTMs)
+		}
+	}
+	// Offers after Close are shed, not panics.
+	if agg.OfferExtension(testRecord(rng, "London", "starlink")) {
+		t.Fatal("offer after close must report shed")
+	}
+}
+
+func TestAggregatorConcurrentProducers(t *testing.T) {
+	agg := NewAggregator(Config{Shards: 8, QueueLen: 128})
+	const workers, each = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < each; i++ {
+				agg.OfferExtension(testRecord(rng, fmt.Sprintf("City%d", rng.Intn(12)), "starlink"))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	agg.Close()
+	snap := agg.Snapshot()
+	if snap.Processed != workers*each {
+		t.Fatalf("processed %d, want %d", snap.Processed, workers*each)
+	}
+	var total uint64
+	for _, g := range snap.Groups {
+		total += g.Count
+	}
+	if total != workers*each {
+		t.Fatalf("group counts sum to %d, want %d", total, workers*each)
+	}
+}
+
+func TestDropNewestShedsUnderPressure(t *testing.T) {
+	agg := NewAggregator(Config{
+		Shards: 1, QueueLen: 4, Policy: DropNewest,
+		applyDelay: 2 * time.Millisecond,
+	})
+	rng := rand.New(rand.NewSource(2))
+	const n = 200
+	offered, shed := 0, 0
+	for i := 0; i < n; i++ {
+		if agg.OfferExtension(testRecord(rng, "London", "starlink")) {
+			offered++
+		} else {
+			shed++
+		}
+	}
+	agg.Close()
+	snap := agg.Snapshot()
+	if shed == 0 {
+		t.Fatal("expected drops with a slow shard and a 4-slot queue")
+	}
+	if snap.Accepted != uint64(offered) || snap.Dropped != uint64(shed) {
+		t.Fatalf("accepted=%d dropped=%d, want %d/%d", snap.Accepted, snap.Dropped, offered, shed)
+	}
+	// Drain guarantee: everything accepted was applied.
+	if snap.Processed != snap.Accepted {
+		t.Fatalf("processed %d != accepted %d after Close", snap.Processed, snap.Accepted)
+	}
+	if snap.Shards[0].IngestP50Us <= 0 {
+		t.Fatal("ingest latency not measured")
+	}
+}
+
+func TestBlockPolicyLosesNothingUnderPressure(t *testing.T) {
+	agg := NewAggregator(Config{
+		Shards: 2, QueueLen: 2, Policy: Block,
+		applyDelay: 500 * time.Microsecond,
+	})
+	rng := rand.New(rand.NewSource(3))
+	const n = 300
+	for i := 0; i < n; i++ {
+		if !agg.OfferExtension(testRecord(rng, "Seattle", []string{"starlink", "broadband"}[i%2])) {
+			t.Fatal("Block policy shed a record")
+		}
+	}
+	agg.Close()
+	snap := agg.Snapshot()
+	if snap.Processed != n || snap.Dropped != 0 {
+		t.Fatalf("processed=%d dropped=%d, want %d/0", snap.Processed, snap.Dropped, n)
+	}
+}
+
+func TestSnapshotWhileIngesting(t *testing.T) {
+	agg := NewAggregator(Config{Shards: 4, QueueLen: 256})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(4))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				agg.OfferExtension(testRecord(rng, "Warsaw", "starlink"))
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		snap := agg.Snapshot()
+		if snap.Dropped != 0 {
+			t.Errorf("unexpected drops: %d", snap.Dropped)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	agg.Close()
+	snap := agg.Snapshot()
+	if snap.Processed != snap.Accepted {
+		t.Fatalf("processed %d != accepted %d", snap.Processed, snap.Accepted)
+	}
+}
+
+func TestNodeSampleAggregation(t *testing.T) {
+	agg := NewAggregator(Config{Shards: 2})
+	for i := 0; i < 100; i++ {
+		agg.OfferNodeSample(dataset.NodeSample{
+			Node: "Wiltshire", Kind: "iperf",
+			DownMbps: 100 + float64(i), UpMbps: 10, LossPct: 1,
+		})
+		agg.OfferNodeSample(dataset.NodeSample{
+			Node: "Wiltshire", Kind: "speedtest",
+			DownMbps: 200, PingMs: 40,
+		})
+	}
+	agg.Close()
+	snap := agg.Snapshot()
+	if len(snap.Nodes) != 2 {
+		t.Fatalf("got %d node rows, want 2", len(snap.Nodes))
+	}
+	byKind := map[string]NodeRow{}
+	for _, r := range snap.Nodes {
+		byKind[r.Kind] = r
+	}
+	ip := byKind["iperf"]
+	if ip.Count != 100 || math.Abs(ip.MeanDown-149.5) > 1e-9 || ip.MeanUp != 10 || ip.MeanLossPct != 1 {
+		t.Fatalf("iperf row wrong: %+v", ip)
+	}
+	if math.Abs(ip.P50Down-149.5)/149.5 > 0.03 {
+		t.Fatalf("iperf p50 %v far from 149.5", ip.P50Down)
+	}
+	st := byKind["speedtest"]
+	if st.Count != 100 || st.MeanPingMs != 40 {
+		t.Fatalf("speedtest row wrong: %+v", st)
+	}
+}
+
+func TestServerIngestRoundTrip(t *testing.T) {
+	srv := NewServer(Config{Shards: 4})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(srv.URL(), ClientConfig{BatchSize: 32, FlushEvery: 20 * time.Millisecond})
+	rng := rand.New(rand.NewSource(5))
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := client.AddRecord(testRecord(rng, "London", "starlink")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := client.AddNodeSample(dataset.NodeSample{Node: "Barcelona", Kind: "udp", LossPct: float64(i % 7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cs := client.Stats()
+	if cs.Records != n+40 {
+		t.Fatalf("client sent %d records, want %d", cs.Records, n+40)
+	}
+	if cs.Batches < 2 {
+		t.Fatalf("batching did not engage: %d batches", cs.Batches)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv.Aggregator().Snapshot()
+	if snap.Processed != n+40 || snap.Dropped != 0 {
+		t.Fatalf("server processed %d (dropped %d), want %d", snap.Processed, snap.Dropped, n+40)
+	}
+	if len(snap.Groups) != 1 || snap.Groups[0].Count != n {
+		t.Fatalf("groups: %+v", snap.Groups)
+	}
+	if len(snap.Nodes) != 1 || snap.Nodes[0].Count != 40 {
+		t.Fatalf("nodes: %+v", snap.Nodes)
+	}
+}
+
+func TestServerRejectsMalformedBatch(t *testing.T) {
+	srv := NewServer(Config{Shards: 1})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	resp, err := http.Post(srv.URL()+PathIngestExtension, extensionContentType,
+		strings.NewReader("this,is,not,a,record\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL() + PathSnapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+}
+
+func TestPolicyParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{{"block", Block}, {"drop", DropNewest}} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("round trip %q -> %q", tc.in, got)
+		}
+	}
+	if _, err := ParsePolicy("nonsense"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package collector
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"starlinkview/internal/core"
+	"starlinkview/internal/extension"
+	"starlinkview/internal/stats"
+)
+
+// TestStreamedMatchesBatchAggregation is the subsystem's contract: a full
+// generated browsing campaign, streamed record-by-record through the
+// collector's wire protocol as it is collected, must drain to the same
+// per-city aggregates the batch pipeline computes — counts and distinct
+// domains exactly, median PTTs within the quantile sketch's error bound.
+func TestStreamedMatchesBatchAggregation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign stream")
+	}
+	const relErr = 0.01
+	srv := NewServer(Config{Shards: 4, QueueLen: 512, SketchRelErr: relErr})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(srv.URL(), ClientConfig{BatchSize: 256, FlushEvery: 50 * time.Millisecond})
+
+	cfg := core.QuickConfig()
+	cfg.BrowsingDays = 14
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The streaming hook ships each record the moment the extension
+	// pipeline collects it — the path a deployed extension would use.
+	var streamErr error
+	study.Collector.OnRecord = func(r extension.Record) {
+		if err := client.AddRecord(r); err != nil && streamErr == nil {
+			streamErr = err
+		}
+	}
+	if err := study.RunBrowsing(); err != nil {
+		t.Fatal(err)
+	}
+	if streamErr != nil {
+		t.Fatal(streamErr)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	records := study.Collector.Records()
+	if len(records) == 0 {
+		t.Fatal("campaign produced no records")
+	}
+	snap := srv.Aggregator().Snapshot()
+	if snap.Processed != uint64(len(records)) || snap.Dropped != 0 {
+		t.Fatalf("streamed %d records, server processed %d (dropped %d)",
+			len(records), snap.Processed, snap.Dropped)
+	}
+
+	cities := study.Collector.Cities()
+	gotCities := snap.Cities()
+	if len(gotCities) != len(cities) {
+		t.Fatalf("streamed cities %v != batch cities %v", gotCities, cities)
+	}
+	batch := study.Collector.CityTable(cities)
+	streamed := snap.CityTable(cities)
+	for i, want := range batch {
+		got := streamed[i]
+		if got.City != want.City {
+			t.Fatalf("row %d city %q != %q", i, got.City, want.City)
+		}
+		// Counts and domain sets must match exactly.
+		if got.StarlinkReqs != want.StarlinkReqs || got.NonSLReqs != want.NonSLReqs {
+			t.Errorf("%s: reqs SL=%d/%d nonSL=%d/%d (streamed/batch)",
+				want.City, got.StarlinkReqs, want.StarlinkReqs, got.NonSLReqs, want.NonSLReqs)
+		}
+		if got.StarlinkDomains != want.StarlinkDomains || got.NonSLDomains != want.NonSLDomains {
+			t.Errorf("%s: domains SL=%d/%d nonSL=%d/%d (streamed/batch)",
+				want.City, got.StarlinkDomains, want.StarlinkDomains, got.NonSLDomains, want.NonSLDomains)
+		}
+		// Medians converge within the sketch bound (doubled for headroom:
+		// interpolation spans two buckets, each within the bound).
+		checkMedian(t, want.City+" starlink", got.StarlinkMedianPTT, want.StarlinkMedianPTT, 2*relErr)
+		checkMedian(t, want.City+" non-SL", got.NonSLMedianPTT, want.NonSLMedianPTT, 2*relErr)
+	}
+}
+
+func checkMedian(t *testing.T, label string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(want) {
+		if !math.IsNaN(got) {
+			t.Errorf("%s: streamed median %v, batch has no samples", label, got)
+		}
+		return
+	}
+	if math.Abs(got-want) > tol*want+1e-9 {
+		t.Errorf("%s: streamed median %.3f vs batch %.3f (err %.4f > tol %.4f)",
+			label, got, want, math.Abs(got-want)/want, tol)
+	}
+}
+
+// TestSketchMatchesBatchQuantiles pins the convergence at the stats layer
+// too: the same PTT samples, batch-quantiled and sketch-quantiled.
+func TestSketchMatchesBatchQuantiles(t *testing.T) {
+	cfg := core.QuickConfig()
+	cfg.BrowsingDays = 7
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := study.RunBrowsing(); err != nil {
+		t.Fatal(err)
+	}
+	ptts := study.Collector.PTTSamples(func(r extension.Record) bool { return true })
+	sk, err := stats.NewQuantileSketch(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ptts {
+		sk.Add(v)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.95} {
+		want := stats.Quantile(ptts, q)
+		got := sk.Quantile(q)
+		if math.Abs(got-want) > 0.02*want {
+			t.Fatalf("q=%v: sketch %v vs batch %v", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package collector
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"starlinkview/internal/dataset"
+)
+
+// Wire paths and content types of the ingest protocol. Extension records
+// travel as headerless CSV rows (the dataset release schema); node samples
+// as JSON lines, exactly as dataset.WriteNodeJSON emits them.
+const (
+	PathIngestExtension = "/ingest/extension"
+	PathIngestNode      = "/ingest/node"
+	PathSnapshot        = "/snapshot"
+	PathStats           = "/stats"
+
+	extensionContentType = "text/csv"
+	nodeContentType      = "application/x-ndjson"
+)
+
+// IngestReply is the server's response to an ingest POST.
+type IngestReply struct {
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+}
+
+// Server exposes an Aggregator over local HTTP.
+type Server struct {
+	agg *Aggregator
+	hs  *http.Server
+	lis net.Listener
+	err chan error
+}
+
+// NewServer builds a server around a fresh aggregator with the given
+// configuration.
+func NewServer(cfg Config) *Server {
+	s := &Server{agg: NewAggregator(cfg), err: make(chan error, 1)}
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathIngestExtension, s.handleIngestExtension)
+	mux.HandleFunc(PathIngestNode, s.handleIngestNode)
+	mux.HandleFunc(PathSnapshot, s.handleSnapshot)
+	mux.HandleFunc(PathStats, s.handleStats)
+	s.hs = &http.Server{Handler: mux}
+	return s
+}
+
+// Aggregator returns the server's aggregation core.
+func (s *Server) Aggregator() *Aggregator { return s.agg }
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in the background.
+func (s *Server) Start(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("collector: listen: %w", err)
+	}
+	s.lis = lis
+	go func() {
+		if err := s.hs.Serve(lis); err != nil && err != http.ErrServerClosed {
+			s.err <- err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address, once Start has succeeded.
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests finish, then every shard queue drains. After it returns,
+// Snapshot reflects every accepted record.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.hs.Shutdown(ctx)
+	s.agg.Close()
+	select {
+	case serveErr := <-s.err:
+		return serveErr
+	default:
+	}
+	return err
+}
+
+func (s *Server) handleIngestExtension(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	cr := csv.NewReader(r.Body)
+	cr.FieldsPerRecord = len(dataset.ExtensionHeader())
+	cr.ReuseRecord = true
+	var reply IngestReply
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			ingestError(w, reply, fmt.Sprintf("bad row: %v", err))
+			return
+		}
+		rec, err := dataset.UnmarshalExtensionRow(row)
+		if err != nil {
+			ingestError(w, reply, fmt.Sprintf("bad record: %v", err))
+			return
+		}
+		if s.agg.OfferExtension(rec) {
+			reply.Accepted++
+		} else {
+			reply.Dropped++
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) handleIngestNode(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	var reply IngestReply
+	for {
+		var sample dataset.NodeSample
+		if err := dec.Decode(&sample); err == io.EOF {
+			break
+		} else if err != nil {
+			ingestError(w, reply, fmt.Sprintf("bad sample: %v", err))
+			return
+		}
+		if s.agg.OfferNodeSample(sample) {
+			reply.Accepted++
+		} else {
+			reply.Dropped++
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// ingestError reports a malformed batch. Rows ingested before the bad one
+// are already aggregated; the reply carries the partial counts.
+func ingestError(w http.ResponseWriter, reply IngestReply, msg string) {
+	writeJSON(w, http.StatusBadRequest, struct {
+		IngestReply
+		Error string `json:"error"`
+	}{reply, msg})
+}
+
+// SnapshotReply is the GET /snapshot payload: the merged aggregates plus
+// the same city table the batch pipeline prints, for cross-checking
+// cmd/starlinkbench results against streamed ingestion.
+type SnapshotReply struct {
+	TakenAt   time.Time  `json:"taken_at"`
+	Snapshot  *Snapshot  `json:"snapshot"`
+	CityTable []CityJSON `json:"city_table"`
+}
+
+// CityJSON mirrors extension.TableRow with JSON-safe fields (a city whose
+// classes have no records yet would otherwise render NaN medians).
+type CityJSON struct {
+	City              string  `json:"city"`
+	StarlinkReqs      int     `json:"starlink_reqs"`
+	StarlinkDomains   int     `json:"starlink_domains"`
+	StarlinkMedianPTT float64 `json:"starlink_median_ptt_ms"`
+	NonSLReqs         int     `json:"non_sl_reqs"`
+	NonSLDomains      int     `json:"non_sl_domains"`
+	NonSLMedianPTT    float64 `json:"non_sl_median_ptt_ms"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.agg.Snapshot()
+	reply := SnapshotReply{TakenAt: time.Now().UTC(), Snapshot: snap}
+	for _, row := range snap.CityTable(snap.Cities()) {
+		reply.CityTable = append(reply.CityTable, CityJSON{
+			City:              row.City,
+			StarlinkReqs:      row.StarlinkReqs,
+			StarlinkDomains:   row.StarlinkDomains,
+			StarlinkMedianPTT: nanZero(row.StarlinkMedianPTT),
+			NonSLReqs:         row.NonSLReqs,
+			NonSLDomains:      row.NonSLDomains,
+			NonSLMedianPTT:    nanZero(row.NonSLMedianPTT),
+		})
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// StatsReply is the GET /stats payload.
+type StatsReply struct {
+	Accepted  uint64       `json:"accepted"`
+	Dropped   uint64       `json:"dropped"`
+	Processed uint64       `json:"processed"`
+	Shards    []ShardStats `json:"shards"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.agg.Snapshot()
+	writeJSON(w, http.StatusOK, StatsReply{
+		Accepted:  snap.Accepted,
+		Dropped:   snap.Dropped,
+		Processed: snap.Processed,
+		Shards:    snap.Shards,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

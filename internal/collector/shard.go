@@ -1,0 +1,162 @@
+package collector
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starlinkview/internal/stats"
+)
+
+// extKey groups browsing records the way the batch pipeline's city table
+// does: by city and ISP class.
+type extKey struct {
+	City, ISP string
+}
+
+// nodeKey groups volunteer-node samples by node and measurement kind.
+type nodeKey struct {
+	Node, Kind string
+}
+
+// extAgg is the streaming aggregate for one (city, ISP) group. Counts,
+// sums and the domain set are exact; percentiles come from the sketch.
+type extAgg struct {
+	domains map[string]struct{}
+	ptt     *stats.QuantileSketch
+}
+
+// nodeAgg is the streaming aggregate for one (node, kind) group.
+type nodeAgg struct {
+	count   uint64
+	down    *stats.QuantileSketch
+	upSum   float64
+	pingSum float64
+	lossSum float64
+}
+
+// shard owns one partition of the aggregate state. Only its goroutine
+// touches ext/nodes/latency; producers reach it through the bounded ch and
+// snapshot requests through ctl.
+type shard struct {
+	id         int
+	ch         chan item
+	ctl        chan chan<- shardSnap
+	relErr     float64
+	applyDelay time.Duration
+
+	accepted  atomic.Uint64
+	dropped   atomic.Uint64
+	processed atomic.Uint64
+
+	ext     map[extKey]*extAgg
+	nodes   map[nodeKey]*nodeAgg
+	latency *stats.QuantileSketch // queue-to-apply latency, µs
+}
+
+func newShard(id int, cfg Config) *shard {
+	lat, err := stats.NewQuantileSketch(cfg.SketchRelErr)
+	if err != nil {
+		// normalize() guarantees a valid relative error.
+		panic(err)
+	}
+	return &shard{
+		id:         id,
+		ch:         make(chan item, cfg.QueueLen),
+		ctl:        make(chan chan<- shardSnap),
+		relErr:     cfg.SketchRelErr,
+		applyDelay: cfg.applyDelay,
+		ext:        make(map[extKey]*extAgg),
+		nodes:      make(map[nodeKey]*nodeAgg),
+		latency:    lat,
+	}
+}
+
+// run is the shard goroutine: apply records, answer snapshots, and on
+// channel close drain whatever is left before exiting.
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case it, ok := <-s.ch:
+			if !ok {
+				return
+			}
+			s.apply(it)
+		case reply := <-s.ctl:
+			reply <- s.snapshot()
+		}
+	}
+}
+
+func (s *shard) apply(it item) {
+	if s.applyDelay > 0 {
+		time.Sleep(s.applyDelay)
+	}
+	s.latency.Add(float64(time.Since(it.enqueued)) / float64(time.Microsecond))
+	switch it.kind {
+	case itemExtension:
+		r := it.ext
+		g := s.ext[extKey{r.City, r.ISP}]
+		if g == nil {
+			ptt, _ := stats.NewQuantileSketch(s.relErr)
+			g = &extAgg{domains: make(map[string]struct{}), ptt: ptt}
+			s.ext[extKey{r.City, r.ISP}] = g
+		}
+		g.domains[r.Domain] = struct{}{}
+		g.ptt.Add(r.PTTMs)
+	case itemNode:
+		n := it.node
+		g := s.nodes[nodeKey{n.Node, n.Kind}]
+		if g == nil {
+			down, _ := stats.NewQuantileSketch(s.relErr)
+			g = &nodeAgg{down: down}
+			s.nodes[nodeKey{n.Node, n.Kind}] = g
+		}
+		g.count++
+		g.down.Add(n.DownMbps)
+		g.upSum += n.UpMbps
+		g.pingSum += n.PingMs
+		g.lossSum += n.LossPct
+	}
+	s.processed.Add(1)
+}
+
+// shardSnap is a consistent copy of one shard's state, safe to merge and
+// read outside the shard goroutine.
+type shardSnap struct {
+	stats ShardStats
+	ext   map[extKey]*extAgg
+	nodes map[nodeKey]*nodeAgg
+}
+
+func (s *shard) snapshot() shardSnap {
+	snap := shardSnap{
+		stats: ShardStats{
+			Shard:       s.id,
+			Accepted:    s.accepted.Load(),
+			Dropped:     s.dropped.Load(),
+			Processed:   s.processed.Load(),
+			Groups:      len(s.ext) + len(s.nodes),
+			QueueLen:    len(s.ch),
+			IngestP50Us: s.latency.Quantile(0.50),
+			IngestP95Us: s.latency.Quantile(0.95),
+			IngestP99Us: s.latency.Quantile(0.99),
+		},
+		ext:   make(map[extKey]*extAgg, len(s.ext)),
+		nodes: make(map[nodeKey]*nodeAgg, len(s.nodes)),
+	}
+	for k, g := range s.ext {
+		domains := make(map[string]struct{}, len(g.domains))
+		for d := range g.domains {
+			domains[d] = struct{}{}
+		}
+		snap.ext[k] = &extAgg{domains: domains, ptt: g.ptt.Clone()}
+	}
+	for k, g := range s.nodes {
+		c := *g
+		c.down = g.down.Clone()
+		snap.nodes[k] = &c
+	}
+	return snap
+}

@@ -1,0 +1,185 @@
+package collector
+
+import (
+	"math"
+	"sort"
+
+	"starlinkview/internal/extension"
+	"starlinkview/internal/stats"
+)
+
+// ShardStats are one shard's ingest counters. Ingest latency is the time a
+// record spent queued before its shard applied it.
+type ShardStats struct {
+	Shard       int     `json:"shard"`
+	Accepted    uint64  `json:"accepted"`
+	Dropped     uint64  `json:"dropped"`
+	Processed   uint64  `json:"processed"`
+	Groups      int     `json:"groups"`
+	QueueLen    int     `json:"queue_len"`
+	IngestP50Us float64 `json:"ingest_p50_us"`
+	IngestP95Us float64 `json:"ingest_p95_us"`
+	IngestP99Us float64 `json:"ingest_p99_us"`
+}
+
+// GroupRow is the streamed aggregate for one (city, ISP) browsing group.
+type GroupRow struct {
+	City      string  `json:"city"`
+	ISP       string  `json:"isp"`
+	Count     uint64  `json:"count"`
+	Domains   int     `json:"domains"`
+	MeanPTTMs float64 `json:"mean_ptt_ms"`
+	P50PTTMs  float64 `json:"p50_ptt_ms"`
+	P95PTTMs  float64 `json:"p95_ptt_ms"`
+}
+
+// NodeRow is the streamed aggregate for one (node, kind) sample group.
+type NodeRow struct {
+	Node        string  `json:"node"`
+	Kind        string  `json:"kind"`
+	Count       uint64  `json:"count"`
+	MeanDown    float64 `json:"mean_down_mbps"`
+	P50Down     float64 `json:"p50_down_mbps"`
+	P95Down     float64 `json:"p95_down_mbps"`
+	MeanUp      float64 `json:"mean_up_mbps"`
+	MeanPingMs  float64 `json:"mean_ping_ms"`
+	MeanLossPct float64 `json:"mean_loss_pct"`
+}
+
+// Snapshot is a merged view of every shard's aggregate state.
+type Snapshot struct {
+	Groups []GroupRow   `json:"groups"`
+	Nodes  []NodeRow    `json:"nodes"`
+	Shards []ShardStats `json:"shards"`
+
+	Accepted  uint64 `json:"accepted"`
+	Dropped   uint64 `json:"dropped"`
+	Processed uint64 `json:"processed"`
+
+	// merged per-group state retained for CityTable's class-level unions.
+	ext    map[extKey]*extAgg
+	relErr float64
+}
+
+// nanZero keeps JSON encodable: empty-sketch quantiles answer NaN, which
+// encoding/json rejects.
+func nanZero(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+func mergeSnapshot(parts []shardSnap, relErr float64) *Snapshot {
+	s := &Snapshot{ext: make(map[extKey]*extAgg), relErr: relErr}
+	nodes := make(map[nodeKey]*nodeAgg)
+	for _, p := range parts {
+		st := p.stats
+		st.IngestP50Us = nanZero(st.IngestP50Us)
+		st.IngestP95Us = nanZero(st.IngestP95Us)
+		st.IngestP99Us = nanZero(st.IngestP99Us)
+		s.Shards = append(s.Shards, st)
+		s.Accepted += st.Accepted
+		s.Dropped += st.Dropped
+		s.Processed += st.Processed
+		// A group key lives on exactly one shard, so these never collide.
+		for k, g := range p.ext {
+			s.ext[k] = g
+		}
+		for k, g := range p.nodes {
+			nodes[k] = g
+		}
+	}
+	for k, g := range s.ext {
+		s.Groups = append(s.Groups, GroupRow{
+			City:      k.City,
+			ISP:       k.ISP,
+			Count:     g.ptt.Count(),
+			Domains:   len(g.domains),
+			MeanPTTMs: g.ptt.Mean(),
+			P50PTTMs:  g.ptt.Quantile(0.5),
+			P95PTTMs:  g.ptt.Quantile(0.95),
+		})
+	}
+	sort.Slice(s.Groups, func(i, j int) bool {
+		if s.Groups[i].City != s.Groups[j].City {
+			return s.Groups[i].City < s.Groups[j].City
+		}
+		return s.Groups[i].ISP < s.Groups[j].ISP
+	})
+	for k, g := range nodes {
+		n := float64(g.count)
+		s.Nodes = append(s.Nodes, NodeRow{
+			Node:        k.Node,
+			Kind:        k.Kind,
+			Count:       g.count,
+			MeanDown:    g.down.Mean(),
+			P50Down:     g.down.Quantile(0.5),
+			P95Down:     g.down.Quantile(0.95),
+			MeanUp:      g.upSum / n,
+			MeanPingMs:  g.pingSum / n,
+			MeanLossPct: g.lossSum / n,
+		})
+	}
+	sort.Slice(s.Nodes, func(i, j int) bool {
+		if s.Nodes[i].Node != s.Nodes[j].Node {
+			return s.Nodes[i].Node < s.Nodes[j].Node
+		}
+		return s.Nodes[i].Kind < s.Nodes[j].Kind
+	})
+	return s
+}
+
+// Cities returns the distinct cities seen, sorted — the same set
+// extension.Collector.Cities reports for the batch pipeline.
+func (s *Snapshot) Cities() []string {
+	seen := map[string]bool{}
+	for k := range s.ext {
+		seen[k.City] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CityTable renders the streamed state as the paper's Table 1 — the same
+// rows extension.Collector.CityTable computes in batch. Request and domain
+// counts are exact; median PTTs carry the sketch's relative error.
+func (s *Snapshot) CityTable(cities []string) []extension.TableRow {
+	var rows []extension.TableRow
+	for _, city := range cities {
+		row := extension.TableRow{City: city}
+		slDomains := map[string]struct{}{}
+		nslDomains := map[string]struct{}{}
+		slPTT, _ := stats.NewQuantileSketch(s.relErr)
+		nslPTT, _ := stats.NewQuantileSketch(s.relErr)
+		for k, g := range s.ext {
+			if k.City != city {
+				continue
+			}
+			if k.ISP == "starlink" {
+				row.StarlinkReqs += int(g.ptt.Count())
+				for d := range g.domains {
+					slDomains[d] = struct{}{}
+				}
+				// Same relative error throughout, so Merge cannot fail.
+				_ = slPTT.Merge(g.ptt)
+			} else {
+				row.NonSLReqs += int(g.ptt.Count())
+				for d := range g.domains {
+					nslDomains[d] = struct{}{}
+				}
+				_ = nslPTT.Merge(g.ptt)
+			}
+		}
+		row.StarlinkDomains = len(slDomains)
+		row.NonSLDomains = len(nslDomains)
+		row.StarlinkMedianPTT = slPTT.Quantile(0.5)
+		row.NonSLMedianPTT = nslPTT.Quantile(0.5)
+		rows = append(rows, row)
+	}
+	return rows
+}

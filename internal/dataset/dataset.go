@@ -30,6 +30,37 @@ var extensionHeader = []string{
 	"weather", "has_weather", "benchmark", "google",
 }
 
+// ExtensionHeader returns a copy of the browsing dataset's CSV schema. Wire
+// consumers (internal/collector) use it to size and validate rows.
+func ExtensionHeader() []string {
+	return append([]string(nil), extensionHeader...)
+}
+
+// MarshalExtensionRow renders one record as a CSV row. The same encoding is
+// both the release-dataset format (under the ExtensionHeader row) and the
+// collector's wire payload (headerless, one row per record).
+func MarshalExtensionRow(r extension.Record) []string {
+	return []string{
+		r.UserID, r.City, r.Country, r.ISP,
+		strconv.Itoa(r.ASN),
+		r.At.UTC().Format(time.RFC3339),
+		r.Domain,
+		strconv.Itoa(r.Rank),
+		strconv.FormatBool(r.Popular),
+		strconv.FormatFloat(r.PTTMs, 'f', 3, 64),
+		strconv.FormatFloat(r.PLTMs, 'f', 3, 64),
+		r.Condition.String(),
+		strconv.FormatBool(r.HasWx),
+		strconv.FormatBool(r.Benchmark),
+		strconv.FormatBool(r.Google),
+	}
+}
+
+// UnmarshalExtensionRow parses a row written by MarshalExtensionRow.
+func UnmarshalExtensionRow(row []string) (extension.Record, error) {
+	return parseExtensionRow(row)
+}
+
 // WriteExtensionCSV writes the browsing dataset.
 func WriteExtensionCSV(w io.Writer, records []extension.Record) error {
 	cw := csv.NewWriter(w)
@@ -37,21 +68,7 @@ func WriteExtensionCSV(w io.Writer, records []extension.Record) error {
 		return fmt.Errorf("dataset: header: %w", err)
 	}
 	for _, r := range records {
-		row := []string{
-			r.UserID, r.City, r.Country, r.ISP,
-			strconv.Itoa(r.ASN),
-			r.At.UTC().Format(time.RFC3339),
-			r.Domain,
-			strconv.Itoa(r.Rank),
-			strconv.FormatBool(r.Popular),
-			strconv.FormatFloat(r.PTTMs, 'f', 3, 64),
-			strconv.FormatFloat(r.PLTMs, 'f', 3, 64),
-			r.Condition.String(),
-			strconv.FormatBool(r.HasWx),
-			strconv.FormatBool(r.Benchmark),
-			strconv.FormatBool(r.Google),
-		}
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(MarshalExtensionRow(r)); err != nil {
 			return fmt.Errorf("dataset: row: %w", err)
 		}
 	}
@@ -127,13 +144,22 @@ func parseExtensionRow(row []string) (extension.Record, error) {
 	return rec, nil
 }
 
-func conditionByName(name string) (weather.Condition, error) {
+// conditionsByName is precomputed: record decoding is on the collector's
+// ingest hot path, where a per-record scan over Conditions() would show up.
+var conditionsByName = func() map[string]weather.Condition {
+	m := make(map[string]weather.Condition, len(weather.Conditions()))
 	for _, cand := range weather.Conditions() {
-		if cand.String() == name {
-			return cand, nil
-		}
+		m[cand.String()] = cand
 	}
-	return 0, fmt.Errorf("unknown weather condition %q", name)
+	return m
+}()
+
+func conditionByName(name string) (weather.Condition, error) {
+	cand, ok := conditionsByName[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown weather condition %q", name)
+	}
+	return cand, nil
 }
 
 // NodeSample is one volunteer-node measurement in the node dataset,

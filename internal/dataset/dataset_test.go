@@ -225,3 +225,22 @@ func TestReplayReproducesAggregations(t *testing.T) {
 			a.StarlinkMedianPTT, b.StarlinkMedianPTT)
 	}
 }
+
+func TestExtensionRowWireRoundTrip(t *testing.T) {
+	for i, want := range sampleRecords() {
+		row := MarshalExtensionRow(want)
+		if len(row) != len(ExtensionHeader()) {
+			t.Fatalf("record %d: row has %d fields, header has %d", i, len(row), len(ExtensionHeader()))
+		}
+		got, err := UnmarshalExtensionRow(row)
+		if err != nil {
+			t.Fatalf("record %d: unmarshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("record %d: round trip mismatch\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := UnmarshalExtensionRow([]string{"too", "short"}); err == nil {
+		t.Error("want error for truncated row")
+	}
+}

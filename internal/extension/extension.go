@@ -83,6 +83,12 @@ type Collector struct {
 	// its city at collection time (the paper's OpenWeatherMap join).
 	WeatherAt func(city string, at time.Time) (weather.Condition, bool)
 
+	// OnRecord, if set, observes each record the moment it is collected —
+	// the hook streaming sinks (internal/collector's ingest client) attach
+	// to, instead of batch-reading Records afterwards. It is called on the
+	// simulating goroutine, in collection order.
+	OnRecord func(Record)
+
 	records []Record
 }
 
@@ -157,6 +163,9 @@ func (c *Collector) record(u *User, at time.Time, site tranco.Site, pl webperf.P
 		}
 	}
 	c.records = append(c.records, r)
+	if c.OnRecord != nil {
+		c.OnRecord(r)
+	}
 }
 
 // loadOnce performs one page load for the user and records it.

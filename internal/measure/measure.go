@@ -11,6 +11,7 @@ package measure
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"starlinkview/internal/cc"
@@ -19,15 +20,13 @@ import (
 )
 
 // nextEphemeral hands out client ports so concurrently-registered tools on
-// one path never collide.
-var nextEphemeral = 42000
+// one path never collide. It is atomic so independent simulations may run
+// concurrently (each simulation must still run its own tools sequentially).
+var nextEphemeral atomic.Int64
 
 func ephemeralPort() int {
-	nextEphemeral++
-	if nextEphemeral > 60000 {
-		nextEphemeral = 42001
-	}
-	return nextEphemeral
+	// Cycle through 42001..60000, like the ephemeral range of a real stack.
+	return 42001 + int((nextEphemeral.Add(1)-1)%18000)
 }
 
 // PingResult summarises an ICMP echo run.

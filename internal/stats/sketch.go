@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QuantileSketch is a fixed-size streaming quantile estimator with a bounded
+// relative error, in the style of DDSketch (Masson et al., VLDB 2019):
+// positive values are counted into logarithmically-spaced buckets, so any
+// quantile is answered to within a configurable relative accuracy using
+// memory that depends only on the value range, never on the stream length.
+//
+// Sketches with the same relative error merge losslessly, which is what lets
+// the collector's shards aggregate independently and still converge to the
+// batch pipeline's answers. Count, Sum, Min and Max are tracked exactly.
+//
+// A QuantileSketch is not safe for concurrent use; the collector gives each
+// shard its own and merges snapshots.
+type QuantileSketch struct {
+	alpha      float64 // guaranteed relative error
+	gamma      float64 // bucket growth factor (1+alpha)/(1-alpha)
+	logGamma   float64
+	maxBuckets int
+
+	buckets map[int]uint64
+	zero    uint64 // values <= 0 (PTT and throughput never are, but be safe)
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// DefaultSketchRelErr is the collector's default quantile accuracy: estimates
+// are within 1% of the true value.
+const DefaultSketchRelErr = 0.01
+
+// NewQuantileSketch builds a sketch guaranteeing the given relative error
+// (0 < relErr < 1). At 1% error the full 1 µs – 10 min latency range fits in
+// well under 1024 buckets, the default cap; if the cap is ever hit the lowest
+// buckets collapse together, preserving accuracy for upper quantiles.
+func NewQuantileSketch(relErr float64) (*QuantileSketch, error) {
+	if relErr <= 0 || relErr >= 1 {
+		return nil, fmt.Errorf("stats: sketch relative error must be in (0,1), got %v", relErr)
+	}
+	gamma := (1 + relErr) / (1 - relErr)
+	return &QuantileSketch{
+		alpha:      relErr,
+		gamma:      gamma,
+		logGamma:   math.Log(gamma),
+		maxBuckets: 1024,
+		buckets:    make(map[int]uint64),
+		min:        math.Inf(1),
+		max:        math.Inf(-1),
+	}, nil
+}
+
+// RelativeError returns the sketch's guaranteed quantile accuracy.
+func (s *QuantileSketch) RelativeError() float64 { return s.alpha }
+
+// Add records one sample.
+func (s *QuantileSketch) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.count++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if v <= 0 {
+		s.zero++
+		return
+	}
+	s.buckets[s.key(v)]++
+	if len(s.buckets) > s.maxBuckets {
+		s.collapse()
+	}
+}
+
+// key maps a positive value to its bucket index: the unique k with
+// gamma^(k-1) < v <= gamma^k.
+func (s *QuantileSketch) key(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.logGamma))
+}
+
+// value is the representative of bucket k — the midpoint 2*gamma^k/(gamma+1),
+// within alpha of every value the bucket covers.
+func (s *QuantileSketch) value(k int) float64 {
+	return 2 * math.Pow(s.gamma, float64(k)) / (s.gamma + 1)
+}
+
+// collapse merges the two lowest buckets, bounding memory at the cost of
+// low-quantile accuracy (the standard DDSketch trade).
+func (s *QuantileSketch) collapse() {
+	keys := s.sortedKeys()
+	if len(keys) < 2 {
+		return
+	}
+	s.buckets[keys[1]] += s.buckets[keys[0]]
+	delete(s.buckets, keys[0])
+}
+
+func (s *QuantileSketch) sortedKeys() []int {
+	keys := make([]int, 0, len(s.buckets))
+	for k := range s.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Count returns the exact number of samples added.
+func (s *QuantileSketch) Count() uint64 { return s.count }
+
+// Sum returns the exact sum of samples added.
+func (s *QuantileSketch) Sum() float64 { return s.sum }
+
+// Mean returns the exact mean, or NaN for an empty sketch.
+func (s *QuantileSketch) Mean() float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.count)
+}
+
+// Min returns the exact minimum, or NaN for an empty sketch.
+func (s *QuantileSketch) Min() float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the exact maximum, or NaN for an empty sketch.
+func (s *QuantileSketch) Max() float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Quantile returns the estimated q-quantile (0 <= q <= 1), within the
+// sketch's relative error of the true value. It returns NaN when empty.
+// Like Quantile over raw samples, it interpolates between closest ranks,
+// so sketch and batch answers share rank semantics and differ only by the
+// bucket error.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	pos := q*float64(s.count-1) + 1 // continuous 1-based rank
+	lo := math.Floor(pos)
+	frac := pos - lo
+	vlo := s.valueAtRank(uint64(lo))
+	if frac == 0 {
+		return vlo
+	}
+	vhi := s.valueAtRank(uint64(lo) + 1)
+	return vlo + (vhi-vlo)*frac
+}
+
+// valueAtRank returns the representative value of the bucket holding the
+// given 1-based rank.
+func (s *QuantileSketch) valueAtRank(rank uint64) float64 {
+	if rank <= s.zero {
+		return 0
+	}
+	seen := s.zero
+	for _, k := range s.sortedKeys() {
+		seen += s.buckets[k]
+		if seen >= rank {
+			v := s.value(k)
+			// The exact extremes tighten the bucket estimate at the tails.
+			if v < s.min {
+				return s.min
+			}
+			if v > s.max {
+				return s.max
+			}
+			return v
+		}
+	}
+	return s.max
+}
+
+// Merge folds other into s. Both sketches must share the same relative
+// error so buckets align exactly; other is left untouched.
+func (s *QuantileSketch) Merge(other *QuantileSketch) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
+	if other.gamma != s.gamma {
+		return fmt.Errorf("stats: cannot merge sketches with different accuracy (%v vs %v)", s.alpha, other.alpha)
+	}
+	for k, c := range other.buckets {
+		s.buckets[k] += c
+	}
+	s.zero += other.zero
+	s.count += other.count
+	s.sum += other.sum
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	for len(s.buckets) > s.maxBuckets {
+		s.collapse()
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the sketch.
+func (s *QuantileSketch) Clone() *QuantileSketch {
+	c := *s
+	c.buckets = make(map[int]uint64, len(s.buckets))
+	for k, v := range s.buckets {
+		c.buckets[k] = v
+	}
+	return &c
+}

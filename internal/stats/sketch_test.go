@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSketchEmpty(t *testing.T) {
+	s, err := NewQuantileSketch(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Mean()) {
+		t.Fatal("empty sketch must answer NaN")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("empty sketch count = %d", s.Count())
+	}
+}
+
+func TestSketchInvalidRelErr(t *testing.T) {
+	for _, e := range []float64{0, -0.1, 1, 2} {
+		if _, err := NewQuantileSketch(e); err == nil {
+			t.Fatalf("relErr %v should be rejected", e)
+		}
+	}
+}
+
+// relClose reports whether est is within the sketch guarantee of want.
+func relClose(est, want, alpha float64) bool {
+	if want == 0 {
+		return math.Abs(est) < 1e-12
+	}
+	return math.Abs(est-want) <= alpha*math.Abs(want)+1e-9
+}
+
+func TestSketchAccuracy(t *testing.T) {
+	const alpha = 0.01
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() float64{
+		"uniform":   func() float64 { return 10 + rng.Float64()*990 },
+		"lognormal": func() float64 { return math.Exp(5 + rng.NormFloat64()) },
+		"heavytail": func() float64 { return 20 / math.Pow(rng.Float64(), 1.5) },
+	}
+	for name, draw := range dists {
+		s, err := NewQuantileSketch(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]float64, 20000)
+		for i := range vals {
+			vals[i] = draw()
+			s.Add(vals[i])
+		}
+		if s.Count() != uint64(len(vals)) {
+			t.Fatalf("%s: count %d != %d", name, s.Count(), len(vals))
+		}
+		if !relClose(s.Mean(), Mean(vals), 1e-9) {
+			t.Fatalf("%s: mean %v != %v", name, s.Mean(), Mean(vals))
+		}
+		if s.Min() != Min(vals) || s.Max() != Max(vals) {
+			t.Fatalf("%s: min/max not exact", name)
+		}
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99} {
+			want := Quantile(vals, q)
+			got := s.Quantile(q)
+			// 2*alpha leaves room for the nearest-rank vs interpolated
+			// quantile definitions on top of the bucket error.
+			if !relClose(got, want, 2*alpha) {
+				t.Fatalf("%s: q=%v got %v want %v (err %.4f)",
+					name, q, got, want, math.Abs(got-want)/want)
+			}
+		}
+	}
+}
+
+func TestSketchZeroAndNegative(t *testing.T) {
+	s, err := NewQuantileSketch(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(0)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(100)
+	}
+	if got := s.Quantile(0.25); got != 0 {
+		t.Fatalf("q25 over half-zero stream = %v, want 0", got)
+	}
+	if got := s.Quantile(0.9); !relClose(got, 100, 0.02) {
+		t.Fatalf("q90 = %v, want ~100", got)
+	}
+	s.Add(math.NaN()) // must be ignored
+	if s.Count() != 20 {
+		t.Fatalf("NaN was counted: %d", s.Count())
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	const alpha = 0.01
+	rng := rand.New(rand.NewSource(7))
+	whole, _ := NewQuantileSketch(alpha)
+	parts := make([]*QuantileSketch, 4)
+	for i := range parts {
+		parts[i], _ = NewQuantileSketch(alpha)
+	}
+	var vals []float64
+	for i := 0; i < 8000; i++ {
+		v := math.Exp(4 + rng.NormFloat64()*1.5)
+		vals = append(vals, v)
+		whole.Add(v)
+		parts[i%len(parts)].Add(v)
+	}
+	merged, _ := NewQuantileSketch(alpha)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count %d != %d", merged.Count(), whole.Count())
+	}
+	// Summation order differs between the two, so allow float rounding.
+	if !relClose(merged.Sum(), whole.Sum(), 1e-12) {
+		t.Fatalf("merged sum %v != %v", merged.Sum(), whole.Sum())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.95} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%v: merged %v != whole %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+		if !relClose(merged.Quantile(q), Quantile(vals, q), 2*alpha) {
+			t.Fatalf("q=%v: merged %v far from true %v", q, merged.Quantile(q), Quantile(vals, q))
+		}
+	}
+
+	other, _ := NewQuantileSketch(0.05)
+	other.Add(1)
+	if err := merged.Merge(other); err == nil {
+		t.Fatal("merging sketches with different accuracy must fail")
+	}
+	if err := merged.Merge(nil); err != nil {
+		t.Fatalf("merging nil: %v", err)
+	}
+}
+
+func TestSketchCollapseBoundsMemory(t *testing.T) {
+	s, err := NewQuantileSketch(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~9 decades need ~1000 buckets at 1%; cap at 256 so the low ~75% of
+	// the mass collapses while the upper quantiles keep their buckets.
+	s.maxBuckets = 256
+	rng := rand.New(rand.NewSource(3))
+	var vals []float64
+	for i := 0; i < 50000; i++ {
+		v := math.Exp(rng.Float64()*20 - 10)
+		vals = append(vals, v)
+		s.Add(v)
+	}
+	if len(s.buckets) > 256 {
+		t.Fatalf("bucket cap not enforced: %d", len(s.buckets))
+	}
+	// Upper quantiles stay accurate even after collapsing low buckets.
+	for _, q := range []float64{0.9, 0.99} {
+		want := Quantile(vals, q)
+		if !relClose(s.Quantile(q), want, 0.01) {
+			t.Fatalf("q=%v after collapse: got %v want %v", q, s.Quantile(q), want)
+		}
+	}
+}
+
+func TestSketchClone(t *testing.T) {
+	s, _ := NewQuantileSketch(0.01)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	c := s.Clone()
+	c.Add(1e9)
+	if s.Max() == c.Max() {
+		t.Fatal("clone shares state with original")
+	}
+	if s.Quantile(0.5) != c.Quantile(0.4) && s.Count() != 100 {
+		t.Fatal("original mutated by clone")
+	}
+}
