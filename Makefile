@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test check bench
+# Each fuzz target gets this much wall time under `make fuzz`.
+FUZZTIME ?= 30s
+
+.PHONY: build test check fuzz bench
 
 build:
 	$(GO) build ./...
@@ -9,11 +12,25 @@ build:
 test: build
 	$(GO) test ./...
 
-# Tier-2 gate: vet-clean and race-clean across the whole tree. The collector
-# is the most concurrency-heavy package, but the gate covers everything.
+# Tier-2 gate: vet-clean and race-clean across the whole tree, then the
+# fuzz corpus sweep. The collector is the most concurrency-heavy package,
+# but the gate covers everything.
 check: build
 	$(GO) vet ./...
 	$(GO) test -race -timeout 30m ./...
+	$(MAKE) fuzz
+
+# Fuzz the parsers that face untrusted bytes: WAL segment replay (the
+# crash-recovery read path) and the dataset row/stream decoders the
+# collector's ingest and replay run per record. Native Go fuzzing; each
+# target runs for FUZZTIME.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReplaySegment -fuzztime=$(FUZZTIME) ./internal/wal/
+	$(GO) test -run=^$$ -fuzz=FuzzReplayDir -fuzztime=$(FUZZTIME) ./internal/wal/
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalExtensionRow -fuzztime=$(FUZZTIME) ./internal/dataset/
+	$(GO) test -run=^$$ -fuzz=FuzzReadExtensionCSV -fuzztime=$(FUZZTIME) ./internal/dataset/
+	$(GO) test -run=^$$ -fuzz=FuzzReadNodeJSON -fuzztime=$(FUZZTIME) ./internal/dataset/
+	$(GO) test -run=^$$ -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/tle/
 
 bench:
 	$(GO) test -bench=. -benchmem

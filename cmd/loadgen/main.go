@@ -120,6 +120,13 @@ func main() {
 		fmt.Printf("  shard %d: accepted %8d  dropped %6d  queue %4d  ingest p95 %.0f µs\n",
 			sh.Shard, sh.Accepted, sh.Dropped, sh.QueueLen, sh.IngestP95Us)
 	}
+	if st.WAL != nil {
+		// The fsync count against the batch count is the group-commit win:
+		// far fewer fsyncs than acknowledged batches means commits shared.
+		fmt.Printf("server wal: durable LSN %d/%d  %d segments  %d bytes  %d fsyncs  %d checkpoints\n",
+			st.WAL.DurableLSN, st.WAL.AppendedLSN, st.WAL.Segments,
+			st.WAL.AppendedBytes, st.WAL.Syncs, st.WAL.Checkpoints)
+	}
 }
 
 type payload struct {

@@ -21,14 +21,17 @@
 package collector
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"starlinkview/internal/dataset"
 	"starlinkview/internal/extension"
 	"starlinkview/internal/stats"
+	"starlinkview/internal/wal"
 )
 
 // Policy selects what a full shard queue does to new records.
@@ -78,6 +81,11 @@ type Config struct {
 	// SketchRelErr is the quantile sketches' guaranteed relative error
 	// (default stats.DefaultSketchRelErr, 1%).
 	SketchRelErr float64
+	// WAL, when Dir is set, makes ingest durable: records are logged
+	// before they are enqueued and recovered on the next start. Requires
+	// the Block policy — with DropNewest, a logged-then-shed record would
+	// resurrect on replay.
+	WAL WALConfig
 
 	// applyDelay slows each record application; tests use it to force
 	// queue pressure deterministically.
@@ -118,23 +126,73 @@ type Aggregator struct {
 	cfg    Config
 	shards []*shard
 
-	// mu orders Offer/Snapshot (read side) against Close (write side), so
-	// channels are never sent on after they are closed.
+	// mu orders Offer/Snapshot (read side) against Close and Checkpoint
+	// (write side), so channels are never sent on after they are closed
+	// and checkpoints see a quiesced intake.
 	mu     sync.RWMutex
 	closed bool
 	wg     sync.WaitGroup
+
+	// Durability (nil / zero without a WAL).
+	wal         *wal.Writer
+	walRecovery WALRecovery
+	ckptCount   atomic.Uint64
+	ckptLSN     atomic.Uint64
+	ckptStop    chan struct{}
+	ckptDone    chan struct{}
 }
 
 // NewAggregator starts the shard goroutines and returns the aggregator.
+// It panics on an invalid durable configuration; WAL-enabled callers
+// should use OpenAggregator, whose startup can fail on real I/O.
 func NewAggregator(cfg Config) *Aggregator {
+	a, err := OpenAggregator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// OpenAggregator builds the aggregator and, when Config.WAL.Dir is set,
+// opens the write-ahead log and recovers: the last checkpoint's aggregates
+// are restored, the log tail is replayed, and only then do the shard
+// goroutines start. The returned aggregator already reflects every record
+// that was durable before the previous crash or shutdown.
+func OpenAggregator(cfg Config) (*Aggregator, error) {
 	cfg.normalize()
 	a := &Aggregator{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	for i := range a.shards {
 		a.shards[i] = newShard(i, cfg)
+	}
+	if cfg.WAL.Dir != "" {
+		if cfg.Policy != Block {
+			return nil, errors.New("collector: WAL requires the block policy (drop would resurrect shed records on replay)")
+		}
+		w, err := wal.Open(wal.Config{
+			Dir:           cfg.WAL.Dir,
+			SegmentBytes:  cfg.WAL.SegmentBytes,
+			FsyncInterval: cfg.WAL.FsyncInterval,
+			FS:            cfg.WAL.FS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.wal = w
+		if err := a.recoverWAL(); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	for i := range a.shards {
 		a.wg.Add(1)
 		go a.shards[i].run(&a.wg)
 	}
-	return a
+	if a.wal != nil && cfg.WAL.CheckpointInterval > 0 {
+		a.ckptStop = make(chan struct{})
+		a.ckptDone = make(chan struct{})
+		go a.checkpointLoop()
+	}
+	return a, nil
 }
 
 // Config returns the normalised configuration.
@@ -167,6 +225,15 @@ func (a *Aggregator) offer(sh *shard, it item) bool {
 	if a.closed {
 		sh.dropped.Add(1)
 		return false
+	}
+	// Log before enqueue: once a record can reach the aggregates it is in
+	// the WAL, so a crash at any later point replays it. Durability of the
+	// ack is the caller's job (SyncWAL) — group commit batches the fsync.
+	if a.wal != nil {
+		if _, err := a.appendWAL(it); err != nil {
+			sh.dropped.Add(1)
+			return false
+		}
 	}
 	it.enqueued = time.Now()
 	if a.cfg.Policy == Block {
@@ -212,15 +279,41 @@ func (a *Aggregator) Snapshot() *Snapshot {
 }
 
 // Close stops intake and drains every shard queue before returning: all
-// accepted records are reflected in subsequent Snapshots. It is idempotent.
-func (a *Aggregator) Close() {
+// accepted records are reflected in subsequent Snapshots. With a WAL it
+// then writes a final checkpoint covering the fully-drained state and
+// closes the log, so the next start restores without replaying. It is
+// idempotent; only the first call performs the shutdown work.
+func (a *Aggregator) Close() error {
 	a.mu.Lock()
-	if !a.closed {
-		a.closed = true
-		for _, sh := range a.shards {
-			close(sh.ch)
-		}
+	if a.closed {
+		a.mu.Unlock()
+		a.wg.Wait()
+		return nil
+	}
+	a.closed = true
+	for _, sh := range a.shards {
+		close(sh.ch)
 	}
 	a.mu.Unlock()
 	a.wg.Wait()
+	if a.wal == nil {
+		return nil
+	}
+	if a.ckptStop != nil {
+		close(a.ckptStop)
+		<-a.ckptDone
+	}
+	// The goroutines have exited and drained, so direct shard reads are the
+	// final state — exactly the records appended to the log.
+	parts := make([]shardSnap, len(a.shards))
+	for i, sh := range a.shards {
+		parts[i] = sh.snapshot()
+	}
+	a.mu.Lock()
+	err := a.writeCheckpointLocked(parts)
+	a.mu.Unlock()
+	if cerr := a.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

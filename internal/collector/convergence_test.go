@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"starlinkview/internal/core"
+	"starlinkview/internal/dataset"
 	"starlinkview/internal/extension"
 	"starlinkview/internal/stats"
 )
@@ -92,6 +93,141 @@ func TestStreamedMatchesBatchAggregation(t *testing.T) {
 		checkMedian(t, want.City+" starlink", got.StarlinkMedianPTT, want.StarlinkMedianPTT, 2*relErr)
 		checkMedian(t, want.City+" non-SL", got.NonSLMedianPTT, want.NonSLMedianPTT, 2*relErr)
 	}
+}
+
+// TestRestartRecoversStreamedCampaign is the durability contract end to
+// end: half the campaign streams into a WAL-enabled server, the server
+// shuts down (as on SIGTERM), a fresh server recovers from the same WAL
+// directory, the rest streams in — and the final /snapshot city table must
+// still match the batch pipeline as if nothing had been interrupted.
+func TestRestartRecoversStreamedCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign stream with restart")
+	}
+	const relErr = 0.01
+	walDir := t.TempDir()
+	newSrv := func() *Server {
+		srv, err := OpenServer(Config{
+			Shards: 4, QueueLen: 512, SketchRelErr: relErr,
+			WAL: WALConfig{
+				Dir:                walDir,
+				FsyncInterval:      time.Millisecond,
+				SegmentBytes:       1 << 20,
+				CheckpointInterval: 50 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	shutdown := func(srv *Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := func(srv *Server, records []extension.Record) {
+		client := NewClient(srv.URL(), ClientConfig{BatchSize: 256, FlushEvery: 50 * time.Millisecond})
+		for _, r := range records {
+			if err := client.AddRecord(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := client.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg := core.QuickConfig()
+	cfg.BrowsingDays = 14
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := study.RunBrowsing(); err != nil {
+		t.Fatal(err)
+	}
+	records := study.Collector.Records()
+	if len(records) < 2 {
+		t.Fatal("campaign produced too few records")
+	}
+	half := len(records) / 2
+
+	// Session 1: first half, plus a node sample that must survive too.
+	srv1 := newSrv()
+	stream(srv1, records[:half])
+	client := NewClient(srv1.URL(), ClientConfig{BatchSize: 8})
+	sample := dataset.NodeSample{
+		Node: "Wiltshire", Kind: "iperf",
+		At: time.Date(2022, 4, 11, 9, 0, 0, 0, time.UTC), DownMbps: 147.5, UpMbps: 11.3, PingMs: 41,
+	}
+	if err := client.AddNodeSample(sample); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shutdown(srv1)
+
+	// Session 2: recover from the WAL directory and stream the rest.
+	srv2 := newSrv()
+	rec := srv2.Aggregator().WALRecovery()
+	if got := rec.RestoredRecords + rec.ReplayedRecords; got != uint64(half)+1 {
+		t.Fatalf("recovery rebuilt %d records (restored %d, replayed %d), want %d",
+			got, rec.RestoredRecords, rec.ReplayedRecords, half+1)
+	}
+	if rec.SkippedCorrupt != 0 {
+		t.Fatalf("recovery skipped %d records after a clean shutdown", rec.SkippedCorrupt)
+	}
+	stream(srv2, records[half:])
+	shutdown(srv2)
+
+	snap := srv2.Aggregator().Snapshot()
+	if snap.Processed != uint64(len(records))+1 || snap.Dropped != 0 {
+		t.Fatalf("processed %d records (dropped %d), want %d",
+			snap.Processed, snap.Dropped, len(records)+1)
+	}
+	if len(snap.Nodes) != 1 || snap.Nodes[0].Node != sample.Node || snap.Nodes[0].Count != 1 {
+		t.Fatalf("node aggregate lost across restart: %+v", snap.Nodes)
+	}
+	if got := snap.Nodes[0].MeanDown; math.Abs(got-sample.DownMbps) > 1e-9 {
+		t.Fatalf("node mean down %v, want %v", got, sample.DownMbps)
+	}
+
+	cities := study.Collector.Cities()
+	batch := study.Collector.CityTable(cities)
+	streamed := snap.CityTable(cities)
+	for i, want := range batch {
+		got := streamed[i]
+		if got.City != want.City {
+			t.Fatalf("row %d city %q != %q", i, got.City, want.City)
+		}
+		if got.StarlinkReqs != want.StarlinkReqs || got.NonSLReqs != want.NonSLReqs {
+			t.Errorf("%s: reqs SL=%d/%d nonSL=%d/%d (restarted/batch)",
+				want.City, got.StarlinkReqs, want.StarlinkReqs, got.NonSLReqs, want.NonSLReqs)
+		}
+		if got.StarlinkDomains != want.StarlinkDomains || got.NonSLDomains != want.NonSLDomains {
+			t.Errorf("%s: domains SL=%d/%d nonSL=%d/%d (restarted/batch)",
+				want.City, got.StarlinkDomains, want.StarlinkDomains, got.NonSLDomains, want.NonSLDomains)
+		}
+		checkMedian(t, want.City+" starlink", got.StarlinkMedianPTT, want.StarlinkMedianPTT, 2*relErr)
+		checkMedian(t, want.City+" non-SL", got.NonSLMedianPTT, want.NonSLMedianPTT, 2*relErr)
+	}
+
+	// Session 3: a pure restart with no new traffic restores everything
+	// from the final checkpoint alone — nothing left to replay.
+	srv3 := newSrv()
+	rec = srv3.Aggregator().WALRecovery()
+	if rec.ReplayedRecords != 0 || rec.RestoredRecords != uint64(len(records))+1 {
+		t.Fatalf("post-shutdown recovery: restored %d replayed %d, want all %d from checkpoint",
+			rec.RestoredRecords, rec.ReplayedRecords, len(records)+1)
+	}
+	shutdown(srv3)
 }
 
 func checkMedian(t *testing.T, label string, got, want, tol float64) {

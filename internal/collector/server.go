@@ -41,16 +41,32 @@ type Server struct {
 }
 
 // NewServer builds a server around a fresh aggregator with the given
-// configuration.
+// configuration. For WAL-enabled configurations use OpenServer, whose
+// startup (log recovery) can fail.
 func NewServer(cfg Config) *Server {
-	s := &Server{agg: NewAggregator(cfg), err: make(chan error, 1)}
+	s, err := OpenServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// OpenServer builds a server around OpenAggregator: with Config.WAL set it
+// recovers the durable state before serving, and every ingest batch is
+// acknowledged only after its records are fsynced.
+func OpenServer(cfg Config) (*Server, error) {
+	agg, err := OpenAggregator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{agg: agg, err: make(chan error, 1)}
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathIngestExtension, s.handleIngestExtension)
 	mux.HandleFunc(PathIngestNode, s.handleIngestNode)
 	mux.HandleFunc(PathSnapshot, s.handleSnapshot)
 	mux.HandleFunc(PathStats, s.handleStats)
 	s.hs = &http.Server{Handler: mux}
-	return s
+	return s, nil
 }
 
 // Aggregator returns the server's aggregation core.
@@ -83,11 +99,14 @@ func (s *Server) Addr() string {
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
 // Shutdown gracefully stops the server: no new connections, in-flight
-// requests finish, then every shard queue drains. After it returns,
-// Snapshot reflects every accepted record.
+// requests finish, then every shard queue drains (and, with a WAL, a final
+// checkpoint is written). After it returns, Snapshot reflects every
+// accepted record.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.hs.Shutdown(ctx)
-	s.agg.Close()
+	if cerr := s.agg.Close(); err == nil {
+		err = cerr
+	}
 	select {
 	case serveErr := <-s.err:
 		return serveErr
@@ -125,7 +144,7 @@ func (s *Server) handleIngestExtension(w http.ResponseWriter, r *http.Request) {
 			reply.Dropped++
 		}
 	}
-	writeJSON(w, http.StatusOK, reply)
+	s.ackIngest(w, reply)
 }
 
 func (s *Server) handleIngestNode(w http.ResponseWriter, r *http.Request) {
@@ -148,6 +167,21 @@ func (s *Server) handleIngestNode(w http.ResponseWriter, r *http.Request) {
 		} else {
 			reply.Dropped++
 		}
+	}
+	s.ackIngest(w, reply)
+}
+
+// ackIngest is the durability barrier: with a WAL, the 200 is sent only
+// once every record in the batch is fsynced (group commit shares one fsync
+// across concurrent batches). A sender that gets a 5xx must assume nothing
+// and may retry — the protocol is at-least-once.
+func (s *Server) ackIngest(w http.ResponseWriter, reply IngestReply) {
+	if err := s.agg.SyncWAL(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, struct {
+			IngestReply
+			Error string `json:"error"`
+		}{reply, fmt.Sprintf("wal commit: %v", err)})
+		return
 	}
 	writeJSON(w, http.StatusOK, reply)
 }
@@ -199,22 +233,28 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reply)
 }
 
-// StatsReply is the GET /stats payload.
+// StatsReply is the GET /stats payload. WAL is present only on durable
+// servers.
 type StatsReply struct {
 	Accepted  uint64       `json:"accepted"`
 	Dropped   uint64       `json:"dropped"`
 	Processed uint64       `json:"processed"`
 	Shards    []ShardStats `json:"shards"`
+	WAL       *WALStats    `json:"wal,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.agg.Snapshot()
-	writeJSON(w, http.StatusOK, StatsReply{
+	reply := StatsReply{
 		Accepted:  snap.Accepted,
 		Dropped:   snap.Dropped,
 		Processed: snap.Processed,
 		Shards:    snap.Shards,
-	})
+	}
+	if ws := s.agg.WALStats(); ws.Enabled {
+		reply.WAL = &ws
+	}
+	writeJSON(w, http.StatusOK, reply)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,386 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"starlinkview/internal/dataset"
+	"starlinkview/internal/extension"
+	"starlinkview/internal/stats"
+	"starlinkview/internal/wal"
+)
+
+// WAL record kinds: the payloads reuse the dataset release encodings, so a
+// WAL segment is itself a replayable dataset — extension records as the CSV
+// rows dataset.MarshalExtensionRow emits, node samples as the JSON lines of
+// dataset.WriteNodeJSON.
+const (
+	walKindExtension byte = 1
+	walKindNode      byte = 2
+)
+
+// WALConfig enables durable ingest. With a Dir set, every accepted record
+// is appended to the write-ahead log before it is enqueued to its shard,
+// HTTP batches are acknowledged only after their records are fsynced
+// (group commit), and startup recovery rebuilds the aggregate state from
+// the last checkpoint plus a log replay.
+type WALConfig struct {
+	// Dir holds segments and checkpoints; empty disables the WAL.
+	Dir string
+	// FsyncInterval batches fsyncs (see wal.Config); zero syncs per batch.
+	FsyncInterval time.Duration
+	// SegmentBytes is the segment rotation threshold.
+	SegmentBytes int64
+	// CheckpointInterval writes periodic shard-snapshot checkpoints so
+	// recovery replays only the log tail; zero disables the loop (a final
+	// checkpoint is still taken on Close).
+	CheckpointInterval time.Duration
+	// FS overrides the filesystem for fault-injection tests.
+	FS wal.FS
+}
+
+// WALRecovery summarises what startup recovery rebuilt.
+type WALRecovery struct {
+	// CheckpointLSN is the log position the loaded checkpoint covered.
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	// RestoredRecords came from the checkpoint's aggregates.
+	RestoredRecords uint64 `json:"restored_records"`
+	// ReplayedRecords were re-applied from the log tail.
+	ReplayedRecords uint64 `json:"replayed_records"`
+	// SkippedCorrupt counts tail records whose payloads failed to decode;
+	// replay skips and counts them, it never gives up.
+	SkippedCorrupt uint64 `json:"skipped_corrupt"`
+	// Log carries the segment-level recovery detail.
+	Log wal.RecoveryStats `json:"log"`
+}
+
+// WALStats is the durability section of /stats.
+type WALStats struct {
+	Enabled           bool   `json:"enabled"`
+	AppendedLSN       uint64 `json:"appended_lsn"`
+	DurableLSN        uint64 `json:"durable_lsn"`
+	Segments          int    `json:"segments"`
+	AppendedBytes     int64  `json:"appended_bytes"`
+	Syncs             uint64 `json:"syncs"`
+	Checkpoints       uint64 `json:"checkpoints"`
+	LastCheckpointLSN uint64 `json:"last_checkpoint_lsn"`
+	Recovery          WALRecovery `json:"recovery"`
+}
+
+// ErrNoWAL reports a durability operation on an aggregator running without
+// a write-ahead log.
+var ErrNoWAL = errors.New("collector: aggregator has no WAL")
+
+// encodeExtensionPayload renders one record as its WAL payload — exactly
+// one dataset CSV row.
+func encodeExtensionPayload(r extension.Record) ([]byte, error) {
+	var buf bytes.Buffer
+	cw := csv.NewWriter(&buf)
+	if err := cw.Write(dataset.MarshalExtensionRow(r)); err != nil {
+		return nil, err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeWALRecord turns a replayed WAL record back into a queue item.
+func decodeWALRecord(rec wal.Rec) (item, error) {
+	switch rec.Kind {
+	case walKindExtension:
+		cr := csv.NewReader(bytes.NewReader(rec.Payload))
+		cr.FieldsPerRecord = len(dataset.ExtensionHeader())
+		row, err := cr.Read()
+		if err != nil {
+			return item{}, fmt.Errorf("collector: wal row: %w", err)
+		}
+		r, err := dataset.UnmarshalExtensionRow(row)
+		if err != nil {
+			return item{}, fmt.Errorf("collector: wal record: %w", err)
+		}
+		return item{kind: itemExtension, ext: r}, nil
+	case walKindNode:
+		var s dataset.NodeSample
+		if err := json.Unmarshal(bytes.TrimSpace(rec.Payload), &s); err != nil {
+			return item{}, fmt.Errorf("collector: wal node sample: %w", err)
+		}
+		return item{kind: itemNode, node: s}, nil
+	default:
+		return item{}, fmt.Errorf("collector: unknown wal record kind %d", rec.Kind)
+	}
+}
+
+// appendWAL logs one queue item, returning its LSN.
+func (a *Aggregator) appendWAL(it item) (uint64, error) {
+	switch it.kind {
+	case itemExtension:
+		payload, err := encodeExtensionPayload(it.ext)
+		if err != nil {
+			return 0, err
+		}
+		return a.wal.Append(walKindExtension, payload)
+	default:
+		payload, err := json.Marshal(it.node)
+		if err != nil {
+			return 0, err
+		}
+		payload = append(payload, '\n')
+		return a.wal.Append(walKindNode, payload)
+	}
+}
+
+// SyncWAL blocks until every record appended so far is durable — the
+// server's acknowledgement barrier. Without a WAL it is a no-op.
+func (a *Aggregator) SyncWAL() error {
+	if a.wal == nil {
+		return nil
+	}
+	return a.wal.Commit(a.wal.AppendedLSN())
+}
+
+// WALStats reports the durability counters (zero-valued Enabled=false
+// struct without a WAL).
+func (a *Aggregator) WALStats() WALStats {
+	if a.wal == nil {
+		return WALStats{}
+	}
+	ws := a.wal.Stats()
+	return WALStats{
+		Enabled:           true,
+		AppendedLSN:       ws.AppendedLSN,
+		DurableLSN:        ws.DurableLSN,
+		Segments:          ws.Segments,
+		AppendedBytes:     ws.AppendedBytes,
+		Syncs:             ws.Syncs,
+		Checkpoints:       a.ckptCount.Load(),
+		LastCheckpointLSN: a.ckptLSN.Load(),
+		Recovery:          a.walRecovery,
+	}
+}
+
+// WALRecovery reports what startup recovery rebuilt (zero without a WAL).
+func (a *Aggregator) WALRecovery() WALRecovery { return a.walRecovery }
+
+// --- checkpoint payload ------------------------------------------------
+
+// ckptFile is the checkpoint payload: the full grouped aggregate state,
+// flat (not per shard) so the shard count may change between runs. Sketches
+// travel as their exact binary serialisation.
+type ckptFile struct {
+	RelErr float64    `json:"rel_err"`
+	Ext    []ckptExt  `json:"ext"`
+	Nodes  []ckptNode `json:"nodes"`
+}
+
+type ckptExt struct {
+	City    string   `json:"city"`
+	ISP     string   `json:"isp"`
+	Domains []string `json:"domains"`
+	PTT     []byte   `json:"ptt"`
+}
+
+type ckptNode struct {
+	Node    string  `json:"node"`
+	Kind    string  `json:"kind"`
+	Count   uint64  `json:"count"`
+	Down    []byte  `json:"down"`
+	UpSum   float64 `json:"up_sum"`
+	PingSum float64 `json:"ping_sum"`
+	LossSum float64 `json:"loss_sum"`
+}
+
+func encodeCheckpoint(parts []shardSnap, relErr float64) ([]byte, error) {
+	out := ckptFile{RelErr: relErr}
+	for _, p := range parts {
+		for k, g := range p.ext {
+			blob, err := g.ptt.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			domains := make([]string, 0, len(g.domains))
+			for d := range g.domains {
+				domains = append(domains, d)
+			}
+			out.Ext = append(out.Ext, ckptExt{City: k.City, ISP: k.ISP, Domains: domains, PTT: blob})
+		}
+		for k, g := range p.nodes {
+			blob, err := g.down.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			out.Nodes = append(out.Nodes, ckptNode{
+				Node: k.Node, Kind: k.Kind, Count: g.count, Down: blob,
+				UpSum: g.upSum, PingSum: g.pingSum, LossSum: g.lossSum,
+			})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// restoreCheckpoint rebuilds shard state from a checkpoint payload. Runs
+// before the shard goroutines start, so direct map access is safe. Returns
+// the number of records the restored aggregates represent.
+func (a *Aggregator) restoreCheckpoint(payload []byte) (uint64, error) {
+	var cf ckptFile
+	if err := json.Unmarshal(payload, &cf); err != nil {
+		return 0, fmt.Errorf("collector: checkpoint decode: %w", err)
+	}
+	if cf.RelErr != a.cfg.SketchRelErr {
+		return 0, fmt.Errorf("collector: checkpoint sketch error %v does not match configured %v",
+			cf.RelErr, a.cfg.SketchRelErr)
+	}
+	var restored uint64
+	for _, e := range cf.Ext {
+		ptt := &stats.QuantileSketch{}
+		if err := ptt.UnmarshalBinary(e.PTT); err != nil {
+			return 0, fmt.Errorf("collector: checkpoint group %s/%s: %w", e.City, e.ISP, err)
+		}
+		domains := make(map[string]struct{}, len(e.Domains))
+		for _, d := range e.Domains {
+			domains[d] = struct{}{}
+		}
+		sh := a.shardFor(e.City, e.ISP)
+		sh.ext[extKey{e.City, e.ISP}] = &extAgg{domains: domains, ptt: ptt}
+		sh.accepted.Add(ptt.Count())
+		sh.processed.Add(ptt.Count())
+		restored += ptt.Count()
+	}
+	for _, n := range cf.Nodes {
+		down := &stats.QuantileSketch{}
+		if err := down.UnmarshalBinary(n.Down); err != nil {
+			return 0, fmt.Errorf("collector: checkpoint node %s/%s: %w", n.Node, n.Kind, err)
+		}
+		sh := a.shardFor(n.Node, n.Kind)
+		sh.nodes[nodeKey{n.Node, n.Kind}] = &nodeAgg{
+			count: n.Count, down: down,
+			upSum: n.UpSum, pingSum: n.PingSum, lossSum: n.LossSum,
+		}
+		sh.accepted.Add(n.Count)
+		sh.processed.Add(n.Count)
+		restored += n.Count
+	}
+	return restored, nil
+}
+
+// recoverWAL loads the checkpoint and replays the log tail into the (not
+// yet started) shards.
+func (a *Aggregator) recoverWAL() error {
+	rec := WALRecovery{Log: a.wal.Recovery()}
+	lsn, payload, err := wal.LoadCheckpoint(a.cfg.WAL.FS, a.cfg.WAL.Dir)
+	switch {
+	case err == nil:
+		restored, err := a.restoreCheckpoint(payload)
+		if err != nil {
+			return err
+		}
+		rec.CheckpointLSN = lsn
+		rec.RestoredRecords = restored
+		a.ckptLSN.Store(lsn)
+	case errors.Is(err, wal.ErrNoCheckpoint):
+		// Cold start: full replay from LSN 0.
+	default:
+		return err
+	}
+	err = a.wal.Replay(lsn, func(r wal.Rec) error {
+		it, derr := decodeWALRecord(r)
+		if derr != nil {
+			// A durable frame with an undecodable payload: skip and
+			// count, never abort recovery over one bad record.
+			rec.SkippedCorrupt++
+			return nil
+		}
+		it.enqueued = time.Now()
+		var sh *shard
+		if it.kind == itemExtension {
+			sh = a.shardFor(it.ext.City, it.ext.ISP)
+		} else {
+			sh = a.shardFor(it.node.Node, it.node.Kind)
+		}
+		sh.accepted.Add(1)
+		sh.apply(it)
+		rec.ReplayedRecords++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("collector: wal replay: %w", err)
+	}
+	a.walRecovery = rec
+	return nil
+}
+
+// Checkpoint persists a shard-snapshot checkpoint and prunes fully-covered
+// segments. It is a brief stop-the-world: intake pauses (offers block on
+// the aggregator lock) while the shard queues drain and the state is
+// captured, so the snapshot matches the log position exactly.
+func (a *Aggregator) Checkpoint() error {
+	if a.wal == nil {
+		return ErrNoWAL
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return errors.New("collector: checkpoint after close")
+	}
+	parts, err := a.drainedSnapshotLocked()
+	if err != nil {
+		return err
+	}
+	return a.writeCheckpointLocked(parts)
+}
+
+// drainedSnapshotLocked waits (holding the write lock, so no new offers)
+// for every queue to empty, then captures each shard between applies —
+// at that instant the state holds exactly the records appended to the WAL.
+func (a *Aggregator) drainedSnapshotLocked() ([]shardSnap, error) {
+	parts := make([]shardSnap, len(a.shards))
+	for i, sh := range a.shards {
+		for len(sh.ch) > 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		reply := make(chan shardSnap, 1)
+		sh.ctl <- reply
+		parts[i] = <-reply
+	}
+	return parts, nil
+}
+
+// writeCheckpointLocked syncs the log, persists the snapshot at the synced
+// position, and prunes covered segments.
+func (a *Aggregator) writeCheckpointLocked(parts []shardSnap) error {
+	lsn := a.wal.AppendedLSN()
+	if err := a.wal.Sync(); err != nil {
+		return err
+	}
+	payload, err := encodeCheckpoint(parts, a.cfg.SketchRelErr)
+	if err != nil {
+		return err
+	}
+	if err := wal.SaveCheckpoint(a.cfg.WAL.FS, a.cfg.WAL.Dir, lsn, payload); err != nil {
+		return err
+	}
+	a.ckptCount.Add(1)
+	a.ckptLSN.Store(lsn)
+	return a.wal.Prune(lsn)
+}
+
+func (a *Aggregator) checkpointLoop() {
+	defer close(a.ckptDone)
+	t := time.NewTicker(a.cfg.WAL.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// Best effort: a failed periodic checkpoint only means a
+			// longer replay; the next tick (and Close) retry.
+			_ = a.Checkpoint()
+		case <-a.ckptStop:
+			return
+		}
+	}
+}

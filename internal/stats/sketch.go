@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -218,6 +219,81 @@ func (s *QuantileSketch) Merge(other *QuantileSketch) error {
 	for len(s.buckets) > s.maxBuckets {
 		s.collapse()
 	}
+	return nil
+}
+
+// sketchWireVersion guards the MarshalBinary layout; bump on any change.
+const sketchWireVersion = 1
+
+// MarshalBinary serialises the sketch's exact state: a sketch restored with
+// UnmarshalBinary answers every quantile identically to the original. The
+// collector's WAL checkpoints use this to persist shard aggregates, so the
+// layout is versioned and little-endian throughout.
+func (s *QuantileSketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 1+8+4+8+8+8+8+8+4+len(s.buckets)*12)
+	buf = append(buf, sketchWireVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.alpha))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.maxBuckets))
+	buf = binary.LittleEndian.AppendUint64(buf, s.zero)
+	buf = binary.LittleEndian.AppendUint64(buf, s.count)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.sum))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.min))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.max))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.buckets)))
+	// Sorted keys keep the encoding deterministic for byte-equality tests.
+	for _, k := range s.sortedKeys() {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(k)))
+		buf = binary.LittleEndian.AppendUint64(buf, s.buckets[k])
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a sketch serialised by MarshalBinary, replacing
+// the receiver's state. It validates the header so corrupt checkpoint bytes
+// fail loudly instead of producing a silently wrong sketch.
+func (s *QuantileSketch) UnmarshalBinary(data []byte) error {
+	const header = 1 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 4
+	if len(data) < header {
+		return fmt.Errorf("stats: sketch blob too short (%d bytes)", len(data))
+	}
+	if data[0] != sketchWireVersion {
+		return fmt.Errorf("stats: unknown sketch version %d", data[0])
+	}
+	alpha := math.Float64frombits(binary.LittleEndian.Uint64(data[1:]))
+	if !(alpha > 0 && alpha < 1) { // also rejects NaN
+		return fmt.Errorf("stats: corrupt sketch relative error %v", alpha)
+	}
+	maxBuckets := int(binary.LittleEndian.Uint32(data[9:]))
+	if maxBuckets <= 0 {
+		return fmt.Errorf("stats: corrupt sketch bucket cap %d", maxBuckets)
+	}
+	n := int(binary.LittleEndian.Uint32(data[header-4:]))
+	if len(data) != header+n*12 {
+		return fmt.Errorf("stats: sketch blob length %d does not match %d buckets", len(data), n)
+	}
+	fresh, err := NewQuantileSketch(alpha)
+	if err != nil {
+		return err
+	}
+	fresh.maxBuckets = maxBuckets
+	fresh.zero = binary.LittleEndian.Uint64(data[13:])
+	fresh.count = binary.LittleEndian.Uint64(data[21:])
+	fresh.sum = math.Float64frombits(binary.LittleEndian.Uint64(data[29:]))
+	fresh.min = math.Float64frombits(binary.LittleEndian.Uint64(data[37:]))
+	fresh.max = math.Float64frombits(binary.LittleEndian.Uint64(data[45:]))
+	var inBuckets uint64
+	for i := 0; i < n; i++ {
+		off := header + i*12
+		k := int(int32(binary.LittleEndian.Uint32(data[off:])))
+		c := binary.LittleEndian.Uint64(data[off+4:])
+		fresh.buckets[k] = c
+		inBuckets += c
+	}
+	if inBuckets+fresh.zero != fresh.count {
+		return fmt.Errorf("stats: corrupt sketch: buckets hold %d samples, count says %d",
+			inBuckets+fresh.zero, fresh.count)
+	}
+	*s = *fresh
 	return nil
 }
 

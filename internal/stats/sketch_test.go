@@ -172,6 +172,120 @@ func TestSketchCollapseBoundsMemory(t *testing.T) {
 	}
 }
 
+// TestSketchSerializeRoundTripProperty is the checkpoint contract: for
+// random value streams across several distributions, serialize → deserialize
+// must reproduce the sketch exactly, and merging deserialized shard-halves
+// must answer every quantile within RelativeError of the original stream —
+// the property collectord's crash recovery leans on.
+func TestSketchSerializeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	draws := []func() float64{
+		func() float64 { return rng.Float64() * 1000 },
+		func() float64 { return math.Exp(4 + rng.NormFloat64()*2) },
+		func() float64 { return 5 / math.Pow(rng.Float64()+1e-9, 1.2) },
+		func() float64 { return float64(rng.Intn(3)) }, // exercises the zero bucket
+	}
+	quantiles := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+	for trial := 0; trial < 40; trial++ {
+		alpha := []float64{0.005, 0.01, 0.02, 0.05}[trial%4]
+		draw := draws[trial%len(draws)]
+		n := 1 + rng.Intn(20000)
+		whole, _ := NewQuantileSketch(alpha)
+		left, _ := NewQuantileSketch(alpha)
+		right, _ := NewQuantileSketch(alpha)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = draw()
+			whole.Add(vals[i])
+			if i%2 == 0 {
+				left.Add(vals[i])
+			} else {
+				right.Add(vals[i])
+			}
+		}
+
+		// Round trip must be exact: same counts, same quantile answers.
+		blob, err := whole.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var restored QuantileSketch
+		if err := restored.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("trial %d: unmarshal: %v", trial, err)
+		}
+		if restored.Count() != whole.Count() || restored.Sum() != whole.Sum() ||
+			restored.Min() != whole.Min() || restored.Max() != whole.Max() {
+			t.Fatalf("trial %d: exact counters differ after round trip", trial)
+		}
+		for _, q := range quantiles {
+			if restored.Quantile(q) != whole.Quantile(q) {
+				t.Fatalf("trial %d: q=%v restored %v != original %v",
+					trial, q, restored.Quantile(q), whole.Quantile(q))
+			}
+		}
+		// Determinism: re-marshalling the restored sketch is byte-identical.
+		blob2, _ := restored.MarshalBinary()
+		if string(blob) != string(blob2) {
+			t.Fatalf("trial %d: marshal not deterministic", trial)
+		}
+
+		// Deserialize two halves and Merge: quantiles within the sketch
+		// guarantee of the whole-stream original (2x for interpolation
+		// spanning adjacent buckets, as elsewhere in this file).
+		lb, _ := left.MarshalBinary()
+		rb, _ := right.MarshalBinary()
+		var lr, rr QuantileSketch
+		if err := lr.UnmarshalBinary(lb); err != nil {
+			t.Fatal(err)
+		}
+		if err := rr.UnmarshalBinary(rb); err != nil {
+			t.Fatal(err)
+		}
+		if err := lr.Merge(&rr); err != nil {
+			t.Fatalf("trial %d: merge: %v", trial, err)
+		}
+		if lr.Count() != whole.Count() {
+			t.Fatalf("trial %d: merged count %d != %d", trial, lr.Count(), whole.Count())
+		}
+		for _, q := range quantiles {
+			want := whole.Quantile(q)
+			got := lr.Quantile(q)
+			if !relClose(got, want, 2*alpha) {
+				t.Fatalf("trial %d: q=%v merged %v vs original %v (alpha %v)",
+					trial, q, got, want, alpha)
+			}
+		}
+	}
+}
+
+func TestSketchUnmarshalRejectsCorrupt(t *testing.T) {
+	s, _ := NewQuantileSketch(0.01)
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	blob, _ := s.MarshalBinary()
+	var out QuantileSketch
+	for _, tc := range [][]byte{
+		nil,
+		blob[:10],
+		append([]byte{}, blob[:len(blob)-3]...), // truncated bucket table
+	} {
+		if err := out.UnmarshalBinary(tc); err == nil {
+			t.Fatalf("corrupt blob of %d bytes accepted", len(tc))
+		}
+	}
+	bad := append([]byte{}, blob...)
+	bad[0] = 99 // unknown version
+	if err := out.UnmarshalBinary(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	bad = append([]byte{}, blob...)
+	bad[21] ^= 0xff // count no longer matches bucket totals
+	if err := out.UnmarshalBinary(bad); err == nil {
+		t.Fatal("inconsistent count accepted")
+	}
+}
+
 func TestSketchClone(t *testing.T) {
 	s, _ := NewQuantileSketch(0.01)
 	for i := 1; i <= 100; i++ {

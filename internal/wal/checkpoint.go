@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint file layout: magic (8) | CRC32C (4) | payload length (4) |
+// LSN (8) | payload. The CRC covers length, LSN and payload. The file is
+// written to a temp name, fsynced, then renamed over the live name, so a
+// crash mid-checkpoint leaves the previous checkpoint intact.
+const (
+	checkpointName    = "checkpoint"
+	checkpointTmpName = "checkpoint.tmp"
+	checkpointHdrLen  = 8 + 4 + 4 + 8
+)
+
+var checkpointMagic = [8]byte{'S', 'L', 'C', 'K', 'P', 'T', 0, 1}
+
+// ErrNoCheckpoint reports that the WAL directory holds no checkpoint yet.
+var ErrNoCheckpoint = errors.New("wal: no checkpoint")
+
+// SaveCheckpoint atomically persists a snapshot payload covering every
+// record up to and including lsn. After it returns, recovery loads this
+// payload and replays only LSNs beyond it.
+func SaveCheckpoint(fsys FS, dir string, lsn uint64, payload []byte) error {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	tmp := filepath.Join(dir, checkpointTmpName)
+	// A temp file abandoned by an earlier crash is garbage; clear the way.
+	_ = fsys.Remove(tmp)
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint create: %w", err)
+	}
+	var hdr [checkpointHdrLen]byte
+	copy(hdr[0:8], checkpointMagic[:])
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[16:24], lsn)
+	crc := crc32.Checksum(hdr[12:24], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[8:12], crc)
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, checkpointName)); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: checkpoint dir sync: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads the live checkpoint. It returns ErrNoCheckpoint when
+// none exists and a descriptive error when the file fails validation —
+// recovery should then refuse to guess rather than silently lose state.
+func LoadCheckpoint(fsys FS, dir string) (lsn uint64, payload []byte, err error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	f, err := fsys.Open(filepath.Join(dir, checkpointName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, ErrNoCheckpoint
+		}
+		return 0, nil, fmt.Errorf("wal: checkpoint open: %w", err)
+	}
+	defer f.Close()
+	var hdr [checkpointHdrLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("wal: checkpoint header: %w", err)
+	}
+	if [8]byte(hdr[0:8]) != checkpointMagic {
+		return 0, nil, errors.New("wal: checkpoint bad magic")
+	}
+	crc := binary.LittleEndian.Uint32(hdr[8:12])
+	n := binary.LittleEndian.Uint32(hdr[12:16])
+	lsn = binary.LittleEndian.Uint64(hdr[16:24])
+	if n > 1<<30 {
+		return 0, nil, fmt.Errorf("wal: checkpoint implausible payload length %d", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return 0, nil, fmt.Errorf("wal: checkpoint payload: %w", err)
+	}
+	got := crc32.Checksum(hdr[12:24], castagnoli)
+	got = crc32.Update(got, castagnoli, payload)
+	if got != crc {
+		return 0, nil, errors.New("wal: checkpoint CRC mismatch")
+	}
+	return lsn, payload, nil
+}

@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// The fault harness: failingFS wraps a real FS and hands out failingFiles
+// that can inject the three failure families crash-recovery must survive —
+// short writes, fsync errors, and crash-at-offset (bytes past a budget are
+// silently never persisted, modelling page-cache loss at power-off).
+type failingFS struct {
+	inner FS
+
+	mu sync.Mutex
+	// shortWriteAt injects one short write (partial bytes + ErrShortWrite)
+	// once the running byte count reaches this value; 0 disables.
+	shortWriteAt int64
+	// failSyncAfter makes every Sync past the first N fail; -1 disables.
+	failSyncAfter int
+	// crashAt drops every byte written past this running total, silently,
+	// when crashEnabled is set. Syncs keep succeeding: the bytes were
+	// simply never going to reach the platter.
+	crashEnabled bool
+	crashAt      int64
+	// failRename makes Rename fail (crash between checkpoint tmp write
+	// and publish).
+	failRename bool
+
+	written int64 // running bytes offered to Write across all files
+	syncs   int
+}
+
+var (
+	errInjectedSync   = errors.New("injected fsync failure")
+	errInjectedRename = errors.New("injected rename failure")
+)
+
+func newFailingFS(inner FS) *failingFS {
+	return &failingFS{inner: inner, failSyncAfter: -1}
+}
+
+func (f *failingFS) Create(name string) (File, error) {
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failingFile{fs: f, f: file}, nil
+}
+
+func (f *failingFS) OpenAppend(name string) (File, error) {
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failingFile{fs: f, f: file}, nil
+}
+
+func (f *failingFS) Open(name string) (io.ReadCloser, error) { return f.inner.Open(name) }
+func (f *failingFS) ReadDir(dir string) ([]string, error)    { return f.inner.ReadDir(dir) }
+func (f *failingFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	fail := f.failRename
+	f.mu.Unlock()
+	if fail {
+		return errInjectedRename
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+func (f *failingFS) Remove(name string) error               { return f.inner.Remove(name) }
+func (f *failingFS) Truncate(name string, size int64) error { return f.inner.Truncate(name, size) }
+func (f *failingFS) Size(name string) (int64, error)        { return f.inner.Size(name) }
+func (f *failingFS) MkdirAll(dir string) error              { return f.inner.MkdirAll(dir) }
+func (f *failingFS) SyncDir(dir string) error               { return f.inner.SyncDir(dir) }
+
+// failingFile applies the parent failingFS's fault plan to one file.
+type failingFile struct {
+	fs *failingFS
+	f  File
+}
+
+func (ff *failingFile) Write(p []byte) (int, error) {
+	fs := ff.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.shortWriteAt > 0 && fs.written+int64(len(p)) > fs.shortWriteAt {
+		n := int(fs.shortWriteAt - fs.written)
+		if n < 0 {
+			n = 0
+		}
+		if n > 0 {
+			if m, err := ff.f.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		fs.written += int64(n)
+		return n, io.ErrShortWrite
+	}
+	if fs.crashEnabled {
+		keep := fs.crashAt - fs.written
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > int64(len(p)) {
+			keep = int64(len(p))
+		}
+		if keep > 0 {
+			if m, err := ff.f.Write(p[:keep]); err != nil {
+				return m, err
+			}
+		}
+		// The caller believes the whole write landed; the tail never will.
+		fs.written += int64(len(p))
+		return len(p), nil
+	}
+	n, err := ff.f.Write(p)
+	fs.written += int64(n)
+	return n, err
+}
+
+func (ff *failingFile) Sync() error {
+	fs := ff.fs
+	fs.mu.Lock()
+	fs.syncs++
+	fail := fs.failSyncAfter >= 0 && fs.syncs > fs.failSyncAfter
+	fs.mu.Unlock()
+	if fail {
+		return errInjectedSync
+	}
+	return ff.f.Sync()
+}
+
+func (ff *failingFile) Close() error { return ff.f.Close() }

@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable handle the WAL appends segments and checkpoints
+// through. It is the injection point for the fault harness: tests wrap it to
+// produce short writes, fsync failures and crash-at-offset truncation.
+type File interface {
+	io.Writer
+	// Sync flushes the file's written bytes to stable storage.
+	Sync() error
+	Close() error
+}
+
+// FS is the slice of filesystem behaviour the WAL needs. Production uses
+// OSFS; tests substitute a failing implementation to simulate crashes and
+// IO faults without touching the kernel.
+type FS interface {
+	// Create opens a new file for writing, failing if it already exists —
+	// the WAL never overwrites a segment in place.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file for appending (recovery resumes
+	// the active segment).
+	OpenAppend(name string) (File, error)
+	// Open opens a file for reading.
+	Open(name string) (io.ReadCloser, error)
+	// ReadDir lists the file names in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// Truncate cuts name to size bytes (torn-tail removal on recovery).
+	Truncate(name string, size int64) error
+	// Size returns the current length of name in bytes.
+	Size(name string) (int64, error)
+	MkdirAll(dir string) error
+	// SyncDir fsyncs the directory so created/renamed/removed entries
+	// survive a crash.
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS, backed by the operating system.
+type OSFS struct{}
+
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+}
+
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+func (OSFS) Truncate(name string, size int64) error {
+	return os.Truncate(name, size)
+}
+
+func (OSFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,651 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"starlinkview/internal/stats"
+)
+
+// testPayload encodes one synthetic record carrying a measurement value, so
+// recovery tests can check not just counts but aggregate medians.
+func testPayload(i int, val float64) []byte {
+	return []byte(fmt.Sprintf("rec-%d,%s", i, strconv.FormatFloat(val, 'g', -1, 64)))
+}
+
+func payloadValue(t *testing.T, p []byte) float64 {
+	t.Helper()
+	_, vs, ok := strings.Cut(string(p), ",")
+	if !ok {
+		t.Fatalf("malformed test payload %q", p)
+	}
+	v, err := strconv.ParseFloat(vs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// replayAll opens dir and collects every record.
+func replayAll(t *testing.T, dir string) (*Writer, []Rec) {
+	t.Helper()
+	w, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	var recs []Rec
+	if err := w.Replay(0, func(r Rec) error {
+		recs = append(recs, Rec{LSN: r.LSN, Kind: r.Kind, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return w, recs
+}
+
+// checkPrefix asserts recs are exactly records 1..n of vals: contiguous
+// LSNs, exact count, exact values, and a sketch median within tolerance of
+// the true median of the prefix.
+func checkPrefix(t *testing.T, recs []Rec, vals []float64, n int) {
+	t.Helper()
+	if len(recs) != n {
+		t.Fatalf("recovered %d records, want %d", len(recs), n)
+	}
+	const alpha = 0.01
+	sk, _ := stats.NewQuantileSketch(alpha)
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d, want %d", i, r.LSN, i+1)
+		}
+		v := payloadValue(t, r.Payload)
+		if v != vals[i] {
+			t.Fatalf("record %d value %v, want %v", i, v, vals[i])
+		}
+		sk.Add(v)
+	}
+	if n == 0 {
+		return
+	}
+	want := stats.Quantile(vals[:n], 0.5)
+	got := sk.Quantile(0.5)
+	if math.Abs(got-want) > 2*alpha*want+1e-9 {
+		t.Fatalf("recovered median %v vs true %v beyond sketch tolerance", got, want)
+	}
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// activeSegment returns the path of the highest-LSN segment in dir.
+func activeSegment(t testing.TB, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range ents {
+		if _, ok := parseSegmentName(e.Name()); ok && e.Name() > last {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		t.Fatal("no segment files")
+	}
+	return filepath.Join(dir, last)
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 500
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 10 + rng.Float64()*990
+		lsn, err := w.Append(byte(1+i%2), testPayload(i, vals[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn %d, want %d", lsn, i+1)
+		}
+	}
+	if err := w.Commit(w.AppendedLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.DurableLSN(); got != n {
+		t.Fatalf("durable %d, want %d", got, n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs := replayAll(t, dir)
+	checkPrefix(t, recs, vals, n)
+	rec := w2.Recovery()
+	if rec.Records != n || rec.FirstLSN != 1 || rec.LastLSN != n || rec.TornBytes != 0 {
+		t.Fatalf("recovery stats %+v", rec)
+	}
+	// The log stays usable: append past the recovered tail and read back.
+	if _, err := w2.Append(1, testPayload(n, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs = replayAll(t, dir)
+	if len(recs) != n+1 || recs[n].LSN != n+1 {
+		t.Fatalf("after reopen-append: %d records, last LSN %d", len(recs), recs[len(recs)-1].LSN)
+	}
+}
+
+func TestWALGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Config{Dir: dir, FsyncInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent committers all block until the shared background fsync
+	// covers them, then everything is durable.
+	const workers, each = 8, 50
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		go func(g int) {
+			for i := 0; i < each; i++ {
+				lsn, err := w.Append(1, testPayload(g*each+i, float64(i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := w.Commit(lsn); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < workers; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.DurableLSN != workers*each || st.AppendedLSN != workers*each {
+		t.Fatalf("stats %+v", st)
+	}
+	// Group commit must batch: far fewer fsyncs than commits.
+	if st.Syncs >= workers*each/2 {
+		t.Fatalf("%d fsyncs for %d commits — group commit not batching", st.Syncs, workers*each)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := replayAll(t, dir)
+	if len(recs) != workers*each {
+		t.Fatalf("recovered %d records, want %d", len(recs), workers*each)
+	}
+}
+
+func TestWALRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Config{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const n = 200
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+		if _, err := w.Append(1, testPayload(i, vals[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	// Checkpoint at LSN 120, prune, and confirm replay-from-checkpoint
+	// still yields exactly the tail.
+	const ckpt = 120
+	if err := SaveCheckpoint(nil, dir, ckpt, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	before := w.Stats().Segments
+	if err := w.Prune(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if after := w.Stats().Segments; after >= before {
+		t.Fatalf("prune removed nothing (%d -> %d segments)", before, after)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(Config{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	lsn, payload, err := LoadCheckpoint(nil, dir)
+	if err != nil || lsn != ckpt || string(payload) != "state" {
+		t.Fatalf("checkpoint load: lsn=%d payload=%q err=%v", lsn, payload, err)
+	}
+	var got []Rec
+	if err := w2.Replay(lsn, func(r Rec) error {
+		got = append(got, Rec{LSN: r.LSN, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n-ckpt || got[0].LSN != ckpt+1 || got[len(got)-1].LSN != n {
+		t.Fatalf("replay from checkpoint: %d records, LSNs %d..%d",
+			len(got), got[0].LSN, got[len(got)-1].LSN)
+	}
+	for i, r := range got {
+		if payloadValue(t, r.Payload) != vals[ckpt+i] {
+			t.Fatalf("tail record %d wrong value", i)
+		}
+	}
+}
+
+// TestWALCrashAtEverySyncBoundary is the tentpole's core guarantee: kill
+// the log at every fsync boundary — clean, with a torn half-written frame,
+// or with a corrupted full frame — and recovery must restore exactly the
+// durably-committed prefix: exact counts, exact values, sketch-tolerance
+// medians, and a log that accepts appends again.
+func TestWALCrashAtEverySyncBoundary(t *testing.T) {
+	live := filepath.Join(t.TempDir(), "live")
+	// Small segments so the boundary sweep crosses several rotations.
+	w, err := Open(Config{Dir: live, SegmentBytes: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const n = 60
+	vals := make([]float64, n)
+	snaps := make([]string, n)
+	snapRoot := t.TempDir()
+	for i := 0; i < n; i++ {
+		vals[i] = 50 + rng.Float64()*500
+		lsn, err := w.Append(1, testPayload(i, vals[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+		// The on-disk state at this instant is a crash image: everything
+		// committed so far is durable, nothing else exists.
+		snaps[i] = filepath.Join(snapRoot, fmt.Sprintf("crash-%03d", i))
+		copyDir(t, live, snaps[i])
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each tamper simulates what a crash can leave after the boundary.
+	tampers := []struct {
+		name string
+		fn   func(t *testing.T, dir string)
+	}{
+		{"clean", func(t *testing.T, dir string) {}},
+		{"torn-header", func(t *testing.T, dir string) {
+			appendBytes(t, activeSegment(t, dir), []byte{0x1d, 0x00, 0x00}) // 3 of 8 header bytes
+		}},
+		{"torn-body", func(t *testing.T, dir string) {
+			// A full frame header promising 29 body bytes, then only 5.
+			frame := []byte{29, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5}
+			appendBytes(t, activeSegment(t, dir), frame)
+		}},
+		{"corrupt-crc", func(t *testing.T, dir string) {
+			// A complete, well-formed frame whose CRC does not match.
+			var buf bytes.Buffer
+			buf.Write([]byte{10, 0, 0, 0}) // length: 9 fixed + 1 payload
+			buf.Write([]byte{0, 0, 0, 0})  // wrong CRC
+			buf.Write([]byte{9, 0, 0, 0, 0, 0, 0, 0, 1, 'x'})
+			appendBytes(t, activeSegment(t, dir), buf.Bytes())
+		}},
+		{"garbage", func(t *testing.T, dir string) {
+			appendBytes(t, activeSegment(t, dir), bytes.Repeat([]byte{0xff}, 137))
+		}},
+	}
+	for i := 0; i < n; i++ {
+		for _, tamper := range tampers {
+			dir := filepath.Join(snapRoot, fmt.Sprintf("case-%03d-%s", i, tamper.name))
+			copyDir(t, snaps[i], dir)
+			tamper.fn(t, dir)
+			w, recs := replayAll(t, dir)
+			checkPrefix(t, recs, vals, i+1)
+			if tamper.name != "clean" && w.Recovery().TornBytes == 0 {
+				t.Fatalf("crash %d %s: tear not detected", i, tamper.name)
+			}
+			// The recovered log must keep working: the next record gets
+			// the next LSN and survives its own cycle.
+			lsn, err := w.Append(1, testPayload(1000, 123))
+			if err != nil {
+				t.Fatalf("crash %d %s: append after recovery: %v", i, tamper.name, err)
+			}
+			if lsn != uint64(i+2) {
+				t.Fatalf("crash %d %s: resumed at LSN %d, want %d", i, tamper.name, lsn, i+2)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("crash %d %s: close: %v", i, tamper.name, err)
+			}
+		}
+	}
+}
+
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALCrashAtEveryByte sweeps power-loss through every byte offset of a
+// small log using the crash-at-offset fault: writes past the budget are
+// silently lost, exactly like a dirty page cache at power-off. Recovery
+// must always produce the maximal fully-persisted prefix.
+func TestWALCrashAtEveryByte(t *testing.T) {
+	// First, a golden run to learn each record's cumulative byte offset.
+	golden := filepath.Join(t.TempDir(), "golden")
+	w, err := Open(Config{Dir: golden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	const n = 20
+	vals := make([]float64, n)
+	ends := make([]int64, n) // bytes written through record i (incl. header)
+	for i := range vals {
+		vals[i] = 100 + rng.Float64()*900
+		if _, err := w.Append(1, testPayload(i, vals[i])); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		ends[i] = segmentHeaderLen + w.Stats().AppendedBytes
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for budget := int64(0); budget <= ends[n-1]; budget++ {
+		dir := filepath.Join(t.TempDir(), "crash")
+		ffs := newFailingFS(OSFS{})
+		ffs.crashEnabled = true
+		ffs.crashAt = budget
+		cw, err := Open(Config{Dir: dir, FS: ffs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if _, err := cw.Append(1, testPayload(i, vals[i])); err != nil {
+				t.Fatal(err)
+			}
+			// The in-process writer believes this commits; the "machine"
+			// has already died at the budget.
+			if err := cw.Commit(uint64(i + 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = cw.Close()
+
+		want := 0
+		for i := range ends {
+			if ends[i] <= budget {
+				want = i + 1
+			}
+		}
+		rw, recs := replayAll(t, dir)
+		checkPrefix(t, recs, vals, want)
+		if err := rw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALFaultTable drives the remaining injected faults: short writes and
+// fsync failures must surface as Commit errors, poison the writer so
+// nothing further is falsely acknowledged, and leave every previously
+// committed record recoverable.
+func TestWALFaultTable(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 10 + rng.Float64()*90
+	}
+	cases := []struct {
+		name   string
+		inject func(f *failingFS)
+	}{
+		{"short-write", func(f *failingFS) { f.shortWriteAt = 400 }},
+		// One sync opens the first segment; fail everything after the
+		// tenth record's commit.
+		{"fsync-error", func(f *failingFS) { f.failSyncAfter = 11 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := newFailingFS(OSFS{})
+			tc.inject(ffs)
+			w, err := Open(Config{Dir: dir, FS: ffs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed := 0
+			var failAt int
+			for i := 0; i < n; i++ {
+				failAt = i
+				if _, err := w.Append(1, testPayload(i, vals[i])); err != nil {
+					break
+				}
+				if err := w.Commit(uint64(i + 1)); err != nil {
+					break
+				}
+				committed = i + 1
+			}
+			if committed == n {
+				t.Fatal("fault never fired")
+			}
+			// Sticky failure: the writer must refuse all further work.
+			if _, err := w.Append(1, testPayload(999, 1)); err == nil {
+				t.Fatal("append succeeded on a poisoned writer")
+			}
+			if err := w.Commit(uint64(failAt + 1)); err == nil {
+				t.Fatal("commit succeeded on a poisoned writer")
+			}
+			_ = w.Close()
+
+			// Every record committed before the fault is recoverable; the
+			// recovered set is a clean prefix (possibly a little longer
+			// than the committed count when bytes landed without an ack).
+			rw, recs := replayAll(t, dir)
+			defer rw.Close()
+			if len(recs) < committed {
+				t.Fatalf("recovered %d records, committed %d", len(recs), committed)
+			}
+			checkPrefix(t, recs, vals, len(recs))
+		})
+	}
+}
+
+func TestCheckpointAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LoadCheckpoint(nil, dir); err != ErrNoCheckpoint {
+		t.Fatalf("empty dir: %v", err)
+	}
+	if err := SaveCheckpoint(nil, dir, 77, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash between the tmp write and the rename must leave the previous
+	// checkpoint untouched.
+	ffs := newFailingFS(OSFS{})
+	ffs.failRename = true
+	if err := SaveCheckpoint(ffs, dir, 99, []byte("second")); err == nil {
+		t.Fatal("rename fault not surfaced")
+	}
+	lsn, payload, err := LoadCheckpoint(nil, dir)
+	if err != nil || lsn != 77 || string(payload) != "first" {
+		t.Fatalf("after failed save: lsn=%d payload=%q err=%v", lsn, payload, err)
+	}
+	// The abandoned tmp file must not block the next save.
+	if err := SaveCheckpoint(nil, dir, 99, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	lsn, payload, err = LoadCheckpoint(nil, dir)
+	if err != nil || lsn != 99 || string(payload) != "second" {
+		t.Fatalf("after retry: lsn=%d payload=%q err=%v", lsn, payload, err)
+	}
+
+	// Bit rot anywhere in the file must be detected, never half-trusted.
+	raw, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 9, 13, 17, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		if err := os.WriteFile(filepath.Join(dir, checkpointName), bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadCheckpoint(nil, dir); err == nil {
+			t.Fatalf("corruption at byte %d accepted", off)
+		}
+	}
+}
+
+func TestReadSegmentRejectsDamage(t *testing.T) {
+	// Build one valid segment in memory via a real writer.
+	dir := t.TempDir()
+	w, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(1, testPayload(i, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(activeSegment(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	count := func(data []byte) (int, error) {
+		n := 0
+		_, err := ReadSegment(bytes.NewReader(data), func(Rec) error { n++; return nil })
+		return n, err
+	}
+	if n, err := count(raw); n != 10 || err != nil {
+		t.Fatalf("intact segment: %d records, %v", n, err)
+	}
+	if _, err := count(raw[:3]); err == nil {
+		t.Fatal("short magic accepted")
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[2] ^= 0xff
+	if _, err := count(flipped); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Implausible frame length.
+	huge := append([]byte(nil), raw[:segmentHeaderLen]...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
+	if _, err := count(huge); err == nil {
+		t.Fatal("implausible length accepted")
+	}
+	// fn error propagates verbatim.
+	sentinel := fmt.Errorf("stop")
+	if _, err := ReadSegment(bytes.NewReader(raw), func(Rec) error { return sentinel }); err != sentinel {
+		t.Fatalf("fn error not propagated: %v", err)
+	}
+}
+
+func TestReplayDirStopsAtTear(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Config{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := w.Append(1, testPayload(i, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	appendBytes(t, activeSegment(t, dir), []byte{1, 2, 3})
+	var lsns []uint64
+	if err := ReplayDir(nil, dir, 10, func(r Rec) error {
+		lsns = append(lsns, r.LSN)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 40 || lsns[0] != 11 || lsns[len(lsns)-1] != 50 {
+		t.Fatalf("ReplayDir after=10 over torn dir: %d records %v..%v",
+			len(lsns), lsns[0], lsns[len(lsns)-1])
+	}
+}
+
+func TestWALRejectsOversizedPayload(t *testing.T) {
+	w, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(1, make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if _, err := w.Append(1, nil); err != nil {
+		t.Fatalf("empty payload rejected: %v", err)
+	}
+}
+
+var _ io.Writer = (*failingFile)(nil) // the harness is a real File
