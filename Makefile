@@ -32,5 +32,12 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadNodeJSON -fuzztime=$(FUZZTIME) ./internal/dataset/
 	$(GO) test -run=^$$ -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/tle/
 
+# Benchmark pass: run the collector/WAL benchmarks and write the results
+# as a machine-readable artifact. BENCH_collector.json is the baseline the
+# ingest hot path is held to (BenchmarkCollectorIngest must not regress).
+BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . | tee bench.out
+	$(GO) run ./tools/benchjson < bench.out > BENCH_collector.json
+	@rm -f bench.out
+	@echo "wrote BENCH_collector.json"

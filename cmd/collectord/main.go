@@ -10,12 +10,19 @@
 // checkpoints bound recovery time, and a restart with the same -wal-dir
 // resumes from exactly the acknowledged state — kill -9 included.
 //
+// Observability: GET /metrics serves the full registry in Prometheus text
+// exposition format (ingest, WAL, HTTP and Go runtime series); GET /healthz
+// answers 200 while the collector can still make ingest durable and 503
+// once a failed fsync has poisoned the WAL writer. With -pprof-addr set, a
+// side listener serves net/http/pprof (CPU/heap profiles, execution
+// traces) without exposing it on the ingest port.
+//
 // Usage:
 //
 //	collectord [-addr 127.0.0.1:8787] [-shards 4] [-queue 1024]
 //	           [-policy block|drop] [-relerr 0.01]
 //	           [-wal-dir DIR] [-fsync-interval 2ms] [-segment-bytes 67108864]
-//	           [-checkpoint-interval 30s]
+//	           [-checkpoint-interval 30s] [-pprof-addr 127.0.0.1:6060]
 //	collectord -wal-dump -wal-dir DIR   # dump the log as dataset rows
 package main
 
@@ -24,6 +31,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -32,6 +42,7 @@ import (
 
 	"starlinkview/internal/collector"
 	"starlinkview/internal/dataset"
+	"starlinkview/internal/obs"
 	"starlinkview/internal/wal"
 )
 
@@ -48,6 +59,7 @@ func main() {
 		segmentBytes = flag.Int64("segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation size")
 		ckptIval     = flag.Duration("checkpoint-interval", 30*time.Second, "shard-snapshot checkpoint interval (0 = only on shutdown)")
 		walDump      = flag.Bool("wal-dump", false, "dump the WAL at -wal-dir as dataset rows and exit")
+		pprofAddr    = flag.String("pprof-addr", "", "if set, serve net/http/pprof on this side address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
 
@@ -65,8 +77,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
 	srv, err := collector.OpenServer(collector.Config{
 		Shards: *shards, QueueLen: *queue, Policy: pol, SketchRelErr: *relerr,
+		Registry: reg,
 		WAL: collector.WALConfig{
 			Dir:                *walDir,
 			FsyncInterval:      *fsyncIval,
@@ -79,6 +94,11 @@ func main() {
 	}
 	if err := srv.Start(*addr); err != nil {
 		fatal(err)
+	}
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("collectord: listening on %s (%d shards, queue %d, policy %s)\n",
 		srv.Addr(), *shards, *queue, pol)
@@ -129,6 +149,29 @@ func main() {
 		fmt.Printf("node %-15s %-10s n=%-6d down p50 %.1f Mbps  p95 %.1f Mbps  loss %.2f%%\n",
 			n.Node, n.Kind, n.Count, n.P50Down, n.P95Down, n.MeanLossPct)
 	}
+}
+
+// servePprof starts the opt-in profiling side server. It registers the
+// pprof handlers on a private mux — never on the ingest mux — so profiles
+// and execution traces are reachable only via -pprof-addr.
+func servePprof(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listen: %w", err)
+	}
+	fmt.Printf("collectord: pprof on http://%s/debug/pprof/\n", lis.Addr())
+	go func() {
+		if err := http.Serve(lis, mux); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "collectord: pprof:", err)
+		}
+	}()
+	return nil
 }
 
 // dumpWAL prints the log's payloads to stdout in append order — the WAL

@@ -7,14 +7,23 @@
 //
 //	loadgen [-addr 127.0.0.1:8787] [-users 8] [-rate 100000] [-duration 10s]
 //	        [-batch 1000] [-days 10] [-seed 1]
+//	loadgen -scrape [-scrape-interval 2s] [-duration 0]
 //
 // A rate of 0 removes the pacing and measures the sustainable maximum.
+//
+// With -scrape, loadgen generates no load: it polls the server's /metrics
+// endpoint instead and prints per-interval deltas — ingest rate, drop rate,
+// fsyncs per acknowledged batch (the group-commit sharing factor), and the
+// interval p50/p99 ingest-ack latency recovered from the histogram buckets.
+// Run it beside a sending loadgen (or any real clients) as a live console.
+// A -duration of 0 scrapes until interrupted.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"sync"
@@ -22,6 +31,7 @@ import (
 
 	"starlinkview/internal/collector"
 	"starlinkview/internal/core"
+	"starlinkview/internal/obs"
 	"starlinkview/internal/stats"
 )
 
@@ -34,8 +44,18 @@ func main() {
 		batch    = flag.Int("batch", 1000, "records per POST")
 		days     = flag.Int("days", 10, "length of the generated campaign being replayed")
 		seed     = flag.Int64("seed", 1, "campaign seed")
+
+		scrape     = flag.Bool("scrape", false, "poll /metrics and print deltas instead of generating load")
+		scrapeIval = flag.Duration("scrape-interval", 2*time.Second, "polling interval in -scrape mode")
 	)
 	flag.Parse()
+
+	if *scrape {
+		if err := scrapeLoop("http://"+*addr, *scrapeIval, *duration); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *users <= 0 {
 		fatal(fmt.Errorf("need at least one user"))
 	}
@@ -168,6 +188,94 @@ func replay(base string, payloads []payload, offset int, rate float64, deadline 
 		err = cerr
 	}
 	return workerResult{stats: client.Stats(), err: err}
+}
+
+// metricsSnap is one /metrics poll reduced to the counters the console
+// tracks, plus the ack-latency histogram's cumulative buckets.
+type metricsSnap struct {
+	at       time.Time
+	accepted float64
+	dropped  float64
+	fsyncs   float64
+	acks     float64
+	queue    float64
+	bounds   []float64
+	cum      []uint64
+}
+
+func fetchMetrics(base string) (metricsSnap, error) {
+	resp, err := http.Get(base + collector.PathMetrics)
+	if err != nil {
+		return metricsSnap{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return metricsSnap{}, fmt.Errorf("GET %s: %s", collector.PathMetrics, resp.Status)
+	}
+	ss, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return metricsSnap{}, err
+	}
+	snap := metricsSnap{
+		at:       time.Now(),
+		accepted: ss.Sum("ingest_records_total", nil),
+		dropped:  ss.Sum("ingest_dropped_records_total", nil),
+		fsyncs:   ss.Sum("wal_fsyncs_total", nil),
+		acks:     ss.Sum("ingest_ack_latency_seconds_count", nil),
+		queue:    ss.Sum("collector_shard_queue_depth", nil),
+	}
+	snap.bounds, snap.cum = ss.BucketCounts("ingest_ack_latency_seconds", nil)
+	return snap, nil
+}
+
+// scrapeLoop polls /metrics every interval and prints the deltas. Rates
+// come from counter differences; the interval ack-latency percentiles come
+// from subtracting consecutive cumulative bucket vectors — the same
+// subtraction PromQL's rate() performs before histogram_quantile.
+func scrapeLoop(base string, interval, duration time.Duration) error {
+	prev, err := fetchMetrics(base)
+	if err != nil {
+		return err
+	}
+	var deadline time.Time
+	if duration > 0 {
+		deadline = time.Now().Add(duration)
+	}
+	fmt.Printf("scraping %s%s every %v\n", base, collector.PathMetrics, interval)
+	fmt.Printf("%8s %8s %9s %11s %7s %10s %10s\n",
+		"rec/s", "batch/s", "drop%", "fsync/batch", "queue", "ack p50", "ack p99")
+	for {
+		time.Sleep(interval)
+		cur, err := fetchMetrics(base)
+		if err != nil {
+			return err
+		}
+		dt := cur.at.Sub(prev.at).Seconds()
+		dAcc := cur.accepted - prev.accepted
+		dDrop := cur.dropped - prev.dropped
+		dAcks := cur.acks - prev.acks
+		dFsync := cur.fsyncs - prev.fsyncs
+
+		dropPct := 0.0
+		if dAcc+dDrop > 0 {
+			dropPct = 100 * dDrop / (dAcc + dDrop)
+		}
+		fsyncPerBatch := math.NaN()
+		if dAcks > 0 {
+			fsyncPerBatch = dFsync / dAcks
+		}
+		p50, p99 := math.NaN(), math.NaN()
+		if d := obs.SubCounts(cur.bounds, cur.cum, prev.cum); d != nil {
+			p50 = obs.HistogramQuantile(0.50, cur.bounds, d)
+			p99 = obs.HistogramQuantile(0.99, cur.bounds, d)
+		}
+		fmt.Printf("%8.0f %8.1f %8.3f%% %11.2f %7.0f %9.2fms %9.2fms\n",
+			dAcc/dt, dAcks/dt, dropPct, fsyncPerBatch, cur.queue, p50*1e3, p99*1e3)
+		prev = cur
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil
+		}
+	}
 }
 
 func getJSON(url string, v any) error {

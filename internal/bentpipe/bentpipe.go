@@ -144,6 +144,9 @@ type Config struct {
 	HandoverInterval time.Duration
 	// Seed drives the link's stochastic processes.
 	Seed int64
+	// Metrics, if non-nil, publishes handover/loss-window counters and
+	// capacity gauges (see NewMetrics). Nil keeps the model unmetered.
+	Metrics *Metrics
 }
 
 // LinkState is an analytic snapshot of the link at one instant.
@@ -329,6 +332,7 @@ func (b *BentPipe) reselect(t time.Duration) {
 	if b.rng.Float64() < softHandoverProb {
 		if next := b.best(t); next != nil && next != b.serving {
 			b.handoverSeen++
+			b.cfg.Metrics.softHandover()
 			b.serving = next
 			b.startSpike(t, time.Duration(80+b.rng.Intn(170))*time.Millisecond, softHandoverLoss)
 		}
@@ -341,9 +345,11 @@ func (b *BentPipe) reselect(t time.Duration) {
 func (b *BentPipe) losExit(t time.Duration) {
 	b.handoverSeen++
 	b.hardSeen++
+	b.cfg.Metrics.hardHandover()
 	b.serving = b.best(t)
 	if b.serving == nil {
 		// Nothing visible at all: hard outage until the next slot.
+		b.cfg.Metrics.outage()
 		b.startSpike(t, b.cfg.HandoverInterval, outageLoss)
 		return
 	}
@@ -355,6 +361,7 @@ func (b *BentPipe) losExit(t time.Duration) {
 
 // startSpike opens a short high-loss window.
 func (b *BentPipe) startSpike(t, dur time.Duration, loss float64) {
+	b.cfg.Metrics.spike()
 	if until := t + dur; until > b.spikeUntil {
 		b.spikeUntil = until
 		b.spikeLoss = loss
@@ -363,6 +370,7 @@ func (b *BentPipe) startSpike(t, dur time.Duration, loss float64) {
 
 // startDegraded opens a moderate-loss window with a heavy-tailed loss rate.
 func (b *BentPipe) startDegraded(t, dur time.Duration) {
+	b.cfg.Metrics.degraded()
 	loss := 0.02 + b.rng.ExpFloat64()*0.06
 	if loss > 0.35 {
 		loss = 0.35
@@ -475,6 +483,7 @@ func (b *BentPipe) refresh(t time.Duration) {
 	}
 
 	b.state = st
+	b.cfg.Metrics.observeState(st)
 	b.validUntil = t + stateRefresh
 	if b.spikeUntil > t && b.spikeUntil < b.validUntil {
 		b.validUntil = b.spikeUntil // re-evaluate at spike end

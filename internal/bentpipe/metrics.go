@@ -1,0 +1,100 @@
+package bentpipe
+
+import (
+	"starlinkview/internal/obs"
+)
+
+// Metrics publishes the link model's behaviour to an obs.Registry: how
+// often the terminal hands over (and how often the hard way, through a
+// line-of-sight loss), the loss windows those transitions open, and the
+// capacity/utilisation state the scheduler saw last. One Metrics value can
+// be shared by several BentPipe instances (a multi-terminal experiment);
+// the counters then aggregate across terminals and the gauges track
+// whichever link refreshed last.
+type Metrics struct {
+	softHandovers *obs.Counter // bentpipe_handovers_total{type="soft"}
+	hardHandovers *obs.Counter // bentpipe_handovers_total{type="hard"}
+	outages       *obs.Counter // bentpipe_outages_total
+	spikeWindows  *obs.Counter // bentpipe_loss_windows_total{kind="spike"}
+	degWindows    *obs.Counter // bentpipe_loss_windows_total{kind="degraded"}
+
+	downCapacity *obs.Gauge // bentpipe_down_capacity_bits_per_second
+	upCapacity   *obs.Gauge // bentpipe_up_capacity_bits_per_second
+	utilization  *obs.Gauge // bentpipe_cell_utilization_ratio
+	lossProb     *obs.Gauge // bentpipe_loss_probability_ratio
+	attenuation  *obs.Gauge // bentpipe_weather_attenuation_decibels
+}
+
+// NewMetrics registers the bent-pipe metric families on reg and resolves
+// the label children once, so the per-refresh cost is atomic stores only.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	handovers := reg.CounterVec("bentpipe_handovers_total",
+		"Serving-satellite changes; soft are planned slot reassignments, hard follow a line-of-sight loss.",
+		"type")
+	windows := reg.CounterVec("bentpipe_loss_windows_total",
+		"Loss windows opened: short near-total spikes and longer degraded tails.",
+		"kind")
+	return &Metrics{
+		softHandovers: handovers.With("soft"),
+		hardHandovers: handovers.With("hard"),
+		outages: reg.Counter("bentpipe_outages_total",
+			"Intervals with no usable satellite at all (search until the next slot)."),
+		spikeWindows: windows.With("spike"),
+		degWindows:   windows.With("degraded"),
+		downCapacity: reg.Gauge("bentpipe_down_capacity_bits_per_second",
+			"Current usable downlink capacity after load share and rain fade."),
+		upCapacity: reg.Gauge("bentpipe_up_capacity_bits_per_second",
+			"Current usable uplink capacity after load share and rain fade."),
+		utilization: reg.Gauge("bentpipe_cell_utilization_ratio",
+			"Diurnal cell utilisation in [0, 0.95]."),
+		lossProb: reg.Gauge("bentpipe_loss_probability_ratio",
+			"Instantaneous random-loss probability on the link."),
+		attenuation: reg.Gauge("bentpipe_weather_attenuation_decibels",
+			"Rain-fade path attenuation including radome wetting."),
+	}
+}
+
+// The increment hooks are nil-safe so the model body can call them
+// unconditionally; an unmetered BentPipe carries a nil *Metrics.
+
+func (m *Metrics) softHandover() {
+	if m != nil {
+		m.softHandovers.Inc()
+	}
+}
+
+func (m *Metrics) hardHandover() {
+	if m != nil {
+		m.hardHandovers.Inc()
+	}
+}
+
+func (m *Metrics) outage() {
+	if m != nil {
+		m.outages.Inc()
+	}
+}
+
+func (m *Metrics) spike() {
+	if m != nil {
+		m.spikeWindows.Inc()
+	}
+}
+
+func (m *Metrics) degraded() {
+	if m != nil {
+		m.degWindows.Inc()
+	}
+}
+
+// observeState mirrors the freshly computed link state into the gauges.
+func (m *Metrics) observeState(st LinkState) {
+	if m == nil {
+		return
+	}
+	m.downCapacity.Set(st.DownCapacityBps)
+	m.upCapacity.Set(st.UpCapacityBps)
+	m.utilization.Set(st.Utilization)
+	m.lossProb.Set(st.LossProb)
+	m.attenuation.Set(st.AttenuationDB)
+}

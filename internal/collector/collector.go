@@ -30,6 +30,7 @@ import (
 
 	"starlinkview/internal/dataset"
 	"starlinkview/internal/extension"
+	"starlinkview/internal/obs"
 	"starlinkview/internal/stats"
 	"starlinkview/internal/wal"
 )
@@ -81,6 +82,10 @@ type Config struct {
 	// SketchRelErr is the quantile sketches' guaranteed relative error
 	// (default stats.DefaultSketchRelErr, 1%).
 	SketchRelErr float64
+	// Registry receives every metric the collector exposes (nil allocates
+	// a private registry). One registry serves one aggregator: sharing a
+	// registry between aggregators would merge their per-shard series.
+	Registry *obs.Registry
 	// WAL, when Dir is set, makes ingest durable: records are logged
 	// before they are enqueued and recovered on the next start. Requires
 	// the Block policy — with DropNewest, a logged-then-shed record would
@@ -101,6 +106,9 @@ func (c *Config) normalize() {
 	}
 	if c.SketchRelErr <= 0 {
 		c.SketchRelErr = stats.DefaultSketchRelErr
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
 	}
 }
 
@@ -125,6 +133,8 @@ type item struct {
 type Aggregator struct {
 	cfg    Config
 	shards []*shard
+	met    *metrics
+	ready  atomic.Bool
 
 	// mu orders Offer/Snapshot (read side) against Close and Checkpoint
 	// (write side), so channels are never sent on after they are closed
@@ -136,7 +146,6 @@ type Aggregator struct {
 	// Durability (nil / zero without a WAL).
 	wal         *wal.Writer
 	walRecovery WALRecovery
-	ckptCount   atomic.Uint64
 	ckptLSN     atomic.Uint64
 	ckptStop    chan struct{}
 	ckptDone    chan struct{}
@@ -160,9 +169,9 @@ func NewAggregator(cfg Config) *Aggregator {
 // that was durable before the previous crash or shutdown.
 func OpenAggregator(cfg Config) (*Aggregator, error) {
 	cfg.normalize()
-	a := &Aggregator{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	a := &Aggregator{cfg: cfg, shards: make([]*shard, cfg.Shards), met: newMetrics(cfg.Registry)}
 	for i := range a.shards {
-		a.shards[i] = newShard(i, cfg)
+		a.shards[i] = newShard(i, cfg, a.met)
 	}
 	if cfg.WAL.Dir != "" {
 		if cfg.Policy != Block {
@@ -173,6 +182,7 @@ func OpenAggregator(cfg Config) (*Aggregator, error) {
 			SegmentBytes:  cfg.WAL.SegmentBytes,
 			FsyncInterval: cfg.WAL.FsyncInterval,
 			FS:            cfg.WAL.FS,
+			Instr:         a.met.walInstrumentation(),
 		})
 		if err != nil {
 			return nil, err
@@ -182,6 +192,7 @@ func OpenAggregator(cfg Config) (*Aggregator, error) {
 			w.Close()
 			return nil, err
 		}
+		a.met.setRecovery(a.walRecovery)
 	}
 	for i := range a.shards {
 		a.wg.Add(1)
@@ -192,7 +203,69 @@ func OpenAggregator(cfg Config) (*Aggregator, error) {
 		a.ckptDone = make(chan struct{})
 		go a.checkpointLoop()
 	}
+	// Scrape-time gauges: queue depths change record to record; the WAL's
+	// positions live behind its mutex. Both are read on demand instead of
+	// being pushed per event.
+	cfg.Registry.OnGather(a.gatherGauges)
+	a.ready.Store(true)
 	return a, nil
+}
+
+// gatherGauges refreshes the scrape-time gauges. It runs on every
+// /metrics render and is safe whatever the aggregator's lifecycle state.
+func (a *Aggregator) gatherGauges() {
+	for _, sh := range a.shards {
+		sh.met.queueDepth.Set(float64(len(sh.ch)))
+	}
+	if err := a.Health(); err == nil {
+		a.met.ready.Set(1)
+	} else {
+		a.met.ready.Set(0)
+	}
+	if a.wal != nil {
+		ws := a.wal.Stats()
+		a.met.walSegments.Set(float64(ws.Segments))
+		a.met.walAppendedLSN.Set(float64(ws.AppendedLSN))
+		a.met.walDurableLSN.Set(float64(ws.DurableLSN))
+		a.met.walCheckpointLSN.Set(float64(a.ckptLSN.Load()))
+	}
+}
+
+// Registry returns the registry holding the aggregator's metrics.
+func (a *Aggregator) Registry() *obs.Registry { return a.cfg.Registry }
+
+// Health reports whether the aggregator can uphold its ingest contract:
+// nil once startup recovery completed, and an error when the WAL writer
+// has been poisoned by an IO failure (nothing further will be
+// acknowledged, so load balancers should stop routing here).
+func (a *Aggregator) Health() error {
+	if !a.ready.Load() {
+		return errors.New("collector: recovery in progress")
+	}
+	if a.wal != nil {
+		if err := a.wal.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats derives the ingest counters from the metrics registry — the same
+// series /metrics exposes, so the JSON and Prometheus views cannot
+// disagree. Unlike Snapshot it copies no aggregate state.
+func (a *Aggregator) Stats() StatsReply {
+	var reply StatsReply
+	for _, sh := range a.shards {
+		st := sh.stats()
+		reply.Accepted += st.Accepted
+		reply.Dropped += st.Dropped
+		reply.Processed += st.Processed
+		reply.Shards = append(reply.Shards, st)
+	}
+	if ws := a.WALStats(); ws.Enabled {
+		reply.WAL = &ws
+	}
+	return reply
 }
 
 // Config returns the normalised configuration.
@@ -223,7 +296,7 @@ func (a *Aggregator) offer(sh *shard, it item) bool {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	if a.closed {
-		sh.dropped.Add(1)
+		sh.met.dropped[it.kind].Inc()
 		return false
 	}
 	// Log before enqueue: once a record can reach the aggregates it is in
@@ -231,22 +304,22 @@ func (a *Aggregator) offer(sh *shard, it item) bool {
 	// ack is the caller's job (SyncWAL) — group commit batches the fsync.
 	if a.wal != nil {
 		if _, err := a.appendWAL(it); err != nil {
-			sh.dropped.Add(1)
+			sh.met.dropped[it.kind].Inc()
 			return false
 		}
 	}
 	it.enqueued = time.Now()
 	if a.cfg.Policy == Block {
 		sh.ch <- it
-		sh.accepted.Add(1)
+		sh.met.accepted[it.kind].Inc()
 		return true
 	}
 	select {
 	case sh.ch <- it:
-		sh.accepted.Add(1)
+		sh.met.accepted[it.kind].Inc()
 		return true
 	default:
-		sh.dropped.Add(1)
+		sh.met.dropped[it.kind].Inc()
 		return false
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"starlinkview/internal/dataset"
@@ -21,6 +22,8 @@ const (
 	PathIngestNode      = "/ingest/node"
 	PathSnapshot        = "/snapshot"
 	PathStats           = "/stats"
+	PathMetrics         = "/metrics"
+	PathHealthz         = "/healthz"
 
 	extensionContentType = "text/csv"
 	nodeContentType      = "application/x-ndjson"
@@ -61,12 +64,40 @@ func OpenServer(cfg Config) (*Server, error) {
 	}
 	s := &Server{agg: agg, err: make(chan error, 1)}
 	mux := http.NewServeMux()
-	mux.HandleFunc(PathIngestExtension, s.handleIngestExtension)
-	mux.HandleFunc(PathIngestNode, s.handleIngestNode)
-	mux.HandleFunc(PathSnapshot, s.handleSnapshot)
-	mux.HandleFunc(PathStats, s.handleStats)
+	mux.HandleFunc(PathIngestExtension, s.instrument(PathIngestExtension, s.handleIngestExtension))
+	mux.HandleFunc(PathIngestNode, s.instrument(PathIngestNode, s.handleIngestNode))
+	mux.HandleFunc(PathSnapshot, s.instrument(PathSnapshot, s.handleSnapshot))
+	mux.HandleFunc(PathStats, s.instrument(PathStats, s.handleStats))
+	mux.HandleFunc(PathMetrics, s.instrument(PathMetrics, agg.Registry().Handler().ServeHTTP))
+	mux.HandleFunc(PathHealthz, s.instrument(PathHealthz, s.handleHealthz))
 	s.hs = &http.Server{Handler: mux}
 	return s, nil
+}
+
+// statusWriter remembers the status code a handler sent so the HTTP
+// metrics can label requests with it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the http_requests_total and
+// http_request_duration_seconds series for its path.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	m := s.agg.met
+	duration := m.httpDuration.With(path)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		duration.Observe(time.Since(start).Seconds())
+		m.httpRequests.With(path, strconv.Itoa(sw.status)).Inc()
+	}
 }
 
 // Aggregator returns the server's aggregation core.
@@ -116,6 +147,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) handleIngestExtension(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
@@ -144,10 +176,11 @@ func (s *Server) handleIngestExtension(w http.ResponseWriter, r *http.Request) {
 			reply.Dropped++
 		}
 	}
-	s.ackIngest(w, reply)
+	s.ackIngest(w, reply, start)
 }
 
 func (s *Server) handleIngestNode(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
@@ -168,14 +201,14 @@ func (s *Server) handleIngestNode(w http.ResponseWriter, r *http.Request) {
 			reply.Dropped++
 		}
 	}
-	s.ackIngest(w, reply)
+	s.ackIngest(w, reply, start)
 }
 
 // ackIngest is the durability barrier: with a WAL, the 200 is sent only
 // once every record in the batch is fsynced (group commit shares one fsync
 // across concurrent batches). A sender that gets a 5xx must assume nothing
 // and may retry — the protocol is at-least-once.
-func (s *Server) ackIngest(w http.ResponseWriter, reply IngestReply) {
+func (s *Server) ackIngest(w http.ResponseWriter, reply IngestReply, start time.Time) {
 	if err := s.agg.SyncWAL(); err != nil {
 		writeJSON(w, http.StatusInternalServerError, struct {
 			IngestReply
@@ -183,6 +216,7 @@ func (s *Server) ackIngest(w http.ResponseWriter, reply IngestReply) {
 		}{reply, fmt.Sprintf("wal commit: %v", err)})
 		return
 	}
+	s.agg.met.ackLatency.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, reply)
 }
 
@@ -243,18 +277,24 @@ type StatsReply struct {
 	WAL       *WALStats    `json:"wal,omitempty"`
 }
 
+// handleStats derives the JSON from the same registry children /metrics
+// renders — shard counters are read in place, no snapshot round-trip.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.agg.Snapshot()
-	reply := StatsReply{
-		Accepted:  snap.Accepted,
-		Dropped:   snap.Dropped,
-		Processed: snap.Processed,
-		Shards:    snap.Shards,
+	writeJSON(w, http.StatusOK, s.agg.Stats())
+}
+
+// handleHealthz answers 200 once startup recovery completed and the WAL
+// writer is healthy, 503 otherwise (e.g. a failed fsync poisoned the
+// writer: nothing further can be made durable, so the collector should be
+// pulled from rotation).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.agg.Health(); err != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "unhealthy: %v\n", err)
+		return
 	}
-	if ws := s.agg.WALStats(); ws.Enabled {
-		reply.WAL = &ws
-	}
-	writeJSON(w, http.StatusOK, reply)
+	fmt.Fprintln(w, "ok")
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

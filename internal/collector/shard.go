@@ -2,7 +2,6 @@ package collector
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"starlinkview/internal/stats"
@@ -36,8 +35,10 @@ type nodeAgg struct {
 }
 
 // shard owns one partition of the aggregate state. Only its goroutine
-// touches ext/nodes/latency; producers reach it through the bounded ch and
-// snapshot requests through ctl.
+// touches ext/nodes; producers reach it through the bounded ch and
+// snapshot requests through ctl. Its counters are children of the
+// aggregator's metrics registry — the same series /metrics exposes — so
+// /stats is derived, not duplicated.
 type shard struct {
 	id         int
 	ch         chan item
@@ -45,30 +46,22 @@ type shard struct {
 	relErr     float64
 	applyDelay time.Duration
 
-	accepted  atomic.Uint64
-	dropped   atomic.Uint64
-	processed atomic.Uint64
+	met shardMetrics
 
-	ext     map[extKey]*extAgg
-	nodes   map[nodeKey]*nodeAgg
-	latency *stats.QuantileSketch // queue-to-apply latency, µs
+	ext   map[extKey]*extAgg
+	nodes map[nodeKey]*nodeAgg
 }
 
-func newShard(id int, cfg Config) *shard {
-	lat, err := stats.NewQuantileSketch(cfg.SketchRelErr)
-	if err != nil {
-		// normalize() guarantees a valid relative error.
-		panic(err)
-	}
+func newShard(id int, cfg Config, m *metrics) *shard {
 	return &shard{
 		id:         id,
 		ch:         make(chan item, cfg.QueueLen),
 		ctl:        make(chan chan<- shardSnap),
 		relErr:     cfg.SketchRelErr,
 		applyDelay: cfg.applyDelay,
+		met:        m.shard(id),
 		ext:        make(map[extKey]*extAgg),
 		nodes:      make(map[nodeKey]*nodeAgg),
-		latency:    lat,
 	}
 }
 
@@ -93,7 +86,7 @@ func (s *shard) apply(it item) {
 	if s.applyDelay > 0 {
 		time.Sleep(s.applyDelay)
 	}
-	s.latency.Add(float64(time.Since(it.enqueued)) / float64(time.Microsecond))
+	s.met.applyLatency.Observe(time.Since(it.enqueued).Seconds())
 	switch it.kind {
 	case itemExtension:
 		r := it.ext
@@ -102,6 +95,7 @@ func (s *shard) apply(it item) {
 			ptt, _ := stats.NewQuantileSketch(s.relErr)
 			g = &extAgg{domains: make(map[string]struct{}), ptt: ptt}
 			s.ext[extKey{r.City, r.ISP}] = g
+			s.met.groups.Set(float64(len(s.ext) + len(s.nodes)))
 		}
 		g.domains[r.Domain] = struct{}{}
 		g.ptt.Add(r.PTTMs)
@@ -112,6 +106,7 @@ func (s *shard) apply(it item) {
 			down, _ := stats.NewQuantileSketch(s.relErr)
 			g = &nodeAgg{down: down}
 			s.nodes[nodeKey{n.Node, n.Kind}] = g
+			s.met.groups.Set(float64(len(s.ext) + len(s.nodes)))
 		}
 		g.count++
 		g.down.Add(n.DownMbps)
@@ -119,7 +114,24 @@ func (s *shard) apply(it item) {
 		g.pingSum += n.PingMs
 		g.lossSum += n.LossPct
 	}
-	s.processed.Add(1)
+	s.met.processed.Inc()
+}
+
+// stats reads the shard's counters from the registry children. Safe from
+// any goroutine; latency percentiles interpolate the apply-latency
+// histogram's buckets (microseconds, matching the historical JSON shape).
+func (s *shard) stats() ShardStats {
+	return ShardStats{
+		Shard:       s.id,
+		Accepted:    s.met.accepted[itemExtension].Value() + s.met.accepted[itemNode].Value(),
+		Dropped:     s.met.dropped[itemExtension].Value() + s.met.dropped[itemNode].Value(),
+		Processed:   s.met.processed.Value(),
+		Groups:      int(s.met.groups.Value()),
+		QueueLen:    len(s.ch),
+		IngestP50Us: nanZero(s.met.applyLatency.Quantile(0.50) * 1e6),
+		IngestP95Us: nanZero(s.met.applyLatency.Quantile(0.95) * 1e6),
+		IngestP99Us: nanZero(s.met.applyLatency.Quantile(0.99) * 1e6),
+	}
 }
 
 // shardSnap is a consistent copy of one shard's state, safe to merge and
@@ -132,17 +144,7 @@ type shardSnap struct {
 
 func (s *shard) snapshot() shardSnap {
 	snap := shardSnap{
-		stats: ShardStats{
-			Shard:       s.id,
-			Accepted:    s.accepted.Load(),
-			Dropped:     s.dropped.Load(),
-			Processed:   s.processed.Load(),
-			Groups:      len(s.ext) + len(s.nodes),
-			QueueLen:    len(s.ch),
-			IngestP50Us: s.latency.Quantile(0.50),
-			IngestP95Us: s.latency.Quantile(0.95),
-			IngestP99Us: s.latency.Quantile(0.99),
-		},
+		stats: s.stats(),
 		ext:   make(map[extKey]*extAgg, len(s.ext)),
 		nodes: make(map[nodeKey]*nodeAgg, len(s.nodes)),
 	}

@@ -60,14 +60,14 @@ type WALRecovery struct {
 
 // WALStats is the durability section of /stats.
 type WALStats struct {
-	Enabled           bool   `json:"enabled"`
-	AppendedLSN       uint64 `json:"appended_lsn"`
-	DurableLSN        uint64 `json:"durable_lsn"`
-	Segments          int    `json:"segments"`
-	AppendedBytes     int64  `json:"appended_bytes"`
-	Syncs             uint64 `json:"syncs"`
-	Checkpoints       uint64 `json:"checkpoints"`
-	LastCheckpointLSN uint64 `json:"last_checkpoint_lsn"`
+	Enabled           bool        `json:"enabled"`
+	AppendedLSN       uint64      `json:"appended_lsn"`
+	DurableLSN        uint64      `json:"durable_lsn"`
+	Segments          int         `json:"segments"`
+	AppendedBytes     int64       `json:"appended_bytes"`
+	Syncs             uint64      `json:"syncs"`
+	Checkpoints       uint64      `json:"checkpoints"`
+	LastCheckpointLSN uint64      `json:"last_checkpoint_lsn"`
 	Recovery          WALRecovery `json:"recovery"`
 }
 
@@ -156,9 +156,9 @@ func (a *Aggregator) WALStats() WALStats {
 		AppendedLSN:       ws.AppendedLSN,
 		DurableLSN:        ws.DurableLSN,
 		Segments:          ws.Segments,
-		AppendedBytes:     ws.AppendedBytes,
-		Syncs:             ws.Syncs,
-		Checkpoints:       a.ckptCount.Load(),
+		AppendedBytes:     int64(a.met.walAppendedBytes.Value()),
+		Syncs:             a.met.walFsyncs.Value(),
+		Checkpoints:       a.met.walCheckpoints.Value(),
 		LastCheckpointLSN: a.ckptLSN.Load(),
 		Recovery:          a.walRecovery,
 	}
@@ -247,8 +247,9 @@ func (a *Aggregator) restoreCheckpoint(payload []byte) (uint64, error) {
 		}
 		sh := a.shardFor(e.City, e.ISP)
 		sh.ext[extKey{e.City, e.ISP}] = &extAgg{domains: domains, ptt: ptt}
-		sh.accepted.Add(ptt.Count())
-		sh.processed.Add(ptt.Count())
+		sh.met.groups.Set(float64(len(sh.ext) + len(sh.nodes)))
+		sh.met.accepted[itemExtension].Add(ptt.Count())
+		sh.met.processed.Add(ptt.Count())
 		restored += ptt.Count()
 	}
 	for _, n := range cf.Nodes {
@@ -261,8 +262,9 @@ func (a *Aggregator) restoreCheckpoint(payload []byte) (uint64, error) {
 			count: n.Count, down: down,
 			upSum: n.UpSum, pingSum: n.PingSum, lossSum: n.LossSum,
 		}
-		sh.accepted.Add(n.Count)
-		sh.processed.Add(n.Count)
+		sh.met.groups.Set(float64(len(sh.ext) + len(sh.nodes)))
+		sh.met.accepted[itemNode].Add(n.Count)
+		sh.met.processed.Add(n.Count)
 		restored += n.Count
 	}
 	return restored, nil
@@ -302,7 +304,7 @@ func (a *Aggregator) recoverWAL() error {
 		} else {
 			sh = a.shardFor(it.node.Node, it.node.Kind)
 		}
-		sh.accepted.Add(1)
+		sh.met.accepted[it.kind].Inc()
 		sh.apply(it)
 		rec.ReplayedRecords++
 		return nil
@@ -364,7 +366,7 @@ func (a *Aggregator) writeCheckpointLocked(parts []shardSnap) error {
 	if err := wal.SaveCheckpoint(a.cfg.WAL.FS, a.cfg.WAL.Dir, lsn, payload); err != nil {
 		return err
 	}
-	a.ckptCount.Add(1)
+	a.met.walCheckpoints.Inc()
 	a.ckptLSN.Store(lsn)
 	return a.wal.Prune(lsn)
 }

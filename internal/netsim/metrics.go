@@ -1,0 +1,56 @@
+package netsim
+
+import "starlinkview/internal/obs"
+
+// LinkMetrics mirrors a Link's traffic counters into an obs.Registry so a
+// simulation can be scraped (or rendered once at the end) alongside the
+// collector's series. Children are resolved once per link at construction;
+// the per-packet cost in Send is the atomic adds alone.
+type LinkMetrics struct {
+	sentPackets *obs.Counter // netsim_link_sent_packets_total{link}
+	sentBytes   *obs.Counter // netsim_link_sent_bytes_total{link}
+	lossDrops   *obs.Counter // netsim_link_dropped_packets_total{link,reason="loss"}
+	queueDrops  *obs.Counter // netsim_link_dropped_packets_total{link,reason="queue"}
+	queueDelay  *obs.Gauge   // netsim_link_queue_delay_seconds{link}
+}
+
+// NewLinkMetrics registers (idempotently) the link metric families on reg
+// and returns the children for the named link. Assign the result to
+// Link.Metrics.
+func NewLinkMetrics(reg *obs.Registry, link string) *LinkMetrics {
+	sentP := reg.CounterVec("netsim_link_sent_packets_total",
+		"Packets transmitted by the link.", "link")
+	sentB := reg.CounterVec("netsim_link_sent_bytes_total",
+		"Bytes transmitted by the link.", "link")
+	drops := reg.CounterVec("netsim_link_dropped_packets_total",
+		"Packets dropped, by the loss process or the drop-tail queue.", "link", "reason")
+	qd := reg.GaugeVec("netsim_link_queue_delay_seconds",
+		"Backlog delay ahead of the most recent arrival.", "link")
+	return &LinkMetrics{
+		sentPackets: sentP.With(link),
+		sentBytes:   sentB.With(link),
+		lossDrops:   drops.With(link, "loss"),
+		queueDrops:  drops.With(link, "queue"),
+		queueDelay:  qd.With(link),
+	}
+}
+
+func (m *LinkMetrics) sent(size int, queueDelay Time) {
+	if m == nil {
+		return
+	}
+	m.sentPackets.Inc()
+	m.sentBytes.Add(uint64(size))
+	m.queueDelay.Set(queueDelay.Seconds())
+}
+
+func (m *LinkMetrics) dropped(loss bool) {
+	if m == nil {
+		return
+	}
+	if loss {
+		m.lossDrops.Inc()
+	} else {
+		m.queueDrops.Inc()
+	}
+}

@@ -221,6 +221,10 @@ type Link struct {
 
 	Dst Handler
 
+	// Metrics, if non-nil, mirrors the stats counters into an
+	// obs.Registry (see NewLinkMetrics). Nil keeps the link unmetered.
+	Metrics *LinkMetrics
+
 	busyUntil   Time
 	lastArrival Time
 	stats       LinkStats
@@ -262,6 +266,7 @@ func (l *Link) Send(s *Sim, p *Packet) {
 		l.stats.DroppedPackets++
 		l.stats.DroppedBytes += int64(p.Size)
 		l.stats.LossDropped++
+		l.Metrics.dropped(true)
 		return
 	}
 
@@ -277,6 +282,7 @@ func (l *Link) Send(s *Sim, p *Packet) {
 		if backlog+p.Size > l.QueueByte {
 			l.stats.DroppedPackets++
 			l.stats.DroppedBytes += int64(p.Size)
+			l.Metrics.dropped(false)
 			return
 		}
 	}
@@ -305,6 +311,7 @@ func (l *Link) Send(s *Sim, p *Packet) {
 
 	l.stats.SentPackets++
 	l.stats.SentBytes += int64(p.Size)
+	l.Metrics.sent(p.Size, depart-now)
 	s.ScheduleAt(arrive, func() { l.Dst.Handle(s, p) })
 }
 

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// nonBaseUnits are name segments that betray a non-base unit: Prometheus
+// metrics use seconds, bytes and ratios, not milliseconds or megabits.
+// (The registry walk splits names on '_' and rejects any of these.)
+var nonBaseUnits = map[string]bool{
+	"ms": true, "us": true, "ns": true,
+	"millis": true, "micros": true, "nanos": true,
+	"milliseconds": true, "microseconds": true, "nanoseconds": true,
+	"kb": true, "mb": true, "gb": true, "kib": true, "mib": true, "gib": true,
+	"kilobytes": true, "megabytes": true, "gigabytes": true,
+	"mbps": true, "kbps": true, "gbps": true,
+	"minutes": true, "hours": true,
+}
+
+// Lint walks the registry and reports Prometheus naming-convention
+// violations: invalid characters, counters without the _total suffix,
+// non-counters wearing it, non-base units in names, and missing help text.
+// The CI gate runs this over collectord's fully wired registry, so a new
+// metric cannot land with a name the convention forbids.
+func Lint(r *Registry) []error {
+	var errs []error
+	for _, f := range r.Families() {
+		if !validName(f.Name) {
+			errs = append(errs, fmt.Errorf("obs: metric %q: invalid name", f.Name))
+		}
+		if f.Help == "" {
+			errs = append(errs, fmt.Errorf("obs: metric %q: missing help text", f.Name))
+		}
+		isTotal := strings.HasSuffix(f.Name, "_total")
+		if f.Type == TypeCounter && !isTotal {
+			errs = append(errs, fmt.Errorf("obs: counter %q: missing _total suffix", f.Name))
+		}
+		if f.Type != TypeCounter && isTotal {
+			errs = append(errs, fmt.Errorf("obs: %s %q: _total suffix is reserved for counters", f.Type, f.Name))
+		}
+		for _, seg := range strings.Split(f.Name, "_") {
+			if nonBaseUnits[strings.ToLower(seg)] {
+				errs = append(errs, fmt.Errorf("obs: metric %q: non-base unit %q (use seconds/bytes)", f.Name, seg))
+			}
+		}
+		for _, l := range f.Labels {
+			if !validName(l) || strings.HasPrefix(l, "__") {
+				errs = append(errs, fmt.Errorf("obs: metric %q: invalid label name %q", f.Name, l))
+			}
+			if l == "le" {
+				errs = append(errs, fmt.Errorf("obs: metric %q: label \"le\" is reserved for histogram buckets", f.Name))
+			}
+		}
+	}
+	return errs
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

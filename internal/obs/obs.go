@@ -1,0 +1,575 @@
+// Package obs is the reproduction's self-observation layer: a
+// dependency-free metrics library rendering the Prometheus text exposition
+// format (version 0.0.4). The paper's collection infrastructure only
+// produced six months of browsing data because the instruments themselves
+// were watched continuously; obs gives collectord, the WAL and the
+// simulation stack the same property without pulling in client_golang.
+//
+// Three metric kinds cover the pipeline:
+//
+//   - Counter: a monotone uint64, atomic-add on the hot path (one LOCK ADD
+//     per record, no locks, no allocation).
+//   - Gauge: a float64 settable to any value (queue depths, LSNs, runtime
+//     stats). Gauges may also be computed at scrape time via OnGather.
+//   - Histogram: fixed log-spaced buckets plus _sum/_count, rendered with
+//     cumulative le buckets as Prometheus requires. Observe is atomic-add
+//     per bucket plus a CAS for the sum.
+//
+// A Registry owns metric families; families may carry labels
+// (ingest_records_total{source="extension",shard="3"}). Vec lookups cache
+// children, so hot paths resolve their child once at start-up and then pay
+// only the atomic add. Rendering is deterministic: families sort by name,
+// children by rendered label string, so golden tests and scrape diffing
+// work byte-for-byte.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType discriminates the families a Registry holds.
+type MetricType int
+
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String renders the type the way a # TYPE line spells it.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// --- Counter ------------------------------------------------------------
+
+// Counter is a monotonically increasing uint64. Inc and Add are single
+// atomic adds — safe and cheap enough for per-record hot paths.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// --- Gauge --------------------------------------------------------------
+
+// Gauge is a float64 that can go up and down. Stored as raw bits so Set is
+// one atomic store.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (CAS loop; gauges are not hot-path).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// --- Histogram ----------------------------------------------------------
+
+// Histogram counts observations into fixed buckets. Internally buckets are
+// disjoint; rendering accumulates them into the cumulative le form.
+type Histogram struct {
+	bounds  []float64 // increasing upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// Observe records one value: a binary search over the fixed bounds, two
+// atomic adds and a CAS for the sum — no locks, no allocation.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v is the Prometheus bucket (le is inclusive).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the cumulative (le -> count) view, +Inf last.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	bounds := make([]float64, len(h.bounds)+1)
+	copy(bounds, h.bounds)
+	bounds[len(h.bounds)] = math.Inf(1)
+	counts := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		counts[i] = cum
+	}
+	return bounds, counts
+}
+
+// Quantile estimates the q-quantile (0..1) from the buckets with linear
+// interpolation inside the target bucket, the way PromQL's
+// histogram_quantile does. It returns NaN with no observations and the
+// highest finite bound when the quantile lands in the +Inf bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, cum := h.Buckets()
+	return bucketQuantile(q, bounds, cum)
+}
+
+// bucketQuantile interpolates a quantile from cumulative buckets.
+func bucketQuantile(q float64, bounds []float64, cum []uint64) float64 {
+	if len(cum) == 0 || cum[len(cum)-1] == 0 {
+		return math.NaN()
+	}
+	total := cum[len(cum)-1]
+	rank := q * float64(total)
+	i := 0
+	for i < len(cum) && float64(cum[i]) < rank {
+		i++
+	}
+	if i >= len(cum)-1 {
+		// Landed in the +Inf bucket: the best bounded answer is the highest
+		// finite bound.
+		if len(bounds) >= 2 {
+			return bounds[len(bounds)-2]
+		}
+		return math.NaN()
+	}
+	lo := 0.0
+	var below uint64
+	if i > 0 {
+		lo = bounds[i-1]
+		below = cum[i-1]
+	}
+	hi := bounds[i]
+	in := cum[i] - below
+	if in == 0 {
+		return hi
+	}
+	return lo + (hi-lo)*((rank-float64(below))/float64(in))
+}
+
+// ExpBuckets returns count log-spaced bucket bounds starting at start and
+// multiplying by factor — the fixed latency bucket layout the collector
+// uses. It panics on invalid arguments (programmer error).
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets spans 10µs to ~80s in powers of two — wide enough for
+// in-process apply latency at the bottom and fsync-bound ack latency at the
+// top. Values are seconds (Prometheus base unit).
+var DefLatencyBuckets = ExpBuckets(10e-6, 2, 23)
+
+// DefSizeBuckets spans 1 to ~65k in powers of four, for batch-size style
+// histograms (records per commit).
+var DefSizeBuckets = ExpBuckets(1, 4, 9)
+
+// --- Families and the registry ------------------------------------------
+
+// family is one named metric with a fixed label schema and its children.
+type family struct {
+	name       string
+	help       string
+	typ        MetricType
+	labelNames []string
+	bounds     []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]any // rendered label string -> *Counter/*Gauge/*Histogram
+}
+
+func (f *family) child(labelValues []string, create func() any) any {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := renderLabels(f.labelNames, labelValues)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = create()
+	f.children[key] = c
+	return c
+}
+
+// renderLabels renders {a="x",b="y"} with values escaped; "" for no labels.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Registry owns metric families and renders them. All methods are safe for
+// concurrent use; registration of an identical (name, type, labels) family
+// returns the existing one, and a conflicting re-registration panics —
+// metric schemas are program structure, not runtime input.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	onGather []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// OnGather registers fn to run at the start of every WritePrometheus —
+// the hook point for scrape-time gauges (queue depths, runtime stats).
+func (r *Registry) OnGather(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onGather = append(r.onGather, fn)
+}
+
+func (r *Registry) register(name, help string, typ MetricType, labels []string, bounds []float64) *family {
+	if name == "" {
+		panic("obs: metric name is required")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labelNames, labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labelNames: append([]string(nil), labels...),
+		bounds:     append([]float64(nil), bounds...),
+		children:   make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, TypeCounter, nil, nil)
+	return f.child(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, TypeGauge, nil, nil)
+	return f.child(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or fetches) an unlabeled histogram over the bucket
+// bounds (nil selects DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	f := r.register(name, help, TypeHistogram, nil, bounds)
+	return f.child(nil, func() any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, TypeCounter, labels, nil)}
+}
+
+// With returns the child for the label values, creating it on first use.
+// Hot paths should call With once and keep the child.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, TypeGauge, labels, nil)}
+}
+
+// With returns the child for the label values, creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a histogram family over bounds (nil selects
+// DefLatencyBuckets) with the given label names.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	return &HistogramVec{r.register(name, help, TypeHistogram, labels, bounds)}
+}
+
+// With returns the child for the label values, creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	f := v.f
+	return f.child(values, func() any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// Family describes one registered metric, for lint walks and tooling.
+type Family struct {
+	Name   string
+	Help   string
+	Type   MetricType
+	Labels []string
+	// Series is the current number of children.
+	Series int
+}
+
+// Families lists the registered metrics sorted by name.
+func (r *Registry) Families() []Family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Family, 0, len(r.families))
+	for _, f := range r.families {
+		f.mu.RLock()
+		n := len(f.children)
+		f.mu.RUnlock()
+		out = append(out, Family{
+			Name: f.name, Help: f.help, Type: f.typ,
+			Labels: append([]string(nil), f.labelNames...),
+			Series: n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// --- Rendering ----------------------------------------------------------
+
+// WritePrometheus runs the OnGather hooks, then renders every family in the
+// Prometheus text exposition format (0.0.4), deterministically: families by
+// name, children by rendered label string.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	hooks := append([]func(){}, r.onGather...)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b strings.Builder
+	for _, f := range fams {
+		f.render(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) render(b *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	if len(children) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for i, key := range keys {
+		switch m := children[i].(type) {
+		case *Counter:
+			b.WriteString(f.name)
+			b.WriteString(key)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(m.Value(), 10))
+			b.WriteByte('\n')
+		case *Gauge:
+			b.WriteString(f.name)
+			b.WriteString(key)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(m.Value()))
+			b.WriteByte('\n')
+		case *Histogram:
+			renderHistogram(b, f.name, key, m)
+		}
+	}
+}
+
+// renderHistogram emits cumulative le buckets, _sum and _count. The le
+// label joins the child's own labels, appended last.
+func renderHistogram(b *strings.Builder, name, key string, h *Histogram) {
+	bounds, cum := h.Buckets()
+	for i, bound := range bounds {
+		le := "+Inf"
+		if !math.IsInf(bound, 1) {
+			le = formatFloat(bound)
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		b.WriteString(mergeLabels(key, `le="`+le+`"`))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum[i], 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(key)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(h.Sum()))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	b.WriteString(key)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(h.Count(), 10))
+	b.WriteByte('\n')
+}
+
+// mergeLabels appends extra into a rendered label block.
+func mergeLabels(key, extra string) string {
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return key[:len(key)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry at GET /metrics with the exposition content
+// type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

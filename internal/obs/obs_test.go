@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the rendered output byte-for-byte: family
+// ordering, label ordering and escaping, histogram bucket cumulativity,
+// and the HELP/TYPE headers. Any rendering change must update this
+// deliberately.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("ingest_records_total", "Records accepted into shard queues.", "source", "shard")
+	c.With("extension", "0").Add(7)
+	c.With("node", "1").Add(3)
+	// Registration order must not matter: a later child sorting earlier
+	// must render first.
+	c.With("extension", "1").Add(2)
+	g := r.Gauge("collector_up", "Whether the collector is serving.")
+	g.Set(1)
+	esc := r.CounterVec("weird_label_total", `Help with a backslash \ and
+newline.`, "v")
+	esc.With("a\"b\\c\nd").Inc()
+	h := r.Histogram("ack_latency_seconds", "Ingest acknowledgement latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5) // lands in +Inf
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP ack_latency_seconds Ingest acknowledgement latency.
+# TYPE ack_latency_seconds histogram
+ack_latency_seconds_bucket{le="0.001"} 1
+ack_latency_seconds_bucket{le="0.01"} 3
+ack_latency_seconds_bucket{le="0.1"} 4
+ack_latency_seconds_bucket{le="+Inf"} 5
+ack_latency_seconds_sum 5.0605
+ack_latency_seconds_count 5
+# HELP collector_up Whether the collector is serving.
+# TYPE collector_up gauge
+collector_up 1
+# HELP ingest_records_total Records accepted into shard queues.
+# TYPE ingest_records_total counter
+ingest_records_total{source="extension",shard="0"} 7
+ingest_records_total{source="extension",shard="1"} 2
+ingest_records_total{source="node",shard="1"} 3
+# HELP weird_label_total Help with a backslash \\ and\nnewline.
+# TYPE weird_label_total counter
+weird_label_total{v="a\"b\\c\nd"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestLabeledHistogramLePlacement checks le is appended after the child's
+// own labels.
+func TestLabeledHistogramLePlacement(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("apply_latency_seconds", "h", []float64{1}, "shard")
+	h.With("3").Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `apply_latency_seconds_bucket{shard="3",le="1"} 1`) {
+		t.Errorf("missing merged le label:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `apply_latency_seconds_sum{shard="3"} 0.5`) {
+		t.Errorf("missing labeled sum:\n%s", b.String())
+	}
+}
+
+// TestRegistryRace hammers one registry from 32 goroutines — counter adds,
+// gauge sets, histogram observes, vec child creation, and concurrent
+// renders — and then checks the totals. Run under -race this is the
+// registry's thread-safety proof.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	cv := r.CounterVec("race_records_total", "c", "worker")
+	gv := r.GaugeVec("race_depth", "g", "worker")
+	hv := r.HistogramVec("race_latency_seconds", "h", nil, "worker")
+	plain := r.Counter("race_plain_total", "c")
+	const workers = 32
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Children resolved inside the loop on purpose: the vec maps
+			// must survive concurrent lookup+create.
+			name := string(rune('a' + w%8))
+			for i := 0; i < perWorker; i++ {
+				cv.With(name).Inc()
+				gv.With(name).Set(float64(i))
+				hv.With(name).Observe(float64(i%100) / 1000)
+				plain.Inc()
+				if i%500 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := plain.Value(); got != workers*perWorker {
+		t.Errorf("plain counter = %d, want %d", got, workers*perWorker)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := samples.Sum("race_records_total", nil); got != workers*perWorker {
+		t.Errorf("summed counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := samples.Sum("race_latency_seconds_count", nil); got != workers*perWorker {
+		t.Errorf("histogram count = %v, want %d", got, workers*perWorker)
+	}
+}
+
+// TestParseRoundTrip renders a registry and re-parses it, checking values
+// and escaped labels survive.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("rt_total", "c", "k").With(`x"y\z`).Add(11)
+	r.Gauge("rt_gauge", "g").Set(-2.5)
+	h := r.Histogram("rt_seconds", "h", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := samples.Value("rt_total", map[string]string{"k": `x"y\z`}); !ok || v != 11 {
+		t.Errorf("rt_total = %v,%v want 11,true", v, ok)
+	}
+	if v, ok := samples.Value("rt_gauge", nil); !ok || v != -2.5 {
+		t.Errorf("rt_gauge = %v,%v", v, ok)
+	}
+	bounds, cum := samples.BucketCounts("rt_seconds", nil)
+	if len(bounds) != 3 || !math.IsInf(bounds[2], 1) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if cum[0] != 1 || cum[1] != 2 || cum[2] != 3 {
+		t.Errorf("cumulative buckets = %v, want [1 2 3]", cum)
+	}
+}
+
+// TestHistogramQuantile checks the bucket interpolation on a known
+// distribution.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 40, 80})
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	if p50 := h.Quantile(0.5); math.Abs(p50-50) > 6 {
+		t.Errorf("p50 = %v, want ~50", p50)
+	}
+	// p95 lands in the +Inf bucket: answer is the highest finite bound.
+	if p95 := h.Quantile(0.95); p95 != 80 {
+		t.Errorf("p95 = %v, want 80", p95)
+	}
+	empty := newHistogram([]float64{1})
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+}
+
+// TestLint exercises the convention checks both ways.
+func TestLint(t *testing.T) {
+	good := NewRegistry()
+	good.Counter("wal_fsyncs_total", "Fsyncs issued.")
+	good.Gauge("collector_shard_queue_depth", "Records queued.")
+	good.Histogram("ingest_ack_latency_seconds", "Ack latency.", nil)
+	RegisterRuntime(good)
+	if errs := Lint(good); len(errs) != 0 {
+		t.Errorf("clean registry flagged: %v", errs)
+	}
+
+	bad := NewRegistry()
+	bad.Counter("requests", "Counter without suffix.")
+	bad.Gauge("depth_total", "Gauge wearing the counter suffix.")
+	bad.Gauge("latency_ms", "Milliseconds are not a base unit.")
+	bad.Counter("no_help_total", "")
+	errs := Lint(bad)
+	if len(errs) != 4 {
+		t.Errorf("want 4 lint errors, got %d: %v", len(errs), errs)
+	}
+}
+
+// TestRegisterIdempotent checks same-schema re-registration shares state
+// and conflicting re-registration panics.
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("idem_total", "x")
+	b := r.Counter("idem_total", "x")
+	if a != b {
+		t.Error("same-schema registration returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("idem_total", "x")
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	for i := 1; i < len(DefLatencyBuckets); i++ {
+		if DefLatencyBuckets[i] <= DefLatencyBuckets[i-1] {
+			t.Fatal("DefLatencyBuckets not increasing")
+		}
+	}
+}

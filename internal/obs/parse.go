@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a series name, its label set and
+// the value. Histogram series appear as their constituent _bucket/_sum/
+// _count samples, exactly as exposed.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Samples is a parsed scrape.
+type Samples []Sample
+
+// ParseText parses the Prometheus text exposition format — the inverse of
+// Registry.WritePrometheus, tolerant of any conforming producer. Comment
+// and blank lines are skipped; malformed lines are errors (a scraper that
+// silently drops lines hides exactly the failures it exists to catch).
+func ParseText(r io.Reader) (Samples, error) {
+	var out Samples
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ \t")
+	if i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+	}
+	valStr := strings.TrimSpace(rest)
+	// A timestamp may follow the value; take the first field.
+	if j := strings.IndexAny(valStr, " \t"); j >= 0 {
+		valStr = valStr[:j]
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a {name="value",...} block, returning the remainder.
+func parseLabels(in string, into map[string]string) (string, error) {
+	i := 1 // past '{'
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return in[i+1:], nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return "", fmt.Errorf("unterminated label block in %q", in)
+		}
+		name := in[i : i+eq]
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return "", fmt.Errorf("label %s: missing quote", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' && i+1 < len(in) {
+				switch in[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				default:
+					b.WriteByte(in[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		into[name] = b.String()
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// matches reports whether the sample carries every label in want (a subset
+// match: extra labels on the sample are fine).
+func (s Sample) matches(want map[string]string) bool {
+	for k, v := range want {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns the single sample with the name and exactly-matching label
+// subset. With several matches the first wins; ok is false with none.
+func (ss Samples) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range ss {
+		if s.Name == name && s.matches(labels) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample with the name whose labels include the given
+// subset — e.g. Sum("ingest_records_total", nil) totals across shards and
+// sources.
+func (ss Samples) Sum(name string, labels map[string]string) float64 {
+	var total float64
+	for _, s := range ss {
+		if s.Name == name && s.matches(labels) {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// BucketCounts collects the cumulative le buckets of the histogram with the
+// given base name and label subset, summing across any remaining label
+// dimensions (several shards' buckets add bucket-wise because they share
+// bounds). Bounds return sorted, +Inf last.
+func (ss Samples) BucketCounts(name string, labels map[string]string) (bounds []float64, cum []uint64) {
+	byLe := map[float64]float64{}
+	for _, s := range ss {
+		if s.Name != name+"_bucket" || !s.matches(labels) {
+			continue
+		}
+		le, err := parseValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		byLe[le] += s.Value
+	}
+	bounds = make([]float64, 0, len(byLe))
+	for le := range byLe {
+		bounds = append(bounds, le)
+	}
+	sort.Float64s(bounds)
+	cum = make([]uint64, len(bounds))
+	for i, le := range bounds {
+		cum[i] = uint64(byLe[le])
+	}
+	return bounds, cum
+}
+
+// HistogramQuantile estimates the q-quantile from cumulative buckets as
+// returned by BucketCounts (PromQL-style linear interpolation).
+func HistogramQuantile(q float64, bounds []float64, cum []uint64) float64 {
+	return bucketQuantile(q, bounds, cum)
+}
+
+// SubCounts subtracts an earlier scrape's cumulative buckets from a later
+// one, for interval quantiles (loadgen's -scrape deltas). The bounds must
+// match; mismatches return nil.
+func SubCounts(bounds []float64, now, prev []uint64) []uint64 {
+	if len(now) != len(prev) || len(now) != len(bounds) {
+		return nil
+	}
+	out := make([]uint64, len(now))
+	for i := range now {
+		if now[i] < prev[i] {
+			return nil // counter reset; caller should resync
+		}
+		out[i] = now[i] - prev[i]
+	}
+	return out
+}

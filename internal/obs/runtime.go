@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntime adds Go runtime gauges to the registry, refreshed at
+// scrape time via OnGather: goroutine count, heap occupancy, and GC
+// activity. ReadMemStats briefly stops the world, but only per scrape —
+// a 15s scrape interval makes that noise, not overhead.
+func RegisterRuntime(r *Registry) {
+	goroutines := r.Gauge("go_goroutines",
+		"Number of goroutines that currently exist.")
+	heapAlloc := r.Gauge("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.")
+	heapSys := r.Gauge("go_memstats_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS.")
+	heapObjects := r.Gauge("go_memstats_heap_objects",
+		"Number of allocated heap objects.")
+	nextGC := r.Gauge("go_memstats_next_gc_bytes",
+		"Heap size target of the next GC cycle.")
+	allocTotal := r.Counter("go_memstats_alloc_bytes_total",
+		"Cumulative bytes allocated for heap objects.")
+	gcCycles := r.Counter("go_gc_cycles_total",
+		"Completed GC cycles.")
+	gcPause := r.Gauge("go_memstats_gc_pause_total_seconds",
+		"Cumulative GC stop-the-world pause time.")
+	gcLastPause := r.Gauge("go_memstats_gc_last_pause_seconds",
+		"Duration of the most recent GC stop-the-world pause.")
+	// Concurrent scrapes both run the hook; the mutex keeps the delta
+	// bookkeeping consistent.
+	var mu sync.Mutex
+	var lastAlloc uint64
+	var lastGC uint32
+	r.OnGather(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		heapObjects.Set(float64(ms.HeapObjects))
+		nextGC.Set(float64(ms.NextGC))
+		// Counters advance by the delta since the previous scrape, keeping
+		// them monotone while the runtime reports cumulative totals.
+		if ms.TotalAlloc >= lastAlloc {
+			allocTotal.Add(ms.TotalAlloc - lastAlloc)
+		}
+		lastAlloc = ms.TotalAlloc
+		if ms.NumGC >= lastGC {
+			gcCycles.Add(uint64(ms.NumGC - lastGC))
+		}
+		lastGC = ms.NumGC
+		gcPause.Set(time.Duration(ms.PauseTotalNs).Seconds())
+		if ms.NumGC > 0 {
+			gcLastPause.Set(time.Duration(ms.PauseNs[(ms.NumGC+255)%256]).Seconds())
+		}
+	})
+}

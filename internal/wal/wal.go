@@ -59,6 +59,21 @@ var segmentMagic = [segmentHeaderLen]byte{'S', 'L', 'W', 'A', 'L', 0, 0, 1}
 // and arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Instrumentation is the WAL's observation hook: the package stays free of
+// any metrics dependency, and a caller that wants Prometheus series (the
+// collector does) supplies callbacks. Every field is optional. Hooks run
+// with the writer's mutex held, so they must be fast and non-blocking —
+// an atomic counter add, not an RPC.
+type Instrumentation struct {
+	// Append runs per appended record with the framed size in bytes.
+	Append func(bytes int)
+	// Sync runs per fsync with its duration and the number of records the
+	// sync made durable (the group-commit batch size).
+	Sync func(d time.Duration, records uint64)
+	// Rotate runs per segment rotation (not for the initial segment).
+	Rotate func()
+}
+
 // Config parameterises a Writer.
 type Config struct {
 	// Dir is the WAL directory; it is created if missing.
@@ -72,6 +87,8 @@ type Config struct {
 	FsyncInterval time.Duration
 	// FS overrides the filesystem (default OSFS); tests inject faults here.
 	FS FS
+	// Instr receives write-path events; zero-valued means unobserved.
+	Instr Instrumentation
 }
 
 func (c *Config) normalize() error {
@@ -512,6 +529,9 @@ func (w *Writer) Append(kind byte, payload []byte) (uint64, error) {
 	active.last = lsn
 	active.size += frameLen
 	w.appended += frameLen
+	if w.cfg.Instr.Append != nil {
+		w.cfg.Instr.Append(int(frameLen))
+	}
 	return lsn, nil
 }
 
@@ -522,6 +542,9 @@ func (w *Writer) rotateLocked() error {
 	}
 	if err := w.f.Close(); err != nil {
 		return w.fail(err)
+	}
+	if w.cfg.Instr.Rotate != nil {
+		w.cfg.Instr.Rotate()
 	}
 	return w.createSegment(w.nextLSN)
 }
@@ -591,14 +614,19 @@ func (w *Writer) Sync() error {
 }
 
 func (w *Writer) syncLocked() error {
+	start := time.Now()
 	if err := w.bw.Flush(); err != nil {
 		return w.fail(err)
 	}
 	if err := w.f.Sync(); err != nil {
 		return w.fail(err)
 	}
+	batch := w.nextLSN - 1 - w.durable
 	w.durable = w.nextLSN - 1
 	w.syncs++
+	if w.cfg.Instr.Sync != nil {
+		w.cfg.Instr.Sync(time.Since(start), batch)
+	}
 	w.cond.Broadcast()
 	return nil
 }
@@ -643,6 +671,15 @@ func (w *Writer) DurableLSN() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.durable
+}
+
+// Err returns the writer's sticky IO error, nil while the writer is
+// healthy. A poisoned writer acknowledges nothing further; the collector's
+// /healthz surfaces this state.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // Stats returns the writer's progress counters.
