@@ -3,7 +3,7 @@ GO ?= go
 # Each fuzz target gets this much wall time under `make fuzz`.
 FUZZTIME ?= 30s
 
-.PHONY: build test check fuzz bench
+.PHONY: build test check fuzz bench bench-trace
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,12 @@ test: build
 	$(GO) test ./...
 
 # Tier-2 gate: vet-clean and race-clean across the whole tree, then the
-# fuzz corpus sweep. The collector is the most concurrency-heavy package,
-# but the gate covers everything.
+# fuzz corpus sweep. The trace package runs first under -race as a fast
+# dedicated gate (concurrent spans against scrapes is its whole contract);
+# the full -race sweep then covers everything including the collector.
 check: build
 	$(GO) vet ./...
+	$(GO) test -race ./internal/trace/...
 	$(GO) test -race -timeout 30m ./...
 	$(MAKE) fuzz
 
@@ -41,3 +43,12 @@ bench:
 	$(GO) run ./tools/benchjson < bench.out > BENCH_collector.json
 	@rm -f bench.out
 	@echo "wrote BENCH_collector.json"
+
+# Tracing-overhead pass: run just the traced/untraced ingest pair and write
+# the comparison artifact. The comparisons block's delta_pct for shards=4 is
+# the tracing budget number (<= 5%).
+bench-trace:
+	$(GO) test -run '^$$' -bench 'Benchmark(Collector|Traced)Ingest' -benchmem -benchtime $(BENCHTIME) . | tee bench-trace.out
+	$(GO) run ./tools/benchjson < bench-trace.out > BENCH_trace.json
+	@rm -f bench-trace.out
+	@echo "wrote BENCH_trace.json"

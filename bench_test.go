@@ -30,6 +30,7 @@ import (
 	"starlinkview/internal/measure"
 	"starlinkview/internal/netsim"
 	"starlinkview/internal/orbit"
+	"starlinkview/internal/trace"
 	"starlinkview/internal/tranco"
 	"starlinkview/internal/wal"
 	"starlinkview/internal/weather"
@@ -410,6 +411,58 @@ func BenchmarkCollectorIngest(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTracedIngest mirrors BenchmarkCollectorIngest's 4-shard case on
+// a tracer-configured aggregator, with one in every ~100 records carried by
+// a root+decode span pair (the representative-record pattern the HTTP layer
+// uses). Compare against BenchmarkCollectorIngest/shards=4 — tools/benchjson
+// emits the delta — to price the tracing layer; the budget is <= 5%.
+func BenchmarkTracedIngest(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	cities := []string{"London", "Seattle", "Sydney", "Berlin", "Warsaw", "Toronto"}
+	isps := []string{"starlink", "broadband", "cellular"}
+	recs := make([]extension.Record, 8192)
+	for i := range recs {
+		recs[i] = extension.Record{
+			UserID: "anon-bench", City: cities[rng.Intn(len(cities))],
+			Country: "GB", ISP: isps[rng.Intn(len(isps))], ASN: 14593,
+			Domain: "site-" + string(rune('a'+rng.Intn(26))) + ".example",
+			Rank:   1 + rng.Intn(1000),
+			PTTMs:  100 + rng.Float64()*900, PLTMs: 500 + rng.Float64()*2000,
+		}
+	}
+	b.Run("shards=4", func(b *testing.B) {
+		tracer := trace.New(trace.Config{Seed: 99})
+		agg := collector.NewAggregator(collector.Config{
+			Shards: 4, QueueLen: 4096, Tracer: tracer,
+		})
+		var idx atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			sends := 0
+			for pb.Next() {
+				r := recs[int(idx.Add(1))%len(recs)]
+				sends++
+				if sends%100 == 0 {
+					root := tracer.StartRoot("bench ingest", trace.SpanContext{})
+					decode := tracer.StartChild(root.Context(), "ingest.decode")
+					agg.OfferExtensionSpan(r, decode.Context())
+					decode.Finish()
+					root.Finish()
+				} else {
+					agg.OfferExtension(r)
+				}
+			}
+		})
+		b.StopTimer()
+		agg.Close()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		snap := agg.Snapshot()
+		if snap.Processed != uint64(b.N) {
+			b.Fatalf("processed %d != offered %d", snap.Processed, b.N)
+		}
+	})
 }
 
 // BenchmarkWALAppend measures the durability substrate: records/sec through

@@ -43,6 +43,7 @@ import (
 	"starlinkview/internal/collector"
 	"starlinkview/internal/dataset"
 	"starlinkview/internal/obs"
+	"starlinkview/internal/trace"
 	"starlinkview/internal/wal"
 )
 
@@ -60,6 +61,11 @@ func main() {
 		ckptIval     = flag.Duration("checkpoint-interval", 30*time.Second, "shard-snapshot checkpoint interval (0 = only on shutdown)")
 		walDump      = flag.Bool("wal-dump", false, "dump the WAL at -wal-dir as dataset rows and exit")
 		pprofAddr    = flag.String("pprof-addr", "", "if set, serve net/http/pprof on this side address (e.g. 127.0.0.1:6060)")
+
+		traceOn   = flag.Bool("trace", false, "trace requests end to end and serve kept traces at GET /traces")
+		traceCap  = flag.Int("trace-capacity", 256, "kept traces retained in the ring buffer")
+		traceSlow = flag.Float64("trace-slowest-pct", 5, "tail-sample: keep roots in the slowest N percent (plus errors and forced samples)")
+		maxLabels = flag.Int("max-label-children", 0, "cap on children per label vector; 0 = uncapped (excess increments obs_dropped_labels_total)")
 	)
 	flag.Parse()
 
@@ -79,9 +85,20 @@ func main() {
 	}
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
+	if *maxLabels > 0 {
+		reg.LimitCardinality(*maxLabels)
+	}
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(trace.Config{
+			Capacity:   *traceCap,
+			SlowestPct: *traceSlow,
+		})
+	}
 	srv, err := collector.OpenServer(collector.Config{
 		Shards: *shards, QueueLen: *queue, Policy: pol, SketchRelErr: *relerr,
 		Registry: reg,
+		Tracer:   tracer,
 		WAL: collector.WALConfig{
 			Dir:                *walDir,
 			FsyncInterval:      *fsyncIval,
@@ -102,6 +119,10 @@ func main() {
 	}
 	fmt.Printf("collectord: listening on %s (%d shards, queue %d, policy %s)\n",
 		srv.Addr(), *shards, *queue, pol)
+	if tracer != nil {
+		fmt.Printf("collectord: tracing on (capacity %d, slowest %.1f%%): GET %s\n",
+			*traceCap, *traceSlow, collector.PathTraces)
+	}
 	if *walDir != "" {
 		rec := srv.Aggregator().WALRecovery()
 		fmt.Printf("collectord: wal %s (fsync every %v, checkpoint every %v): recovered %d records (%d from checkpoint, %d replayed, %d skipped)\n",

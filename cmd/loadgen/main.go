@@ -6,10 +6,15 @@
 // Usage:
 //
 //	loadgen [-addr 127.0.0.1:8787] [-users 8] [-rate 100000] [-duration 10s]
-//	        [-batch 1000] [-days 10] [-seed 1]
+//	        [-batch 1000] [-days 10] [-seed 1] [-trace-every 0]
 //	loadgen -scrape [-scrape-interval 2s] [-duration 0]
 //
 // A rate of 0 removes the pacing and measures the sustainable maximum.
+//
+// With -trace-every N (against a collectord started with -trace), every Nth
+// batch per worker carries a sampled W3C traceparent header, and the run
+// ends with a slowest-trace report fetched from the server's /traces
+// endpoint — the span waterfall that explains the POST latency tail.
 //
 // With -scrape, loadgen generates no load: it polls the server's /metrics
 // endpoint instead and prints per-interval deltas — ingest rate, drop rate,
@@ -24,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -33,6 +40,7 @@ import (
 	"starlinkview/internal/core"
 	"starlinkview/internal/obs"
 	"starlinkview/internal/stats"
+	"starlinkview/internal/trace"
 )
 
 func main() {
@@ -47,6 +55,7 @@ func main() {
 
 		scrape     = flag.Bool("scrape", false, "poll /metrics and print deltas instead of generating load")
 		scrapeIval = flag.Duration("scrape-interval", 2*time.Second, "polling interval in -scrape mode")
+		traceEvery = flag.Int("trace-every", 0, "send a sampled traceparent on every Nth batch per worker (0 = never); needs collectord -trace")
 	)
 	flag.Parse()
 
@@ -104,7 +113,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = replay(base, payloads, w*len(payloads) / *users, perUser, deadline)
+			results[w] = replay(base, payloads, w*len(payloads) / *users, perUser, deadline, *traceEvery)
 		}(w)
 	}
 	wg.Wait()
@@ -147,6 +156,76 @@ func main() {
 			st.WAL.DurableLSN, st.WAL.AppendedLSN, st.WAL.Segments,
 			st.WAL.AppendedBytes, st.WAL.Syncs, st.WAL.Checkpoints)
 	}
+	if *traceEvery > 0 {
+		if err := reportSlowTraces(base, 5); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: trace report:", err)
+		}
+	}
+}
+
+// traceparentEvery returns a ClientConfig.Traceparent hook sampling every
+// nth POST with a fresh random (forced-sample) trace context, or nil when
+// n <= 0. Each worker gets its own hook; the client serialises calls.
+func traceparentEvery(n int, seed int64) func() string {
+	if n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed*7919 + 1))
+	sends := 0
+	return func() string {
+		sends++
+		if sends%n != 0 {
+			return ""
+		}
+		var sc trace.SpanContext
+		rng.Read(sc.Trace[:])
+		rng.Read(sc.Span[:])
+		sc.Sampled = true
+		return sc.Traceparent()
+	}
+}
+
+// reportSlowTraces fetches the server's kept traces and prints the slowest
+// few as one-line summaries: the tail the POST percentiles only hint at.
+func reportSlowTraces(base string, top int) error {
+	var reply struct {
+		Traces []trace.Trace `json:"traces"`
+	}
+	if err := getJSON(base+collector.PathTraces+"?limit=100", &reply); err != nil {
+		return err
+	}
+	if len(reply.Traces) == 0 {
+		fmt.Println("\nserver kept no traces (is collectord running with -trace?)")
+		return nil
+	}
+	sort.Slice(reply.Traces, func(i, j int) bool {
+		return reply.Traces[i].Duration > reply.Traces[j].Duration
+	})
+	if top > len(reply.Traces) {
+		top = len(reply.Traces)
+	}
+	fmt.Printf("\nslowest kept traces (%d of %d):\n", top, len(reply.Traces))
+	for _, tr := range reply.Traces[:top] {
+		var slowest trace.SpanData
+		errs := 0
+		for _, sd := range tr.Spans {
+			if sd.Error != "" {
+				errs++
+			}
+			if !sd.Root && sd.DurationNS > slowest.DurationNS {
+				slowest = sd
+			}
+		}
+		line := fmt.Sprintf("  %s  %8v  %2d spans", tr.ID, tr.Duration.Round(time.Microsecond), len(tr.Spans))
+		if slowest.Name != "" {
+			line += fmt.Sprintf("  slowest child %s (%v)", slowest.Name, slowest.Duration().Round(time.Microsecond))
+		}
+		if errs > 0 {
+			line += fmt.Sprintf("  errors=%d", errs)
+		}
+		fmt.Println(line)
+	}
+	return nil
 }
 
 type payload struct {
@@ -161,12 +240,13 @@ type workerResult struct {
 
 // replay cycles one worker through the shared pre-encoded payloads from
 // its own offset, pacing itself to rate records/sec until the deadline.
-func replay(base string, payloads []payload, offset int, rate float64, deadline time.Time) workerResult {
+func replay(base string, payloads []payload, offset int, rate float64, deadline time.Time, traceEvery int) workerResult {
 	client := collector.NewClient(base, collector.ClientConfig{
 		// Flushes are explicit sends of pre-encoded payloads; the timer
 		// would only add jitter to the latency measurement.
-		FlushEvery: 0,
-		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		FlushEvery:  0,
+		HTTPClient:  &http.Client{Timeout: 30 * time.Second},
+		Traceparent: traceparentEvery(traceEvery, int64(offset)),
 	})
 	start := time.Now()
 	sent := 0
@@ -255,6 +335,19 @@ func scrapeLoop(base string, interval, duration time.Duration) error {
 		dDrop := cur.dropped - prev.dropped
 		dAcks := cur.acks - prev.acks
 		dFsync := cur.fsyncs - prev.fsyncs
+
+		// A negative delta means the server restarted and its counters
+		// reset; rates computed against the old baseline would be negative
+		// garbage. Reseed and resume on the next interval — exactly how
+		// PromQL's rate() treats a reset.
+		if dAcc < 0 || dDrop < 0 || dAcks < 0 || dFsync < 0 {
+			fmt.Println("counter reset detected (server restart?); reseeding baseline")
+			prev = cur
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				return nil
+			}
+			continue
+		}
 
 		dropPct := 0.0
 		if dAcc+dDrop > 0 {

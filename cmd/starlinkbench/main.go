@@ -6,10 +6,18 @@
 //
 //	starlinkbench [-exp all|table1|fig1|fig3|fig4|fig5|table2|table3|fig6a|fig6b|fig6c|fig7|fig8|isl|ablations]
 //	              [-scale 1.0] [-seed 1] [-days 180] [-planes 72] [-svg dir]
+//	              [-metrics-out file] [-trace-out file]
 //
 // Scale trades fidelity for runtime: -scale 0.2 runs in a couple of minutes,
 // -scale 1 reproduces the paper-sized experiments. With -svg, each figure is
 // additionally written as an SVG into the given directory.
+//
+// With -metrics-out, the run is metered: every bent pipe and simulated link
+// registers counters (handovers, outages, loss windows, per-link drops) on an
+// obs registry whose Prometheus exposition is written to the file at exit.
+// With -trace-out, the run carries a root simulation span that collects those
+// models' events; the kept traces are written as JSONL (render with
+// tools/traceview).
 package main
 
 import (
@@ -21,17 +29,21 @@ import (
 	"time"
 
 	"starlinkview/internal/core"
+	"starlinkview/internal/obs"
 	"starlinkview/internal/plot"
+	"starlinkview/internal/trace"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (all, table1, fig1, fig3, fig4, fig5, table2, table3, fig6a, fig6b, fig6c, fig7, fig8, isl, ablations)")
-		scale  = flag.Float64("scale", 0.3, "experiment scale: 1.0 = paper-sized, smaller = faster")
-		seed   = flag.Int64("seed", 1, "random seed (results are deterministic per seed)")
-		days   = flag.Int("days", 0, "browsing campaign length in days (default: 180*scale, min 60)")
-		planes = flag.Int("planes", 72, "orbital planes in the synthetic shell-1 constellation")
-		svgDir = flag.String("svg", "", "also write each figure as an SVG into this directory")
+		exp     = flag.String("exp", "all", "experiment to run (all, table1, fig1, fig3, fig4, fig5, table2, table3, fig6a, fig6b, fig6c, fig7, fig8, isl, ablations)")
+		scale   = flag.Float64("scale", 0.3, "experiment scale: 1.0 = paper-sized, smaller = faster")
+		seed    = flag.Int64("seed", 1, "random seed (results are deterministic per seed)")
+		days    = flag.Int("days", 0, "browsing campaign length in days (default: 180*scale, min 60)")
+		planes  = flag.Int("planes", 72, "orbital planes in the synthetic shell-1 constellation")
+		svgDir  = flag.String("svg", "", "also write each figure as an SVG into this directory")
+		metrics = flag.String("metrics-out", "", "write the run's metric registry (Prometheus text) to this file at exit")
+		traces  = flag.String("trace-out", "", "write the run's kept traces (JSONL) to this file at exit")
 	)
 	flag.Parse()
 
@@ -63,6 +75,23 @@ func main() {
 	}
 	if !known {
 		fatal(fmt.Errorf("unknown experiment %q (choose from: %s)", *exp, valid))
+	}
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		cfg.Registry = reg
+	}
+	var (
+		tracer  *trace.Tracer
+		simSpan *trace.Span
+	)
+	if *traces != "" {
+		tracer = trace.New(trace.Config{Seed: *seed})
+		// The sampled flag forces the tail sampler to keep the run's trace.
+		simSpan = tracer.StartRoot("simulation "+*exp, trace.SpanContext{Sampled: true})
+		simSpan.SetAttr("exp", *exp)
+		cfg.Trace = simSpan
 	}
 
 	start := time.Now()
@@ -250,8 +279,38 @@ func main() {
 		return nil
 	})
 
+	if reg != nil {
+		if err := writeFile(*metrics, func(w *os.File) error { return reg.WritePrometheus(w) }); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", *metrics)
+	}
+	if simSpan != nil {
+		simSpan.Finish()
+		if err := writeFile(*traces, func(w *os.File) error {
+			return trace.WriteJSONL(w, tracer.Traces(0, 0))
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", *traces)
+	}
+
 	fmt.Printf("total: %v (seed=%d scale=%.2f days=%d planes=%d)\n",
 		time.Since(start).Round(time.Millisecond), cfg.Seed, cfg.Scale, cfg.BrowsingDays, cfg.Planes)
+}
+
+// writeFile renders into path through an os.File so render funcs taking
+// either io.Writer or *os.File fit.
+func writeFile(path string, render func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -29,6 +29,7 @@ import (
 	"starlinkview/internal/geo"
 	"starlinkview/internal/netsim"
 	"starlinkview/internal/orbit"
+	"starlinkview/internal/trace"
 	"starlinkview/internal/weather"
 )
 
@@ -147,6 +148,11 @@ type Config struct {
 	// Metrics, if non-nil, publishes handover/loss-window counters and
 	// capacity gauges (see NewMetrics). Nil keeps the model unmetered.
 	Metrics *Metrics
+	// Trace, if non-nil, receives handover/outage/loss-window span events
+	// stamped with the simulated time, so a starlinkbench run's trace shows
+	// when the link misbehaved. The span's event cap bounds the cost over
+	// long simulations.
+	Trace *trace.Span
 }
 
 // LinkState is an analytic snapshot of the link at one instant.
@@ -333,10 +339,20 @@ func (b *BentPipe) reselect(t time.Duration) {
 		if next := b.best(t); next != nil && next != b.serving {
 			b.handoverSeen++
 			b.cfg.Metrics.softHandover()
+			b.traceEvent("handover.soft", t, trace.Str("to", next.Name))
 			b.serving = next
 			b.startSpike(t, time.Duration(80+b.rng.Intn(170))*time.Millisecond, softHandoverLoss)
 		}
 	}
+}
+
+// traceEvent records one link event on the configured trace span, stamped
+// with the simulated time. Nil-safe: an untraced link pays one nil test.
+func (b *BentPipe) traceEvent(name string, t time.Duration, attrs ...trace.Attr) {
+	if b.cfg.Trace == nil {
+		return
+	}
+	b.cfg.Trace.Event(name, append(attrs, trace.Str("sim_t", t.String()))...)
 }
 
 // losExit handles the serving satellite dropping out of line of sight: the
@@ -346,10 +362,12 @@ func (b *BentPipe) losExit(t time.Duration) {
 	b.handoverSeen++
 	b.hardSeen++
 	b.cfg.Metrics.hardHandover()
+	b.traceEvent("handover.hard", t)
 	b.serving = b.best(t)
 	if b.serving == nil {
 		// Nothing visible at all: hard outage until the next slot.
 		b.cfg.Metrics.outage()
+		b.traceEvent("outage", t, trace.Str("until", (t+b.cfg.HandoverInterval).String()))
 		b.startSpike(t, b.cfg.HandoverInterval, outageLoss)
 		return
 	}
@@ -362,6 +380,7 @@ func (b *BentPipe) losExit(t time.Duration) {
 // startSpike opens a short high-loss window.
 func (b *BentPipe) startSpike(t, dur time.Duration, loss float64) {
 	b.cfg.Metrics.spike()
+	b.traceEvent("loss.spike", t, trace.Str("dur", dur.String()))
 	if until := t + dur; until > b.spikeUntil {
 		b.spikeUntil = until
 		b.spikeLoss = loss
@@ -371,6 +390,7 @@ func (b *BentPipe) startSpike(t, dur time.Duration, loss float64) {
 // startDegraded opens a moderate-loss window with a heavy-tailed loss rate.
 func (b *BentPipe) startDegraded(t, dur time.Duration) {
 	b.cfg.Metrics.degraded()
+	b.traceEvent("loss.degraded", t, trace.Str("dur", dur.String()))
 	loss := 0.02 + b.rng.ExpFloat64()*0.06
 	if loss > 0.35 {
 		loss = 0.35

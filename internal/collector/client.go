@@ -13,6 +13,7 @@ import (
 	"starlinkview/internal/dataset"
 	"starlinkview/internal/extension"
 	"starlinkview/internal/stats"
+	"starlinkview/internal/trace"
 )
 
 // ClientConfig tunes the batching ingest client.
@@ -26,6 +27,11 @@ type ClientConfig struct {
 	FlushEvery time.Duration
 	// HTTPClient overrides the transport (default http.DefaultClient).
 	HTTPClient *http.Client
+	// Traceparent, if set, runs once per POST; a non-empty result is sent
+	// as the W3C traceparent header, so a traced server parents its spans
+	// under the caller's trace (and keeps it, when the sampled flag is
+	// set). Return "" to leave a request unsampled.
+	Traceparent func() string
 }
 
 func (c *ClientConfig) normalize() {
@@ -194,7 +200,17 @@ func (c *Client) SendExtensionBatch(payload []byte, n int) error {
 
 func (c *Client) post(path, contentType string, body io.Reader, n int) error {
 	start := time.Now()
-	resp, err := c.cfg.HTTPClient.Post(c.base+path, contentType, body)
+	req, err := http.NewRequest(http.MethodPost, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("collector: post %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	if c.cfg.Traceparent != nil {
+		if tp := c.cfg.Traceparent(); tp != "" {
+			req.Header.Set(trace.TraceparentHeader, tp)
+		}
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return fmt.Errorf("collector: post %s: %w", path, err)
 	}

@@ -32,6 +32,7 @@ import (
 	"starlinkview/internal/extension"
 	"starlinkview/internal/obs"
 	"starlinkview/internal/stats"
+	"starlinkview/internal/trace"
 	"starlinkview/internal/wal"
 )
 
@@ -91,6 +92,12 @@ type Config struct {
 	// the Block policy — with DropNewest, a logged-then-shed record would
 	// resurrect on replay.
 	WAL WALConfig
+	// Tracer, when set, spans the ingest path end to end: the HTTP server
+	// opens a root span per request (continuing an incoming traceparent),
+	// and batch decode, WAL append, group-commit fsync and shard apply
+	// report as children. Nil disables tracing at one pointer test per
+	// site.
+	Tracer *trace.Tracer
 
 	// applyDelay slows each record application; tests use it to force
 	// queue pressure deterministically.
@@ -121,10 +128,14 @@ const (
 )
 
 // item is one queued record, stamped at enqueue so shards can measure
-// ingest latency (time spent queued before application).
+// ingest latency (time spent queued before application). span is valid only
+// on a batch's representative record (the first accepted one): the shard
+// opens a single shard.apply span per batch from it, so the per-record hot
+// path pays one Valid() branch, not one span.
 type item struct {
 	kind     itemKind
 	enqueued time.Time
+	span     trace.SpanContext
 	ext      extension.Record
 	node     dataset.NodeSample
 }
@@ -207,6 +218,9 @@ func OpenAggregator(cfg Config) (*Aggregator, error) {
 	// positions live behind its mutex. Both are read on demand instead of
 	// being pushed per event.
 	cfg.Registry.OnGather(a.gatherGauges)
+	if cfg.Tracer != nil {
+		registerTracerGauges(cfg.Registry, cfg.Tracer)
+	}
 	a.ready.Store(true)
 	return a, nil
 }
@@ -287,9 +301,23 @@ func (a *Aggregator) OfferExtension(r extension.Record) bool {
 	return a.offer(a.shardFor(r.City, r.ISP), item{kind: itemExtension, ext: r})
 }
 
+// OfferExtensionSpan is OfferExtension carrying a span context through the
+// shard queue: the shard reports a shard.apply child span and stamps the
+// apply-latency histogram with the trace as an exemplar. Pass the zero
+// context for untraced records.
+func (a *Aggregator) OfferExtensionSpan(r extension.Record, sc trace.SpanContext) bool {
+	return a.offer(a.shardFor(r.City, r.ISP), item{kind: itemExtension, ext: r, span: sc})
+}
+
 // OfferNodeSample submits one volunteer-node sample.
 func (a *Aggregator) OfferNodeSample(s dataset.NodeSample) bool {
 	return a.offer(a.shardFor(s.Node, s.Kind), item{kind: itemNode, node: s})
+}
+
+// OfferNodeSampleSpan is OfferNodeSample carrying a span context; see
+// OfferExtensionSpan.
+func (a *Aggregator) OfferNodeSampleSpan(s dataset.NodeSample, sc trace.SpanContext) bool {
+	return a.offer(a.shardFor(s.Node, s.Kind), item{kind: itemNode, node: s, span: sc})
 }
 
 func (a *Aggregator) offer(sh *shard, it item) bool {
@@ -303,10 +331,16 @@ func (a *Aggregator) offer(sh *shard, it item) bool {
 	// the WAL, so a crash at any later point replays it. Durability of the
 	// ack is the caller's job (SyncWAL) — group commit batches the fsync.
 	if a.wal != nil {
-		if _, err := a.appendWAL(it); err != nil {
+		sp := a.cfg.Tracer.StartChild(it.span, "wal.append")
+		lsn, err := a.appendWAL(it)
+		if err != nil {
+			sp.SetError(err)
+			sp.Finish()
 			sh.met.dropped[it.kind].Inc()
 			return false
 		}
+		sp.SetInt("lsn", int64(lsn))
+		sp.Finish()
 	}
 	it.enqueued = time.Now()
 	if a.cfg.Policy == Block {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"starlinkview/internal/obs"
+	"starlinkview/internal/trace"
 	"starlinkview/internal/wal"
 )
 
@@ -39,6 +40,7 @@ type metrics struct {
 	walFsyncs        *obs.Counter   // wal_fsyncs_total
 	walFsyncDuration *obs.Histogram // wal_fsync_duration_seconds
 	walCommitBatch   *obs.Histogram // wal_commit_batch_records
+	walCommitWait    *obs.Histogram // wal_commit_wait_seconds
 	walRotations     *obs.Counter   // wal_rotations_total
 	walCheckpoints   *obs.Counter   // wal_checkpoints_total
 
@@ -92,6 +94,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		walCommitBatch: reg.Histogram("wal_commit_batch_records",
 			"Records made durable per fsync (the group-commit batch size).",
 			obs.DefSizeBuckets),
+		walCommitWait: reg.Histogram("wal_commit_wait_seconds",
+			"Time Commit callers blocked waiting for their covering fsync.", nil),
 		walRotations: reg.Counter("wal_rotations_total",
 			"Segment rotations performed."),
 		walCheckpoints: reg.Counter("wal_checkpoints_total",
@@ -165,8 +169,33 @@ func (m *metrics) walInstrumentation() wal.Instrumentation {
 				m.walCommitBatch.Observe(float64(records))
 			}
 		},
-		Rotate: func() { m.walRotations.Inc() },
+		Rotate:     func() { m.walRotations.Inc() },
+		CommitWait: func(d time.Duration) { m.walCommitWait.Observe(d.Seconds()) },
 	}
+}
+
+// registerTracerGauges mirrors the tracer's own counters into scrape-time
+// gauges, so the sampling behaviour (kept vs dropped traces, span volume)
+// is visible on the same /metrics page as the latencies the spans explain.
+func registerTracerGauges(reg *obs.Registry, t *trace.Tracer) {
+	started := reg.Gauge("trace_started_spans",
+		"Spans started by the request tracer.")
+	finished := reg.Gauge("trace_finished_spans",
+		"Spans finished and handed to the trace store.")
+	kept := reg.Gauge("trace_kept_traces",
+		"Traces kept by the tail sampler (errors, forced, slowest-N%).")
+	droppedTraces := reg.Gauge("trace_dropped_traces",
+		"Completed or evicted traces the tail sampler discarded.")
+	droppedSpans := reg.Gauge("trace_dropped_spans",
+		"Spans discarded after their trace's drop decision or span cap.")
+	reg.OnGather(func() {
+		st := t.Stats()
+		started.Set(float64(st.StartedSpans))
+		finished.Set(float64(st.FinishedSpans))
+		kept.Set(float64(st.KeptTraces))
+		droppedTraces.Set(float64(st.DroppedTraces))
+		droppedSpans.Set(float64(st.DroppedSpans))
+	})
 }
 
 // setRecovery publishes what startup recovery rebuilt.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"starlinkview/internal/dataset"
+	"starlinkview/internal/trace"
 )
 
 // Wire paths and content types of the ingest protocol. Extension records
@@ -24,6 +25,7 @@ const (
 	PathStats           = "/stats"
 	PathMetrics         = "/metrics"
 	PathHealthz         = "/healthz"
+	PathTraces          = "/traces"
 
 	extensionContentType = "text/csv"
 	nodeContentType      = "application/x-ndjson"
@@ -70,6 +72,9 @@ func OpenServer(cfg Config) (*Server, error) {
 	mux.HandleFunc(PathStats, s.instrument(PathStats, s.handleStats))
 	mux.HandleFunc(PathMetrics, s.instrument(PathMetrics, agg.Registry().Handler().ServeHTTP))
 	mux.HandleFunc(PathHealthz, s.instrument(PathHealthz, s.handleHealthz))
+	if cfg.Tracer != nil {
+		mux.HandleFunc(PathTraces, s.instrument(PathTraces, trace.Handler(cfg.Tracer).ServeHTTP))
+	}
 	s.hs = &http.Server{Handler: mux}
 	return s, nil
 }
@@ -87,16 +92,34 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with the http_requests_total and
-// http_request_duration_seconds series for its path.
+// http_request_duration_seconds series for its path, and — with a tracer
+// configured — opens the request's root span, continuing an incoming W3C
+// traceparent (so a load generator's forced-sample flag survives into the
+// tail sampler's keep decision).
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	m := s.agg.met
 	duration := m.httpDuration.With(path)
+	tracer := s.agg.cfg.Tracer
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		var sp *trace.Span
+		if tracer != nil {
+			parent, _ := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
+			sp = tracer.StartRoot("http "+r.Method+" "+path, parent)
+			sp.SetAttr("path", path)
+			r = r.WithContext(trace.NewContext(r.Context(), sp))
+		}
 		h(sw, r)
 		duration.Observe(time.Since(start).Seconds())
 		m.httpRequests.With(path, strconv.Itoa(sw.status)).Inc()
+		if sp != nil {
+			sp.SetInt("status", int64(sw.status))
+			if sw.status >= http.StatusInternalServerError {
+				sp.SetError(fmt.Errorf("http status %d", sw.status))
+			}
+			sp.Finish()
+		}
 	}
 }
 
@@ -155,6 +178,7 @@ func (s *Server) handleIngestExtension(w http.ResponseWriter, r *http.Request) {
 	cr := csv.NewReader(r.Body)
 	cr.FieldsPerRecord = len(dataset.ExtensionHeader())
 	cr.ReuseRecord = true
+	decode := s.startDecode(r)
 	var reply IngestReply
 	for {
 		row, err := cr.Read()
@@ -162,21 +186,55 @@ func (s *Server) handleIngestExtension(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if err != nil {
+			decode.SetError(err)
+			decode.Finish()
 			ingestError(w, reply, fmt.Sprintf("bad row: %v", err))
 			return
 		}
 		rec, err := dataset.UnmarshalExtensionRow(row)
 		if err != nil {
+			decode.SetError(err)
+			decode.Finish()
 			ingestError(w, reply, fmt.Sprintf("bad record: %v", err))
 			return
 		}
-		if s.agg.OfferExtension(rec) {
+		if s.agg.OfferExtensionSpan(rec, representative(decode, reply)) {
 			reply.Accepted++
 		} else {
 			reply.Dropped++
 		}
 	}
-	s.ackIngest(w, reply, start)
+	finishDecode(decode, reply)
+	s.ackIngest(w, r, reply, start)
+}
+
+// startDecode opens the batch-decode span under the request's root span
+// (nil without a tracer, and then every downstream span call is a no-op).
+func (s *Server) startDecode(r *http.Request) *trace.Span {
+	root := trace.FromContext(r.Context())
+	if root == nil {
+		return nil
+	}
+	return s.agg.cfg.Tracer.StartChild(root.Context(), "ingest.decode")
+}
+
+// representative picks the span context the batch threads through the shard
+// queue: the first accepted record carries the decode span, the rest a zero
+// context — one shard.apply span per batch, one branch per record.
+func representative(decode *trace.Span, reply IngestReply) trace.SpanContext {
+	if decode == nil || reply.Accepted > 0 {
+		return trace.SpanContext{}
+	}
+	return decode.Context()
+}
+
+func finishDecode(decode *trace.Span, reply IngestReply) {
+	if decode == nil {
+		return
+	}
+	decode.SetInt("accepted", int64(reply.Accepted))
+	decode.SetInt("dropped", int64(reply.Dropped))
+	decode.Finish()
 }
 
 func (s *Server) handleIngestNode(w http.ResponseWriter, r *http.Request) {
@@ -186,37 +244,55 @@ func (s *Server) handleIngestNode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dec := json.NewDecoder(r.Body)
+	decode := s.startDecode(r)
 	var reply IngestReply
 	for {
 		var sample dataset.NodeSample
 		if err := dec.Decode(&sample); err == io.EOF {
 			break
 		} else if err != nil {
+			decode.SetError(err)
+			decode.Finish()
 			ingestError(w, reply, fmt.Sprintf("bad sample: %v", err))
 			return
 		}
-		if s.agg.OfferNodeSample(sample) {
+		if s.agg.OfferNodeSampleSpan(sample, representative(decode, reply)) {
 			reply.Accepted++
 		} else {
 			reply.Dropped++
 		}
 	}
-	s.ackIngest(w, reply, start)
+	finishDecode(decode, reply)
+	s.ackIngest(w, r, reply, start)
 }
 
 // ackIngest is the durability barrier: with a WAL, the 200 is sent only
 // once every record in the batch is fsynced (group commit shares one fsync
 // across concurrent batches). A sender that gets a 5xx must assume nothing
-// and may retry — the protocol is at-least-once.
-func (s *Server) ackIngest(w http.ResponseWriter, reply IngestReply, start time.Time) {
-	if err := s.agg.SyncWAL(); err != nil {
+// and may retry — the protocol is at-least-once. The group-commit wait is
+// spanned as wal.fsync under the request's root, and the ack-latency
+// histogram carries the trace as an exemplar.
+func (s *Server) ackIngest(w http.ResponseWriter, r *http.Request, reply IngestReply, start time.Time) {
+	root := trace.FromContext(r.Context())
+	var fsync *trace.Span
+	if root != nil && s.agg.wal != nil {
+		fsync = s.agg.cfg.Tracer.StartChild(root.Context(), "wal.fsync")
+	}
+	err := s.agg.SyncWAL()
+	fsync.SetError(err)
+	fsync.Finish()
+	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, struct {
 			IngestReply
 			Error string `json:"error"`
 		}{reply, fmt.Sprintf("wal commit: %v", err)})
 		return
 	}
-	s.agg.met.ackLatency.Observe(time.Since(start).Seconds())
+	if root != nil {
+		s.agg.met.ackLatency.ObserveExemplar(time.Since(start).Seconds(), root.Context().Trace.String())
+	} else {
+		s.agg.met.ackLatency.Observe(time.Since(start).Seconds())
+	}
 	writeJSON(w, http.StatusOK, reply)
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"starlinkview/internal/stats"
+	"starlinkview/internal/trace"
 )
 
 // extKey groups browsing records the way the batch pipeline's city table
@@ -45,6 +46,7 @@ type shard struct {
 	ctl        chan chan<- shardSnap
 	relErr     float64
 	applyDelay time.Duration
+	tracer     *trace.Tracer
 
 	met shardMetrics
 
@@ -59,6 +61,7 @@ func newShard(id int, cfg Config, m *metrics) *shard {
 		ctl:        make(chan chan<- shardSnap),
 		relErr:     cfg.SketchRelErr,
 		applyDelay: cfg.applyDelay,
+		tracer:     cfg.Tracer,
 		met:        m.shard(id),
 		ext:        make(map[extKey]*extAgg),
 		nodes:      make(map[nodeKey]*nodeAgg),
@@ -86,7 +89,17 @@ func (s *shard) apply(it item) {
 	if s.applyDelay > 0 {
 		time.Sleep(s.applyDelay)
 	}
-	s.met.applyLatency.Observe(time.Since(it.enqueued).Seconds())
+	// A valid span context marks the batch's representative record: open
+	// the (back-dated) shard.apply span covering queue wait plus apply, and
+	// stamp the latency histogram with the trace as an exemplar.
+	var sp *trace.Span
+	if it.span.Valid() {
+		sp = s.tracer.StartChildAt(it.span, "shard.apply", it.enqueued)
+		sp.SetInt("shard", int64(s.id))
+		s.met.applyLatency.ObserveExemplar(time.Since(it.enqueued).Seconds(), it.span.Trace.String())
+	} else {
+		s.met.applyLatency.Observe(time.Since(it.enqueued).Seconds())
+	}
 	switch it.kind {
 	case itemExtension:
 		r := it.ext
@@ -115,6 +128,7 @@ func (s *shard) apply(it item) {
 		g.lossSum += n.LossPct
 	}
 	s.met.processed.Inc()
+	sp.Finish()
 }
 
 // stats reads the shard's counters from the registry children. Safe from

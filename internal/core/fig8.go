@@ -47,6 +47,7 @@ func (s *Study) fig8Envs() map[string]fig8Env {
 			b, err := ispnet.Build(ispnet.Config{
 				Kind: ispnet.Starlink, City: ispnet.Wiltshire, Server: ispnet.LondonDC,
 				Constellation: s.Constellation, Epoch: s.cfg.Epoch, Short: true, Seed: seed,
+				Registry: s.cfg.Registry, Trace: s.cfg.Trace,
 			})
 			return sim, b, err
 		}},
@@ -55,6 +56,7 @@ func (s *Study) fig8Envs() map[string]fig8Env {
 			b, err := ispnet.Build(ispnet.Config{
 				Kind: ispnet.Broadband, City: ispnet.London, Server: ispnet.LondonDC,
 				Short: true, Seed: seed,
+				Registry: s.cfg.Registry, Trace: s.cfg.Trace,
 			})
 			return sim, b, err
 		}},
@@ -131,6 +133,7 @@ func (s *Study) AblationLossModel() ([]AblationLossRow, error) {
 	built, err := ispnet.Build(ispnet.Config{
 		Kind: ispnet.Starlink, City: ispnet.Wiltshire, Server: ispnet.LondonDC,
 		Constellation: s.Constellation, Epoch: s.cfg.Epoch, Short: true,
+		Registry: s.cfg.Registry, Trace: s.cfg.Trace,
 		Seed: s.cfg.Seed + 2100,
 	})
 	if err != nil {
@@ -221,6 +224,7 @@ func (s *Study) AblationHandoverPolicy() ([]AblationHandoverRow, error) {
 		built, err := ispnet.Build(ispnet.Config{
 			Kind: ispnet.Starlink, City: ispnet.Wiltshire, Server: ispnet.LondonDC,
 			Constellation: s.Constellation, Epoch: s.cfg.Epoch, Short: true,
+			Registry: s.cfg.Registry, Trace: s.cfg.Trace,
 			Policy: policy, Seed: s.cfg.Seed + 2300,
 		})
 		if err != nil {

@@ -68,6 +68,7 @@ func (s *Study) ExtensionISL() ([]ISLRow, error) {
 		built, err := ispnet.Build(ispnet.Config{
 			Kind: ispnet.Starlink, City: p.city, Server: p.server,
 			Constellation: s.Constellation, Epoch: s.cfg.Epoch,
+			Registry: s.cfg.Registry, Trace: s.cfg.Trace,
 			Short: true, Seed: s.cfg.Seed + int64(2600+i),
 		})
 		if err != nil {

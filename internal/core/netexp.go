@@ -31,6 +31,8 @@ func (s *Study) newVolunteerNodeWx(city ispnet.City, epoch time.Time, seed int64
 		Epoch:         epoch,
 		WithWeather:   withWeather,
 		Seed:          s.cfg.Seed + seed,
+		Registry:      s.cfg.Registry,
+		Trace:         s.cfg.Trace,
 	})
 }
 
@@ -58,6 +60,7 @@ func (s *Study) Figure5() (Fig5Result, error) {
 		built, err := ispnet.Build(ispnet.Config{
 			Kind: kind, City: ispnet.London, Server: ispnet.NVirginiaDC,
 			Constellation: s.Constellation, Epoch: s.cfg.Epoch,
+			Registry: s.cfg.Registry, Trace: s.cfg.Trace,
 			Seed: s.cfg.Seed + 500 + int64(kind),
 		})
 		if err != nil {
@@ -159,6 +162,7 @@ func (s *Study) Table3() ([]Table3Row, error) {
 		built, err := ispnet.Build(ispnet.Config{
 			Kind: ispnet.Starlink, City: city, Server: ispnet.IowaDC,
 			Constellation: s.Constellation, Epoch: s.cfg.Epoch,
+			Registry: s.cfg.Registry, Trace: s.cfg.Trace,
 			Short: true, Seed: s.cfg.Seed + int64(700+ci),
 		})
 		if err != nil {

@@ -21,7 +21,9 @@ import (
 	"starlinkview/internal/bentpipe"
 	"starlinkview/internal/extension"
 	"starlinkview/internal/ispnet"
+	"starlinkview/internal/obs"
 	"starlinkview/internal/orbit"
+	"starlinkview/internal/trace"
 	"starlinkview/internal/tranco"
 	"starlinkview/internal/weather"
 	"starlinkview/internal/webperf"
@@ -45,6 +47,15 @@ type Config struct {
 	// paper-sized experiments, smaller values shrink sample counts and
 	// test durations proportionally (floored at usable minimums).
 	Scale float64
+
+	// Registry, if non-nil, meters the simulation: every bent pipe the
+	// study builds shares one bentpipe.Metrics set (counters aggregate
+	// across users), and experiment paths register per-link counters.
+	// Nil keeps the study unmetered.
+	Registry *obs.Registry
+	// Trace, if non-nil, receives simulation span events (handovers,
+	// outages, loss windows, link drops) from every model the study runs.
+	Trace *trace.Span
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -81,6 +92,9 @@ type Study struct {
 	// weatherByCity powers the OpenWeatherMap-style historical join; each
 	// city gets one generator used for record tagging.
 	weatherByCity map[string]*weather.Generator
+	// pipeMetrics is the shared bent-pipe metric set when cfg.Registry is
+	// configured; counters aggregate across all users' pipes.
+	pipeMetrics *bentpipe.Metrics
 
 	browsed bool
 }
@@ -123,6 +137,9 @@ func NewStudy(cfg Config) (*Study, error) {
 		List:          list,
 		Collector:     collector,
 		weatherByCity: make(map[string]*weather.Generator),
+	}
+	if cfg.Registry != nil {
+		s.pipeMetrics = bentpipe.NewMetrics(cfg.Registry)
 	}
 	for _, c := range ispnet.Cities() {
 		g, err := weather.NewGenerator(c.Climatology, cfg.Seed+int64(len(c.Name)))
@@ -183,7 +200,9 @@ func (s *Study) starlinkAccess(city ispnet.City, seed int64) (extension.AccessFu
 			UTCOffsetHours: city.UTCOffsetHours,
 			Subscribers:    city.Subscribers,
 		},
-		Seed: seed,
+		Metrics: s.pipeMetrics,
+		Trace:   s.cfg.Trace,
+		Seed:    seed,
 	})
 	if err != nil {
 		return nil, err

@@ -16,7 +16,9 @@ import (
 	"starlinkview/internal/bentpipe"
 	"starlinkview/internal/geo"
 	"starlinkview/internal/netsim"
+	"starlinkview/internal/obs"
 	"starlinkview/internal/orbit"
+	"starlinkview/internal/trace"
 	"starlinkview/internal/weather"
 )
 
@@ -192,6 +194,15 @@ type Config struct {
 	// simulation stays cheap; traceroute experiments need the full path.
 	Short bool
 
+	// Registry, if non-nil, meters every built link (netsim.NewLinkMetrics)
+	// and the bent pipe (bentpipe.NewMetrics) so a simulation run can be
+	// scraped or dumped alongside the collector's series. Nil keeps the
+	// path unmetered at zero per-packet cost.
+	Registry *obs.Registry
+	// Trace, if non-nil, receives link drop events and the bent pipe's
+	// handover/outage/loss-window events on the given span.
+	Trace *trace.Span
+
 	Seed int64
 }
 
@@ -307,6 +318,24 @@ func coreShort(cfg Config, ixLoc geo.LatLon) (nodes []*netsim.Node, fwd, rev []n
 	return []*netsim.Node{server}, []netsim.LinkSpec{spec(seed + 1)}, []netsim.LinkSpec{spec(seed + 2)}
 }
 
+// instrumentSpecs attaches the config's registry and trace span to every
+// link spec, so the links NewPath builds are metered and drop-traced.
+func instrumentSpecs(cfg Config, specs []netsim.LinkSpec) []netsim.LinkSpec {
+	if cfg.Registry == nil && cfg.Trace == nil {
+		return specs
+	}
+	for i := range specs {
+		if cfg.Registry != nil {
+			reg := cfg.Registry
+			specs[i].MetricsFor = func(name string) *netsim.LinkMetrics {
+				return netsim.NewLinkMetrics(reg, name)
+			}
+		}
+		specs[i].Trace = cfg.Trace
+	}
+	return specs
+}
+
 // coreSegment picks the full or collapsed wide-area segment.
 func coreSegment(cfg Config, ixLoc geo.LatLon, prefix string) ([]*netsim.Node, []netsim.LinkSpec, []netsim.LinkSpec) {
 	if cfg.Short {
@@ -338,6 +367,10 @@ func buildStarlink(cfg Config) (*Built, error) {
 	if up == 0 {
 		up = defaultStarlinkUp
 	}
+	var pipeMetrics *bentpipe.Metrics
+	if cfg.Registry != nil {
+		pipeMetrics = bentpipe.NewMetrics(cfg.Registry)
+	}
 	pipe, err := bentpipe.New(bentpipe.Config{
 		Terminal:        cfg.City.Loc,
 		PoP:             cfg.City.PoP,
@@ -352,7 +385,9 @@ func buildStarlink(cfg Config) (*Built, error) {
 			UTCOffsetHours: cfg.City.UTCOffsetHours,
 			Subscribers:    cfg.City.Subscribers,
 		},
-		Seed: cfg.Seed,
+		Metrics: pipeMetrics,
+		Trace:   cfg.Trace,
+		Seed:    cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -382,7 +417,7 @@ func buildStarlink(cfg Config) (*Built, error) {
 		{RateBps: 50e9, Delay: ixDelay, DelayFn: jitterFn(cfg.Seed+102, 200*time.Microsecond)},
 	}, coreRev...)
 
-	p, err := netsim.NewPath(nodes, fwd, rev)
+	p, err := netsim.NewPath(nodes, instrumentSpecs(cfg, fwd), instrumentSpecs(cfg, rev))
 	if err != nil {
 		return nil, err
 	}
@@ -420,7 +455,7 @@ func buildBroadband(cfg Config) (*Built, error) {
 		{RateBps: 100e9, Delay: time.Millisecond, DelayFn: jitterFn(cfg.Seed+208, 200*time.Microsecond)},
 	}, coreRev...)
 
-	p, err := netsim.NewPath(nodes, fwd, rev)
+	p, err := netsim.NewPath(nodes, instrumentSpecs(cfg, fwd), instrumentSpecs(cfg, rev))
 	if err != nil {
 		return nil, err
 	}
@@ -457,7 +492,7 @@ func buildCellular(cfg Config) (*Built, error) {
 		{RateBps: 100e9, Delay: 2 * time.Millisecond, DelayFn: jitterFn(cfg.Seed+308, 500*time.Microsecond)},
 	}, coreRev...)
 
-	p, err := netsim.NewPath(nodes, fwd, rev)
+	p, err := netsim.NewPath(nodes, instrumentSpecs(cfg, fwd), instrumentSpecs(cfg, rev))
 	if err != nil {
 		return nil, err
 	}

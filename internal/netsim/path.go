@@ -1,6 +1,10 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"starlinkview/internal/trace"
+)
 
 // LinkSpec describes one direction of a hop's link.
 type LinkSpec struct {
@@ -11,10 +15,16 @@ type LinkSpec struct {
 	DelayFn func(now Time) Time
 	LossFn  func(now Time, p *Packet) bool
 	RateFn  func(now Time) float64
+
+	// MetricsFor, if set, is called with the built link's name and the
+	// result assigned to Link.Metrics (use NewLinkMetrics with a registry
+	// closed over). Trace is copied to Link.Trace for drop events.
+	MetricsFor func(name string) *LinkMetrics
+	Trace      *trace.Span
 }
 
 func (spec LinkSpec) build(name string, dst Handler) *Link {
-	return &Link{
+	l := &Link{
 		Name:      name,
 		RateBps:   spec.RateBps,
 		Delay:     spec.Delay,
@@ -23,7 +33,12 @@ func (spec LinkSpec) build(name string, dst Handler) *Link {
 		LossFn:    spec.LossFn,
 		RateFn:    spec.RateFn,
 		Dst:       dst,
+		Trace:     spec.Trace,
 	}
+	if spec.MetricsFor != nil {
+		l.Metrics = spec.MetricsFor(name)
+	}
+	return l
 }
 
 // Path is a linear chain of nodes joined by a pair of directed links per hop.

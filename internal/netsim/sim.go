@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"starlinkview/internal/trace"
 )
 
 // Time is simulated time since the start of the run.
@@ -225,9 +227,26 @@ type Link struct {
 	// obs.Registry (see NewLinkMetrics). Nil keeps the link unmetered.
 	Metrics *LinkMetrics
 
+	// Trace, if non-nil, receives a span event per dropped packet, stamped
+	// with the simulated time and drop reason. The span's event cap bounds
+	// the cost on lossy runs; nil keeps the drop path allocation-free.
+	Trace *trace.Span
+
 	busyUntil   Time
 	lastArrival Time
 	stats       LinkStats
+}
+
+// traceDrop records a packet drop on the link's trace span, if any.
+func (l *Link) traceDrop(now Time, p *Packet, reason string) {
+	if l.Trace == nil {
+		return
+	}
+	l.Trace.Event("link.drop",
+		trace.Str("link", l.Name),
+		trace.Str("reason", reason),
+		trace.Int("size", int64(p.Size)),
+		trace.Str("sim_t", now.String()))
 }
 
 // Stats returns a copy of the link's counters.
@@ -267,6 +286,7 @@ func (l *Link) Send(s *Sim, p *Packet) {
 		l.stats.DroppedBytes += int64(p.Size)
 		l.stats.LossDropped++
 		l.Metrics.dropped(true)
+		l.traceDrop(now, p, "loss")
 		return
 	}
 
@@ -283,6 +303,7 @@ func (l *Link) Send(s *Sim, p *Packet) {
 			l.stats.DroppedPackets++
 			l.stats.DroppedBytes += int64(p.Size)
 			l.Metrics.dropped(false)
+			l.traceDrop(now, p, "queue")
 			return
 		}
 	}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// OpenMetricsContentType is the content type WriteOpenMetrics renders —
+// the negotiated type under which Prometheus ingests exemplars.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Exemplar links one concrete observation to the trace that produced it:
+// the bridge from an aggregate latency bucket back to a /traces waterfall.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	At      time.Time
+}
+
+// ObserveExemplar is Observe plus an exemplar: the bucket the value lands in
+// remembers (last-write-wins) the trace ID that put it there. An empty
+// traceID degrades to a plain Observe, so call sites can pass the sampled
+// trace ID unconditionally.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, At: time.Now()})
+	}
+}
+
+// Exemplars returns the per-bucket exemplars (+Inf bucket last); nil entries
+// mean no exemplar has landed in that bucket.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
+// --- cardinality guard ----------------------------------------------------
+
+// cardinality is the registry-wide per-family child cap. The zero value
+// (limit 0) means unlimited, so existing registries behave exactly as
+// before until LimitCardinality opts in.
+type cardinality struct {
+	max     atomic.Int64
+	dropped atomic.Pointer[Counter]
+}
+
+func (c *cardinality) limit() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.max.Load())
+}
+
+func (c *cardinality) drop() {
+	if c == nil {
+		return
+	}
+	if ctr := c.dropped.Load(); ctr != nil {
+		ctr.Inc()
+	}
+}
+
+// LimitCardinality caps every labeled family at max children. Once a family
+// is full, further label combinations still return a usable metric — it is
+// just not stored or rendered — and obs_dropped_labels_total counts each
+// refusal. max <= 0 removes the cap. The counter is registered on first
+// use so registries that never opt in render exactly as before.
+func (r *Registry) LimitCardinality(max int) {
+	if max > 0 && r.card.dropped.Load() == nil {
+		r.card.dropped.CompareAndSwap(nil, r.Counter("obs_dropped_labels_total",
+			"Label combinations refused by the registry cardinality cap."))
+	}
+	r.card.max.Store(int64(max))
+}
+
+// --- OpenMetrics rendering ------------------------------------------------
+
+// WriteOpenMetrics renders the registry as OpenMetrics text: the same
+// families, values and ordering as WritePrometheus, plus exemplar suffixes
+// on histogram bucket lines and the terminating # EOF. Counter samples keep
+// their full name (the repo's counters already carry the _total suffix that
+// OpenMetrics derives sample names from).
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.RLock()
+	hooks := append([]func(){}, r.onGather...)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b strings.Builder
+	for _, f := range fams {
+		f.renderOpenMetrics(&b)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) renderOpenMetrics(b *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	if len(children) == 0 {
+		return
+	}
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteByte('\n')
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.typ.String())
+	b.WriteByte('\n')
+	for i, key := range keys {
+		switch m := children[i].(type) {
+		case *Counter:
+			b.WriteString(f.name)
+			b.WriteString(key)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(m.Value(), 10))
+			b.WriteByte('\n')
+		case *Gauge:
+			b.WriteString(f.name)
+			b.WriteString(key)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(m.Value()))
+			b.WriteByte('\n')
+		case *Histogram:
+			renderHistogramOpenMetrics(b, f.name, key, m)
+		}
+	}
+}
+
+// renderHistogramOpenMetrics is renderHistogram plus exemplar suffixes:
+//
+//	name_bucket{le="0.01"} 5 # {trace_id="4bf9…"} 0.0043 1714406400.123
+func renderHistogramOpenMetrics(b *strings.Builder, name, key string, h *Histogram) {
+	bounds, cum := h.Buckets()
+	exemplars := h.Exemplars()
+	for i, bound := range bounds {
+		le := "+Inf"
+		if !math.IsInf(bound, 1) {
+			le = formatFloat(bound)
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		b.WriteString(mergeLabels(key, `le="`+le+`"`))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum[i], 10))
+		if ex := exemplars[i]; ex != nil {
+			b.WriteString(` # {trace_id="`)
+			b.WriteString(escapeLabelValue(ex.TraceID))
+			b.WriteString(`"} `)
+			b.WriteString(formatFloat(ex.Value))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatFloat(float64(ex.At.UnixNano())/1e9, 'f', 3, 64))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(key)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(h.Sum()))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	b.WriteString(key)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(h.Count(), 10))
+	b.WriteByte('\n')
+}

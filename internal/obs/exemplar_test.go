@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestOpenMetricsExemplars checks the OpenMetrics rendering: exemplar
+// suffixes land on the bucket the observation fell into, and the exposition
+// terminates with # EOF.
+func TestOpenMetricsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ex_latency_seconds", "h", []float64{0.01, 0.1})
+	h.ObserveExemplar(0.005, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.Observe(0.05) // no exemplar on this bucket
+	h.ObserveExemplar(0.07, "")
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition must end with # EOF:\n%s", out)
+	}
+	if !strings.Contains(out, `ex_latency_seconds_bucket{le="0.01"} 1 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.005 `) {
+		t.Errorf("missing exemplar on the 0.01 bucket:\n%s", out)
+	}
+	// The 0.1 bucket saw only exemplar-less observations.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `ex_latency_seconds_bucket{le="0.1"}`) && strings.Contains(line, "#") {
+			t.Errorf("0.1 bucket should carry no exemplar: %q", line)
+		}
+	}
+	if !strings.Contains(out, "ex_latency_seconds_count 3\n") {
+		t.Errorf("ObserveExemplar must still count observations:\n%s", out)
+	}
+}
+
+// TestParseTextRoundTripWithExemplars re-parses an exemplar-bearing
+// exposition: the scraper must read the sample values straight through the
+// exemplar suffixes.
+func TestParseTextRoundTripWithExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("exrt_latency_seconds", "h", []float64{0.01, 0.1}, "shard")
+	h.With("0").ObserveExemplar(0.005, "aaaabbbbccccddddaaaabbbbccccdddd")
+	h.With("0").ObserveExemplar(0.5, "ddddccccbbbbaaaaddddccccbbbbaaaa")
+	r.Counter("exrt_records_total", "c").Add(9)
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseText on exemplar exposition: %v", err)
+	}
+	if v, ok := samples.Value("exrt_records_total", nil); !ok || v != 9 {
+		t.Errorf("exrt_records_total = %v,%v want 9,true", v, ok)
+	}
+	bounds, cum := samples.BucketCounts("exrt_latency_seconds", nil)
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if cum[0] != 1 || cum[1] != 1 || cum[2] != 2 {
+		t.Errorf("cumulative buckets = %v, want [1 1 2]", cum)
+	}
+	if v, ok := samples.Value("exrt_latency_seconds_count", map[string]string{"shard": "0"}); !ok || v != 2 {
+		t.Errorf("count = %v,%v want 2,true", v, ok)
+	}
+}
+
+// TestHandlerContentNegotiation: plain scrapes keep the 0.0.4 exposition
+// (no # EOF, no exemplars); an OpenMetrics Accept header switches format.
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("neg_latency_seconds", "h", []float64{0.1})
+	h.ObserveExemplar(0.05, "aaaabbbbccccddddaaaabbbbccccdddd")
+	handler := r.Handler()
+
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("plain scrape content type = %q", ct)
+	}
+	if body := rec.Body.String(); strings.Contains(body, "# EOF") || strings.Contains(body, "trace_id") {
+		t.Errorf("plain scrape leaked OpenMetrics syntax:\n%s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	handler.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Errorf("negotiated content type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "# EOF") || !strings.Contains(body, `trace_id="aaaabbbbccccddddaaaabbbbccccdddd"`) {
+		t.Errorf("OpenMetrics scrape missing EOF or exemplar:\n%s", body)
+	}
+}
+
+// TestLimitCardinality: past the cap, With still returns a usable metric but
+// the child is not stored, and obs_dropped_labels_total counts the refusals.
+func TestLimitCardinality(t *testing.T) {
+	r := NewRegistry()
+	r.LimitCardinality(2)
+	cv := r.CounterVec("card_hits_total", "c", "city")
+	cv.With("seattle").Inc()
+	cv.With("berlin").Inc()
+	over := cv.With("nairobi") // third child: refused, but must not break
+	over.Inc()
+	over.Inc()
+	if over.Value() != 2 {
+		t.Errorf("detached child value = %d, want 2", over.Value())
+	}
+	// A refused combination is re-refused (and re-counted) on each lookup.
+	cv.With("lagos").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "nairobi") || strings.Contains(out, "lagos") {
+		t.Errorf("over-cap children rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `card_hits_total{city="berlin"} 1`) {
+		t.Errorf("stored children must keep rendering:\n%s", out)
+	}
+	samples, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := samples.Value("obs_dropped_labels_total", nil); !ok || v != 2 {
+		t.Errorf("obs_dropped_labels_total = %v,%v want 2,true", v, ok)
+	}
+
+	// Existing children stay reachable at the cap.
+	cv.With("seattle").Inc()
+	if got, _ := func() (float64, bool) {
+		var b2 strings.Builder
+		_ = r.WritePrometheus(&b2)
+		s, _ := ParseText(strings.NewReader(b2.String()))
+		return s.Value("card_hits_total", map[string]string{"city": "seattle"})
+	}(); got != 2 {
+		t.Errorf("seattle = %v, want 2", got)
+	}
+
+	// Lifting the cap lets new children in again.
+	r.LimitCardinality(0)
+	cv.With("tokyo").Inc()
+	var b3 strings.Builder
+	_ = r.WritePrometheus(&b3)
+	if !strings.Contains(b3.String(), "tokyo") {
+		t.Error("lifting the cap should allow new children")
+	}
+}

@@ -108,11 +108,15 @@ type Histogram struct {
 	counts  []atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	// exemplars holds at most one exemplar per bucket (last observation
+	// wins), rendered only by WriteOpenMetrics. See ObserveExemplar.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	h := &Histogram{bounds: bounds}
 	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	h.exemplars = make([]atomic.Pointer[Exemplar], len(bounds)+1)
 	return h
 }
 
@@ -229,6 +233,8 @@ type family struct {
 
 	mu       sync.RWMutex
 	children map[string]any // rendered label string -> *Counter/*Gauge/*Histogram
+
+	card *cardinality // shared registry-wide child cap; see LimitCardinality
 }
 
 func (f *family) child(labelValues []string, create func() any) any {
@@ -249,6 +255,13 @@ func (f *family) child(labelValues []string, create func() any) any {
 		return c
 	}
 	c = create()
+	if limit := f.card.limit(); limit > 0 && len(f.children) >= limit {
+		// At the cap: hand back a working but unstored metric so the caller
+		// keeps functioning, and count the refusal instead of growing the
+		// exposition without bound.
+		f.card.drop()
+		return c
+	}
 	f.children[key] = c
 	return c
 }
@@ -306,6 +319,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
 	onGather []func()
+	card     cardinality
 }
 
 // NewRegistry returns an empty registry.
@@ -338,6 +352,7 @@ func (r *Registry) register(name, help string, typ MetricType, labels []string, 
 		labelNames: append([]string(nil), labels...),
 		bounds:     append([]float64(nil), bounds...),
 		children:   make(map[string]any),
+		card:       &r.card,
 	}
 	r.families[name] = f
 	return f
@@ -561,12 +576,19 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// Handler serves the registry at GET /metrics with the exposition content
-// type.
+// Handler serves the registry at GET /metrics. Plain scrapes get the 0.0.4
+// text exposition; a client whose Accept header asks for
+// application/openmetrics-text gets the OpenMetrics form with exemplars
+// (that is how Prometheus itself negotiates exemplar scraping).
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
 			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			_ = r.WriteOpenMetrics(w)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -17,7 +17,9 @@ import (
 	"starlinkview/internal/ispnet"
 	"starlinkview/internal/measure"
 	"starlinkview/internal/netsim"
+	"starlinkview/internal/obs"
 	"starlinkview/internal/orbit"
+	"starlinkview/internal/trace"
 	"starlinkview/internal/weather"
 )
 
@@ -32,6 +34,12 @@ type Config struct {
 	WithWeather bool
 	Policy      orbit.SelectionPolicy
 	Seed        int64
+	// Registry, when set, meters both of the node's paths (per-link packet
+	// counters, bent-pipe handover/outage/loss series). Nil = unmetered.
+	Registry *obs.Registry
+	// Trace, when set, receives span events from both paths (handovers,
+	// outages, loss windows, per-link drops). Nil = untraced.
+	Trace *trace.Span
 }
 
 // IperfSample is one scheduled iperf measurement (Figures 6a/6b).
@@ -100,6 +108,7 @@ func New(cfg Config) (*Node, error) {
 		Kind: ispnet.Starlink, City: cfg.City, Server: server,
 		Constellation: cfg.Constellation, Policy: cfg.Policy,
 		Weather: wx, Epoch: cfg.Epoch, Seed: cfg.Seed,
+		Registry: cfg.Registry, Trace: cfg.Trace,
 	}
 	full, err := ispnet.Build(base)
 	if err != nil {

@@ -1,0 +1,47 @@
+package trace
+
+import "testing"
+
+// BenchmarkTraceLifecycle prices one complete kept-or-dropped trace — root,
+// one child, both finished — which is what the collector pays per traced
+// ingest batch (the shard adds one more child; scale accordingly). The
+// ingest budget math: at a 1-in-100 batch sampling rate this figure divided
+// by 100 is the per-record overhead the <=5% ingest budget absorbs.
+func BenchmarkTraceLifecycle(b *testing.B) {
+	tr := New(Config{Seed: 7})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			root := tr.StartRoot("bench root", SpanContext{})
+			child := tr.StartChild(root.Context(), "bench child")
+			child.Finish()
+			root.Finish()
+		}
+	})
+}
+
+// BenchmarkSpanFinish isolates the publish path: hex identity rendering plus
+// the store's locked add.
+func BenchmarkSpanFinish(b *testing.B) {
+	tr := New(Config{Seed: 7})
+	spans := make([]*Span, b.N)
+	for i := range spans {
+		spans[i] = tr.StartRoot("bench root", SpanContext{})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spans[i].Finish()
+	}
+}
+
+// BenchmarkSpanEvent prices one bounded event append on a live span.
+func BenchmarkSpanEvent(b *testing.B) {
+	tr := New(Config{Seed: 7})
+	sp := tr.StartRoot("bench root", SpanContext{})
+	defer sp.Finish()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.Event("bench.event", Str("k", "v"))
+	}
+}

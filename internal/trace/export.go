@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteJSONL writes every span of every trace as one JSON object per line —
+// the capture format tools/traceview renders and ReadJSONL parses back.
+// Spans carry their trace ID, so the stream needs no framing and several
+// captures can simply be concatenated.
+func WriteJSONL(w io.Writer, traces []Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, tr := range traces {
+		for _, sd := range tr.Spans {
+			if err := enc.Encode(sd); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a WriteJSONL capture back into traces, grouped by trace
+// ID in first-seen order. Blank lines are skipped; a malformed line is an
+// error with its line number.
+func ReadJSONL(r io.Reader) ([]Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	byID := map[string]int{}
+	var out []Trace
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var sd SpanData
+		if err := json.Unmarshal(line, &sd); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", lineNo, err)
+		}
+		i, ok := byID[sd.TraceID]
+		if !ok {
+			i = len(out)
+			byID[sd.TraceID] = i
+			out = append(out, Trace{ID: sd.TraceID})
+		}
+		out[i].Spans = append(out[i].Spans, sd)
+		if sd.Root && out[i].Duration < sd.Duration() {
+			out[i].Duration = sd.Duration()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format ("X" complete
+// events), loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders traces as a Chrome trace_event JSON document.
+// Each trace becomes one "process" whose spans are laid out on depth-based
+// "threads", so the waterfall nests visually the way the spans nest
+// logically.
+func WriteChromeTrace(w io.Writer, traces []Trace) error {
+	var events []chromeEvent
+	for pid, tr := range traces {
+		depths := spanDepths(tr.Spans)
+		for _, sd := range tr.Spans {
+			args := map[string]string{"trace": sd.TraceID, "span": sd.SpanID}
+			for _, a := range sd.Attrs {
+				args[a.Key] = a.Value
+			}
+			if sd.Error != "" {
+				args["error"] = sd.Error
+			}
+			events = append(events, chromeEvent{
+				Name: sd.Name,
+				Ph:   "X",
+				TS:   float64(sd.Start.UnixNano()) / 1e3,
+				Dur:  float64(sd.DurationNS) / 1e3,
+				PID:  pid + 1,
+				TID:  depths[sd.SpanID] + 1,
+				Args: args,
+			})
+		}
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// spanDepths maps each span ID to its depth in the trace's parent tree
+// (root = 0; orphans whose parent never finished sit at depth 1).
+func spanDepths(spans []SpanData) map[string]int {
+	parent := make(map[string]string, len(spans))
+	for _, sd := range spans {
+		parent[sd.SpanID] = sd.Parent
+	}
+	depths := make(map[string]int, len(spans))
+	var depth func(id string, hops int) int
+	depth = func(id string, hops int) int {
+		if d, ok := depths[id]; ok {
+			return d
+		}
+		p := parent[id]
+		d := 0
+		if p != "" && hops < len(spans) {
+			if _, known := parent[p]; known {
+				d = depth(p, hops+1) + 1
+			} else {
+				d = 1
+			}
+		}
+		depths[id] = d
+		return d
+	}
+	for _, sd := range spans {
+		depth(sd.SpanID, 0)
+	}
+	return depths
+}
+
+// SortSpans orders spans for display: by start time, parents before
+// children on ties.
+func SortSpans(spans []SpanData) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[j].Parent == spans[i].SpanID
+	})
+}
+
+// Handler serves the tracer's kept traces:
+//
+//	GET /traces?min_ms=10&limit=20&format=json|jsonl|chrome
+//
+// json (the default) returns {"traces": [...]} newest first; jsonl streams
+// the WriteJSONL capture format; chrome returns a trace_event document for
+// chrome://tracing. min_ms filters by root duration, limit defaults to 32.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		q := req.URL.Query()
+		limit := 32
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		var minDur time.Duration
+		if v := q.Get("min_ms"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				http.Error(w, "bad min_ms: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			minDur = time.Duration(ms * float64(time.Millisecond))
+		}
+		traces := t.Traces(minDur, limit)
+		switch q.Get("format") {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			_ = enc.Encode(struct {
+				Traces []Trace `json:"traces"`
+			}{traces})
+		case "jsonl":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = WriteJSONL(w, traces)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteChromeTrace(w, traces)
+		default:
+			http.Error(w, "unknown format (want json, jsonl or chrome)", http.StatusBadRequest)
+		}
+	})
+}

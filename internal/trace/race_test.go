@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSpansWhileScraping is the race hammer the tracer must
+// survive: many goroutines building and finishing nested spans while other
+// goroutines scrape /traces and Stats concurrently. Run under -race (make
+// check does).
+func TestConcurrentSpansWhileScraping(t *testing.T) {
+	tr := New(Config{Capacity: 64, Window: 64, MaxPending: 128, Seed: 1})
+	h := Handler(tr)
+
+	const (
+		writers = 16
+		iters   = 200
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scrapers: HTTP handler in every format, plus direct Traces/Stats reads.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			formats := []string{"json", "jsonl", "chrome"}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				url := fmt.Sprintf("/traces?format=%s&limit=8", formats[n%len(formats)])
+				h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+				if rec.Code != 200 {
+					t.Errorf("scrape %s: status %d", url, rec.Code)
+					return
+				}
+				tr.Traces(0, 4)
+				tr.Stats()
+			}
+		}(i)
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < iters; i++ {
+				root := tr.StartRoot("req", SpanContext{})
+				root.SetInt("worker", int64(w))
+				child := tr.StartChild(root.Context(), "work")
+				child.Event("step", Int("i", int64(i)))
+				grand := tr.StartChild(child.Context(), "leaf")
+				grand.Finish()
+				child.Finish()
+				if i%7 == 0 {
+					root.SetError(fmt.Errorf("synthetic %d", i))
+				}
+				root.Finish()
+				// Late span arriving after the trace's tail decision.
+				late := tr.StartChildAt(root.Context(), "late", root.start)
+				late.Finish()
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	st := tr.Stats()
+	wantFinished := uint64(writers * iters * 4)
+	if st.FinishedSpans != wantFinished {
+		t.Fatalf("finished %d spans, want %d", st.FinishedSpans, wantFinished)
+	}
+	if st.KeptTraces == 0 {
+		t.Fatal("no traces kept under load")
+	}
+}

@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is one kept trace: its spans in finish order plus the root span's
+// duration (the tail sampler's ranking key).
+type Trace struct {
+	ID       string        `json:"id"`
+	Duration time.Duration `json:"duration_ns"`
+	Spans    []SpanData    `json:"spans"`
+}
+
+// entry is one trace being assembled. It lives in the pending map from the
+// first finished span until the tail decision evicts it (dropped) or the
+// kept ring recycles its slot.
+type entry struct {
+	id           TraceID
+	spans        []SpanData
+	rootDone     bool
+	rootDur      time.Duration
+	hasErr       bool
+	kept         bool
+	dropped      bool // tail decision was "drop": late spans are discarded
+	droppedSpans int
+}
+
+// store buffers finished spans by trace and applies the tail-sampling
+// policy when a root finishes. One mutex guards everything: insertions are
+// per finished span (hundreds per second), not per record (hundreds of
+// thousands), so contention is not a concern — simplicity and correctness
+// under the race detector are.
+type store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	pending map[TraceID]*entry
+	order   []TraceID // FIFO of pending trace IDs for bounded eviction
+	ring    []*entry  // kept traces; ring[next-1] is the newest
+	next    int
+
+	// Sliding window of recent root durations (seconds) that sets the
+	// slowest-N% keep threshold. scratch is the reused selection buffer so
+	// threshold refreshes never allocate on the span-finish path.
+	window      []float64
+	scratch     []float64
+	wNext       int
+	wCount      int
+	threshold   float64
+	sinceThresh int
+
+	kept          uint64
+	droppedTraces uint64
+	droppedSpans  uint64
+}
+
+func newStore(cfg Config) *store {
+	return &store{
+		cfg:     cfg,
+		pending: make(map[TraceID]*entry),
+		ring:    make([]*entry, cfg.Capacity),
+		window:  make([]float64, cfg.Window),
+	}
+}
+
+// add buffers one finished span, and on a root span runs the tail decision.
+func (s *store) add(id TraceID, sd SpanData, root, forced bool, dur time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.pending[id]
+	if e == nil {
+		if len(s.pending) >= s.cfg.MaxPending {
+			s.evictOldestLocked()
+		}
+		e = &entry{id: id}
+		s.pending[id] = e
+		s.order = append(s.order, id)
+	}
+	if e.dropped {
+		s.droppedSpans++
+		return
+	}
+	if len(e.spans) >= s.cfg.MaxSpans {
+		e.droppedSpans++
+		s.droppedSpans++
+	} else {
+		e.spans = append(e.spans, sd)
+	}
+	if sd.Error != "" {
+		e.hasErr = true
+	}
+	if !root || e.rootDone {
+		return
+	}
+	e.rootDone = true
+	e.rootDur = dur
+	if forced || e.hasErr || s.keepSlowLocked(dur) {
+		s.keepLocked(e)
+	} else {
+		e.dropped = true
+		e.spans = nil
+		s.droppedTraces++
+	}
+	s.observeRootLocked(dur)
+}
+
+// evictOldestLocked removes the oldest pending trace that is still only
+// pending (kept traces belong to the ring, which does its own recycling).
+func (s *store) evictOldestLocked() {
+	for len(s.order) > 0 {
+		id := s.order[0]
+		s.order = s.order[1:]
+		e, ok := s.pending[id]
+		if !ok {
+			continue
+		}
+		if e.kept {
+			// Ring-owned: only detach the late-append linkage when the ring
+			// slot is recycled, not here.
+			continue
+		}
+		delete(s.pending, id)
+		if !e.dropped {
+			s.droppedTraces++
+		}
+		return
+	}
+}
+
+// keepLocked promotes the entry into the kept ring, recycling the oldest
+// slot (and its pending-map linkage) when full.
+func (s *store) keepLocked(e *entry) {
+	e.kept = true
+	if old := s.ring[s.next]; old != nil {
+		delete(s.pending, old.id)
+	}
+	s.ring[s.next] = e
+	s.next = (s.next + 1) % len(s.ring)
+	s.kept++
+}
+
+// keepSlowLocked implements the slowest-N% policy: keep while the duration
+// window is still warming up, then keep anything at or above the cached
+// (1 - N/100) quantile of recent root durations.
+func (s *store) keepSlowLocked(dur time.Duration) bool {
+	if s.wCount < len(s.window)/4 {
+		return true
+	}
+	return dur.Seconds() >= s.threshold
+}
+
+// observeRootLocked records a root duration and periodically re-derives the
+// keep threshold. The refresh runs quickselect over a reused scratch copy
+// (O(window), allocation-free) at a window/8 stride: the threshold is a
+// sampling heuristic over a sliding window, so a cut refreshed four times
+// per half window turnover is as good as an exact per-root order statistic
+// — and it keeps the refresh off the span-finish hot path's profile (the
+// previous full sort every 32 roots was the single largest cost there).
+func (s *store) observeRootLocked(dur time.Duration) {
+	s.window[s.wNext] = dur.Seconds()
+	s.wNext = (s.wNext + 1) % len(s.window)
+	if s.wCount < len(s.window) {
+		s.wCount++
+	}
+	s.sinceThresh++
+	stride := len(s.window) / 8
+	if stride < 1 {
+		stride = 1
+	}
+	if s.sinceThresh < stride && s.threshold > 0 {
+		return
+	}
+	s.sinceThresh = 0
+	if cap(s.scratch) < s.wCount {
+		s.scratch = make([]float64, len(s.window))
+	}
+	scratch := s.scratch[:s.wCount]
+	copy(scratch, s.window[:s.wCount])
+	idx := int(float64(s.wCount) * (1 - s.cfg.SlowestPct/100))
+	if idx >= s.wCount {
+		idx = s.wCount - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	s.threshold = quickselect(scratch, idx)
+}
+
+// quickselect returns the k-th smallest element of a (0-based), partially
+// reordering a. Median-of-three pivoting keeps the common warming-window
+// patterns (sorted, constant) off the quadratic path.
+func quickselect(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return a[k]
+		}
+	}
+	return a[lo]
+}
+
+// traces returns kept traces newest first, filtered by minimum root
+// duration. Spans are copied so callers can read them lock-free.
+func (s *store) traces(minDur time.Duration, limit int) []Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Trace, 0, len(s.ring))
+	for i := 0; i < len(s.ring); i++ {
+		e := s.ring[(s.next-1-i+2*len(s.ring))%len(s.ring)]
+		if e == nil {
+			continue
+		}
+		if e.rootDur < minDur {
+			continue
+		}
+		spans := make([]SpanData, len(e.spans))
+		copy(spans, e.spans)
+		out = append(out, Trace{ID: e.id.String(), Duration: e.rootDur, Spans: spans})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+func (s *store) stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		KeptTraces:    s.kept,
+		DroppedTraces: s.droppedTraces,
+		DroppedSpans:  s.droppedSpans,
+	}
+}

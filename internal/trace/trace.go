@@ -1,0 +1,436 @@
+// Package trace is the reproduction's request-tracing layer: a
+// dependency-free span library that explains what aggregate metrics cannot —
+// why one ingest batch took 40 ms when the p50 is 2 ms. Where internal/obs
+// answers "how often" and "how much", trace answers "which request, where,
+// in what order".
+//
+// A Tracer hands out Spans: named intervals with monotonic timings (span
+// durations subtract time.Time values that carry Go's monotonic reading, so
+// a wall-clock step never produces a negative span), string attributes, and
+// bounded event lists. Spans form trees through SpanContext — a (trace ID,
+// span ID, sampled flag) triple that crosses goroutine and process
+// boundaries; the W3C traceparent header carries it over HTTP (see
+// ParseTraceparent).
+//
+// Span construction is lock-cheap by design: a live Span is owned by the
+// goroutine(s) building it and guards its mutable fields with one
+// uncontended mutex; the only shared state touched per span is an atomic ID
+// counter at start and a brief store insertion at Finish. Nil tracers and
+// nil spans are inert — every method is nil-receiver safe, so untraced code
+// paths pay a single pointer test.
+//
+// Sampling is tail-based: every finished span is buffered by trace until
+// the trace's root span finishes, and only then is the keep/drop decision
+// made — error traces are always kept, as are the slowest SlowestPct of
+// recent root durations (the adaptive threshold tracks a sliding window of
+// completed roots). Kept traces land in a bounded ring buffer served by
+// Handler (GET /traces) and exportable as JSONL or Chrome trace_event JSON
+// (see WriteJSONL, WriteChromeTrace, tools/traceview).
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one trace: 16 bytes, hex-rendered in headers and
+// exports.
+type TraceID [16]byte
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// SpanID identifies one span within a trace: 8 bytes, hex-rendered.
+type SpanID [8]byte
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// SpanContext is the propagation triple: enough to parent a child span in
+// another goroutine (the collector's shard queues carry one per
+// representative record) or another process (the traceparent header).
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+	// Sampled is the W3C sampled flag: an upstream participant asked for
+	// this trace explicitly, so the tail sampler keeps it regardless of
+	// duration.
+	Sampled bool
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// Attr is one key/value annotation on a span or event. Values are strings;
+// use the helpers (Str, Int) or strconv at the call site — spans are for
+// humans reading a waterfall, not for numeric aggregation (that is what
+// internal/obs is for).
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }
+
+// Event is a point-in-time annotation inside a span (a handover, an outage,
+// a dropped packet).
+type Event struct {
+	Name  string    `json:"name"`
+	At    time.Time `json:"at"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// SpanData is a finished span, the immutable form spans take in the store
+// and in exports.
+type SpanData struct {
+	TraceID       string    `json:"trace"`
+	SpanID        string    `json:"span"`
+	Parent        string    `json:"parent,omitempty"`
+	Name          string    `json:"name"`
+	Start         time.Time `json:"start"`
+	DurationNS    int64     `json:"dur_ns"`
+	Root          bool      `json:"root,omitempty"`
+	Error         string    `json:"error,omitempty"`
+	Attrs         []Attr    `json:"attrs,omitempty"`
+	Events        []Event   `json:"events,omitempty"`
+	DroppedEvents int       `json:"dropped_events,omitempty"`
+}
+
+// Duration returns the span's length.
+func (sd SpanData) Duration() time.Duration { return time.Duration(sd.DurationNS) }
+
+// Config parameterises a Tracer. The zero value is usable: every field has
+// a default chosen for a collector under load.
+type Config struct {
+	// Capacity bounds the kept-trace ring buffer (default 256). Older kept
+	// traces are evicted as new ones arrive.
+	Capacity int
+	// SlowestPct is the tail-keep percentage: a completed trace whose root
+	// duration falls in the slowest SlowestPct% of the recent window is
+	// kept (default 5). Error traces and explicitly sampled traces are
+	// always kept.
+	SlowestPct float64
+	// Window is how many recent root durations inform the keep threshold
+	// (default 512). Until the window has warmed up, everything is kept.
+	Window int
+	// MaxPending bounds how many unfinished traces the store tracks
+	// (default 1024); beyond it the oldest pending trace is evicted.
+	MaxPending int
+	// MaxSpans bounds the spans buffered per trace (default 128); excess
+	// spans are counted, not stored.
+	MaxSpans int
+	// MaxEvents bounds the events recorded per span (default 128); a
+	// long-running simulation span counts its overflow in DroppedEvents.
+	MaxEvents int
+	// Seed makes span/trace IDs deterministic for tests; 0 seeds from the
+	// wall clock at construction.
+	Seed int64
+}
+
+func (c *Config) normalize() {
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	if c.SlowestPct <= 0 || c.SlowestPct > 100 {
+		c.SlowestPct = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 512
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 1024
+	}
+	if c.MaxSpans <= 0 {
+		c.MaxSpans = 128
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 128
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+}
+
+// Stats are the tracer's own counters, suitable for mirroring into
+// scrape-time gauges.
+type Stats struct {
+	StartedSpans  uint64
+	FinishedSpans uint64
+	KeptTraces    uint64
+	DroppedTraces uint64
+	DroppedSpans  uint64
+}
+
+// Tracer creates spans and owns the tail-sampled trace store. All methods
+// are safe for concurrent use; a nil *Tracer is inert.
+type Tracer struct {
+	cfg   Config
+	seq   atomic.Uint64
+	seed  uint64
+	store *store
+
+	started  atomic.Uint64
+	finished atomic.Uint64
+}
+
+// New builds a tracer.
+func New(cfg Config) *Tracer {
+	cfg.normalize()
+	return &Tracer{
+		cfg:   cfg,
+		seed:  splitmix64(uint64(cfg.Seed)),
+		store: newStore(cfg),
+	}
+}
+
+// splitmix64 is the id-stream mixer: cheap, stateless, and good enough for
+// identifiers that only need to be unique, not unpredictable.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (t *Tracer) nextID() uint64 {
+	return splitmix64(t.seed + t.seq.Add(1))
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	putUint64(id[:8], t.nextID())
+	putUint64(id[8:], t.nextID())
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	putUint64(id[:], t.nextID())
+	return id
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// Span is one live interval. Build it freely from the owning goroutine(s);
+// Finish publishes it to the tracer's store exactly once. All methods are
+// nil-receiver safe.
+type Span struct {
+	tracer *Tracer
+	sc     SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+	root   bool
+
+	mu            sync.Mutex
+	attrs         []Attr
+	events        []Event
+	droppedEvents int
+	errMsg        string
+	finished      bool
+}
+
+func (t *Tracer) start(name string, parent SpanContext, root bool, at time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	t.started.Add(1)
+	sc := SpanContext{Span: t.newSpanID(), Sampled: parent.Sampled}
+	var parentSpan SpanID
+	if parent.Valid() {
+		sc.Trace = parent.Trace
+		parentSpan = parent.Span
+	} else {
+		sc.Trace = t.newTraceID()
+	}
+	if at.IsZero() {
+		at = time.Now()
+	}
+	return &Span{tracer: t, sc: sc, parent: parentSpan, name: name, start: at, root: root}
+}
+
+// StartRoot begins a trace's root span. A valid parent (typically parsed
+// from an incoming traceparent header) continues the caller's trace and
+// propagates its sampled flag; a zero parent starts a fresh trace.
+func (t *Tracer) StartRoot(name string, parent SpanContext) *Span {
+	return t.start(name, parent, true, time.Time{})
+}
+
+// StartChild begins a child span under parent. An invalid parent returns
+// nil: untraced requests produce no child spans anywhere downstream.
+func (t *Tracer) StartChild(parent SpanContext, name string) *Span {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	return t.start(name, parent, false, time.Time{})
+}
+
+// StartChildAt is StartChild with an explicit start time, for spans that
+// logically began before the current goroutine saw them (a record's queue
+// wait starts at enqueue, but the span is built by the shard goroutine).
+func (t *Tracer) StartChildAt(parent SpanContext, name string, at time.Time) *Span {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	return t.start(name, parent, false, at)
+}
+
+// Stats returns the tracer's counters.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	st := t.store.stats()
+	st.StartedSpans = t.started.Load()
+	st.FinishedSpans = t.finished.Load()
+	return st
+}
+
+// Traces returns up to limit kept traces, newest first, whose root duration
+// is at least minDur. limit <= 0 returns all kept traces.
+func (t *Tracer) Traces(minDur time.Duration, limit int) []Trace {
+	if t == nil {
+		return nil
+	}
+	return t.store.traces(minDur, limit)
+}
+
+// Context returns the span's propagation context (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer.
+func (s *Span) SetInt(key string, v int64) { s.SetAttr(key, strconv.FormatInt(v, 10)) }
+
+// Event records a point-in-time annotation. Past the tracer's MaxEvents
+// bound the event is counted, not stored, so a six-month simulation span
+// cannot hold the run's memory hostage.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.events) >= s.tracer.cfg.MaxEvents {
+		s.droppedEvents++
+	} else {
+		s.events = append(s.events, Event{Name: name, At: time.Now(), Attrs: attrs})
+	}
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed. An errored span forces its whole trace to
+// be kept by the tail sampler. The first error wins.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.errMsg == "" {
+		s.errMsg = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// Finish ends the span and hands it to the store. The duration uses the
+// monotonic clock carried inside the start time. Finish is idempotent;
+// only the first call publishes.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.finished = true
+	sd := SpanData{
+		TraceID:       s.sc.Trace.String(),
+		SpanID:        s.sc.Span.String(),
+		Name:          s.name,
+		Start:         s.start,
+		DurationNS:    int64(dur),
+		Root:          s.root,
+		Error:         s.errMsg,
+		Attrs:         s.attrs,
+		Events:        s.events,
+		DroppedEvents: s.droppedEvents,
+	}
+	if !s.parent.IsZero() {
+		sd.Parent = s.parent.String()
+	}
+	s.mu.Unlock()
+	s.tracer.finished.Add(1)
+	s.tracer.store.add(s.sc.Trace, sd, s.root, s.sc.Sampled, dur)
+}
+
+// --- context plumbing ----------------------------------------------------
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan begins a child of the span in ctx (or a fresh root if ctx has
+// none) and returns a derived context carrying the new span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	var sp *Span
+	if parent := FromContext(ctx); parent != nil {
+		sp = t.StartChild(parent.Context(), name)
+	} else {
+		sp = t.StartRoot(name, SpanContext{})
+	}
+	return NewContext(ctx, sp), sp
+}

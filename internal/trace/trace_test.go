@@ -1,0 +1,404 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Config{Seed: 7})
+	sp := tr.StartRoot("root", SpanContext{})
+	sc := sp.Context()
+	sc.Sampled = true
+	h := sc.Traceparent()
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent %q: want version 00 and sampled flags", h)
+	}
+	got, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v want %+v", got, sc)
+	}
+	unsampled := sp.Context().Traceparent()
+	got, err = ParseTraceparent(unsampled)
+	if err != nil || got.Sampled {
+		t.Fatalf("unsampled round trip: %+v, %v", got, err)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+	}
+	for _, h := range bad {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q): want error", h)
+		}
+	}
+	// Unknown future versions with extra fields are accepted.
+	ok := "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-what-ever"
+	sc, err := ParseTraceparent(ok)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", ok, err)
+	}
+	if !sc.Valid() || !sc.Sampled {
+		t.Fatalf("ParseTraceparent(%q) = %+v: want valid sampled context", ok, sc)
+	}
+}
+
+func TestSpanNestingViaContext(t *testing.T) {
+	tr := New(Config{Seed: 11})
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	ctx2, child := tr.StartSpan(ctx, "child")
+	_, grand := tr.StartSpan(ctx2, "grandchild")
+	grand.SetInt("depth", 2)
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+
+	traces := tr.Traces(0, 0)
+	if len(traces) != 1 {
+		t.Fatalf("kept %d traces, want 1", len(traces))
+	}
+	spans := traces[0].Spans
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(spans))
+	}
+	byID := map[string]SpanData{}
+	for _, sd := range spans {
+		byID[sd.SpanID] = sd
+	}
+	for _, sd := range spans {
+		if sd.Parent == "" {
+			if !sd.Root || sd.Name != "root" {
+				t.Fatalf("parentless span %q should be the root", sd.Name)
+			}
+			continue
+		}
+		if _, ok := byID[sd.Parent]; !ok {
+			t.Fatalf("span %q: parent %s not in trace", sd.Name, sd.Parent)
+		}
+	}
+	if byID[spans[0].SpanID].TraceID != traces[0].ID {
+		t.Fatalf("span trace ID %s != trace ID %s", spans[0].TraceID, traces[0].ID)
+	}
+}
+
+// seedWindow feeds the store enough uniform root durations to warm up the
+// tail sampler's window and fix its threshold.
+func seedWindow(tr *Tracer, n int, dur time.Duration) {
+	for i := 0; i < n; i++ {
+		var id TraceID
+		putUint64(id[:8], uint64(i)+1e9)
+		putUint64(id[8:], uint64(i)+2e9)
+		tr.store.add(id, SpanData{TraceID: id.String(), SpanID: "01", Name: "seed", Root: true,
+			DurationNS: int64(dur)}, true, false, dur)
+	}
+}
+
+func TestTailSamplingKeepsSlowAndErrors(t *testing.T) {
+	tr := New(Config{Seed: 3, Window: 64, SlowestPct: 5, Capacity: 512})
+	seedWindow(tr, 256, time.Millisecond)
+
+	mk := func(i int) TraceID {
+		var id TraceID
+		putUint64(id[:8], uint64(i)+1)
+		return id
+	}
+	// A fast trace lands under the threshold: dropped.
+	fast := mk(1)
+	tr.store.add(fast, SpanData{TraceID: fast.String(), SpanID: "01", Root: true,
+		DurationNS: int64(time.Microsecond)}, true, false, time.Microsecond)
+	// A slow trace is kept.
+	slow := mk(2)
+	tr.store.add(slow, SpanData{TraceID: slow.String(), SpanID: "01", Root: true,
+		DurationNS: int64(time.Second)}, true, false, time.Second)
+	// A fast trace with an error is kept.
+	errID := mk(3)
+	tr.store.add(errID, SpanData{TraceID: errID.String(), SpanID: "01", Root: true,
+		DurationNS: int64(time.Microsecond), Error: "boom"}, true, false, time.Microsecond)
+	// A fast trace with the sampled flag forced is kept.
+	forced := mk(4)
+	tr.store.add(forced, SpanData{TraceID: forced.String(), SpanID: "01", Root: true,
+		DurationNS: int64(time.Microsecond)}, true, true, time.Microsecond)
+
+	kept := map[string]bool{}
+	for _, trc := range tr.Traces(0, 0) {
+		kept[trc.ID] = true
+	}
+	if kept[fast.String()] {
+		t.Error("fast healthy trace was kept; tail sampler should drop it")
+	}
+	for name, id := range map[string]TraceID{"slow": slow, "error": errID, "forced": forced} {
+		if !kept[id.String()] {
+			t.Errorf("%s trace was dropped; tail sampler must keep it", name)
+		}
+	}
+	st := tr.Stats()
+	if st.DroppedTraces == 0 {
+		t.Error("stats report no dropped traces")
+	}
+}
+
+func TestLateSpansAttachToKeptTrace(t *testing.T) {
+	tr := New(Config{Seed: 5})
+	root := tr.StartRoot("http", SpanContext{Sampled: true})
+	// Force the sampled flag so the keep decision is deterministic.
+	root.sc.Sampled = true
+	sc := root.Context()
+	root.Finish()
+	// The shard-apply span finishes after the root (async application).
+	late := tr.StartChildAt(sc, "shard.apply", time.Now().Add(-time.Millisecond))
+	late.Finish()
+
+	traces := tr.Traces(0, 0)
+	if len(traces) != 1 {
+		t.Fatalf("kept %d traces, want 1", len(traces))
+	}
+	if len(traces[0].Spans) != 2 {
+		t.Fatalf("trace has %d spans, want root + late child", len(traces[0].Spans))
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	tr := New(Config{Seed: 9, Capacity: 4})
+	var last string
+	for i := 0; i < 10; i++ {
+		sp := tr.StartRoot(fmt.Sprintf("r%d", i), SpanContext{})
+		last = sp.Context().Trace.String()
+		sp.Finish()
+	}
+	traces := tr.Traces(0, 0)
+	if len(traces) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(traces))
+	}
+	if traces[0].ID != last {
+		t.Fatalf("newest trace first: got %s want %s", traces[0].ID, last)
+	}
+}
+
+func TestEventCapCountsOverflow(t *testing.T) {
+	tr := New(Config{Seed: 13, MaxEvents: 8})
+	sp := tr.StartRoot("sim", SpanContext{})
+	for i := 0; i < 20; i++ {
+		sp.Event("handover", Int("i", int64(i)))
+	}
+	sp.SetError(errors.New("keep me"))
+	sp.Finish()
+	traces := tr.Traces(0, 1)
+	if len(traces) != 1 {
+		t.Fatal("trace not kept")
+	}
+	sd := traces[0].Spans[0]
+	if len(sd.Events) != 8 || sd.DroppedEvents != 12 {
+		t.Fatalf("events=%d dropped=%d, want 8/12", len(sd.Events), sd.DroppedEvents)
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	tr := New(Config{Seed: 17})
+	sp := tr.StartRoot("once", SpanContext{})
+	sp.Finish()
+	sp.Finish()
+	if st := tr.Stats(); st.FinishedSpans != 1 {
+		t.Fatalf("finished %d spans, want 1", st.FinishedSpans)
+	}
+	if traces := tr.Traces(0, 0); len(traces) != 1 || len(traces[0].Spans) != 1 {
+		t.Fatal("double Finish published twice")
+	}
+}
+
+func TestNilTracerAndSpanAreInert(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartSpan(context.Background(), "x")
+	if sp != nil || FromContext(ctx) != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 1)
+	sp.Event("e")
+	sp.SetError(errors.New("x"))
+	sp.Finish()
+	if tr.Traces(0, 0) != nil || tr.Stats() != (Stats{}) {
+		t.Fatal("nil tracer not inert")
+	}
+	if tr.StartChild(SpanContext{}, "x") != nil {
+		t.Fatal("nil tracer StartChild not nil")
+	}
+}
+
+func TestExportJSONLRoundTrip(t *testing.T) {
+	tr := New(Config{Seed: 19})
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	_, child := tr.StartSpan(ctx, "child")
+	child.SetAttr("shard", "3")
+	child.Finish()
+	root.Finish()
+	traces := tr.Traces(0, 0)
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || len(back[0].Spans) != 2 {
+		t.Fatalf("round trip: %d traces / %d spans", len(back), len(back[0].Spans))
+	}
+	if back[0].ID != traces[0].ID || back[0].Duration != traces[0].Duration {
+		t.Fatalf("round trip ID/duration mismatch: %+v vs %+v", back[0], traces[0])
+	}
+}
+
+func TestChromeExportShape(t *testing.T) {
+	tr := New(Config{Seed: 23})
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	_, child := tr.StartSpan(ctx, "child")
+	child.Finish()
+	root.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Traces(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("chrome export has %d events, want 2", len(doc.TraceEvents))
+	}
+	tids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event phase %q, want X", ev.Ph)
+		}
+		tids[ev.Name] = ev.TID
+	}
+	if tids["child"] != tids["root"]+1 {
+		t.Fatalf("child tid %d should nest one below root tid %d", tids["child"], tids["root"])
+	}
+}
+
+func TestHandlerFiltersAndFormats(t *testing.T) {
+	tr := New(Config{Seed: 29})
+	for i := 0; i < 5; i++ {
+		sp := tr.StartRoot("req", SpanContext{})
+		sp.Finish()
+	}
+	h := Handler(tr)
+
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		return rec
+	}
+
+	rec := get("/traces?limit=2")
+	if rec.Code != 200 {
+		t.Fatalf("GET /traces: %d", rec.Code)
+	}
+	var reply struct {
+		Traces []Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Traces) != 2 {
+		t.Fatalf("limit=2 returned %d traces", len(reply.Traces))
+	}
+
+	// Sub-microsecond spans cannot be 10s slow: min_ms filters them all.
+	if err := json.Unmarshal(get("/traces?min_ms=10000").Body.Bytes(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Traces) != 0 {
+		t.Fatalf("min_ms=10000 returned %d traces, want 0", len(reply.Traces))
+	}
+
+	if rec := get("/traces?format=jsonl"); rec.Code != 200 || rec.Body.Len() == 0 {
+		t.Fatalf("jsonl format: %d (%d bytes)", rec.Code, rec.Body.Len())
+	}
+	if rec := get("/traces?format=chrome"); rec.Code != 200 || !bytes.Contains(rec.Body.Bytes(), []byte("traceEvents")) {
+		t.Fatalf("chrome format: %d", rec.Code)
+	}
+	if rec := get("/traces?format=nope"); rec.Code != 400 {
+		t.Fatalf("unknown format: %d, want 400", rec.Code)
+	}
+	if rec := get("/traces?limit=x"); rec.Code != 400 {
+		t.Fatalf("bad limit: %d, want 400", rec.Code)
+	}
+}
+
+func TestPendingEvictionBounded(t *testing.T) {
+	tr := New(Config{Seed: 31, MaxPending: 8, Capacity: 8})
+	// Finish only child spans — roots never arrive, so entries stay pending
+	// until the FIFO evicts them.
+	for i := 0; i < 100; i++ {
+		parent := SpanContext{Trace: tr.newTraceID(), Span: tr.newSpanID()}
+		sp := tr.StartChild(parent, "orphan")
+		sp.Finish()
+	}
+	tr.store.mu.Lock()
+	n := len(tr.store.pending)
+	tr.store.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("pending map grew to %d, bound is 8", n)
+	}
+}
+
+// TestQuickselectMatchesSort cross-checks the threshold selection against a
+// full sort over adversarial shapes: constant, sorted, reversed, duplicated
+// and random windows, at every index.
+func TestQuickselectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	shapes := [][]float64{
+		{1},
+		{2, 2, 2, 2, 2, 2, 2},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{8, 7, 6, 5, 4, 3, 2, 1},
+		{5, 1, 5, 1, 5, 1, 5, 1, 5},
+	}
+	random := make([]float64, 257)
+	for i := range random {
+		random[i] = rng.Float64() * float64(rng.Intn(4)) // runs of zeros + dupes
+	}
+	shapes = append(shapes, random)
+	for si, shape := range shapes {
+		sorted := append([]float64(nil), shape...)
+		sort.Float64s(sorted)
+		for k := range shape {
+			scratch := append([]float64(nil), shape...)
+			if got := quickselect(scratch, k); got != sorted[k] {
+				t.Fatalf("shape %d k=%d: quickselect %v, sort says %v", si, k, got, sorted[k])
+			}
+		}
+	}
+}

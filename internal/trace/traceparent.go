@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceparentHeader is the W3C Trace Context propagation header name.
+const TraceparentHeader = "traceparent"
+
+// Traceparent renders the context as a W3C traceparent value:
+// version 00, lowercase hex, the sampled bit in the flags octet.
+func (sc SpanContext) Traceparent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.Trace.String() + "-" + sc.Span.String() + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header value. Per the spec,
+// version ff is invalid, unknown (future) versions are accepted as long as
+// the known fields parse, and all-zero trace or span IDs are rejected. The
+// error describes the first violation; callers that just want "traced or
+// not" can treat any error as absent.
+func ParseTraceparent(h string) (SpanContext, error) {
+	var sc SpanContext
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return sc, fmt.Errorf("trace: traceparent %q: want version-traceid-spanid-flags", h)
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 {
+		return sc, fmt.Errorf("trace: traceparent %q: bad version length", h)
+	}
+	if strings.EqualFold(version, "ff") {
+		return sc, fmt.Errorf("trace: traceparent %q: version ff is invalid", h)
+	}
+	if version == "00" && len(parts) != 4 {
+		return sc, fmt.Errorf("trace: traceparent %q: version 00 has exactly 4 fields", h)
+	}
+	if len(traceID) != 32 || len(spanID) != 16 || len(flags) != 2 {
+		return sc, fmt.Errorf("trace: traceparent %q: bad field lengths", h)
+	}
+	if _, err := hex.Decode(sc.Trace[:], []byte(strings.ToLower(traceID))); err != nil {
+		return sc, fmt.Errorf("trace: traceparent trace-id: %w", err)
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(strings.ToLower(spanID))); err != nil {
+		return sc, fmt.Errorf("trace: traceparent parent-id: %w", err)
+	}
+	if sc.Trace.IsZero() {
+		return sc, fmt.Errorf("trace: traceparent %q: all-zero trace-id", h)
+	}
+	if sc.Span.IsZero() {
+		return sc, fmt.Errorf("trace: traceparent %q: all-zero parent-id", h)
+	}
+	var f [1]byte
+	if _, err := hex.Decode(f[:], []byte(strings.ToLower(flags))); err != nil {
+		return sc, fmt.Errorf("trace: traceparent flags: %w", err)
+	}
+	sc.Sampled = f[0]&0x01 != 0
+	return sc, nil
+}

@@ -65,11 +65,11 @@ func fuzzSeedSegment(f *testing.F) []byte {
 func FuzzReplaySegment(f *testing.F) {
 	seed := fuzzSeedSegment(f)
 	f.Add(seed)
-	f.Add(seed[:len(seed)-5])       // torn tail
-	f.Add(seed[:segmentHeaderLen])  // header only
-	f.Add([]byte{})                 // empty file
-	f.Add([]byte("SLWAL"))          // short magic
-	f.Add(bytes.Repeat(seed, 2))    // duplicated log (LSN restart mid-file)
+	f.Add(seed[:len(seed)-5])      // torn tail
+	f.Add(seed[:segmentHeaderLen]) // header only
+	f.Add([]byte{})                // empty file
+	f.Add([]byte("SLWAL"))         // short magic
+	f.Add(bytes.Repeat(seed, 2))   // duplicated log (LSN restart mid-file)
 	corrupted := append([]byte(nil), seed...)
 	corrupted[len(corrupted)/2] ^= 0x01
 	f.Add(corrupted)

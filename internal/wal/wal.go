@@ -72,6 +72,10 @@ type Instrumentation struct {
 	Sync func(d time.Duration, records uint64)
 	// Rotate runs per segment rotation (not for the initial segment).
 	Rotate func()
+	// CommitWait runs per Commit call with how long the caller blocked for
+	// durability — under group commit, the fsync wait each acknowledged
+	// batch actually paid.
+	CommitWait func(d time.Duration)
 }
 
 // Config parameterises a Writer.
@@ -580,8 +584,12 @@ func (w *Writer) createSegment(base uint64) error {
 // fsync covers lsn. It returns the writer's sticky error if durability can
 // no longer be promised.
 func (w *Writer) Commit(lsn uint64) error {
+	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.cfg.Instr.CommitWait != nil {
+		defer func() { w.cfg.Instr.CommitWait(time.Since(start)) }()
+	}
 	if w.cfg.FsyncInterval <= 0 {
 		if w.err != nil {
 			return w.err

@@ -7,6 +7,11 @@
 // (ns/op, B/op, allocs/op, custom units like records/s) are kept verbatim
 // as a unit-keyed metric map. The goos/goarch/cpu header lines are
 // captured as the environment block.
+//
+// When the input holds both BenchmarkCollectorIngest and
+// BenchmarkTracedIngest rows with matching sub-benchmark names, a
+// comparisons block is emitted with the ns/op overhead of the traced path
+// in percent — the number the <=5% tracing budget is checked against.
 package main
 
 import (
@@ -24,9 +29,51 @@ type benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+type comparison struct {
+	Name          string  `json:"name"`
+	Base          string  `json:"base"`
+	Candidate     string  `json:"candidate"`
+	BaseNsOp      float64 `json:"base_ns_op"`
+	CandidateNsOp float64 `json:"candidate_ns_op"`
+	DeltaPct      float64 `json:"delta_pct"`
+}
+
 type report struct {
-	Env        map[string]string `json:"env"`
-	Benchmarks []benchmark       `json:"benchmarks"`
+	Env         map[string]string `json:"env"`
+	Benchmarks  []benchmark       `json:"benchmarks"`
+	Comparisons []comparison      `json:"comparisons,omitempty"`
+}
+
+// comparePairs matches candidate rows to base rows sharing the same
+// sub-benchmark path (everything after the top-level name, e.g.
+// "/shards=4-8") and reports the candidate's ns/op delta.
+func comparePairs(benchmarks []benchmark, name, basePrefix, candPrefix string) []comparison {
+	bySub := map[string]benchmark{}
+	for _, b := range benchmarks {
+		if sub, ok := strings.CutPrefix(b.Name, basePrefix); ok {
+			bySub[sub] = b
+		}
+	}
+	var out []comparison
+	for _, c := range benchmarks {
+		sub, ok := strings.CutPrefix(c.Name, candPrefix)
+		if !ok {
+			continue
+		}
+		base, ok := bySub[sub]
+		if !ok || base.Metrics["ns/op"] <= 0 || c.Metrics["ns/op"] <= 0 {
+			continue
+		}
+		out = append(out, comparison{
+			Name:          name,
+			Base:          base.Name,
+			Candidate:     c.Name,
+			BaseNsOp:      base.Metrics["ns/op"],
+			CandidateNsOp: c.Metrics["ns/op"],
+			DeltaPct:      100 * (c.Metrics["ns/op"] - base.Metrics["ns/op"]) / base.Metrics["ns/op"],
+		})
+	}
+	return out
 }
 
 func main() {
@@ -69,6 +116,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	rep.Comparisons = comparePairs(rep.Benchmarks, "traced-vs-untraced-ingest",
+		"BenchmarkCollectorIngest", "BenchmarkTracedIngest")
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {

@@ -1,0 +1,193 @@
+// Command traceview renders a JSONL trace capture (from `GET
+// /traces?format=jsonl`, `starlinkbench -trace-out`, or trace.WriteJSONL)
+// as ASCII waterfalls on stdout: one block per trace, spans indented by
+// their depth in the parent tree, with a proportional duration bar laid out
+// against the trace's root span.
+//
+// Usage:
+//
+//	traceview [-min-ms 0] [-limit 0] [-width 40] [-events] [file]
+//
+// With no file argument the capture is read from stdin, so it composes with
+// curl:
+//
+//	curl -s 'localhost:8787/traces?format=jsonl' | traceview -events
+//
+// -min-ms skips traces whose root is faster than the threshold, -limit
+// stops after N traces (0 = all), -events prints each span's events
+// (handovers, drops, ...) under its bar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"starlinkview/internal/trace"
+)
+
+func main() {
+	var (
+		minMS  = flag.Float64("min-ms", 0, "skip traces with a root faster than this many milliseconds")
+		limit  = flag.Int("limit", 0, "render at most this many traces (0 = all)")
+		width  = flag.Int("width", 40, "duration bar width in characters")
+		events = flag.Bool("events", false, "print span events under each bar")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	traces, err := trace.ReadJSONL(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(traces) == 0 {
+		fmt.Println("no traces in input")
+		return
+	}
+	// Slowest first: the capture exists to explain the tail.
+	sort.SliceStable(traces, func(i, j int) bool {
+		return traces[i].Duration > traces[j].Duration
+	})
+
+	shown := 0
+	for _, tr := range traces {
+		if tr.Duration < time.Duration(*minMS*float64(time.Millisecond)) {
+			continue
+		}
+		if *limit > 0 && shown >= *limit {
+			break
+		}
+		shown++
+		render(tr, *width, *events)
+	}
+	if shown == 0 {
+		fmt.Printf("no trace slower than %.1fms (%d in input)\n", *minMS, len(traces))
+	}
+}
+
+// render prints one trace as an indented waterfall. The bar maps each
+// span's [start, start+dur) onto the root's window; spans that outlive the
+// root (late async work) are clamped to the right edge.
+func render(tr trace.Trace, width int, withEvents bool) {
+	trace.SortSpans(tr.Spans)
+	depths := spanDepths(tr.Spans)
+
+	var t0 time.Time
+	window := tr.Duration
+	for _, sd := range tr.Spans {
+		if sd.Root {
+			t0 = sd.Start
+		}
+	}
+	if t0.IsZero() && len(tr.Spans) > 0 { // rootless capture: span against min start
+		t0 = tr.Spans[0].Start
+		for _, sd := range tr.Spans {
+			if end := sd.Start.Add(sd.Duration()).Sub(t0); end > window {
+				window = end
+			}
+		}
+	}
+	if window <= 0 {
+		window = time.Nanosecond
+	}
+
+	fmt.Printf("trace %s  %v  %d spans\n", tr.ID, tr.Duration.Round(time.Microsecond), len(tr.Spans))
+	for _, sd := range tr.Spans {
+		indent := strings.Repeat("  ", depths[sd.SpanID])
+		label := fmt.Sprintf("%s%s", indent, sd.Name)
+		mark := " "
+		if sd.Error != "" {
+			mark = "!"
+		}
+		fmt.Printf("  %s%-36s %10v  |%s|\n",
+			mark, label, sd.Duration().Round(time.Microsecond),
+			bar(sd.Start.Sub(t0), sd.Duration(), window, width))
+		if sd.Error != "" {
+			fmt.Printf("      %serror: %s\n", indent, sd.Error)
+		}
+		if withEvents {
+			for _, ev := range sd.Events {
+				var attrs []string
+				for _, a := range ev.Attrs {
+					attrs = append(attrs, a.Key+"="+a.Value)
+				}
+				fmt.Printf("      %s· %s %s\n", indent, ev.Name, strings.Join(attrs, " "))
+			}
+			if sd.DroppedEvents > 0 {
+				fmt.Printf("      %s· (%d more events dropped by the span cap)\n", indent, sd.DroppedEvents)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+// bar renders a span's time range as a fixed-width strip aligned to the
+// trace window.
+func bar(offset, dur, window time.Duration, width int) string {
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > width {
+			return width
+		}
+		return v
+	}
+	from := clamp(int(int64(offset) * int64(width) / int64(window)))
+	to := clamp(int(int64(offset+dur) * int64(width) / int64(window)))
+	if to <= from {
+		to = from + 1 // even instantaneous spans get one cell
+		if to > width {
+			from, to = width-1, width
+		}
+	}
+	return strings.Repeat(" ", from) + strings.Repeat("=", to-from) + strings.Repeat(" ", width-to)
+}
+
+// spanDepths maps span IDs to tree depth (root 0; orphans at 1), mirroring
+// the layout rule the Chrome exporter uses for thread lanes.
+func spanDepths(spans []trace.SpanData) map[string]int {
+	parent := make(map[string]string, len(spans))
+	for _, sd := range spans {
+		parent[sd.SpanID] = sd.Parent
+	}
+	depths := make(map[string]int, len(spans))
+	var depth func(id string, hops int) int
+	depth = func(id string, hops int) int {
+		if d, ok := depths[id]; ok {
+			return d
+		}
+		p := parent[id]
+		d := 0
+		if p != "" && hops < len(spans) {
+			if _, known := parent[p]; known {
+				d = depth(p, hops+1) + 1
+			} else {
+				d = 1
+			}
+		}
+		depths[id] = d
+		return d
+	}
+	for _, sd := range spans {
+		depth(sd.SpanID, 0)
+	}
+	return depths
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceview:", err)
+	os.Exit(1)
+}
