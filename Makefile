@@ -3,7 +3,7 @@ GO ?= go
 # Each fuzz target gets this much wall time under `make fuzz`.
 FUZZTIME ?= 30s
 
-.PHONY: build test check fuzz bench bench-trace
+.PHONY: build test check fuzz bench bench-trace bench-sim
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ check: build
 	$(GO) vet ./...
 	$(GO) test -race ./internal/trace/...
 	$(GO) test -race -timeout 30m ./...
+	$(GO) test -run '^$$' -bench 'Benchmark(ConstellationVisibility|ConstellationVisibilityBrute|VisibleFromPruned|ServingSelection|Table1)$$' -benchtime 1x -short .
 	$(MAKE) fuzz
 
 # Fuzz the parsers that face untrusted bytes: WAL segment replay (the
@@ -52,3 +53,14 @@ bench-trace:
 	$(GO) run ./tools/benchjson < bench-trace.out > BENCH_trace.json
 	@rm -f bench-trace.out
 	@echo "wrote BENCH_trace.json"
+
+# Simulation-performance pass: the constellation-engine pairs (pruned vs
+# brute-force visibility, engine-parallel vs serial-brute Table 1 pipeline)
+# plus the orbit micro-benchmarks. benchjson pairs the base/candidate rows,
+# prints per-pair and geomean speedups on stderr, and BENCH_sim.json is the
+# committed artifact those speedups are held to.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'Benchmark(ConstellationVisibility|ConstellationVisibilityBrute|VisibleFromPruned|ServingSelection|OrbitPropagation|Table1|Table1Serial)$$' -benchmem -benchtime $(BENCHTIME) -timeout 60m . | tee bench-sim.out
+	$(GO) run ./tools/benchjson < bench-sim.out > BENCH_sim.json
+	@rm -f bench-sim.out
+	@echo "wrote BENCH_sim.json"

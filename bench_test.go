@@ -62,11 +62,29 @@ func benchStudy(b *testing.B) *core.Study {
 	return study
 }
 
-// BenchmarkTable1 regenerates the citywise PTT breakdown (paper Table 1).
-func BenchmarkTable1(b *testing.B) {
-	s := benchStudy(b)
+// table1PipelineConfig is the workload for the end-to-end Table 1
+// benchmarks: small enough that the serial brute-force baseline finishes in
+// sensible time, large enough that the browsing campaign dominates.
+func table1PipelineConfig() core.Config {
+	cfg := core.QuickConfig()
+	cfg.BrowsingDays = 14
+	if testing.Short() {
+		cfg.BrowsingDays = 7
+	}
+	return cfg
+}
+
+func benchTable1Pipeline(b *testing.B, brute bool, workers int) {
+	b.Helper()
+	cfg := table1PipelineConfig()
+	cfg.Workers = workers
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		s, err := core.NewStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Constellation.BruteForce = brute
 		rows, err := s.Table1()
 		if err != nil {
 			b.Fatal(err)
@@ -79,6 +97,17 @@ func BenchmarkTable1(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTable1 regenerates the citywise PTT breakdown (paper Table 1)
+// end to end: build the study, run the browsing campaign on the pruned
+// constellation engine with the parallel driver, aggregate.
+func BenchmarkTable1(b *testing.B) { benchTable1Pipeline(b, false, 0) }
+
+// BenchmarkTable1Serial runs the identical workload the way the code did
+// before the constellation engine existed: exhaustive visibility scans and a
+// serial browsing loop. tools/benchjson pairs it with BenchmarkTable1 to
+// report the end-to-end speedup; both produce byte-identical tables.
+func BenchmarkTable1Serial(b *testing.B) { benchTable1Pipeline(b, true, 1) }
 
 // BenchmarkFigure1 regenerates the user-population map (paper Figure 1).
 func BenchmarkFigure1(b *testing.B) {
@@ -551,7 +580,8 @@ func BenchmarkOrbitPropagation(b *testing.B) {
 	}
 }
 
-// BenchmarkConstellationVisibility measures a full-shell visibility scan.
+// BenchmarkConstellationVisibility measures a full-shell visibility scan
+// through the pruned engine (the default VisibleFrom path).
 func BenchmarkConstellationVisibility(b *testing.B) {
 	epoch := time.Date(2022, 4, 1, 0, 0, 0, 0, time.UTC)
 	c, err := orbit.GenerateShell(orbit.Shell1(epoch))
@@ -559,9 +589,68 @@ func BenchmarkConstellationVisibility(b *testing.B) {
 		b.Fatal(err)
 	}
 	london := geo.LatLon{LatDeg: 51.5, LonDeg: -0.12}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.VisibleFrom(london, epoch.Add(time.Duration(i)*time.Second))
+	}
+}
+
+// BenchmarkConstellationVisibilityBrute is the pre-engine exhaustive scan on
+// the same workload — the baseline tools/benchjson pairs with
+// BenchmarkConstellationVisibility.
+func BenchmarkConstellationVisibilityBrute(b *testing.B) {
+	epoch := time.Date(2022, 4, 1, 0, 0, 0, 0, time.UTC)
+	c, err := orbit.GenerateShell(orbit.Shell1(epoch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.BruteForce = true
+	london := geo.LatLon{LatDeg: 51.5, LonDeg: -0.12}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.VisibleFrom(london, epoch.Add(time.Duration(i)*time.Second))
+	}
+}
+
+// BenchmarkVisibleFromPruned measures the allocation-free hot path the bent
+// pipe drives: pruned candidate search into a caller-owned buffer. The
+// companion test TestVisibleFromAppendZeroAllocs pins allocs/op at zero.
+func BenchmarkVisibleFromPruned(b *testing.B) {
+	epoch := time.Date(2022, 4, 1, 0, 0, 0, 0, time.UTC)
+	c, err := orbit.GenerateShell(orbit.Shell1(epoch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	london := geo.LatLon{LatDeg: 51.5, LonDeg: -0.12}
+	buf := c.VisibleFromAppend(london, epoch, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.VisibleFromAppend(london, epoch.Add(time.Duration(i)*time.Second), buf[:0])
+	}
+}
+
+// BenchmarkServingSelection measures serving-satellite selection per policy
+// through the scratch-buffer path the bent pipe uses every refresh tick.
+func BenchmarkServingSelection(b *testing.B) {
+	epoch := time.Date(2022, 4, 1, 0, 0, 0, 0, time.UTC)
+	c, err := orbit.GenerateShell(orbit.Shell1(epoch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	london := geo.LatLon{LatDeg: 51.5, LonDeg: -0.12}
+	for _, policy := range []orbit.SelectionPolicy{orbit.HighestElevation, orbit.LongestRemainingVisibility} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var scratch []orbit.Visible
+			c.ServingInto(london, epoch, policy, &scratch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.ServingInto(london, epoch.Add(time.Duration(i)*time.Second), policy, &scratch)
+			}
+		})
 	}
 }
 

@@ -6,7 +6,8 @@
 //
 //	starlinkbench [-exp all|table1|fig1|fig3|fig4|fig5|table2|table3|fig6a|fig6b|fig6c|fig7|fig8|isl|ablations]
 //	              [-scale 1.0] [-seed 1] [-days 180] [-planes 72] [-svg dir]
-//	              [-metrics-out file] [-trace-out file]
+//	              [-workers n] [-metrics-out file] [-trace-out file]
+//	              [-cpuprofile file] [-memprofile file]
 //
 // Scale trades fidelity for runtime: -scale 0.2 runs in a couple of minutes,
 // -scale 1 reproduces the paper-sized experiments. With -svg, each figure is
@@ -18,6 +19,10 @@
 // With -trace-out, the run carries a root simulation span that collects those
 // models' events; the kept traces are written as JSONL (render with
 // tools/traceview).
+//
+// With -cpuprofile / -memprofile, pprof profiles of the run are written at
+// exit (inspect with `go tool pprof`). Results are byte-identical at any
+// -workers count; -workers 1 forces serial execution.
 package main
 
 import (
@@ -25,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,13 +51,45 @@ func main() {
 		svgDir  = flag.String("svg", "", "also write each figure as an SVG into this directory")
 		metrics = flag.String("metrics-out", "", "write the run's metric registry (Prometheus text) to this file at exit")
 		traces  = flag.String("trace-out", "", "write the run's kept traces (JSONL) to this file at exit")
+		workers = flag.Int("workers", 0, "worker goroutines for study drivers (0 = all CPUs; results identical at any count)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  wrote %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			runtime.GC() // flush transient allocations so the profile shows live heap
+			if err := writeFile(*memProf, func(w *os.File) error {
+				return pprof.WriteHeapProfile(w)
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  wrote %s\n", *memProf)
+		}()
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Scale = *scale
 	cfg.Planes = *planes
+	cfg.Workers = *workers
 	if *days > 0 {
 		cfg.BrowsingDays = *days
 	} else {

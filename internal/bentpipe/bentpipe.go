@@ -210,6 +210,10 @@ type BentPipe struct {
 
 	handoverSeen int // counters for tests/diagnostics
 	hardSeen     int
+
+	// visBuf is the reusable visibility scratch handed to ServingInto, so
+	// per-tick reselections allocate nothing.
+	visBuf []orbit.Visible
 }
 
 // New validates the configuration and builds the link model.
@@ -303,8 +307,8 @@ func (b *BentPipe) advance(t time.Duration) {
 
 // best returns the policy's preferred satellite right now (nil if none).
 func (b *BentPipe) best(t time.Duration) *orbit.Satellite {
-	sel := b.cfg.Constellation.Serving(b.cfg.Terminal, b.wall(t), b.cfg.Policy)
-	if sel == nil {
+	sel, ok := b.cfg.Constellation.ServingInto(b.cfg.Terminal, b.wall(t), b.cfg.Policy, &b.visBuf)
+	if !ok {
 		return nil
 	}
 	return sel.Sat
@@ -322,7 +326,7 @@ func (b *BentPipe) servingElevation(t time.Duration) float64 {
 	if b.serving == nil {
 		return -90
 	}
-	return b.serving.Look(b.cfg.Terminal, b.wall(t)).ElevationDeg
+	return b.cfg.Constellation.SatLook(b.serving, b.cfg.Terminal, b.wall(t)).ElevationDeg
 }
 
 // reselect runs at each reconfiguration slot boundary. The terminal is
@@ -407,18 +411,22 @@ func (b *BentPipe) refresh(t time.Duration) {
 	st := LinkState{At: t}
 
 	// Geometry. A serving satellite that sinks below the mask mid-slot
-	// forces an immediate reacquisition (the Figure 7 mechanism).
+	// forces an immediate reacquisition (the Figure 7 mechanism). Look-ups
+	// go through the constellation's position cache, so the several views
+	// of the serving satellite this tick needs propagate it only once.
+	servingElev := 40.0 // nominal mid-pass elevation during outages
 	if b.serving != nil {
-		la := b.serving.Look(b.cfg.Terminal, wall)
+		la := b.cfg.Constellation.SatLook(b.serving, b.cfg.Terminal, wall)
 		if la.ElevationDeg < b.cfg.Constellation.MinElevationDeg {
 			b.losExit(t)
 			if b.serving != nil {
-				la = b.serving.Look(b.cfg.Terminal, wall)
+				la = b.cfg.Constellation.SatLook(b.serving, b.cfg.Terminal, wall)
 			}
 		}
 		if b.serving != nil {
 			st.SlantRangeKm = la.RangeKm
 			st.Serving = b.serving
+			servingElev = la.ElevationDeg
 		}
 	}
 
@@ -428,7 +436,7 @@ func (b *BentPipe) refresh(t time.Duration) {
 	var upLegKm, downLegKm float64
 	if st.Serving != nil {
 		upLegKm = st.SlantRangeKm
-		popLook := geo.Look(b.cfg.PoP, st.Serving.PositionECEF(wall))
+		popLook := geo.Look(b.cfg.PoP, b.cfg.Constellation.SatPositionECEF(st.Serving, wall))
 		if popLook.ElevationDeg > 5 {
 			downLegKm = popLook.RangeKm
 		} else {
@@ -453,11 +461,9 @@ func (b *BentPipe) refresh(t time.Duration) {
 	// dB — the paper's "thick rain drops falling directly on the dish".
 	if b.cfg.Weather != nil {
 		st.Condition = b.cfg.Weather.At(t)
-		elev := 40.0
-		if st.Serving != nil {
-			elev = b.serving.Look(b.cfg.Terminal, wall).ElevationDeg
-		}
-		st.AttenuationDB = st.Condition.PathAttenuationDB(elev)
+		// servingElev is the look angle already computed above; recomputing
+		// it per tick was pure waste.
+		st.AttenuationDB = st.Condition.PathAttenuationDB(servingElev)
 		switch st.Condition {
 		case weather.LightRain:
 			st.AttenuationDB += 1.5
@@ -554,7 +560,7 @@ func (b *BentPipe) VisibleDistances(t time.Duration, sats []*orbit.Satellite) (m
 	wall := b.wall(t)
 	out := make(map[string]float64, len(sats))
 	for _, s := range sats {
-		la := s.Look(b.cfg.Terminal, wall)
+		la := b.cfg.Constellation.SatLook(s, b.cfg.Terminal, wall)
 		if la.ElevationDeg >= b.cfg.Constellation.MinElevationDeg {
 			out[s.Name] = la.RangeKm
 		} else {

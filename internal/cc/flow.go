@@ -2,6 +2,7 @@ package cc
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"starlinkview/internal/netsim"
@@ -197,7 +198,11 @@ type Flow struct {
 	OnDone func()
 }
 
-var flowIDs uint64
+// flowIDs is atomic because studies run independent simulations (each with
+// its own flows) on concurrent goroutines. The id is a diagnostic tag on
+// emitted packets — nothing routes or branches on it — so the assignment
+// order cannot affect results.
+var flowIDs atomic.Uint64
 
 // NewFlow creates a flow from the path's client to its server and registers
 // both endpoints. Start must be called to begin transmission.
@@ -217,14 +222,13 @@ func NewFlow(sim *netsim.Sim, path *netsim.Path, cfg FlowConfig) (*Flow, error) 
 	if cfg.DstPort == 0 {
 		cfg.DstPort = 5201
 	}
-	flowIDs++
 	f := &Flow{
 		sim:  sim,
 		path: path,
 		cfg:  cfg,
 		algo: cfg.Algorithm,
 		mss:  cfg.MSS,
-		id:   flowIDs,
+		id:   flowIDs.Add(1),
 	}
 	f.algo.Init(f.mss)
 	f.snd, f.rcv = path.Client(), path.Server()

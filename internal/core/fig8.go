@@ -40,6 +40,10 @@ type fig8Env struct {
 	build func(seed int64) (*netsim.Sim, *ispnet.Built, error)
 }
 
+// fig8EnvNames fixes the environment order so parallel task lists are
+// index-addressable.
+func fig8EnvNames() []string { return []string{"starlink", "wifi"} }
+
 func (s *Study) fig8Envs() map[string]fig8Env {
 	return map[string]fig8Env{
 		"starlink": {build: func(seed int64) (*netsim.Sim, *ispnet.Built, error) {
@@ -69,47 +73,60 @@ func (s *Study) fig8Envs() map[string]fig8Env {
 // same link.
 func (s *Study) Figure8() ([]Fig8Row, error) {
 	dur := s.scaledDur(60*time.Second, 12*time.Second)
-	rows := make(map[string]*Fig8Row)
-	for _, name := range cc.Names() {
-		rows[name] = &Fig8Row{Algorithm: name}
-	}
+	envNames := fig8EnvNames()
+	envs := s.fig8Envs()
+	algos := cc.Names()
 
-	for envName, env := range s.fig8Envs() {
-		// UDP capacity baseline on its own link instance (same seed, so
-		// identical handover/weather history).
-		sim, built, err := env.build(s.cfg.Seed + 2000)
+	// Stage 1: UDP capacity baseline per environment, on its own link
+	// instance (same seed, so identical handover/weather history). The TCP
+	// runs all normalise by these, so they form a barrier.
+	baselines := make([]float64, len(envNames))
+	err := s.runIndexed(len(envNames), func(ei int) error {
+		sim, built, err := envs[envNames[ei]].build(s.cfg.Seed + 2000)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		udp, err := measure.IperfUDP(sim, built.Path, 2e9, dur, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if udp.ThroughputBps <= 0 {
-			return nil, fmt.Errorf("core: UDP baseline on %s is zero", envName)
+			return fmt.Errorf("core: UDP baseline on %s is zero", envNames[ei])
 		}
-
-		for _, algo := range cc.Names() {
-			sim, built, err := env.build(s.cfg.Seed + 2000)
-			if err != nil {
-				return nil, err
-			}
-			res, err := measure.IperfTCPReverse(sim, built.Path, algo, dur)
-			if err != nil {
-				return nil, err
-			}
-			norm := res.ThroughputBps / udp.ThroughputBps
-			if envName == "starlink" {
-				rows[algo].Starlink = norm
-			} else {
-				rows[algo].WiFi = norm
-			}
-		}
+		baselines[ei] = udp.ThroughputBps
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	out := make([]Fig8Row, 0, len(rows))
-	for _, name := range cc.Names() {
-		out = append(out, *rows[name])
+	// Stage 2: every (environment, algorithm) pair is an independent
+	// simulation, so the whole cross product fans out at once.
+	norms := make([]float64, len(envNames)*len(algos))
+	err = s.runIndexed(len(norms), func(ti int) error {
+		ei, ai := ti/len(algos), ti%len(algos)
+		sim, built, err := envs[envNames[ei]].build(s.cfg.Seed + 2000)
+		if err != nil {
+			return err
+		}
+		res, err := measure.IperfTCPReverse(sim, built.Path, algos[ai], dur)
+		if err != nil {
+			return err
+		}
+		norms[ti] = res.ThroughputBps / baselines[ei]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Fig8Row, len(algos))
+	for ai, algo := range algos {
+		out[ai] = Fig8Row{
+			Algorithm: algo,
+			Starlink:  norms[0*len(algos)+ai],
+			WiFi:      norms[1*len(algos)+ai],
+		}
 	}
 	return out, nil
 }
@@ -154,18 +171,20 @@ func (s *Study) AblationLossModel() ([]AblationLossRow, error) {
 	}
 	meanLoss := udp.LossPct / 100
 
-	var out []AblationLossRow
-	for _, algo := range cc.Names() {
+	algos := cc.Names()
+	out := make([]AblationLossRow, len(algos))
+	err = s.runIndexed(len(algos), func(ai int) error {
+		algo := algos[ai]
 		row := AblationLossRow{Algorithm: algo}
 
 		// Bursty: the real bent pipe.
 		sim, built, err := s.fig8Envs()["starlink"].build(s.cfg.Seed + 2100)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := measure.IperfTCPReverse(sim, built.Path, algo, dur)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Bursty = res.ThroughputBps / 1e6
 
@@ -174,14 +193,18 @@ func (s *Study) AblationLossModel() ([]AblationLossRow, error) {
 		iidSim := netsim.NewSim(s.cfg.Seed + 2200)
 		iid, err := buildIIDPath(iidSim, meanLoss, s.cfg.Seed+2200)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err = measure.IperfTCPReverse(iidSim, iid, algo, dur)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.IID = res.ThroughputBps / 1e6
-		out = append(out, row)
+		out[ai] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -218,8 +241,10 @@ type AblationHandoverRow struct {
 // changes handover counts and observed UDP loss.
 func (s *Study) AblationHandoverPolicy() ([]AblationHandoverRow, error) {
 	window := s.scaledDur(30*time.Minute, 10*time.Minute)
-	var out []AblationHandoverRow
-	for _, policy := range []orbit.SelectionPolicy{orbit.HighestElevation, orbit.LongestRemainingVisibility} {
+	policies := []orbit.SelectionPolicy{orbit.HighestElevation, orbit.LongestRemainingVisibility}
+	out := make([]AblationHandoverRow, len(policies))
+	err := s.runIndexed(len(policies), func(pi int) error {
+		policy := policies[pi]
 		sim := netsim.NewSim(s.cfg.Seed + 2300)
 		built, err := ispnet.Build(ispnet.Config{
 			Kind: ispnet.Starlink, City: ispnet.Wiltshire, Server: ispnet.LondonDC,
@@ -228,19 +253,23 @@ func (s *Study) AblationHandoverPolicy() ([]AblationHandoverRow, error) {
 			Policy: policy, Seed: s.cfg.Seed + 2300,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		udp, err := measure.IperfUDP(sim, built.Path, 8e6, window, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		total, hard := built.Pipe.HandoverCount()
-		out = append(out, AblationHandoverRow{
+		out[pi] = AblationHandoverRow{
 			Policy:        policy.String(),
 			Handovers:     total,
 			HardHandovers: hard,
 			MeanLossPct:   udp.LossPct,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

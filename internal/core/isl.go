@@ -61,8 +61,9 @@ func (s *Study) ExtensionISL() ([]ISLRow, error) {
 		{ispnet.Sydney, ispnet.NVirginiaDC},
 		{ispnet.Barcelona, ispnet.IowaDC},
 	}
-	var out []ISLRow
-	for i, p := range pairs {
+	out := make([]ISLRow, len(pairs))
+	err := s.runIndexed(len(pairs), func(i int) error {
+		p := pairs[i]
 		// Measure today's architecture with pings over the simulated path.
 		sim := netsim.NewSim(s.cfg.Seed + int64(2600+i))
 		built, err := ispnet.Build(ispnet.Config{
@@ -72,23 +73,27 @@ func (s *Study) ExtensionISL() ([]ISLRow, error) {
 			Short: true, Seed: s.cfg.Seed + int64(2600+i),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ping, err := measure.Ping(sim, built.Path, 12, 300*time.Millisecond)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ping.Received == 0 {
-			return nil, fmt.Errorf("core: no ping replies on %s path", p.city.Name)
+			return fmt.Errorf("core: no ping replies on %s path", p.city.Name)
 		}
 
-		out = append(out, ISLRow{
+		out[i] = ISLRow{
 			From:          p.city.Name,
 			To:            p.server.Name,
 			BentPipeRTTms: float64(ping.AvgRTT()) / float64(time.Millisecond),
 			ISLRTTms:      float64(islRTT(p.city.Loc, p.server.Loc, 550)) / float64(time.Millisecond),
 			FibreFloorms:  float64(2*ispnet.FibreDelay(p.city.Loc, p.server.Loc)) / float64(time.Millisecond),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

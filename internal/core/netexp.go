@@ -54,8 +54,13 @@ type Fig5Result map[string][]Fig5Hop
 // to the N. Virginia VM.
 func (s *Study) Figure5() (Fig5Result, error) {
 	runs := s.scaled(20, 5)
-	out := Fig5Result{}
-	for _, kind := range []ispnet.Kind{ispnet.Starlink, ispnet.Broadband, ispnet.Cellular} {
+	kinds := []ispnet.Kind{ispnet.Starlink, ispnet.Broadband, ispnet.Cellular}
+	// Each access technology is an independent simulation with its own
+	// seeds, so the three run across the study's workers; results land in
+	// per-kind slots.
+	perKind := make([][]Fig5Hop, len(kinds))
+	err := s.runIndexed(len(kinds), func(ki int) error {
+		kind := kinds[ki]
 		sim := netsim.NewSim(s.cfg.Seed + int64(kind))
 		built, err := ispnet.Build(ispnet.Config{
 			Kind: kind, City: ispnet.London, Server: ispnet.NVirginiaDC,
@@ -64,11 +69,11 @@ func (s *Study) Figure5() (Fig5Result, error) {
 			Seed: s.cfg.Seed + 500 + int64(kind),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hops, err := measure.MTR(sim, built.Path, runs, measure.TracerouteOptions{ProbesPerHop: 3})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var series []Fig5Hop
 		for i, h := range hops {
@@ -86,7 +91,15 @@ func (s *Study) Figure5() (Fig5Result, error) {
 				Samples: len(vals),
 			})
 		}
-		out[kind.String()] = series
+		perKind[ki] = series
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := Fig5Result{}
+	for ki, kind := range kinds {
+		out[kind.String()] = perKind[ki]
 	}
 	return out, nil
 }
@@ -114,19 +127,25 @@ func PaperTable2() []Table2Row {
 func (s *Study) Table2() ([]Table2Row, error) {
 	runs := s.scaled(30, 8)
 	probes := s.scaled(30, 10)
-	var out []Table2Row
-	for i, city := range volunteerCities() {
+	cities := volunteerCities()
+	out := make([]Table2Row, len(cities))
+	err := s.runIndexed(len(cities), func(i int) error {
+		city := cities[i]
 		// 20:00 local at each node.
 		epoch := s.cfg.Epoch.Add(time.Duration((20-city.UTCOffsetHours)*60) * time.Minute)
 		node, err := s.newVolunteerNode(city, epoch, 900+int64(i))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		wireless, whole, err := node.MaxMinQueueing(runs, probes)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Table2Row{City: city.Name, Wireless: wireless, Whole: whole})
+		out[i] = Table2Row{City: city.Name, Wireless: wireless, Whole: whole}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -156,8 +175,9 @@ func (s *Study) Table3() ([]Table3Row, error) {
 	runsPerCity := s.scaled(12, 6)
 	phase := s.scaledDur(8*time.Second, 2*time.Second)
 	cities := []ispnet.City{ispnet.London, ispnet.Seattle, ispnet.Toronto, ispnet.Warsaw}
-	var out []Table3Row
-	for ci, city := range cities {
+	out := make([]Table3Row, len(cities))
+	err := s.runIndexed(len(cities), func(ci int) error {
+		city := cities[ci]
 		sim := netsim.NewSim(s.cfg.Seed + int64(600+ci))
 		built, err := ispnet.Build(ispnet.Config{
 			Kind: ispnet.Starlink, City: city, Server: ispnet.IowaDC,
@@ -166,7 +186,7 @@ func (s *Study) Table3() ([]Table3Row, error) {
 			Short: true, Seed: s.cfg.Seed + int64(700+ci),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var down, up []float64
 		for r := 0; r < runsPerCity; r++ {
@@ -180,14 +200,18 @@ func (s *Study) Table3() ([]Table3Row, error) {
 			}
 			res, err := measure.Speedtest(sim, built.Path, measure.SpeedtestOptions{PhaseDuration: phase})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			down = append(down, res.DownMbps)
 			up = append(up, res.UpMbps)
 		}
-		out = append(out, Table3Row{
+		out[ci] = Table3Row{
 			City: city.Name, DownMbps: stats.Median(down), UpMbps: stats.Median(up), N: runsPerCity,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -210,16 +234,17 @@ func PaperFig6aMedians() map[string]float64 {
 func (s *Study) Figure6a() ([]Fig6aSeries, error) {
 	hours := s.scaledDur(36*time.Hour, 8*time.Hour)
 	iperfDur := s.scaledDur(5*time.Second, 2*time.Second)
-	var out []Fig6aSeries
-	for i, city := range volunteerCities() {
-		node, err := s.newVolunteerNode(city, s.cfg.Epoch, 800+int64(i))
+	cities := volunteerCities()
+	out := make([]Fig6aSeries, len(cities))
+	err := s.runIndexed(len(cities), func(i int) error {
+		node, err := s.newVolunteerNode(cities[i], s.cfg.Epoch, 800+int64(i))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := node.RunSchedule(rpinode.Schedule{
 			Total: hours, IperfEvery: 30 * time.Minute, IperfDur: iperfDur,
 		}); err != nil {
-			return nil, err
+			return err
 		}
 		var mbps []float64
 		for _, sample := range node.IperfSamples() {
@@ -227,14 +252,18 @@ func (s *Study) Figure6a() ([]Fig6aSeries, error) {
 		}
 		cdf, err := stats.NewCDF(mbps)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Fig6aSeries{
-			Label:      city.Name,
+		out[i] = Fig6aSeries{
+			Label:      cities[i].Name,
 			MedianMbps: stats.Median(mbps),
 			CDF:        cdf.Points(40),
 			N:          len(mbps),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

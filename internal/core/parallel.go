@@ -1,0 +1,49 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runIndexed runs fn(0) .. fn(n-1) across the study's worker budget.
+// Determinism is preserved by construction: each index owns its seeds and
+// writes only its own output slot, so the schedule cannot leak into results;
+// callers assemble outputs in index order afterwards. The first error by
+// index wins, matching what the serial loop would have returned.
+func (s *Study) runIndexed(n int, fn func(i int) error) error {
+	workers := s.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -16,6 +16,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"starlinkview/internal/bentpipe"
@@ -47,6 +49,15 @@ type Config struct {
 	// paper-sized experiments, smaller values shrink sample counts and
 	// test durations proportionally (floored at usable minimums).
 	Scale float64
+
+	// Workers bounds the goroutines the study's drivers (RunBrowsing and
+	// the per-city/per-variant experiment loops) fan work across. Zero
+	// means runtime.NumCPU(). Results are byte-identical at any worker
+	// count: every parallel unit owns its seeds and output slot, and
+	// merges happen in the serial loop's order. When Trace is set the
+	// study runs serially regardless, so span event order stays
+	// reproducible.
+	Workers int
 
 	// Registry, if non-nil, meters the simulation: every bent pipe the
 	// study builds shares one bentpipe.Metrics set (counters aggregate
@@ -90,8 +101,11 @@ type Study struct {
 
 	users []*extension.User
 	// weatherByCity powers the OpenWeatherMap-style historical join; each
-	// city gets one generator used for record tagging.
-	weatherByCity map[string]*weather.Generator
+	// city gets one generator used for record tagging. The generator's
+	// memoised timeline is query-order independent, but extending it
+	// mutates state, so each is wrapped with a mutex for the parallel
+	// browsing driver.
+	weatherByCity map[string]*cityWeather
 	// pipeMetrics is the shared bent-pipe metric set when cfg.Registry is
 	// configured; counters aggregate across all users' pipes.
 	pipeMetrics *bentpipe.Metrics
@@ -136,7 +150,7 @@ func NewStudy(cfg Config) (*Study, error) {
 		Constellation: constellation,
 		List:          list,
 		Collector:     collector,
-		weatherByCity: make(map[string]*weather.Generator),
+		weatherByCity: make(map[string]*cityWeather),
 	}
 	if cfg.Registry != nil {
 		s.pipeMetrics = bentpipe.NewMetrics(cfg.Registry)
@@ -146,14 +160,14 @@ func NewStudy(cfg Config) (*Study, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.weatherByCity[c.Name] = g
+		s.weatherByCity[c.Name] = &cityWeather{g: g}
 	}
 	collector.WeatherAt = func(city string, at time.Time) (weather.Condition, bool) {
-		g, ok := s.weatherByCity[city]
+		cw, ok := s.weatherByCity[city]
 		if !ok {
 			return 0, false
 		}
-		return g.At(at.Sub(cfg.Epoch)), true
+		return cw.at(at.Sub(cfg.Epoch)), true
 	}
 
 	if err := s.buildPopulation(); err != nil {
@@ -164,6 +178,31 @@ func NewStudy(cfg Config) (*Study, error) {
 
 // Config returns the study's configuration.
 func (s *Study) Config() Config { return s.cfg }
+
+// cityWeather serialises access to one city's tagging generator; the
+// timeline it memoises is deterministic regardless of query order.
+type cityWeather struct {
+	mu sync.Mutex
+	g  *weather.Generator
+}
+
+func (cw *cityWeather) at(t time.Duration) weather.Condition {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.g.At(t)
+}
+
+// workers resolves the study's parallelism budget.
+func (s *Study) workers() int {
+	if s.cfg.Trace != nil {
+		// Concurrent span events would interleave nondeterministically.
+		return 1
+	}
+	if s.cfg.Workers > 0 {
+		return s.cfg.Workers
+	}
+	return runtime.NumCPU()
+}
 
 // cdnEdgeRTT is the metro CDN edge round trip per city. 2022 Sydney was
 // notably further from major CDN deployments than London or US metros.
@@ -325,10 +364,8 @@ func (s *Study) RunBrowsing() error {
 	}
 	start := s.cfg.Epoch
 	end := start.Add(time.Duration(s.cfg.BrowsingDays) * 24 * time.Hour)
-	for _, u := range s.users {
-		if err := s.Collector.SimulateUser(u, start, end); err != nil {
-			return err
-		}
+	if err := s.Collector.SimulateUsers(s.users, start, end, s.workers()); err != nil {
+		return err
 	}
 	s.browsed = true
 	return nil

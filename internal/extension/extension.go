@@ -12,6 +12,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"starlinkview/internal/ipinfo"
@@ -132,14 +134,17 @@ func (c *Collector) Enroll(u *User) error {
 // Records returns the collected dataset.
 func (c *Collector) Records() []Record { return c.records }
 
-// record stores one observation if the user opted in.
-func (c *Collector) record(u *User, at time.Time, site tranco.Site, pl webperf.PageLoad, benchmark bool) {
+// buildRecord assembles one observation if the user opted in. It touches no
+// collector mutable state (the resolver is internally synchronised and
+// WeatherAt must be concurrency-safe), so concurrent user simulations may
+// call it freely.
+func (c *Collector) buildRecord(u *User, at time.Time, site tranco.Site, pl webperf.PageLoad, benchmark bool) (Record, bool) {
 	if !u.SharesData {
-		return
+		return Record{}, false
 	}
 	rec, err := c.resolver.Resolve(u.ip, at)
 	if err != nil {
-		return
+		return Record{}, false
 	}
 	r := Record{
 		UserID:    u.ID,
@@ -162,14 +167,19 @@ func (c *Collector) record(u *User, at time.Time, site tranco.Site, pl webperf.P
 			r.HasWx = true
 		}
 	}
+	return r, true
+}
+
+// commit appends a record to the dataset and fires the streaming hook.
+func (c *Collector) commit(r Record) {
 	c.records = append(c.records, r)
 	if c.OnRecord != nil {
 		c.OnRecord(r)
 	}
 }
 
-// loadOnce performs one page load for the user and records it.
-func (c *Collector) loadOnce(u *User, rng *rand.Rand, at time.Time, site tranco.Site, benchmark bool) {
+// loadOnce performs one page load for the user and emits the record.
+func (c *Collector) loadOnce(u *User, rng *rand.Rand, at time.Time, site tranco.Site, benchmark bool, emit func(Record)) {
 	acc := u.Access(at)
 	opts := u.Opts
 	opts.DeviceFactor = u.DeviceFactor
@@ -179,7 +189,9 @@ func (c *Collector) loadOnce(u *User, rng *rand.Rand, at time.Time, site tranco.
 		opts.ASPenaltyRTT += 9 * time.Millisecond
 	}
 	pl := webperf.LoadPage(rng, site, acc, opts)
-	c.record(u, at, site, pl, benchmark)
+	if r, ok := c.buildRecord(u, at, site, pl, benchmark); ok {
+		emit(r)
+	}
 }
 
 // SimulateUser replays the user's browsing between start and end: organic
@@ -193,7 +205,87 @@ func (c *Collector) SimulateUser(u *User, start, end time.Time) error {
 		return fmt.Errorf("extension: empty simulation window")
 	}
 	rng := rand.New(rand.NewSource(int64(u.ID[5]) + c.rng.Int63()))
+	if err := c.simulate(u, rng, start, end, c.commit); err != nil {
+		return err
+	}
+	// Keep the dataset in chronological order regardless of per-day
+	// scattering (simplifies CDF-over-time analyses).
+	sort.Slice(c.records, func(i, j int) bool { return c.records[i].At.Before(c.records[j].At) })
+	return nil
+}
 
+// SimulateUsers replays every user's browsing across workers goroutines.
+// The result is byte-identical to calling SimulateUser for each user in
+// order: the per-user RNG streams are pre-seeded from the collector RNG in
+// enrollment order (exactly the draws the serial loop makes), each worker
+// emits into a private buffer, and buffers are committed — records appended,
+// OnRecord fired, dataset re-sorted — in user order. workers <= 1 falls back
+// to the serial loop.
+//
+// Concurrency contract: the users' Access models are per-user (never
+// shared), and the collector's resolver and WeatherAt hook must be
+// concurrency-safe.
+func (c *Collector) SimulateUsers(users []*User, start, end time.Time, workers int) error {
+	if workers > len(users) {
+		workers = len(users)
+	}
+	if workers <= 1 {
+		for _, u := range users {
+			if err := c.SimulateUser(u, start, end); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, u := range users {
+		if u.ID == "" {
+			return fmt.Errorf("extension: user %q not enrolled", u.City)
+		}
+	}
+	if !end.After(start) {
+		return fmt.Errorf("extension: empty simulation window")
+	}
+	seeds := make([]int64, len(users))
+	for i, u := range users {
+		seeds[i] = int64(u.ID[5]) + c.rng.Int63()
+	}
+	bufs := make([][]Record, len(users))
+	errs := make([]error, len(users))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(users) {
+					return
+				}
+				rng := rand.New(rand.NewSource(seeds[i]))
+				errs[i] = c.simulate(users[i], rng, start, end, func(r Record) {
+					bufs[i] = append(bufs[i], r)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range users {
+		for _, r := range bufs[i] {
+			c.commit(r)
+		}
+		if errs[i] != nil {
+			// Mirror the serial loop: a failing user's partial records are
+			// appended but the dataset is left unsorted.
+			return errs[i]
+		}
+		sort.Slice(c.records, func(a, b int) bool { return c.records[a].At.Before(c.records[b].At) })
+	}
+	return nil
+}
+
+// simulate is the per-user browsing loop; records go through emit.
+func (c *Collector) simulate(u *User, rng *rand.Rand, start, end time.Time, emit func(Record)) error {
 	for day := start; day.Before(end); day = day.Add(24 * time.Hour) {
 		// Draw the day's visit instants first and sort them: the Starlink
 		// access model must be sampled in non-decreasing time order.
@@ -221,7 +313,7 @@ func (c *Collector) SimulateUser(u *User, start, end time.Time) error {
 					return err
 				}
 				for _, site := range set {
-					c.loadOnce(u, rng, at, site, true)
+					c.loadOnce(u, rng, at, site, true, emit)
 					at = at.Add(time.Duration(5+rng.Intn(20)) * time.Second)
 				}
 				continue
@@ -233,12 +325,9 @@ func (c *Collector) SimulateUser(u *User, start, end time.Time) error {
 			} else {
 				site = c.list.SampleZipf(rng)
 			}
-			c.loadOnce(u, rng, at, site, false)
+			c.loadOnce(u, rng, at, site, false, emit)
 		}
 	}
-	// Keep the dataset in chronological order regardless of per-day
-	// scattering (simplifies CDF-over-time analyses).
-	sort.Slice(c.records, func(i, j int) bool { return c.records[i].At.Before(c.records[j].At) })
 	return nil
 }
 

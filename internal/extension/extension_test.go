@@ -2,6 +2,7 @@ package extension
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -287,5 +288,78 @@ func TestPTTSamplesFilter(t *testing.T) {
 	}
 	if len(popular) == 0 || len(popular) >= len(all) {
 		t.Errorf("popular filter returned %d of %d", len(popular), len(all))
+	}
+}
+
+// TestSimulateUsersMatchesSerial pins the parallel driver's contract: for
+// the same collector seed, SimulateUsers across many workers produces a
+// byte-identical dataset — and an identical OnRecord stream — to the serial
+// per-user loop.
+func TestSimulateUsersMatchesSerial(t *testing.T) {
+	build := func() (*Collector, []*User) {
+		c := newCollector(t)
+		users := []*User{
+			slUser("London", "GB"), cellUser("London", "GB"),
+			slUser("Seattle", "US"), cellUser("Seattle", "US"),
+			slUser("Sydney", "AU"), cellUser("Berlin", "DE"),
+			slUser("Auckland", "NZ"),
+		}
+		for _, u := range users {
+			if err := c.Enroll(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c, users
+	}
+	start := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(21 * 24 * time.Hour)
+
+	serial, serialUsers := build()
+	var serialSeen []string
+	serial.OnRecord = func(r Record) { serialSeen = append(serialSeen, r.UserID+r.Domain+r.At.String()) }
+	for _, u := range serialUsers {
+		if err := serial.SimulateUser(u, start, end); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, workers := range []int{2, 4, 16} {
+		par, parUsers := build()
+		var parSeen []string
+		par.OnRecord = func(r Record) { parSeen = append(parSeen, r.UserID+r.Domain+r.At.String()) }
+		if err := par.SimulateUsers(parUsers, start, end, workers); err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Records()) != len(serial.Records()) {
+			t.Fatalf("workers=%d: %d records, serial produced %d", workers, len(par.Records()), len(serial.Records()))
+		}
+		for i, r := range par.Records() {
+			if r != serial.Records()[i] {
+				t.Fatalf("workers=%d: record %d differs:\nparallel %+v\nserial   %+v", workers, i, r, serial.Records()[i])
+			}
+		}
+		if !reflect.DeepEqual(parSeen, serialSeen) {
+			t.Fatalf("workers=%d: OnRecord stream diverged (%d vs %d events)", workers, len(parSeen), len(serialSeen))
+		}
+	}
+}
+
+// TestSimulateUsersValidation covers the parallel driver's error paths.
+func TestSimulateUsersValidation(t *testing.T) {
+	c := newCollector(t)
+	u := slUser("London", "GB")
+	start := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+	if err := c.SimulateUsers([]*User{u}, start, start.Add(time.Hour), 4); err == nil {
+		t.Fatal("expected error for unenrolled user")
+	}
+	if err := c.Enroll(u); err != nil {
+		t.Fatal(err)
+	}
+	other := slUser("Seattle", "US")
+	if err := c.Enroll(other); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SimulateUsers([]*User{u, other}, start, start, 4); err == nil {
+		t.Fatal("expected error for empty window")
 	}
 }

@@ -131,6 +131,57 @@ func Look(observer LatLon, target ECEF) LookAngles {
 	return LookAngles{AzimuthDeg: az, ElevationDeg: el, RangeKm: rng}
 }
 
+// Observer is a geodetic point with its ECEF position and ENU rotation
+// precomputed, for hot loops that compute look angles from one fixed site to
+// many targets. Observer.Look is bit-identical to Look for the same inputs:
+// it caches exactly the values Look derives per call (the ToECEF conversion
+// and the latitude/longitude sines and cosines) and then evaluates the same
+// expressions in the same order.
+type Observer struct {
+	LatLon LatLon
+
+	pos                            ECEF
+	sinLat, cosLat, sinLon, cosLon float64
+}
+
+// NewObserver precomputes the ENU frame at p.
+func NewObserver(p LatLon) Observer {
+	lat := Deg2Rad(p.LatDeg)
+	lon := Deg2Rad(p.LonDeg)
+	sinLat, cosLat := math.Sincos(lat)
+	sinLon, cosLon := math.Sincos(lon)
+	return Observer{
+		LatLon: p,
+		pos:    p.ToECEF(),
+		sinLat: sinLat, cosLat: cosLat,
+		sinLon: sinLon, cosLon: cosLon,
+	}
+}
+
+// Position returns the observer's ECEF position.
+func (o *Observer) Position() ECEF { return o.pos }
+
+// Look computes the look angles from the observer to a target in ECEF
+// coordinates. Bit-identical to Look(o.LatLon, target).
+func (o *Observer) Look(target ECEF) LookAngles {
+	d := target.Sub(o.pos)
+
+	east := -o.sinLon*d.X + o.cosLon*d.Y
+	north := -o.sinLat*o.cosLon*d.X - o.sinLat*o.sinLon*d.Y + o.cosLat*d.Z
+	up := o.cosLat*o.cosLon*d.X + o.cosLat*o.sinLon*d.Y + o.sinLat*d.Z
+
+	rng := d.Norm()
+	az := Rad2Deg(math.Atan2(east, north))
+	if az < 0 {
+		az += 360
+	}
+	el := 90.0
+	if rng > 0 {
+		el = Rad2Deg(math.Asin(up / rng))
+	}
+	return LookAngles{AzimuthDeg: az, ElevationDeg: el, RangeKm: rng}
+}
+
 // MaxSlantRangeKm returns the maximum feasible slant range to a satellite at
 // the given altitude when the terminal's minimum elevation angle is
 // minElevDeg. For Starlink shell-1 (550 km, 25 degrees) this evaluates to

@@ -203,3 +203,35 @@ func TestLookRangeMatchesECEFDistance(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestObserverLookBitIdentical asserts the precomputed Observer produces
+// exactly the float64s Look does — the orbit engine's bit-for-bit
+// equivalence with the brute-force scan depends on it.
+func TestObserverLookBitIdentical(t *testing.T) {
+	f := func(lat, lon, alt, tx, ty, tz float64) bool {
+		p := LatLon{
+			LatDeg: math.Mod(lat, 90),
+			LonDeg: math.Mod(lon, 180),
+			AltKm:  math.Mod(alt, 10),
+		}
+		target := ECEF{X: math.Mod(tx, 8000), Y: math.Mod(ty, 8000), Z: math.Mod(tz, 8000)}
+		obs := NewObserver(p)
+		if obs.Position() != p.ToECEF() {
+			return false
+		}
+		return obs.Look(target) == Look(p, target)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObserverLookDegenerate covers the zero-range branch.
+func TestObserverLookDegenerate(t *testing.T) {
+	p := LatLon{LatDeg: 10, LonDeg: 20, AltKm: 0.5}
+	obs := NewObserver(p)
+	la := obs.Look(p.ToECEF())
+	if la.ElevationDeg != 90 || la.RangeKm != 0 {
+		t.Fatalf("self-look = %+v, want elevation 90 at range 0", la)
+	}
+}

@@ -1,0 +1,583 @@
+// Pruned visibility search and shared propagation cache for Constellation.
+//
+// The brute-force scan propagates all N satellites per query even though,
+// from any ground site, only satellites whose sub-satellite point lies within
+// a small Earth-central angle of the observer can clear the elevation mask.
+// For shell-1 geometry (550 km, 25 degree mask) that angle is under 10
+// degrees, so ~97% of the Kepler solves are provably wasted work — the same
+// spatial-pruning insight Hypatia-style constellation simulators use.
+//
+// The engine exploits the constellation's structure instead of scanning:
+//
+//   - Geometry bound. In the Earth-centre/observer/satellite triangle the
+//     angle at the observer is 90deg+e, so a satellite at elevation e and
+//     geocentric radius rs seen from an observer at radius ro subtends an
+//     Earth-central angle lambda = acos((ro/rs)*cos e) - e. Maximising over
+//     the mask (smallest ro, largest rs, e = MinElevationDeg) gives a hard
+//     cap lambdaMax on the central angle of any visible satellite; margins
+//     cover the geodetic-vs-geocentric vertical deflection (<= 0.19 deg)
+//     and numeric slop.
+//
+//   - Plane index. Satellites are grouped into orbital planes (identical
+//     inclination, RAAN trajectory, and in-plane angular rate, matched by
+//     float bit-equality so generated Walker shells collapse to their true
+//     planes). Within a plane, position along the orbit is the argument of
+//     latitude u = argp + nu, which to within the equation of centre
+//     (|nu - M| <= 2e + O(e^2), covered by a 2.5e margin) advances linearly:
+//     u(t) ~= uRef + (n + argpDot)*(t - tref). Each plane stores its
+//     satellites as a ring sorted by uRef.
+//
+//   - Window search. For a unit observer direction o (ECI) the direction of
+//     a satellite at argument of latitude u is p*cos u + q*sin u for the
+//     plane basis p = (cosO, sinO, 0), q = (-sinO*cosi, cosO*cosi, sini), so
+//     cos(angle to observer) = a*cos u + b*sin u = R*cos(u - psi) with
+//     a = o.p, b = o.q. If R < cos lambdaMax the whole plane is out of range;
+//     otherwise only satellites with |u - psi| <= acos(cos lambdaMax / R)
+//     (plus margins) can be visible — a contiguous arc of the ring found by
+//     binary search. The exact look-angle test remains the final filter, so
+//     pruning only ever skips satellites that cannot pass it and results are
+//     bit-identical to the brute-force scan.
+//
+//   - Position cache. Propagated ECEF positions are memoised per timestamp
+//     in a small set of SoA slots keyed by t.UnixNano(), so co-located
+//     observers queried at the same wall time (and bentpipe's repeated
+//     serving-satellite lookups within one tick) never re-propagate. Cached
+//     values are the exact float64s PositionECEF returns.
+//
+// The hot path allocates nothing: candidate lists and position buffers come
+// from a sync.Pool scratch, sorts are hand-written insertion sorts, and
+// callers supply (or reuse) the output slice via VisibleFromAppend.
+package orbit
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"starlinkview/internal/geo"
+)
+
+const (
+	// posCacheSlots bounds how many distinct timestamps keep cached
+	// positions; simulation ticks touch 1-2 timestamps each, so a handful
+	// of slots covers the reuse window without holding stale epochs.
+	posCacheSlots = 4
+
+	// looseEccMax is the eccentricity above which the linear argument-of-
+	// latitude model is too sloppy to index; such satellites are always
+	// exact-tested.
+	looseEccMax = 0.02
+
+	// minIndexSats is the constellation size below which pruning cannot pay
+	// for its own plane-window arithmetic.
+	minIndexSats = 8
+)
+
+// ringSat is one satellite's slot in a plane ring.
+type ringSat struct {
+	u   float64 // argument of latitude at the engine's reference time
+	idx int32   // index into Constellation.Sats
+}
+
+// planeIdx is one orbital plane: shared orientation plus its satellites
+// sorted by argument of latitude.
+type planeIdx struct {
+	raanRef, raanDot float64 // RAAN at tref and its J2 drift rate
+	cosInc, sinInc   float64
+	uRate            float64 // d(argp+M)/dt = n + argpDot
+	uMargin          float64 // equation-of-centre + numeric slack, radians
+	ring             []ringSat
+}
+
+// engine is an immutable index over one Constellation snapshot.
+type engine struct {
+	nsats             int
+	minElev           float64
+	firstSat, lastSat *Satellite
+
+	tref   time.Time
+	usable bool    // false: fall back to an exact (but cached) full scan
+	cosLam float64 // cos of the max Earth-central angle of a visible sat
+
+	planes []planeIdx
+	loose  []int32 // high-eccentricity satellites, always exact-tested
+	satIdx map[*Satellite]int32
+
+	cache posCache
+}
+
+// fresh reports whether the engine still matches the constellation it was
+// built from. Sats mutation is detected heuristically (length plus first and
+// last pointers); in-place element swaps are not supported concurrently with
+// queries.
+func (e *engine) fresh(c *Constellation) bool {
+	if e.nsats != len(c.Sats) || e.minElev != c.MinElevationDeg {
+		return false
+	}
+	return e.nsats == 0 || (e.firstSat == c.Sats[0] && e.lastSat == c.Sats[e.nsats-1])
+}
+
+// engineFor returns the current engine, building (or rebuilding) it if the
+// constellation changed since the last query.
+func (c *Constellation) engineFor() *engine {
+	if e := c.eng.Load(); e != nil && e.fresh(c) {
+		return e
+	}
+	c.buildMu.Lock()
+	defer c.buildMu.Unlock()
+	if e := c.eng.Load(); e != nil && e.fresh(c) {
+		return e
+	}
+	e := buildEngine(c)
+	c.eng.Store(e)
+	return e
+}
+
+func mod2pi(x float64) float64 {
+	x = math.Mod(x, 2*math.Pi)
+	if x < 0 {
+		x += 2 * math.Pi
+	}
+	return x
+}
+
+func buildEngine(c *Constellation) *engine {
+	e := &engine{nsats: len(c.Sats), minElev: c.MinElevationDeg}
+	e.satIdx = make(map[*Satellite]int32, e.nsats)
+	for i, s := range c.Sats {
+		e.satIdx[s] = int32(i)
+	}
+	e.cache.init(e.nsats)
+	if e.nsats == 0 {
+		return e
+	}
+	e.firstSat = c.Sats[0]
+	e.lastSat = c.Sats[e.nsats-1]
+	e.tref = c.Sats[0].Elems.Epoch
+	if e.nsats < minIndexSats {
+		return e
+	}
+
+	// Visibility cone: lambdaMax maximised over observer radius (polar
+	// radius less slack for below-ellipsoid sites), satellite radius (max
+	// apogee over the set) and the mask (relaxed 0.2 deg for the
+	// geodetic-vs-geocentric vertical deflection), plus 1 deg base margin.
+	maxApogee := 0.0
+	for _, s := range c.Sats {
+		if ap := s.semiMajorKm * (1 + s.Elems.Eccentricity); ap > maxApogee {
+			maxApogee = ap
+		}
+	}
+	rObs := geo.EquatorialRadiusKm*(1-geo.Flattening) - 5
+	eMask := geo.Deg2Rad(c.MinElevationDeg - 0.2)
+	x := rObs / maxApogee * math.Cos(eMask)
+	x = math.Max(-1, math.Min(1, x))
+	lam := math.Acos(x) - eMask + geo.Deg2Rad(1.0)
+	e.cosLam = math.Cos(lam)
+	if !(e.cosLam > 0.05) {
+		// Cone covers most of the sky (tiny or negative mask): pruning
+		// cannot win, keep the exact cached scan.
+		return e
+	}
+
+	// Group satellites into planes by bit-equality of their orientation
+	// trajectory; float equality is exact for generated shells (identical
+	// inputs take identical code paths) and heterogeneous catalogues just
+	// split into more, smaller planes.
+	type planeKey struct {
+		cosInc, sinInc, raanDot, uRate, raanRef float64
+	}
+	byKey := make(map[planeKey]int)
+	for i, s := range c.Sats {
+		if s.Elems.Eccentricity > looseEccMax {
+			e.loose = append(e.loose, int32(i))
+			continue
+		}
+		dt := e.tref.Sub(s.Elems.Epoch).Seconds()
+		uRate := s.meanMotion + s.argpDot
+		raanRef := mod2pi(s.raanRad0 + s.raanDot*dt)
+		k := planeKey{s.cosInc, s.sinInc, s.raanDot, uRate, raanRef}
+		pi, ok := byKey[k]
+		if !ok {
+			pi = len(e.planes)
+			byKey[k] = pi
+			e.planes = append(e.planes, planeIdx{
+				raanRef: raanRef, raanDot: s.raanDot,
+				cosInc: s.cosInc, sinInc: s.sinInc,
+				uRate: uRate,
+			})
+		}
+		pl := &e.planes[pi]
+		pl.ring = append(pl.ring, ringSat{
+			u:   mod2pi(s.meanAnomRad0 + s.argpRad0 + uRate*dt),
+			idx: int32(i),
+		})
+		if m := 2.5*s.Elems.Eccentricity + 2e-3; m > pl.uMargin {
+			pl.uMargin = m
+		}
+	}
+	for i := range e.planes {
+		ring := e.planes[i].ring
+		sort.Slice(ring, func(a, b int) bool { return ring[a].u < ring[b].u })
+	}
+	e.usable = true
+	return e
+}
+
+// scratch holds the per-query buffers recycled through scratchPool.
+type scratch struct {
+	cand       []int32
+	got        []bool
+	px, py, pz []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// appendWindow appends the indices of ring satellites whose reference
+// argument of latitude lies within halfW of center (cyclically). The ring is
+// sorted ascending, so the window is one contiguous cyclic arc.
+func appendWindow(dst []int32, ring []ringSat, center, halfW float64) []int32 {
+	if !(halfW < math.Pi) { // also catches NaN: take everything
+		for _, rs := range ring {
+			dst = append(dst, rs.idx)
+		}
+		return dst
+	}
+	lo := mod2pi(center - halfW)
+	span := 2 * halfW
+	// First ring index with u >= lo (hand-rolled to keep the path
+	// allocation-free regardless of closure escape analysis).
+	i, j := 0, len(ring)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if ring[h].u >= lo {
+			j = h
+		} else {
+			i = h + 1
+		}
+	}
+	if i == len(ring) {
+		i = 0
+	}
+	// Walk the ring from there; the cyclic offset from lo is monotone, so
+	// the first satellite past the window ends the arc.
+	for k := 0; k < len(ring); k++ {
+		j := i + k
+		if j >= len(ring) {
+			j -= len(ring)
+		}
+		du := ring[j].u - lo
+		if du < 0 {
+			du += 2 * math.Pi
+		}
+		if du > span {
+			break
+		}
+		dst = append(dst, ring[j].idx)
+	}
+	return dst
+}
+
+func insertionSortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// sortVisibleDesc sorts by descending elevation. Insertion sort: the visible
+// set is tiny (tens at most) and the closure-free code keeps the query path
+// at zero allocations.
+func sortVisibleDesc(vs []Visible) {
+	for i := 1; i < len(vs); i++ {
+		v := vs[i]
+		j := i - 1
+		for j >= 0 && vs[j].Look.ElevationDeg < v.Look.ElevationDeg {
+			vs[j+1] = vs[j]
+			j--
+		}
+		vs[j+1] = v
+	}
+}
+
+// VisibleFromAppend appends the satellites above the constellation's minimum
+// elevation at time t to out (which may be nil or a recycled buffer passed as
+// buf[:0]) and returns the extended slice. The appended region is sorted by
+// descending elevation. With a warm reused buffer the call performs no heap
+// allocation.
+func (c *Constellation) VisibleFromAppend(obs geo.LatLon, t time.Time, out []Visible) []Visible {
+	if c.BruteForce {
+		return c.bruteAppend(obs, t, out)
+	}
+	e := c.engineFor()
+	obsv := geo.NewObserver(obs)
+	return e.query(c, &obsv, t, out)
+}
+
+// bruteAppend is the append-form of VisibleFromBrute, used when BruteForce
+// is set so benchmarks exercise the genuine pre-engine cost model.
+func (c *Constellation) bruteAppend(obs geo.LatLon, t time.Time, out []Visible) []Visible {
+	n0 := len(out)
+	for _, s := range c.Sats {
+		la := s.Look(obs, t)
+		if la.ElevationDeg >= c.MinElevationDeg {
+			out = append(out, Visible{Sat: s, Look: la})
+		}
+	}
+	app := out[n0:]
+	sort.Slice(app, func(i, j int) bool {
+		return app[i].Look.ElevationDeg > app[j].Look.ElevationDeg
+	})
+	return out
+}
+
+// query runs one pruned (or, for unusable indexes, exact-but-cached)
+// visibility scan.
+func (e *engine) query(c *Constellation, obsv *geo.Observer, t time.Time, out []Visible) []Visible {
+	sc := scratchPool.Get().(*scratch)
+
+	theta := gmstRad(t)
+	// math.Cos/Sin rather than Sincos: PositionECEF uses the separate
+	// calls, and cached positions must be bit-identical to it.
+	cosT, sinT := math.Cos(theta), math.Sin(theta)
+
+	cand := sc.cand[:0]
+	if !e.usable {
+		for i := 0; i < e.nsats; i++ {
+			cand = append(cand, int32(i))
+		}
+	} else {
+		// Observer geocentric unit direction, rotated ECEF -> ECI.
+		p := obsv.Position()
+		n := p.Norm()
+		if n == 0 {
+			n = 1
+		}
+		ox, oy, oz := p.X/n, p.Y/n, p.Z/n
+		xe := cosT*ox - sinT*oy
+		ye := sinT*ox + cosT*oy
+		ze := oz
+		dt := t.Sub(e.tref).Seconds()
+		cosLam2 := e.cosLam * e.cosLam
+		for pi := range e.planes {
+			pl := &e.planes[pi]
+			sinO, cosO := math.Sincos(pl.raanRef + pl.raanDot*dt)
+			a := xe*cosO + ye*sinO
+			b := pl.cosInc*(ye*cosO-xe*sinO) + pl.sinInc*ze
+			r2 := a*a + b*b
+			if r2 <= cosLam2 {
+				continue // plane never enters the visibility cone
+			}
+			r := math.Sqrt(r2)
+			halfW := math.Acos(e.cosLam/r) + pl.uMargin
+			center := math.Atan2(b, a) - pl.uRate*dt
+			cand = appendWindow(cand, pl.ring, center, halfW)
+		}
+		cand = append(cand, e.loose...)
+		// Ascending satellite index so the pre-sort candidate order matches
+		// the brute-force scan exactly (ties, if any, resolve identically).
+		insertionSortInt32(cand)
+	}
+	sc.cand = cand
+
+	nc := len(cand)
+	sc.px = growF(sc.px, nc)
+	sc.py = growF(sc.py, nc)
+	sc.pz = growF(sc.pz, nc)
+	sc.got = growB(sc.got, nc)
+	key := t.UnixNano()
+	e.cache.fill(key, cand, sc.px, sc.py, sc.pz, sc.got)
+	miss := false
+	for i, hit := range sc.got {
+		if hit {
+			continue
+		}
+		miss = true
+		eci := c.Sats[cand[i]].PositionECI(t)
+		sc.px[i] = cosT*eci.X + sinT*eci.Y
+		sc.py[i] = -sinT*eci.X + cosT*eci.Y
+		sc.pz[i] = eci.Z
+	}
+	if miss {
+		e.cache.store(key, cand, sc.px, sc.py, sc.pz)
+	}
+
+	n0 := len(out)
+	for i := 0; i < nc; i++ {
+		la := obsv.Look(geo.ECEF{X: sc.px[i], Y: sc.py[i], Z: sc.pz[i]})
+		if la.ElevationDeg >= c.MinElevationDeg {
+			out = append(out, Visible{Sat: c.Sats[cand[i]], Look: la})
+		}
+	}
+	sortVisibleDesc(out[n0:])
+
+	scratchPool.Put(sc)
+	return out
+}
+
+// SatPositionECEF returns s's position at t like s.PositionECEF, but through
+// the constellation's shared cache, so repeated lookups of the same
+// timestamp (serving-satellite refreshes, co-timed observers) propagate only
+// once. Results are bit-identical to s.PositionECEF(t).
+func (c *Constellation) SatPositionECEF(s *Satellite, t time.Time) geo.ECEF {
+	if c.BruteForce {
+		return s.PositionECEF(t)
+	}
+	e := c.engineFor()
+	i, ok := e.satIdx[s]
+	if !ok {
+		return s.PositionECEF(t)
+	}
+	key := t.UnixNano()
+	if p, ok := e.cache.get1(key, i); ok {
+		return p
+	}
+	p := s.PositionECEF(t)
+	e.cache.put1(key, i, p)
+	return p
+}
+
+// SatLook is s.Look through the shared position cache.
+func (c *Constellation) SatLook(s *Satellite, obs geo.LatLon, t time.Time) geo.LookAngles {
+	return geo.Look(obs, c.SatPositionECEF(s, t))
+}
+
+// posCache memoises propagated ECEF positions per timestamp. Slots store
+// positions as structure-of-arrays keyed by satellite index; slot keys are
+// t.UnixNano(), so tick-aligned query times dedupe naturally.
+type posCache struct {
+	mu    sync.Mutex
+	nsats int
+	clock uint64
+	slots [posCacheSlots]posSlot
+}
+
+type posSlot struct {
+	used    bool
+	key     int64
+	last    uint64 // LRU tick
+	have    []bool
+	x, y, z []float64
+}
+
+func (pc *posCache) init(nsats int) { pc.nsats = nsats }
+
+// find returns the slot holding key, or nil. Caller holds mu.
+func (pc *posCache) find(key int64) *posSlot {
+	for i := range pc.slots {
+		if sl := &pc.slots[i]; sl.used && sl.key == key {
+			return sl
+		}
+	}
+	return nil
+}
+
+// take returns the slot for key, evicting the least-recently-used slot if
+// the key is new. Caller holds mu.
+func (pc *posCache) take(key int64) *posSlot {
+	if sl := pc.find(key); sl != nil {
+		return sl
+	}
+	victim := &pc.slots[0]
+	for i := range pc.slots {
+		sl := &pc.slots[i]
+		if !sl.used {
+			victim = sl
+			break
+		}
+		if sl.last < victim.last {
+			victim = sl
+		}
+	}
+	if victim.have == nil {
+		victim.have = make([]bool, pc.nsats)
+		victim.x = make([]float64, pc.nsats)
+		victim.y = make([]float64, pc.nsats)
+		victim.z = make([]float64, pc.nsats)
+	} else {
+		clear(victim.have)
+	}
+	victim.used = true
+	victim.key = key
+	return victim
+}
+
+// fill copies cached positions for cand into the parallel out arrays,
+// setting got[i] per candidate.
+func (pc *posCache) fill(key int64, cand []int32, x, y, z []float64, got []bool) {
+	pc.mu.Lock()
+	pc.clock++
+	sl := pc.find(key)
+	if sl == nil {
+		pc.mu.Unlock()
+		for i := range got {
+			got[i] = false
+		}
+		return
+	}
+	sl.last = pc.clock
+	for i, ci := range cand {
+		if sl.have[ci] {
+			x[i], y[i], z[i] = sl.x[ci], sl.y[ci], sl.z[ci]
+			got[i] = true
+		} else {
+			got[i] = false
+		}
+	}
+	pc.mu.Unlock()
+}
+
+// store writes the candidates' positions into the slot for key.
+func (pc *posCache) store(key int64, cand []int32, x, y, z []float64) {
+	pc.mu.Lock()
+	pc.clock++
+	sl := pc.take(key)
+	sl.last = pc.clock
+	for i, ci := range cand {
+		sl.x[ci], sl.y[ci], sl.z[ci] = x[i], y[i], z[i]
+		sl.have[ci] = true
+	}
+	pc.mu.Unlock()
+}
+
+func (pc *posCache) get1(key int64, i int32) (geo.ECEF, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.clock++
+	sl := pc.find(key)
+	if sl == nil || !sl.have[i] {
+		return geo.ECEF{}, false
+	}
+	sl.last = pc.clock
+	return geo.ECEF{X: sl.x[i], Y: sl.y[i], Z: sl.z[i]}, true
+}
+
+func (pc *posCache) put1(key int64, i int32, p geo.ECEF) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.clock++
+	sl := pc.take(key)
+	sl.last = pc.clock
+	sl.x[i], sl.y[i], sl.z[i] = p.X, p.Y, p.Z
+	sl.have[i] = true
+}

@@ -1,0 +1,269 @@
+package orbit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"starlinkview/internal/geo"
+	"starlinkview/internal/tle"
+)
+
+// engineEpoch matches the study epoch so test geometry resembles real runs.
+var engineEpoch = time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func mustShell(t testing.TB, cfg ShellConfig) *Constellation {
+	t.Helper()
+	c, err := GenerateShell(cfg)
+	if err != nil {
+		t.Fatalf("GenerateShell: %v", err)
+	}
+	return c
+}
+
+func reducedShell(t testing.TB) *Constellation {
+	cfg := Shell1(engineEpoch)
+	cfg.Planes = 24
+	cfg.PhasingF = 13
+	return mustShell(t, cfg)
+}
+
+// sameVisible asserts the pruned result matches the brute-force oracle
+// exactly: same satellites, same order, look angles within tol.
+func sameVisible(t *testing.T, ctx string, brute, pruned []Visible, tol float64) {
+	t.Helper()
+	if len(brute) != len(pruned) {
+		bn := make([]string, 0, len(brute))
+		for _, v := range brute {
+			bn = append(bn, v.Sat.Name)
+		}
+		pn := make([]string, 0, len(pruned))
+		for _, v := range pruned {
+			pn = append(pn, v.Sat.Name)
+		}
+		t.Fatalf("%s: brute saw %d sats %v, pruned saw %d sats %v", ctx, len(brute), bn, len(pruned), pn)
+	}
+	for i := range brute {
+		b, p := brute[i], pruned[i]
+		if b.Sat != p.Sat {
+			t.Fatalf("%s: rank %d: brute %s vs pruned %s", ctx, i, b.Sat.Name, p.Sat.Name)
+		}
+		if math.Abs(b.Look.ElevationDeg-p.Look.ElevationDeg) > tol ||
+			math.Abs(b.Look.AzimuthDeg-p.Look.AzimuthDeg) > tol ||
+			math.Abs(b.Look.RangeKm-p.Look.RangeKm) > tol {
+			t.Fatalf("%s: %s look angles diverge: brute %+v pruned %+v", ctx, b.Sat.Name, b.Look, p.Look)
+		}
+	}
+}
+
+// TestVisibleFromMatchesBruteForce is the engine's core property test: over
+// randomized observers and epochs on reduced and full shells, the pruned
+// search returns exactly the brute-force result (ISSUE 5 requires names plus
+// look angles within 1e-9; in practice the paths are bit-identical).
+func TestVisibleFromMatchesBruteForce(t *testing.T) {
+	shells := map[string]*Constellation{
+		"reduced": reducedShell(t),
+		"full":    mustShell(t, Shell1(engineEpoch)),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for name, c := range shells {
+		trials := 60
+		if name == "full" && testing.Short() {
+			trials = 15
+		}
+		for i := 0; i < trials; i++ {
+			obs := geo.LatLon{
+				LatDeg: rng.Float64()*170 - 85,
+				LonDeg: rng.Float64()*360 - 180,
+				AltKm:  rng.Float64() * 2,
+			}
+			at := engineEpoch.Add(time.Duration(rng.Int63n(int64(90 * 24 * time.Hour))))
+			ctx := fmt.Sprintf("%s shell, trial %d, obs %v at %v", name, i, obs, at)
+			sameVisible(t, ctx, c.VisibleFromBrute(obs, at), c.VisibleFrom(obs, at), 1e-9)
+		}
+	}
+}
+
+// TestVisibleFromMatchesBruteForceCatalogue runs the same property on a
+// constellation rebuilt from serialized TLEs: quantized elements and
+// heterogeneous epochs must still index correctly.
+func TestVisibleFromMatchesBruteForceCatalogue(t *testing.T) {
+	seedShell := reducedShell(t)
+	// Round-trip through the TLE text format to perturb every element the
+	// way a real catalogue would.
+	var rebuilt tle.Catalogue
+	for _, el := range seedShell.Catalogue() {
+		l1, l2 := el.Format()
+		parsed, err := tle.Parse(el.Name, l1, l2)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		rebuilt = append(rebuilt, parsed)
+	}
+	c, err := FromCatalogue(rebuilt, 25)
+	if err != nil {
+		t.Fatalf("FromCatalogue: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		obs := geo.LatLon{LatDeg: rng.Float64()*170 - 85, LonDeg: rng.Float64()*360 - 180}
+		at := engineEpoch.Add(time.Duration(rng.Int63n(int64(30 * 24 * time.Hour))))
+		ctx := fmt.Sprintf("catalogue trial %d, obs %v at %v", i, obs, at)
+		sameVisible(t, ctx, c.VisibleFromBrute(obs, at), c.VisibleFrom(obs, at), 1e-9)
+	}
+}
+
+// TestVisibleFromHighEccentricitySats exercises the loose (non-indexable)
+// path: high-eccentricity satellites must always be exact-tested.
+func TestVisibleFromHighEccentricitySats(t *testing.T) {
+	c := reducedShell(t)
+	for i := 0; i < 6; i++ {
+		el := tle.TLE{
+			Name:            fmt.Sprintf("MOLNIYA-%d", i),
+			SatNum:          90000 + i,
+			Epoch:           engineEpoch,
+			InclinationDeg:  63.4,
+			RAANDeg:         float64(i) * 60,
+			Eccentricity:    0.3,
+			ArgPerigeeDeg:   270,
+			MeanAnomalyDeg:  float64(i) * 55,
+			MeanMotionRevPD: 13.5, // ~1050 km mean altitude, visible from LEO masks
+		}
+		s, err := FromTLE(el)
+		if err != nil {
+			t.Fatalf("FromTLE: %v", err)
+		}
+		c.Sats = append(c.Sats, s)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40; i++ {
+		obs := geo.LatLon{LatDeg: rng.Float64()*170 - 85, LonDeg: rng.Float64()*360 - 180}
+		at := engineEpoch.Add(time.Duration(rng.Int63n(int64(10 * 24 * time.Hour))))
+		ctx := fmt.Sprintf("loose trial %d, obs %v at %v", i, obs, at)
+		sameVisible(t, ctx, c.VisibleFromBrute(obs, at), c.VisibleFrom(obs, at), 1e-9)
+	}
+}
+
+// TestVisibleFromAfterMaskChange covers engine rebuild on MinElevationDeg
+// mutation between queries (TestServingNoneVisible relies on this).
+func TestVisibleFromAfterMaskChange(t *testing.T) {
+	c := reducedShell(t)
+	obs := geo.LatLon{LatDeg: 51.5, LonDeg: -0.12}
+	at := engineEpoch.Add(12 * time.Hour)
+	for _, mask := range []float64{25, 89.9, 5, -10, 40} {
+		c.MinElevationDeg = mask
+		ctx := fmt.Sprintf("mask %v", mask)
+		sameVisible(t, ctx, c.VisibleFromBrute(obs, at), c.VisibleFrom(obs, at), 1e-9)
+	}
+}
+
+// TestSatPositionECEFMatchesDirect asserts the cached per-satellite lookup
+// is bit-identical to direct propagation, hit or miss.
+func TestSatPositionECEFMatchesDirect(t *testing.T) {
+	c := reducedShell(t)
+	obs := geo.LatLon{LatDeg: 47.6, LonDeg: -122.3}
+	at := engineEpoch.Add(3 * time.Hour)
+	c.VisibleFrom(obs, at) // warm the cache slot for `at`
+	for _, s := range c.Sats[:50] {
+		want := s.PositionECEF(at)
+		if got := c.SatPositionECEF(s, at); got != want {
+			t.Fatalf("%s: cached %+v != direct %+v", s.Name, got, want)
+		}
+		// Second call is a guaranteed hit; must still be identical.
+		if got := c.SatPositionECEF(s, at); got != want {
+			t.Fatalf("%s: hit path %+v != direct %+v", s.Name, got, want)
+		}
+		wantLook := s.Look(obs, at)
+		if got := c.SatLook(s, obs, at); got != wantLook {
+			t.Fatalf("%s: SatLook %+v != Look %+v", s.Name, got, wantLook)
+		}
+	}
+	// Foreign satellite (not in the constellation) falls back to direct.
+	foreign, err := FromTLE(c.Sats[0].Elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.SatPositionECEF(foreign, at), foreign.PositionECEF(at); got != want {
+		t.Fatalf("foreign sat: %+v != %+v", got, want)
+	}
+}
+
+// TestVisibleFromAppendZeroAllocs pins the ISSUE 5 acceptance criterion: the
+// pruned visibility hot path (and ServingInto on top of it) performs zero
+// heap allocations once buffers are warm.
+func TestVisibleFromAppendZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; alloc counts are meaningless")
+	}
+	c := mustShell(t, Shell1(engineEpoch))
+	obs := geo.LatLon{LatDeg: 51.5, LonDeg: -0.12}
+	buf := make([]Visible, 0, 64)
+	times := make([]time.Time, 16)
+	for i := range times {
+		times[i] = engineEpoch.Add(time.Duration(i) * 17 * time.Second)
+	}
+	// Warm engine, cache slots, scratch pool, and output buffer.
+	for i := 0; i < 4; i++ {
+		for _, at := range times {
+			buf = c.VisibleFromAppend(obs, at, buf[:0])
+		}
+	}
+	k := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = c.VisibleFromAppend(obs, times[k%len(times)], buf[:0])
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("VisibleFromAppend: %v allocs/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		c.ServingInto(obs, times[k%len(times)], HighestElevation, &buf)
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("ServingInto: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestVisibleFromConcurrent drives concurrent queries (shared engine, shared
+// cache) under the race detector and checks results stay correct.
+func TestVisibleFromConcurrent(t *testing.T) {
+	c := reducedShell(t)
+	obs := []geo.LatLon{
+		{LatDeg: 51.5, LonDeg: -0.12},
+		{LatDeg: 47.6, LonDeg: -122.3},
+		{LatDeg: -33.8, LonDeg: 151.2},
+		{LatDeg: 1.35, LonDeg: 103.8},
+	}
+	want := make(map[int][]Visible)
+	for g := 0; g < 4; g++ {
+		want[g] = c.VisibleFromBrute(obs[g], engineEpoch.Add(time.Duration(g)*time.Minute))
+	}
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			at := engineEpoch.Add(time.Duration(g) * time.Minute)
+			for i := 0; i < 200; i++ {
+				got := c.VisibleFrom(obs[g], at)
+				if len(got) != len(want[g]) {
+					done <- fmt.Errorf("goroutine %d: %d visible, want %d", g, len(got), len(want[g]))
+					return
+				}
+				for j := range got {
+					if got[j].Sat != want[g][j].Sat {
+						done <- fmt.Errorf("goroutine %d: rank %d mismatch", g, j)
+						return
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

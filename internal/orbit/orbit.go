@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"starlinkview/internal/geo"
@@ -40,6 +42,16 @@ type Satellite struct {
 	meanMotion  float64 // rad/s
 	raanDot     float64 // rad/s, J2 secular
 	argpDot     float64 // rad/s, J2 secular
+
+	// Constant trigonometry hoisted out of PositionECI. Each value is the
+	// exact float64 the original per-call expressions produced, so caching
+	// them keeps propagation bit-identical.
+	meanAnomRad0   float64 // Deg2Rad(MeanAnomalyDeg)
+	argpRad0       float64 // Deg2Rad(ArgPerigeeDeg)
+	raanRad0       float64 // Deg2Rad(RAANDeg)
+	cosInc, sinInc float64
+	sqrt1pe        float64 // sqrt(1+e)
+	sqrt1me        float64 // sqrt(1-e)
 }
 
 // FromTLE builds a Satellite from a parsed element set.
@@ -64,6 +76,14 @@ func FromTLE(t tle.TLE) (*Satellite, error) {
 		meanMotion:  n,
 		raanDot:     factor * math.Cos(inc),
 		argpDot:     -factor * (2 - 2.5*math.Sin(inc)*math.Sin(inc)),
+
+		meanAnomRad0: geo.Deg2Rad(t.MeanAnomalyDeg),
+		argpRad0:     geo.Deg2Rad(t.ArgPerigeeDeg),
+		raanRad0:     geo.Deg2Rad(t.RAANDeg),
+		cosInc:       math.Cos(inc),
+		sinInc:       math.Sin(inc),
+		sqrt1pe:      math.Sqrt(1 + t.Eccentricity),
+		sqrt1me:      math.Sqrt(1 - t.Eccentricity),
 	}, nil
 }
 
@@ -97,11 +117,11 @@ func (s *Satellite) PositionECI(t time.Time) geo.ECEF {
 	dt := t.Sub(s.Elems.Epoch).Seconds()
 	e := s.Elems.Eccentricity
 
-	m := geo.Deg2Rad(s.Elems.MeanAnomalyDeg) + s.meanMotion*dt
+	m := s.meanAnomRad0 + s.meanMotion*dt
 	E := solveKepler(m, e)
 
 	// True anomaly and orbital radius.
-	nu := 2 * math.Atan2(math.Sqrt(1+e)*math.Sin(E/2), math.Sqrt(1-e)*math.Cos(E/2))
+	nu := 2 * math.Atan2(s.sqrt1pe*math.Sin(E/2), s.sqrt1me*math.Cos(E/2))
 	r := s.semiMajorKm * (1 - e*math.Cos(E))
 
 	// Perifocal coordinates.
@@ -110,13 +130,12 @@ func (s *Satellite) PositionECI(t time.Time) geo.ECEF {
 
 	// Rotate perifocal -> ECI by argument of perigee, inclination, RAAN
 	// (with J2 secular drift applied to RAAN and argp).
-	argp := geo.Deg2Rad(s.Elems.ArgPerigeeDeg) + s.argpDot*dt
-	raan := geo.Deg2Rad(s.Elems.RAANDeg) + s.raanDot*dt
-	inc := geo.Deg2Rad(s.Elems.InclinationDeg)
+	argp := s.argpRad0 + s.argpDot*dt
+	raan := s.raanRad0 + s.raanDot*dt
 
 	cosO, sinO := math.Cos(raan), math.Sin(raan)
 	cosw, sinw := math.Cos(argp), math.Sin(argp)
-	cosi, sini := math.Cos(inc), math.Sin(inc)
+	cosi, sini := s.cosInc, s.sinInc
 
 	x := (cosO*cosw-sinO*sinw*cosi)*xp + (-cosO*sinw-sinO*cosw*cosi)*yp
 	y := (sinO*cosw+cosO*sinw*cosi)*xp + (-sinO*sinw+cosO*cosw*cosi)*yp
@@ -157,6 +176,14 @@ func (s *Satellite) Look(obs geo.LatLon, t time.Time) geo.LookAngles {
 }
 
 // Constellation is a set of satellites with shared visibility parameters.
+//
+// Visibility queries run through a pruned search engine (see engine.go) that
+// indexes satellites by orbital plane and argument of latitude and caches
+// propagated positions per timestamp. The engine is built lazily on first
+// query and rebuilt if Sats or MinElevationDeg change between queries;
+// mutating those fields concurrently with queries is not supported (every
+// in-tree caller treats a built constellation as immutable). Concurrent
+// queries are safe.
 type Constellation struct {
 	Sats []*Satellite
 
@@ -164,6 +191,14 @@ type Constellation struct {
 	// Starlink shell-1 operates at 25 degrees per the FCC filings the paper
 	// cites.
 	MinElevationDeg float64
+
+	// BruteForce disables the pruned index and position cache, forcing every
+	// query down the original exhaustive scan. It exists so benchmarks can
+	// measure the engine against the pre-engine baseline in the same binary.
+	BruteForce bool
+
+	eng     atomic.Pointer[engine]
+	buildMu sync.Mutex
 }
 
 // ShellConfig describes one orbital shell of a Walker-delta constellation.
@@ -276,6 +311,14 @@ type Visible struct {
 // VisibleFrom returns the satellites above the constellation's minimum
 // elevation at time t, sorted by descending elevation.
 func (c *Constellation) VisibleFrom(obs geo.LatLon, t time.Time) []Visible {
+	return c.VisibleFromAppend(obs, t, nil)
+}
+
+// VisibleFromBrute is the exhaustive reference scan: every satellite is
+// propagated and look-angle tested. It is what VisibleFrom did before the
+// pruned engine existed and is kept as the oracle for the engine's
+// equivalence property test and as the BruteForce execution path.
+func (c *Constellation) VisibleFromBrute(obs geo.LatLon, t time.Time) []Visible {
 	var out []Visible
 	for _, s := range c.Sats {
 		la := s.Look(obs, t)
@@ -317,9 +360,22 @@ func (p SelectionPolicy) String() string {
 // Serving returns the satellite a terminal at obs would use at time t under
 // the given policy, or nil if none is visible.
 func (c *Constellation) Serving(obs geo.LatLon, t time.Time, policy SelectionPolicy) *Visible {
-	vis := c.VisibleFrom(obs, t)
-	if len(vis) == 0 {
+	var buf []Visible
+	v, ok := c.ServingInto(obs, t, policy, &buf)
+	if !ok {
 		return nil
+	}
+	return &v
+}
+
+// ServingInto is the allocation-free form of Serving: the visibility scan
+// reuses *scratch (grown as needed and written back), and the chosen
+// satellite is returned by value. ok is false when nothing is visible.
+func (c *Constellation) ServingInto(obs geo.LatLon, t time.Time, policy SelectionPolicy, scratch *[]Visible) (v Visible, ok bool) {
+	vis := c.VisibleFromAppend(obs, t, (*scratch)[:0])
+	*scratch = vis
+	if len(vis) == 0 {
+		return Visible{}, false
 	}
 	switch policy {
 	case LongestRemainingVisibility:
@@ -332,9 +388,9 @@ func (c *Constellation) Serving(obs geo.LatLon, t time.Time, policy SelectionPol
 				best = i
 			}
 		}
-		return &vis[best]
+		return vis[best], true
 	default: // HighestElevation: vis is already sorted
-		return &vis[0]
+		return vis[0], true
 	}
 }
 
@@ -410,8 +466,10 @@ func (c *Constellation) Coverage(obs geo.LatLon, start, end time.Time, step time
 	st := CoverageStats{MinVisible: int(^uint(0) >> 1)}
 	total := 0
 	outages := 0
+	var buf []Visible
 	for t := start; !t.After(end); t = t.Add(step) {
-		n := len(c.VisibleFrom(obs, t))
+		buf = c.VisibleFromAppend(obs, t, buf[:0])
+		n := len(buf)
 		st.Samples++
 		total += n
 		if n == 0 {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package orbit
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package orbit
+
+// raceEnabled reports whether the race detector is on. Under -race,
+// sync.Pool drops items at random to expose reuse races, so allocation
+// counts on the pooled hot path are not meaningful.
+const raceEnabled = true

@@ -12,12 +12,19 @@
 // BenchmarkTracedIngest rows with matching sub-benchmark names, a
 // comparisons block is emitted with the ns/op overhead of the traced path
 // in percent — the number the <=5% tracing budget is checked against.
+// Likewise, the constellation-engine pairs (BenchmarkConstellationVisibility
+// vs its Brute baseline, BenchmarkTable1 vs BenchmarkTable1Serial) become
+// comparisons with a base/candidate speedup factor. Whenever any
+// comparisons are present, the geometric-mean speedup across them is
+// emitted as a top-level geomean_speedup field and echoed to stderr so
+// `make bench-sim` prints the headline without parsing JSON.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -36,12 +43,17 @@ type comparison struct {
 	BaseNsOp      float64 `json:"base_ns_op"`
 	CandidateNsOp float64 `json:"candidate_ns_op"`
 	DeltaPct      float64 `json:"delta_pct"`
+	// Speedup is base/candidate ns/op: >1 means the candidate is faster.
+	Speedup float64 `json:"speedup"`
 }
 
 type report struct {
 	Env         map[string]string `json:"env"`
 	Benchmarks  []benchmark       `json:"benchmarks"`
 	Comparisons []comparison      `json:"comparisons,omitempty"`
+	// GeomeanSpeedup summarises all comparisons in this report as one
+	// factor (the geometric mean of their speedups).
+	GeomeanSpeedup float64 `json:"geomean_speedup,omitempty"`
 }
 
 // comparePairs matches candidate rows to base rows sharing the same
@@ -71,6 +83,7 @@ func comparePairs(benchmarks []benchmark, name, basePrefix, candPrefix string) [
 			BaseNsOp:      base.Metrics["ns/op"],
 			CandidateNsOp: c.Metrics["ns/op"],
 			DeltaPct:      100 * (c.Metrics["ns/op"] - base.Metrics["ns/op"]) / base.Metrics["ns/op"],
+			Speedup:       base.Metrics["ns/op"] / c.Metrics["ns/op"],
 		})
 	}
 	return out
@@ -118,6 +131,20 @@ func main() {
 	}
 	rep.Comparisons = comparePairs(rep.Benchmarks, "traced-vs-untraced-ingest",
 		"BenchmarkCollectorIngest", "BenchmarkTracedIngest")
+	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "pruned-vs-brute-visibility",
+		"BenchmarkConstellationVisibilityBrute", "BenchmarkConstellationVisibility")...)
+	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "engine-vs-serial-table1",
+		"BenchmarkTable1Serial", "BenchmarkTable1")...)
+	if len(rep.Comparisons) > 0 {
+		logSum := 0.0
+		for _, c := range rep.Comparisons {
+			logSum += math.Log(c.Speedup)
+			fmt.Fprintf(os.Stderr, "benchjson: %-28s %.2fx (%+.1f%% ns/op)\n", c.Name, c.Speedup, c.DeltaPct)
+		}
+		rep.GeomeanSpeedup = math.Exp(logSum / float64(len(rep.Comparisons)))
+		fmt.Fprintf(os.Stderr, "benchjson: geomean speedup over %d comparison(s): %.2fx\n",
+			len(rep.Comparisons), rep.GeomeanSpeedup)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
