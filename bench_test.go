@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"starlinkview/internal/cc"
+	"starlinkview/internal/cluster"
 	"starlinkview/internal/collector"
 	"starlinkview/internal/core"
 	"starlinkview/internal/extension"
@@ -29,6 +31,7 @@ import (
 	"starlinkview/internal/ispnet"
 	"starlinkview/internal/measure"
 	"starlinkview/internal/netsim"
+	"starlinkview/internal/obs"
 	"starlinkview/internal/orbit"
 	"starlinkview/internal/trace"
 	"starlinkview/internal/tranco"
@@ -493,6 +496,158 @@ func BenchmarkTracedIngest(b *testing.B) {
 		}
 	})
 }
+
+// benchClusterIngest measures durable cluster ingest end to end: WAL-backed
+// collectord instances wired into a consistent-hash cluster, driven by one
+// synchronous ring-routing client stream per instance — the standard
+// scale-out shape of fixed per-instance client concurrency. Every batch is
+// acknowledged only after its group-commit fsync; the 10ms commit tick is
+// chosen to dwarf the per-batch CPU cost, so a single synchronous stream is
+// commit-latency-bound, not CPU-bound, and the comparison measures how the
+// cluster scales the commit pipeline rather than how many cores the host
+// has. Adding instances multiplies streams whose commit waits overlap.
+// Streams are
+// ring-aligned (each worker sends only records its instance owns), so the
+// comparison isolates horizontal scale from the forwarding path.
+// tools/benchjson pairs the 1- and 3-instance rows into the
+// cluster-3x-vs-1x-ingest comparison; the target is >=2x.
+func benchClusterIngest(b *testing.B, instances int) {
+	rng := rand.New(rand.NewSource(17))
+	cities := []string{"London", "Seattle", "Sydney", "Berlin", "Warsaw", "Toronto"}
+	isps := []string{"starlink", "broadband", "cellular"}
+	recs := make([]extension.Record, 4096)
+	for i := range recs {
+		recs[i] = extension.Record{
+			UserID: "anon-bench", City: cities[rng.Intn(len(cities))],
+			Country: "GB", ISP: isps[rng.Intn(len(isps))], ASN: 14593,
+			Domain: "site-" + string(rune('a'+rng.Intn(26))) + ".example",
+			Rank:   1 + rng.Intn(1000),
+			PTTMs:  100 + rng.Float64()*900, PLTMs: 500 + rng.Float64()*2000,
+		}
+	}
+
+	srvs := make([]*collector.Server, instances)
+	addrs := make([]string, instances)
+	for i := range srvs {
+		srv, err := collector.OpenServer(collector.Config{
+			Shards: 2, QueueLen: 4096,
+			Registry: obs.NewRegistry(),
+			WAL: collector.WALConfig{
+				Dir:           b.TempDir(),
+				FsyncInterval: 10 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		srvs[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	nodes := make([]*cluster.Node, instances)
+	for i := range srvs {
+		n, err := cluster.NewNode(cluster.NodeConfig{
+			Server: srvs[i], Self: addrs[i], Peers: addrs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	defer func() {
+		for i := range srvs {
+			nodes[i].Close()
+			_ = srvs[i].Shutdown(context.Background())
+		}
+	}()
+
+	// Pin each worker's stream to its own instance: partition the record
+	// template by ring owner and split b.N proportionally.
+	ring := cluster.NewRing(addrs, cluster.DefaultVNodes)
+	idxOf := make(map[string]int, instances)
+	for i, a := range addrs {
+		idxOf[a] = i
+	}
+	parts := make([][]extension.Record, instances)
+	for _, r := range recs {
+		w := idxOf[ring.Owner(r.City, r.ISP)]
+		parts[w] = append(parts[w], r)
+	}
+	// Equal quotas so the streams finish together: wall time then measures
+	// the overlapped commit pipeline, not the largest ring partition.
+	quotas := make([]int, instances)
+	for w, assigned := 0, 0; assigned < b.N; w = (w + 1) % instances {
+		if len(parts[w]) > 0 {
+			quotas[w]++
+			assigned++
+		}
+	}
+
+	clients := make([]*cluster.Client, instances)
+	errs := make([]error, instances)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < instances; w++ {
+		if quotas[w] == 0 {
+			continue
+		}
+		cl, err := cluster.NewClient(cluster.ClientConfig{
+			Targets: addrs, Route: cluster.RouteRing, BatchSize: 256,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[w] = cl
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := parts[w]
+			for i := 0; i < quotas[w]; i++ {
+				if err := clients[w].AddRecord(part[i%len(part)]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			errs[w] = clients[w].Close()
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+
+	// Zero loss, zero forwards: the cluster accepted exactly what was sent,
+	// and every aligned stream hit its owner directly.
+	var accepted, forwarded uint64
+	for _, srv := range srvs {
+		accepted += srv.Aggregator().Snapshot().Accepted
+	}
+	for _, cl := range clients {
+		if cl != nil {
+			forwarded += cl.Stats().Forwarded
+		}
+	}
+	if accepted != uint64(b.N) {
+		b.Fatalf("cluster accepted %d of %d records", accepted, b.N)
+	}
+	if forwarded != 0 {
+		b.Fatalf("aligned streams forwarded %d records, want 0", forwarded)
+	}
+}
+
+// BenchmarkClusterIngest1 is the single-instance baseline for the cluster
+// scaling comparison.
+func BenchmarkClusterIngest1(b *testing.B) { benchClusterIngest(b, 1) }
+
+// BenchmarkClusterIngest3 is the 3-instance cluster on the same workload;
+// tools/benchjson reports its speedup over BenchmarkClusterIngest1.
+func BenchmarkClusterIngest3(b *testing.B) { benchClusterIngest(b, 3) }
 
 // BenchmarkWALAppend measures the durability substrate: records/sec through
 // the write-ahead log at 1/64/512-record commit batches, with and without

@@ -17,13 +17,32 @@
 // side listener serves net/http/pprof (CPU/heap profiles, execution
 // traces) without exposing it on the ingest port.
 //
+// Clustering: with -peers set, N collectord instances form one logical
+// collector. A consistent-hash ring over (city, ISP) partitions the
+// keyspace, batches landing on the wrong instance are forwarded to their
+// owner before acknowledgement, and GET /cluster/snapshot on any instance
+// fans out to every live peer and serves the merged aggregates — the same
+// result a single instance ingesting everything would serve. -advertise
+// names the address peers reach this instance on (defaults to the bound
+// listen address), and -health-interval probes peer /healthz to excise dead
+// instances from the ring.
+//
+// Compaction: -compact-dir rewrites sealed WAL segments as release-format
+// datasets (sorted extension CSV + node JSON lines), either periodically
+// beside the server (-compact-interval) or as a one-shot offline pass
+// (-compact).
+//
 // Usage:
 //
 //	collectord [-addr 127.0.0.1:8787] [-shards 4] [-queue 1024]
 //	           [-policy block|drop] [-relerr 0.01]
 //	           [-wal-dir DIR] [-fsync-interval 2ms] [-segment-bytes 67108864]
 //	           [-checkpoint-interval 30s] [-pprof-addr 127.0.0.1:6060]
+//	           [-peers HOST:PORT,...] [-advertise HOST:PORT] [-vnodes 128]
+//	           [-health-interval 5s]
+//	           [-compact-dir DIR] [-compact-interval 0]
 //	collectord -wal-dump -wal-dir DIR   # dump the log as dataset rows
+//	collectord -compact -wal-dir DIR -compact-dir OUT   # compact and exit
 package main
 
 import (
@@ -40,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"starlinkview/internal/cluster"
 	"starlinkview/internal/collector"
 	"starlinkview/internal/dataset"
 	"starlinkview/internal/obs"
@@ -66,6 +86,15 @@ func main() {
 		traceCap  = flag.Int("trace-capacity", 256, "kept traces retained in the ring buffer")
 		traceSlow = flag.Float64("trace-slowest-pct", 5, "tail-sample: keep roots in the slowest N percent (plus errors and forced samples)")
 		maxLabels = flag.Int("max-label-children", 0, "cap on children per label vector; 0 = uncapped (excess increments obs_dropped_labels_total)")
+
+		peers      = flag.String("peers", "", "comma-separated advertise addresses of the other cluster instances")
+		advertise  = flag.String("advertise", "", "address peers reach this instance on (default: the bound listen address)")
+		vnodes     = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per instance on the consistent-hash ring")
+		healthIval = flag.Duration("health-interval", 5*time.Second, "peer /healthz probe interval (0 = static membership, all peers presumed alive)")
+
+		compactDir  = flag.String("compact-dir", "", "directory for compacted release datasets rewritten from sealed WAL segments")
+		compactIval = flag.Duration("compact-interval", 0, "periodic compaction interval (0 = never; needs -wal-dir and -compact-dir)")
+		compactOnce = flag.Bool("compact", false, "compact sealed WAL segments at -wal-dir into -compact-dir and exit")
 	)
 	flag.Parse()
 
@@ -77,6 +106,22 @@ func main() {
 			fatal(err)
 		}
 		return
+	}
+	if *compactOnce {
+		if *walDir == "" || *compactDir == "" {
+			fatal(fmt.Errorf("-compact needs -wal-dir and -compact-dir"))
+		}
+		res, err := cluster.CompactColdSegments(cluster.CompactConfig{
+			WALDir: *walDir, OutDir: *compactDir,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		printCompaction(res)
+		return
+	}
+	if *compactIval > 0 && (*walDir == "" || *compactDir == "") {
+		fatal(fmt.Errorf("-compact-interval needs -wal-dir and -compact-dir"))
 	}
 
 	pol, err := collector.ParsePolicy(*policy)
@@ -135,14 +180,80 @@ func main() {
 		}
 	}
 
+	var node *cluster.Node
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = srv.Addr()
+		}
+		node, err = cluster.NewNode(cluster.NodeConfig{
+			Server:        srv,
+			Self:          self,
+			Peers:         splitList(*peers),
+			VNodes:        *vnodes,
+			ProbeInterval: *healthIval,
+			Tracer:        tracer,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("collectord: cluster of %d (self %s, %d vnodes, probe every %v): GET %s\n",
+			len(node.Membership().Members()), self, *vnodes, *healthIval, cluster.PathClusterSnapshot)
+	}
+
+	stopCompact := make(chan struct{})
+	compactDone := make(chan struct{})
+	if *compactIval > 0 {
+		go func() {
+			defer close(compactDone)
+			tick := time.NewTicker(*compactIval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopCompact:
+					return
+				case <-tick.C:
+					res, err := cluster.CompactColdSegments(cluster.CompactConfig{
+						WALDir: *walDir, OutDir: *compactDir,
+					})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "collectord: compact:", err)
+						continue
+					}
+					if res.Compacted > 0 {
+						printCompaction(res)
+					}
+				}
+			}
+		}()
+	} else {
+		close(compactDone)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("collectord: draining...")
+	close(stopCompact)
+	<-compactDone
+	if node != nil {
+		node.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fatal(err)
+	}
+	if *compactIval > 0 {
+		// Shutdown sealed the log with a final sync, so one last pass picks
+		// up segments rotated since the previous tick.
+		if res, err := cluster.CompactColdSegments(cluster.CompactConfig{
+			WALDir: *walDir, OutDir: *compactDir,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "collectord: compact:", err)
+		} else if res.Compacted > 0 {
+			printCompaction(res)
+		}
 	}
 
 	snap := srv.Aggregator().Snapshot()
@@ -216,6 +327,26 @@ func dumpWAL(dir string) error {
 	}
 	fmt.Fprintf(os.Stderr, "collectord: dumped %d records from %s\n", n, dir)
 	return out.Flush()
+}
+
+// splitList parses a comma-separated flag value, dropping empty elements
+// so trailing commas are harmless.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func printCompaction(res cluster.CompactResult) {
+	fmt.Printf("collectord: compacted %d of %d cold segments (%d records, %d samples) into %d datasets\n",
+		res.Compacted, res.ColdSegments, res.ExtensionRecords, res.NodeSamples, len(res.Outputs))
+	for _, out := range res.Outputs {
+		fmt.Println("  " + out)
+	}
 }
 
 func fatal(err error) {

@@ -7,9 +7,17 @@
 //
 //	loadgen [-addr 127.0.0.1:8787] [-users 8] [-rate 100000] [-duration 10s]
 //	        [-batch 1000] [-days 10] [-seed 1] [-trace-every 0]
+//	loadgen -targets HOST:PORT,HOST:PORT,... [-route ring|rr] [-vnodes 128]
 //	loadgen -scrape [-scrape-interval 2s] [-duration 0]
 //
 // A rate of 0 removes the pacing and measures the sustainable maximum.
+//
+// With -targets, load fans out across a collectord cluster. -route ring
+// (the default) partitions records onto the same consistent-hash ring the
+// cluster routes by, so every batch lands on its owning instance; -route rr
+// sprays batches round-robin instead, which exercises the cluster's
+// forward-on-misroute path. The run report then covers every target plus
+// the merged cluster totals.
 //
 // With -trace-every N (against a collectord started with -trace), every Nth
 // batch per worker carries a sampled W3C traceparent header, and the run
@@ -33,11 +41,14 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"starlinkview/internal/cluster"
 	"starlinkview/internal/collector"
 	"starlinkview/internal/core"
+	"starlinkview/internal/extension"
 	"starlinkview/internal/obs"
 	"starlinkview/internal/stats"
 	"starlinkview/internal/trace"
@@ -56,6 +67,10 @@ func main() {
 		scrape     = flag.Bool("scrape", false, "poll /metrics and print deltas instead of generating load")
 		scrapeIval = flag.Duration("scrape-interval", 2*time.Second, "polling interval in -scrape mode")
 		traceEvery = flag.Int("trace-every", 0, "send a sampled traceparent on every Nth batch per worker (0 = never); needs collectord -trace")
+
+		targets = flag.String("targets", "", "comma-separated cluster addresses (overrides -addr)")
+		route   = flag.String("route", cluster.RouteRing, "multi-target routing: ring (send to each record's owner) or rr (spray batches, exercising forwarding)")
+		vnodes  = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per target on the routing ring (must match the cluster's -vnodes)")
 	)
 	flag.Parse()
 
@@ -87,23 +102,25 @@ func main() {
 	fmt.Printf("loadgen: replaying %d records with %d users at %.0f rec/s for %v\n",
 		len(records), *users, *rate, *duration)
 
-	// Encode the replay set into wire payloads once; every user then
-	// resends the same bytes, so client-side marshalling never competes
-	// with the server for CPU.
-	var payloads []payload
-	for off := 0; off < len(records); off += *batch {
-		end := off + *batch
-		if end > len(records) {
-			end = len(records)
-		}
-		data, err := collector.EncodeExtensionBatch(records[off:end])
-		if err != nil {
-			fatal(err)
-		}
-		payloads = append(payloads, payload{data: data, n: end - off})
+	targetList := splitList(*targets)
+	if len(targetList) == 0 {
+		targetList = []string{*addr}
+	}
+	if len(targetList) > 1 {
+		fmt.Printf("loadgen: %d targets, %s routing\n", len(targetList), *route)
 	}
 
-	base := "http://" + *addr
+	// Encode the replay set into wire payloads once; every user then
+	// resends the same bytes, so client-side marshalling never competes
+	// with the server for CPU. Each payload carries the target it belongs
+	// to: under ring routing records are partitioned onto their owning
+	// instance before batching (order within a partition preserved), under
+	// round-robin the batches are dealt across targets as-is.
+	payloads, err := encodePayloads(records, targetList, *route, *vnodes, *batch)
+	if err != nil {
+		fatal(err)
+	}
+
 	perUser := *rate / float64(*users)
 	deadline := time.Now().Add(*duration)
 	results := make([]workerResult, *users)
@@ -113,7 +130,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = replay(base, payloads, w*len(payloads) / *users, perUser, deadline, *traceEvery)
+			results[w] = replay(payloads, w*len(payloads) / *users, perUser, deadline, *traceEvery)
 		}(w)
 	}
 	wg.Wait()
@@ -135,32 +152,107 @@ func main() {
 	fmt.Printf("POST latency: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (%d batches)\n",
 		lat.Quantile(0.50)/1e3, lat.Quantile(0.95)/1e3, lat.Quantile(0.99)/1e3, lat.Count())
 
-	var st collector.StatsReply
-	if err := getJSON(base+collector.PathStats, &st); err != nil {
-		fatal(err)
+	for _, target := range targetList {
+		base := "http://" + target
+		var st collector.StatsReply
+		if err := getJSON(base+collector.PathStats, &st); err != nil {
+			fatal(err)
+		}
+		dropRate := 0.0
+		if st.Accepted+st.Dropped > 0 {
+			dropRate = 100 * float64(st.Dropped) / float64(st.Accepted+st.Dropped)
+		}
+		fmt.Printf("server %s: accepted %d, dropped %d (%.3f%% drop rate), processed %d\n",
+			target, st.Accepted, st.Dropped, dropRate, st.Processed)
+		for _, sh := range st.Shards {
+			fmt.Printf("  shard %d: accepted %8d  dropped %6d  queue %4d  ingest p95 %.0f µs\n",
+				sh.Shard, sh.Accepted, sh.Dropped, sh.QueueLen, sh.IngestP95Us)
+		}
+		if st.WAL != nil {
+			// The fsync count against the batch count is the group-commit win:
+			// far fewer fsyncs than acknowledged batches means commits shared.
+			fmt.Printf("  wal: durable LSN %d/%d  %d segments  %d bytes  %d fsyncs  %d checkpoints\n",
+				st.WAL.DurableLSN, st.WAL.AppendedLSN, st.WAL.Segments,
+				st.WAL.AppendedBytes, st.WAL.Syncs, st.WAL.Checkpoints)
+		}
 	}
-	dropRate := 0.0
-	if st.Accepted+st.Dropped > 0 {
-		dropRate = 100 * float64(st.Dropped) / float64(st.Accepted+st.Dropped)
-	}
-	fmt.Printf("server: accepted %d, dropped %d (%.3f%% drop rate), processed %d\n",
-		st.Accepted, st.Dropped, dropRate, st.Processed)
-	for _, sh := range st.Shards {
-		fmt.Printf("  shard %d: accepted %8d  dropped %6d  queue %4d  ingest p95 %.0f µs\n",
-			sh.Shard, sh.Accepted, sh.Dropped, sh.QueueLen, sh.IngestP95Us)
-	}
-	if st.WAL != nil {
-		// The fsync count against the batch count is the group-commit win:
-		// far fewer fsyncs than acknowledged batches means commits shared.
-		fmt.Printf("server wal: durable LSN %d/%d  %d segments  %d bytes  %d fsyncs  %d checkpoints\n",
-			st.WAL.DurableLSN, st.WAL.AppendedLSN, st.WAL.Segments,
-			st.WAL.AppendedBytes, st.WAL.Syncs, st.WAL.Checkpoints)
+	if len(targetList) > 1 {
+		// The merged view is the cluster's contract: any instance must
+		// answer with the union of everything every instance accepted.
+		var merged struct {
+			Peers    []string `json:"peers"`
+			Snapshot struct {
+				Accepted  uint64 `json:"accepted"`
+				Dropped   uint64 `json:"dropped"`
+				Processed uint64 `json:"processed"`
+			} `json:"snapshot"`
+		}
+		if err := getJSON("http://"+targetList[0]+cluster.PathClusterSnapshot, &merged); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: merged snapshot:", err)
+		} else {
+			fmt.Printf("cluster (%d peers merged): accepted %d, dropped %d, processed %d\n",
+				len(merged.Peers), merged.Snapshot.Accepted, merged.Snapshot.Dropped, merged.Snapshot.Processed)
+		}
 	}
 	if *traceEvery > 0 {
-		if err := reportSlowTraces(base, 5); err != nil {
+		if err := reportSlowTraces("http://"+targetList[0], 5); err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: trace report:", err)
 		}
 	}
+}
+
+// splitList parses a comma-separated flag value, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// encodePayloads turns the replay set into per-target wire payloads. Ring
+// routing partitions records by their (city, ISP) ring owner so replayed
+// batches land exactly where the cluster would keep them; round-robin deals
+// whole batches across targets in turn.
+func encodePayloads(records []extension.Record, targets []string, route string, vnodes, batch int) ([]payload, error) {
+	parts := map[string][]extension.Record{targets[0]: records}
+	if len(targets) > 1 {
+		switch route {
+		case cluster.RouteRing:
+			ring := cluster.NewRing(targets, vnodes)
+			parts = make(map[string][]extension.Record)
+			for _, r := range records {
+				owner := ring.Owner(r.City, r.ISP)
+				parts[owner] = append(parts[owner], r)
+			}
+		case cluster.RouteRR:
+			// Batch first, assign after: rotation happens below.
+			parts = map[string][]extension.Record{"": records}
+		default:
+			return nil, fmt.Errorf("unknown route %q (want %s or %s)", route, cluster.RouteRing, cluster.RouteRR)
+		}
+	}
+	var payloads []payload
+	for owner, part := range parts {
+		for off := 0; off < len(part); off += batch {
+			end := off + batch
+			if end > len(part) {
+				end = len(part)
+			}
+			data, err := collector.EncodeExtensionBatch(part[off:end])
+			if err != nil {
+				return nil, err
+			}
+			base := owner
+			if base == "" { // round-robin: deal batches across targets
+				base = targets[len(payloads)%len(targets)]
+			}
+			payloads = append(payloads, payload{base: "http://" + base, data: data, n: end - off})
+		}
+	}
+	return payloads, nil
 }
 
 // traceparentEvery returns a ClientConfig.Traceparent hook sampling every
@@ -229,6 +321,7 @@ func reportSlowTraces(base string, top int) error {
 }
 
 type payload struct {
+	base string
 	data []byte
 	n    int
 }
@@ -240,20 +333,32 @@ type workerResult struct {
 
 // replay cycles one worker through the shared pre-encoded payloads from
 // its own offset, pacing itself to rate records/sec until the deadline.
-func replay(base string, payloads []payload, offset int, rate float64, deadline time.Time, traceEvery int) workerResult {
-	client := collector.NewClient(base, collector.ClientConfig{
-		// Flushes are explicit sends of pre-encoded payloads; the timer
-		// would only add jitter to the latency measurement.
-		FlushEvery:  0,
-		HTTPClient:  &http.Client{Timeout: 30 * time.Second},
-		Traceparent: traceparentEvery(traceEvery, int64(offset)),
-	})
+// Each payload already names its target; the worker keeps one client (and
+// so one connection pool and latency sketch) per target it touches.
+func replay(payloads []payload, offset int, rate float64, deadline time.Time, traceEvery int) workerResult {
+	httpClient := &http.Client{Timeout: 30 * time.Second}
+	traceparent := traceparentEvery(traceEvery, int64(offset))
+	clients := make(map[string]*collector.Client)
+	clientFor := func(base string) *collector.Client {
+		if c, ok := clients[base]; ok {
+			return c
+		}
+		c := collector.NewClient(base, collector.ClientConfig{
+			// Flushes are explicit sends of pre-encoded payloads; the timer
+			// would only add jitter to the latency measurement.
+			FlushEvery:  0,
+			HTTPClient:  httpClient,
+			Traceparent: traceparent,
+		})
+		clients[base] = c
+		return c
+	}
 	start := time.Now()
 	sent := 0
 	var err error
 	for i := 0; time.Now().Before(deadline); i++ {
 		p := payloads[(offset+i)%len(payloads)]
-		if err = client.SendExtensionBatch(p.data, p.n); err != nil {
+		if err = clientFor(p.base).SendExtensionBatch(p.data, p.n); err != nil {
 			break
 		}
 		sent += p.n
@@ -264,10 +369,22 @@ func replay(base string, payloads []payload, offset int, rate float64, deadline 
 			}
 		}
 	}
-	if cerr := client.Close(); err == nil {
-		err = cerr
+	var res workerResult
+	for _, c := range clients {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+		st := c.Stats()
+		res.stats.Records += st.Records
+		res.stats.Batches += st.Batches
+		if res.stats.Latency == nil {
+			res.stats.Latency = st.Latency
+		} else if merr := res.stats.Latency.Merge(st.Latency); merr != nil && err == nil {
+			err = merr
+		}
 	}
-	return workerResult{stats: client.Stats(), err: err}
+	res.err = err
+	return res
 }
 
 // metricsSnap is one /metrics poll reduced to the counters the console

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"starlinkview/internal/collector"
+	"starlinkview/internal/dataset"
+	"starlinkview/internal/wal"
+)
+
+// TestCompactColdSegments drives a WAL through several rotations with a
+// live aggregator, compacts beside it, and checks the outputs are exactly
+// the sealed segments' records in release order — then that a second pass
+// is a no-op and a second output directory is byte-identical.
+func TestCompactColdSegments(t *testing.T) {
+	walDir := t.TempDir()
+	outDir := filepath.Join(t.TempDir(), "out")
+
+	agg, err := collector.OpenAggregator(collector.Config{
+		Shards: 2,
+		WAL: collector.WALConfig{
+			Dir:          walDir,
+			SegmentBytes: 8 << 10, // force several rotations
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := testRecords(600)
+	samples := testSamples(120)
+	for _, r := range records {
+		if !agg.OfferExtension(r) {
+			t.Fatal("record rejected")
+		}
+	}
+	for _, s := range samples {
+		if !agg.OfferNodeSample(s) {
+			t.Fatal("sample rejected")
+		}
+	}
+	if err := agg.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := wal.ListSegments(nil, walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments, need rotations to test compaction", len(segs))
+	}
+
+	// Count what the sealed segments actually hold, straight off the log.
+	wantExt, wantNodes := 0, 0
+	for _, seg := range segs[:len(segs)-1] {
+		f, err := os.Open(filepath.Join(walDir, seg.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = wal.ReadSegment(f, func(r wal.Rec) error {
+			switch r.Kind {
+			case collector.WALKindExtension:
+				wantExt++
+			case collector.WALKindNode:
+				wantNodes++
+			}
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Compact while the aggregator is still live: sealed segments are
+	// immutable, so this must be safe and complete.
+	res, err := CompactColdSegments(CompactConfig{WALDir: walDir, OutDir: outDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdSegments != len(segs)-1 {
+		t.Errorf("cold segments = %d, want %d", res.ColdSegments, len(segs)-1)
+	}
+	if res.ExtensionRecords != wantExt || res.NodeSamples != wantNodes {
+		t.Errorf("compacted %d records / %d samples, want %d / %d",
+			res.ExtensionRecords, res.NodeSamples, wantExt, wantNodes)
+	}
+
+	// Outputs must parse as release datasets and be sorted in release order.
+	gotExt, gotNodes := 0, 0
+	for _, out := range res.Outputs {
+		if strings.HasSuffix(out, ".nodes.json") {
+			f, err := os.Open(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss, err := dataset.ReadNodeJSON(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", out, err)
+			}
+			gotNodes += len(ss)
+			continue
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := dataset.ReadExtensionCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", out, err)
+		}
+		gotExt += len(rs)
+		if !sort.SliceIsSorted(rs, func(i, j int) bool {
+			if rs[i].City != rs[j].City {
+				return rs[i].City < rs[j].City
+			}
+			if rs[i].ISP != rs[j].ISP {
+				return rs[i].ISP < rs[j].ISP
+			}
+			return rs[i].At.Before(rs[j].At)
+		}) {
+			t.Errorf("%s is not in release order", out)
+		}
+	}
+	if gotExt != wantExt || gotNodes != wantNodes {
+		t.Errorf("outputs hold %d records / %d samples, want %d / %d",
+			gotExt, gotNodes, wantExt, wantNodes)
+	}
+
+	// Idempotency: a second pass writes nothing.
+	res2, err := CompactColdSegments(CompactConfig{WALDir: walDir, OutDir: outDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Compacted != 0 || len(res2.Outputs) != 0 {
+		t.Errorf("second pass rewrote %d segments (%v)", res2.Compacted, res2.Outputs)
+	}
+
+	// Determinism: compacting the same log into a fresh directory yields
+	// byte-identical datasets.
+	outDir2 := filepath.Join(t.TempDir(), "out2")
+	res3, err := CompactColdSegments(CompactConfig{WALDir: walDir, OutDir: outDir2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Outputs) != len(res.Outputs) {
+		t.Fatalf("fresh pass wrote %d outputs, first wrote %d", len(res3.Outputs), len(res.Outputs))
+	}
+	for i, out := range res.Outputs {
+		a, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(res3.Outputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s and %s differ", out, res3.Outputs[i])
+		}
+	}
+
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

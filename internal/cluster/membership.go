@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MembershipConfig parameterises a Membership.
+type MembershipConfig struct {
+	// Self is this instance's advertise address (host:port) — the address
+	// peers reach it on and the identity it occupies on the ring.
+	Self string
+	// Peers are the other instances' advertise addresses. Self may appear
+	// in the list; it is deduped out. The member set is static — the ring
+	// only ever re-partitions over liveness changes within it.
+	Peers []string
+	// VNodes per member (DefaultVNodes when <= 0). Every instance and
+	// client must agree on it.
+	VNodes int
+	// ProbeInterval is the liveness-probe period. Zero disables probing:
+	// membership is then static, every peer permanently presumed alive —
+	// the mode single-binary tests and fixed-topology deployments use.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz round-trip (default 2s).
+	ProbeTimeout time.Duration
+	// HTTPClient overrides the probe transport.
+	HTTPClient *http.Client
+	// OnRebuild, if set, observes every ring rebuild (including the initial
+	// build) — the metrics hook.
+	OnRebuild func(r *Ring, live, dead int)
+}
+
+// MemberState is one member's health as last observed.
+type MemberState struct {
+	Addr      string    `json:"addr"`
+	Self      bool      `json:"self,omitempty"`
+	Alive     bool      `json:"alive"`
+	LastErr   string    `json:"last_err,omitempty"`
+	LastProbe time.Time `json:"last_probe,omitempty"`
+}
+
+// Membership tracks which members of a static peer list are alive and
+// maintains the ring over the live ones. Liveness comes from each peer's
+// /healthz — the same endpoint that gates a collector out of rotation when
+// its WAL writer is poisoned, so an instance that can no longer make
+// records durable also stops owning ring ranges.
+type Membership struct {
+	cfg     MembershipConfig
+	members []string // sorted: self + peers, deduped
+	client  *http.Client
+
+	mu    sync.RWMutex
+	ring  *Ring
+	state map[string]*MemberState
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewMembership builds the membership over self + peers with everyone
+// presumed alive, and starts the probe loop when ProbeInterval > 0. Use
+// Probe for a synchronous round (tests, startup barriers).
+func NewMembership(cfg MembershipConfig) (*Membership, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: membership needs a Self address")
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	set := map[string]bool{cfg.Self: true}
+	for _, p := range cfg.Peers {
+		if p != "" {
+			set[p] = true
+		}
+	}
+	members := make([]string, 0, len(set))
+	for m := range set {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	m := &Membership{
+		cfg:     cfg,
+		members: members,
+		client:  cfg.HTTPClient,
+		state:   make(map[string]*MemberState, len(members)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if m.client == nil {
+		m.client = &http.Client{}
+	}
+	for _, addr := range members {
+		m.state[addr] = &MemberState{Addr: addr, Self: addr == cfg.Self, Alive: true}
+	}
+	m.rebuildLocked()
+	if cfg.ProbeInterval > 0 {
+		go m.probeLoop()
+	} else {
+		close(m.done)
+	}
+	return m, nil
+}
+
+// Ring returns the current ring view.
+func (m *Membership) Ring() *Ring {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ring
+}
+
+// Self returns this instance's advertise address.
+func (m *Membership) Self() string { return m.cfg.Self }
+
+// Members returns the full static member set, sorted.
+func (m *Membership) Members() []string {
+	return append([]string(nil), m.members...)
+}
+
+// Live returns the currently-live members, sorted.
+func (m *Membership) Live() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for _, addr := range m.members {
+		if m.state[addr].Alive {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// States returns every member's health, sorted by address.
+func (m *Membership) States() []MemberState {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]MemberState, 0, len(m.members))
+	for _, addr := range m.members {
+		out = append(out, *m.state[addr])
+	}
+	return out
+}
+
+func (m *Membership) probeLoop() {
+	defer close(m.done)
+	t := time.NewTicker(m.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.Probe()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// Probe runs one synchronous liveness round: every peer's /healthz in
+// parallel, then a deterministic ring rebuild if the live set changed.
+// Self is never probed — an instance that can run this loop is alive by
+// definition, and must keep owning its ranges so its local ring view and
+// its peers' converge.
+func (m *Membership) Probe() {
+	type result struct {
+		addr string
+		err  error
+	}
+	peers := make([]string, 0, len(m.members)-1)
+	for _, addr := range m.members {
+		if addr != m.cfg.Self {
+			peers = append(peers, addr)
+		}
+	}
+	results := make(chan result, len(peers))
+	for _, addr := range peers {
+		go func(addr string) {
+			results <- result{addr, m.probeOne(addr)}
+		}(addr)
+	}
+	now := time.Now()
+	changed := false
+	m.mu.Lock()
+	for range peers {
+		r := <-results
+		st := m.state[r.addr]
+		alive := r.err == nil
+		if st.Alive != alive {
+			changed = true
+		}
+		st.Alive = alive
+		st.LastProbe = now
+		st.LastErr = ""
+		if r.err != nil {
+			st.LastErr = r.err.Error()
+		}
+	}
+	if changed {
+		m.rebuildLocked()
+	}
+	m.mu.Unlock()
+}
+
+func (m *Membership) probeOne(addr string) error {
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := timeoutContext(m.cfg.ProbeTimeout)
+	defer cancel()
+	resp, err := m.client.Do(req.WithContext(ctx))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// rebuildLocked rebuilds the ring from the sorted live members. Callers
+// hold mu. The build is deterministic: every instance observing the same
+// live set computes the same ring (compare Ring.Version across /cluster/ring
+// to check convergence).
+func (m *Membership) rebuildLocked() {
+	var live []string
+	dead := 0
+	for _, addr := range m.members {
+		if m.state[addr].Alive {
+			live = append(live, addr)
+		} else {
+			dead++
+		}
+	}
+	m.ring = NewRing(live, m.cfg.VNodes)
+	if m.cfg.OnRebuild != nil {
+		m.cfg.OnRebuild(m.ring, len(live), dead)
+	}
+}
+
+// Close stops the probe loop.
+func (m *Membership) Close() {
+	m.once.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMembershipStatic(t *testing.T) {
+	m, err := NewMembership(MembershipConfig{
+		Self:  "a:1",
+		Peers: []string{"b:1", "c:1", "a:1"}, // self in the list is fine
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if got := m.Members(); len(got) != 3 {
+		t.Fatalf("members = %v, want 3 deduped", got)
+	}
+	if got := m.Live(); len(got) != 3 {
+		t.Fatalf("static membership live = %v, want all", got)
+	}
+	ring := m.Ring()
+	if len(ring.Members()) != 3 {
+		t.Fatalf("ring built over %v, want all members", ring.Members())
+	}
+}
+
+func TestMembershipProbeRebuild(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer peer.Close()
+	peerAddr := strings.TrimPrefix(peer.URL, "http://")
+
+	rebuilds := 0
+	m, err := NewMembership(MembershipConfig{
+		Self:         "self:1",
+		Peers:        []string{peerAddr},
+		ProbeTimeout: time.Second,
+		OnRebuild:    func(_ *Ring, live, dead int) { rebuilds++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	v0 := m.Ring().Version()
+	if rebuilds != 1 {
+		t.Fatalf("initial build should fire OnRebuild once, got %d", rebuilds)
+	}
+
+	// Healthy probe: no liveness change, no rebuild.
+	m.Probe()
+	if m.Ring().Version() != v0 || rebuilds != 1 {
+		t.Fatalf("healthy probe rebuilt the ring (rebuilds=%d)", rebuilds)
+	}
+
+	// Peer dies: the ring shrinks to self, deterministically.
+	healthy.Store(false)
+	m.Probe()
+	if got := m.Live(); len(got) != 1 || got[0] != "self:1" {
+		t.Fatalf("live after death = %v, want [self:1]", got)
+	}
+	if m.Ring().Version() == v0 {
+		t.Fatal("ring version unchanged after member death")
+	}
+	if want := NewRing([]string{"self:1"}, 0).Version(); m.Ring().Version() != want {
+		t.Fatal("rebuilt ring is not the deterministic ring over the live set")
+	}
+	var deadState MemberState
+	for _, st := range m.States() {
+		if st.Addr == peerAddr {
+			deadState = st
+		}
+	}
+	if deadState.Alive || deadState.LastErr == "" {
+		t.Fatalf("dead peer state = %+v, want dead with an error", deadState)
+	}
+
+	// Peer recovers: ring returns to the original version — rebuilds are a
+	// pure function of the live set.
+	healthy.Store(true)
+	m.Probe()
+	if m.Ring().Version() != v0 {
+		t.Fatal("ring did not converge back after the peer recovered")
+	}
+	if got := len(m.Live()); got != 2 {
+		t.Fatalf("live after recovery = %d, want 2", got)
+	}
+}

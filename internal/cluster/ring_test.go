@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"c:1", "a:1", "b:1"}, 64)
+	b := NewRing([]string{"b:1", "a:1", "c:1", "a:1"}, 64) // permuted + dup
+	if a.Version() != b.Version() {
+		t.Fatalf("versions differ across permutations: %d vs %d", a.Version(), b.Version())
+	}
+	for i := 0; i < 1000; i++ {
+		k1, k2 := fmt.Sprintf("city%d", i), fmt.Sprintf("isp%d", i%7)
+		if a.Owner(k1, k2) != b.Owner(k1, k2) {
+			t.Fatalf("owner(%s,%s) differs across identical rings", k1, k2)
+		}
+	}
+	if v := NewRing([]string{"a:1", "b:1"}, 64).Version(); v == a.Version() {
+		t.Error("version unchanged after removing a member")
+	}
+	if v := NewRing([]string{"c:1", "a:1", "b:1"}, 32).Version(); v == a.Version() {
+		t.Error("version unchanged after changing vnodes")
+	}
+}
+
+func TestRingBalanceAndStability(t *testing.T) {
+	members := []string{"h0:9", "h1:9", "h2:9"}
+	r := NewRing(members, 0) // DefaultVNodes
+	counts := map[string]int{}
+	const keys = 12000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("city%d", i), "starlink")]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / keys
+		if share < 0.20 || share > 0.47 {
+			t.Errorf("member %s owns %.1f%% of keys, expected a rough third", m, share*100)
+		}
+	}
+
+	// Consistency: removing one member must not move keys between the
+	// survivors — only the dead member's keys relocate.
+	shrunk := NewRing(members[:2], 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k1 := fmt.Sprintf("city%d", i)
+		before, after := r.Owner(k1, "starlink"), shrunk.Owner(k1, "starlink")
+		if before != "h2:9" && before != after {
+			t.Fatalf("key %s moved from surviving %s to %s", k1, before, after)
+		}
+		if before == "h2:9" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed member")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 8)
+	if got := r.Owner("x", "y"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if len(r.Members()) != 0 {
+		t.Fatalf("empty ring has members %v", r.Members())
+	}
+}

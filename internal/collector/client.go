@@ -153,7 +153,7 @@ func (c *Client) flushExtLocked() error {
 	}
 	n := len(c.ext)
 	c.ext = c.ext[:0]
-	return c.post(PathIngestExtension, extensionContentType, &buf, n)
+	return c.post(PathIngestExtension, ExtensionContentType, &buf, n)
 }
 
 func (c *Client) flushNodesLocked() error {
@@ -169,7 +169,7 @@ func (c *Client) flushNodesLocked() error {
 	}
 	n := len(c.nodes)
 	c.nodes = c.nodes[:0]
-	return c.post(PathIngestNode, nodeContentType, &buf, n)
+	return c.post(PathIngestNode, NodeContentType, &buf, n)
 }
 
 // EncodeExtensionBatch renders records as one wire payload, the body a
@@ -195,7 +195,7 @@ func EncodeExtensionBatch(records []extension.Record) ([]byte, error) {
 func (c *Client) SendExtensionBatch(payload []byte, n int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.post(PathIngestExtension, extensionContentType, bytes.NewReader(payload), n)
+	return c.post(PathIngestExtension, ExtensionContentType, bytes.NewReader(payload), n)
 }
 
 func (c *Client) post(path, contentType string, body io.Reader, n int) error {

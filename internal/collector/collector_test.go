@@ -263,7 +263,7 @@ func TestServerRejectsMalformedBatch(t *testing.T) {
 		defer cancel()
 		_ = srv.Shutdown(ctx)
 	}()
-	resp, err := http.Post(srv.URL()+PathIngestExtension, extensionContentType,
+	resp, err := http.Post(srv.URL()+PathIngestExtension, ExtensionContentType,
 		strings.NewReader("this,is,not,a,record\n"))
 	if err != nil {
 		t.Fatal(err)

@@ -9,9 +9,11 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"starlinkview/internal/dataset"
+	"starlinkview/internal/extension"
 	"starlinkview/internal/trace"
 )
 
@@ -27,22 +29,54 @@ const (
 	PathHealthz         = "/healthz"
 	PathTraces          = "/traces"
 
-	extensionContentType = "text/csv"
-	nodeContentType      = "application/x-ndjson"
+	// ExtensionContentType and NodeContentType are the ingest body MIME
+	// types — exported so cluster forwarding speaks the same wire protocol.
+	ExtensionContentType = "text/csv"
+	NodeContentType      = "application/x-ndjson"
 )
 
-// IngestReply is the server's response to an ingest POST.
+// HeaderForwarded marks an ingest POST as a cluster forward. A batch
+// carrying it is applied locally whatever the receiver's ring says — the
+// terminal hop of the forward-on-misroute protocol, which guarantees a
+// record is never relayed twice even when two instances hold different
+// ring views.
+const HeaderForwarded = "X-Starlinkview-Forwarded"
+
+// IngestReply is the server's response to an ingest POST. Forwarded counts
+// records that belonged to another cluster instance and were relayed there
+// (and accepted) before this acknowledgement.
 type IngestReply struct {
-	Accepted int `json:"accepted"`
-	Dropped  int `json:"dropped"`
+	Accepted  int `json:"accepted"`
+	Dropped   int `json:"dropped"`
+	Forwarded int `json:"forwarded,omitempty"`
+}
+
+// Forwarder routes misrouted records to their owning cluster instance; the
+// implementation lives in internal/cluster. Owner* return the owning
+// peer's advertise address, or "" when this instance owns the key — the
+// hot-path check the ingest handlers make per record. Forward* deliver a
+// misrouted sub-batch synchronously and return how many records the owner
+// accepted; the ingest acknowledgement waits on them, so a 200 means every
+// record in the batch is owned (and, with WALs, durable) somewhere.
+type Forwarder interface {
+	OwnerExtension(r extension.Record) string
+	OwnerNode(s dataset.NodeSample) string
+	ForwardExtension(peer string, recs []extension.Record, parent trace.SpanContext) (int, error)
+	ForwardNode(peer string, samples []dataset.NodeSample, parent trace.SpanContext) (int, error)
 }
 
 // Server exposes an Aggregator over local HTTP.
 type Server struct {
 	agg *Aggregator
 	hs  *http.Server
+	mux *http.ServeMux
 	lis net.Listener
 	err chan error
+
+	// fwdMu guards fwd: SetForwarder runs once at cluster start-up, readers
+	// resolve it once per ingest request.
+	fwdMu sync.RWMutex
+	fwd   Forwarder
 }
 
 // NewServer builds a server around a fresh aggregator with the given
@@ -75,8 +109,31 @@ func OpenServer(cfg Config) (*Server, error) {
 	if cfg.Tracer != nil {
 		mux.HandleFunc(PathTraces, s.instrument(PathTraces, trace.Handler(cfg.Tracer).ServeHTTP))
 	}
+	s.mux = mux
 	s.hs = &http.Server{Handler: mux}
 	return s, nil
+}
+
+// Handle registers an additional handler on the server's mux, instrumented
+// with the same per-path HTTP metrics and root spans as the built-in
+// endpoints. The cluster layer mounts /cluster/* this way.
+func (s *Server) Handle(path string, h http.HandlerFunc) {
+	s.mux.HandleFunc(path, s.instrument(path, h))
+}
+
+// SetForwarder makes the ingest handlers cluster-aware: each decoded record
+// is checked against the forwarder's ring and relayed to its owner when it
+// does not belong here. Call before traffic arrives.
+func (s *Server) SetForwarder(f Forwarder) {
+	s.fwdMu.Lock()
+	s.fwd = f
+	s.fwdMu.Unlock()
+}
+
+func (s *Server) forwarder() Forwarder {
+	s.fwdMu.RLock()
+	defer s.fwdMu.RUnlock()
+	return s.fwd
 }
 
 // statusWriter remembers the status code a handler sent so the HTTP
@@ -175,11 +232,13 @@ func (s *Server) handleIngestExtension(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	fwd := s.ingestForwarder(r)
 	cr := csv.NewReader(r.Body)
 	cr.FieldsPerRecord = len(dataset.ExtensionHeader())
 	cr.ReuseRecord = true
 	decode := s.startDecode(r)
 	var reply IngestReply
+	var byPeer map[string][]extension.Record
 	for {
 		row, err := cr.Read()
 		if err == io.EOF {
@@ -198,6 +257,15 @@ func (s *Server) handleIngestExtension(w http.ResponseWriter, r *http.Request) {
 			ingestError(w, reply, fmt.Sprintf("bad record: %v", err))
 			return
 		}
+		if fwd != nil {
+			if peer := fwd.OwnerExtension(rec); peer != "" {
+				if byPeer == nil {
+					byPeer = make(map[string][]extension.Record)
+				}
+				byPeer[peer] = append(byPeer[peer], rec)
+				continue
+			}
+		}
 		if s.agg.OfferExtensionSpan(rec, representative(decode, reply)) {
 			reply.Accepted++
 		} else {
@@ -205,7 +273,46 @@ func (s *Server) handleIngestExtension(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	finishDecode(decode, reply)
+	for peer, recs := range byPeer {
+		n, err := fwd.ForwardExtension(peer, recs, rootContext(r))
+		reply.Forwarded += n
+		if err != nil {
+			forwardError(w, reply, peer, err)
+			return
+		}
+	}
 	s.ackIngest(w, r, reply, start)
+}
+
+// ingestForwarder resolves the forwarder an ingest request routes through:
+// nil on a plain single-instance server, and nil for batches already
+// forwarded by a peer — a forwarded record is applied where it lands, so a
+// stale ring view costs one extra hop, never a loop.
+func (s *Server) ingestForwarder(r *http.Request) Forwarder {
+	fwd := s.forwarder()
+	if fwd == nil || r.Header.Get(HeaderForwarded) != "" {
+		return nil
+	}
+	return fwd
+}
+
+// rootContext returns the request's root span context (zero when untraced).
+func rootContext(r *http.Request) trace.SpanContext {
+	if root := trace.FromContext(r.Context()); root != nil {
+		return root.Context()
+	}
+	return trace.SpanContext{}
+}
+
+// forwardError reports a batch whose misrouted records could not all be
+// relayed. Locally-owned records are already aggregated (and will be made
+// durable); the sender must treat the batch as unacknowledged and may
+// retry — ingest is at-least-once.
+func forwardError(w http.ResponseWriter, reply IngestReply, peer string, err error) {
+	writeJSON(w, http.StatusBadGateway, struct {
+		IngestReply
+		Error string `json:"error"`
+	}{reply, fmt.Sprintf("forward to %s: %v", peer, err)})
 }
 
 // startDecode opens the batch-decode span under the request's root span
@@ -243,9 +350,11 @@ func (s *Server) handleIngestNode(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	fwd := s.ingestForwarder(r)
 	dec := json.NewDecoder(r.Body)
 	decode := s.startDecode(r)
 	var reply IngestReply
+	var byPeer map[string][]dataset.NodeSample
 	for {
 		var sample dataset.NodeSample
 		if err := dec.Decode(&sample); err == io.EOF {
@@ -256,6 +365,15 @@ func (s *Server) handleIngestNode(w http.ResponseWriter, r *http.Request) {
 			ingestError(w, reply, fmt.Sprintf("bad sample: %v", err))
 			return
 		}
+		if fwd != nil {
+			if peer := fwd.OwnerNode(sample); peer != "" {
+				if byPeer == nil {
+					byPeer = make(map[string][]dataset.NodeSample)
+				}
+				byPeer[peer] = append(byPeer[peer], sample)
+				continue
+			}
+		}
 		if s.agg.OfferNodeSampleSpan(sample, representative(decode, reply)) {
 			reply.Accepted++
 		} else {
@@ -263,6 +381,14 @@ func (s *Server) handleIngestNode(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	finishDecode(decode, reply)
+	for peer, samples := range byPeer {
+		n, err := fwd.ForwardNode(peer, samples, rootContext(r))
+		reply.Forwarded += n
+		if err != nil {
+			forwardError(w, reply, peer, err)
+			return
+		}
+	}
 	s.ackIngest(w, r, reply, start)
 }
 
@@ -328,9 +454,20 @@ type CityJSON struct {
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snap := s.agg.Snapshot()
-	reply := SnapshotReply{TakenAt: time.Now().UTC(), Snapshot: snap}
-	for _, row := range snap.CityTable(snap.Cities()) {
-		reply.CityTable = append(reply.CityTable, CityJSON{
+	writeJSON(w, http.StatusOK, SnapshotReply{
+		TakenAt:   time.Now().UTC(),
+		Snapshot:  snap,
+		CityTable: snap.CityTableJSON(),
+	})
+}
+
+// CityTableJSON renders the snapshot's per-city table in the JSON-safe form
+// /snapshot serves; the cluster merged-query endpoint reuses it so a merged
+// snapshot and a single-instance one are comparable field for field.
+func (s *Snapshot) CityTableJSON() []CityJSON {
+	var out []CityJSON
+	for _, row := range s.CityTable(s.Cities()) {
+		out = append(out, CityJSON{
 			City:              row.City,
 			StarlinkReqs:      row.StarlinkReqs,
 			StarlinkDomains:   row.StarlinkDomains,
@@ -340,7 +477,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			NonSLMedianPTT:    nanZero(row.NonSLMedianPTT),
 		})
 	}
-	writeJSON(w, http.StatusOK, reply)
+	return out
 }
 
 // StatsReply is the GET /stats payload. WAL is present only on durable

@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -56,8 +57,10 @@ type Snapshot struct {
 	Dropped   uint64 `json:"dropped"`
 	Processed uint64 `json:"processed"`
 
-	// merged per-group state retained for CityTable's class-level unions.
+	// merged per-group state retained for CityTable's class-level unions
+	// and for ExportState's mergeable wire form.
 	ext    map[extKey]*extAgg
+	nodes  map[nodeKey]*nodeAgg
 	relErr float64
 }
 
@@ -71,8 +74,7 @@ func nanZero(v float64) float64 {
 }
 
 func mergeSnapshot(parts []shardSnap, relErr float64) *Snapshot {
-	s := &Snapshot{ext: make(map[extKey]*extAgg), relErr: relErr}
-	nodes := make(map[nodeKey]*nodeAgg)
+	s := &Snapshot{ext: make(map[extKey]*extAgg), nodes: make(map[nodeKey]*nodeAgg), relErr: relErr}
 	for _, p := range parts {
 		st := p.stats
 		st.IngestP50Us = nanZero(st.IngestP50Us)
@@ -87,9 +89,18 @@ func mergeSnapshot(parts []shardSnap, relErr float64) *Snapshot {
 			s.ext[k] = g
 		}
 		for k, g := range p.nodes {
-			nodes[k] = g
+			s.nodes[k] = g
 		}
 	}
+	s.render()
+	return s
+}
+
+// render derives the sorted row views from the merged group maps. Both the
+// shard merge and the cluster merge (MergeStates) finish through here, so a
+// merged-across-instances snapshot renders exactly like a local one.
+func (s *Snapshot) render() {
+	s.Groups = s.Groups[:0]
 	for k, g := range s.ext {
 		s.Groups = append(s.Groups, GroupRow{
 			City:      k.City,
@@ -107,7 +118,8 @@ func mergeSnapshot(parts []shardSnap, relErr float64) *Snapshot {
 		}
 		return s.Groups[i].ISP < s.Groups[j].ISP
 	})
-	for k, g := range nodes {
+	s.Nodes = s.Nodes[:0]
+	for k, g := range s.nodes {
 		n := float64(g.count)
 		s.Nodes = append(s.Nodes, NodeRow{
 			Node:        k.Node,
@@ -127,7 +139,6 @@ func mergeSnapshot(parts []shardSnap, relErr float64) *Snapshot {
 		}
 		return s.Nodes[i].Kind < s.Nodes[j].Kind
 	})
-	return s
 }
 
 // Cities returns the distinct cities seen, sorted — the same set
@@ -143,6 +154,157 @@ func (s *Snapshot) Cities() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// GroupState is the mergeable wire form of one (city, ISP) aggregate: the
+// exact domain set plus the quantile sketch's binary serialisation, so a
+// peer that imports it answers every quantile identically to the exporter.
+type GroupState struct {
+	City    string   `json:"city"`
+	ISP     string   `json:"isp"`
+	Domains []string `json:"domains"`
+	PTT     []byte   `json:"ptt"`
+}
+
+// NodeState is the mergeable wire form of one (node, kind) aggregate.
+type NodeState struct {
+	Node    string  `json:"node"`
+	Kind    string  `json:"kind"`
+	Count   uint64  `json:"count"`
+	Down    []byte  `json:"down"`
+	UpSum   float64 `json:"up_sum"`
+	PingSum float64 `json:"ping_sum"`
+	LossSum float64 `json:"loss_sum"`
+}
+
+// MergeState is a snapshot's complete mergeable state — what one cluster
+// instance ships to the peer coordinating a merged query. Unlike the
+// rendered Snapshot rows it loses nothing: sketches travel whole, domain
+// sets travel whole, so MergeStates over K instances equals a single
+// instance that ingested every record.
+type MergeState struct {
+	RelErr    float64      `json:"rel_err"`
+	Accepted  uint64       `json:"accepted"`
+	Dropped   uint64       `json:"dropped"`
+	Processed uint64       `json:"processed"`
+	Groups    []GroupState `json:"groups"`
+	Nodes     []NodeState  `json:"nodes"`
+}
+
+// ExportState renders the snapshot's aggregate state in mergeable wire
+// form, deterministically ordered (groups by key, domains sorted).
+func (s *Snapshot) ExportState() (MergeState, error) {
+	out := MergeState{
+		RelErr:   s.relErr,
+		Accepted: s.Accepted, Dropped: s.Dropped, Processed: s.Processed,
+		Groups: make([]GroupState, 0, len(s.ext)),
+		Nodes:  make([]NodeState, 0, len(s.nodes)),
+	}
+	for k, g := range s.ext {
+		blob, err := g.ptt.MarshalBinary()
+		if err != nil {
+			return MergeState{}, err
+		}
+		domains := make([]string, 0, len(g.domains))
+		for d := range g.domains {
+			domains = append(domains, d)
+		}
+		sort.Strings(domains)
+		out.Groups = append(out.Groups, GroupState{City: k.City, ISP: k.ISP, Domains: domains, PTT: blob})
+	}
+	sort.Slice(out.Groups, func(i, j int) bool {
+		if out.Groups[i].City != out.Groups[j].City {
+			return out.Groups[i].City < out.Groups[j].City
+		}
+		return out.Groups[i].ISP < out.Groups[j].ISP
+	})
+	for k, g := range s.nodes {
+		blob, err := g.down.MarshalBinary()
+		if err != nil {
+			return MergeState{}, err
+		}
+		out.Nodes = append(out.Nodes, NodeState{
+			Node: k.Node, Kind: k.Kind, Count: g.count, Down: blob,
+			UpSum: g.upSum, PingSum: g.pingSum, LossSum: g.lossSum,
+		})
+	}
+	sort.Slice(out.Nodes, func(i, j int) bool {
+		if out.Nodes[i].Node != out.Nodes[j].Node {
+			return out.Nodes[i].Node < out.Nodes[j].Node
+		}
+		return out.Nodes[i].Kind < out.Nodes[j].Kind
+	})
+	return out, nil
+}
+
+// MergeStates folds K exported instance states into one Snapshot, as if a
+// single instance had ingested every record behind them. Sketch merges are
+// exact bucket additions, domain sets union, counters sum — so tables and
+// quantiles match a single-instance run bit for bit (per-group means can
+// differ only when one group's records were split across instances, and
+// then only by float summation order). All states must share one sketch
+// relative error. An empty input merges to an empty snapshot with the
+// default relative error.
+func MergeStates(states ...MergeState) (*Snapshot, error) {
+	relErr := stats.DefaultSketchRelErr
+	if len(states) > 0 {
+		relErr = states[0].RelErr
+	}
+	s := &Snapshot{ext: make(map[extKey]*extAgg), nodes: make(map[nodeKey]*nodeAgg), relErr: relErr}
+	for _, st := range states {
+		if st.RelErr != relErr {
+			return nil, fmt.Errorf("collector: cannot merge states with sketch error %v and %v", st.RelErr, relErr)
+		}
+		s.Accepted += st.Accepted
+		s.Dropped += st.Dropped
+		s.Processed += st.Processed
+		for _, gs := range st.Groups {
+			ptt := &stats.QuantileSketch{}
+			if err := ptt.UnmarshalBinary(gs.PTT); err != nil {
+				return nil, fmt.Errorf("collector: merge group %s/%s: %w", gs.City, gs.ISP, err)
+			}
+			k := extKey{gs.City, gs.ISP}
+			g := s.ext[k]
+			if g == nil {
+				domains := make(map[string]struct{}, len(gs.Domains))
+				for _, d := range gs.Domains {
+					domains[d] = struct{}{}
+				}
+				s.ext[k] = &extAgg{domains: domains, ptt: ptt}
+				continue
+			}
+			// The same group on two instances: a membership change or
+			// misrouted-then-forwarded traffic split it. Union and merge.
+			for _, d := range gs.Domains {
+				g.domains[d] = struct{}{}
+			}
+			if err := g.ptt.Merge(ptt); err != nil {
+				return nil, fmt.Errorf("collector: merge group %s/%s: %w", gs.City, gs.ISP, err)
+			}
+		}
+		for _, ns := range st.Nodes {
+			down := &stats.QuantileSketch{}
+			if err := down.UnmarshalBinary(ns.Down); err != nil {
+				return nil, fmt.Errorf("collector: merge node %s/%s: %w", ns.Node, ns.Kind, err)
+			}
+			k := nodeKey{ns.Node, ns.Kind}
+			g := s.nodes[k]
+			if g == nil {
+				s.nodes[k] = &nodeAgg{count: ns.Count, down: down,
+					upSum: ns.UpSum, pingSum: ns.PingSum, lossSum: ns.LossSum}
+				continue
+			}
+			g.count += ns.Count
+			g.upSum += ns.UpSum
+			g.pingSum += ns.PingSum
+			g.lossSum += ns.LossSum
+			if err := g.down.Merge(down); err != nil {
+				return nil, fmt.Errorf("collector: merge node %s/%s: %w", ns.Node, ns.Kind, err)
+			}
+		}
+	}
+	s.render()
+	return s, nil
 }
 
 // CityTable renders the streamed state as the paper's Table 1 — the same

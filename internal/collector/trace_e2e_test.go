@@ -53,7 +53,7 @@ func TestTracedIngestEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req.Header.Set("Content-Type", extensionContentType)
+	req.Header.Set("Content-Type", ExtensionContentType)
 	req.Header.Set(trace.TraceparentHeader, parentHeader)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {

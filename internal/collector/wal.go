@@ -23,6 +23,36 @@ const (
 	walKindNode      byte = 2
 )
 
+// WALKindExtension and WALKindNode are the record kinds exported for
+// offline log consumers — cluster compaction rereads sealed segments with
+// them to turn cold WAL data back into release-format datasets.
+const (
+	WALKindExtension = walKindExtension
+	WALKindNode      = walKindNode
+)
+
+// DecodeWALExtension parses a walKindExtension payload (one dataset CSV
+// row) back into the record it logged.
+func DecodeWALExtension(payload []byte) (extension.Record, error) {
+	cr := csv.NewReader(bytes.NewReader(payload))
+	cr.FieldsPerRecord = len(dataset.ExtensionHeader())
+	row, err := cr.Read()
+	if err != nil {
+		return extension.Record{}, fmt.Errorf("collector: wal row: %w", err)
+	}
+	return dataset.UnmarshalExtensionRow(row)
+}
+
+// DecodeWALNode parses a walKindNode payload (one JSON line) back into the
+// sample it logged.
+func DecodeWALNode(payload []byte) (dataset.NodeSample, error) {
+	var s dataset.NodeSample
+	if err := json.Unmarshal(bytes.TrimSpace(payload), &s); err != nil {
+		return dataset.NodeSample{}, fmt.Errorf("collector: wal node sample: %w", err)
+	}
+	return s, nil
+}
+
 // WALConfig enables durable ingest. With a Dir set, every accepted record
 // is appended to the write-ahead log before it is enqueued to its shard,
 // HTTP batches are acknowledged only after their records are fsynced
@@ -94,21 +124,15 @@ func encodeExtensionPayload(r extension.Record) ([]byte, error) {
 func decodeWALRecord(rec wal.Rec) (item, error) {
 	switch rec.Kind {
 	case walKindExtension:
-		cr := csv.NewReader(bytes.NewReader(rec.Payload))
-		cr.FieldsPerRecord = len(dataset.ExtensionHeader())
-		row, err := cr.Read()
+		r, err := DecodeWALExtension(rec.Payload)
 		if err != nil {
-			return item{}, fmt.Errorf("collector: wal row: %w", err)
-		}
-		r, err := dataset.UnmarshalExtensionRow(row)
-		if err != nil {
-			return item{}, fmt.Errorf("collector: wal record: %w", err)
+			return item{}, err
 		}
 		return item{kind: itemExtension, ext: r}, nil
 	case walKindNode:
-		var s dataset.NodeSample
-		if err := json.Unmarshal(bytes.TrimSpace(rec.Payload), &s); err != nil {
-			return item{}, fmt.Errorf("collector: wal node sample: %w", err)
+		s, err := DecodeWALNode(rec.Payload)
+		if err != nil {
+			return item{}, err
 		}
 		return item{kind: itemNode, node: s}, nil
 	default:

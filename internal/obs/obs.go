@@ -212,6 +212,32 @@ func ExpBuckets(start, factor float64, count int) []float64 {
 	return out
 }
 
+// NativeBuckets returns count exponential bucket bounds in the Prometheus
+// native-histogram style: every bound is an integer power of the base
+// 2^(2^-schema), so schema 0 doubles per bucket, schema 1 grows by √2
+// (~41%), schema 2 by 2^¼ (~19%), and so on. Because the bounds are a fixed
+// global grid (not anchored at an arbitrary start value), two histograms
+// built with the same schema always have aligned bucket boundaries and can
+// be compared or merged bucket-by-bucket — the property native histograms
+// add over free-form ExpBuckets layouts. The first bound is the smallest
+// grid power >= min. It panics on invalid arguments (programmer error).
+func NativeBuckets(schema int, min float64, count int) []float64 {
+	if schema < -4 || schema > 8 {
+		panic("obs: NativeBuckets schema must be in [-4, 8]")
+	}
+	if min <= 0 || count < 1 {
+		panic("obs: NativeBuckets needs min > 0, count >= 1")
+	}
+	// base = 2^(2^-schema); bound k is base^k = 2^(k * 2^-schema).
+	step := math.Exp2(float64(-schema))
+	k := math.Ceil(math.Log2(min) / step)
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = math.Exp2((k + float64(i)) * step)
+	}
+	return out
+}
+
 // DefLatencyBuckets spans 10µs to ~80s in powers of two — wide enough for
 // in-process apply latency at the bottom and fsync-bound ack latency at the
 // top. Values are seconds (Prometheus base unit).

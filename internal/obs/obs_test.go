@@ -240,3 +240,49 @@ func TestExpBuckets(t *testing.T) {
 		}
 	}
 }
+
+func TestNativeBuckets(t *testing.T) {
+	// Schema 0: integer powers of two, starting at the first power >= min.
+	b := NativeBuckets(0, 0.003, 4)
+	want := []float64{1.0 / 256, 1.0 / 128, 1.0 / 64, 1.0 / 32}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-15 {
+			t.Errorf("schema 0 bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	// Schema 2: growth factor 2^(1/4) per bucket, every fourth bound an
+	// exact power of two.
+	b = NativeBuckets(2, 1, 9)
+	if b[0] != 1 || math.Abs(b[4]-2) > 1e-12 || math.Abs(b[8]-4) > 1e-12 {
+		t.Errorf("schema 2 grid misaligned: %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("not increasing at %d: %v", i, b)
+		}
+		if math.Abs(b[i]/b[i-1]-math.Exp2(0.25)) > 1e-12 {
+			t.Fatalf("growth factor off at %d: %v", i, b[i]/b[i-1])
+		}
+	}
+	// Two histograms with the same schema share the grid even with
+	// different min values — the alignment property merges rely on.
+	lo := NativeBuckets(1, 0.9, 8)
+	hi := NativeBuckets(1, lo[3]*1.0001, 4)
+	if math.Abs(hi[0]-lo[4]) > 1e-12 {
+		t.Errorf("grids misaligned: %v vs %v", hi[0], lo[4])
+	}
+	for _, bad := range []func(){
+		func() { NativeBuckets(9, 1, 1) },
+		func() { NativeBuckets(0, 0, 1) },
+		func() { NativeBuckets(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NativeBuckets args did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

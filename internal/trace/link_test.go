@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"testing"
+)
+
+// TestSpanLinks covers the retry/forward chain contract: a second attempt's
+// span carries a link back to the first attempt's context, the link
+// survives into the stored SpanData, invalid contexts are ignored, and the
+// per-span cap counts overflow instead of growing.
+func TestSpanLinks(t *testing.T) {
+	tr := New(Config{Seed: 42})
+
+	first := tr.StartRoot("cluster.send", SpanContext{})
+	firstCtx := first.Context()
+	first.SetError(errFake("connection refused"))
+	first.Finish()
+
+	retry := tr.StartRoot("cluster.send", SpanContext{})
+	retry.AddLink(firstCtx, Str("reason", "retry"), Int("attempt", 1))
+	retry.AddLink(SpanContext{}) // invalid: ignored
+	retryID := retry.Context().Trace.String()
+	retry.SetError(errFake("keep me")) // errors force the tail sampler to keep
+	retry.Finish()
+
+	var got *SpanData
+	for _, trc := range tr.Traces(0, 0) {
+		for i := range trc.Spans {
+			if trc.Spans[i].TraceID == retryID {
+				got = &trc.Spans[i]
+			}
+		}
+	}
+	if got == nil {
+		t.Fatal("retry trace was not kept")
+	}
+	if len(got.Links) != 1 {
+		t.Fatalf("got %d links, want 1 (invalid contexts must be ignored)", len(got.Links))
+	}
+	l := got.Links[0]
+	if l.Trace != firstCtx.Trace.String() || l.Span != firstCtx.Span.String() {
+		t.Errorf("link points at %s/%s, want %s/%s", l.Trace, l.Span, firstCtx.Trace, firstCtx.Span)
+	}
+	if len(l.Attrs) != 2 || l.Attrs[0].Value != "retry" || l.Attrs[1].Value != "1" {
+		t.Errorf("link attrs = %+v", l.Attrs)
+	}
+	if got.DroppedLinks != 0 {
+		t.Errorf("dropped %d links, want 0", got.DroppedLinks)
+	}
+
+	// Overflow: links past the cap are counted, not stored.
+	over := tr.StartRoot("flood", SpanContext{})
+	for i := 0; i < maxLinksPerSpan+5; i++ {
+		over.AddLink(firstCtx)
+	}
+	over.SetError(errFake("keep"))
+	overID := over.Context().Trace.String()
+	over.Finish()
+	for _, trc := range tr.Traces(0, 0) {
+		for _, sd := range trc.Spans {
+			if sd.TraceID == overID {
+				if len(sd.Links) != maxLinksPerSpan || sd.DroppedLinks != 5 {
+					t.Errorf("cap: stored %d dropped %d, want %d/5",
+						len(sd.Links), sd.DroppedLinks, maxLinksPerSpan)
+				}
+			}
+		}
+	}
+
+	// Nil-receiver safety, like every other span method.
+	var nilSpan *Span
+	nilSpan.AddLink(firstCtx)
+}
+
+type errFake string
+
+func (e errFake) Error() string { return string(e) }

@@ -94,6 +94,20 @@ type Event struct {
 	Attrs []Attr    `json:"attrs,omitempty"`
 }
 
+// Link is a causal reference from one span to a span in a different trace —
+// the relationship a parent edge cannot express. The cluster client uses
+// links to tie a retried or rerouted send back to the original attempt's
+// root, so a forward chain reads as one story across several kept traces.
+type Link struct {
+	Trace string `json:"trace"`
+	Span  string `json:"span"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// maxLinksPerSpan bounds a span's link list; a runaway retry loop counts
+// its overflow in DroppedLinks instead of growing without bound.
+const maxLinksPerSpan = 32
+
 // SpanData is a finished span, the immutable form spans take in the store
 // and in exports.
 type SpanData struct {
@@ -107,7 +121,9 @@ type SpanData struct {
 	Error         string    `json:"error,omitempty"`
 	Attrs         []Attr    `json:"attrs,omitempty"`
 	Events        []Event   `json:"events,omitempty"`
+	Links         []Link    `json:"links,omitempty"`
 	DroppedEvents int       `json:"dropped_events,omitempty"`
+	DroppedLinks  int       `json:"dropped_links,omitempty"`
 }
 
 // Duration returns the span's length.
@@ -243,7 +259,9 @@ type Span struct {
 	mu            sync.Mutex
 	attrs         []Attr
 	events        []Event
+	links         []Link
 	droppedEvents int
+	droppedLinks  int
 	errMsg        string
 	finished      bool
 }
@@ -358,6 +376,23 @@ func (s *Span) Event(name string, attrs ...Attr) {
 	s.mu.Unlock()
 }
 
+// AddLink records a causal reference to a span in another trace (typically
+// the first attempt a retry is re-trying, or the send a forward rerouted).
+// Invalid contexts are ignored; past maxLinksPerSpan the link is counted,
+// not stored.
+func (s *Span) AddLink(sc SpanContext, attrs ...Attr) {
+	if s == nil || !sc.Valid() {
+		return
+	}
+	s.mu.Lock()
+	if len(s.links) >= maxLinksPerSpan {
+		s.droppedLinks++
+	} else {
+		s.links = append(s.links, Link{Trace: sc.Trace.String(), Span: sc.Span.String(), Attrs: attrs})
+	}
+	s.mu.Unlock()
+}
+
 // SetError marks the span failed. An errored span forces its whole trace to
 // be kept by the tail sampler. The first error wins.
 func (s *Span) SetError(err error) {
@@ -395,7 +430,9 @@ func (s *Span) Finish() {
 		Error:         s.errMsg,
 		Attrs:         s.attrs,
 		Events:        s.events,
+		Links:         s.links,
 		DroppedEvents: s.droppedEvents,
+		DroppedLinks:  s.droppedLinks,
 	}
 	if !s.parent.IsZero() {
 		sd.Parent = s.parent.String()

@@ -1,0 +1,36 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SegmentInfo identifies one on-disk segment file. Base is the first LSN
+// the segment holds (its name encodes it); Name is the file name within the
+// WAL directory.
+type SegmentInfo struct {
+	Base uint64
+	Name string
+}
+
+// ListSegments enumerates the segment files of a WAL directory in LSN
+// order, without opening them. Offline consumers (cluster compaction, WAL
+// dumps) use it to find sealed segments: every entry but the last is
+// sealed — the writer only ever appends to the highest-based segment.
+func ListSegments(fsys FS, dir string) ([]SegmentInfo, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: readdir: %w", err)
+	}
+	var out []SegmentInfo
+	for _, n := range names {
+		if base, ok := parseSegmentName(n); ok {
+			out = append(out, SegmentInfo{Base: base, Name: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out, nil
+}

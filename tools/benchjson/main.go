@@ -135,6 +135,8 @@ func main() {
 		"BenchmarkConstellationVisibilityBrute", "BenchmarkConstellationVisibility")...)
 	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "engine-vs-serial-table1",
 		"BenchmarkTable1Serial", "BenchmarkTable1")...)
+	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "cluster-3x-vs-1x-ingest",
+		"BenchmarkClusterIngest1", "BenchmarkClusterIngest3")...)
 	if len(rep.Comparisons) > 0 {
 		logSum := 0.0
 		for _, c := range rep.Comparisons {
