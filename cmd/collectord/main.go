@@ -48,6 +48,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"net"
@@ -309,12 +310,29 @@ func servePprof(addr string) error {
 // dumpWAL prints the log's payloads to stdout in append order — the WAL
 // record encoding is the dataset release encoding, so the output is the
 // extension CSV schema (header first) interleaved with node JSON lines.
+// Columnar batch frames are expanded into the same CSV rows, so a log
+// written over either wire dumps identically.
 func dumpWAL(dir string) error {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	fmt.Fprintln(out, strings.Join(dataset.ExtensionHeader(), ","))
 	var n int
 	err := wal.ReplayDir(nil, dir, 0, func(r wal.Rec) error {
+		if r.Kind == collector.WALKindExtensionBatch {
+			recs, derr := collector.DecodeWALExtensionBatch(r.Payload)
+			if derr != nil {
+				return fmt.Errorf("LSN %d: batch frame: %w", r.LSN, derr)
+			}
+			n += len(recs)
+			cw := csv.NewWriter(out)
+			for _, rec := range recs {
+				if werr := cw.Write(dataset.MarshalExtensionRow(rec)); werr != nil {
+					return werr
+				}
+			}
+			cw.Flush()
+			return cw.Error()
+		}
 		n++
 		out.Write(r.Payload)
 		if len(r.Payload) == 0 || r.Payload[len(r.Payload)-1] != '\n' {

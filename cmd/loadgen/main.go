@@ -6,7 +6,7 @@
 // Usage:
 //
 //	loadgen [-addr 127.0.0.1:8787] [-users 8] [-rate 100000] [-duration 10s]
-//	        [-batch 1000] [-days 10] [-seed 1] [-trace-every 0]
+//	        [-batch 1000] [-days 10] [-seed 1] [-trace-every 0] [-wire csv|batch]
 //	loadgen -targets HOST:PORT,HOST:PORT,... [-route ring|rr] [-vnodes 128]
 //	loadgen -scrape [-scrape-interval 2s] [-duration 0]
 //
@@ -48,6 +48,7 @@ import (
 	"starlinkview/internal/cluster"
 	"starlinkview/internal/collector"
 	"starlinkview/internal/core"
+	"starlinkview/internal/dataset"
 	"starlinkview/internal/extension"
 	"starlinkview/internal/obs"
 	"starlinkview/internal/stats"
@@ -67,6 +68,8 @@ func main() {
 		scrape     = flag.Bool("scrape", false, "poll /metrics and print deltas instead of generating load")
 		scrapeIval = flag.Duration("scrape-interval", 2*time.Second, "polling interval in -scrape mode")
 		traceEvery = flag.Int("trace-every", 0, "send a sampled traceparent on every Nth batch per worker (0 = never); needs collectord -trace")
+
+		wireFlag = flag.String("wire", "csv", "extension wire encoding: csv (per-record rows) or batch (columnar frames)")
 
 		targets = flag.String("targets", "", "comma-separated cluster addresses (overrides -addr)")
 		route   = flag.String("route", cluster.RouteRing, "multi-target routing: ring (send to each record's owner) or rr (spray batches, exercising forwarding)")
@@ -116,7 +119,11 @@ func main() {
 	// to: under ring routing records are partitioned onto their owning
 	// instance before batching (order within a partition preserved), under
 	// round-robin the batches are dealt across targets as-is.
-	payloads, err := encodePayloads(records, targetList, *route, *vnodes, *batch)
+	wire, err := collector.ParseWire(*wireFlag)
+	if err != nil {
+		fatal(err)
+	}
+	payloads, err := encodePayloads(records, targetList, *route, *vnodes, *batch, wire)
 	if err != nil {
 		fatal(err)
 	}
@@ -216,7 +223,7 @@ func splitList(s string) []string {
 // routing partitions records by their (city, ISP) ring owner so replayed
 // batches land exactly where the cluster would keep them; round-robin deals
 // whole batches across targets in turn.
-func encodePayloads(records []extension.Record, targets []string, route string, vnodes, batch int) ([]payload, error) {
+func encodePayloads(records []extension.Record, targets []string, route string, vnodes, batch int, wire collector.Wire) ([]payload, error) {
 	parts := map[string][]extension.Record{targets[0]: records}
 	if len(targets) > 1 {
 		switch route {
@@ -241,15 +248,20 @@ func encodePayloads(records []extension.Record, targets []string, route string, 
 			if end > len(part) {
 				end = len(part)
 			}
-			data, err := collector.EncodeExtensionBatch(part[off:end])
-			if err != nil {
-				return nil, err
+			var data []byte
+			if wire == collector.WireBatch {
+				data = dataset.MarshalBatch(part[off:end])
+			} else {
+				var err error
+				if data, err = collector.EncodeExtensionBatch(part[off:end]); err != nil {
+					return nil, err
+				}
 			}
 			base := owner
 			if base == "" { // round-robin: deal batches across targets
 				base = targets[len(payloads)%len(targets)]
 			}
-			payloads = append(payloads, payload{base: "http://" + base, data: data, n: end - off})
+			payloads = append(payloads, payload{base: "http://" + base, data: data, n: end - off, wire: wire})
 		}
 	}
 	return payloads, nil
@@ -324,6 +336,7 @@ type payload struct {
 	base string
 	data []byte
 	n    int
+	wire collector.Wire
 }
 
 type workerResult struct {
@@ -358,7 +371,12 @@ func replay(payloads []payload, offset int, rate float64, deadline time.Time, tr
 	var err error
 	for i := 0; time.Now().Before(deadline); i++ {
 		p := payloads[(offset+i)%len(payloads)]
-		if err = clientFor(p.base).SendExtensionBatch(p.data, p.n); err != nil {
+		if p.wire == collector.WireBatch {
+			err = clientFor(p.base).SendExtensionFrames(p.data, p.n)
+		} else {
+			err = clientFor(p.base).SendExtensionBatch(p.data, p.n)
+		}
+		if err != nil {
 			break
 		}
 		sent += p.n

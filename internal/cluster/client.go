@@ -34,6 +34,10 @@ type ClientConfig struct {
 	// VNodes must match the servers' ring (DefaultVNodes when <= 0); only
 	// meaningful with RouteRing.
 	VNodes int
+	// Wire selects the extension-record encoding per target POST:
+	// collector.WireCSV (default) or collector.WireBatch, which ships each
+	// per-owner buffer as one columnar frame to /ingest/batch.
+	Wire collector.Wire
 	// BatchSize flushes a per-target buffer at this many records
 	// (default 512).
 	BatchSize int
@@ -167,12 +171,16 @@ func (c *Client) flushExt(t string) error {
 	if len(c.ext[t]) == 0 {
 		return nil
 	}
-	payload, err := collector.EncodeExtensionBatch(c.ext[t])
-	if err != nil {
+	path, contentType := collector.PathIngestExtension, collector.ExtensionContentType
+	var payload []byte
+	var err error
+	if c.cfg.Wire == collector.WireBatch {
+		path, contentType = collector.PathIngestBatch, collector.BatchContentType
+		payload = dataset.MarshalBatch(c.ext[t])
+	} else if payload, err = collector.EncodeExtensionBatch(c.ext[t]); err != nil {
 		return err
 	}
-	reply, err := c.send(t, collector.PathIngestExtension, collector.ExtensionContentType,
-		payload, len(c.ext[t]))
+	reply, err := c.send(t, path, contentType, payload, len(c.ext[t]))
 	if err != nil {
 		return err
 	}

@@ -101,6 +101,12 @@ func compactSegment(fsys wal.FS, cfg CompactConfig, seg wal.SegmentInfo, res *Co
 				return err
 			}
 			recs = append(recs, rec)
+		case collector.WALKindExtensionBatch:
+			batch, err := collector.DecodeWALExtensionBatch(r.Payload)
+			if err != nil {
+				return err
+			}
+			recs = append(recs, batch...)
 		case collector.WALKindNode:
 			s, err := collector.DecodeWALNode(r.Payload)
 			if err != nil {

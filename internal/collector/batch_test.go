@@ -1,0 +1,238 @@
+package collector
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"starlinkview/internal/dataset"
+	"starlinkview/internal/extension"
+	"starlinkview/internal/obs"
+	"starlinkview/internal/trace"
+	"starlinkview/internal/wal"
+	"starlinkview/internal/weather"
+)
+
+// batchTestRecords draws a workload spread over enough (city, ISP) groups
+// to hit every shard, with realistic repetition in the string columns.
+func batchTestRecords(seed int64, n int) []extension.Record {
+	r := rand.New(rand.NewSource(seed))
+	cities := []string{"London", "Seattle", "Sydney", "Barcelona", "São Paulo", "Zürich"}
+	isps := []string{"starlink", "terrestrial"}
+	domains := []string{"example.com", "news.site", "video.tv", "shop.net", "検索.jp"}
+	conds := weather.Conditions()
+	base := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+	recs := make([]extension.Record, n)
+	for i := range recs {
+		recs[i] = extension.Record{
+			UserID:    fmt.Sprintf("u%03d", r.Intn(40)),
+			City:      cities[r.Intn(len(cities))],
+			Country:   "XX",
+			ISP:       isps[r.Intn(len(isps))],
+			ASN:       14593,
+			At:        base.Add(time.Duration(i) * time.Second),
+			Domain:    domains[r.Intn(len(domains))],
+			Rank:      r.Intn(100000),
+			Popular:   r.Intn(2) == 0,
+			PTTMs:     50 + 400*r.Float64(),
+			PLTMs:     200 + 3000*r.Float64(),
+			Condition: conds[r.Intn(len(conds))],
+			HasWx:     true,
+			Benchmark: r.Intn(10) == 0,
+			Google:    r.Intn(5) == 0,
+		}
+	}
+	return recs
+}
+
+func comparableAggSnapshot(t *testing.T, snap *Snapshot) []byte {
+	t.Helper()
+	groups, err := json.Marshal(snap.Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := json.Marshal(snap.CityTableJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(struct {
+		Groups    json.RawMessage `json:"groups"`
+		CityTable json.RawMessage `json:"city_table"`
+		Accepted  uint64          `json:"accepted"`
+		Processed uint64          `json:"processed"`
+	}{groups, table, snap.Accepted, snap.Processed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// ingestVia runs the records through a fresh WAL-backed server over the
+// given wire format and returns the drained snapshot plus the WAL dir.
+func ingestVia(t *testing.T, wire Wire, recs []extension.Record) ([]byte, string) {
+	t.Helper()
+	dir := t.TempDir()
+	srv, err := OpenServer(Config{
+		Shards:   4,
+		Registry: obs.NewRegistry(),
+		WAL:      WALConfig{Dir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(srv.URL(), ClientConfig{Wire: wire, BatchSize: 97, FlushEvery: 0})
+	for _, r := range recs {
+		if err := client.AddRecord(r); err != nil {
+			t.Fatalf("wire %v: add: %v", wire, err)
+		}
+	}
+	if err := client.Close(); err != nil {
+		t.Fatalf("wire %v: close: %v", wire, err)
+	}
+	snap := srv.Aggregator().Snapshot()
+	if got := snap.Processed; got != uint64(len(recs)) {
+		// Snapshot drains per shard; under Block policy with the client
+		// done, everything accepted is applied once queues empty.
+		deadline := time.Now().Add(5 * time.Second)
+		for got != uint64(len(recs)) && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			snap = srv.Aggregator().Snapshot()
+			got = snap.Processed
+		}
+		if got != uint64(len(recs)) {
+			t.Fatalf("wire %v: processed %d of %d", wire, got, len(recs))
+		}
+	}
+	out := comparableAggSnapshot(t, snap)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("wire %v: shutdown: %v", wire, err)
+	}
+	return out, dir
+}
+
+// TestBatchIngestMatchesPerRecord is the wire-equivalence property: the
+// same record stream through /ingest/batch and /ingest/extension produces
+// byte-identical aggregate snapshots, and a WAL replay of the batch frames
+// (checkpoint deleted, full replay) rebuilds that same state.
+func TestBatchIngestMatchesPerRecord(t *testing.T) {
+	recs := batchTestRecords(1, 5000)
+	csvSnap, _ := ingestVia(t, WireCSV, recs)
+	batchSnap, batchDir := ingestVia(t, WireBatch, recs)
+	if string(csvSnap) != string(batchSnap) {
+		t.Fatalf("batch-wire snapshot differs from per-record wire:\n csv   %s\n batch %s", csvSnap, batchSnap)
+	}
+
+	// Force a replay from the logged batch frames alone.
+	if err := os.Remove(filepath.Join(batchDir, "checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := OpenAggregator(Config{
+		Shards:   4,
+		Registry: obs.NewRegistry(),
+		WAL:      WALConfig{Dir: batchDir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := agg.WALRecovery()
+	if rec.ReplayedRecords != uint64(len(recs)) || rec.SkippedCorrupt != 0 {
+		t.Fatalf("replay: %d records, %d corrupt; want %d, 0",
+			rec.ReplayedRecords, rec.SkippedCorrupt, len(recs))
+	}
+	replayed := comparableAggSnapshot(t, agg.Snapshot())
+	if string(replayed) != string(batchSnap) {
+		t.Fatalf("replayed snapshot differs from live snapshot")
+	}
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchIngestShardCounts checks the batch path at several shard counts
+// against the per-record path — the frame is one WAL append however many
+// shards its records fan out to.
+func TestBatchIngestShardCounts(t *testing.T) {
+	recs := batchTestRecords(2, 1200)
+	var want []byte
+	for i, shards := range []int{1, 4, 8} {
+		agg := NewAggregator(Config{Shards: shards, Registry: obs.NewRegistry()})
+		frame := dataset.MarshalBatch(recs)
+		decoded, err := dataset.UnmarshalBatch(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, drop := agg.OfferExtensionFrame(frame, decoded, trace.SpanContext{})
+		if acc != len(recs) || drop != 0 {
+			t.Fatalf("shards=%d: accepted %d dropped %d", shards, acc, drop)
+		}
+		if err := agg.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got := comparableAggSnapshot(t, agg.Snapshot())
+		if i == 0 {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("shards=%d snapshot differs from shards=1", shards)
+		}
+	}
+}
+
+// FuzzReplayBatchFrame drives arbitrary bytes through the full durable
+// path: the payload is appended to a real WAL as a batch frame, and startup
+// recovery must never panic — a decodable frame replays all its records,
+// anything else is skipped and counted, exactly once.
+func FuzzReplayBatchFrame(f *testing.F) {
+	for _, n := range []int{0, 1, 50} {
+		f.Add(dataset.MarshalBatch(batchTestRecords(3, n)))
+	}
+	f.Add([]byte("SLB1 not a frame"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > wal.MaxPayload {
+			t.Skip("exceeds WAL payload bound")
+		}
+		dir := t.TempDir()
+		w, err := wal.Open(wal.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Append(WALKindExtensionBatch, data); err != nil {
+			w.Close()
+			t.Skipf("append rejected: %v", err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		agg, err := OpenAggregator(Config{
+			Shards:   2,
+			Registry: obs.NewRegistry(),
+			WAL:      WALConfig{Dir: dir},
+		})
+		if err != nil {
+			t.Fatalf("recovery failed: %v", err)
+		}
+		rec := agg.WALRecovery()
+		recs, derr := dataset.UnmarshalBatch(data)
+		if derr == nil {
+			if rec.ReplayedRecords != uint64(len(recs)) || rec.SkippedCorrupt != 0 {
+				t.Fatalf("valid frame of %d records: replayed %d, corrupt %d",
+					len(recs), rec.ReplayedRecords, rec.SkippedCorrupt)
+			}
+		} else if rec.ReplayedRecords != 0 || rec.SkippedCorrupt != 1 {
+			t.Fatalf("invalid frame: replayed %d, corrupt %d", rec.ReplayedRecords, rec.SkippedCorrupt)
+		}
+		if err := agg.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -16,8 +16,45 @@ import (
 	"starlinkview/internal/trace"
 )
 
+// Wire selects the extension-record encoding a client puts on the wire.
+type Wire int
+
+const (
+	// WireCSV sends per-record CSV rows to PathIngestExtension (default).
+	WireCSV Wire = iota
+	// WireBatch sends columnar frames (dataset.MarshalBatch) to
+	// PathIngestBatch — the fast path for high-volume streams.
+	WireBatch
+)
+
+// String implements fmt.Stringer.
+func (w Wire) String() string {
+	switch w {
+	case WireCSV:
+		return "csv"
+	case WireBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("wire(%d)", int(w))
+	}
+}
+
+// ParseWire converts a CLI flag value to a Wire.
+func ParseWire(s string) (Wire, error) {
+	switch s {
+	case "csv":
+		return WireCSV, nil
+	case "batch":
+		return WireBatch, nil
+	default:
+		return 0, fmt.Errorf("collector: unknown wire format %q (want csv or batch)", s)
+	}
+}
+
 // ClientConfig tunes the batching ingest client.
 type ClientConfig struct {
+	// Wire selects the extension-record encoding (default WireCSV).
+	Wire Wire
 	// BatchSize flushes a buffer once it holds this many records
 	// (default 512).
 	BatchSize int
@@ -140,6 +177,12 @@ func (c *Client) flushExtLocked() error {
 	if len(c.ext) == 0 {
 		return nil
 	}
+	if c.cfg.Wire == WireBatch {
+		frame := dataset.MarshalBatch(c.ext)
+		n := len(c.ext)
+		c.ext = c.ext[:0]
+		return c.post(PathIngestBatch, BatchContentType, bytes.NewReader(frame), n)
+	}
 	var buf bytes.Buffer
 	cw := csv.NewWriter(&buf)
 	for _, r := range c.ext {
@@ -196,6 +239,14 @@ func (c *Client) SendExtensionBatch(payload []byte, n int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.post(PathIngestExtension, ExtensionContentType, bytes.NewReader(payload), n)
+}
+
+// SendExtensionFrames posts pre-encoded columnar frames (concatenated
+// dataset.MarshalBatch output) holding n records in total.
+func (c *Client) SendExtensionFrames(payload []byte, n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.post(PathIngestBatch, BatchContentType, bytes.NewReader(payload), n)
 }
 
 func (c *Client) post(path, contentType string, body io.Reader, n int) error {

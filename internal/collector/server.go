@@ -22,6 +22,7 @@ import (
 // as JSON lines, exactly as dataset.WriteNodeJSON emits them.
 const (
 	PathIngestExtension = "/ingest/extension"
+	PathIngestBatch     = "/ingest/batch"
 	PathIngestNode      = "/ingest/node"
 	PathSnapshot        = "/snapshot"
 	PathStats           = "/stats"
@@ -31,7 +32,10 @@ const (
 
 	// ExtensionContentType and NodeContentType are the ingest body MIME
 	// types — exported so cluster forwarding speaks the same wire protocol.
+	// BatchContentType bodies are concatenated dataset batch frames
+	// (dataset.MarshalBatch), the columnar fast path.
 	ExtensionContentType = "text/csv"
+	BatchContentType     = "application/x-starlink-batch"
 	NodeContentType      = "application/x-ndjson"
 )
 
@@ -101,6 +105,7 @@ func OpenServer(cfg Config) (*Server, error) {
 	s := &Server{agg: agg, err: make(chan error, 1)}
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathIngestExtension, s.instrument(PathIngestExtension, s.handleIngestExtension))
+	mux.HandleFunc(PathIngestBatch, s.instrument(PathIngestBatch, s.handleIngestBatch))
 	mux.HandleFunc(PathIngestNode, s.instrument(PathIngestNode, s.handleIngestNode))
 	mux.HandleFunc(PathSnapshot, s.instrument(PathSnapshot, s.handleSnapshot))
 	mux.HandleFunc(PathStats, s.instrument(PathStats, s.handleStats))

@@ -314,6 +314,19 @@ func (a *Aggregator) recoverWAL() error {
 		return err
 	}
 	err = a.wal.Replay(lsn, func(r wal.Rec) error {
+		if r.Kind == walKindExtensionBatch {
+			recs, derr := DecodeWALExtensionBatch(r.Payload)
+			if derr != nil {
+				// The frame CRC matched at the WAL layer but the columnar
+				// body is bad: skip the whole frame and count it once.
+				rec.SkippedCorrupt++
+				return nil
+			}
+			for i := range recs {
+				a.replayItem(item{kind: itemExtension, ext: recs[i]}, &rec)
+			}
+			return nil
+		}
 		it, derr := decodeWALRecord(r)
 		if derr != nil {
 			// A durable frame with an undecodable payload: skip and
@@ -321,16 +334,7 @@ func (a *Aggregator) recoverWAL() error {
 			rec.SkippedCorrupt++
 			return nil
 		}
-		it.enqueued = time.Now()
-		var sh *shard
-		if it.kind == itemExtension {
-			sh = a.shardFor(it.ext.City, it.ext.ISP)
-		} else {
-			sh = a.shardFor(it.node.Node, it.node.Kind)
-		}
-		sh.met.accepted[it.kind].Inc()
-		sh.apply(it)
-		rec.ReplayedRecords++
+		a.replayItem(it, &rec)
 		return nil
 	})
 	if err != nil {
@@ -338,6 +342,21 @@ func (a *Aggregator) recoverWAL() error {
 	}
 	a.walRecovery = rec
 	return nil
+}
+
+// replayItem re-applies one recovered record to its shard (the goroutines
+// have not started yet, so direct apply is safe).
+func (a *Aggregator) replayItem(it item, rec *WALRecovery) {
+	it.enqueued = time.Now()
+	var sh *shard
+	if it.kind == itemExtension {
+		sh = a.shardFor(it.ext.City, it.ext.ISP)
+	} else {
+		sh = a.shardFor(it.node.Node, it.node.Kind)
+	}
+	sh.met.accepted[it.kind].Inc()
+	sh.apply(it)
+	rec.ReplayedRecords++
 }
 
 // Checkpoint persists a shard-snapshot checkpoint and prunes fully-covered

@@ -1,0 +1,483 @@
+package core
+
+// Campaign scales the paper's 28-user replay to WetLinks-style longitudinal
+// campaigns: a synthetic population of up to 10⁶ users across hundreds of
+// cities, browsing under per-city weather, simulated in time-sliced chunks
+// that stream straight into the collector instead of materialising a
+// dataset.
+//
+// Determinism is the design driver. Every random draw is addressed, not
+// sequenced: user attributes come from xrand.Mix(seed, user), a chunk's
+// browsing from xrand.Mix(seed, chunk, user), and city weather from
+// serialisable weather.Chain states — so the record stream is a pure
+// function of (config, chunk index), whatever the worker count and whether
+// the campaign ran straight through or was killed and resumed. RunChunk
+// mutates no campaign state until its sink has accepted the chunk, which
+// makes a mid-chunk kill indistinguishable from never having started the
+// chunk; the checkpoint (next chunk + weather states) is written atomically
+// after the sink's acknowledgement. The ack-then-checkpoint gap means
+// delivery is at-least-once per chunk — see DESIGN.md §14 for why the
+// collector's aggregates still come out byte-identical under the supported
+// failure points.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"starlinkview/internal/extension"
+	"starlinkview/internal/weather"
+	"starlinkview/internal/xrand"
+)
+
+// Stream-seed tags: the first Mix coordinate after the seed namespaces the
+// draw families so user-attribute, city-weather, and browsing streams never
+// collide.
+const (
+	tagCity  uint64 = 0xC17E5 // per-city climatology perturbation + weather seed
+	tagUser  uint64 = 0x05E25 // per-user static attributes
+	tagChunk uint64 = 0xC4021 // per-(chunk, user) browsing stream
+)
+
+// CampaignConfig parameterises a chunked streaming campaign.
+type CampaignConfig struct {
+	// Seed addresses every random draw; two campaigns with equal Seed and
+	// shape produce byte-identical record streams.
+	Seed uint64
+	// Epoch is the campaign origin; record timestamps are Epoch + offset.
+	Epoch time.Time
+	// Users is the synthetic population size.
+	Users int
+	// Cities is the number of synthetic cities (climatologies cycle over
+	// the five base cities, names carry the index).
+	Cities int
+	// Chunks × ChunkHours is the campaign duration; each RunChunk covers
+	// one ChunkHours-wide slice for the whole population.
+	Chunks     int
+	ChunkHours int
+	// StarlinkShare is the fraction of users on the Starlink ISP class;
+	// the rest are terrestrial.
+	StarlinkShare float64
+	// PagesPerDay is the mean organic page loads per user per day.
+	PagesPerDay float64
+	// Domains is the size of the synthetic domain popularity table.
+	Domains int
+	// Workers fans chunk generation across goroutines; output is
+	// byte-identical at any value (excluded from the config hash).
+	Workers int
+}
+
+// SmallCampaign is the downscaled preset `make check` smokes: 10⁴ users,
+// 2 chunks — big enough to exercise chunking, resume, and every column
+// encoding; small enough for CI.
+func SmallCampaign() CampaignConfig {
+	return CampaignConfig{
+		Seed:          1,
+		Epoch:         time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC),
+		Users:         10_000,
+		Cities:        20,
+		Chunks:        2,
+		ChunkHours:    6,
+		StarlinkShare: 0.5,
+		PagesPerDay:   8,
+		Domains:       2000,
+		Workers:       1,
+	}
+}
+
+// MegaCampaign is the million-user preset: 10⁶ users across 300 cities,
+// a week of browsing in hour slices. One chunk is ~350k records — sized so
+// generation, the wire, and the WAL stream it without materialising the
+// campaign.
+func MegaCampaign() CampaignConfig {
+	return CampaignConfig{
+		Seed:          1,
+		Epoch:         time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC),
+		Users:         1_000_000,
+		Cities:        300,
+		Chunks:        7 * 24,
+		ChunkHours:    1,
+		StarlinkShare: 0.5,
+		PagesPerDay:   8,
+		Domains:       10_000,
+		Workers:       4,
+	}
+}
+
+func (c *CampaignConfig) normalize() error {
+	if c.Users <= 0 || c.Cities <= 0 || c.Chunks <= 0 || c.ChunkHours <= 0 {
+		return fmt.Errorf("core: campaign needs positive users/cities/chunks/chunk-hours")
+	}
+	if c.Epoch.IsZero() {
+		c.Epoch = time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.StarlinkShare < 0 || c.StarlinkShare > 1 {
+		return fmt.Errorf("core: starlink share %v out of [0,1]", c.StarlinkShare)
+	}
+	if c.PagesPerDay <= 0 {
+		c.PagesPerDay = 8
+	}
+	if c.Domains <= 0 {
+		c.Domains = 2000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return nil
+}
+
+// hash fingerprints the output-affecting config fields. Workers is
+// deliberately excluded: a campaign may resume with a different worker
+// count and still produce the identical stream.
+func (c *CampaignConfig) hash() uint64 {
+	return xrand.Mix(
+		c.Seed, uint64(c.Epoch.UTC().Unix()), uint64(c.Users), uint64(c.Cities),
+		uint64(c.Chunks), uint64(c.ChunkHours),
+		math.Float64bits(c.StarlinkShare), math.Float64bits(c.PagesPerDay),
+		uint64(c.Domains),
+	)
+}
+
+// campaignCity is one synthetic city: a base climatology cycled from the
+// five real ones, with a per-city dwell perturbation so no two cities share
+// a weather timeline.
+type campaignCity struct {
+	name    string
+	country string
+	clim    weather.Climatology
+}
+
+// Campaign executes a chunked streaming campaign.
+type Campaign struct {
+	cfg    CampaignConfig
+	cities []campaignCity
+	states []weather.ChainState
+	next   int
+}
+
+// NewCampaign builds a campaign at chunk 0.
+func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	c := &Campaign{cfg: cfg}
+	bases := []struct {
+		clim    weather.Climatology
+		country string
+	}{
+		{weather.London(), "UK"},
+		{weather.Seattle(), "US"},
+		{weather.Sydney(), "AU"},
+		{weather.Barcelona(), "ES"},
+		{weather.NorthCarolina(), "US"},
+	}
+	c.cities = make([]campaignCity, cfg.Cities)
+	c.states = make([]weather.ChainState, cfg.Cities)
+	for i := range c.cities {
+		b := bases[i%len(bases)]
+		rng := xrand.New(xrand.Mix(cfg.Seed, tagCity, uint64(i)))
+		clim := b.clim
+		clim.Name = fmt.Sprintf("%s-%03d", b.clim.Name, i)
+		clim.MeanDwell = time.Duration(float64(clim.MeanDwell) * (0.75 + 0.5*rng.Float64()))
+		c.cities[i] = campaignCity{name: clim.Name, country: b.country, clim: clim}
+		chain, err := weather.NewChain(clim, rng.Uint64())
+		if err != nil {
+			return nil, err
+		}
+		c.states[i] = chain.State()
+	}
+	return c, nil
+}
+
+// Config returns the normalised configuration.
+func (c *Campaign) Config() CampaignConfig { return c.cfg }
+
+// NextChunk is the index RunChunk will execute next.
+func (c *Campaign) NextChunk() int { return c.next }
+
+// Done reports whether every chunk has been delivered.
+func (c *Campaign) Done() bool { return c.next >= c.cfg.Chunks }
+
+// ChunkDuration is one chunk's time width.
+func (c *Campaign) ChunkDuration() time.Duration {
+	return time.Duration(c.cfg.ChunkHours) * time.Hour
+}
+
+// userAttrs derives a user's static attributes from its index.
+func (c *Campaign) userAttrs(user int) (city int, starlink bool) {
+	rng := xrand.New(xrand.Mix(c.cfg.Seed, tagUser, uint64(user)))
+	city = rng.Intn(len(c.cities))
+	starlink = rng.Float64() < c.cfg.StarlinkShare
+	return
+}
+
+// poisson draws a Poisson count by Knuth's product method; mean is small
+// (pages per chunk), so the loop is short.
+func poissonDraw(rng *xrand.RNG, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	limit := math.Exp(-mean)
+	n, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= limit {
+			return n
+		}
+		n++
+		if n > 10000 {
+			return n
+		}
+	}
+}
+
+// generateUser appends one user's records for the chunk window [from,
+// from+dur). Everything derives from the (chunk, user)-addressed stream and
+// the city's precomputed weather spans; nothing touches shared state.
+func (c *Campaign) generateUser(dst []extension.Record, chunk, user int, from time.Duration, spans [][]weather.Span) []extension.Record {
+	cityIx, starlink := c.userAttrs(user)
+	city := &c.cities[cityIx]
+	rng := xrand.New(xrand.Mix(c.cfg.Seed, tagChunk, uint64(chunk), uint64(user)))
+	dur := c.ChunkDuration()
+
+	// Mean pages this chunk: the daily rate spread over the chunk, shaped
+	// by a diurnal factor peaking in the evening (paper's waking-hours
+	// pattern).
+	midHour := math.Mod((from + dur/2).Hours(), 24)
+	diurnal := 1 + 0.8*math.Sin(2*math.Pi*(midHour-14)/24)
+	if diurnal < 0.05 {
+		diurnal = 0.05
+	}
+	mean := c.cfg.PagesPerDay * dur.Hours() / 24 * diurnal
+	n := poissonDraw(&rng, mean)
+
+	isp, asn := "terrestrial", 7922
+	if starlink {
+		isp, asn = "starlink", 14593
+	}
+	for p := 0; p < n; p++ {
+		off := time.Duration(rng.Float64() * float64(dur))
+		at := from + off
+		cond := weather.ConditionAt(spans[cityIx], at)
+
+		// Zipf-ish domain popularity: cubing the uniform skews heavily
+		// toward low ranks, like real browsing.
+		u := rng.Float64()
+		domainIx := int(u * u * u * float64(c.cfg.Domains))
+		if domainIx >= c.cfg.Domains {
+			domainIx = c.cfg.Domains - 1
+		}
+
+		// Closed-form PTT: Starlink pays the bent-pipe base plus a
+		// super-linear weather penalty (Figure 4's clear-sky → moderate
+		// rain ~2× median); terrestrial is weather-blind. Log-normal
+		// user-side noise on top.
+		atten := cond.PathAttenuationDB(40)
+		base := 22.0
+		if starlink {
+			base = 42 + 28*atten
+		}
+		hour := math.Mod(at.Hours(), 24)
+		load := 1 + 0.2*math.Sin(2*math.Pi*(hour-20)/24)
+		ptt := base * load * math.Exp(0.3*rng.NormFloat64())
+		plt := ptt*6 + 400*rng.ExpFloat64()
+
+		dst = append(dst, extension.Record{
+			UserID:    fmt.Sprintf("u%07d", user),
+			City:      city.name,
+			Country:   city.country,
+			ISP:       isp,
+			ASN:       asn,
+			At:        c.cfg.Epoch.Add(at),
+			Domain:    fmt.Sprintf("site-%05d.demo", domainIx),
+			Rank:      domainIx + 1,
+			Popular:   domainIx < c.cfg.Domains/10,
+			PTTMs:     ptt,
+			PLTMs:     plt,
+			Condition: cond,
+			HasWx:     true,
+			Benchmark: rng.Float64() < 0.02,
+			Google:    domainIx == 0,
+		})
+	}
+	return dst
+}
+
+// RunChunk generates the next chunk's records and hands them to sink. The
+// campaign's own state (weather chains, chunk cursor) advances only after
+// sink returns nil — a sink failure or a kill mid-chunk leaves the campaign
+// exactly at the previous chunk boundary, and re-running regenerates the
+// identical records. Sinks must only return nil once the records are
+// acknowledged durable downstream.
+func (c *Campaign) RunChunk(sink func([]extension.Record) error) error {
+	if c.Done() {
+		return fmt.Errorf("core: campaign already delivered all %d chunks", c.cfg.Chunks)
+	}
+	chunk := c.next
+	from := time.Duration(chunk) * c.ChunkDuration()
+	to := from + c.ChunkDuration()
+
+	// Weather windows from state copies: chain state is committed with the
+	// chunk, not during it.
+	spans := make([][]weather.Span, len(c.cities))
+	newStates := make([]weather.ChainState, len(c.cities))
+	for i := range c.cities {
+		chain, err := weather.ResumeChain(c.cities[i].clim, c.states[i])
+		if err != nil {
+			return fmt.Errorf("core: city %s: %w", c.cities[i].name, err)
+		}
+		spans[i] = chain.Window(from, to)
+		newStates[i] = chain.State()
+	}
+
+	recs := c.generateChunk(chunk, from, spans)
+	if err := sink(recs); err != nil {
+		return err
+	}
+	c.states = newStates
+	c.next++
+	return nil
+}
+
+// generateChunk fans the population across workers in contiguous user
+// ranges and concatenates the per-worker buffers in range order — the
+// merged stream is user-ascending whatever the worker count, the same
+// pre-draw pattern extension.SimulateUsers uses.
+func (c *Campaign) generateChunk(chunk int, from time.Duration, spans [][]weather.Span) []extension.Record {
+	workers := c.cfg.Workers
+	if workers > c.cfg.Users {
+		workers = c.cfg.Users
+	}
+	if workers <= 1 {
+		var dst []extension.Record
+		for u := 0; u < c.cfg.Users; u++ {
+			dst = c.generateUser(dst, chunk, u, from, spans)
+		}
+		return dst
+	}
+	bufs := make([][]extension.Record, workers)
+	var wg sync.WaitGroup
+	per := (c.cfg.Users + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > c.cfg.Users {
+			hi = c.cfg.Users
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var dst []extension.Record
+			for u := lo; u < hi; u++ {
+				dst = c.generateUser(dst, chunk, u, from, spans)
+			}
+			bufs[w] = dst
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var dst []extension.Record
+	for _, b := range bufs {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// --- checkpointing ------------------------------------------------------
+
+// CampaignCheckpoint is the atomic resume point: everything a fresh
+// process needs to continue the identical stream. The RNG cursors live in
+// the weather states; browsing draws are addressed by (chunk, user) and
+// need no cursor.
+type CampaignCheckpoint struct {
+	Version     int                  `json:"version"`
+	ConfigHash  uint64               `json:"config_hash"`
+	NextChunk   int                  `json:"next_chunk"`
+	CityWeather []weather.ChainState `json:"city_weather"`
+}
+
+const campaignCheckpointVersion = 1
+
+// Checkpoint captures the campaign's current resume point.
+func (c *Campaign) Checkpoint() CampaignCheckpoint {
+	return CampaignCheckpoint{
+		Version:     campaignCheckpointVersion,
+		ConfigHash:  c.cfg.hash(),
+		NextChunk:   c.next,
+		CityWeather: append([]weather.ChainState(nil), c.states...),
+	}
+}
+
+// SaveCheckpoint writes the resume point atomically: temp file, fsync,
+// rename — a kill at any instant leaves either the old checkpoint or the
+// new one, never a torn file.
+func (c *Campaign) SaveCheckpoint(path string) error {
+	payload, err := json.Marshal(c.Checkpoint())
+	if err != nil {
+		return fmt.Errorf("core: campaign checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: campaign checkpoint: %w", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return fmt.Errorf("core: campaign checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: campaign checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: campaign checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: campaign checkpoint: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// LoadCampaignCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCampaignCheckpoint(path string) (CampaignCheckpoint, error) {
+	var ck CampaignCheckpoint
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		return ck, err
+	}
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return ck, fmt.Errorf("core: campaign checkpoint %s: %w", path, err)
+	}
+	if ck.Version != campaignCheckpointVersion {
+		return ck, fmt.Errorf("core: campaign checkpoint version %d, want %d", ck.Version, campaignCheckpointVersion)
+	}
+	return ck, nil
+}
+
+// Restore positions the campaign at a checkpoint. It refuses checkpoints
+// taken under a different output-affecting configuration.
+func (c *Campaign) Restore(ck CampaignCheckpoint) error {
+	if ck.ConfigHash != c.cfg.hash() {
+		return fmt.Errorf("core: checkpoint config hash %x does not match campaign %x — resume with the original configuration",
+			ck.ConfigHash, c.cfg.hash())
+	}
+	if ck.NextChunk < 0 || ck.NextChunk > c.cfg.Chunks {
+		return fmt.Errorf("core: checkpoint chunk %d out of range [0,%d]", ck.NextChunk, c.cfg.Chunks)
+	}
+	if len(ck.CityWeather) != len(c.states) {
+		return fmt.Errorf("core: checkpoint has %d city states, campaign has %d", len(ck.CityWeather), len(c.states))
+	}
+	c.states = append(c.states[:0], ck.CityWeather...)
+	c.next = ck.NextChunk
+	return nil
+}

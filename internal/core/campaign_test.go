@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"starlinkview/internal/dataset"
+	"starlinkview/internal/extension"
+)
+
+// campaignTestConfig is small enough to run every variant in CI but still
+// spans multiple cities, chunk boundaries, and both ISP classes.
+func campaignTestConfig() CampaignConfig {
+	return CampaignConfig{
+		Seed:          42,
+		Epoch:         time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC),
+		Users:         600,
+		Cities:        7,
+		Chunks:        4,
+		ChunkHours:    6,
+		StarlinkShare: 0.5,
+		PagesPerDay:   8,
+		Domains:       500,
+		Workers:       1,
+	}
+}
+
+// runAll drains every chunk and returns the concatenated batch frames — the
+// exact bytes a streaming campaign would put on the wire.
+func runAll(t *testing.T, c *Campaign) []byte {
+	t.Helper()
+	var out []byte
+	for !c.Done() {
+		if err := c.RunChunk(func(recs []extension.Record) error {
+			out = append(out, dataset.MarshalBatch(recs)...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestCampaignWorkersInvariant is the parallelism property: the streamed
+// bytes are identical at any worker count.
+func TestCampaignWorkersInvariant(t *testing.T) {
+	var want []byte
+	for i, workers := range []int{1, 3, 8} {
+		cfg := campaignTestConfig()
+		cfg.Workers = workers
+		c, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runAll(t, c)
+		if i == 0 {
+			want = got
+			if len(want) == 0 {
+				t.Fatal("campaign produced no bytes")
+			}
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("workers=%d: streamed bytes differ from workers=1", workers)
+		}
+	}
+}
+
+// TestCampaignResumeIdentical kills a campaign at every chunk boundary and
+// resumes from the checkpoint: the tail must match the uninterrupted run
+// byte for byte, including when the resumed process uses a different worker
+// count.
+func TestCampaignResumeIdentical(t *testing.T) {
+	cfg := campaignTestConfig()
+	ref, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chunks [][]byte
+	for !ref.Done() {
+		if err := ref.RunChunk(func(recs []extension.Record) error {
+			chunks = append(chunks, dataset.MarshalBatch(recs))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for kill := 1; kill < cfg.Chunks; kill++ {
+		path := filepath.Join(t.TempDir(), "ck.json")
+		first, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < kill; i++ {
+			if err := first.RunChunk(func([]extension.Record) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := first.SaveCheckpoint(path); err != nil {
+			t.Fatal(err)
+		}
+		// "Kill": drop first, rebuild from disk with more workers.
+		resumedCfg := cfg
+		resumedCfg.Workers = 4
+		resumed, err := NewCampaign(resumedCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, err := LoadCampaignCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.Restore(ck); err != nil {
+			t.Fatal(err)
+		}
+		if resumed.NextChunk() != kill {
+			t.Fatalf("resumed at chunk %d, want %d", resumed.NextChunk(), kill)
+		}
+		ix := kill
+		for !resumed.Done() {
+			if err := resumed.RunChunk(func(recs []extension.Record) error {
+				if got := dataset.MarshalBatch(recs); string(got) != string(chunks[ix]) {
+					return fmt.Errorf("chunk %d after resume-at-%d differs from uninterrupted run", ix, kill)
+				}
+				ix++
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ix != cfg.Chunks {
+			t.Fatalf("resumed run delivered %d chunks, want %d", ix, cfg.Chunks)
+		}
+	}
+}
+
+// TestCampaignSinkFailureLeavesStateUntouched is the mid-chunk abort
+// property: a sink error (standing in for a kill before the ack) must not
+// advance the campaign, and the retried chunk is byte-identical.
+func TestCampaignSinkFailureLeavesStateUntouched(t *testing.T) {
+	cfg := campaignTestConfig()
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunChunk(func([]extension.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var firstTry []byte
+	boom := fmt.Errorf("sink exploded")
+	err = c.RunChunk(func(recs []extension.Record) error {
+		firstTry = dataset.MarshalBatch(recs)
+		return boom
+	})
+	if err != boom {
+		t.Fatalf("RunChunk error = %v, want sink error", err)
+	}
+	if c.NextChunk() != 1 {
+		t.Fatalf("failed chunk advanced cursor to %d", c.NextChunk())
+	}
+	var retry []byte
+	if err := c.RunChunk(func(recs []extension.Record) error {
+		retry = dataset.MarshalBatch(recs)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(retry) != string(firstTry) {
+		t.Fatal("retried chunk differs from aborted attempt")
+	}
+	if c.NextChunk() != 2 {
+		t.Fatalf("cursor %d after successful retry, want 2", c.NextChunk())
+	}
+}
+
+// TestCampaignCheckpointValidation pins the refusal paths: wrong config
+// hash, wrong version, out-of-range cursor.
+func TestCampaignCheckpointValidation(t *testing.T) {
+	cfg := campaignTestConfig()
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := c.Checkpoint()
+
+	other := cfg
+	other.Users++
+	oc, err := NewCampaign(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oc.Restore(ck); err == nil {
+		t.Fatal("checkpoint from different config accepted")
+	}
+
+	// Workers is excluded from the hash: same shape, different parallelism
+	// must restore fine.
+	wcfg := cfg
+	wcfg.Workers = 16
+	wc, err := NewCampaign(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Restore(ck); err != nil {
+		t.Fatalf("workers-only change rejected: %v", err)
+	}
+
+	bad := ck
+	bad.NextChunk = cfg.Chunks + 1
+	if err := c.Restore(bad); err == nil {
+		t.Fatal("out-of-range cursor accepted")
+	}
+
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := c.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCampaignCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ConfigHash != ck.ConfigHash || loaded.NextChunk != ck.NextChunk {
+		t.Fatal("checkpoint round-trip changed fields")
+	}
+}
+
+// TestCampaignShape sanity-checks the synthetic population: both ISP
+// classes present, weather varies, Starlink PTT exceeds terrestrial on
+// average, records stay inside their chunk windows.
+func TestCampaignShape(t *testing.T) {
+	cfg := campaignTestConfig()
+	c, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starPTT, terrPTT float64
+	var starN, terrN int
+	cities := map[string]bool{}
+	conds := map[string]bool{}
+	chunk := 0
+	for !c.Done() {
+		from := c.cfg.Epoch.Add(time.Duration(chunk) * c.ChunkDuration())
+		to := from.Add(c.ChunkDuration())
+		if err := c.RunChunk(func(recs []extension.Record) error {
+			for _, r := range recs {
+				if r.At.Before(from) || !r.At.Before(to) {
+					t.Fatalf("chunk %d record at %v outside [%v, %v)", chunk, r.At, from, to)
+				}
+				cities[r.City] = true
+				conds[r.Condition.String()] = true
+				switch r.ISP {
+				case "starlink":
+					starPTT += r.PTTMs
+					starN++
+				case "terrestrial":
+					terrPTT += r.PTTMs
+					terrN++
+				default:
+					t.Fatalf("unexpected ISP %q", r.ISP)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		chunk++
+	}
+	if starN == 0 || terrN == 0 {
+		t.Fatalf("one-sided population: %d starlink, %d terrestrial", starN, terrN)
+	}
+	if len(cities) != cfg.Cities {
+		t.Fatalf("saw %d cities, want %d", len(cities), cfg.Cities)
+	}
+	if len(conds) < 2 {
+		t.Fatalf("weather never varied: %v", conds)
+	}
+	if starPTT/float64(starN) <= terrPTT/float64(terrN) {
+		t.Fatalf("starlink mean PTT %.1f not above terrestrial %.1f",
+			starPTT/float64(starN), terrPTT/float64(terrN))
+	}
+}

@@ -1,0 +1,617 @@
+package dataset
+
+// Columnar batch wire encoding for extension records.
+//
+// The per-record CSV wire format spends most of its bytes (and the
+// collector's ingest CPU) repeating strings and re-parsing decimal text a
+// million times over. A batch frame transposes a record slice into
+// struct-of-arrays columns and encodes each column with the scheme that fits
+// it: dictionary indices for the heavily repeated strings (user, city,
+// country, ISP, domain), zigzag-delta varints for monotone-ish integers
+// (ASN, Unix timestamp, rank), one bit per record for the four booleans, a
+// byte per record for the weather condition, and milli-scaled zigzag-delta
+// varints for the two timing columns.
+//
+// Frame layout (all integers little-endian; diagram in DESIGN.md §14):
+//
+//	frame := "SLB1" | u32 bodyLen | body | u32 crc32c(body)
+//	body  := u8 version(=1) | uvarint nRecords | u8 nCols(=15) | col*
+//	col   := u8 colID | u8 enc | uvarint payloadLen | payload
+//
+// The body is self-describing: every column carries its ID and encoding, so
+// a decoder can skip or reorder columns, and the CRC over the body makes
+// torn or corrupt frames detectable before any value is trusted.
+//
+// Equivalence contract: UnmarshalBatch(MarshalBatch(recs)) yields exactly
+// the records the CSV wire path would deliver — timestamps truncated to
+// whole seconds in UTC and the timing floats quantised to the same values
+// strconv.FormatFloat(v, 'f', 3, 64) → ParseFloat round-trips to. That is
+// what lets the batch and per-record ingest paths produce byte-identical
+// aggregate snapshots.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"strconv"
+	"time"
+
+	"starlinkview/internal/extension"
+	"starlinkview/internal/weather"
+)
+
+// Frame framing constants.
+const (
+	// BatchMagic opens every columnar frame.
+	BatchMagic = "SLB1"
+	// BatchVersion is the body format version this package writes.
+	BatchVersion = 1
+	// MaxBatchBody bounds a frame's body length; ReadBatch rejects frames
+	// claiming more, so a corrupt length prefix cannot drive a giant
+	// allocation.
+	MaxBatchBody = 64 << 20
+)
+
+// Column IDs, in the order of the CSV schema (ExtensionHeader).
+const (
+	colUserID = iota
+	colCity
+	colCountry
+	colISP
+	colASN
+	colTimestamp
+	colDomain
+	colRank
+	colPopular
+	colPTT
+	colPLT
+	colWeather
+	colHasWeather
+	colBenchmark
+	colGoogle
+	numBatchCols
+)
+
+// Column encodings.
+const (
+	encDict     byte = 1 // uvarint dictSize | dictSize×(uvarint len | bytes) | nRecords×uvarint index
+	encDelta    byte = 2 // nRecords×varint(zigzag(v[i]-v[i-1])), v[-1]=0
+	encBits     byte = 3 // ceil(nRecords/8) bytes, LSB-first
+	encF64Milli byte = 4 // nRecords×varint(zigzag(m[i]-m[i-1])), m = value×1000 (exact)
+	encF64Raw   byte = 5 // nRecords×8 bytes, IEEE-754 bits of the quantised value
+	encU8       byte = 6 // nRecords×1 byte
+)
+
+var batchCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// MarshalBatch encodes records as one self-contained columnar frame.
+func MarshalBatch(records []extension.Record) []byte {
+	return AppendBatch(nil, records)
+}
+
+// AppendBatch appends the frame for records to dst and returns the extended
+// slice, so steady-state encoders can reuse one buffer.
+func AppendBatch(dst []byte, records []extension.Record) []byte {
+	start := len(dst)
+	dst = append(dst, BatchMagic...)
+	dst = append(dst, 0, 0, 0, 0) // bodyLen back-patched below
+	bodyStart := len(dst)
+
+	dst = append(dst, BatchVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(records)))
+	dst = append(dst, numBatchCols)
+
+	dst = appendDictCol(dst, colUserID, records, func(r *extension.Record) string { return r.UserID })
+	dst = appendDictCol(dst, colCity, records, func(r *extension.Record) string { return r.City })
+	dst = appendDictCol(dst, colCountry, records, func(r *extension.Record) string { return r.Country })
+	dst = appendDictCol(dst, colISP, records, func(r *extension.Record) string { return r.ISP })
+	dst = appendDeltaCol(dst, colASN, records, func(r *extension.Record) int64 { return int64(r.ASN) })
+	dst = appendDeltaCol(dst, colTimestamp, records, func(r *extension.Record) int64 { return r.At.Unix() })
+	dst = appendDictCol(dst, colDomain, records, func(r *extension.Record) string { return r.Domain })
+	dst = appendDeltaCol(dst, colRank, records, func(r *extension.Record) int64 { return int64(r.Rank) })
+	dst = appendBitsCol(dst, colPopular, records, func(r *extension.Record) bool { return r.Popular })
+	dst = appendFloatCol(dst, colPTT, records, func(r *extension.Record) float64 { return r.PTTMs })
+	dst = appendFloatCol(dst, colPLT, records, func(r *extension.Record) float64 { return r.PLTMs })
+	dst = appendWeatherCol(dst, records)
+	dst = appendBitsCol(dst, colHasWeather, records, func(r *extension.Record) bool { return r.HasWx })
+	dst = appendBitsCol(dst, colBenchmark, records, func(r *extension.Record) bool { return r.Benchmark })
+	dst = appendBitsCol(dst, colGoogle, records, func(r *extension.Record) bool { return r.Google })
+
+	body := dst[bodyStart:]
+	binary.LittleEndian.PutUint32(dst[start+4:], uint32(len(body)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(body, batchCRC))
+	return dst
+}
+
+func appendColHeader(dst []byte, id byte, enc byte, payloadLen int) []byte {
+	dst = append(dst, id, enc)
+	return binary.AppendUvarint(dst, uint64(payloadLen))
+}
+
+func appendDictCol(dst []byte, id byte, records []extension.Record, get func(*extension.Record) string) []byte {
+	index := make(map[string]uint64, 16)
+	var entries []string
+	payload := make([]byte, 0, len(records)+16)
+	var idxBuf []byte
+	for i := range records {
+		s := get(&records[i])
+		ix, ok := index[s]
+		if !ok {
+			ix = uint64(len(entries))
+			index[s] = ix
+			entries = append(entries, s)
+		}
+		idxBuf = binary.AppendUvarint(idxBuf, ix)
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(entries)))
+	for _, e := range entries {
+		payload = binary.AppendUvarint(payload, uint64(len(e)))
+		payload = append(payload, e...)
+	}
+	payload = append(payload, idxBuf...)
+	dst = appendColHeader(dst, id, encDict, len(payload))
+	return append(dst, payload...)
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendDeltaCol(dst []byte, id byte, records []extension.Record, get func(*extension.Record) int64) []byte {
+	var payload []byte
+	prev := int64(0)
+	for i := range records {
+		v := get(&records[i])
+		payload = binary.AppendUvarint(payload, zigzag(v-prev))
+		prev = v
+	}
+	dst = appendColHeader(dst, id, encDelta, len(payload))
+	return append(dst, payload...)
+}
+
+func appendBitsCol(dst []byte, id byte, records []extension.Record, get func(*extension.Record) bool) []byte {
+	payload := make([]byte, (len(records)+7)/8)
+	for i := range records {
+		if get(&records[i]) {
+			payload[i/8] |= 1 << (i % 8)
+		}
+	}
+	dst = appendColHeader(dst, id, encBits, len(payload))
+	return append(dst, payload...)
+}
+
+func appendWeatherCol(dst []byte, records []extension.Record) []byte {
+	payload := make([]byte, len(records))
+	for i := range records {
+		payload[i] = byte(records[i].Condition)
+	}
+	dst = appendColHeader(dst, colWeather, encU8, len(payload))
+	return append(dst, payload...)
+}
+
+// quantizeMilli reproduces the CSV wire's float quantisation: the value a
+// reader gets back after FormatFloat(v, 'f', 3, 64) → ParseFloat. It returns
+// the milli-scaled integer when that quantised value is exactly
+// float64(milli)/1000 (true whenever |milli| < 2^53), so the column can
+// travel as delta varints; ok=false falls back to raw float bits of q.
+func quantizeMilli(v float64) (milli int64, q float64, ok bool) {
+	var buf [32]byte
+	s := strconv.AppendFloat(buf[:0], v, 'f', 3, 64)
+	q, _ = strconv.ParseFloat(string(s), 64)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, q, false
+	}
+	neg := false
+	i := 0
+	if s[0] == '-' {
+		neg = true
+		i = 1
+	}
+	var scaled uint64
+	for ; i < len(s); i++ {
+		if s[i] == '.' {
+			continue
+		}
+		d := uint64(s[i] - '0')
+		if scaled > (1<<53-10)/10 {
+			return 0, q, false
+		}
+		scaled = scaled*10 + d
+	}
+	m := int64(scaled)
+	if neg {
+		m = -m
+	}
+	if float64(m)/1000 != q {
+		return 0, q, false
+	}
+	return m, q, true
+}
+
+func appendFloatCol(dst []byte, id byte, records []extension.Record, get func(*extension.Record) float64) []byte {
+	millis := make([]int64, len(records))
+	quant := make([]float64, len(records))
+	allMilli := true
+	for i := range records {
+		m, q, ok := quantizeMilli(get(&records[i]))
+		millis[i], quant[i] = m, q
+		if !ok {
+			allMilli = false
+		}
+	}
+	if allMilli {
+		var payload []byte
+		prev := int64(0)
+		for _, m := range millis {
+			payload = binary.AppendUvarint(payload, zigzag(m-prev))
+			prev = m
+		}
+		dst = appendColHeader(dst, id, encF64Milli, len(payload))
+		return append(dst, payload...)
+	}
+	payload := make([]byte, 0, 8*len(records))
+	for _, q := range quant {
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(q))
+	}
+	dst = appendColHeader(dst, id, encF64Raw, len(payload))
+	return append(dst, payload...)
+}
+
+// --- decoding -----------------------------------------------------------
+
+// UnmarshalBatch decodes exactly one frame occupying the whole buffer.
+// Torn, truncated, corrupt, or trailing-garbage input returns an error; no
+// input panics, and nothing past a failed CRC is ever interpreted.
+func UnmarshalBatch(frame []byte) ([]extension.Record, error) {
+	if len(frame) < len(BatchMagic)+4+4 {
+		return nil, fmt.Errorf("dataset: batch frame truncated (%d bytes)", len(frame))
+	}
+	if string(frame[:4]) != BatchMagic {
+		return nil, fmt.Errorf("dataset: bad batch magic %q", frame[:4])
+	}
+	bodyLen := binary.LittleEndian.Uint32(frame[4:8])
+	if bodyLen > MaxBatchBody {
+		return nil, fmt.Errorf("dataset: batch body %d exceeds limit", bodyLen)
+	}
+	if uint64(len(frame)) != 8+uint64(bodyLen)+4 {
+		return nil, fmt.Errorf("dataset: batch frame length %d does not match body length %d", len(frame), bodyLen)
+	}
+	body := frame[8 : 8+bodyLen]
+	wantCRC := binary.LittleEndian.Uint32(frame[8+bodyLen:])
+	if got := crc32.Checksum(body, batchCRC); got != wantCRC {
+		return nil, fmt.Errorf("dataset: batch CRC mismatch (got %08x want %08x)", got, wantCRC)
+	}
+	return decodeBatchBody(body)
+}
+
+// ReadBatch reads the next frame from a stream of concatenated frames (the
+// /ingest/batch request body). It returns io.EOF at a clean end of stream
+// and io.ErrUnexpectedEOF on a frame cut short.
+func ReadBatch(r io.Reader) ([]extension.Record, error) {
+	frame, err := ReadBatchFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalBatch(frame)
+}
+
+// ReadBatchFrame reads the next frame's raw bytes without decoding the
+// columns. Consumers that need both the records and the verbatim frame (the
+// collector appends the wire frame straight to its WAL) read the frame once
+// and hand it to UnmarshalBatch, which performs the CRC and column checks.
+func ReadBatchFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("dataset: batch header: %w", err)
+	}
+	if string(hdr[:4]) != BatchMagic {
+		return nil, fmt.Errorf("dataset: bad batch magic %q", hdr[:4])
+	}
+	bodyLen := binary.LittleEndian.Uint32(hdr[4:8])
+	if bodyLen > MaxBatchBody {
+		return nil, fmt.Errorf("dataset: batch body %d exceeds limit", bodyLen)
+	}
+	frame := make([]byte, 8+int(bodyLen)+4)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(r, frame[8:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("dataset: batch body: %w", err)
+	}
+	return frame, nil
+}
+
+// batchCursor is a bounds-checked reader over a frame body.
+type batchCursor struct {
+	buf []byte
+	off int
+}
+
+func (c *batchCursor) u8() (byte, error) {
+	if c.off >= len(c.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := c.buf[c.off]
+	c.off++
+	return b, nil
+}
+
+func (c *batchCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("dataset: bad varint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *batchCursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.buf) || c.off+n < c.off {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := c.buf[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func decodeBatchBody(body []byte) ([]extension.Record, error) {
+	c := &batchCursor{buf: body}
+	ver, err := c.u8()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: batch version: %w", err)
+	}
+	if ver != BatchVersion {
+		return nil, fmt.Errorf("dataset: unsupported batch version %d", ver)
+	}
+	nRec64, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// A valid frame spends at least one byte per record in every dictionary
+	// column's index stream, so the record count can never exceed the body
+	// length. This bound keeps the allocation below proportional to the
+	// input even for hostile headers.
+	if nRec64 > uint64(len(body)) {
+		return nil, fmt.Errorf("dataset: record count %d exceeds body size %d", nRec64, len(body))
+	}
+	nRec := int(nRec64)
+	nCols, err := c.u8()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: batch column count: %w", err)
+	}
+	if nCols != numBatchCols {
+		return nil, fmt.Errorf("dataset: batch has %d columns, want %d", nCols, numBatchCols)
+	}
+	records := make([]extension.Record, nRec)
+	seen := [numBatchCols]bool{}
+	for ci := 0; ci < int(nCols); ci++ {
+		id, err := c.u8()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: column header: %w", err)
+		}
+		enc, err := c.u8()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: column header: %w", err)
+		}
+		plen64, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if plen64 > uint64(len(body)) {
+			return nil, fmt.Errorf("dataset: column %d payload %d exceeds body", id, plen64)
+		}
+		payload, err := c.bytes(int(plen64))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: column %d payload: %w", id, err)
+		}
+		if int(id) >= numBatchCols {
+			return nil, fmt.Errorf("dataset: unknown column id %d", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("dataset: duplicate column id %d", id)
+		}
+		seen[id] = true
+		if err := decodeColumn(id, enc, payload, records); err != nil {
+			return nil, fmt.Errorf("dataset: column %s: %w", extensionHeader[id], err)
+		}
+	}
+	if c.off != len(body) {
+		return nil, fmt.Errorf("dataset: %d trailing bytes after columns", len(body)-c.off)
+	}
+	for i := range seen {
+		if !seen[i] {
+			return nil, fmt.Errorf("dataset: missing column %s", extensionHeader[i])
+		}
+	}
+	return records, nil
+}
+
+func decodeColumn(id, enc byte, payload []byte, records []extension.Record) error {
+	switch id {
+	case colUserID, colCity, colCountry, colISP, colDomain:
+		if enc != encDict {
+			return fmt.Errorf("encoding %d, want dict", enc)
+		}
+		return decodeDictCol(payload, records, func(r *extension.Record, s string) {
+			switch id {
+			case colUserID:
+				r.UserID = s
+			case colCity:
+				r.City = s
+			case colCountry:
+				r.Country = s
+			case colISP:
+				r.ISP = s
+			default:
+				r.Domain = s
+			}
+		})
+	case colASN, colTimestamp, colRank:
+		if enc != encDelta {
+			return fmt.Errorf("encoding %d, want delta", enc)
+		}
+		return decodeDeltaCol(payload, records, func(r *extension.Record, v int64) {
+			switch id {
+			case colASN:
+				r.ASN = int(v)
+			case colTimestamp:
+				r.At = time.Unix(v, 0).UTC()
+			default:
+				r.Rank = int(v)
+			}
+		})
+	case colPopular, colHasWeather, colBenchmark, colGoogle:
+		if enc != encBits {
+			return fmt.Errorf("encoding %d, want bits", enc)
+		}
+		return decodeBitsCol(payload, records, func(r *extension.Record, b bool) {
+			switch id {
+			case colPopular:
+				r.Popular = b
+			case colHasWeather:
+				r.HasWx = b
+			case colBenchmark:
+				r.Benchmark = b
+			default:
+				r.Google = b
+			}
+		})
+	case colPTT, colPLT:
+		set := func(r *extension.Record, v float64) {
+			if id == colPTT {
+				r.PTTMs = v
+			} else {
+				r.PLTMs = v
+			}
+		}
+		switch enc {
+		case encF64Milli:
+			return decodeF64MilliCol(payload, records, set)
+		case encF64Raw:
+			return decodeF64RawCol(payload, records, set)
+		default:
+			return fmt.Errorf("encoding %d, want f64milli or f64raw", enc)
+		}
+	case colWeather:
+		if enc != encU8 {
+			return fmt.Errorf("encoding %d, want u8", enc)
+		}
+		return decodeWeatherCol(payload, records)
+	default:
+		return fmt.Errorf("unknown column id %d", id)
+	}
+}
+
+func decodeDictCol(payload []byte, records []extension.Record, set func(*extension.Record, string)) error {
+	c := &batchCursor{buf: payload}
+	nEntries, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	if nEntries > uint64(len(payload)) {
+		return fmt.Errorf("dictionary size %d exceeds payload", nEntries)
+	}
+	entries := make([]string, nEntries)
+	for i := range entries {
+		elen, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if elen > uint64(len(payload)) {
+			return fmt.Errorf("dictionary entry length %d exceeds payload", elen)
+		}
+		b, err := c.bytes(int(elen))
+		if err != nil {
+			return err
+		}
+		entries[i] = string(b)
+	}
+	for i := range records {
+		ix, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if ix >= nEntries {
+			return fmt.Errorf("record %d: dictionary index %d out of range (%d entries)", i, ix, nEntries)
+		}
+		set(&records[i], entries[ix])
+	}
+	if c.off != len(payload) {
+		return fmt.Errorf("%d trailing bytes", len(payload)-c.off)
+	}
+	return nil
+}
+
+func decodeDeltaCol(payload []byte, records []extension.Record, set func(*extension.Record, int64)) error {
+	c := &batchCursor{buf: payload}
+	prev := int64(0)
+	for i := range records {
+		u, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		prev += unzigzag(u)
+		set(&records[i], prev)
+	}
+	if c.off != len(payload) {
+		return fmt.Errorf("%d trailing bytes", len(payload)-c.off)
+	}
+	return nil
+}
+
+func decodeBitsCol(payload []byte, records []extension.Record, set func(*extension.Record, bool)) error {
+	want := (len(records) + 7) / 8
+	if len(payload) != want {
+		return fmt.Errorf("bitset payload %d bytes, want %d", len(payload), want)
+	}
+	for i := range records {
+		set(&records[i], payload[i/8]&(1<<(i%8)) != 0)
+	}
+	return nil
+}
+
+func decodeF64MilliCol(payload []byte, records []extension.Record, set func(*extension.Record, float64)) error {
+	c := &batchCursor{buf: payload}
+	prev := int64(0)
+	for i := range records {
+		u, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		prev += unzigzag(u)
+		set(&records[i], float64(prev)/1000)
+	}
+	if c.off != len(payload) {
+		return fmt.Errorf("%d trailing bytes", len(payload)-c.off)
+	}
+	return nil
+}
+
+func decodeF64RawCol(payload []byte, records []extension.Record, set func(*extension.Record, float64)) error {
+	if len(payload) != 8*len(records) {
+		return fmt.Errorf("raw float payload %d bytes, want %d", len(payload), 8*len(records))
+	}
+	for i := range records {
+		set(&records[i], math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:])))
+	}
+	return nil
+}
+
+func decodeWeatherCol(payload []byte, records []extension.Record) error {
+	if len(payload) != len(records) {
+		return fmt.Errorf("weather payload %d bytes, want %d", len(payload), len(records))
+	}
+	nCond := len(weather.Conditions())
+	for i, b := range payload {
+		if int(b) >= nCond {
+			return fmt.Errorf("record %d: weather condition %d out of range", i, b)
+		}
+		records[i].Condition = weather.Condition(b)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package weather
+
+// Chain is the resumable counterpart of Generator: the same semi-Markov
+// condition process (stationary start, ±2-step transitions with a 3×
+// adjacency bias, weight-scaled exponential dwells) driven by an explicit,
+// serialisable state instead of a *rand.Rand and a memoised timeline.
+//
+// A campaign checkpoint stores the ChainState verbatim; resuming from it
+// continues the identical condition sequence, which is what makes a killed
+// chunked campaign's output byte-identical to an uninterrupted run. The
+// trade-off against Generator is access order: a Chain only moves forward
+// (Advance), so callers walk time monotonically — exactly what time-sliced
+// chunk execution does.
+
+import (
+	"fmt"
+	"time"
+
+	"starlinkview/internal/xrand"
+)
+
+// ChainState is the complete, serialisable state of a weather chain at an
+// instant: the prevailing condition, when it ends, and the RNG counter.
+type ChainState struct {
+	// Cond is the condition holding until Until.
+	Cond Condition `json:"cond"`
+	// Until is the end of the current dwell, relative to the chain origin.
+	Until time.Duration `json:"until"`
+	// Rng is the xrand counter the next transition draws from.
+	Rng uint64 `json:"rng"`
+}
+
+// Chain evolves a ChainState under a climatology.
+type Chain struct {
+	clim  Climatology
+	total float64
+	state ChainState
+}
+
+// NewChain starts a chain at origin time zero: the initial condition is a
+// stationary draw and the first dwell is sampled, so State is immediately
+// checkpointable.
+func NewChain(clim Climatology, seed uint64) (*Chain, error) {
+	c, err := newChainUnstarted(clim)
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(seed)
+	c.state.Cond = c.sampleStationary(&rng)
+	c.state.Until = c.sampleDwell(&rng, c.state.Cond)
+	c.state.Rng = rng.State()
+	return c, nil
+}
+
+// ResumeChain rebuilds a chain from a checkpointed state.
+func ResumeChain(clim Climatology, state ChainState) (*Chain, error) {
+	c, err := newChainUnstarted(clim)
+	if err != nil {
+		return nil, err
+	}
+	if state.Cond < 0 || state.Cond >= numConditions {
+		return nil, fmt.Errorf("weather: chain state has condition %d out of range", state.Cond)
+	}
+	c.state = state
+	return c, nil
+}
+
+func newChainUnstarted(clim Climatology) (*Chain, error) {
+	total := 0.0
+	for _, w := range clim.Weights {
+		if w < 0 {
+			return nil, fmt.Errorf("weather: negative weight in climatology %q", clim.Name)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("weather: climatology %q has all-zero weights", clim.Name)
+	}
+	if clim.MeanDwell <= 0 {
+		return nil, fmt.Errorf("weather: climatology %q has non-positive dwell", clim.Name)
+	}
+	return &Chain{clim: clim, total: total}, nil
+}
+
+// State returns the chain's current serialisable state.
+func (c *Chain) State() ChainState { return c.state }
+
+// At returns the condition at time t, advancing the chain as needed. Calls
+// must be monotone in t (a resumable chain keeps no history); a query
+// before the current dwell began still answers with the current condition.
+func (c *Chain) At(t time.Duration) Condition {
+	for t >= c.state.Until {
+		rng := xrand.New(c.state.Rng)
+		c.state.Cond = c.transition(&rng, c.state.Cond)
+		c.state.Until += c.sampleDwell(&rng, c.state.Cond)
+		c.state.Rng = rng.State()
+	}
+	return c.state.Cond
+}
+
+// Span is one dwell interval of a chain window: Cond holds from Start
+// until the next span's Start (or the window end for the last span).
+type Span struct {
+	Start time.Duration
+	Cond  Condition
+}
+
+// Window advances the chain through [from, to) and returns the dwell spans
+// covering the window; the first span starts at from. Campaign chunks call
+// it once per (city, chunk), then answer per-record condition queries from
+// the spans in any order — sidestepping the chain's forward-only contract
+// inside a chunk while the chain state advances exactly once.
+func (c *Chain) Window(from, to time.Duration) []Span {
+	spans := []Span{{Start: from, Cond: c.state.Cond}}
+	for c.state.Until < to {
+		boundary := c.state.Until
+		rng := xrand.New(c.state.Rng)
+		c.state.Cond = c.transition(&rng, c.state.Cond)
+		c.state.Until += c.sampleDwell(&rng, c.state.Cond)
+		c.state.Rng = rng.State()
+		if boundary <= from {
+			// Still before (or at) the window start: the opening span's
+			// condition is whatever holds at from.
+			spans[0].Cond = c.state.Cond
+			continue
+		}
+		spans = append(spans, Span{Start: boundary, Cond: c.state.Cond})
+	}
+	return spans
+}
+
+// ConditionAt answers a point query against a Window result (binary search
+// for the last span starting at or before t).
+func ConditionAt(spans []Span, t time.Duration) Condition {
+	lo, hi := 0, len(spans)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if spans[mid].Start <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return spans[lo].Cond
+}
+
+func (c *Chain) sampleStationary(rng *xrand.RNG) Condition {
+	x := rng.Float64() * c.total
+	for i, w := range c.clim.Weights {
+		x -= w
+		if x < 0 {
+			return Condition(i)
+		}
+	}
+	return ModerateRain
+}
+
+// transition mirrors Generator.transition: -2..+2 steps, never staying,
+// adjacency 3× weighted, scaled by climatology weight.
+func (c *Chain) transition(rng *xrand.RNG, from Condition) Condition {
+	var cands [4]Condition
+	var weights [4]float64
+	n := 0
+	total := 0.0
+	for d := -2; d <= 2; d++ {
+		if d == 0 {
+			continue
+		}
+		ci := int(from) + d
+		if ci < 0 || ci >= int(numConditions) {
+			continue
+		}
+		w := c.clim.Weights[ci]
+		if d == -1 || d == 1 {
+			w *= 3
+		}
+		cands[n], weights[n] = Condition(ci), w
+		total += w
+		n++
+	}
+	if total == 0 {
+		return from
+	}
+	x := rng.Float64() * total
+	for i := 0; i < n; i++ {
+		x -= weights[i]
+		if x < 0 {
+			return cands[i]
+		}
+	}
+	return cands[n-1]
+}
+
+// sampleDwell mirrors Generator.sampleDwell for the given condition.
+func (c *Chain) sampleDwell(rng *xrand.RNG, cond Condition) time.Duration {
+	rel := c.clim.Weights[cond] / c.total * float64(numConditions)
+	if rel < 0.2 {
+		rel = 0.2
+	}
+	d := time.Duration(rng.ExpFloat64() * float64(c.clim.MeanDwell) * rel)
+	if d < 10*time.Minute {
+		d = 10 * time.Minute
+	}
+	if d > 12*time.Hour {
+		d = 12 * time.Hour
+	}
+	return d
+}

@@ -1,0 +1,134 @@
+package weather
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChainResumeIdentical is the checkpoint property: capturing State at
+// any point and resuming from it reproduces the identical condition
+// sequence, however the walk is sliced.
+func TestChainResumeIdentical(t *testing.T) {
+	for _, clim := range []Climatology{London(), Sydney(), Barcelona()} {
+		full, err := NewChain(clim, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := 7 * time.Minute
+		const n = 4000
+		want := make([]Condition, n)
+		for i := 0; i < n; i++ {
+			want[i] = full.At(time.Duration(i) * step)
+		}
+
+		// Re-walk with a checkpoint/resume at every 500th step.
+		chain, err := NewChain(clim, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if i%500 == 250 {
+				st := chain.State()
+				chain, err = ResumeChain(clim, st)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := chain.At(time.Duration(i) * step); got != want[i] {
+				t.Fatalf("%s: step %d: resumed chain gave %v, want %v", clim.Name, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestChainDistribution sanity-checks the chain tracks its climatology: a
+// dry city spends most time in the clear half of the scale, a rainy one
+// spends real time raining.
+func TestChainDistribution(t *testing.T) {
+	count := func(clim Climatology, seed uint64) [7]time.Duration {
+		chain, err := NewChain(clim, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dwell [7]time.Duration
+		step := 10 * time.Minute
+		for i := 0; i < 6*30*24*6; i++ { // ~6 months
+			dwell[chain.At(time.Duration(i)*step)] += step
+		}
+		return dwell
+	}
+	dry := count(Barcelona(), 5)
+	wet := count(Seattle(), 5)
+	sum := func(d [7]time.Duration, from, to Condition) time.Duration {
+		var s time.Duration
+		for c := from; c <= to; c++ {
+			s += d[c]
+		}
+		return s
+	}
+	dryClear := float64(sum(dry, ClearSky, ScatteredClouds)) / float64(sum(dry, ClearSky, ModerateRain))
+	wetRain := float64(sum(wet, LightRain, ModerateRain)) / float64(sum(wet, ClearSky, ModerateRain))
+	if dryClear < 0.5 {
+		t.Fatalf("Barcelona clear-ish share %.2f, want > 0.5", dryClear)
+	}
+	if wetRain < 0.1 {
+		t.Fatalf("Seattle rain share %.2f, want > 0.1", wetRain)
+	}
+}
+
+// TestWindowMatchesAt pins Window to the At walk: answering point queries
+// from a window's spans gives exactly what a monotone At walk gives, and
+// consuming a timeline window-by-window leaves the chain in the same state
+// as walking it with At.
+func TestWindowMatchesAt(t *testing.T) {
+	for _, clim := range []Climatology{London(), Seattle(), Barcelona()} {
+		ref, err := NewChain(clim, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windowed, err := NewChain(clim, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		width := 6 * time.Hour
+		step := 4 * time.Minute
+		for w := 0; w < 40; w++ {
+			from := time.Duration(w) * width
+			spans := windowed.Window(from, from+width)
+			for i := 0; i < len(spans)-1; i++ {
+				if spans[i].Start >= spans[i+1].Start {
+					t.Fatalf("%s: window %d spans not strictly increasing", clim.Name, w)
+				}
+			}
+			for ti := from; ti < from+width; ti += step {
+				want := ref.At(ti)
+				if got := ConditionAt(spans, ti); got != want {
+					t.Fatalf("%s: t=%v window gave %v, At gave %v", clim.Name, ti, got, want)
+				}
+			}
+		}
+		// The two walks may sit at slightly different cursor positions (At
+		// stops strictly after its query, Window at the window edge), but
+		// both must continue the same timeline: resume from the windowed
+		// state and keep matching the reference.
+		resumed, err := ResumeChain(clim, windowed.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		end := 40 * width
+		for ti := end; ti < end+2*width; ti += step {
+			if got, want := resumed.At(ti), ref.At(ti); got != want {
+				t.Fatalf("%s: post-window t=%v resumed gave %v, At gave %v", clim.Name, ti, got, want)
+			}
+		}
+	}
+}
+
+func TestResumeChainValidates(t *testing.T) {
+	if _, err := ResumeChain(London(), ChainState{Cond: Condition(99)}); err == nil {
+		t.Fatal("out-of-range condition accepted")
+	}
+	if _, err := NewChain(Climatology{Name: "zero", MeanDwell: time.Hour}, 1); err == nil {
+		t.Fatal("all-zero climatology accepted")
+	}
+}

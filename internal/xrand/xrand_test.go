@@ -1,0 +1,94 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// TestResumeIdentical pins the checkpointing contract: capturing State and
+// re-seeding continues the exact stream.
+func TestResumeIdentical(t *testing.T) {
+	r := New(42)
+	for i := 0; i < 17; i++ {
+		r.Uint64()
+	}
+	saved := r.State()
+	var want []uint64
+	for i := 0; i < 100; i++ {
+		want = append(want, r.Uint64())
+	}
+	resumed := New(saved)
+	for i, w := range want {
+		if got := resumed.Uint64(); got != w {
+			t.Fatalf("draw %d after resume: got %#x want %#x", i, got, w)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	seen := map[int]int{}
+	for i := 0; i < 30000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 7; v++ {
+		if seen[v] < 30000/7/2 {
+			t.Fatalf("value %d drawn only %d times", v, seen[v])
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		e := r.ExpFloat64()
+		if e < 0 {
+			t.Fatalf("ExpFloat64 negative: %v", e)
+		}
+		sum += e
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("ExpFloat64 mean %v, want ~1", mean)
+	}
+}
+
+// TestMixIndependence checks Mix separates neighbouring coordinates: the
+// first draws of adjacent (chunk, user) cells must not collide.
+func TestMixIndependence(t *testing.T) {
+	seen := map[uint64]bool{}
+	for chunk := uint64(0); chunk < 50; chunk++ {
+		for user := uint64(0); user < 50; user++ {
+			r := New(Mix(1234, chunk, user))
+			v := r.Uint64()
+			if seen[v] {
+				t.Fatalf("first draw collision at chunk=%d user=%d", chunk, user)
+			}
+			seen[v] = true
+		}
+	}
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix is order-insensitive")
+	}
+}

@@ -45,6 +45,10 @@ type comparison struct {
 	DeltaPct      float64 `json:"delta_pct"`
 	// Speedup is base/candidate ns/op: >1 means the candidate is faster.
 	Speedup float64 `json:"speedup"`
+	// Throughput headlines, present when both rows report a records/s
+	// metric (the e2e wire benchmarks do).
+	BaseRecPerSec      float64 `json:"base_records_per_sec,omitempty"`
+	CandidateRecPerSec float64 `json:"candidate_records_per_sec,omitempty"`
 }
 
 type report struct {
@@ -77,16 +81,27 @@ func comparePairs(benchmarks []benchmark, name, basePrefix, candPrefix string) [
 			continue
 		}
 		out = append(out, comparison{
-			Name:          name,
-			Base:          base.Name,
-			Candidate:     c.Name,
-			BaseNsOp:      base.Metrics["ns/op"],
-			CandidateNsOp: c.Metrics["ns/op"],
-			DeltaPct:      100 * (c.Metrics["ns/op"] - base.Metrics["ns/op"]) / base.Metrics["ns/op"],
-			Speedup:       base.Metrics["ns/op"] / c.Metrics["ns/op"],
+			Name:               name,
+			Base:               base.Name,
+			Candidate:          c.Name,
+			BaseNsOp:           base.Metrics["ns/op"],
+			CandidateNsOp:      c.Metrics["ns/op"],
+			DeltaPct:           100 * (c.Metrics["ns/op"] - base.Metrics["ns/op"]) / base.Metrics["ns/op"],
+			Speedup:            base.Metrics["ns/op"] / c.Metrics["ns/op"],
+			BaseRecPerSec:      base.Metrics["records/s"],
+			CandidateRecPerSec: c.Metrics["records/s"],
 		})
 	}
 	return out
+}
+
+// subName extracts the sub-benchmark path ("/shards=4") from a full row
+// name, so throughput headlines distinguish the shard configurations.
+func subName(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return strings.TrimSuffix(name[i:], "-"+name[strings.LastIndexByte(name, '-')+1:])
+	}
+	return ""
 }
 
 func main() {
@@ -137,10 +152,17 @@ func main() {
 		"BenchmarkTable1Serial", "BenchmarkTable1")...)
 	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "cluster-3x-vs-1x-ingest",
 		"BenchmarkClusterIngest1", "BenchmarkClusterIngest3")...)
+	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "e2e-batch-vs-csv-wire",
+		"BenchmarkE2EIngestCSV", "BenchmarkE2EIngestBatch")...)
 	if len(rep.Comparisons) > 0 {
 		logSum := 0.0
 		for _, c := range rep.Comparisons {
 			logSum += math.Log(c.Speedup)
+			if c.CandidateRecPerSec > 0 && c.BaseRecPerSec > 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: %-28s %.2fx (%.0f vs %.0f records/s)\n",
+					c.Name+subName(c.Candidate), c.Speedup, c.CandidateRecPerSec, c.BaseRecPerSec)
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "benchjson: %-28s %.2fx (%+.1f%% ns/op)\n", c.Name, c.Speedup, c.DeltaPct)
 		}
 		rep.GeomeanSpeedup = math.Exp(logSum / float64(len(rep.Comparisons)))
