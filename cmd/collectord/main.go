@@ -88,6 +88,10 @@ func main() {
 		traceSlow = flag.Float64("trace-slowest-pct", 5, "tail-sample: keep roots in the slowest N percent (plus errors and forced samples)")
 		maxLabels = flag.Int("max-label-children", 0, "cap on children per label vector; 0 = uncapped (excess increments obs_dropped_labels_total)")
 
+		shedQueuePct = flag.Float64("shed-queue-pct", 0, "shed unsampled ingest when any shard queue fills past this fraction (0 = off)")
+		shedAckP99   = flag.Duration("shed-ack-p99", 0, "shed unsampled ingest when the interval ack-latency p99 exceeds this (0 = off)")
+		shedEvalIval = flag.Duration("shed-eval-interval", 25*time.Millisecond, "admission controller evaluation interval")
+
 		peers      = flag.String("peers", "", "comma-separated advertise addresses of the other cluster instances")
 		advertise  = flag.String("advertise", "", "address peers reach this instance on (default: the bound listen address)")
 		vnodes     = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per instance on the consistent-hash ring")
@@ -145,6 +149,11 @@ func main() {
 		Shards: *shards, QueueLen: *queue, Policy: pol, SketchRelErr: *relerr,
 		Registry: reg,
 		Tracer:   tracer,
+		Shed: collector.ShedConfig{
+			QueueHighPct:  *shedQueuePct,
+			AckLatencyP99: *shedAckP99,
+			EvalInterval:  *shedEvalIval,
+		},
 		WAL: collector.WALConfig{
 			Dir:                *walDir,
 			FsyncInterval:      *fsyncIval,
@@ -168,6 +177,10 @@ func main() {
 	if tracer != nil {
 		fmt.Printf("collectord: tracing on (capacity %d, slowest %.1f%%): GET %s\n",
 			*traceCap, *traceSlow, collector.PathTraces)
+	}
+	if *shedQueuePct > 0 || *shedAckP99 > 0 {
+		fmt.Printf("collectord: load shedding armed (queue > %.0f%%, ack p99 > %v, eval every %v)\n",
+			*shedQueuePct*100, *shedAckP99, *shedEvalIval)
 	}
 	if *walDir != "" {
 		rec := srv.Aggregator().WALRecovery()

@@ -8,7 +8,7 @@
 //	loadgen [-addr 127.0.0.1:8787] [-users 8] [-rate 100000] [-duration 10s]
 //	        [-batch 1000] [-days 10] [-seed 1] [-trace-every 0] [-wire csv|batch]
 //	loadgen -targets HOST:PORT,HOST:PORT,... [-route ring|rr] [-vnodes 128]
-//	loadgen -scrape [-scrape-interval 2s] [-duration 0]
+//	loadgen -scrape [-targets HOST:PORT,...] [-scrape-interval 2s] [-duration 0]
 //
 // A rate of 0 removes the pacing and measures the sustainable maximum.
 //
@@ -29,7 +29,10 @@
 // fsyncs per acknowledged batch (the group-commit sharing factor), and the
 // interval p50/p99 ingest-ack latency recovered from the histogram buckets.
 // Run it beside a sending loadgen (or any real clients) as a live console.
-// A -duration of 0 scrapes until interrupted.
+// With -targets the console sums deltas across every instance; a peer that
+// restarts mid-run has its delta clamped to zero for that interval (never
+// subtracted from the cluster total) and the reset is counted in the final
+// report. A -duration of 0 scrapes until interrupted.
 package main
 
 import (
@@ -78,7 +81,11 @@ func main() {
 	flag.Parse()
 
 	if *scrape {
-		if err := scrapeLoop("http://"+*addr, *scrapeIval, *duration); err != nil {
+		tgts := splitList(*targets)
+		if len(tgts) == 0 {
+			tgts = []string{*addr}
+		}
+		if err := scrapeLoop(tgts, *scrapeIval, *duration); err != nil {
 			fatal(err)
 		}
 		return
@@ -443,47 +450,95 @@ func fetchMetrics(base string) (metricsSnap, error) {
 	return snap, nil
 }
 
-// scrapeLoop polls /metrics every interval and prints the deltas. Rates
-// come from counter differences; the interval ack-latency percentiles come
-// from subtracting consecutive cumulative bucket vectors — the same
-// subtraction PromQL's rate() performs before histogram_quantile.
-func scrapeLoop(base string, interval, duration time.Duration) error {
-	prev, err := fetchMetrics(base)
-	if err != nil {
-		return err
+// scrapeLoop polls every target's /metrics each interval and prints the
+// summed deltas. Rates come from counter differences; the interval
+// ack-latency percentiles come from subtracting consecutive cumulative
+// bucket vectors — the same subtraction PromQL's rate() performs before
+// histogram_quantile.
+//
+// Restarts are handled per peer: a negative delta means THAT instance's
+// counters reset, so its contribution for the interval is clamped to zero
+// and its baseline reseeded, while the other peers' deltas keep flowing.
+// (Reseeding the merged baseline instead would make the whole cluster's
+// rates negative garbage for an interval every time one peer bounces.)
+// An unreachable peer — mid-restart — is skipped the same way. The final
+// report counts both, so a bouncing collector is visible, not silent.
+func scrapeLoop(targets []string, interval, duration time.Duration) error {
+	prev := make([]metricsSnap, len(targets))
+	seeded := make([]bool, len(targets))
+	for i, tgt := range targets {
+		snap, err := fetchMetrics("http://" + tgt)
+		if err != nil {
+			return err
+		}
+		prev[i], seeded[i] = snap, true
 	}
 	var deadline time.Time
 	if duration > 0 {
 		deadline = time.Now().Add(duration)
 	}
-	fmt.Printf("scraping %s%s every %v\n", base, collector.PathMetrics, interval)
+	if len(targets) == 1 {
+		fmt.Printf("scraping http://%s%s every %v\n", targets[0], collector.PathMetrics, interval)
+	} else {
+		fmt.Printf("scraping %d targets (%s) every %v\n",
+			len(targets), strings.Join(targets, ", "), interval)
+	}
 	fmt.Printf("%8s %8s %9s %11s %7s %10s %10s\n",
 		"rec/s", "batch/s", "drop%", "fsync/batch", "queue", "ack p50", "ack p99")
+	resets, unreachable := 0, 0
 	for {
 		time.Sleep(interval)
-		cur, err := fetchMetrics(base)
-		if err != nil {
-			return err
-		}
-		dt := cur.at.Sub(prev.at).Seconds()
-		dAcc := cur.accepted - prev.accepted
-		dDrop := cur.dropped - prev.dropped
-		dAcks := cur.acks - prev.acks
-		dFsync := cur.fsyncs - prev.fsyncs
-
-		// A negative delta means the server restarted and its counters
-		// reset; rates computed against the old baseline would be negative
-		// garbage. Reseed and resume on the next interval — exactly how
-		// PromQL's rate() treats a reset.
-		if dAcc < 0 || dDrop < 0 || dAcks < 0 || dFsync < 0 {
-			fmt.Println("counter reset detected (server restart?); reseeding baseline")
-			prev = cur
-			if !deadline.IsZero() && !time.Now().Before(deadline) {
-				return nil
+		now := time.Now()
+		var dAcc, dDrop, dAcks, dFsync, queue, dt float64
+		var bounds []float64
+		var delta []uint64
+		for i, tgt := range targets {
+			cur, err := fetchMetrics("http://" + tgt)
+			if err != nil {
+				// Mid-restart: contribute nothing this interval and force a
+				// reseed when the peer comes back.
+				fmt.Printf("peer %s unreachable (%v); skipping this interval\n", tgt, err)
+				unreachable++
+				seeded[i] = false
+				continue
 			}
-			continue
+			if !seeded[i] {
+				prev[i], seeded[i] = cur, true
+				continue
+			}
+			pAcc := cur.accepted - prev[i].accepted
+			pDrop := cur.dropped - prev[i].dropped
+			pAcks := cur.acks - prev[i].acks
+			pFsync := cur.fsyncs - prev[i].fsyncs
+			if pAcc < 0 || pDrop < 0 || pAcks < 0 || pFsync < 0 {
+				fmt.Printf("peer %s: counter reset detected (restart?); clamping its delta to zero\n", tgt)
+				resets++
+				prev[i] = cur
+				queue += cur.queue
+				continue
+			}
+			dAcc += pAcc
+			dDrop += pDrop
+			dAcks += pAcks
+			dFsync += pFsync
+			queue += cur.queue
+			if d := obs.SubCounts(cur.bounds, cur.cum, prev[i].cum); d != nil {
+				if bounds == nil {
+					bounds, delta = cur.bounds, d
+				} else if len(d) == len(delta) {
+					for j := range d {
+						delta[j] += d[j]
+					}
+				}
+			}
+			if s := now.Sub(prev[i].at).Seconds(); s > dt {
+				dt = s
+			}
+			prev[i] = cur
 		}
-
+		if dt == 0 {
+			dt = interval.Seconds()
+		}
 		dropPct := 0.0
 		if dAcc+dDrop > 0 {
 			dropPct = 100 * dDrop / (dAcc + dDrop)
@@ -493,14 +548,17 @@ func scrapeLoop(base string, interval, duration time.Duration) error {
 			fsyncPerBatch = dFsync / dAcks
 		}
 		p50, p99 := math.NaN(), math.NaN()
-		if d := obs.SubCounts(cur.bounds, cur.cum, prev.cum); d != nil {
-			p50 = obs.HistogramQuantile(0.50, cur.bounds, d)
-			p99 = obs.HistogramQuantile(0.99, cur.bounds, d)
+		if delta != nil {
+			p50 = obs.HistogramQuantile(0.50, bounds, delta)
+			p99 = obs.HistogramQuantile(0.99, bounds, delta)
 		}
 		fmt.Printf("%8.0f %8.1f %8.3f%% %11.2f %7.0f %9.2fms %9.2fms\n",
-			dAcc/dt, dAcks/dt, dropPct, fsyncPerBatch, cur.queue, p50*1e3, p99*1e3)
-		prev = cur
+			dAcc/dt, dAcks/dt, dropPct, fsyncPerBatch, queue, p50*1e3, p99*1e3)
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			if resets > 0 || unreachable > 0 {
+				fmt.Printf("scrape report: %d counter resets, %d unreachable polls across %d targets\n",
+					resets, unreachable, len(targets))
+			}
 			return nil
 		}
 	}

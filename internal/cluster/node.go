@@ -61,6 +61,7 @@ type Node struct {
 	mem    *Membership
 	client *http.Client
 	met    *nodeMetrics
+	obsMet *obsplaneMetrics
 }
 
 // nodeMetrics are the per-instance cluster series, registered next to the
@@ -124,6 +125,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.client = &http.Client{}
 	}
 	n.met = newNodeMetrics(cfg.Server.Aggregator().Registry())
+	n.obsMet = newObsplaneMetrics(cfg.Server.Aggregator().Registry())
 	mem, err := NewMembership(MembershipConfig{
 		Self:          cfg.Self,
 		Peers:         cfg.Peers,
@@ -144,6 +146,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	cfg.Server.Handle(PathClusterState, n.handleState)
 	cfg.Server.Handle(PathClusterSnapshot, n.handleSnapshot)
 	cfg.Server.Handle(PathClusterRing, n.handleRing)
+	cfg.Server.Handle(PathClusterMetrics, n.handleClusterMetrics)
+	cfg.Server.Handle(PathClusterTraces, n.handleClusterTraces)
+	cfg.Server.Handle(PathClusterTraces+"/", n.handleClusterTrace)
 	cfg.Server.SetForwarder(n)
 	return n, nil
 }

@@ -127,6 +127,10 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	if reason, ok := s.admitIngest(r); !ok {
+		shedReject(w, r, reason)
+		return
+	}
 	fwd := s.ingestForwarder(r)
 	decode := s.startDecode(r)
 	var reply IngestReply

@@ -98,6 +98,11 @@ type Config struct {
 	// report as children. Nil disables tracing at one pointer test per
 	// site.
 	Tracer *trace.Tracer
+	// Shed arms the trace-driven admission controller (see shed.go): when
+	// queue depth or interval ack-latency p99 crosses its watermark,
+	// unsampled ingest requests are shed while sampled/forced traffic is
+	// always admitted. The zero value disables it.
+	Shed ShedConfig
 
 	// applyDelay slows each record application; tests use it to force
 	// queue pressure deterministically.
@@ -153,6 +158,10 @@ type Aggregator struct {
 	mu     sync.RWMutex
 	closed bool
 	wg     sync.WaitGroup
+
+	// shed is the armed admission controller (nil when Config.Shed is
+	// zero, which keeps the unarmed ingest path untouched).
+	shed *shedder
 
 	// Durability (nil / zero without a WAL).
 	wal         *wal.Writer
@@ -213,6 +222,10 @@ func OpenAggregator(cfg Config) (*Aggregator, error) {
 		a.ckptStop = make(chan struct{})
 		a.ckptDone = make(chan struct{})
 		go a.checkpointLoop()
+	}
+	if cfg.Shed.armed() {
+		a.shed = newShedder(a, cfg.Shed)
+		go a.shed.run()
 	}
 	// Scrape-time gauges: queue depths change record to record; the WAL's
 	// positions live behind its mutex. Both are read on demand instead of
@@ -403,6 +416,9 @@ func (a *Aggregator) Close() error {
 	}
 	a.mu.Unlock()
 	a.wg.Wait()
+	if a.shed != nil {
+		a.shed.close()
+	}
 	if a.wal == nil {
 		return nil
 	}

@@ -237,6 +237,10 @@ func (s *Server) handleIngestExtension(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	if reason, ok := s.admitIngest(r); !ok {
+		shedReject(w, r, reason)
+		return
+	}
 	fwd := s.ingestForwarder(r)
 	cr := csv.NewReader(r.Body)
 	cr.FieldsPerRecord = len(dataset.ExtensionHeader())
@@ -287,6 +291,41 @@ func (s *Server) handleIngestExtension(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.ackIngest(w, r, reply, start)
+}
+
+// admitIngest asks the shed controller whether the request may enter. The
+// sampled bit rides the request's traceparent: via the root span when
+// tracing is on, parsed straight off the header otherwise — so batch
+// frames and CSV bodies alike carry their keep-this signal in-band.
+func (s *Server) admitIngest(r *http.Request) (string, bool) {
+	if s.agg.shed == nil {
+		return "", true
+	}
+	return s.agg.shed.admit(requestSampled(r))
+}
+
+// requestSampled derives the request's traceparent sampled bit.
+func requestSampled(r *http.Request) bool {
+	if root := trace.FromContext(r.Context()); root != nil {
+		return root.Context().Sampled
+	}
+	sc, err := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
+	return err == nil && sc.Sampled
+}
+
+// shedReject answers a shed request: 429 + Retry-After, a zero reply (no
+// record entered), and a shed event on the root span so the kept traces
+// show exactly when admission control cut in.
+func shedReject(w http.ResponseWriter, r *http.Request, reason string) {
+	if root := trace.FromContext(r.Context()); root != nil {
+		root.Event("shed", trace.Str("reason", reason))
+		root.SetAttr("shed", reason)
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, struct {
+		IngestReply
+		Error string `json:"error"`
+	}{IngestReply{}, "overloaded: unsampled request shed (" + reason + ")"})
 }
 
 // ingestForwarder resolves the forwarder an ingest request routes through:
@@ -353,6 +392,10 @@ func (s *Server) handleIngestNode(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if reason, ok := s.admitIngest(r); !ok {
+		shedReject(w, r, reason)
 		return
 	}
 	fwd := s.ingestForwarder(r)

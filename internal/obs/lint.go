@@ -24,8 +24,15 @@ var nonBaseUnits = map[string]bool{
 // The CI gate runs this over collectord's fully wired registry, so a new
 // metric cannot land with a name the convention forbids.
 func Lint(r *Registry) []error {
+	return lintFamilies(r.Families())
+}
+
+// lintFamilies is the shared walk behind Lint and MergedExposition.Lint:
+// the same naming rules apply whether the families come from a live
+// registry or from a parsed, merged cluster exposition.
+func lintFamilies(families []Family) []error {
 	var errs []error
-	for _, f := range r.Families() {
+	for _, f := range families {
 		if !validName(f.Name) {
 			errs = append(errs, fmt.Errorf("obs: metric %q: invalid name", f.Name))
 		}

@@ -1,0 +1,432 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the metrics-federation half of the cluster observability
+// plane: parse each peer's /metrics exposition (keeping the # HELP / # TYPE
+// metadata ParseText deliberately drops), merge the per-instance families
+// into one cluster view, and re-render a deterministic exposition that
+// passes the same lint gate the per-process registry does.
+//
+// Merge semantics, per metric type:
+//
+//   - counters: children with the same label set sum exactly (the values
+//     are uint64 renders, so float64 addition is exact below 2^53);
+//   - histograms: cumulative le buckets add bucket-wise (bounds must match
+//     across peers — same binary, same grid), _count adds exactly, _sum is
+//     float-added in sorted-instance order so the result is deterministic;
+//   - gauges (and untyped families): per-peer values are NOT summed — a
+//     queue depth averaged or added across instances is a lie — instead
+//     every child gains an `instance` label carrying the peer's name.
+//
+// HELP text conflicts resolve deterministically to the first instance's
+// (instances are processed in sorted-name order); TYPE conflicts are
+// errors, because adding a counter to a gauge has no meaning.
+
+// ScrapedFamily is one metric family recovered from a text exposition: the
+// # HELP / # TYPE metadata plus its samples in exposition order. Histogram
+// families hold their _bucket/_sum/_count samples.
+type ScrapedFamily struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Untyped bool // no # TYPE line seen; merged with gauge semantics
+	Samples Samples
+}
+
+// ScrapedExposition is a fully parsed text exposition, families sorted by
+// name.
+type ScrapedExposition struct {
+	Families []ScrapedFamily
+}
+
+// ParseExposition parses a Prometheus text exposition like ParseText does
+// (same line grammar, via the same parser), but additionally captures the
+// # HELP and # TYPE comment lines and groups samples into families — the
+// form the federation merge needs. Unknown TYPE values and families with
+// no TYPE line are kept and merged as untyped (gauge semantics).
+func ParseExposition(r io.Reader) (*ScrapedExposition, error) {
+	helps := map[string]string{}
+	types := map[string]MetricType{}
+	var samples Samples
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if name, help, ok := parseComment(line, "# HELP "); ok {
+				helps[name] = help
+			} else if name, typ, ok := parseComment(line, "# TYPE "); ok {
+				switch typ {
+				case "counter":
+					types[name] = TypeCounter
+				case "gauge":
+					types[name] = TypeGauge
+				case "histogram":
+					types[name] = TypeHistogram
+				}
+			}
+			continue
+		}
+		// OpenMetrics terminator / exemplar suffixes are not expected on
+		// the 0.0.4 path, but "# EOF" is already skipped as a comment.
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	byName := map[string]*ScrapedFamily{}
+	order := []string{}
+	fam := func(name string) *ScrapedFamily {
+		f, ok := byName[name]
+		if !ok {
+			typ, typed := types[name]
+			if !typed {
+				typ = TypeGauge
+			}
+			f = &ScrapedFamily{Name: name, Help: helps[name], Type: typ, Untyped: !typed}
+			byName[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, s := range samples {
+		fam(familyName(s.Name, types)).Samples = append(fam(familyName(s.Name, types)).Samples, s)
+	}
+	sort.Strings(order)
+	out := &ScrapedExposition{Families: make([]ScrapedFamily, 0, len(order))}
+	for _, name := range order {
+		out.Families = append(out.Families, *byName[name])
+	}
+	return out, nil
+}
+
+// familyName maps a series name back to its family: histogram series
+// appear as <name>_bucket/_sum/_count but belong to the TYPE-declared
+// <name> family.
+func familyName(series string, types map[string]MetricType) string {
+	if _, ok := types[series]; ok {
+		return series
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(series, suf); ok && types[base] == TypeHistogram {
+			return base
+		}
+	}
+	return series
+}
+
+func parseComment(line, prefix string) (name, rest string, ok bool) {
+	body, ok := strings.CutPrefix(line, prefix)
+	if !ok {
+		return "", "", false
+	}
+	name, rest, _ = strings.Cut(body, " ")
+	if name == "" {
+		return "", "", false
+	}
+	return name, rest, true
+}
+
+// Instance pairs a peer's advertised name with its parsed scrape, for
+// MergeExpositions. The name becomes the `instance` label value on gauges.
+type Instance struct {
+	Name       string
+	Exposition *ScrapedExposition
+}
+
+// MergedFamily is one family of the merged cluster exposition, rendered
+// rows in final output order.
+type MergedFamily struct {
+	Name   string
+	Help   string
+	Type   MetricType
+	Labels []string // union of label names across rows, "le" excluded
+	Rows   []string // fully rendered sample lines
+}
+
+// MergedExposition is the cluster-wide merge of per-instance expositions.
+type MergedExposition struct {
+	Families []MergedFamily
+}
+
+// MergeExpositions merges per-instance scrapes into one cluster exposition.
+// The result is deterministic: independent of the order instances are
+// passed in (they are sorted by name first) and of map iteration, so two
+// coordinators fanning out to the same peers render byte-identical output.
+func MergeExpositions(instances []Instance) (*MergedExposition, error) {
+	inst := append([]Instance(nil), instances...)
+	sort.Slice(inst, func(i, j int) bool { return inst[i].Name < inst[j].Name })
+
+	perName := map[string][]srcFamily{}
+	names := []string{}
+	for i := range inst {
+		if inst[i].Exposition == nil {
+			continue
+		}
+		for j := range inst[i].Exposition.Families {
+			f := &inst[i].Exposition.Families[j]
+			if len(perName[f.Name]) == 0 {
+				names = append(names, f.Name)
+			}
+			perName[f.Name] = append(perName[f.Name], srcFamily{inst[i].Name, f})
+		}
+	}
+	sort.Strings(names)
+
+	out := &MergedExposition{Families: make([]MergedFamily, 0, len(names))}
+	for _, name := range names {
+		srcs := perName[name]
+		first := srcs[0].fam
+		mf := MergedFamily{Name: name, Help: first.Help, Type: first.Type}
+		untyped := first.Untyped
+		for _, s := range srcs[1:] {
+			if s.fam.Type != first.Type || s.fam.Untyped != untyped {
+				return nil, fmt.Errorf("obs: family %q: conflicting types across instances (%s vs %s)",
+					name, first.Type, s.fam.Type)
+			}
+			// Conflicting HELP: first (sorted) instance wins, deterministically.
+			if mf.Help == "" {
+				mf.Help = s.fam.Help
+			}
+		}
+		var err error
+		switch {
+		case untyped || first.Type == TypeGauge:
+			err = mergeGauges(&mf, srcs)
+		case first.Type == TypeCounter:
+			err = mergeCounters(&mf, srcs)
+		case first.Type == TypeHistogram:
+			err = mergeHistograms(&mf, name, srcs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Families = append(out.Families, mf)
+	}
+	return out, nil
+}
+
+// srcFamily is one instance's contribution to a merged family.
+type srcFamily struct {
+	instance string
+	fam      *ScrapedFamily
+}
+
+func mergeCounters(mf *MergedFamily, srcs []srcFamily) error {
+	sums := map[string]float64{}
+	keys := []string{}
+	labels := map[string]bool{}
+	for _, s := range srcs {
+		for _, smp := range s.fam.Samples {
+			key := canonicalLabels(smp.Labels, labels)
+			if _, ok := sums[key]; !ok {
+				keys = append(keys, key)
+			}
+			sums[key] += smp.Value
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		mf.Rows = append(mf.Rows, mf.Name+key+" "+renderExactValue(sums[key]))
+	}
+	mf.Labels = sortedLabelNames(labels)
+	return nil
+}
+
+func mergeGauges(mf *MergedFamily, srcs []srcFamily) error {
+	rows := []string{}
+	labels := map[string]bool{"instance": true}
+	for _, s := range srcs {
+		for _, smp := range s.fam.Samples {
+			with := make(map[string]string, len(smp.Labels)+1)
+			for k, v := range smp.Labels {
+				with[k] = v
+			}
+			with["instance"] = s.instance
+			key := canonicalLabels(with, labels)
+			rows = append(rows, mf.Name+key+" "+formatFloat(smp.Value))
+		}
+	}
+	sort.Strings(rows)
+	mf.Rows = rows
+	mf.Labels = sortedLabelNames(labels)
+	return nil
+}
+
+// mergedHist accumulates one histogram child across instances.
+type mergedHist struct {
+	key     string             // canonical child label block, le excluded
+	buckets map[string]uint64  // le string -> summed cumulative count
+	bySig   map[string]bool    // per-instance bucket-grid signatures
+	sum     float64
+	count   uint64
+}
+
+func mergeHistograms(mf *MergedFamily, name string, srcs []srcFamily) error {
+	children := map[string]*mergedHist{}
+	keys := []string{}
+	labels := map[string]bool{}
+	child := func(lbls map[string]string, dropLe bool) *mergedHist {
+		var key string
+		if dropLe {
+			sub := make(map[string]string, len(lbls))
+			for k, v := range lbls {
+				if k != "le" {
+					sub[k] = v
+				}
+			}
+			key = canonicalLabels(sub, labels)
+		} else {
+			key = canonicalLabels(lbls, labels)
+		}
+		c, ok := children[key]
+		if !ok {
+			c = &mergedHist{key: key, buckets: map[string]uint64{}, bySig: map[string]bool{}}
+			children[key] = c
+			keys = append(keys, key)
+		}
+		return c
+	}
+	for _, s := range srcs {
+		// Per (instance, child) grid signature, to reject misaligned bounds.
+		grids := map[*mergedHist][]string{}
+		for _, smp := range s.fam.Samples {
+			switch {
+			case smp.Name == name+"_bucket":
+				c := child(smp.Labels, true)
+				le := smp.Labels["le"]
+				c.buckets[le] += uint64(smp.Value)
+				grids[c] = append(grids[c], le)
+			case smp.Name == name+"_sum":
+				child(smp.Labels, false).sum += smp.Value
+			case smp.Name == name+"_count":
+				child(smp.Labels, false).count += uint64(smp.Value)
+			}
+		}
+		for c, les := range grids {
+			sort.Strings(les)
+			c.bySig[strings.Join(les, "\x00")] = true
+			if len(c.bySig) > 1 {
+				return fmt.Errorf("obs: histogram %q%s: bucket bounds differ across instances", name, c.key)
+			}
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		c := children[key]
+		les := make([]string, 0, len(c.buckets))
+		for le := range c.buckets {
+			les = append(les, le)
+		}
+		sort.Slice(les, func(i, j int) bool { return leValue(les[i]) < leValue(les[j]) })
+		for _, le := range les {
+			mf.Rows = append(mf.Rows, name+"_bucket"+mergeLabels(key, `le="`+escapeLabelValue(le)+`"`)+
+				" "+strconv.FormatUint(c.buckets[le], 10))
+		}
+		mf.Rows = append(mf.Rows, name+"_sum"+key+" "+formatFloat(c.sum))
+		mf.Rows = append(mf.Rows, name+"_count"+key+" "+strconv.FormatUint(c.count, 10))
+	}
+	mf.Labels = sortedLabelNames(labels)
+	return nil
+}
+
+func leValue(le string) float64 {
+	v, err := parseValue(le)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// canonicalLabels renders a label map as {a="x",b="y"} with names sorted —
+// the canonical child identity the merge joins on. Names seen are recorded
+// into the set for the family's Labels list.
+func canonicalLabels(labels map[string]string, seen map[string]bool) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		names = append(names, k)
+		if seen != nil && k != "le" {
+			seen[k] = true
+		}
+	}
+	sort.Strings(names)
+	values := make([]string, len(names))
+	for i, n := range names {
+		values[i] = labels[n]
+	}
+	return renderLabels(names, values)
+}
+
+func sortedLabelNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// renderExactValue renders integral values (counters, bucket counts that
+// arrive as float64 from the parser) without scientific notation, so a
+// merged counter of 1e6 renders as "1000000" exactly like the per-process
+// registry's FormatUint would.
+func renderExactValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1<<53 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return formatFloat(v)
+}
+
+// WriteText renders the merged exposition in the 0.0.4 text format with
+// the same deterministic ordering WritePrometheus uses: families by name
+// (the merge already sorted them), rows in the family's canonical order.
+func (e *MergedExposition) WriteText(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range e.Families {
+		if len(f.Rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, row := range f.Rows {
+			b.WriteString(row)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Lint runs the registry naming lint over the merged families, so the
+// federated endpoint is held to the same gate as each per-process registry.
+func (e *MergedExposition) Lint() []error {
+	fams := make([]Family, 0, len(e.Families))
+	for _, f := range e.Families {
+		fams = append(fams, Family{
+			Name: f.Name, Help: f.Help, Type: f.Type,
+			Labels: f.Labels, Series: len(f.Rows),
+		})
+	}
+	return lintFamilies(fams)
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// parseExpo is the test-side shorthand: render a registry and parse it back
+// as a federation input.
+func parseExpo(t *testing.T, r *Registry) *ScrapedExposition {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mergeText(t *testing.T, instances []Instance) string {
+	t.Helper()
+	m, err := MergeExpositions(instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := m.Lint(); len(errs) > 0 {
+		t.Fatalf("merged exposition fails lint: %v", errs)
+	}
+	var b strings.Builder
+	if err := m.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestParseExpositionKeepsHelpAndType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "Requests served.").Inc()
+	r.Gauge("depth", "Queue depth.").Set(3)
+	r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1}).Observe(0.5)
+	e := parseExpo(t, r)
+	want := map[string]MetricType{"depth": TypeGauge, "lat_seconds": TypeHistogram, "reqs_total": TypeCounter}
+	if len(e.Families) != len(want) {
+		t.Fatalf("got %d families, want %d", len(e.Families), len(want))
+	}
+	for _, f := range e.Families {
+		if want[f.Name] != f.Type {
+			t.Errorf("family %s: type %v, want %v", f.Name, f.Type, want[f.Name])
+		}
+		if f.Help == "" {
+			t.Errorf("family %s: lost help text", f.Name)
+		}
+		if f.Untyped {
+			t.Errorf("family %s: marked untyped", f.Name)
+		}
+	}
+	// Histogram series grouped under the base family.
+	for _, f := range e.Families {
+		if f.Name == "lat_seconds" && len(f.Samples) != 5 { // 3 buckets + sum + count
+			t.Errorf("lat_seconds: %d samples, want 5", len(f.Samples))
+		}
+	}
+}
+
+func TestMergeCountersSumExactly(t *testing.T) {
+	mk := func(vals map[string]uint64) *Registry {
+		r := NewRegistry()
+		v := r.CounterVec("recs_total", "Records.", "shard")
+		for shard, n := range vals {
+			v.With(shard).Add(n)
+		}
+		return r
+	}
+	a := mk(map[string]uint64{"0": 1_000_000, "1": 7})
+	b := mk(map[string]uint64{"0": 999_983, "2": 41})
+	out := mergeText(t, []Instance{
+		{Name: "a:1", Exposition: parseExpo(t, a)},
+		{Name: "b:1", Exposition: parseExpo(t, b)},
+	})
+	ss, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard, want := range map[string]float64{"0": 1_999_983, "1": 7, "2": 41} {
+		got, ok := ss.Value("recs_total", map[string]string{"shard": shard})
+		if !ok || got != want {
+			t.Errorf("shard %s: got %v (ok=%v), want %v", shard, got, ok, want)
+		}
+	}
+	// Integral render, no scientific notation.
+	if !strings.Contains(out, `recs_total{shard="0"} 1999983`) {
+		t.Errorf("merged counter not rendered as integer:\n%s", out)
+	}
+}
+
+func TestMergeHistogramsBucketwise(t *testing.T) {
+	bounds := NativeBuckets(2, 1e-3, 12)
+	mk := func(obs ...float64) *Registry {
+		r := NewRegistry()
+		h := r.Histogram("ack_seconds", "Ack latency.", bounds)
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r
+	}
+	a := mk(0.001, 0.004, 0.02)
+	b := mk(0.002, 0.5)
+	single := mk(0.001, 0.004, 0.02, 0.002, 0.5)
+	out := mergeText(t, []Instance{
+		{Name: "a:1", Exposition: parseExpo(t, a)},
+		{Name: "b:1", Exposition: parseExpo(t, b)},
+	})
+	ss, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref strings.Builder
+	if err := single.WritePrometheus(&ref); err != nil {
+		t.Fatal(err)
+	}
+	refSS, err := ParseText(strings.NewReader(ref.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, gotC := ss.BucketCounts("ack_seconds", nil)
+	wantB, wantC := refSS.BucketCounts("ack_seconds", nil)
+	if len(gotB) != len(wantB) {
+		t.Fatalf("bucket count mismatch: %d vs %d", len(gotB), len(wantB))
+	}
+	for i := range gotB {
+		if gotB[i] != wantB[i] || gotC[i] != wantC[i] {
+			t.Errorf("bucket %d: (%v,%d) vs (%v,%d)", i, gotB[i], gotC[i], wantB[i], wantC[i])
+		}
+	}
+	if got, _ := ss.Value("ack_seconds_count", nil); got != 5 {
+		t.Errorf("_count = %v, want 5", got)
+	}
+	gotSum, _ := ss.Value("ack_seconds_sum", nil)
+	if math.Abs(gotSum-0.527) > 1e-9 {
+		t.Errorf("_sum = %v, want 0.527", gotSum)
+	}
+}
+
+func TestMergeGaugesKeepPerInstanceChildren(t *testing.T) {
+	mk := func(depth float64) *Registry {
+		r := NewRegistry()
+		r.GaugeVec("queue_depth", "Depth.", "shard").With("0").Set(depth)
+		return r
+	}
+	out := mergeText(t, []Instance{
+		{Name: "b:1", Exposition: parseExpo(t, mk(9))},
+		{Name: "a:1", Exposition: parseExpo(t, mk(4))},
+	})
+	ss, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for inst, want := range map[string]float64{"a:1": 4, "b:1": 9} {
+		got, ok := ss.Value("queue_depth", map[string]string{"instance": inst, "shard": "0"})
+		if !ok || got != want {
+			t.Errorf("instance %s: got %v (ok=%v), want %v", inst, got, ok, want)
+		}
+	}
+}
+
+// handExpo builds a ScrapedExposition directly, for the foreign-producer
+// edge cases a Registry can't emit.
+func handExpo(t *testing.T, text string) *ScrapedExposition {
+	t.Helper()
+	e, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMergeConflictingHelpIsDeterministic(t *testing.T) {
+	a := handExpo(t, "# HELP hits_total Hits seen by A.\n# TYPE hits_total counter\nhits_total 3\n")
+	b := handExpo(t, "# HELP hits_total Hits (B wording).\n# TYPE hits_total counter\nhits_total 4\n")
+	fwd := mergeText(t, []Instance{{Name: "a:1", Exposition: a}, {Name: "b:1", Exposition: b}})
+	rev := mergeText(t, []Instance{{Name: "b:1", Exposition: b}, {Name: "a:1", Exposition: a}})
+	if fwd != rev {
+		t.Fatalf("merge depends on input order:\n--- fwd\n%s--- rev\n%s", fwd, rev)
+	}
+	// Sorted-first instance (a:1) wins the help text.
+	if !strings.Contains(fwd, "# HELP hits_total Hits seen by A.") {
+		t.Errorf("help not taken from first sorted instance:\n%s", fwd)
+	}
+	if !strings.Contains(fwd, "hits_total 7") {
+		t.Errorf("values not summed:\n%s", fwd)
+	}
+}
+
+func TestMergeMetricPresentOnOnePeerOnly(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("only_a_total", "Only on a.").Add(5)
+	a.Counter("shared_total", "Shared.").Add(1)
+	b := NewRegistry()
+	b.Counter("shared_total", "Shared.").Add(2)
+	out := mergeText(t, []Instance{
+		{Name: "a:1", Exposition: parseExpo(t, a)},
+		{Name: "b:1", Exposition: parseExpo(t, b)},
+	})
+	ss, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := ss.Value("only_a_total", nil); !ok || got != 5 {
+		t.Errorf("only_a_total = %v (ok=%v), want 5", got, ok)
+	}
+	if got, _ := ss.Value("shared_total", nil); got != 3 {
+		t.Errorf("shared_total = %v, want 3", got)
+	}
+}
+
+func TestMergeWithCardinalityDroppedChildren(t *testing.T) {
+	// Instance a hit its cardinality cap, so it exposes fewer children of
+	// the vec plus the obs_dropped_labels_total counter; instance b has
+	// the full set. The merge must stay deterministic and lint-clean, with
+	// the surviving children summed and the drop counter passed through.
+	mk := func(limit int, users ...string) *Registry {
+		r := NewRegistry()
+		if limit > 0 {
+			r.LimitCardinality(limit)
+		}
+		v := r.CounterVec("user_hits_total", "Hits per user.", "user")
+		for _, u := range users {
+			v.With(u).Inc()
+		}
+		return r
+	}
+	a := mk(2, "u1", "u2", "u3", "u4") // u3, u4 dropped (cap 2 incl. drop counter family? cap is per-registry children)
+	b := mk(0, "u1", "u2", "u3", "u4")
+	fwd := mergeText(t, []Instance{
+		{Name: "a:1", Exposition: parseExpo(t, a)},
+		{Name: "b:1", Exposition: parseExpo(t, b)},
+	})
+	rev := mergeText(t, []Instance{
+		{Name: "b:1", Exposition: parseExpo(t, b)},
+		{Name: "a:1", Exposition: parseExpo(t, a)},
+	})
+	if fwd != rev {
+		t.Fatalf("merge depends on input order:\n--- fwd\n%s--- rev\n%s", fwd, rev)
+	}
+	ss, err := ParseText(strings.NewReader(fwd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Children a kept merge as 2, children a dropped survive with b's 1.
+	if got, _ := ss.Value("user_hits_total", map[string]string{"user": "u1"}); got != 2 {
+		t.Errorf("u1 = %v, want 2", got)
+	}
+	if got, ok := ss.Value("user_hits_total", map[string]string{"user": "u4"}); !ok || got != 1 {
+		t.Errorf("u4 = %v (ok=%v), want 1 from the uncapped peer", got, ok)
+	}
+	if got := ss.Sum("obs_dropped_labels_total", nil); got == 0 {
+		t.Error("drop counter lost in merge")
+	}
+}
+
+func TestMergeTypeConflictErrors(t *testing.T) {
+	a := handExpo(t, "# TYPE x_total counter\nx_total 1\n")
+	b := handExpo(t, "# TYPE x_total gauge\nx_total 2\n")
+	if _, err := MergeExpositions([]Instance{{Name: "a", Exposition: a}, {Name: "b", Exposition: b}}); err == nil {
+		t.Fatal("want type-conflict error, got nil")
+	}
+}
+
+func TestMergeBucketGridMismatchErrors(t *testing.T) {
+	a := handExpo(t, "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n")
+	b := handExpo(t, "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1.5\nh_count 1\n")
+	if _, err := MergeExpositions([]Instance{{Name: "a", Exposition: a}, {Name: "b", Exposition: b}}); err == nil {
+		t.Fatal("want bucket-grid mismatch error, got nil")
+	}
+}
+
+func TestMergedExpositionReparses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "C.").Add(2)
+	r.GaugeVec("g", "G.", "k").With(`quo"te`).Set(1.5)
+	r.Histogram("h_seconds", "H.", []float64{0.5}).Observe(0.25)
+	out := mergeText(t, []Instance{
+		{Name: "a:1", Exposition: parseExpo(t, r)},
+		{Name: "b:1", Exposition: parseExpo(t, r)},
+	})
+	if _, err := ParseExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("merged output does not reparse: %v\n%s", err, out)
+	}
+}

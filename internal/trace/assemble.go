@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Cross-process trace assembly: a forwarded ingest leaves spans in two
+// instances' tail-sampling rings — the origin's HTTP root plus its
+// cluster.forward child, and the forward target's own root (same trace ID,
+// parented on the forward span, because Node.forward propagates the
+// forward span's traceparent). Assemble unions those per-instance captures
+// back into one tree, tags every span with the instance that recorded it,
+// and folds in link-referenced traces (the cluster client's retry chains)
+// one level deep, so tools/traceview renders a single cross-instance
+// waterfall.
+
+// Source is one instance's trace capture: the advertised instance name and
+// whatever its /traces ring held at pull time.
+type Source struct {
+	Instance string
+	Traces   []Trace
+}
+
+// instanceAttr is the attr key Assemble stamps on every stitched span.
+const instanceAttr = "instance"
+
+// Assemble stitches the spans of trace id across sources into one Trace.
+// The result is deterministic: independent of source order (sources are
+// sorted by instance name), of duplicate captures (spans dedup by
+// trace+span ID, first sorted instance wins), and of which instance
+// happened to be the forward target. Spans from link-referenced traces
+// (retry chains) are included one level deep, keeping their own trace IDs.
+// ok is false when no source holds the trace.
+func Assemble(id string, sources []Source) (Trace, bool) {
+	srcs := append([]Source(nil), sources...)
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Instance < srcs[j].Instance })
+
+	type spanKey struct{ trace, span string }
+	seen := map[spanKey]bool{}
+	var spans []SpanData
+	collect := func(traceID string) bool {
+		found := false
+		for _, src := range srcs {
+			for _, tr := range src.Traces {
+				if tr.ID != traceID {
+					continue
+				}
+				found = true
+				for _, sd := range tr.Spans {
+					k := spanKey{sd.TraceID, sd.SpanID}
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					spans = append(spans, tagInstance(sd, src.Instance))
+				}
+			}
+		}
+		return found
+	}
+	if !collect(id) {
+		return Trace{}, false
+	}
+
+	// One level of link following: retried/rerouted sends link back to the
+	// prior attempt's trace, which the samplers keep as a separate trace.
+	linked := map[string]bool{}
+	for _, sd := range spans {
+		for _, l := range sd.Links {
+			if l.Trace != "" && l.Trace != id {
+				linked[l.Trace] = true
+			}
+		}
+	}
+	linkedIDs := make([]string, 0, len(linked))
+	for lid := range linked {
+		linkedIDs = append(linkedIDs, lid)
+	}
+	sort.Strings(linkedIDs)
+	for _, lid := range linkedIDs {
+		collect(lid)
+	}
+
+	// Total deterministic order: start time, then trace ID, then span ID —
+	// no two spans compare equal, so the stitched tree is byte-stable no
+	// matter the pull order.
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		if a.TraceID != b.TraceID {
+			return a.TraceID < b.TraceID
+		}
+		return a.SpanID < b.SpanID
+	})
+
+	return Trace{ID: id, Duration: assembledDuration(id, spans), Spans: spans}, true
+}
+
+// tagInstance returns sd with an instance attr prepended (copy-on-write —
+// the source slices are shared with the tracer's ring).
+func tagInstance(sd SpanData, instance string) SpanData {
+	if instance == "" {
+		return sd
+	}
+	for _, a := range sd.Attrs {
+		if a.Key == instanceAttr {
+			return sd
+		}
+	}
+	attrs := make([]Attr, 0, len(sd.Attrs)+1)
+	attrs = append(attrs, Str(instanceAttr, instance))
+	attrs = append(attrs, sd.Attrs...)
+	sd.Attrs = attrs
+	return sd
+}
+
+// assembledDuration is the stitched trace's ranking key: the duration of
+// the top root — the root span of the origin trace whose parent is not in
+// the assembled set (the forward target's root is parented on the origin's
+// forward span, so it never wins). Falls back to the longest span.
+func assembledDuration(id string, spans []SpanData) time.Duration {
+	ids := map[string]bool{}
+	for _, sd := range spans {
+		ids[sd.SpanID] = true
+	}
+	for _, sd := range spans { // spans already sorted: first match is earliest
+		if sd.TraceID == id && sd.Root && (sd.Parent == "" || !ids[sd.Parent]) {
+			return sd.Duration()
+		}
+	}
+	var max time.Duration
+	for _, sd := range spans {
+		if d := sd.Duration(); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -34,6 +34,44 @@ type benchmark struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	// Runs counts the input rows averaged into this entry (> 1 when the
+	// bench ran with -count).
+	Runs int `json:"runs,omitempty"`
+}
+
+// collapseRuns averages duplicate rows from `go test -count=N` into one
+// entry per benchmark name (mean of each metric, iterations summed), so a
+// multi-count run tightens a comparison instead of emitting N near-duplicate
+// comparisons whose scatter is the very noise -count exists to cancel.
+func collapseRuns(in []benchmark) []benchmark {
+	byName := map[string]*benchmark{}
+	var order []string
+	for _, b := range in {
+		agg, ok := byName[b.Name]
+		if !ok {
+			cp := b
+			cp.Metrics = map[string]float64{}
+			cp.Runs = 0
+			cp.Iterations = 0
+			byName[b.Name] = &cp
+			order = append(order, b.Name)
+			agg = &cp
+		}
+		agg.Runs++
+		agg.Iterations += b.Iterations
+		for unit, v := range b.Metrics {
+			agg.Metrics[unit] += v
+		}
+	}
+	out := make([]benchmark, 0, len(order))
+	for _, name := range order {
+		agg := byName[name]
+		for unit := range agg.Metrics {
+			agg.Metrics[unit] /= float64(agg.Runs)
+		}
+		out = append(out, *agg)
+	}
+	return out
 }
 
 type comparison struct {
@@ -144,6 +182,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	rep.Benchmarks = collapseRuns(rep.Benchmarks)
 	rep.Comparisons = comparePairs(rep.Benchmarks, "traced-vs-untraced-ingest",
 		"BenchmarkCollectorIngest", "BenchmarkTracedIngest")
 	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "pruned-vs-brute-visibility",
@@ -154,6 +193,15 @@ func main() {
 		"BenchmarkClusterIngest1", "BenchmarkClusterIngest3")...)
 	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "e2e-batch-vs-csv-wire",
 		"BenchmarkE2EIngestCSV", "BenchmarkE2EIngestBatch")...)
+	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "shed-armed-idle-vs-off-ingest",
+		"BenchmarkCollectorIngest", "BenchmarkShedIdleIngest")...)
+	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "federated-vs-single-scrape",
+		"BenchmarkScrapeSingle", "BenchmarkScrapeFederated")...)
+	// The admission-check budget pair: BenchmarkShedAdmit's ns/op over one
+	// ingested record's ns/op is the per-record cost fraction the <=1%
+	// shed budget is checked against (candidate_ns_op / base_ns_op).
+	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "shed-admission-vs-ingest-record",
+		"BenchmarkCollectorIngest/shards=4", "BenchmarkShedAdmit")...)
 	if len(rep.Comparisons) > 0 {
 		logSum := 0.0
 		for _, c := range rep.Comparisons {

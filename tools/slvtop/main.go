@@ -1,0 +1,305 @@
+// Command slvtop is a live terminal dashboard for a collectord cluster: it
+// scrapes one coordinator's federated /cluster/metrics endpoint every
+// interval, differences the merged counters, and redraws a one-screen view
+// of the whole fleet — ingest rate, drop and shed percentages, forward
+// rate, interval ack/fsync p99s, per-instance queue and shed state, and
+// ring version skew.
+//
+// Usage:
+//
+//	slvtop [-addr 127.0.0.1:8787] [-interval 1s] [-duration 0] [-no-clear]
+//
+// The coordinator answers for the whole cluster, so one address suffices:
+// the remaining instances are discovered from the merged exposition's
+// per-instance gauge labels, and each is asked for its /cluster/ring
+// version to surface skew. Against a single un-clustered collectord (no
+// -peers) slvtop falls back to the plain /metrics endpoint. A restarting
+// peer shows up as a clamped-to-zero interval, never as negative rates.
+// -duration 0 runs until interrupted; -no-clear appends frames instead of
+// redrawing (useful for capturing to a file).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"starlinkview/internal/cluster"
+	"starlinkview/internal/collector"
+	"starlinkview/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8787", "coordinator address (any cluster instance)")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		duration = flag.Duration("duration", 0, "run length (0 = until interrupted)")
+		noClear  = flag.Bool("no-clear", false, "append frames instead of clearing the screen")
+	)
+	flag.Parse()
+
+	prev, federated, err := fetch(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	var deadline time.Time
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	for {
+		time.Sleep(*interval)
+		cur, fed, err := fetch(*addr)
+		if err != nil {
+			// The coordinator itself may be bouncing; show the outage
+			// rather than dying mid-incident.
+			fmt.Printf("scrape %s failed: %v\n", *addr, err)
+			continue
+		}
+		federated = fed
+		draw(*addr, federated, prev, cur, !*noClear)
+		prev = cur
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return
+		}
+	}
+}
+
+// frame is one scrape reduced to what the dashboard tracks.
+type frame struct {
+	at        time.Time
+	accepted  float64
+	dropped   float64
+	shed      float64
+	forwarded float64
+	acks      float64
+
+	ackBounds []float64
+	ackCum    []uint64
+	fsBounds  []float64
+	fsCum     []uint64
+
+	instances []instanceRow
+}
+
+type instanceRow struct {
+	name  string
+	queue float64
+	shed  int
+	ready bool
+}
+
+// fetch scrapes the coordinator's federated exposition, falling back to the
+// single-instance /metrics when the cluster plane is not mounted.
+func fetch(addr string) (frame, bool, error) {
+	federated := true
+	resp, err := http.Get("http://" + addr + cluster.PathClusterMetrics)
+	if err != nil {
+		return frame{}, false, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		resp.Body.Close()
+		federated = false
+		if resp, err = http.Get("http://" + addr + collector.PathMetrics); err != nil {
+			return frame{}, false, err
+		}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return frame{}, federated, fmt.Errorf("scrape: %s", resp.Status)
+	}
+	ss, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return frame{}, federated, err
+	}
+	f := frame{
+		at:        time.Now(),
+		accepted:  ss.Sum("ingest_records_total", nil),
+		dropped:   ss.Sum("ingest_dropped_records_total", nil),
+		shed:      ss.Sum("collector_shed_total", nil),
+		forwarded: ss.Sum("cluster_misrouted_records_total", nil),
+		acks:      ss.Sum("ingest_ack_latency_seconds_count", nil),
+	}
+	f.ackBounds, f.ackCum = ss.BucketCounts("ingest_ack_latency_seconds", nil)
+	f.fsBounds, f.fsCum = ss.BucketCounts("wal_fsync_duration_seconds", nil)
+	f.instances = instanceRows(ss, federated, addr)
+	return f, federated, nil
+}
+
+// instanceRows recovers the per-instance view from the merged exposition:
+// gauges keep their origin as an instance label, so the fleet's membership
+// and each member's queue depth and shed state fall out of one scrape.
+func instanceRows(ss obs.Samples, federated bool, addr string) []instanceRow {
+	rows := map[string]*instanceRow{}
+	row := func(s obs.Sample) *instanceRow {
+		name := s.Labels["instance"]
+		if !federated || name == "" {
+			name = addr
+		}
+		r, ok := rows[name]
+		if !ok {
+			r = &instanceRow{name: name}
+			rows[name] = r
+		}
+		return r
+	}
+	for _, s := range ss {
+		switch s.Name {
+		case "collector_shard_queue_depth":
+			row(s).queue += s.Value
+		case "collector_shed_state":
+			row(s).shed = int(s.Value)
+		case "collector_ready":
+			row(s).ready = s.Value == 1
+		}
+	}
+	out := make([]instanceRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// ringVersions asks every discovered instance for its ring version. The
+// version is an opaque digest string — comparing it as anything narrower
+// (a float gauge, say) would destroy exactly the bits skew hides in.
+func ringVersions(instances []instanceRow) map[string]string {
+	out := make(map[string]string, len(instances))
+	for _, inst := range instances {
+		client := http.Client{Timeout: 2 * time.Second}
+		resp, err := client.Get("http://" + inst.name + cluster.PathClusterRing)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil {
+				resp.Body.Close()
+			}
+			out[inst.name] = "?"
+			continue
+		}
+		var ring cluster.RingReply
+		err = json.NewDecoder(resp.Body).Decode(&ring)
+		resp.Body.Close()
+		if err != nil {
+			out[inst.name] = "?"
+			continue
+		}
+		out[inst.name] = ring.Version
+	}
+	return out
+}
+
+func draw(addr string, federated bool, prev, cur frame, clear bool) {
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		dt = 1
+	}
+	dAcc := clamp(cur.accepted - prev.accepted)
+	dDrop := clamp(cur.dropped - prev.dropped)
+	dShed := clamp(cur.shed - prev.shed)
+	dFwd := clamp(cur.forwarded - prev.forwarded)
+
+	dropPct, shedPct := 0.0, 0.0
+	if seen := dAcc + dDrop; seen > 0 {
+		dropPct = 100 * dDrop / seen
+	}
+	if offered := dAcc + dShed; offered > 0 {
+		shedPct = 100 * dShed / offered
+	}
+	ackP99 := intervalP99(cur.ackBounds, cur.ackCum, prev.ackCum)
+	fsP99 := intervalP99(cur.fsBounds, cur.fsCum, prev.fsCum)
+
+	if clear {
+		fmt.Print("\x1b[2J\x1b[H")
+	}
+	mode := "federated /cluster/metrics"
+	if !federated {
+		mode = "single-instance /metrics"
+	}
+	fmt.Printf("slvtop — %d instance(s) via %s (%s) at %s\n\n",
+		len(cur.instances), addr, mode, cur.at.Format("15:04:05"))
+	fmt.Printf("cluster  %9.0f rec/s   drop %6.3f%%   shed %6.3f%%   fwd %7.0f/s\n",
+		dAcc/dt, dropPct, shedPct, dFwd/dt)
+	fmt.Printf("         ack p99 %s   fsync p99 %s\n\n", ms(ackP99), ms(fsP99))
+
+	versions := map[string]string{}
+	if federated {
+		versions = ringVersions(cur.instances)
+	}
+	fmt.Printf("%-24s %8s %-12s %-6s %s\n", "instance", "queue", "shed", "ready", "ring")
+	for _, inst := range cur.instances {
+		fmt.Printf("%-24s %8.0f %-12s %-6v %s\n",
+			inst.name, inst.queue, shedStateName(inst.shed), inst.ready, short(versions[inst.name]))
+	}
+	if federated {
+		if distinct := distinctVersions(versions); distinct > 1 {
+			fmt.Printf("\nRING SKEW: %d distinct versions across %d instances\n", distinct, len(versions))
+		} else if len(versions) > 0 {
+			fmt.Printf("\nring converged\n")
+		}
+	}
+}
+
+func clamp(d float64) float64 {
+	// A negative merged delta means some peer restarted and its counters
+	// reset; the interval's true delta is unknowable, so show zero rather
+	// than garbage.
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func intervalP99(bounds []float64, cum, prevCum []uint64) float64 {
+	if len(cum) != len(prevCum) {
+		return math.NaN()
+	}
+	d := obs.SubCounts(bounds, cum, prevCum)
+	if len(d) == 0 || d[len(d)-1] == 0 {
+		return math.NaN()
+	}
+	return obs.HistogramQuantile(0.99, bounds, d)
+}
+
+func shedStateName(st int) string {
+	switch st {
+	case 1:
+		return "queue_depth"
+	case 2:
+		return "ack_latency"
+	default:
+		return "admit"
+	}
+}
+
+func ms(v float64) string {
+	if math.IsNaN(v) {
+		return "     —"
+	}
+	return fmt.Sprintf("%5.2fms", v*1e3)
+}
+
+func short(v string) string {
+	if len(v) > 12 {
+		return v[:12]
+	}
+	return v
+}
+
+func distinctVersions(versions map[string]string) int {
+	set := map[string]bool{}
+	for _, v := range versions {
+		if v != "?" {
+			set[v] = true
+		}
+	}
+	return len(set)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slvtop:", err)
+	os.Exit(1)
+}

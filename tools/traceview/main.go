@@ -107,6 +107,12 @@ func render(tr trace.Trace, width int, withEvents bool) {
 	for _, sd := range tr.Spans {
 		indent := strings.Repeat("  ", depths[sd.SpanID])
 		label := fmt.Sprintf("%s%s", indent, sd.Name)
+		// Cross-process captures (GET /cluster/traces/{id}) tag each span
+		// with its origin; prefix it so the hop between instances is
+		// visible in the waterfall.
+		if inst := attr(sd, "instance"); inst != "" {
+			label = fmt.Sprintf("%s[%s] %s", indent, inst, sd.Name)
+		}
 		mark := " "
 		if sd.Error != "" {
 			mark = "!"
@@ -131,6 +137,16 @@ func render(tr trace.Trace, width int, withEvents bool) {
 		}
 	}
 	fmt.Println()
+}
+
+// attr returns a span attribute by key ("" when absent).
+func attr(sd trace.SpanData, key string) string {
+	for _, a := range sd.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
 }
 
 // bar renders a span's time range as a fixed-width strip aligned to the
