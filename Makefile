@@ -3,7 +3,7 @@ GO ?= go
 # Each fuzz target gets this much wall time under `make fuzz`.
 FUZZTIME ?= 30s
 
-.PHONY: build test check fuzz bench bench-trace bench-sim bench-cluster bench-e2e bench-obsplane
+.PHONY: build test check fuzz bench bench-trace bench-sim bench-cluster bench-e2e bench-obsplane bench-tsdb
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ check: build
 	$(GO) vet ./...
 	$(GO) test -race ./internal/trace/...
 	$(GO) test -race -run 'TestShedOverloadKeepsSampledTraffic' ./internal/collector/
+	$(GO) test -race -run 'TestAlertFiresUnderOverload' ./internal/collector/
 	$(GO) test -race -timeout 30m ./...
 	$(GO) test -run '^$$' -bench 'Benchmark(ConstellationVisibility|ConstellationVisibilityBrute|VisibleFromPruned|ServingSelection|Table1|ClusterIngest1|ClusterIngest3|E2EIngestCSV|E2EIngestBatch)$$' -benchtime 1x -short .
 	$(GO) run ./cmd/campaign -smoke
@@ -38,6 +39,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalBatch -fuzztime=$(FUZZTIME) ./internal/dataset/
 	$(GO) test -run=^$$ -fuzz=FuzzReplayBatchFrame -fuzztime=$(FUZZTIME) ./internal/collector/
 	$(GO) test -run=^$$ -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME) ./internal/tle/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeBlock -fuzztime=$(FUZZTIME) ./internal/tsdb/
 
 # Benchmark pass: run the collector/WAL benchmarks and write the results
 # as a machine-readable artifact. BENCH_collector.json is the baseline the
@@ -106,3 +108,19 @@ bench-obsplane:
 	$(GO) run ./tools/benchjson < bench-obsplane.out > BENCH_obsplane.json
 	@rm -f bench-obsplane.out
 	@echo "wrote BENCH_obsplane.json"
+
+# Embedded-tsdb pass. Two budgets live in BENCH_tsdb.json:
+#   - tsdb-scrape-vs-ingest-record: one self-scrape tick, amortized over the
+#     100k records a collector ingests per nominal 1s scrape interval
+#     (BenchmarkTSDBScrapeAmortized), divided by one ingested record's ns/op
+#     (candidate_ns_op / base_ns_op) must stay <= 0.01.
+#   - BenchmarkTSDBCompress's bytes/sample metric must stay <= 2 on the
+#     steady-counter workload (vs 16 bytes naive); the benchmark itself
+#     fails if the budget is blown.
+# BenchmarkTSDBAppend and BenchmarkTSDBRangeQuery pin the store's append
+# hot path and a dashboard-shaped 5-minute rate() query latency.
+bench-tsdb:
+	$(GO) test -run '^$$' -bench 'Benchmark(CollectorIngest|TSDBAppend|TSDBCompress|TSDBRangeQuery|TSDBScrapeAmortized)$$' -benchmem -benchtime $(BENCHTIME) . | tee bench-tsdb.out
+	$(GO) run ./tools/benchjson < bench-tsdb.out > BENCH_tsdb.json
+	@rm -f bench-tsdb.out
+	@echo "wrote BENCH_tsdb.json"

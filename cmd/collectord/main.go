@@ -32,6 +32,14 @@
 // beside the server (-compact-interval) or as a one-shot offline pass
 // (-compact).
 //
+// Embedded tsdb: with -tsdb-scrape-interval set, the process self-scrapes
+// its own registry (or, with -tsdb-federated on a clustered instance, the
+// merged /cluster/metrics view) into an in-memory compressed time-series
+// store with bounded retention, served at GET /tsdb/query (instant, range,
+// rate, quantile-over-time). -alert-rules loads declarative SLO rules —
+// thresholds and multi-window burn rates — evaluated every scrape tick
+// with a pending/firing state machine, served at GET /alerts.
+//
 // Usage:
 //
 //	collectord [-addr 127.0.0.1:8787] [-shards 4] [-queue 1024]
@@ -41,6 +49,8 @@
 //	           [-peers HOST:PORT,...] [-advertise HOST:PORT] [-vnodes 128]
 //	           [-health-interval 5s]
 //	           [-compact-dir DIR] [-compact-interval 0]
+//	           [-tsdb-scrape-interval 1s] [-tsdb-retention 15m]
+//	           [-tsdb-federated] [-alert-rules rules.json]
 //	collectord -wal-dump -wal-dir DIR   # dump the log as dataset rows
 //	collectord -compact -wal-dir DIR -compact-dir OUT   # compact and exit
 package main
@@ -65,6 +75,7 @@ import (
 	"starlinkview/internal/dataset"
 	"starlinkview/internal/obs"
 	"starlinkview/internal/trace"
+	"starlinkview/internal/tsdb"
 	"starlinkview/internal/wal"
 )
 
@@ -91,6 +102,11 @@ func main() {
 		shedQueuePct = flag.Float64("shed-queue-pct", 0, "shed unsampled ingest when any shard queue fills past this fraction (0 = off)")
 		shedAckP99   = flag.Duration("shed-ack-p99", 0, "shed unsampled ingest when the interval ack-latency p99 exceeds this (0 = off)")
 		shedEvalIval = flag.Duration("shed-eval-interval", 25*time.Millisecond, "admission controller evaluation interval")
+
+		tsdbIval      = flag.Duration("tsdb-scrape-interval", 0, "embedded tsdb self-scrape interval (0 = tsdb off)")
+		tsdbRetention = flag.Duration("tsdb-retention", 15*time.Minute, "embedded tsdb fine-tier retention (coarse tier keeps 10x longer)")
+		tsdbFederated = flag.Bool("tsdb-federated", false, "scrape the federated /cluster/metrics merge instead of the local registry (needs -peers)")
+		alertRules    = flag.String("alert-rules", "", "JSON SLO alert rules file evaluated each tsdb scrape tick")
 
 		peers      = flag.String("peers", "", "comma-separated advertise addresses of the other cluster instances")
 		advertise  = flag.String("advertise", "", "address peers reach this instance on (default: the bound listen address)")
@@ -215,6 +231,42 @@ func main() {
 			len(node.Membership().Members()), self, *vnodes, *healthIval, cluster.PathClusterSnapshot)
 	}
 
+	var db *tsdb.DB
+	if *tsdbIval > 0 {
+		var rules []tsdb.Rule
+		if *alertRules != "" {
+			if rules, err = tsdb.LoadRules(*alertRules); err != nil {
+				fatal(err)
+			}
+		}
+		source := tsdb.RegistrySource(reg)
+		mode := "local registry"
+		if *tsdbFederated {
+			if node == nil {
+				fatal(fmt.Errorf("-tsdb-federated needs -peers"))
+			}
+			source = node.MetricsSource()
+			mode = "federated /cluster/metrics"
+		}
+		db, err = tsdb.Open(tsdb.Config{
+			Store:          tsdb.StoreConfig{Retention: *tsdbRetention},
+			Source:         source,
+			ScrapeInterval: *tsdbIval,
+			Registry:       reg,
+			Rules:          rules,
+			Tracer:         tracer,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv.Handle(tsdb.PathQuery, db.QueryHandler())
+		srv.Handle(tsdb.PathAlerts, db.AlertsHandler())
+		fmt.Printf("collectord: tsdb scraping %s every %v (retention %v, %d alert rules): GET %s, GET %s\n",
+			mode, *tsdbIval, *tsdbRetention, len(rules), tsdb.PathQuery, tsdb.PathAlerts)
+	} else if *alertRules != "" || *tsdbFederated {
+		fatal(fmt.Errorf("-alert-rules/-tsdb-federated need -tsdb-scrape-interval > 0"))
+	}
+
 	stopCompact := make(chan struct{})
 	compactDone := make(chan struct{})
 	if *compactIval > 0 {
@@ -250,6 +302,9 @@ func main() {
 	fmt.Println("collectord: draining...")
 	close(stopCompact)
 	<-compactDone
+	if db != nil {
+		db.Close()
+	}
 	if node != nil {
 		node.Close()
 	}

@@ -548,9 +548,13 @@ func scrapeLoop(targets []string, interval, duration time.Duration) error {
 			fsyncPerBatch = dFsync / dAcks
 		}
 		p50, p99 := math.NaN(), math.NaN()
-		if delta != nil {
-			p50 = obs.HistogramQuantile(0.50, bounds, delta)
-			p99 = obs.HistogramQuantile(0.99, bounds, delta)
+		// delta is already the summed per-peer interval vector, so the
+		// quantile helper runs in its nil-prev (pre-subtracted) form.
+		if v, ok := obs.QuantileFromBucketDeltas(0.50, bounds, delta, nil); ok {
+			p50 = v
+		}
+		if v, ok := obs.QuantileFromBucketDeltas(0.99, bounds, delta, nil); ok {
+			p99 = v
 		}
 		fmt.Printf("%8.0f %8.1f %8.3f%% %11.2f %7.0f %9.2fms %9.2fms\n",
 			dAcc/dt, dAcks/dt, dropPct, fsyncPerBatch, queue, p50*1e3, p99*1e3)

@@ -114,6 +114,26 @@ func (n *Node) MergedMetrics(parent *trace.Span) (*obs.MergedExposition, error) 
 	return merged, nil
 }
 
+// MetricsSource adapts the federated merge into a tsdb scrape source: a
+// coordinator's embedded store then retains cluster-wide series, not just
+// its own. Each call fans out to the live membership (untraced — the
+// scrape tick is periodic background work, not a request) and renders the
+// merged exposition into a reused buffer.
+func (n *Node) MetricsSource() func() ([]byte, error) {
+	var buf bytes.Buffer
+	return func() ([]byte, error) {
+		merged, err := n.MergedMetrics(nil)
+		if err != nil {
+			return nil, err
+		}
+		buf.Reset()
+		if err := merged.WriteText(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+}
+
 // fetchMetrics scrapes one peer's /metrics exposition.
 func (n *Node) fetchMetrics(addr string, parent *trace.Span) (e *obs.ScrapedExposition, err error) {
 	if n.cfg.Tracer != nil && parent != nil {

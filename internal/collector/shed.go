@@ -185,8 +185,9 @@ func (s *shedder) maxQueueFill() float64 {
 }
 
 // intervalAckP99 estimates the ack-latency p99 over the last tick by
-// cumulative bucket subtraction. ok is false until two ticks have passed
-// or when the interval saw no acks (a quiet collector is not overloaded).
+// cumulative bucket subtraction (obs.QuantileFromBucketDeltas). ok is false
+// until two ticks have passed or when the interval saw no acks (a quiet
+// collector is not overloaded).
 func (s *shedder) intervalAckP99() (float64, bool) {
 	bounds, cum := s.agg.met.ackLatency.Buckets()
 	prevBounds, prevCum := s.prevBounds, s.prevCum
@@ -194,11 +195,7 @@ func (s *shedder) intervalAckP99() (float64, bool) {
 	if len(prevBounds) != len(bounds) {
 		return 0, false
 	}
-	delta := obs.SubCounts(bounds, cum, prevCum)
-	if len(delta) == 0 || delta[len(delta)-1] == 0 {
-		return 0, false
-	}
-	return obs.HistogramQuantile(0.99, bounds, delta), true
+	return obs.QuantileFromBucketDeltas(0.99, bounds, cum, prevCum)
 }
 
 func (s *shedder) close() {

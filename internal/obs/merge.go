@@ -273,9 +273,9 @@ func mergeGauges(mf *MergedFamily, srcs []srcFamily) error {
 
 // mergedHist accumulates one histogram child across instances.
 type mergedHist struct {
-	key     string             // canonical child label block, le excluded
-	buckets map[string]uint64  // le string -> summed cumulative count
-	bySig   map[string]bool    // per-instance bucket-grid signatures
+	key     string            // canonical child label block, le excluded
+	buckets map[string]uint64 // le string -> summed cumulative count
+	bySig   map[string]bool   // per-instance bucket-grid signatures
 	sum     float64
 	count   uint64
 }

@@ -209,6 +209,26 @@ func HistogramQuantile(q float64, bounds []float64, cum []uint64) float64 {
 	return bucketQuantile(q, bounds, cum)
 }
 
+// QuantileFromBucketDeltas estimates the q-quantile of the observations a
+// histogram recorded between two scrapes: the cumulative bucket vectors are
+// subtracted (SubCounts) and the interval delta interpolated like PromQL's
+// histogram_quantile. A nil prev treats now as an already-computed delta
+// vector (callers that sum deltas across instances before quantiling). ok
+// is false when the bounds mismatch, a counter reset made the delta
+// unusable, or the interval saw no observations — every consumer of
+// interval quantiles (the shed controller, loadgen -scrape, slvtop, the
+// tsdb query engine) shares this one recovery path.
+func QuantileFromBucketDeltas(q float64, bounds []float64, now, prev []uint64) (float64, bool) {
+	delta := now
+	if prev != nil {
+		delta = SubCounts(bounds, now, prev)
+	}
+	if len(delta) == 0 || len(delta) != len(bounds) || delta[len(delta)-1] == 0 {
+		return 0, false
+	}
+	return HistogramQuantile(q, bounds, delta), true
+}
+
 // SubCounts subtracts an earlier scrape's cumulative buckets from a later
 // one, for interval quantiles (loadgen's -scrape deltas). The bounds must
 // match; mismatches return nil.

@@ -29,6 +29,12 @@ func RegisterRuntime(r *Registry) {
 		"Cumulative GC stop-the-world pause time.")
 	gcLastPause := r.Gauge("go_memstats_gc_last_pause_seconds",
 		"Duration of the most recent GC stop-the-world pause.")
+	// Uptime anchors rate windows: a tsdb range query older than the
+	// process is answering for a previous incarnation, and a counter that
+	// "reset" did so at most uptime ago.
+	start := time.Now()
+	uptime := r.Gauge("process_uptime_seconds",
+		"Seconds since this process registered its runtime metrics.")
 	// Concurrent scrapes both run the hook; the mutex keeps the delta
 	// bookkeeping consistent.
 	var mu sync.Mutex
@@ -39,6 +45,7 @@ func RegisterRuntime(r *Registry) {
 		defer mu.Unlock()
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
+		uptime.Set(time.Since(start).Seconds())
 		goroutines.Set(float64(runtime.NumGoroutine()))
 		heapAlloc.Set(float64(ms.HeapAlloc))
 		heapSys.Set(float64(ms.HeapSys))

@@ -1,0 +1,185 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HTTP endpoints, mounted by the host (collectord wires them through
+// collector.Server.Handle so they share the server's instrumentation):
+//
+//	GET /tsdb/query?metric=NAME[&fn=raw|instant|rate|increase|rate_series|quantile]
+//	               [&q=0.99][&match=k:v,k2:v2][&from=-30s][&to=now|-5s|RFC3339|unixms]
+//	GET /alerts
+//
+// from/to accept negative Go durations (relative to now), "now", RFC3339
+// timestamps, or raw unix milliseconds; from defaults to -5m, to to now.
+
+// PathQuery and PathAlerts are the endpoints' mount points.
+const (
+	PathQuery  = "/tsdb/query"
+	PathAlerts = "/alerts"
+)
+
+// QueryReply is the /tsdb/query response envelope.
+type QueryReply struct {
+	Metric string `json:"metric"`
+	Fn     string `json:"fn"`
+	FromMs int64  `json:"from_ms"`
+	ToMs   int64  `json:"to_ms"`
+	// Value carries scalar results (instant, rate, increase, quantile).
+	Value *float64 `json:"value,omitempty"`
+	// Series carries vector results (raw, and rate_series as one series).
+	Series []SeriesPoints `json:"series,omitempty"`
+}
+
+// AlertsReply is the /alerts response envelope.
+type AlertsReply struct {
+	AtMs   int64        `json:"at_ms"`
+	Alerts []AlertState `json:"alerts"`
+}
+
+// QueryHandler serves GET /tsdb/query against the DB's store.
+func (db *DB) QueryHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		reply, err := db.query(r)
+		if err != nil {
+			var qe queryError
+			if errors.As(err, &qe) {
+				http.Error(w, qe.Error(), http.StatusBadRequest)
+			} else {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		writeJSON(w, reply)
+	}
+}
+
+// AlertsHandler serves GET /alerts.
+func (db *DB) AlertsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, AlertsReply{AtMs: time.Now().UnixMilli(), Alerts: db.Alerts()})
+	}
+}
+
+func (db *DB) query(r *http.Request) (QueryReply, error) {
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		return QueryReply{}, badQuery("metric is required (known names: %s)",
+			strings.Join(db.store.Names(), " "))
+	}
+	fn := q.Get("fn")
+	if fn == "" {
+		fn = "raw"
+	}
+	now := time.Now()
+	fromMs, err := parseTime(q.Get("from"), now, now.Add(-5*time.Minute))
+	if err != nil {
+		return QueryReply{}, badQuery("bad from: %v", err)
+	}
+	toMs, err := parseTime(q.Get("to"), now, now)
+	if err != nil {
+		return QueryReply{}, badQuery("bad to: %v", err)
+	}
+	if toMs < fromMs {
+		return QueryReply{}, badQuery("to precedes from")
+	}
+	match, err := parseMatch(q.Get("match"))
+	if err != nil {
+		return QueryReply{}, err
+	}
+
+	reply := QueryReply{Metric: metric, Fn: fn, FromMs: fromMs, ToMs: toMs}
+	scalar := func(v float64, ok bool) {
+		if ok {
+			reply.Value = &v
+		}
+	}
+	switch fn {
+	case "raw":
+		reply.Series = db.store.Select(metric, match, fromMs, toMs)
+	case "instant":
+		scalar(db.store.Instant(metric, match, toMs, toMs-fromMs))
+	case "rate":
+		scalar(db.store.Rate(metric, match, fromMs, toMs))
+	case "increase":
+		scalar(db.store.Increase(metric, match, fromMs, toMs))
+	case "rate_series":
+		if pts := db.store.RateSeries(metric, match, fromMs, toMs); len(pts) > 0 {
+			reply.Series = []SeriesPoints{{Name: metric + ":rate", Samples: pts}}
+		}
+	case "quantile":
+		qv := 0.99
+		if s := q.Get("q"); s != "" {
+			if qv, err = strconv.ParseFloat(s, 64); err != nil || qv <= 0 || qv >= 1 {
+				return QueryReply{}, badQuery("q must be a float in (0,1)")
+			}
+		}
+		scalar(db.store.QuantileOverTime(qv, metric, match, fromMs, toMs))
+	default:
+		return QueryReply{}, badQuery("unknown fn %q (raw instant rate increase rate_series quantile)", fn)
+	}
+	return reply, nil
+}
+
+// parseTime resolves one from/to parameter: "", "now", a negative Go
+// duration relative to now, RFC3339, or unix milliseconds.
+func parseTime(s string, now time.Time, def time.Time) (int64, error) {
+	switch {
+	case s == "":
+		return def.UnixMilli(), nil
+	case s == "now":
+		return now.UnixMilli(), nil
+	case s[0] == '-':
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0, err
+		}
+		return now.Add(d).UnixMilli(), nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t.UnixMilli(), nil
+	}
+	ms, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, errors.New("want now, -duration, RFC3339 or unix ms")
+	}
+	return ms, nil
+}
+
+// parseMatch parses "k:v,k2:v2" label constraints.
+func parseMatch(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(pair, ":")
+		if !ok || k == "" {
+			return nil, badQuery("bad match %q: want k:v,k2:v2", s)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,209 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"starlinkview/internal/obs"
+)
+
+// Query functions over the store. All rate math is PromQL-shaped: counters
+// may reset (a peer restarts), and a reset is detected as a value drop —
+// the post-reset value is the increase since the reset, so the true
+// increase over a window is the sum of per-adjacent-pair increases with
+// drops counted from zero.
+
+// increase returns the counter increase across the samples, handling
+// resets. ok is false with fewer than two samples.
+func increase(samples []Sample) (float64, bool) {
+	if len(samples) < 2 {
+		return 0, false
+	}
+	var total float64
+	prev := samples[0].V
+	for _, s := range samples[1:] {
+		if s.V < prev {
+			total += s.V // reset: the counter restarted from zero
+		} else {
+			total += s.V - prev
+		}
+		prev = s.V
+	}
+	return total, true
+}
+
+// rate is increase divided by the sampled window in seconds.
+func rate(samples []Sample) (float64, bool) {
+	inc, ok := increase(samples)
+	if !ok {
+		return 0, false
+	}
+	dtMs := samples[len(samples)-1].TMs - samples[0].TMs
+	if dtMs <= 0 {
+		return 0, false
+	}
+	return inc / (float64(dtMs) / 1e3), true
+}
+
+// Instant returns the most recent value at or before atMs across the
+// matched series, summed (the natural reading for counters and additive
+// gauges). Staleness: samples older than stalenessMs before atMs are
+// ignored; ok is false when nothing fresh matches.
+func (st *Store) Instant(name string, match map[string]string, atMs, stalenessMs int64) (float64, bool) {
+	series := st.Select(name, match, atMs-stalenessMs, atMs)
+	var sum float64
+	found := false
+	for _, sp := range series {
+		if n := len(sp.Samples); n > 0 {
+			sum += sp.Samples[n-1].V
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// Rate computes the summed per-second rate of the matched counter series
+// over [fromMs,toMs]. Each series' rate is computed independently (resets
+// are per-instance) and the rates added.
+func (st *Store) Rate(name string, match map[string]string, fromMs, toMs int64) (float64, bool) {
+	series := st.Select(name, match, fromMs, toMs)
+	var sum float64
+	found := false
+	for _, sp := range series {
+		if r, ok := rate(sp.Samples); ok {
+			sum += r
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// Increase is Rate's un-normalized sibling: total counter increase over
+// the window, summed across matched series.
+func (st *Store) Increase(name string, match map[string]string, fromMs, toMs int64) (float64, bool) {
+	series := st.Select(name, match, fromMs, toMs)
+	var sum float64
+	found := false
+	for _, sp := range series {
+		if inc, ok := increase(sp.Samples); ok {
+			sum += inc
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// RateSeries converts the matched counters into one per-scrape-step rate
+// series: samples sharing a scrape tick are summed, adjacent ticks
+// differenced (resets clamp to zero), each step divided by its own dt.
+// This is what a dashboard sparkline wants — one rate point per tick.
+func (st *Store) RateSeries(name string, match map[string]string, fromMs, toMs int64) []Sample {
+	series := st.Select(name, match, fromMs, toMs)
+	// Sum values per timestamp. Every series from one scraper shares the
+	// tick timestamp, so the map stays small and dense.
+	byT := map[int64]float64{}
+	for _, sp := range series {
+		// Per-series reset correction first: rebuild each series as a
+		// monotone cumulative sum so a single peer's restart doesn't show
+		// up as a negative fleet-wide step.
+		var adj, prev float64
+		for i, s := range sp.Samples {
+			if i == 0 {
+				adj = 0
+			} else if s.V < prev {
+				adj += s.V
+			} else {
+				adj += s.V - prev
+			}
+			prev = s.V
+			byT[s.TMs] += adj
+		}
+	}
+	if len(byT) < 2 {
+		return nil
+	}
+	ts := make([]int64, 0, len(byT))
+	for t := range byT {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := make([]Sample, 0, len(ts)-1)
+	for i := 1; i < len(ts); i++ {
+		dt := float64(ts[i]-ts[i-1]) / 1e3
+		if dt <= 0 {
+			continue
+		}
+		d := byT[ts[i]] - byT[ts[i-1]]
+		if d < 0 {
+			d = 0
+		}
+		out = append(out, Sample{TMs: ts[i], V: d / dt})
+	}
+	return out
+}
+
+// QuantileOverTime estimates the q-quantile of a histogram's observations
+// inside [fromMs,toMs]: per-le bucket series are selected for
+// name+"_bucket", each le's increase over the window computed
+// (reset-aware), and the resulting interval delta vector interpolated via
+// the shared obs helper.
+func (st *Store) QuantileOverTime(q float64, name string, match map[string]string, fromMs, toMs int64) (float64, bool) {
+	series := st.Select(name+"_bucket", match, fromMs, toMs)
+	byLe := map[float64]float64{}
+	for _, sp := range series {
+		le, err := strconv.ParseFloat(sp.Labels["le"], 64)
+		if err != nil {
+			if sp.Labels["le"] == "+Inf" {
+				le = math.Inf(1)
+			} else {
+				continue
+			}
+		}
+		if inc, ok := increase(sp.Samples); ok {
+			byLe[le] += inc
+		}
+	}
+	if len(byLe) == 0 {
+		return 0, false
+	}
+	bounds := make([]float64, 0, len(byLe))
+	for le := range byLe {
+		bounds = append(bounds, le)
+	}
+	sort.Float64s(bounds)
+	delta := make([]uint64, len(bounds))
+	for i, le := range bounds {
+		if byLe[le] > 0 {
+			delta[i] = uint64(byLe[le] + 0.5)
+		}
+	}
+	return obs.QuantileFromBucketDeltas(q, bounds, delta, nil)
+}
+
+// Names returns every distinct series name in the fine tier, sorted — the
+// query endpoint's discovery aid.
+func (st *Store) Names() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	set := map[string]bool{}
+	for _, sr := range st.fine {
+		set[sr.name] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// queryError marks client-side (HTTP 400) query problems.
+type queryError struct{ msg string }
+
+func (e queryError) Error() string { return e.msg }
+
+func badQuery(format string, args ...any) error {
+	return queryError{msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,427 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"starlinkview/internal/obs"
+	"starlinkview/internal/trace"
+)
+
+// SLO alerting. Two rule kinds:
+//
+//   - threshold: a query (instant value, windowed rate, or windowed
+//     histogram quantile) compared against a bound, firing after holding
+//     For long.
+//   - burn_rate: the multiwindow SRE-workbook form. The error ratio
+//     bad/total is measured as rates over a short AND a long window and
+//     divided by the SLO's error budget (1-Objective); the alert goes
+//     pending only while BOTH windows burn at >= Factor times budget.
+//     The long window keeps one spike from paging; the short window
+//     makes the page resolve quickly once the burn stops.
+//
+// State machine, evaluated every scrape tick:
+//
+//	inactive --(condition true)--------------------> pending
+//	pending --(held for For)------------------------> firing
+//	pending --(condition false)---------------------> inactive
+//	firing --(below resolve level for KeepFiringFor)-> inactive
+//
+// Hysteresis: firing resolves only once the measured value stays below
+// ResolveRatio times the trigger level for KeepFiringFor — an alert that
+// flaps at the threshold stays firing, which is what an operator wants
+// from a page.
+
+// Rule kinds.
+const (
+	KindThreshold = "threshold"
+	KindBurnRate  = "burn_rate"
+)
+
+// Alert lifecycle states.
+const (
+	StateInactive = "inactive"
+	StatePending  = "pending"
+	StateFiring   = "firing"
+)
+
+// Rule is one declarative alert. JSON tags match the -alert-rules file
+// format; durations are Go duration strings ("5m", "30s").
+type Rule struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // threshold | burn_rate
+
+	// Threshold rules.
+	Metric string            `json:"metric,omitempty"`
+	Match  map[string]string `json:"match,omitempty"`
+	Fn     string            `json:"fn,omitempty"` // value | rate | quantile
+	Q      float64           `json:"q,omitempty"`  // quantile for fn=quantile
+	Window Duration          `json:"window,omitempty"`
+	Op     string            `json:"op,omitempty"` // ">" (default) | "<"
+	Bound  float64           `json:"bound"`
+
+	// Burn-rate rules.
+	BadMetric   string            `json:"bad_metric,omitempty"`
+	BadMatch    map[string]string `json:"bad_match,omitempty"`
+	TotalMetric string            `json:"total_metric,omitempty"`
+	TotalMatch  map[string]string `json:"total_match,omitempty"`
+	Objective   float64           `json:"objective,omitempty"` // e.g. 0.999
+	Factor      float64           `json:"factor,omitempty"`    // burn multiple, e.g. 14.4
+	ShortWindow Duration          `json:"short_window,omitempty"`
+	LongWindow  Duration          `json:"long_window,omitempty"`
+
+	// State machine tuning.
+	For           Duration `json:"for,omitempty"`             // pending hold before firing
+	KeepFiringFor Duration `json:"keep_firing_for,omitempty"` // hysteresis hold before resolving
+	ResolveRatio  float64  `json:"resolve_ratio,omitempty"`   // resolve below Bound*this (default 1)
+}
+
+// Duration is a time.Duration that (un)marshals as a Go duration string.
+type Duration time.Duration
+
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+func (r *Rule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("tsdb: rule without a name")
+	}
+	switch r.Kind {
+	case KindThreshold:
+		if r.Metric == "" {
+			return fmt.Errorf("tsdb: rule %s: threshold needs metric", r.Name)
+		}
+		switch r.Fn {
+		case "", "value", "rate", "quantile":
+		default:
+			return fmt.Errorf("tsdb: rule %s: unknown fn %q", r.Name, r.Fn)
+		}
+		if r.Op != "" && r.Op != ">" && r.Op != "<" {
+			return fmt.Errorf("tsdb: rule %s: op must be > or <", r.Name)
+		}
+	case KindBurnRate:
+		if r.BadMetric == "" || r.TotalMetric == "" {
+			return fmt.Errorf("tsdb: rule %s: burn_rate needs bad_metric and total_metric", r.Name)
+		}
+		if r.Objective <= 0 || r.Objective >= 1 {
+			return fmt.Errorf("tsdb: rule %s: objective must be in (0,1)", r.Name)
+		}
+	default:
+		return fmt.Errorf("tsdb: rule %s: unknown kind %q", r.Name, r.Kind)
+	}
+	return nil
+}
+
+func (r *Rule) normalize() {
+	if r.Kind == KindThreshold && r.Fn == "" {
+		r.Fn = "value"
+	}
+	if r.Kind == KindThreshold && r.Op == "" {
+		r.Op = ">"
+	}
+	if r.Window <= 0 {
+		r.Window = Duration(time.Minute)
+	}
+	if r.Kind == KindBurnRate {
+		if r.Factor <= 0 {
+			r.Factor = 1
+		}
+		if r.ShortWindow <= 0 {
+			r.ShortWindow = Duration(5 * time.Minute)
+		}
+		if r.LongWindow <= 0 {
+			r.LongWindow = Duration(time.Hour)
+		}
+	}
+	if r.ResolveRatio <= 0 || r.ResolveRatio > 1 {
+		r.ResolveRatio = 1
+	}
+}
+
+// LoadRules reads a JSON rules file: either a bare array of rules or an
+// object with a "rules" key.
+func LoadRules(path string) ([]Rule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rules []Rule
+	if err := json.Unmarshal(data, &rules); err != nil {
+		var wrapper struct {
+			Rules []Rule `json:"rules"`
+		}
+		if err2 := json.Unmarshal(data, &wrapper); err2 != nil {
+			return nil, fmt.Errorf("tsdb: parse %s: %w", path, err)
+		}
+		rules = wrapper.Rules
+	}
+	for i := range rules {
+		if err := rules[i].validate(); err != nil {
+			return nil, err
+		}
+	}
+	return rules, nil
+}
+
+// AlertState is one rule's externally visible evaluation state, served at
+// GET /alerts.
+type AlertState struct {
+	Rule  string `json:"rule"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	// Value is the last measured signal: the compared value for threshold
+	// rules, the worse (smaller) of the two window burn multiples for
+	// burn-rate rules.
+	Value float64 `json:"value"`
+	// Since is when the current state was entered, unix ms.
+	SinceMs int64 `json:"since_ms"`
+	// Transitions counts lifetime state changes.
+	Transitions int `json:"transitions"`
+}
+
+// ruleState is the engine's per-rule bookkeeping.
+type ruleState struct {
+	rule Rule
+
+	state       string
+	sinceMs     int64
+	lastValue   float64
+	transitions int
+
+	// belowSinceMs tracks how long a firing rule has measured below its
+	// resolve level; zero means "currently above".
+	belowSinceMs int64
+
+	firingGauge *obs.Gauge
+}
+
+type engine struct {
+	mu     sync.Mutex
+	rules  []*ruleState
+	store  *Store
+	tracer *trace.Tracer
+
+	transitionsTotal *obs.Counter
+}
+
+func newEngine(rules []Rule, store *Store, reg *obs.Registry, tracer *trace.Tracer) *engine {
+	e := &engine{store: store, tracer: tracer}
+	var gaugeVec *obs.GaugeVec
+	if reg != nil && len(rules) > 0 {
+		gaugeVec = reg.GaugeVec("alerts_firing",
+			"Whether the alert rule is currently firing (1) or not (0).", "rule")
+		e.transitionsTotal = reg.Counter("alert_transitions_total",
+			"Alert rule state transitions across all rules.")
+	}
+	for _, r := range rules {
+		r.normalize()
+		rs := &ruleState{rule: r, state: StateInactive}
+		if gaugeVec != nil {
+			rs.firingGauge = gaugeVec.With(r.Name)
+		}
+		e.rules = append(e.rules, rs)
+	}
+	return e
+}
+
+// eval runs every rule against the store at now. Called once per scrape
+// tick, after the tick's samples are appended.
+func (e *engine) eval(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	nowMs := now.UnixMilli()
+	for _, rs := range e.rules {
+		value, active, measurable := e.measure(rs.rule, nowMs)
+		rs.lastValue = value
+		e.step(rs, nowMs, active, measurable, value)
+	}
+}
+
+// measure evaluates one rule's condition. active is whether the trigger
+// condition currently holds; measurable is whether the store had enough
+// data to answer at all (an unmeasurable signal never advances a pending
+// alert, and resolves a firing one only through the hysteresis hold).
+func (e *engine) measure(r Rule, nowMs int64) (value float64, active, measurable bool) {
+	switch r.Kind {
+	case KindThreshold:
+		v, ok := e.thresholdValue(r, nowMs)
+		if !ok {
+			return 0, false, false
+		}
+		if r.Op == "<" {
+			return v, v < r.Bound, true
+		}
+		return v, v > r.Bound, true
+	case KindBurnRate:
+		short, ok1 := e.burn(r, nowMs, r.ShortWindow.D())
+		long, ok2 := e.burn(r, nowMs, r.LongWindow.D())
+		if !ok1 || !ok2 {
+			return 0, false, false
+		}
+		// Report the binding constraint: the smaller burn is the one that
+		// must stay >= Factor for the alert to be (or remain) active.
+		v := math.Min(short, long)
+		return v, short >= r.Factor && long >= r.Factor, true
+	}
+	return 0, false, false
+}
+
+func (e *engine) thresholdValue(r Rule, nowMs int64) (float64, bool) {
+	winMs := r.Window.D().Milliseconds()
+	switch r.Fn {
+	case "rate":
+		return e.store.Rate(r.Metric, r.Match, nowMs-winMs, nowMs)
+	case "quantile":
+		return e.store.QuantileOverTime(r.Q, r.Metric, r.Match, nowMs-winMs, nowMs)
+	default: // value
+		return e.store.Instant(r.Metric, r.Match, nowMs, winMs)
+	}
+}
+
+// burn computes the burn-rate multiple over one window: the bad/total
+// rate ratio divided by the error budget. A window with no total traffic
+// is unmeasurable, not zero-burn — silence is not health.
+func (e *engine) burn(r Rule, nowMs int64, window time.Duration) (float64, bool) {
+	fromMs := nowMs - window.Milliseconds()
+	bad, okB := e.store.Increase(r.BadMetric, r.BadMatch, fromMs, nowMs)
+	total, okT := e.store.Increase(r.TotalMetric, r.TotalMatch, fromMs, nowMs)
+	if !okT || total <= 0 {
+		return 0, false
+	}
+	if !okB {
+		bad = 0 // the bad counter may simply not exist yet: zero errors
+	}
+	errRatio := bad / total
+	budget := 1 - r.Objective
+	return errRatio / budget, true
+}
+
+// step advances one rule's state machine.
+func (e *engine) step(rs *ruleState, nowMs int64, active, measurable bool, value float64) {
+	r := rs.rule
+	switch rs.state {
+	case StateInactive:
+		if active {
+			e.transition(rs, StatePending, nowMs, value)
+			// A zero For promotes immediately — re-run the pending logic
+			// on the same tick.
+			if r.For <= 0 {
+				e.transition(rs, StateFiring, nowMs, value)
+			}
+		}
+	case StatePending:
+		switch {
+		case active && nowMs-rs.sinceMs >= r.For.D().Milliseconds():
+			e.transition(rs, StateFiring, nowMs, value)
+		case measurable && !active:
+			// Pending has no hysteresis: the condition lapsed before the
+			// hold elapsed, so nothing ever paged.
+			e.transition(rs, StateInactive, nowMs, value)
+		}
+	case StateFiring:
+		resolved := measurable && !active && belowResolveLevel(r, value)
+		if !measurable {
+			// No data while firing: treat as below (the overload that
+			// paged has likely taken the signal with it) but only resolve
+			// through the full hysteresis hold.
+			resolved = true
+		}
+		if resolved {
+			if rs.belowSinceMs == 0 {
+				rs.belowSinceMs = nowMs
+			}
+			if nowMs-rs.belowSinceMs >= r.KeepFiringFor.D().Milliseconds() {
+				e.transition(rs, StateInactive, nowMs, value)
+			}
+		} else {
+			rs.belowSinceMs = 0
+		}
+	}
+}
+
+// belowResolveLevel applies the hysteresis band: the signal must drop to
+// ResolveRatio times the trigger level, not merely below it.
+func belowResolveLevel(r Rule, value float64) bool {
+	switch r.Kind {
+	case KindBurnRate:
+		return value < r.Factor*r.ResolveRatio
+	default:
+		if r.Op == "<" {
+			// For lower-bound rules the band is above the bound.
+			return value > r.Bound/r.ResolveRatio
+		}
+		return value < r.Bound*r.ResolveRatio
+	}
+}
+
+func (e *engine) transition(rs *ruleState, to string, nowMs int64, value float64) {
+	from := rs.state
+	rs.state = to
+	rs.sinceMs = nowMs
+	rs.belowSinceMs = 0
+	rs.transitions++
+	if e.transitionsTotal != nil {
+		e.transitionsTotal.Inc()
+	}
+	if rs.firingGauge != nil {
+		if to == StateFiring {
+			rs.firingGauge.Set(1)
+		} else {
+			rs.firingGauge.Set(0)
+		}
+	}
+	// Firing and resolving are the operator-visible moments; both get a
+	// forced-sampled root span so the tail sampler always keeps them.
+	if e.tracer != nil && (to == StateFiring || from == StateFiring) {
+		event := "alert.resolved"
+		if to == StateFiring {
+			event = "alert.firing"
+		}
+		span := e.tracer.StartRoot("tsdb.alert", trace.SpanContext{Sampled: true})
+		span.SetAttr("alert.rule", rs.rule.Name)
+		span.SetAttr("alert.kind", rs.rule.Kind)
+		span.SetAttr("alert.transition", from+"->"+to)
+		span.Event(event, trace.Str("value", fmt.Sprintf("%g", value)))
+		span.Finish()
+	}
+}
+
+// states snapshots every rule for the /alerts endpoint, sorted by name.
+func (e *engine) states() []AlertState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]AlertState, 0, len(e.rules))
+	for _, rs := range e.rules {
+		out = append(out, AlertState{
+			Rule:        rs.rule.Name,
+			Kind:        rs.rule.Kind,
+			State:       rs.state,
+			Value:       rs.lastValue,
+			SinceMs:     rs.sinceMs,
+			Transitions: rs.transitions,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })
+	return out
+}

@@ -1,0 +1,238 @@
+package tsdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeSignal drives the state machine directly through engine.step,
+// bypassing the store: each test step is one evaluator tick.
+type tickStep struct {
+	dt         time.Duration // time since the previous step
+	value      float64
+	active     bool
+	measurable bool
+	wantState  string
+}
+
+func runSteps(t *testing.T, rule Rule, steps []tickStep) {
+	t.Helper()
+	rule.normalize()
+	if err := rule.validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(nil, nil, nil, nil)
+	rs := &ruleState{rule: rule, state: StateInactive}
+	now := int64(1_700_000_000_000)
+	for i, s := range steps {
+		now += s.dt.Milliseconds()
+		e.step(rs, now, s.active, s.measurable, s.value)
+		if rs.state != s.wantState {
+			t.Fatalf("step %d (t+%v): state %s, want %s", i, s.dt, rs.state, s.wantState)
+		}
+	}
+}
+
+func TestStateMachinePendingToFiringToResolved(t *testing.T) {
+	rule := Rule{
+		Name: "r", Kind: KindBurnRate,
+		BadMetric: "bad", TotalMetric: "all", Objective: 0.99,
+		Factor:        10,
+		For:           Duration(100 * time.Millisecond),
+		KeepFiringFor: Duration(100 * time.Millisecond),
+	}
+	runSteps(t, rule, []tickStep{
+		// Burn climbs: pending, then firing after For elapses.
+		{0, 15, true, true, StatePending},
+		{50 * time.Millisecond, 15, true, true, StatePending},
+		{60 * time.Millisecond, 15, true, true, StateFiring},
+		// Burn clears, but hysteresis holds firing for KeepFiringFor.
+		{50 * time.Millisecond, 2, false, true, StateFiring},
+		{50 * time.Millisecond, 2, false, true, StateFiring},
+		{60 * time.Millisecond, 2, false, true, StateInactive},
+	})
+}
+
+func TestStateMachinePendingLapsesWithoutFiring(t *testing.T) {
+	rule := Rule{
+		Name: "r", Kind: KindBurnRate,
+		BadMetric: "bad", TotalMetric: "all", Objective: 0.99,
+		Factor: 10, For: Duration(time.Minute),
+	}
+	runSteps(t, rule, []tickStep{
+		{0, 15, true, true, StatePending},
+		// Condition lapses before For: straight back to inactive, no page.
+		{time.Second, 1, false, true, StateInactive},
+		// And it can go pending again.
+		{time.Second, 20, true, true, StatePending},
+	})
+}
+
+func TestStateMachineHysteresisBlocksFlapping(t *testing.T) {
+	rule := Rule{
+		Name: "r", Kind: KindBurnRate,
+		BadMetric: "bad", TotalMetric: "all", Objective: 0.99,
+		Factor:        10,
+		For:           0, // fire immediately
+		KeepFiringFor: Duration(200 * time.Millisecond),
+	}
+	runSteps(t, rule, []tickStep{
+		{0, 15, true, true, StateFiring},
+		// The signal flaps across the threshold; every re-cross resets
+		// the resolve hold, so the alert stays firing throughout.
+		{50 * time.Millisecond, 5, false, true, StateFiring},
+		{50 * time.Millisecond, 15, true, true, StateFiring},
+		{50 * time.Millisecond, 5, false, true, StateFiring},
+		{50 * time.Millisecond, 15, true, true, StateFiring},
+		// Only a sustained quiet period resolves.
+		{50 * time.Millisecond, 5, false, true, StateFiring},
+		{100 * time.Millisecond, 5, false, true, StateFiring},
+		{150 * time.Millisecond, 5, false, true, StateInactive},
+	})
+}
+
+func TestStateMachineResolveRatioBand(t *testing.T) {
+	// ResolveRatio 0.5: firing resolves only below Factor/2, so a burn
+	// hovering just under the trigger stays firing.
+	rule := Rule{
+		Name: "r", Kind: KindBurnRate,
+		BadMetric: "bad", TotalMetric: "all", Objective: 0.99,
+		Factor: 10, ResolveRatio: 0.5,
+	}
+	runSteps(t, rule, []tickStep{
+		{0, 15, true, true, StateFiring},
+		// 8x burn: below the trigger but inside the hysteresis band.
+		{time.Second, 8, false, true, StateFiring},
+		{time.Second, 8, false, true, StateFiring},
+		// 3x burn: below Factor*ResolveRatio=5, resolves (KeepFiringFor 0).
+		{time.Second, 3, false, true, StateInactive},
+	})
+}
+
+func TestStateMachineUnmeasurableSignal(t *testing.T) {
+	rule := Rule{
+		Name: "r", Kind: KindBurnRate,
+		BadMetric: "bad", TotalMetric: "all", Objective: 0.99,
+		Factor: 10, For: Duration(time.Minute),
+		KeepFiringFor: Duration(100 * time.Millisecond),
+	}
+	runSteps(t, rule, []tickStep{
+		{0, 15, true, true, StatePending},
+		// Data vanishes while pending: pending holds (it neither fires
+		// nor resolves on silence).
+		{time.Second, 0, false, false, StatePending},
+		{2 * time.Minute, 15, true, true, StateFiring},
+		// Data vanishes while firing: resolves, but only through the
+		// full hysteresis hold.
+		{time.Second, 0, false, false, StateFiring},
+		{200 * time.Millisecond, 0, false, false, StateInactive},
+	})
+}
+
+func TestThresholdLowerBoundRule(t *testing.T) {
+	// Op "<" rules (e.g. ingest rate collapsed) invert the band: resolve
+	// requires climbing back above Bound/ResolveRatio.
+	rule := Rule{
+		Name: "low-rate", Kind: KindThreshold,
+		Metric: "ingest_records_total", Fn: "rate",
+		Op: "<", Bound: 100,
+	}
+	runSteps(t, rule, []tickStep{
+		{0, 20, true, true, StateFiring},
+		{time.Second, 150, false, true, StateInactive},
+	})
+}
+
+func TestRulesEngineEndToEnd(t *testing.T) {
+	// Full loop against a real store: a burn-rate rule over synthetic
+	// bad/total counters, evaluated tick by tick.
+	store := NewStore(StoreConfig{})
+	rules := []Rule{{
+		Name: "shed-burn", Kind: KindBurnRate,
+		BadMetric: "bad_total", TotalMetric: "all_total",
+		Objective: 0.99, Factor: 5,
+		ShortWindow: Duration(2 * time.Second), LongWindow: Duration(10 * time.Second),
+		For: Duration(2 * time.Second), KeepFiringFor: Duration(2 * time.Second),
+	}}
+	e := newEngine(rules, store, nil, nil)
+
+	now := time.UnixMilli(1_700_000_000_000)
+	bad, all := 0.0, 0.0
+	tick := func(badRate, allRate float64) string {
+		now = now.Add(time.Second)
+		bad += badRate
+		all += allRate
+		store.Append("bad_total", "", now.UnixMilli(), bad)
+		store.Append("all_total", "", now.UnixMilli(), all)
+		e.eval(now)
+		return e.states()[0].State
+	}
+
+	// Healthy: 0.1% errors against a 1% budget = 0.1x burn.
+	for i := 0; i < 12; i++ {
+		if st := tick(1, 1000); st != StateInactive {
+			t.Fatalf("healthy tick %d: %s", i, st)
+		}
+	}
+	// Incident: 20% errors = 20x burn. Burn must exceed 5x in BOTH
+	// windows; the long window dilutes slowly, so pending starts once
+	// the long-window burn crosses too, then fires after For.
+	sawPending, sawFiring := false, false
+	for i := 0; i < 20; i++ {
+		st := tick(200, 1000)
+		sawPending = sawPending || st == StatePending
+		sawFiring = sawFiring || st == StateFiring
+	}
+	if !sawPending || !sawFiring {
+		t.Fatalf("incident: pending=%v firing=%v, want both", sawPending, sawFiring)
+	}
+	// Recovery: errors stop; the short window clears fast, and after the
+	// windows drain plus hysteresis the alert resolves.
+	resolved := false
+	for i := 0; i < 25; i++ {
+		if tick(0, 1000) == StateInactive {
+			resolved = true
+			break
+		}
+	}
+	if !resolved {
+		t.Fatal("alert never resolved after the incident ended")
+	}
+	if got := e.states()[0].Transitions; got < 3 {
+		t.Fatalf("transitions = %d, want >= 3 (inactive->pending->firing->inactive)", got)
+	}
+}
+
+func TestLoadRules(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.json")
+	content := `[
+		{"name": "ack-p99", "kind": "threshold", "metric": "ingest_ack_latency_seconds",
+		 "fn": "quantile", "q": 0.99, "window": "30s", "bound": 0.05, "for": "1m"},
+		{"name": "shed-burn", "kind": "burn_rate",
+		 "bad_metric": "collector_shed_total", "total_metric": "http_requests_total",
+		 "objective": 0.999, "factor": 14.4,
+		 "short_window": "5m", "long_window": "1h", "for": "2m", "keep_firing_for": "5m"}
+	]`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := LoadRules(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	if rules[0].Window.D() != 30*time.Second || rules[1].LongWindow.D() != time.Hour {
+		t.Fatalf("durations misparsed: %+v", rules)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`[{"name": "x", "kind": "nope"}]`), 0o644)
+	if _, err := LoadRules(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,264 @@
+package tsdb
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"starlinkview/internal/obs"
+	"starlinkview/internal/trace"
+)
+
+// Source produces one exposition snapshot per scrape tick. The bytes are
+// only read between ticks, so sources may reuse their buffer.
+type Source func() ([]byte, error)
+
+// RegistrySource scrapes a local registry: WritePrometheus into a reused
+// buffer. This is the per-instance source; a coordinator wanting the whole
+// fleet wraps cluster.Node.MetricsSource instead.
+func RegistrySource(reg *obs.Registry) Source {
+	var buf bytes.Buffer
+	return func() ([]byte, error) {
+		buf.Reset()
+		if err := reg.WritePrometheus(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+}
+
+// Config assembles a DB: the store sizing, the scrape source and cadence,
+// the registry the self-metrics land on (usually the same one being
+// scraped, so the store observes itself one tick later), alert rules, and
+// an optional tracer for firing/resolved transition events.
+type Config struct {
+	Store StoreConfig
+	// Source produces the exposition to ingest each tick.
+	Source Source
+	// ScrapeInterval is the tick cadence (default 1s).
+	ScrapeInterval time.Duration
+	// Registry receives the scraper's self-metrics. Optional.
+	Registry *obs.Registry
+	// Rules are evaluated against the store after every scrape.
+	Rules []Rule
+	// Tracer, when set, emits a forced-sampled root span for each alert
+	// firing/resolved transition.
+	Tracer *trace.Tracer
+}
+
+// DB is the embedded time-series database: a store, a scrape loop feeding
+// it, and a rules engine evaluated on the same tick.
+type DB struct {
+	cfg    Config
+	store  *Store
+	engine *engine
+
+	scrapeDur     *obs.Histogram
+	scrapes       *obs.Counter
+	scrapeErrs    *obs.Counter
+	samplesTotal  *obs.Counter
+	seriesGauge   *obs.Gauge
+	sealedGauge   *obs.Gauge
+	lastScrapeLen int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open builds the DB and starts its scrape loop. Close stops it.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("tsdb: Config.Source is required")
+	}
+	if cfg.ScrapeInterval <= 0 {
+		cfg.ScrapeInterval = time.Second
+	}
+	db := &DB{
+		cfg:   cfg,
+		store: NewStore(cfg.Store),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	db.engine = newEngine(cfg.Rules, db.store, cfg.Registry, cfg.Tracer)
+	if reg := cfg.Registry; reg != nil {
+		db.scrapeDur = reg.Histogram("tsdb_scrape_duration_seconds",
+			"Wall time of one self-scrape: render, parse, append, evaluate.",
+			obs.DefLatencyBuckets)
+		db.scrapes = reg.Counter("tsdb_scrapes_total",
+			"Completed self-scrape ticks.")
+		db.scrapeErrs = reg.Counter("tsdb_scrape_errors_total",
+			"Self-scrape ticks whose source failed.")
+		db.samplesTotal = reg.Counter("tsdb_samples_appended_total",
+			"Samples appended to the time-series store.")
+		db.seriesGauge = reg.Gauge("tsdb_series",
+			"Live series in the fine-resolution tier.")
+		db.sealedGauge = reg.Gauge("tsdb_sealed_bytes",
+			"Bytes held in sealed compressed blocks across both tiers.")
+	}
+	go db.run()
+	return db, nil
+}
+
+func (db *DB) run() {
+	defer close(db.done)
+	t := time.NewTicker(db.cfg.ScrapeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.stop:
+			return
+		case <-t.C:
+			db.Scrape(time.Now())
+		}
+	}
+}
+
+// Scrape runs one tick synchronously: pull the source, append every
+// sample at the tick's timestamp, prune, evaluate alerts. Exported so
+// tests can drive the clock instead of sleeping.
+func (db *DB) Scrape(now time.Time) {
+	start := time.Now()
+	text, err := db.cfg.Source()
+	if err != nil {
+		if db.scrapeErrs != nil {
+			db.scrapeErrs.Inc()
+		}
+		return
+	}
+	n := db.AppendExposition(text, now)
+	db.store.Prune(now)
+	db.engine.eval(now)
+
+	if db.cfg.Registry != nil {
+		st := db.store.Stats()
+		db.samplesTotal.Add(uint64(n))
+		db.seriesGauge.Set(float64(st.Series))
+		db.sealedGauge.Set(float64(st.SealedBytes))
+		db.scrapes.Inc()
+		db.scrapeDur.Observe(time.Since(start).Seconds())
+	}
+	db.lastScrapeLen = n
+}
+
+// AppendExposition parses one text exposition and appends every sample at
+// the given timestamp. The parser is deliberately lighter than
+// obs.ParseText: the rendered "name{labels}" prefix is kept verbatim as
+// the series key (the registry renders label sets deterministically), so
+// the hot path allocates no label maps — those are built once per new
+// series. Returns the number of samples appended.
+func (db *DB) AppendExposition(text []byte, now time.Time) int {
+	tMs := now.UnixMilli()
+	appended := 0
+	for len(text) > 0 {
+		line := text
+		if i := bytes.IndexByte(text, '\n'); i >= 0 {
+			line, text = text[:i], text[i+1:]
+		} else {
+			text = nil
+		}
+		name, labelBlock, val, ok := splitSampleLine(line)
+		if !ok {
+			continue
+		}
+		v, err := parseFloat(val)
+		if err != nil {
+			continue
+		}
+		if db.store.Append(name, labelBlock, tMs, v) {
+			appended++
+		}
+	}
+	return appended
+}
+
+// splitSampleLine splits one exposition line into its name, verbatim label
+// block ("" or "{...}") and value text. Comments, blanks and malformed
+// lines report !ok.
+func splitSampleLine(line []byte) (name, labelBlock, val string, ok bool) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 || line[0] == '#' {
+		return "", "", "", false
+	}
+	// The label block may contain spaces inside quoted values; scan for
+	// its closing brace rather than splitting on whitespace first. A '{'
+	// after whitespace is part of a value, not a label block.
+	if brace := bytes.IndexByte(line, '{'); brace >= 0 && bytes.IndexAny(line[:brace], " \t") < 0 {
+		end := closeBrace(line, brace)
+		if end < 0 {
+			return "", "", "", false
+		}
+		name = string(line[:brace])
+		labelBlock = string(line[brace : end+1])
+		rest := bytes.TrimSpace(line[end+1:])
+		if f := bytes.IndexAny(rest, " \t"); f >= 0 {
+			rest = rest[:f] // drop a trailing timestamp
+		}
+		if len(name) == 0 || len(rest) == 0 {
+			return "", "", "", false
+		}
+		return name, labelBlock, string(rest), true
+	}
+	sp := bytes.IndexAny(line, " \t")
+	if sp <= 0 {
+		return "", "", "", false
+	}
+	name = string(line[:sp])
+	rest := bytes.TrimSpace(line[sp:])
+	if f := bytes.IndexAny(rest, " \t"); f >= 0 {
+		rest = rest[:f]
+	}
+	if len(rest) == 0 {
+		return "", "", "", false
+	}
+	return name, "", string(rest), true
+}
+
+// closeBrace finds the index of the '}' closing the block opened at open,
+// honouring quoted values and escapes. Returns -1 when unterminated.
+func closeBrace(line []byte, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(line); i++ {
+		c := line[i]
+		if inQuote {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inQuote = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inQuote = true
+		case '}':
+			return i
+		}
+	}
+	return -1
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Store exposes the underlying store for queries.
+func (db *DB) Store() *Store { return db.store }
+
+// Alerts returns the rules engine's current states.
+func (db *DB) Alerts() []AlertState { return db.engine.states() }
+
+// Close stops the scrape loop and waits for it to exit.
+func (db *DB) Close() {
+	close(db.stop)
+	<-db.done
+}

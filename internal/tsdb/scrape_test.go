@@ -1,0 +1,126 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"starlinkview/internal/obs"
+)
+
+func TestSplitSampleLine(t *testing.T) {
+	cases := []struct {
+		line                  string
+		name, labelBlock, val string
+		ok                    bool
+	}{
+		{`ingest_records_total 42`, "ingest_records_total", "", "42", true},
+		{`m{a="b"} 1.5`, "m", `{a="b"}`, "1.5", true},
+		{`m{a="b",c="d e"} 2`, "m", `{a="b",c="d e"}`, "2", true},
+		{`m{a="q\"uo{te}"} 3`, "m", `{a="q\"uo{te}"}`, "3", true},
+		{`m 1 1700000000000`, "m", "", "1", true},
+		{`m{x="y"} +Inf`, "m", `{x="y"}`, "+Inf", true},
+		{`# HELP m help text`, "", "", "", false},
+		{``, "", "", "", false},
+		{`m{a="unterminated 1`, "", "", "", false},
+		{`nameonly`, "", "", "", false},
+	}
+	for _, c := range cases {
+		name, lb, val, ok := splitSampleLine([]byte(c.line))
+		if ok != c.ok || name != c.name || lb != c.labelBlock || val != c.val {
+			t.Errorf("splitSampleLine(%q) = (%q,%q,%q,%v), want (%q,%q,%q,%v)",
+				c.line, name, lb, val, ok, c.name, c.labelBlock, c.val, c.ok)
+		}
+	}
+}
+
+func TestAppendExpositionFromRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("reqs_total", "Requests.")
+	g := reg.GaugeVec("queue_depth", "Depth.", "shard")
+	c.Add(42)
+	g.With("0").Set(7)
+	g.With("1").Set(9)
+
+	db := &DB{store: NewStore(StoreConfig{})}
+	src := RegistrySource(reg)
+	text, err := src()
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	n := db.AppendExposition(text, now)
+	if n < 3 {
+		t.Fatalf("appended %d samples, want >= 3", n)
+	}
+	if v, ok := db.store.Instant("reqs_total", nil, now.UnixMilli(), 1000); !ok || v != 42 {
+		t.Fatalf("reqs_total = %v,%v", v, ok)
+	}
+	if v, ok := db.store.Instant("queue_depth", map[string]string{"shard": "1"}, now.UnixMilli(), 1000); !ok || v != 9 {
+		t.Fatalf("queue_depth{shard=1} = %v,%v", v, ok)
+	}
+	// The whole gauge vector sums across children.
+	if v, ok := db.store.Instant("queue_depth", nil, now.UnixMilli(), 1000); !ok || v != 16 {
+		t.Fatalf("sum(queue_depth) = %v,%v", v, ok)
+	}
+}
+
+// TestScrapeTickSelfObservation runs real Scrape ticks against a registry
+// that includes the DB's own self-metrics and verifies the store sees
+// them (one tick later, since a tick scrapes before observing itself) —
+// and that every self-metric passes the registry lint gate.
+func TestScrapeTickSelfObservation(t *testing.T) {
+	reg := obs.NewRegistry()
+	work := reg.Counter("work_total", "Work done.")
+	db, err := Open(Config{
+		Source:         RegistrySource(reg),
+		ScrapeInterval: time.Hour, // ticks driven by hand below
+		Registry:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if problems := obs.Lint(reg); len(problems) > 0 {
+		t.Fatalf("self-metrics fail lint: %v", problems)
+	}
+
+	now := time.Now()
+	work.Add(10)
+	db.Scrape(now)
+	work.Add(10)
+	db.Scrape(now.Add(time.Second))
+
+	ms := now.Add(time.Second).UnixMilli()
+	if v, ok := db.store.Instant("work_total", nil, ms, 5000); !ok || v != 20 {
+		t.Fatalf("work_total = %v,%v, want 20", v, ok)
+	}
+	// The second tick scraped the first tick's self-metrics.
+	if v, ok := db.store.Instant("tsdb_scrapes_total", nil, ms, 5000); !ok || v < 1 {
+		t.Fatalf("tsdb_scrapes_total = %v,%v, want >= 1", v, ok)
+	}
+	if v, ok := db.store.Instant("tsdb_series", nil, ms, 5000); !ok || v < 1 {
+		t.Fatalf("tsdb_series = %v,%v", v, ok)
+	}
+	if got := db.store.Stats(); got.TotalAppends == 0 || got.Series == 0 {
+		t.Fatalf("stats empty: %+v", got)
+	}
+}
+
+func TestScrapeSpecialValues(t *testing.T) {
+	db := &DB{store: NewStore(StoreConfig{})}
+	text := []byte("g_nan NaN\ng_inf +Inf\ng_ninf -Inf\n")
+	now := time.Now()
+	if n := db.AppendExposition(text, now); n != 3 {
+		t.Fatalf("appended %d, want 3", n)
+	}
+	got := db.store.Select("g_nan", nil, 0, now.UnixMilli())
+	if len(got) != 1 || !math.IsNaN(got[0].Samples[0].V) {
+		t.Fatalf("NaN lost: %+v", got)
+	}
+	got = db.store.Select("g_ninf", nil, 0, now.UnixMilli())
+	if len(got) != 1 || !math.IsInf(got[0].Samples[0].V, -1) {
+		t.Fatalf("-Inf lost: %+v", got)
+	}
+}

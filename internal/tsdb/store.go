@@ -1,0 +1,399 @@
+package tsdb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Resolution tiers. The fine tier holds every scraped sample; the coarse
+// tier keeps one sample in coarseFactor (the last of each window), giving
+// a 10:1 downsampled view that survives coarseFactor times longer. Range
+// queries read fine where it still exists and fall back to coarse for the
+// older remainder.
+const coarseFactor = 10
+
+// StoreConfig sizes the store. The zero value is usable: ~15 minutes of
+// fine retention, a coarse tier ten times deeper, and ~120-sample blocks.
+type StoreConfig struct {
+	// Retention bounds the fine tier's age; older blocks are pruned each
+	// scrape tick. Default 15m.
+	Retention time.Duration
+	// CoarseRetention bounds the downsampled tier (default
+	// coarseFactor*Retention). Zero with a negative sign disables the
+	// coarse tier entirely; see DisableCoarse.
+	CoarseRetention time.Duration
+	// DisableCoarse turns the downsampled tier off.
+	DisableCoarse bool
+	// BlockSamples is the head size at which a series seals its samples
+	// into a compressed block (default 120 — two minutes at 1s scrapes).
+	BlockSamples int
+}
+
+func (c *StoreConfig) normalize() {
+	if c.Retention <= 0 {
+		c.Retention = 15 * time.Minute
+	}
+	if c.CoarseRetention <= 0 {
+		c.CoarseRetention = coarseFactor * c.Retention
+	}
+	if c.BlockSamples <= 0 {
+		c.BlockSamples = 120
+	}
+	if c.BlockSamples > maxBlockSamples {
+		c.BlockSamples = maxBlockSamples
+	}
+}
+
+// Sample is one (timestamp, value) point returned by queries.
+type Sample struct {
+	TMs int64   `json:"t"` // unix milliseconds
+	V   float64 `json:"v"`
+}
+
+// sealedBlock is one immutable encoded window of a series.
+type sealedBlock struct {
+	minT, maxT int64
+	data       []byte
+}
+
+// series is one labeled time series: sealed blocks oldest-first, then the
+// mutable head. Labels are parsed once from the canonical rendered key.
+type series struct {
+	name   string
+	labels map[string]string
+
+	blocks []sealedBlock
+	headT  []int64
+	headV  []float64
+
+	// coarse bookkeeping: samples seen since the last coarse emission.
+	sinceCoarse int
+}
+
+func (s *series) lastT() (int64, bool) {
+	if n := len(s.headT); n > 0 {
+		return s.headT[n-1], true
+	}
+	if n := len(s.blocks); n > 0 {
+		return s.blocks[n-1].maxT, true
+	}
+	return 0, false
+}
+
+// Store holds every series of one resolution tier, keyed by the canonical
+// exposition identity "name{label="v",...}" (the registry renders label
+// sets deterministically, so the verbatim string is a stable key).
+type Store struct {
+	mu  sync.RWMutex
+	cfg StoreConfig
+
+	fine   map[string]*series
+	coarse map[string]*series
+
+	// stats snapshot, maintained under mu.
+	seriesCount  int
+	sealedBytes  int64
+	totalAppends int64
+}
+
+// NewStore builds an empty store.
+func NewStore(cfg StoreConfig) *Store {
+	cfg.normalize()
+	return &Store{
+		cfg:    cfg,
+		fine:   map[string]*series{},
+		coarse: map[string]*series{},
+	}
+}
+
+// seriesKey builds the canonical identity from a name and an exposition
+// label block ("" or `{k="v",...}`).
+func seriesKey(name, labelBlock string) string { return name + labelBlock }
+
+// Append adds one sample to the named series, creating it on first sight.
+// Out-of-order samples (timestamp at or before the series' last) are
+// dropped: every sample of one scrape shares the scrape's timestamp, and
+// scrapes are sequential, so ordering violations only arise from clock
+// steps — dropping keeps the block encoder's monotonicity invariant.
+func (st *Store) Append(name, labelBlock string, tMs int64, v float64) bool {
+	key := seriesKey(name, labelBlock)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sr := st.fine[key]
+	if sr == nil {
+		sr = &series{name: name, labels: parseLabelBlock(labelBlock)}
+		st.fine[key] = sr
+		st.seriesCount = len(st.fine)
+	}
+	if last, ok := sr.lastT(); ok && tMs <= last {
+		return false
+	}
+	sr.headT = append(sr.headT, tMs)
+	sr.headV = append(sr.headV, v)
+	st.totalAppends++
+
+	// Downsample: keep the last sample of every coarseFactor-wide window.
+	if !st.cfg.DisableCoarse {
+		sr.sinceCoarse++
+		if sr.sinceCoarse >= coarseFactor {
+			sr.sinceCoarse = 0
+			cs := st.coarse[key]
+			if cs == nil {
+				cs = &series{name: name, labels: sr.labels}
+				st.coarse[key] = cs
+			}
+			if clast, ok := cs.lastT(); !ok || tMs > clast {
+				cs.headT = append(cs.headT, tMs)
+				cs.headV = append(cs.headV, v)
+				if len(cs.headT) >= st.cfg.BlockSamples {
+					st.seal(cs)
+				}
+			}
+		}
+	}
+
+	if len(sr.headT) >= st.cfg.BlockSamples {
+		st.seal(sr)
+	}
+	return true
+}
+
+// seal compresses the head into a block. Caller holds mu.
+func (st *Store) seal(sr *series) {
+	if len(sr.headT) == 0 {
+		return
+	}
+	data := encodeBlock(sr.headT, sr.headV)
+	sr.blocks = append(sr.blocks, sealedBlock{
+		minT: sr.headT[0],
+		maxT: sr.headT[len(sr.headT)-1],
+		data: data,
+	})
+	st.sealedBytes += int64(len(data))
+	sr.headT = sr.headT[:0]
+	sr.headV = sr.headV[:0]
+}
+
+// Prune drops blocks (and head samples, and whole series) older than each
+// tier's retention, measured from now. Returns the number of series
+// remaining in the fine tier.
+func (st *Store) Prune(now time.Time) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.pruneTier(st.fine, now.Add(-st.cfg.Retention).UnixMilli())
+	if !st.cfg.DisableCoarse {
+		st.pruneTier(st.coarse, now.Add(-st.cfg.CoarseRetention).UnixMilli())
+	}
+	st.seriesCount = len(st.fine)
+	return st.seriesCount
+}
+
+func (st *Store) pruneTier(tier map[string]*series, cutMs int64) {
+	for key, sr := range tier {
+		keep := sr.blocks[:0]
+		for _, b := range sr.blocks {
+			if b.maxT >= cutMs {
+				keep = append(keep, b)
+			} else {
+				st.sealedBytes -= int64(len(b.data))
+			}
+		}
+		sr.blocks = keep
+		// Head samples age out too (a series that stopped being scraped
+		// must still drain).
+		drop := 0
+		for drop < len(sr.headT) && sr.headT[drop] < cutMs {
+			drop++
+		}
+		if drop > 0 {
+			sr.headT = append(sr.headT[:0], sr.headT[drop:]...)
+			sr.headV = append(sr.headV[:0], sr.headV[drop:]...)
+		}
+		if len(sr.blocks) == 0 && len(sr.headT) == 0 {
+			delete(tier, key)
+		}
+	}
+}
+
+// Stats is a point-in-time store summary for self-observability.
+type Stats struct {
+	Series       int
+	SealedBytes  int64
+	TotalAppends int64
+}
+
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return Stats{Series: st.seriesCount, SealedBytes: st.sealedBytes, TotalAppends: st.totalAppends}
+}
+
+// SeriesPoints is one matched series with its samples in [from,to].
+type SeriesPoints struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Samples []Sample          `json:"samples"`
+}
+
+// Select returns every series with the given name whose labels include the
+// match subset, with all samples in [fromMs,toMs] ascending. Times older
+// than the fine tier's retention are answered from the coarse tier; the
+// two tiers never overlap in the result (fine wins where both exist).
+func (st *Store) Select(name string, match map[string]string, fromMs, toMs int64) []SeriesPoints {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	out := []SeriesPoints{}
+	seen := map[string]bool{}
+	for key, sr := range st.fine {
+		if sr.name != name || !labelsMatch(sr.labels, match) {
+			continue
+		}
+		seen[key] = true
+		pts := sr.rangeSamples(fromMs, toMs)
+		// Backfill older-than-fine history from the coarse twin.
+		if cs := st.coarse[key]; cs != nil {
+			if oldest, ok := sr.oldestT(); ok && fromMs < oldest {
+				older := cs.rangeSamples(fromMs, oldest-1)
+				pts = append(older, pts...)
+			}
+		}
+		if len(pts) > 0 {
+			out = append(out, SeriesPoints{Name: name, Labels: sr.labels, Samples: pts})
+		}
+	}
+	// Series that aged fully out of the fine tier may survive in coarse.
+	for key, cs := range st.coarse {
+		if seen[key] || cs.name != name || !labelsMatch(cs.labels, match) {
+			continue
+		}
+		if pts := cs.rangeSamples(fromMs, toMs); len(pts) > 0 {
+			out = append(out, SeriesPoints{Name: name, Labels: cs.labels, Samples: pts})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return labelString(out[i].Labels) < labelString(out[j].Labels)
+	})
+	return out
+}
+
+func (sr *series) oldestT() (int64, bool) {
+	if len(sr.blocks) > 0 {
+		return sr.blocks[0].minT, true
+	}
+	if len(sr.headT) > 0 {
+		return sr.headT[0], true
+	}
+	return 0, false
+}
+
+// rangeSamples decodes the blocks overlapping [fromMs,toMs] plus the head
+// and filters to the window. Sealed blocks that miss the window entirely
+// are skipped without decoding.
+func (sr *series) rangeSamples(fromMs, toMs int64) []Sample {
+	var out []Sample
+	var ts []int64
+	var vs []float64
+	for _, b := range sr.blocks {
+		if b.maxT < fromMs || b.minT > toMs {
+			continue
+		}
+		var err error
+		ts, vs, err = decodeBlock(b.data, ts[:0], vs[:0])
+		if err != nil {
+			continue // a corrupt block loses its window, not the series
+		}
+		for i, t := range ts {
+			if t >= fromMs && t <= toMs {
+				out = append(out, Sample{TMs: t, V: vs[i]})
+			}
+		}
+	}
+	for i, t := range sr.headT {
+		if t >= fromMs && t <= toMs {
+			out = append(out, Sample{TMs: t, V: sr.headV[i]})
+		}
+	}
+	return out
+}
+
+func labelsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func labelString(m map[string]string) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m[k])
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// parseLabelBlock parses `{k="v",...}` (or "") into a map, tolerating the
+// escapes the exposition format defines. Parsing happens once per series
+// creation, never on the append path.
+func parseLabelBlock(block string) map[string]string {
+	out := map[string]string{}
+	if len(block) < 2 || block[0] != '{' {
+		return out
+	}
+	i := 1
+	for i < len(block) {
+		for i < len(block) && (block[i] == ',' || block[i] == ' ') {
+			i++
+		}
+		if i >= len(block) || block[i] == '}' {
+			break
+		}
+		eq := strings.IndexByte(block[i:], '=')
+		if eq < 0 {
+			break
+		}
+		name := block[i : i+eq]
+		i += eq + 1
+		if i >= len(block) || block[i] != '"' {
+			break
+		}
+		i++
+		var b strings.Builder
+		for i < len(block) && block[i] != '"' {
+			if block[i] == '\\' && i+1 < len(block) {
+				switch block[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				default:
+					b.WriteByte(block[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(block[i])
+			i++
+		}
+		i++ // closing quote
+		out[name] = b.String()
+	}
+	return out
+}

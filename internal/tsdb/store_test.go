@@ -1,0 +1,209 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestStoreAppendSelectAcrossSeal(t *testing.T) {
+	st := NewStore(StoreConfig{BlockSamples: 10, Retention: time.Hour})
+	base := int64(1700000000000)
+	for i := 0; i < 35; i++ {
+		if !st.Append("m_total", `{job="a"}`, base+int64(i)*1000, float64(i)) {
+			t.Fatalf("append %d rejected", i)
+		}
+	}
+	got := st.Select("m_total", nil, base, base+40_000)
+	if len(got) != 1 {
+		t.Fatalf("got %d series, want 1", len(got))
+	}
+	if len(got[0].Samples) != 35 {
+		t.Fatalf("got %d samples across sealed blocks + head, want 35", len(got[0].Samples))
+	}
+	for i, s := range got[0].Samples {
+		if s.TMs != base+int64(i)*1000 || s.V != float64(i) {
+			t.Fatalf("sample %d: got (%d,%v)", i, s.TMs, s.V)
+		}
+	}
+	// Window queries must clip on both edges.
+	mid := st.Select("m_total", nil, base+5000, base+9000)
+	if len(mid[0].Samples) != 5 {
+		t.Fatalf("window got %d samples, want 5", len(mid[0].Samples))
+	}
+}
+
+func TestStoreOutOfOrderDropped(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	if !st.Append("g", "", 2000, 1) {
+		t.Fatal("first append rejected")
+	}
+	if st.Append("g", "", 2000, 2) || st.Append("g", "", 1000, 3) {
+		t.Fatal("out-of-order append accepted")
+	}
+}
+
+func TestStoreLabelMatching(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	st.Append("m", `{city="london",isp="starlink"}`, 1000, 1)
+	st.Append("m", `{city="seattle",isp="starlink"}`, 1000, 2)
+	st.Append("m", `{city="london",isp="other"}`, 1000, 3)
+
+	all := st.Select("m", nil, 0, 2000)
+	if len(all) != 3 {
+		t.Fatalf("unmatched select got %d series, want 3", len(all))
+	}
+	sl := st.Select("m", map[string]string{"isp": "starlink"}, 0, 2000)
+	if len(sl) != 2 {
+		t.Fatalf("subset match got %d series, want 2", len(sl))
+	}
+	ldn := st.Select("m", map[string]string{"city": "london", "isp": "other"}, 0, 2000)
+	if len(ldn) != 1 || ldn[0].Samples[0].V != 3 {
+		t.Fatalf("two-label match wrong: %+v", ldn)
+	}
+}
+
+func TestStoreRetentionAndCoarseTier(t *testing.T) {
+	st := NewStore(StoreConfig{
+		Retention:    time.Minute,
+		BlockSamples: 10,
+	})
+	now := time.Now()
+	// 30 minutes of 1s samples, appended in the past.
+	start := now.Add(-30 * time.Minute)
+	n := 0
+	for ts := start; ts.Before(now); ts = ts.Add(time.Second) {
+		st.Append("c_total", "", ts.UnixMilli(), float64(n))
+		n++
+	}
+	st.Prune(now)
+
+	// Fine tier: only the last minute survives at full resolution.
+	fine := st.Select("c_total", nil, now.Add(-time.Minute).UnixMilli(), now.UnixMilli())
+	if len(fine) != 1 {
+		t.Fatalf("got %d series", len(fine))
+	}
+	// Coarse tier: the older window is answered downsampled ~10:1.
+	older := st.Select("c_total", nil, now.Add(-20*time.Minute).UnixMilli(), now.Add(-10*time.Minute).UnixMilli())
+	if len(older) != 1 {
+		t.Fatalf("coarse window: got %d series, want 1", len(older))
+	}
+	coarseN := len(older[0].Samples)
+	// 10 minutes at 1s downsampled 10:1 ~ 60 samples; block-boundary
+	// truncation allows slack but an un-downsampled answer (600) must fail.
+	if coarseN < 30 || coarseN > 90 {
+		t.Fatalf("coarse window has %d samples, want ~60", coarseN)
+	}
+	// A full-range query stitches coarse history onto fine recency and
+	// stays time-ordered without duplicates.
+	full := st.Select("c_total", nil, 0, now.UnixMilli())
+	samples := full[0].Samples
+	for i := 1; i < len(samples); i++ {
+		if samples[i].TMs <= samples[i-1].TMs {
+			t.Fatalf("stitched result out of order at %d: %d after %d", i, samples[i].TMs, samples[i-1].TMs)
+		}
+	}
+}
+
+func TestStorePruneDropsDeadSeries(t *testing.T) {
+	st := NewStore(StoreConfig{Retention: time.Minute, DisableCoarse: true})
+	now := time.Now()
+	st.Append("dead", "", now.Add(-10*time.Minute).UnixMilli(), 1)
+	st.Append("live", "", now.UnixMilli(), 1)
+	if got := st.Prune(now); got != 1 {
+		t.Fatalf("after prune %d series remain, want 1", got)
+	}
+	if got := st.Select("dead", nil, 0, now.UnixMilli()); len(got) != 0 {
+		t.Fatalf("dead series still answers: %+v", got)
+	}
+}
+
+func TestRateAndIncrease(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	base := int64(1700000000000)
+	// Counter advancing 100/s for 10s with a reset in the middle.
+	vals := []float64{0, 100, 200, 300, 400, 50, 150, 250, 350, 450, 550}
+	for i, v := range vals {
+		st.Append("c_total", "", base+int64(i)*1000, v)
+	}
+	inc, ok := st.Increase("c_total", nil, base, base+10_000)
+	if !ok {
+		t.Fatal("increase not ok")
+	}
+	// True increase: 400 before the reset + 50 at reset + 500 after = 950.
+	if inc != 950 {
+		t.Fatalf("increase = %v, want 950 (reset-aware)", inc)
+	}
+	r, ok := st.Rate("c_total", nil, base, base+10_000)
+	if !ok || math.Abs(r-95) > 1e-9 {
+		t.Fatalf("rate = %v, want 95", r)
+	}
+}
+
+func TestRateSumsAcrossInstances(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	base := int64(1700000000000)
+	for i := 0; i < 11; i++ {
+		st.Append("c_total", `{instance="a"}`, base+int64(i)*1000, float64(i*100))
+		st.Append("c_total", `{instance="b"}`, base+int64(i)*1000, float64(i*50))
+	}
+	r, ok := st.Rate("c_total", nil, base, base+10_000)
+	if !ok || math.Abs(r-150) > 1e-9 {
+		t.Fatalf("fleet rate = %v, want 150", r)
+	}
+}
+
+func TestRateSeries(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	base := int64(1700000000000)
+	for i := 0; i < 5; i++ {
+		st.Append("c_total", "", base+int64(i)*1000, float64(i*10))
+	}
+	pts := st.RateSeries("c_total", nil, base, base+5000)
+	if len(pts) != 4 {
+		t.Fatalf("got %d rate points, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.V-10) > 1e-9 {
+			t.Fatalf("rate point %v, want 10", p.V)
+		}
+	}
+}
+
+func TestQuantileOverTime(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	base := int64(1700000000000)
+	bounds := []string{"0.001", "0.01", "0.1", "+Inf"}
+	// Cumulative bucket counters growing so that the interval delta puts
+	// 90 observations <= 1ms, 9 more <= 10ms, 1 more <= 100ms.
+	grow := []float64{90, 99, 100, 100}
+	for step := 0; step < 3; step++ {
+		for bi, le := range bounds {
+			st.Append("lat_seconds_bucket", fmt.Sprintf(`{le="%s"}`, le),
+				base+int64(step)*1000, grow[bi]*float64(step))
+		}
+	}
+	q, ok := st.QuantileOverTime(0.5, "lat_seconds", nil, base, base+2000)
+	if !ok {
+		t.Fatal("quantile not ok")
+	}
+	if q <= 0 || q > 0.001 {
+		t.Fatalf("p50 = %v, want within first bucket (<= 1ms)", q)
+	}
+	q99, ok := st.QuantileOverTime(0.99, "lat_seconds", nil, base, base+2000)
+	if !ok || q99 < 0.01 || q99 > 0.1 {
+		t.Fatalf("p99 = %v, want in (10ms, 100ms]", q99)
+	}
+}
+
+func TestInstantStaleness(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	st.Append("g", "", 1000, 42)
+	if v, ok := st.Instant("g", nil, 5000, 10_000); !ok || v != 42 {
+		t.Fatalf("fresh instant: %v %v", v, ok)
+	}
+	if _, ok := st.Instant("g", nil, 500_000, 10_000); ok {
+		t.Fatal("stale sample answered an instant query")
+	}
+}

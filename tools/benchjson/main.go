@@ -202,6 +202,12 @@ func main() {
 	// shed budget is checked against (candidate_ns_op / base_ns_op).
 	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "shed-admission-vs-ingest-record",
 		"BenchmarkCollectorIngest/shards=4", "BenchmarkShedAdmit")...)
+	// The tsdb self-scrape budget pair: BenchmarkTSDBScrapeAmortized prices
+	// one scrape tick amortized over the records a collector ingests per
+	// scrape interval, so candidate_ns_op / base_ns_op is the per-record
+	// self-observation cost fraction the <=1% tsdb budget is checked against.
+	rep.Comparisons = append(rep.Comparisons, comparePairs(rep.Benchmarks, "tsdb-scrape-vs-ingest-record",
+		"BenchmarkCollectorIngest/shards=4", "BenchmarkTSDBScrapeAmortized")...)
 	if len(rep.Comparisons) > 0 {
 		logSum := 0.0
 		for _, c := range rep.Comparisons {

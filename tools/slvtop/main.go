@@ -32,6 +32,7 @@ import (
 	"starlinkview/internal/cluster"
 	"starlinkview/internal/collector"
 	"starlinkview/internal/obs"
+	"starlinkview/internal/tsdb"
 )
 
 func main() {
@@ -61,7 +62,7 @@ func main() {
 			continue
 		}
 		federated = fed
-		draw(*addr, federated, prev, cur, !*noClear)
+		draw(*addr, federated, prev, cur, fetchTSDB(*addr), !*noClear)
 		prev = cur
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			return
@@ -165,6 +166,77 @@ func instanceRows(ss obs.Samples, federated bool, addr string) []instanceRow {
 	return out
 }
 
+// tsdbView is what slvtop pulls from the coordinator's embedded tsdb:
+// the recent ingest-rate history (for the sparkline) and the alert rule
+// states. ok is false when the coordinator runs without a tsdb — the
+// dashboard then simply omits those lines.
+type tsdbView struct {
+	ingestRate []tsdb.Sample
+	alerts     []tsdb.AlertState
+	ok         bool
+}
+
+// fetchTSDB range-queries the coordinator's tsdb for the last two minutes
+// of ingest rate and fetches the alert states. Any failure (including the
+// 404 of a tsdb-less collectord) degrades to the counter-delta view.
+func fetchTSDB(addr string) tsdbView {
+	client := http.Client{Timeout: 2 * time.Second}
+	var v tsdbView
+	var qr tsdb.QueryReply
+	if !getJSON(&client, "http://"+addr+tsdb.PathQuery+
+		"?metric=ingest_records_total&fn=rate_series&from=-2m", &qr) {
+		return v
+	}
+	v.ok = true
+	if len(qr.Series) > 0 {
+		v.ingestRate = qr.Series[0].Samples
+	}
+	var ar tsdb.AlertsReply
+	if getJSON(&client, "http://"+addr+tsdb.PathAlerts, &ar) {
+		v.alerts = ar.Alerts
+	}
+	return v
+}
+
+func getJSON(client *http.Client, url string, into any) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	return json.NewDecoder(resp.Body).Decode(into) == nil
+}
+
+// sparkline renders samples as unicode block characters scaled to the
+// window's max, newest rightmost, at most width points.
+func sparkline(samples []tsdb.Sample, width int) string {
+	if len(samples) == 0 {
+		return ""
+	}
+	if len(samples) > width {
+		samples = samples[len(samples)-width:]
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	var max float64
+	for _, s := range samples {
+		if s.V > max {
+			max = s.V
+		}
+	}
+	out := make([]rune, len(samples))
+	for i, s := range samples {
+		idx := 0
+		if max > 0 {
+			idx = int(s.V / max * float64(len(blocks)-1))
+		}
+		out[i] = blocks[idx]
+	}
+	return string(out)
+}
+
 // ringVersions asks every discovered instance for its ring version. The
 // version is an opaque digest string — comparing it as anything narrower
 // (a float gauge, say) would destroy exactly the bits skew hides in.
@@ -192,7 +264,7 @@ func ringVersions(instances []instanceRow) map[string]string {
 	return out
 }
 
-func draw(addr string, federated bool, prev, cur frame, clear bool) {
+func draw(addr string, federated bool, prev, cur frame, tv tsdbView, clear bool) {
 	dt := cur.at.Sub(prev.at).Seconds()
 	if dt <= 0 {
 		dt = 1
@@ -223,7 +295,29 @@ func draw(addr string, federated bool, prev, cur frame, clear bool) {
 		len(cur.instances), addr, mode, cur.at.Format("15:04:05"))
 	fmt.Printf("cluster  %9.0f rec/s   drop %6.3f%%   shed %6.3f%%   fwd %7.0f/s\n",
 		dAcc/dt, dropPct, shedPct, dFwd/dt)
-	fmt.Printf("         ack p99 %s   fsync p99 %s\n\n", ms(ackP99), ms(fsP99))
+	fmt.Printf("         ack p99 %s   fsync p99 %s\n", ms(ackP99), ms(fsP99))
+	// The tsdb lines come from the coordinator's embedded store: a 2m
+	// ingest-rate sparkline (true range-query history, not this process's
+	// own deltas) and any non-inactive alert rules.
+	if tv.ok {
+		rateNow := math.NaN()
+		if n := len(tv.ingestRate); n > 0 {
+			rateNow = tv.ingestRate[n-1].V
+		}
+		fmt.Printf("tsdb     rate 2m %s", sparkline(tv.ingestRate, 40))
+		if !math.IsNaN(rateNow) {
+			fmt.Printf("  %.0f rec/s", rateNow)
+		}
+		fmt.Println()
+		for _, a := range tv.alerts {
+			if a.State == "inactive" {
+				continue
+			}
+			fmt.Printf("alert    %-28s %-8s value %.3g since %s\n",
+				a.Rule, a.State, a.Value, time.UnixMilli(a.SinceMs).Format("15:04:05"))
+		}
+	}
+	fmt.Println()
 
 	versions := map[string]string{}
 	if federated {
@@ -257,11 +351,11 @@ func intervalP99(bounds []float64, cum, prevCum []uint64) float64 {
 	if len(cum) != len(prevCum) {
 		return math.NaN()
 	}
-	d := obs.SubCounts(bounds, cum, prevCum)
-	if len(d) == 0 || d[len(d)-1] == 0 {
+	v, ok := obs.QuantileFromBucketDeltas(0.99, bounds, cum, prevCum)
+	if !ok {
 		return math.NaN()
 	}
-	return obs.HistogramQuantile(0.99, bounds, d)
+	return v
 }
 
 func shedStateName(st int) string {
