@@ -71,8 +71,9 @@ func benchE2EIngest(b *testing.B, wire collector.Wire, shards int) {
 		Shards: shards, QueueLen: 8192,
 		Registry: obs.NewRegistry(),
 		WAL: collector.WALConfig{
-			Dir:           b.TempDir(),
-			FsyncInterval: 2 * time.Millisecond,
+			Dir:            b.TempDir(),
+			FsyncInterval:  2 * time.Millisecond,
+			MaxSyncWindows: 4,
 		},
 	})
 	if err != nil {

@@ -124,7 +124,7 @@ func main() {
 		fmt.Printf("campaign: resuming at chunk %d/%d\n", camp.NextChunk(), cfg.Chunks)
 	}
 
-	sink, closeSink, err := buildSink(splitList(*targets), wire, *route, *vnodes)
+	sink, closeSink, paced, err := buildSink(splitList(*targets), wire, *route, *vnodes)
 	if err != nil {
 		fatal(err)
 	}
@@ -158,25 +158,38 @@ func main() {
 	el := time.Since(start)
 	fmt.Printf("campaign: %d records in %v — %.0f rec/s sustained\n",
 		total, el.Round(time.Millisecond), float64(total)/el.Seconds())
+	if n := paced(); n > 0 {
+		fmt.Printf("campaign: paced %d times by collector backpressure (campaign_paced_total)\n", n)
+	}
 }
 
-// buildSink returns the chunk sink: a cluster client flush per chunk, or a
-// counter when no targets are given. The sink only returns nil once every
-// record of the chunk is acknowledged — the contract RunChunk's
+// buildSink returns the chunk sink, its closer, and an accessor for the
+// campaign_paced_total counter — how many times the cluster client slowed
+// down for a collector's 429 backpressure. The sink only returns nil once
+// every record of the chunk is acknowledged — the contract RunChunk's
 // commit-on-success semantics need.
-func buildSink(targets []string, wire collector.Wire, route string, vnodes int) (func([]extension.Record) error, func() error, error) {
+func buildSink(targets []string, wire collector.Wire, route string, vnodes int) (func([]extension.Record) error, func() error, func() uint64, error) {
 	if len(targets) == 0 {
 		fmt.Println("campaign: no targets — dry run (generate and discard)")
-		return func([]extension.Record) error { return nil }, func() error { return nil }, nil
+		return func([]extension.Record) error { return nil },
+			func() error { return nil },
+			func() uint64 { return 0 }, nil
 	}
+	reg := obs.NewRegistry()
+	pacedCtr := reg.Counter("campaign_paced_total",
+		"Chunk-delivery pauses taken in response to collector 429 backpressure.")
 	client, err := cluster.NewClient(cluster.ClientConfig{
 		Targets: targets,
 		Route:   route,
 		VNodes:  vnodes,
 		Wire:    wire,
+		OnPace: func(d time.Duration) {
+			pacedCtr.Inc()
+			fmt.Printf("  paced: collector overloaded, backing off %v\n", d.Round(time.Millisecond))
+		},
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sink := func(recs []extension.Record) error {
 		for _, r := range recs {
@@ -188,7 +201,7 @@ func buildSink(targets []string, wire collector.Wire, route string, vnodes int) 
 		// chunk is acknowledged.
 		return client.Flush()
 	}
-	return sink, client.Close, nil
+	return sink, client.Close, pacedCtr.Value, nil
 }
 
 // runSmoke is the downscaled kill/resume equivalence check. Two identical

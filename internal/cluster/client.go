@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"time"
 
@@ -47,6 +48,14 @@ type ClientConfig struct {
 	Retries int
 	// RetryBackoff sleeps between attempts (default 50ms, doubling).
 	RetryBackoff time.Duration
+	// PaceRetries bounds how many consecutive 429 responses a single batch
+	// absorbs as pacing (default 8, negative disables pacing). A paced
+	// resend honours the server's Retry-After with jitter and does not
+	// consume a Retries attempt: backpressure is flow control, not failure.
+	PaceRetries int
+	// OnPace, when set, observes every pacing pause with the sleep about to
+	// be taken — the campaign driver counts these as campaign_paced_total.
+	OnPace func(d time.Duration)
 	// HTTPClient overrides the transport.
 	HTTPClient *http.Client
 	// Tracer, when set, spans each send; a retry's span links back to the
@@ -59,6 +68,7 @@ type ClientStats struct {
 	Records   uint64 `json:"records"`
 	Batches   uint64 `json:"batches"`
 	Retries   uint64 `json:"retries"`
+	Paced     uint64 `json:"paced"`
 	Forwarded uint64 `json:"forwarded"`
 }
 
@@ -73,6 +83,7 @@ type Client struct {
 	ring  *Ring
 	ext   map[string][]extension.Record
 	nodes map[string][]dataset.NodeSample
+	enc   dataset.BatchEncoder
 	rr    int
 	stats ClientStats
 }
@@ -99,6 +110,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.PaceRetries == 0 {
+		cfg.PaceRetries = 8
+	} else if cfg.PaceRetries < 0 {
+		cfg.PaceRetries = 0
 	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{}
@@ -176,7 +192,10 @@ func (c *Client) flushExt(t string) error {
 	var err error
 	if c.cfg.Wire == collector.WireBatch {
 		path, contentType = collector.PathIngestBatch, collector.BatchContentType
-		payload = dataset.MarshalBatch(c.ext[t])
+		// The reusable encoder's frame is valid until the next Encode; send
+		// (including every retry, which resends the same payload) finishes
+		// before another flush can run.
+		payload = c.enc.Encode(c.ext[t])
 	} else if payload, err = collector.EncodeExtensionBatch(c.ext[t]); err != nil {
 		return err
 	}
@@ -217,30 +236,45 @@ func (c *Client) account(reply collector.IngestReply, records int) {
 	c.stats.Forwarded += uint64(reply.Forwarded)
 }
 
+// pacePause is the jittered backoff a 429 earns: uniform in [d/2, 3d/2)
+// around the server's Retry-After hint, so a fleet of paced senders does not
+// re-arrive in lockstep and re-trigger the shed watermark together.
+func pacePause(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = time.Second
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
 // send posts one batch with retries. Each attempt gets its own span; a
 // retry's span links to the previous attempt's context, so the trace view
 // shows the chain end to end even though each attempt is its own trace.
+//
+// A 429 is handled as backpressure, not failure: the client sleeps the
+// server's (jittered) Retry-After and resends, up to PaceRetries times per
+// batch, without consuming a Retries attempt. Only transport errors and
+// non-429 statuses burn retries.
 func (c *Client) send(target, path, contentType string, payload []byte, records int) (collector.IngestReply, error) {
 	var reply collector.IngestReply
 	var lastErr error
 	var prev trace.SpanContext
 	backoff := c.cfg.RetryBackoff
-	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+	attempt, paced := 0, 0
+	for {
 		var sp *trace.Span
 		if c.cfg.Tracer != nil {
 			sp = c.cfg.Tracer.StartRoot("cluster.client.send", trace.SpanContext{})
 			sp.SetAttr("target", target)
 			sp.SetInt("records", int64(records))
 			sp.SetInt("attempt", int64(attempt))
-			if attempt > 0 {
-				sp.AddLink(prev, trace.Str("reason", "retry"), trace.Int("attempt", int64(attempt)))
+			if attempt > 0 || paced > 0 {
+				reason := "retry"
+				if paced > 0 && attempt == 0 {
+					reason = "paced"
+				}
+				sp.AddLink(prev, trace.Str("reason", reason), trace.Int("attempt", int64(attempt)))
 			}
 			prev = sp.Context()
-		}
-		if attempt > 0 {
-			c.stats.Retries++
-			time.Sleep(backoff)
-			backoff *= 2
 		}
 		reply, lastErr = c.post(target, path, contentType, payload, sp)
 		sp.SetError(lastErr)
@@ -248,9 +282,26 @@ func (c *Client) send(target, path, contentType string, payload []byte, records 
 		if lastErr == nil {
 			return reply, nil
 		}
+		if d, ok := collector.IsOverloaded(lastErr); ok && paced < c.cfg.PaceRetries {
+			paced++
+			c.stats.Paced++
+			pause := pacePause(d)
+			if c.cfg.OnPace != nil {
+				c.cfg.OnPace(pause)
+			}
+			time.Sleep(pause)
+			continue
+		}
+		if attempt >= c.cfg.Retries {
+			break
+		}
+		attempt++
+		c.stats.Retries++
+		time.Sleep(backoff)
+		backoff *= 2
 	}
 	return reply, fmt.Errorf("cluster: send to %s after %d attempts: %w",
-		target, c.cfg.Retries+1, lastErr)
+		target, attempt+1, lastErr)
 }
 
 func (c *Client) post(target, path, contentType string, payload []byte, sp *trace.Span) (collector.IngestReply, error) {
@@ -268,6 +319,10 @@ func (c *Client) post(target, path, contentType string, payload []byte, sp *trac
 		return reply, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return reply, collector.NewOverloadedError(resp, string(msg))
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return reply, fmt.Errorf("%s: %s", resp.Status, msg)

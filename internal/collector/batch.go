@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"starlinkview/internal/dataset"
@@ -96,6 +97,169 @@ func (a *Aggregator) OfferExtensionFrame(frame []byte, recs []extension.Record, 
 	return accepted, dropped
 }
 
+// batchApply is the shared fan-out header for one zero-copy batch: the view
+// every shard reads rows from, a count of outstanding references, and the
+// row-partition scratch. The offerer takes one reference per touched shard
+// before anything is sent; each shard (or the offerer, for a shed slice)
+// drops one when its slice is finished, and the last reference returns the
+// view and the header to their pools.
+type batchApply struct {
+	agg  *Aggregator
+	view *dataset.BatchView
+
+	pending atomic.Int32
+
+	rows    []int32 // all row indices, grouped by shard, ascending per shard
+	offs    []int32 // per-shard [start, end) offsets into rows; len = shards+1
+	shardOf []int32 // scratch: owning shard per row
+	next    []int32 // scratch: per-shard write cursor for the placement pass
+}
+
+// done releases one shard's reference on the shared view.
+func (b *batchApply) done() {
+	if b.pending.Add(-1) == 0 {
+		b.agg.views.Put(b.view)
+		b.view = nil
+		b.agg.applyPool.Put(b)
+	}
+}
+
+// partition groups the view's row indices by owning shard with a counting
+// sort: one hash per row and two linear passes, no per-row allocation. Rows
+// stay ascending within each shard, so a shard applies exactly the
+// subsequence — in the same order — that the serial per-record path would
+// deliver it, and snapshots come out identical.
+func (b *batchApply) partition() {
+	a, v := b.agg, b.view
+	n, nsh := v.Len(), len(a.shards)
+	b.rows = growI32(b.rows, n)
+	b.shardOf = growI32(b.shardOf, n)
+	b.offs = growI32(b.offs, nsh+1)
+	b.next = growI32(b.next, nsh)
+	for i := range b.offs {
+		b.offs[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		s := int32(shardHash(v.City(i), v.ISP(i)) % uint32(nsh))
+		b.shardOf[i] = s
+		b.offs[s+1]++
+	}
+	for s := 0; s < nsh; s++ {
+		b.offs[s+1] += b.offs[s]
+	}
+	copy(b.next, b.offs[:nsh])
+	for i := 0; i < n; i++ {
+		s := b.shardOf[i]
+		b.rows[b.next[s]] = int32(i)
+		b.next[s]++
+	}
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// OfferBatchView is the pipelined ingest fast path: it takes ownership of a
+// pooled zero-copy view, logs its verbatim frame in one WAL append, hashes
+// every row to its shard once, and hands each shard a single item carrying
+// that shard's row slice — no per-record materialisation, no per-record
+// channel send. Returns per-record accepted/dropped counts like
+// OfferExtensionFrame; the view returns to the pool when the last shard
+// finishes (or immediately on the reject paths).
+func (a *Aggregator) OfferBatchView(v *dataset.BatchView, sc trace.SpanContext) (accepted, dropped int) {
+	n := v.Len()
+	if n == 0 {
+		a.views.Put(v)
+		return 0, 0
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		for i := 0; i < n; i++ {
+			a.shardFor(v.City(i), v.ISP(i)).met.dropped[itemExtension].Inc()
+		}
+		a.views.Put(v)
+		return 0, n
+	}
+	// Log before enqueue, as everywhere: one verbatim frame for the batch.
+	if a.wal != nil {
+		sp := a.cfg.Tracer.StartChild(sc, "wal.append")
+		lsn, err := a.appendViewWAL(v)
+		if err != nil {
+			sp.SetError(err)
+			sp.Finish()
+			for i := 0; i < n; i++ {
+				a.shardFor(v.City(i), v.ISP(i)).met.dropped[itemExtension].Inc()
+			}
+			a.views.Put(v)
+			return 0, n
+		}
+		sp.SetInt("lsn", int64(lsn))
+		sp.SetInt("records", int64(n))
+		sp.Finish()
+	}
+	ba, _ := a.applyPool.Get().(*batchApply)
+	if ba == nil {
+		ba = &batchApply{agg: a}
+	}
+	ba.view = v
+	ba.partition()
+	// Every touched shard holds one reference. The count must be final
+	// before the first send: a shard may finish — and call done — while
+	// later sends are still in flight.
+	touched := int32(0)
+	for s := 0; s < len(a.shards); s++ {
+		if ba.offs[s+1] > ba.offs[s] {
+			touched++
+		}
+	}
+	ba.pending.Store(touched)
+	now := time.Now()
+	spanned := false
+	for s := 0; s < len(a.shards); s++ {
+		lo, hi := ba.offs[s], ba.offs[s+1]
+		if lo == hi {
+			continue
+		}
+		sh := a.shards[s]
+		it := item{kind: itemBatch, enqueued: now, batch: ba, rows: ba.rows[lo:hi]}
+		if !spanned {
+			it.span = sc
+			spanned = true
+		}
+		if a.cfg.Policy == Block {
+			sh.ch <- it
+			sh.met.accepted[itemExtension].Add(uint64(hi - lo))
+			accepted += int(hi - lo)
+			continue
+		}
+		select {
+		case sh.ch <- it:
+			sh.met.accepted[itemExtension].Add(uint64(hi - lo))
+			accepted += int(hi - lo)
+		default:
+			sh.met.dropped[itemExtension].Add(uint64(hi - lo))
+			dropped += int(hi - lo)
+			ba.done() // the shed slice's reference is ours to release
+		}
+	}
+	return accepted, dropped
+}
+
+// appendViewWAL logs the view's verbatim wire frame — already CRC-checked by
+// the parse — when it fits the WAL payload bound; an oversized frame falls
+// back to materialising the records and splitting, as appendBatchWAL does.
+func (a *Aggregator) appendViewWAL(v *dataset.BatchView) (uint64, error) {
+	frame := v.Frame()
+	if len(frame) <= wal.MaxPayload {
+		return a.wal.Append(walKindExtensionBatch, frame)
+	}
+	return a.appendBatchWAL(frame, v.AppendRecords(nil))
+}
+
 // appendBatchWAL logs a frame, re-marshalling (and, when a frame would
 // exceed the WAL's payload bound, splitting) as needed. Wire frames from
 // well-behaved clients fit as-is; the split path exists so a single giant
@@ -117,10 +281,25 @@ func (a *Aggregator) appendBatchWAL(frame []byte, recs []extension.Record) (uint
 	return a.appendBatchWAL(nil, recs[mid:])
 }
 
-// handleIngestBatch is the columnar twin of handleIngestExtension: the body
-// is a stream of batch frames; each frame is CRC-checked and decoded as a
-// unit, misrouted records are forwarded exactly as on the CSV path, and the
-// 200 waits on the same WAL group commit.
+// viewHasForeign reports whether any row of the view routes to a peer. It
+// scans through a stack record — interned strings, no allocation — so the
+// all-local common case never materialises the batch.
+func viewHasForeign(fwd Forwarder, v *dataset.BatchView) bool {
+	var rec extension.Record
+	for i := 0; i < v.Len(); i++ {
+		v.RecordAt(i, &rec)
+		if fwd.OwnerExtension(rec) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// handleIngestBatch is the columnar twin of handleIngestExtension, running
+// the pipelined fast path: each frame is validated once into a pooled
+// zero-copy view and fanned to the shards as row slices. Misrouted frames
+// fall back to materialised records so forwarding works exactly as on the
+// CSV path, and the 200 waits on the same WAL group commit.
 func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodPost {
@@ -136,7 +315,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	var reply IngestReply
 	var byPeer map[string][]extension.Record
 	for {
-		frame, err := dataset.ReadBatchFrame(r.Body)
+		v, err := s.agg.views.Read(r.Body)
 		if err == io.EOF {
 			break
 		}
@@ -146,41 +325,29 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 			ingestError(w, reply, fmt.Sprintf("bad frame: %v", err))
 			return
 		}
-		recs, err := dataset.UnmarshalBatch(frame)
-		if err != nil {
-			decode.SetError(err)
-			decode.Finish()
-			ingestError(w, reply, fmt.Sprintf("bad frame: %v", err))
-			return
-		}
-		local := recs
-		if fwd != nil {
-			foreign := false
+		if fwd != nil && viewHasForeign(fwd, v) {
+			// The wire frame no longer matches what this instance keeps:
+			// materialise, split by owner, and let the slow path re-marshal
+			// the WAL payload from the local subset.
+			recs := v.AppendRecords(nil)
+			s.agg.views.Put(v)
+			local := recs[:0]
 			for i := range recs {
-				if fwd.OwnerExtension(recs[i]) != "" {
-					foreign = true
-					break
-				}
-			}
-			if foreign {
-				// The wire frame no longer matches what this instance
-				// keeps; the WAL payload is re-marshalled from the local
-				// subset.
-				frame = nil
-				local = make([]extension.Record, 0, len(recs))
-				for i := range recs {
-					if peer := fwd.OwnerExtension(recs[i]); peer != "" {
-						if byPeer == nil {
-							byPeer = make(map[string][]extension.Record)
-						}
-						byPeer[peer] = append(byPeer[peer], recs[i])
-						continue
+				if peer := fwd.OwnerExtension(recs[i]); peer != "" {
+					if byPeer == nil {
+						byPeer = make(map[string][]extension.Record)
 					}
-					local = append(local, recs[i])
+					byPeer[peer] = append(byPeer[peer], recs[i])
+					continue
 				}
+				local = append(local, recs[i])
 			}
+			acc, drop := s.agg.OfferExtensionFrame(nil, local, representative(decode, reply))
+			reply.Accepted += acc
+			reply.Dropped += drop
+			continue
 		}
-		acc, drop := s.agg.OfferExtensionFrame(frame, local, representative(decode, reply))
+		acc, drop := s.agg.OfferBatchView(v, representative(decode, reply))
 		reply.Accepted += acc
 		reply.Dropped += drop
 	}

@@ -99,6 +99,7 @@ type Client struct {
 	mu      sync.Mutex
 	ext     []extension.Record
 	nodes   []dataset.NodeSample
+	enc     dataset.BatchEncoder
 	records uint64
 	batches uint64
 	latency *stats.QuantileSketch
@@ -178,7 +179,9 @@ func (c *Client) flushExtLocked() error {
 		return nil
 	}
 	if c.cfg.Wire == WireBatch {
-		frame := dataset.MarshalBatch(c.ext)
+		// The reusable encoder's frame is valid until its next Encode, which
+		// cannot happen before this post returns (both run under mu).
+		frame := c.enc.Encode(c.ext)
 		n := len(c.ext)
 		c.ext = c.ext[:0]
 		return c.post(PathIngestBatch, BatchContentType, bytes.NewReader(frame), n)
@@ -269,6 +272,10 @@ func (c *Client) post(path, contentType string, body io.Reader, n int) error {
 	c.latency.Add(float64(time.Since(start)) / float64(time.Microsecond))
 	c.batches++
 	c.records += uint64(n)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("collector: post %s: %w", path, NewOverloadedError(resp, string(msg)))
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("collector: post %s: %s: %s", path, resp.Status, msg)

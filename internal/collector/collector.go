@@ -23,7 +23,6 @@ package collector
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,6 +129,11 @@ type itemKind uint8
 const (
 	itemExtension itemKind = iota
 	itemNode
+	// itemBatch carries a slice of rows of a shared zero-copy batch view
+	// (see batch.go). It must never index the per-kind [2] metric arrays:
+	// batch paths account under itemExtension explicitly, since every row
+	// is an extension record.
+	itemBatch
 )
 
 // item is one queued record, stamped at enqueue so shards can measure
@@ -143,6 +147,11 @@ type item struct {
 	span     trace.SpanContext
 	ext      extension.Record
 	node     dataset.NodeSample
+
+	// Batch fan-out (kind == itemBatch): rows indexes batch.view; the shard
+	// applies them all, then releases its reference on the shared view.
+	batch *batchApply
+	rows  []int32
 }
 
 // Aggregator is the sharded online-aggregation core.
@@ -162,6 +171,12 @@ type Aggregator struct {
 	// shed is the armed admission controller (nil when Config.Shed is
 	// zero, which keeps the unarmed ingest path untouched).
 	shed *shedder
+
+	// views pools zero-copy batch views (and owns the shared string
+	// interner) for the pipelined ingest fast path; applyPool recycles the
+	// batchApply fan-out headers and their row-partition scratch.
+	views     dataset.ViewPool
+	applyPool sync.Pool
 
 	// Durability (nil / zero without a WAL).
 	wal         *wal.Writer
@@ -198,11 +213,12 @@ func OpenAggregator(cfg Config) (*Aggregator, error) {
 			return nil, errors.New("collector: WAL requires the block policy (drop would resurrect shed records on replay)")
 		}
 		w, err := wal.Open(wal.Config{
-			Dir:           cfg.WAL.Dir,
-			SegmentBytes:  cfg.WAL.SegmentBytes,
-			FsyncInterval: cfg.WAL.FsyncInterval,
-			FS:            cfg.WAL.FS,
-			Instr:         a.met.walInstrumentation(),
+			Dir:            cfg.WAL.Dir,
+			SegmentBytes:   cfg.WAL.SegmentBytes,
+			FsyncInterval:  cfg.WAL.FsyncInterval,
+			MaxSyncWindows: cfg.WAL.MaxSyncWindows,
+			FS:             cfg.WAL.FS,
+			Instr:          a.met.walInstrumentation(),
 		})
 		if err != nil {
 			return nil, err
@@ -298,14 +314,36 @@ func (a *Aggregator) Stats() StatsReply {
 // Config returns the normalised configuration.
 func (a *Aggregator) Config() Config { return a.cfg }
 
+// shardHash is FNV-1a over k1, a zero separator, and k2 — the exact byte
+// stream hash/fnv.New32a would see, inlined so the hot ingest path pays no
+// hasher allocation and no interface calls. Checkpoint restore routes
+// recovered groups with the same function, so the two must never diverge;
+// TestShardHashMatchesFNV pins the equivalence.
+func shardHash(k1, k2 string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(k1); i++ {
+		h = (h ^ uint32(k1[i])) * prime32
+	}
+	h *= prime32 // the zero separator: h ^ 0 == h
+	for i := 0; i < len(k2); i++ {
+		h = (h ^ uint32(k2[i])) * prime32
+	}
+	return h
+}
+
+// shardIndex maps an aggregation key to its owning shard's index.
+func (a *Aggregator) shardIndex(k1, k2 string) int {
+	return int(shardHash(k1, k2) % uint32(len(a.shards)))
+}
+
 // shardFor hashes an aggregation key to its owning shard, so every record
 // of one (city, ISP) — or one (node, kind) — lands on the same goroutine.
 func (a *Aggregator) shardFor(k1, k2 string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(k1))
-	h.Write([]byte{0})
-	h.Write([]byte(k2))
-	return a.shards[h.Sum32()%uint32(len(a.shards))]
+	return a.shards[a.shardIndex(k1, k2)]
 }
 
 // OfferExtension submits one browsing record. It reports false when the

@@ -1,0 +1,171 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"starlinkview/internal/dataset"
+	"starlinkview/internal/extension"
+	"starlinkview/internal/trace"
+)
+
+// TestShardHashMatchesFNV pins the inlined routing hash to the hash/fnv
+// stream it replaced. Checkpoints restore groups with the same function, so
+// any divergence would scatter restored state onto the wrong shards.
+func TestShardHashMatchesFNV(t *testing.T) {
+	check := func(k1, k2 string) {
+		t.Helper()
+		h := fnv.New32a()
+		h.Write([]byte(k1))
+		h.Write([]byte{0})
+		h.Write([]byte(k2))
+		if got, want := shardHash(k1, k2), h.Sum32(); got != want {
+			t.Fatalf("shardHash(%q, %q) = %#x, fnv stream = %#x", k1, k2, got, want)
+		}
+	}
+	check("", "")
+	check("London", "starlink")
+	check("a\x00b", "c\x00")
+	check("Zürich", "terrestrial")
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 2000; i++ {
+		b1 := make([]byte, r.Intn(24))
+		b2 := make([]byte, r.Intn(24))
+		r.Read(b1)
+		r.Read(b2)
+		check(string(b1), string(b2))
+	}
+}
+
+// fastpathRecords draws a workload with enough key diversity to touch every
+// shard and enough repetition to exercise the interner and group memo.
+func fastpathRecords(r *rand.Rand, n int) []extension.Record {
+	cities := []string{"London", "Zürich", "São Paulo", "Kraków", "Reykjavík", "Berlin", "Paris", "Oslo", "Lima", "Cairo"}
+	isps := []string{"starlink", "terrestrial", "dsl"}
+	domains := []string{"example.com", "news.site", "video.cdn", "a.b.c", "検索.jp"}
+	recs := make([]extension.Record, n)
+	for i := range recs {
+		recs[i] = extension.Record{
+			UserID: "user-x", City: cities[r.Intn(len(cities))], Country: "UK",
+			ISP: isps[r.Intn(len(isps))], ASN: 14593,
+			At: time.Unix(int64(1700000000+i), 0), Domain: domains[r.Intn(len(domains))],
+			Rank: i, Popular: i%3 == 0, PTTMs: float64(10 + r.Intn(500)),
+			PLTMs: float64(100 + r.Intn(900)),
+		}
+	}
+	return recs
+}
+
+// TestOfferBatchViewMatchesSerial is the fan-out equivalence property: the
+// partitioned batch path must leave the aggregator in byte-identical state
+// (rendered group rows, counters) to the serial per-record path, because
+// each shard applies the same subsequence in the same order.
+func TestOfferBatchViewMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	serial := NewAggregator(Config{Shards: 8, QueueLen: 4096})
+	batched := NewAggregator(Config{Shards: 8, QueueLen: 4096})
+	defer serial.Close()
+	defer batched.Close()
+	for frameN := 0; frameN < 20; frameN++ {
+		recs := fastpathRecords(r, 1+r.Intn(700))
+		for i := range recs {
+			if !serial.OfferExtension(recs[i]) {
+				t.Fatal("serial offer rejected")
+			}
+		}
+		v, err := batched.views.Parse(dataset.MarshalBatch(recs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, drop := batched.OfferBatchView(v, trace.SpanContext{})
+		if acc != len(recs) || drop != 0 {
+			t.Fatalf("frame %d: accepted %d dropped %d of %d", frameN, acc, drop, len(recs))
+		}
+	}
+	if err := serial.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(serial.Snapshot().Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(batched.Snapshot().Groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots diverge:\n serial  %s\n batched %s", a, b)
+	}
+	ss, bs := serial.Stats(), batched.Stats()
+	if ss.Accepted != bs.Accepted || ss.Processed != bs.Processed || bs.Dropped != 0 {
+		t.Fatalf("counters diverge: serial %+v batched %+v", ss, bs)
+	}
+}
+
+// sumProcessed totals the shard apply counters — the alloc test's barrier
+// reads it in a spin loop, so it must not allocate.
+func sumProcessed(a *Aggregator) uint64 {
+	var n uint64
+	for _, sh := range a.shards {
+		n += sh.met.processed.Value()
+	}
+	return n
+}
+
+// TestBatchIngestAllocBudget pins the tentpole's allocation win: steady-state
+// batch ingest — pooled view read, one-pass shard partition, fan-out, shard
+// apply — must stay at or below 0.2 allocations per record (the committed
+// baseline was 1/record). Run without the race detector; `make check` runs
+// it explicitly.
+func TestBatchIngestAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("alloc measurement loop is not short")
+	}
+	a := NewAggregator(Config{Shards: 8, QueueLen: 4096, Policy: Block})
+	defer a.Close()
+
+	const perFrame = 512
+	recs := fastpathRecords(rand.New(rand.NewSource(24)), perFrame)
+	frame := dataset.MarshalBatch(recs)
+
+	var offered uint64
+	rd := bytes.NewReader(frame)
+	run := func() {
+		rd.Reset(frame)
+		v, err := a.views.Read(rd)
+		if err != nil {
+			panic(err)
+		}
+		acc, drop := a.OfferBatchView(v, trace.SpanContext{})
+		if acc != perFrame || drop != 0 {
+			panic("fast path rejected records")
+		}
+		offered += perFrame
+		// Wait for the shards to finish so every run measures the whole
+		// pipeline; Gosched (not sleep) keeps the barrier alloc-free.
+		for sumProcessed(a) < offered {
+			runtime.Gosched()
+		}
+	}
+	for i := 0; i < 50; i++ {
+		run() // warm pools, interner, group maps, sketch buffers
+	}
+	perRun := testing.AllocsPerRun(200, run)
+	perRecord := perRun / perFrame
+	t.Logf("steady state: %.1f allocs/frame, %.4f allocs/record", perRun, perRecord)
+	if perRecord > 0.2 {
+		t.Fatalf("batch ingest allocates %.4f/record (%.1f/frame); budget is 0.2/record",
+			perRecord, perRun)
+	}
+}

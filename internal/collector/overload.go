@@ -1,0 +1,46 @@
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// OverloadedError is the typed form of a collector's 429: the server shed
+// the request under admission control and named how long to back off.
+// Clients treat it as flow control — pace and resend — rather than failure.
+type OverloadedError struct {
+	// RetryAfter is the server's Retry-After hint (1s when absent).
+	RetryAfter time.Duration
+	// Msg is the response body's error text.
+	Msg string
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("collector: overloaded (retry after %v): %s", e.RetryAfter, e.Msg)
+}
+
+// IsOverloaded unwraps err to the collector's overload signal, returning the
+// server's Retry-After hint when it is one.
+func IsOverloaded(err error) (time.Duration, bool) {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
+
+// NewOverloadedError builds the typed error from a 429 response, reading
+// its Retry-After header. Shared by every client that talks to a collector.
+func NewOverloadedError(resp *http.Response, msg string) *OverloadedError {
+	d := time.Second
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	return &OverloadedError{RetryAfter: d, Msg: msg}
+}

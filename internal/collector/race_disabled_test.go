@@ -1,0 +1,7 @@
+//go:build !race
+
+package collector
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// budgets are meaningless under its instrumentation.
+const raceEnabled = false

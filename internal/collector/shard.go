@@ -86,6 +86,10 @@ func (s *shard) run(wg *sync.WaitGroup) {
 }
 
 func (s *shard) apply(it item) {
+	if it.kind == itemBatch {
+		s.applyBatch(it)
+		return
+	}
 	if s.applyDelay > 0 {
 		time.Sleep(s.applyDelay)
 	}
@@ -129,6 +133,50 @@ func (s *shard) apply(it item) {
 	}
 	s.met.processed.Inc()
 	sp.Finish()
+}
+
+// applyBatch applies one partition of a shared batch view: every row keyed
+// to this shard, in ascending row order — the same per-shard subsequence the
+// serial per-record path delivers, so aggregates (and snapshots) come out
+// identical — then releases this shard's reference on the view. One latency
+// observation and at most one span cover the whole slice; consecutive rows
+// of one (city, ISP) reuse the group lookup, so a sorted batch pays roughly
+// one map probe per group rather than one per record.
+func (s *shard) applyBatch(it item) {
+	v := it.batch.view
+	var sp *trace.Span
+	if it.span.Valid() {
+		sp = s.tracer.StartChildAt(it.span, "shard.apply", it.enqueued)
+		sp.SetInt("shard", int64(s.id))
+		sp.SetInt("records", int64(len(it.rows)))
+		s.met.applyLatency.ObserveExemplar(time.Since(it.enqueued).Seconds(), it.span.Trace.String())
+	} else {
+		s.met.applyLatency.Observe(time.Since(it.enqueued).Seconds())
+	}
+	var lastCity, lastISP string
+	var g *extAgg
+	for _, ri := range it.rows {
+		if s.applyDelay > 0 {
+			time.Sleep(s.applyDelay)
+		}
+		i := int(ri)
+		city, isp := v.City(i), v.ISP(i)
+		if g == nil || city != lastCity || isp != lastISP {
+			lastCity, lastISP = city, isp
+			g = s.ext[extKey{city, isp}]
+			if g == nil {
+				ptt, _ := stats.NewQuantileSketch(s.relErr)
+				g = &extAgg{domains: make(map[string]struct{}), ptt: ptt}
+				s.ext[extKey{city, isp}] = g
+				s.met.groups.Set(float64(len(s.ext) + len(s.nodes)))
+			}
+		}
+		g.domains[v.Domain(i)] = struct{}{}
+		g.ptt.Add(v.PTTMs(i))
+	}
+	s.met.processed.Add(uint64(len(it.rows)))
+	sp.Finish()
+	it.batch.done()
 }
 
 // stats reads the shard's counters from the registry children. Safe from

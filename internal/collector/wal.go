@@ -63,6 +63,10 @@ type WALConfig struct {
 	Dir string
 	// FsyncInterval batches fsyncs (see wal.Config); zero syncs per batch.
 	FsyncInterval time.Duration
+	// MaxSyncWindows pipelines the group commit: up to this many fsync
+	// windows in flight at once, acks released in append order (see
+	// wal.Config.MaxSyncWindows; 0 or 1 keeps the serial commit).
+	MaxSyncWindows int
 	// SegmentBytes is the segment rotation threshold.
 	SegmentBytes int64
 	// CheckpointInterval writes periodic shard-snapshot checkpoints so

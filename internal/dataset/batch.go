@@ -195,7 +195,53 @@ func appendWeatherCol(dst []byte, records []extension.Record) []byte {
 // the milli-scaled integer when that quantised value is exactly
 // float64(milli)/1000 (true whenever |milli| < 2^53), so the column can
 // travel as delta varints; ok=false falls back to raw float bits of q.
+//
+// The common case takes a pure integer fast path. Writing v = mant·2^(-s)
+// (from the float's bits), the exact value of v·1000 is mant·1000 / 2^s, so
+// rounding it to an integer — ties to even, the same unbiased rounding
+// FormatFloat applies to the exact decimal expansion — needs one shift and
+// a remainder compare, no decimal conversion. The quantised value is then
+// float64(m)/1000 exactly: IEEE division correctly rounds the exact
+// rational m/1000, which is also what ParseFloat returns for the formatted
+// string. Values outside |v·1000| < 2^53 (and ±Inf/NaN) keep the strconv
+// path; they are vanishingly rare on measurement traffic.
 func quantizeMilli(v float64) (milli int64, q float64, ok bool) {
+	bits := math.Float64bits(v)
+	exp := int(bits>>52) & 0x7ff
+	if exp != 0x7ff { // finite
+		mant := bits & (1<<52 - 1)
+		if exp != 0 {
+			mant |= 1 << 52
+		} else {
+			exp = 1 // subnormal: same scale, no implicit bit
+		}
+		if s := 1075 - exp; s > 0 {
+			n := mant * 1000 // mant < 2^53, so n < 2^63: exact
+			var m uint64
+			if s >= 64 {
+				// |v·1000| < 2^63/2^64 < 1/2: rounds to zero, never a tie.
+				m = 0
+			} else {
+				m = n >> uint(s)
+				rem := n - m<<uint(s)
+				half := uint64(1) << uint(s-1)
+				if rem > half || (rem == half && m&1 == 1) {
+					m++
+				}
+			}
+			if m <= 1<<53 {
+				mi := int64(m)
+				qv := float64(mi) / 1000
+				if bits>>63 != 0 {
+					// Negate the value too, not just the integer: a negative
+					// that rounds to zero must quantise to -0.0, exactly as
+					// ParseFloat("-0.000") does.
+					mi, qv = -mi, -qv
+				}
+				return mi, qv, true
+			}
+		}
+	}
 	var buf [32]byte
 	s := strconv.AppendFloat(buf[:0], v, 'f', 3, 64)
 	q, _ = strconv.ParseFloat(string(s), 64)
@@ -264,6 +310,16 @@ func appendFloatCol(dst []byte, id byte, records []extension.Record, get func(*e
 // Torn, truncated, corrupt, or trailing-garbage input returns an error; no
 // input panics, and nothing past a failed CRC is ever interpreted.
 func UnmarshalBatch(frame []byte) ([]extension.Record, error) {
+	body, err := checkBatchFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBatchBody(body)
+}
+
+// checkBatchFrame performs the frame-level validation (magic, length, CRC)
+// shared by UnmarshalBatch and BatchView.parse, returning the verified body.
+func checkBatchFrame(frame []byte) ([]byte, error) {
 	if len(frame) < len(BatchMagic)+4+4 {
 		return nil, fmt.Errorf("dataset: batch frame truncated (%d bytes)", len(frame))
 	}
@@ -282,7 +338,7 @@ func UnmarshalBatch(frame []byte) ([]extension.Record, error) {
 	if got := crc32.Checksum(body, batchCRC); got != wantCRC {
 		return nil, fmt.Errorf("dataset: batch CRC mismatch (got %08x want %08x)", got, wantCRC)
 	}
-	return decodeBatchBody(body)
+	return body, nil
 }
 
 // ReadBatch reads the next frame from a stream of concatenated frames (the
@@ -301,6 +357,13 @@ func ReadBatch(r io.Reader) ([]extension.Record, error) {
 // collector appends the wire frame straight to its WAL) read the frame once
 // and hand it to UnmarshalBatch, which performs the CRC and column checks.
 func ReadBatchFrame(r io.Reader) ([]byte, error) {
+	return readBatchFrameBuf(r, nil)
+}
+
+// readBatchFrameBuf is ReadBatchFrame into a caller-owned buffer: the frame
+// lands in buf's backing array when it fits, so steady-state readers (the
+// view pool) stop allocating a fresh frame per batch.
+func readBatchFrameBuf(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
@@ -315,15 +378,20 @@ func ReadBatchFrame(r io.Reader) ([]byte, error) {
 	if bodyLen > MaxBatchBody {
 		return nil, fmt.Errorf("dataset: batch body %d exceeds limit", bodyLen)
 	}
-	frame := make([]byte, 8+int(bodyLen)+4)
-	copy(frame, hdr[:])
-	if _, err := io.ReadFull(r, frame[8:]); err != nil {
+	need := 8 + int(bodyLen) + 4
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	} else {
+		buf = buf[:need]
+	}
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[8:]); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return nil, fmt.Errorf("dataset: batch body: %w", err)
 	}
-	return frame, nil
+	return buf, nil
 }
 
 // batchCursor is a bounds-checked reader over a frame body.

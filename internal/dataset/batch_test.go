@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -82,6 +83,49 @@ func recordsEqual(a, b extension.Record) bool {
 		math.Float64bits(a.PLTMs) == math.Float64bits(b.PLTMs) &&
 		a.Condition == b.Condition && a.HasWx == b.HasWx &&
 		a.Benchmark == b.Benchmark && a.Google == b.Google
+}
+
+// TestQuantizeMilliMatchesStrconv pins the integer fast path to the strconv
+// reference it replaced: for any float, the quantised value must be exactly
+// ParseFloat(FormatFloat(v, 'f', 3, 64)) — including signed zero and
+// decimal ties, where FormatFloat rounds to even — and an ok result must
+// satisfy the milli-encoding invariant float64(m)/1000 == q.
+func TestQuantizeMilliMatchesStrconv(t *testing.T) {
+	check := func(v float64) {
+		t.Helper()
+		m, q, ok := quantizeMilli(v)
+		want, _ := strconv.ParseFloat(strconv.FormatFloat(v, 'f', 3, 64), 64)
+		if math.Float64bits(q) != math.Float64bits(want) {
+			t.Fatalf("quantizeMilli(%v) = q %v (bits %#x), strconv gives %v (bits %#x)",
+				v, q, math.Float64bits(q), want, math.Float64bits(want))
+		}
+		if ok && float64(m)/1000 != q {
+			t.Fatalf("quantizeMilli(%v): ok with m=%d but float64(m)/1000 = %v != q %v",
+				v, m, float64(m)/1000, q)
+		}
+	}
+	for _, v := range []float64{
+		0, math.Copysign(0, -1), 1, -1, 1.5, -3.25, 123.456, 123456.789,
+		0.0625, -0.0625, 0.1875, -0.1875, // exact decimal ties: x·1000 = ...62.5, round to even
+		0.0005, -0.0005, 0.0004999999999, 1.0005, 2.0005,
+		5e-324, -5e-324, 1e-300, // subnormal and tiny: round to ±0.000
+		9007199254740.991, 9007199254740.992, 9007199254740.993, // |v·1000| ≈ 2^53 boundary
+		-9007199254740.992, 1e13, 1e15, -1e20, 1e300,
+		math.Inf(1), math.Inf(-1),
+	} {
+		check(v)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		// Uniform bit patterns stress every exponent range, specials included.
+		v := math.Float64frombits(r.Uint64())
+		if math.IsNaN(v) {
+			continue // NaN formats as "NaN"; the wire never carries it
+		}
+		check(v)
+		// And realistic measurement magnitudes, where the fast path must hit.
+		check((r.Float64() - 0.5) * 1e6)
+	}
 }
 
 // TestBatchRoundTripMatchesCSVWire is the equivalence property: for any
@@ -216,8 +260,22 @@ func FuzzUnmarshalBatch(f *testing.F) {
 	f.Add([]byte("SLB1\x00\x00\x00\x00\x00\x00\x00\x00"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, err := UnmarshalBatch(data)
+		v, verr := ParseBatchView(data)
+		if (err == nil) != (verr == nil) {
+			t.Fatalf("decoder parity broken: unmarshal err=%v, view err=%v", err, verr)
+		}
 		if err != nil {
 			return
+		}
+		if v.Len() != len(recs) {
+			t.Fatalf("view decoded %d records, unmarshal %d", v.Len(), len(recs))
+		}
+		for i := range recs {
+			var vr extension.Record
+			v.RecordAt(i, &vr)
+			if !recordsEqual(vr, recs[i]) {
+				t.Fatalf("view record %d differs from unmarshal", i)
+			}
 		}
 		// Anything that decodes must re-encode and decode again cleanly —
 		// the codec never produces records it cannot carry.

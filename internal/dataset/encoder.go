@@ -1,0 +1,160 @@
+package dataset
+
+// BatchEncoder is AppendBatch with reusable scratch. MarshalBatch allocates
+// a dictionary map, an entries slice and two payload buffers per dictionary
+// column per frame; a campaign client flushing a 512-record batch every few
+// milliseconds pays that forever. The encoder keeps one set of scratch
+// buffers and produces output byte-identical to MarshalBatch (pinned by
+// test), so the wire, the WAL and every decoder are unaffected.
+//
+// Not safe for concurrent use, and the returned frame is only valid until
+// the next Encode call — both match the single-goroutine flush loops of the
+// collector and cluster clients that own one.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+
+	"starlinkview/internal/extension"
+)
+
+type BatchEncoder struct {
+	buf     []byte            // frame under construction; returned and reused
+	index   map[string]uint64 // dictionary build index, cleared per column
+	entries []string
+	idxBuf  []byte
+	payload []byte
+	millis  []int64
+	quant   []float64
+}
+
+// Encode renders records as one columnar frame, byte-identical to
+// MarshalBatch(records). The returned slice is owned by the encoder.
+func (e *BatchEncoder) Encode(records []extension.Record) []byte {
+	dst := e.buf[:0]
+	dst = append(dst, BatchMagic...)
+	dst = append(dst, 0, 0, 0, 0) // bodyLen back-patched below
+	bodyStart := len(dst)
+
+	dst = append(dst, BatchVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(records)))
+	dst = append(dst, numBatchCols)
+
+	dst = e.dictCol(dst, colUserID, records, func(r *extension.Record) string { return r.UserID })
+	dst = e.dictCol(dst, colCity, records, func(r *extension.Record) string { return r.City })
+	dst = e.dictCol(dst, colCountry, records, func(r *extension.Record) string { return r.Country })
+	dst = e.dictCol(dst, colISP, records, func(r *extension.Record) string { return r.ISP })
+	dst = e.deltaCol(dst, colASN, records, func(r *extension.Record) int64 { return int64(r.ASN) })
+	dst = e.deltaCol(dst, colTimestamp, records, func(r *extension.Record) int64 { return r.At.Unix() })
+	dst = e.dictCol(dst, colDomain, records, func(r *extension.Record) string { return r.Domain })
+	dst = e.deltaCol(dst, colRank, records, func(r *extension.Record) int64 { return int64(r.Rank) })
+	dst = e.bitsCol(dst, colPopular, records, func(r *extension.Record) bool { return r.Popular })
+	dst = e.floatCol(dst, colPTT, records, func(r *extension.Record) float64 { return r.PTTMs })
+	dst = e.floatCol(dst, colPLT, records, func(r *extension.Record) float64 { return r.PLTMs })
+	dst = e.weatherCol(dst, records)
+	dst = e.bitsCol(dst, colHasWeather, records, func(r *extension.Record) bool { return r.HasWx })
+	dst = e.bitsCol(dst, colBenchmark, records, func(r *extension.Record) bool { return r.Benchmark })
+	dst = e.bitsCol(dst, colGoogle, records, func(r *extension.Record) bool { return r.Google })
+
+	body := dst[bodyStart:]
+	binary.LittleEndian.PutUint32(dst[bodyStart-4:], uint32(len(body)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(body, batchCRC))
+	e.buf = dst
+	return dst
+}
+
+func (e *BatchEncoder) dictCol(dst []byte, id byte, records []extension.Record, get func(*extension.Record) string) []byte {
+	if e.index == nil {
+		e.index = make(map[string]uint64, 64)
+	}
+	clear(e.index)
+	e.entries = e.entries[:0]
+	e.idxBuf = e.idxBuf[:0]
+	for i := range records {
+		s := get(&records[i])
+		ix, ok := e.index[s]
+		if !ok {
+			ix = uint64(len(e.entries))
+			e.index[s] = ix
+			e.entries = append(e.entries, s)
+		}
+		e.idxBuf = binary.AppendUvarint(e.idxBuf, ix)
+	}
+	e.payload = e.payload[:0]
+	e.payload = binary.AppendUvarint(e.payload, uint64(len(e.entries)))
+	for _, s := range e.entries {
+		e.payload = binary.AppendUvarint(e.payload, uint64(len(s)))
+		e.payload = append(e.payload, s...)
+	}
+	e.payload = append(e.payload, e.idxBuf...)
+	dst = appendColHeader(dst, id, encDict, len(e.payload))
+	return append(dst, e.payload...)
+}
+
+func (e *BatchEncoder) deltaCol(dst []byte, id byte, records []extension.Record, get func(*extension.Record) int64) []byte {
+	e.payload = e.payload[:0]
+	prev := int64(0)
+	for i := range records {
+		v := get(&records[i])
+		e.payload = binary.AppendUvarint(e.payload, zigzag(v-prev))
+		prev = v
+	}
+	dst = appendColHeader(dst, id, encDelta, len(e.payload))
+	return append(dst, e.payload...)
+}
+
+func (e *BatchEncoder) bitsCol(dst []byte, id byte, records []extension.Record, get func(*extension.Record) bool) []byte {
+	n := (len(records) + 7) / 8
+	dst = appendColHeader(dst, id, encBits, n)
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, 0)
+	}
+	for i := range records {
+		if get(&records[i]) {
+			dst[base+i/8] |= 1 << (i % 8)
+		}
+	}
+	return dst
+}
+
+func (e *BatchEncoder) weatherCol(dst []byte, records []extension.Record) []byte {
+	dst = appendColHeader(dst, colWeather, encU8, len(records))
+	for i := range records {
+		dst = append(dst, byte(records[i].Condition))
+	}
+	return dst
+}
+
+func (e *BatchEncoder) floatCol(dst []byte, id byte, records []extension.Record, get func(*extension.Record) float64) []byte {
+	if cap(e.millis) < len(records) {
+		e.millis = make([]int64, len(records))
+		e.quant = make([]float64, len(records))
+	}
+	e.millis = e.millis[:len(records)]
+	e.quant = e.quant[:len(records)]
+	allMilli := true
+	for i := range records {
+		m, q, ok := quantizeMilli(get(&records[i]))
+		e.millis[i], e.quant[i] = m, q
+		if !ok {
+			allMilli = false
+		}
+	}
+	if allMilli {
+		e.payload = e.payload[:0]
+		prev := int64(0)
+		for _, m := range e.millis {
+			e.payload = binary.AppendUvarint(e.payload, zigzag(m-prev))
+			prev = m
+		}
+		dst = appendColHeader(dst, id, encF64Milli, len(e.payload))
+		return append(dst, e.payload...)
+	}
+	dst = appendColHeader(dst, id, encF64Raw, 8*len(records))
+	for _, q := range e.quant {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(q))
+	}
+	return dst
+}

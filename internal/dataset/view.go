@@ -1,0 +1,526 @@
+package dataset
+
+// Zero-copy batch views.
+//
+// UnmarshalBatch materialises a []extension.Record — 15 closure-driven
+// column passes scattering into an array-of-structs, plus a fresh string
+// per dictionary entry per frame. On the collector's ingest hot path that
+// is most of the decode cost and nearly all of the steady-state garbage.
+//
+// A BatchView performs the same validation (frame CRC, column structure,
+// every per-encoding bound decodeBatchBody enforces — the equivalence is
+// pinned by property test) but keeps the columns as columns: dictionary
+// strings stay deduplicated, integers land in reusable []int64, and the
+// bitset/weather payloads are aliased straight out of the frame. Row i is
+// assembled on demand by the accessors, so the ingest path can hash, shard
+// and aggregate without ever building a record slice.
+//
+// A ViewPool recycles views (and their frame buffers and column slices)
+// and interns dictionary strings across frames, which is what drives the
+// per-record steady state to ~zero allocations: the only strings a
+// long-running collector allocates are the first occurrence of each
+// distinct user/city/ISP/domain value.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"starlinkview/internal/extension"
+	"starlinkview/internal/weather"
+)
+
+// maxInternedStrings bounds the intern table so a hostile or pathological
+// stream of unique values cannot grow it without limit; beyond the cap new
+// strings are returned un-interned (correct, just not deduplicated).
+const maxInternedStrings = 1 << 17
+
+// Interner deduplicates the strings decoded out of batch dictionaries. The
+// fast path is a read-locked map hit, which Go compiles without copying the
+// byte-slice key, so repeated values cost zero allocations.
+type Interner struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// Intern returns the canonical string for b, allocating only on first sight.
+func (in *Interner) Intern(b []byte) string {
+	in.mu.RLock()
+	s, ok := in.m[string(b)]
+	in.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	in.mu.Lock()
+	if in.m == nil {
+		in.m = make(map[string]string, 1024)
+	}
+	if got, ok := in.m[s]; ok {
+		s = got
+	} else if len(in.m) < maxInternedStrings {
+		in.m[s] = s
+	}
+	in.mu.Unlock()
+	return s
+}
+
+// dictCol is a decoded dictionary column: the deduplicated entries and one
+// index per record.
+type dictCol struct {
+	entries []string
+	idx     []uint32
+}
+
+func (d *dictCol) at(i int) string { return d.entries[d.idx[i]] }
+
+// BatchView is a validated SLB1 frame exposed column-wise. All accessors
+// are bounds-unchecked beyond the slice's own check: a view only exists
+// after parse verified every column covers exactly Len() records.
+//
+// The bitset and weather columns alias the frame buffer, so the view (and
+// anything read through it) is valid only until the view is released back
+// to its pool.
+type BatchView struct {
+	n     int
+	frame []byte
+
+	userID  dictCol
+	city    dictCol
+	country dictCol
+	isp     dictCol
+	domain  dictCol
+
+	asn  []int64
+	ts   []int64
+	rank []int64
+
+	ptt []float64
+	plt []float64
+
+	popular   []byte // bitset payloads, LSB-first, aliasing frame
+	hasWx     []byte
+	benchmark []byte
+	google    []byte
+	weather   []byte // one condition byte per record, aliasing frame
+}
+
+// ParseBatchView validates frame and decodes it into a fresh view with no
+// interning. The view aliases frame, which must stay untouched for the
+// view's lifetime. Pooled callers use ViewPool.Read instead.
+func ParseBatchView(frame []byte) (*BatchView, error) {
+	v := &BatchView{}
+	if err := v.parse(frame, nil); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// parse validates the frame and decodes its columns, reusing v's column
+// slices where capacity allows. It enforces exactly the checks
+// UnmarshalBatch does: any frame one accepts, the other accepts.
+func (v *BatchView) parse(frame []byte, in *Interner) error {
+	body, err := checkBatchFrame(frame)
+	if err != nil {
+		return err
+	}
+	v.frame = frame
+	c := &batchCursor{buf: body}
+	ver, err := c.u8()
+	if err != nil {
+		return fmt.Errorf("dataset: batch version: %w", err)
+	}
+	if ver != BatchVersion {
+		return fmt.Errorf("dataset: unsupported batch version %d", ver)
+	}
+	nRec64, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	if nRec64 > uint64(len(body)) {
+		return fmt.Errorf("dataset: record count %d exceeds body size %d", nRec64, len(body))
+	}
+	v.n = int(nRec64)
+	nCols, err := c.u8()
+	if err != nil {
+		return fmt.Errorf("dataset: batch column count: %w", err)
+	}
+	if nCols != numBatchCols {
+		return fmt.Errorf("dataset: batch has %d columns, want %d", nCols, numBatchCols)
+	}
+	seen := [numBatchCols]bool{}
+	for ci := 0; ci < int(nCols); ci++ {
+		id, err := c.u8()
+		if err != nil {
+			return fmt.Errorf("dataset: column header: %w", err)
+		}
+		enc, err := c.u8()
+		if err != nil {
+			return fmt.Errorf("dataset: column header: %w", err)
+		}
+		plen64, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if plen64 > uint64(len(body)) {
+			return fmt.Errorf("dataset: column %d payload %d exceeds body", id, plen64)
+		}
+		payload, err := c.bytes(int(plen64))
+		if err != nil {
+			return fmt.Errorf("dataset: column %d payload: %w", id, err)
+		}
+		if int(id) >= numBatchCols {
+			return fmt.Errorf("dataset: unknown column id %d", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("dataset: duplicate column id %d", id)
+		}
+		seen[id] = true
+		if err := v.parseColumn(id, enc, payload, in); err != nil {
+			return fmt.Errorf("dataset: column %s: %w", extensionHeader[id], err)
+		}
+	}
+	if c.off != len(body) {
+		return fmt.Errorf("dataset: %d trailing bytes after columns", len(body)-c.off)
+	}
+	for i := range seen {
+		if !seen[i] {
+			return fmt.Errorf("dataset: missing column %s", extensionHeader[i])
+		}
+	}
+	return nil
+}
+
+func (v *BatchView) parseColumn(id, enc byte, payload []byte, in *Interner) error {
+	switch id {
+	case colUserID, colCity, colCountry, colISP, colDomain:
+		if enc != encDict {
+			return fmt.Errorf("encoding %d, want dict", enc)
+		}
+		var d *dictCol
+		switch id {
+		case colUserID:
+			d = &v.userID
+		case colCity:
+			d = &v.city
+		case colCountry:
+			d = &v.country
+		case colISP:
+			d = &v.isp
+		default:
+			d = &v.domain
+		}
+		return v.parseDict(d, payload, in)
+	case colASN, colTimestamp, colRank:
+		if enc != encDelta {
+			return fmt.Errorf("encoding %d, want delta", enc)
+		}
+		var dst *[]int64
+		switch id {
+		case colASN:
+			dst = &v.asn
+		case colTimestamp:
+			dst = &v.ts
+		default:
+			dst = &v.rank
+		}
+		var err error
+		*dst, err = parseDelta(*dst, v.n, payload)
+		return err
+	case colPopular, colHasWeather, colBenchmark, colGoogle:
+		if enc != encBits {
+			return fmt.Errorf("encoding %d, want bits", enc)
+		}
+		if want := (v.n + 7) / 8; len(payload) != want {
+			return fmt.Errorf("bitset payload %d bytes, want %d", len(payload), want)
+		}
+		switch id {
+		case colPopular:
+			v.popular = payload
+		case colHasWeather:
+			v.hasWx = payload
+		case colBenchmark:
+			v.benchmark = payload
+		default:
+			v.google = payload
+		}
+		return nil
+	case colPTT, colPLT:
+		dst := &v.ptt
+		if id == colPLT {
+			dst = &v.plt
+		}
+		var err error
+		*dst, err = parseFloat(*dst, v.n, enc, payload)
+		return err
+	case colWeather:
+		if enc != encU8 {
+			return fmt.Errorf("encoding %d, want u8", enc)
+		}
+		if len(payload) != v.n {
+			return fmt.Errorf("weather payload %d bytes, want %d", len(payload), v.n)
+		}
+		nCond := len(weather.Conditions())
+		for i, b := range payload {
+			if int(b) >= nCond {
+				return fmt.Errorf("record %d: weather condition %d out of range", i, b)
+			}
+		}
+		v.weather = payload
+		return nil
+	default:
+		return fmt.Errorf("unknown column id %d", id)
+	}
+}
+
+func (v *BatchView) parseDict(d *dictCol, payload []byte, in *Interner) error {
+	c := &batchCursor{buf: payload}
+	nEntries, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	if nEntries > uint64(len(payload)) {
+		return fmt.Errorf("dictionary size %d exceeds payload", nEntries)
+	}
+	d.entries = growStrings(d.entries, int(nEntries))
+	for i := range d.entries {
+		elen, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if elen > uint64(len(payload)) {
+			return fmt.Errorf("dictionary entry length %d exceeds payload", elen)
+		}
+		b, err := c.bytes(int(elen))
+		if err != nil {
+			return err
+		}
+		if in != nil {
+			d.entries[i] = in.Intern(b)
+		} else {
+			d.entries[i] = string(b)
+		}
+	}
+	d.idx = growU32(d.idx, v.n)
+	for i := 0; i < v.n; i++ {
+		ix, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if ix >= nEntries {
+			return fmt.Errorf("record %d: dictionary index %d out of range (%d entries)", i, ix, nEntries)
+		}
+		d.idx[i] = uint32(ix)
+	}
+	if c.off != len(payload) {
+		return fmt.Errorf("%d trailing bytes", len(payload)-c.off)
+	}
+	return nil
+}
+
+func parseDelta(dst []int64, n int, payload []byte) ([]int64, error) {
+	dst = growInt64(dst, n)
+	off, prev := 0, int64(0)
+	for i := 0; i < n; i++ {
+		u, k := binary.Uvarint(payload[off:])
+		if k <= 0 {
+			return dst, fmt.Errorf("dataset: bad varint at offset %d", off)
+		}
+		off += k
+		prev += unzigzag(u)
+		dst[i] = prev
+	}
+	if off != len(payload) {
+		return dst, fmt.Errorf("%d trailing bytes", len(payload)-off)
+	}
+	return dst, nil
+}
+
+func parseFloat(dst []float64, n int, enc byte, payload []byte) ([]float64, error) {
+	dst = growFloat64(dst, n)
+	switch enc {
+	case encF64Milli:
+		off, prev := 0, int64(0)
+		for i := 0; i < n; i++ {
+			u, k := binary.Uvarint(payload[off:])
+			if k <= 0 {
+				return dst, fmt.Errorf("dataset: bad varint at offset %d", off)
+			}
+			off += k
+			prev += unzigzag(u)
+			dst[i] = float64(prev) / 1000
+		}
+		if off != len(payload) {
+			return dst, fmt.Errorf("%d trailing bytes", len(payload)-off)
+		}
+		return dst, nil
+	case encF64Raw:
+		if len(payload) != 8*n {
+			return dst, fmt.Errorf("raw float payload %d bytes, want %d", len(payload), 8*n)
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		return dst, nil
+	default:
+		return dst, fmt.Errorf("encoding %d, want f64milli or f64raw", enc)
+	}
+}
+
+func growStrings(s []string, n int) []string {
+	if cap(s) < n {
+		return make([]string, n)
+	}
+	return s[:n]
+}
+
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func bitAt(p []byte, i int) bool { return p[i/8]&(1<<(i%8)) != 0 }
+
+// Len is the number of records in the frame.
+func (v *BatchView) Len() int { return v.n }
+
+// Frame is the verbatim wire frame backing the view (the bytes the
+// collector appends to its WAL). Valid only while the view is.
+func (v *BatchView) Frame() []byte { return v.frame }
+
+func (v *BatchView) UserID(i int) string  { return v.userID.at(i) }
+func (v *BatchView) City(i int) string    { return v.city.at(i) }
+func (v *BatchView) Country(i int) string { return v.country.at(i) }
+func (v *BatchView) ISP(i int) string     { return v.isp.at(i) }
+func (v *BatchView) Domain(i int) string  { return v.domain.at(i) }
+
+func (v *BatchView) ASN(i int) int   { return int(v.asn[i]) }
+func (v *BatchView) Unix(i int) int64 { return v.ts[i] }
+
+// At is the record timestamp, truncated to whole seconds in UTC exactly as
+// the CSV wire delivers it.
+func (v *BatchView) At(i int) time.Time { return time.Unix(v.ts[i], 0).UTC() }
+
+func (v *BatchView) Rank(i int) int      { return int(v.rank[i]) }
+func (v *BatchView) Popular(i int) bool  { return bitAt(v.popular, i) }
+func (v *BatchView) PTTMs(i int) float64 { return v.ptt[i] }
+func (v *BatchView) PLTMs(i int) float64 { return v.plt[i] }
+
+func (v *BatchView) Condition(i int) weather.Condition { return weather.Condition(v.weather[i]) }
+
+func (v *BatchView) HasWx(i int) bool     { return bitAt(v.hasWx, i) }
+func (v *BatchView) Benchmark(i int) bool { return bitAt(v.benchmark, i) }
+func (v *BatchView) Google(i int) bool    { return bitAt(v.google, i) }
+
+// RecordAt assembles row i into r. The strings share the view's dictionary
+// entries (immutable), so the record outlives the view.
+func (v *BatchView) RecordAt(i int, r *extension.Record) {
+	*r = extension.Record{
+		UserID:    v.UserID(i),
+		City:      v.City(i),
+		Country:   v.Country(i),
+		ISP:       v.ISP(i),
+		ASN:       int(v.asn[i]),
+		At:        v.At(i),
+		Domain:    v.Domain(i),
+		Rank:      int(v.rank[i]),
+		Popular:   v.Popular(i),
+		PTTMs:     v.ptt[i],
+		PLTMs:     v.plt[i],
+		Condition: v.Condition(i),
+		HasWx:     v.HasWx(i),
+		Benchmark: v.Benchmark(i),
+		Google:    v.Google(i),
+	}
+}
+
+// AppendRecords materialises every row (the slow-path shim for consumers
+// that still want a record slice) and returns the extended dst.
+func (v *BatchView) AppendRecords(dst []extension.Record) []extension.Record {
+	base := len(dst)
+	if cap(dst)-base < v.n {
+		grown := make([]extension.Record, base, base+v.n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+v.n]
+	for i := 0; i < v.n; i++ {
+		v.RecordAt(i, &dst[base+i])
+	}
+	return dst
+}
+
+// ViewPool recycles BatchViews (frame buffers and column slices) and
+// interns dictionary strings across frames. Read and Put are safe for
+// concurrent use.
+type ViewPool struct {
+	pool   sync.Pool
+	intern Interner
+}
+
+func (p *ViewPool) get() *BatchView {
+	if v, ok := p.pool.Get().(*BatchView); ok {
+		return v
+	}
+	return &BatchView{}
+}
+
+// Read decodes the next frame from a stream of concatenated frames into a
+// pooled view. It returns io.EOF at a clean end of stream. The caller must
+// release the view with Put when done.
+func (p *ViewPool) Read(r io.Reader) (*BatchView, error) {
+	v := p.get()
+	frame, err := readBatchFrameBuf(r, v.frame[:0])
+	if err != nil {
+		p.Put(v)
+		return nil, err
+	}
+	v.frame = frame
+	if perr := v.parse(frame, &p.intern); perr != nil {
+		p.Put(v)
+		return nil, perr
+	}
+	return v, nil
+}
+
+// Parse decodes a frame already held in memory, copying it into the pooled
+// view's buffer so the caller's slice is free immediately.
+func (p *ViewPool) Parse(frame []byte) (*BatchView, error) {
+	v := p.get()
+	v.frame = append(v.frame[:0], frame...)
+	if err := v.parse(v.frame, &p.intern); err != nil {
+		p.Put(v)
+		return nil, err
+	}
+	return v, nil
+}
+
+// Put returns a view to the pool. The view and every slice or string read
+// through its frame-aliasing accessors become invalid.
+func (p *ViewPool) Put(v *BatchView) {
+	if v == nil {
+		return
+	}
+	v.n = 0
+	v.popular, v.hasWx, v.benchmark, v.google, v.weather = nil, nil, nil, nil, nil
+	p.pool.Put(v)
+}

@@ -1,0 +1,217 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"starlinkview/internal/extension"
+)
+
+// viewRecords materialises every row of v through the per-row accessors.
+func viewRecords(v *BatchView) []extension.Record {
+	out := make([]extension.Record, v.Len())
+	for i := range out {
+		v.RecordAt(i, &out[i])
+	}
+	return out
+}
+
+// TestBatchViewMatchesUnmarshal is the tentpole equivalence property: for
+// any batch, the zero-copy view yields exactly the records UnmarshalBatch
+// materialises — same strings, same timestamp truncation, same float bits.
+func TestBatchViewMatchesUnmarshal(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial, n := range []int{0, 1, 2, 7, 64, 513, 5000} {
+		recs := make([]extension.Record, n)
+		for i := range recs {
+			recs[i] = randBatchRecord(r)
+		}
+		frame := MarshalBatch(recs)
+		want, err := UnmarshalBatch(frame)
+		if err != nil {
+			t.Fatalf("trial %d: unmarshal: %v", trial, err)
+		}
+		v, err := ParseBatchView(frame)
+		if err != nil {
+			t.Fatalf("trial %d: view: %v", trial, err)
+		}
+		if v.Len() != len(want) {
+			t.Fatalf("trial %d: view has %d records, want %d", trial, v.Len(), len(want))
+		}
+		got := viewRecords(v)
+		for i := range want {
+			if !recordsEqual(got[i], want[i]) {
+				t.Fatalf("trial %d record %d:\n view      %+v\n unmarshal %+v", trial, i, got[i], want[i])
+			}
+		}
+		// AppendRecords (the slow-path shim) must agree with the accessors,
+		// including when appending after existing elements.
+		app := v.AppendRecords([]extension.Record{{UserID: "sentinel"}})
+		if len(app) != n+1 || app[0].UserID != "sentinel" {
+			t.Fatalf("trial %d: AppendRecords base mangled", trial)
+		}
+		for i := range want {
+			if !recordsEqual(app[i+1], want[i]) {
+				t.Fatalf("trial %d: AppendRecords record %d differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestBatchViewCorruptionParity sweeps structural corruption through the
+// body (bytes flipped, CRC re-patched so the frame-level check passes) and
+// asserts the view's validator accepts exactly the frames UnmarshalBatch
+// accepts — and decodes them identically when both do. Flips without the
+// CRC patch and truncations must fail in both decoders.
+func TestBatchViewCorruptionParity(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	recs := make([]extension.Record, 20)
+	for i := range recs {
+		recs[i] = randBatchRecord(r)
+	}
+	frame := MarshalBatch(recs)
+	bodyLen := int(binary.LittleEndian.Uint32(frame[4:8]))
+
+	for off := 8; off < 8+bodyLen; off++ {
+		mut := append([]byte(nil), frame...)
+		mut[off] ^= 0x41
+		binary.LittleEndian.PutUint32(mut[8+bodyLen:], crc32.Checksum(mut[8:8+bodyLen], batchCRC))
+		want, werr := UnmarshalBatch(mut)
+		v, verr := ParseBatchView(mut)
+		if (werr == nil) != (verr == nil) {
+			t.Fatalf("offset %d: unmarshal err=%v, view err=%v", off, werr, verr)
+		}
+		if werr != nil {
+			continue
+		}
+		got := viewRecords(v)
+		if len(got) != len(want) {
+			t.Fatalf("offset %d: view %d records, unmarshal %d", off, len(got), len(want))
+		}
+		for i := range want {
+			if !recordsEqual(got[i], want[i]) {
+				t.Fatalf("offset %d record %d: decoders disagree", off, i)
+			}
+		}
+	}
+	// Unpatched flips and truncations: both reject, neither panics.
+	for off := 0; off < len(frame); off += 7 {
+		mut := append([]byte(nil), frame...)
+		mut[off] ^= 0x41
+		if _, err := ParseBatchView(mut); err == nil {
+			if _, err := UnmarshalBatch(mut); err != nil {
+				t.Fatalf("flip at %d: view accepted what unmarshal rejects", off)
+			}
+		}
+	}
+	for l := 0; l < len(frame); l++ {
+		if _, err := ParseBatchView(frame[:l]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted by view", l)
+		}
+	}
+}
+
+// TestViewPoolReuseAndIntern drives one pool across many frames, releasing
+// views between reads, and checks both correctness under buffer reuse and
+// that dictionary strings are interned to one canonical instance.
+func TestViewPoolReuseAndIntern(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	var pool ViewPool
+	var firstCity string
+	for round := 0; round < 50; round++ {
+		n := 1 + r.Intn(200)
+		recs := make([]extension.Record, n)
+		for i := range recs {
+			recs[i] = randBatchRecord(r)
+			recs[i].City = "London" // every frame shares one city
+		}
+		frame := MarshalBatch(recs)
+		v, err := pool.Read(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want, _ := UnmarshalBatch(frame)
+		got := viewRecords(v)
+		for i := range want {
+			if !recordsEqual(got[i], want[i]) {
+				t.Fatalf("round %d record %d differs under pooled reuse", round, i)
+			}
+		}
+		city := v.City(0)
+		if firstCity == "" {
+			firstCity = city
+		}
+		// Interned strings are pointer-identical across frames, not just
+		// equal: unsafe.StringData would prove it, but equality plus the
+		// intern map's contract (same key → same stored value) suffices
+		// without importing unsafe into the test.
+		if city != firstCity {
+			t.Fatalf("round %d: interned city %q != %q", round, city, firstCity)
+		}
+		pool.Put(v)
+	}
+	// EOF at clean end of stream; torn frame surfaces an error.
+	if _, err := pool.Read(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+	frame := MarshalBatch([]extension.Record{randBatchRecord(r)})
+	if _, err := pool.Read(bytes.NewReader(frame[:len(frame)-2])); err == nil {
+		t.Fatal("torn frame accepted")
+	}
+	// Parse copies the caller's frame: mutating it afterwards must not
+	// affect the view.
+	v, err := pool.Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[10] ^= 0xff
+	if v.Len() != 1 {
+		t.Fatalf("parsed view has %d records", v.Len())
+	}
+	pool.Put(v)
+}
+
+// TestInternerCapsGrowth pins the intern-table bound: past the cap, Intern
+// still returns correct strings, it just stops deduplicating.
+func TestInternerCapsGrowth(t *testing.T) {
+	in := &Interner{m: make(map[string]string, maxInternedStrings)}
+	for i := 0; i < maxInternedStrings; i++ {
+		k := strconv.Itoa(i)
+		in.m[k] = k
+	}
+	if got := in.Intern([]byte("overflow")); got != "overflow" {
+		t.Fatalf("Intern past cap returned %q", got)
+	}
+	if _, ok := in.m["overflow"]; ok {
+		t.Fatal("intern table grew past its cap")
+	}
+	// Existing entries still hit.
+	if got := in.Intern([]byte("777")); got != "777" {
+		t.Fatalf("existing entry miss: %q", got)
+	}
+}
+
+// TestBatchEncoderMatchesMarshal pins the reusable encoder to MarshalBatch
+// byte-for-byte, across reuse with batches of varying size and content
+// (including the raw-float fallback the ±Inf values trigger).
+func TestBatchEncoderMatchesMarshal(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	var enc BatchEncoder
+	for trial, n := range []int{0, 1, 5, 64, 513, 64, 2, 1000, 0, 17} {
+		recs := make([]extension.Record, n)
+		for i := range recs {
+			recs[i] = randBatchRecord(r)
+		}
+		want := MarshalBatch(recs)
+		got := enc.Encode(recs)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (n=%d): encoder output differs from MarshalBatch (%d vs %d bytes)",
+				trial, n, len(got), len(want))
+		}
+	}
+}

@@ -20,6 +20,14 @@
 // fsync covers the caller's LSN, so many concurrent batches share one fsync.
 // Any write or sync failure poisons the writer permanently — after an IO
 // error nothing further is acknowledged.
+//
+// Commit is pipelined: an fsync runs as a "commit window" covering every
+// record appended before it started, and the window's fsync happens outside
+// the writer lock, so appends for window N+1 proceed while window N's fsync
+// is in flight. MaxSyncWindows allows up to K windows' fsyncs concurrently;
+// completions are released strictly in FIFO order, so durable (and thus
+// every ack) only advances to an LSN once every earlier window has landed —
+// append-before-ack is preserved whatever order the kernel finishes fsyncs.
 package wal
 
 import (
@@ -93,6 +101,12 @@ type Config struct {
 	FS FS
 	// Instr receives write-path events; zero-valued means unobserved.
 	Instr Instrumentation
+	// MaxSyncWindows is the number of commit windows whose fsyncs may be in
+	// flight concurrently (default 1). Even at 1 the commit path pipelines —
+	// the fsync runs outside the writer lock, so appends proceed under it —
+	// but K>1 lets a second window start syncing before the first lands.
+	// Acks are always released in order; see the package comment.
+	MaxSyncWindows int
 }
 
 func (c *Config) normalize() error {
@@ -107,6 +121,9 @@ func (c *Config) normalize() error {
 	}
 	if c.FS == nil {
 		c.FS = OSFS{}
+	}
+	if c.MaxSyncWindows <= 0 {
+		c.MaxSyncWindows = 1
 	}
 	return nil
 }
@@ -179,7 +196,7 @@ type Writer struct {
 	fs  FS
 
 	mu       sync.Mutex
-	cond     *sync.Cond // signalled when durable advances or err is set
+	cond     *sync.Cond // signalled when durable advances, a window lands, or err is set
 	f        File       // active segment
 	bw       *bufio.Writer
 	segs     []segment // all live segments; last is active
@@ -190,10 +207,28 @@ type Writer struct {
 	err      error // sticky: first IO failure, poisons the writer
 	closed   bool
 
+	// Pipelined commit windows, oldest first. inFlight counts windows whose
+	// fsync has not returned; released (done) windows are popped in FIFO
+	// order by releaseWindowsLocked, so inFlight == 0 implies the queue is
+	// empty and durable == the last window's LSN.
+	windows  []*syncWindow
+	inFlight int
+
 	recovery RecoveryStats
 
 	stop chan struct{} // stops the group-commit loop
 	done chan struct{}
+}
+
+// syncWindow is one in-flight commit window: every record up to lsn was
+// flushed to file f before the window opened, and the window lands when f's
+// fsync returns.
+type syncWindow struct {
+	lsn   uint64
+	f     File
+	start time.Time
+	done  bool
+	err   error
 }
 
 // Open recovers the log in cfg.Dir — validating every frame, truncating the
@@ -510,7 +545,7 @@ func (w *Writer) Append(kind byte, payload []byte) (uint64, error) {
 	frameLen := int64(frameHeaderLen + frameFixedLen + len(payload))
 	active := &w.segs[len(w.segs)-1]
 	if active.size+frameLen > w.cfg.SegmentBytes && active.size > segmentHeaderLen {
-		if err := w.rotateLocked(); err != nil {
+		if err := w.rotateLocked(frameLen); err != nil {
 			return 0, err
 		}
 		active = &w.segs[len(w.segs)-1]
@@ -539,8 +574,25 @@ func (w *Writer) Append(kind byte, payload []byte) (uint64, error) {
 	return lsn, nil
 }
 
-// rotateLocked seals the active segment (flush + fsync) and starts the next.
-func (w *Writer) rotateLocked() error {
+// rotateLocked seals the active segment (flush + fsync) and starts the
+// next. In-flight commit windows reference the file about to be closed, so
+// rotation first drains the window queue — releasing mu while it waits —
+// and then re-checks whether rotation is still warranted, since other
+// appenders may have run (or rotated) in the meantime.
+func (w *Writer) rotateLocked(frameLen int64) error {
+	for w.inFlight > 0 && w.err == nil && !w.closed {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("wal: closed")
+	}
+	active := &w.segs[len(w.segs)-1]
+	if active.size+frameLen <= w.cfg.SegmentBytes || active.size <= segmentHeaderLen {
+		return nil
+	}
 	if err := w.syncLocked(); err != nil {
 		return err
 	}
@@ -580,7 +632,9 @@ func (w *Writer) createSegment(base uint64) error {
 }
 
 // Commit makes every record up to lsn durable. With FsyncInterval zero it
-// fsyncs immediately; otherwise it blocks until the group-commit loop's next
+// drives a commit window itself — waiting for a free window slot when
+// MaxSyncWindows are already in flight, or for the in-flight window that
+// covers lsn; otherwise it blocks until the group-commit loop's windowed
 // fsync covers lsn. It returns the writer's sticky error if durability can
 // no longer be promised.
 func (w *Writer) Commit(lsn uint64) error {
@@ -591,13 +645,31 @@ func (w *Writer) Commit(lsn uint64) error {
 		defer func() { w.cfg.Instr.CommitWait(time.Since(start)) }()
 	}
 	if w.cfg.FsyncInterval <= 0 {
-		if w.err != nil {
-			return w.err
+		for {
+			if w.err != nil {
+				return w.err
+			}
+			if w.durable >= lsn {
+				return nil
+			}
+			if w.closed {
+				return errors.New("wal: closed before commit")
+			}
+			if w.windowedLocked() >= lsn || w.inFlight >= w.cfg.MaxSyncWindows {
+				// Either a window already covers lsn (just await its
+				// release) or all K slots are busy; sleep until a window
+				// lands, then re-decide.
+				w.cond.Wait()
+				continue
+			}
+			win, err := w.startWindowLocked()
+			if err != nil {
+				return err
+			}
+			w.mu.Unlock()
+			w.completeWindow(win)
+			w.mu.Lock()
 		}
-		if w.durable >= lsn {
-			return nil
-		}
-		return w.syncLocked()
 	}
 	for w.durable < lsn && w.err == nil && !w.closed {
 		w.cond.Wait()
@@ -611,16 +683,23 @@ func (w *Writer) Commit(lsn uint64) error {
 	return nil
 }
 
-// Sync forces an immediate flush + fsync of everything appended.
+// Sync forces an immediate flush + fsync of everything appended. It first
+// drains in-flight windows so the direct fsync has the file to itself.
 func (w *Writer) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	for w.inFlight > 0 && w.err == nil {
+		w.cond.Wait()
+	}
 	if w.err != nil {
 		return w.err
 	}
 	return w.syncLocked()
 }
 
+// syncLocked is the direct, blocking flush+fsync path. Callers must hold mu
+// and have drained the window queue (inFlight == 0), so the advance of
+// durable here cannot overtake an unfinished window.
 func (w *Writer) syncLocked() error {
 	start := time.Now()
 	if err := w.bw.Flush(); err != nil {
@@ -639,6 +718,70 @@ func (w *Writer) syncLocked() error {
 	return nil
 }
 
+// windowedLocked is the highest LSN covered by a queued commit window
+// (durable when the queue is empty).
+func (w *Writer) windowedLocked() uint64 {
+	if n := len(w.windows); n > 0 {
+		return w.windows[n-1].lsn
+	}
+	return w.durable
+}
+
+// startWindowLocked opens a commit window covering everything appended so
+// far: the buffered frames are pushed to the OS now, under mu, so nothing
+// appended after this point can leak into the window. The caller runs the
+// window's fsync via completeWindow without holding mu.
+func (w *Writer) startWindowLocked() (*syncWindow, error) {
+	if err := w.bw.Flush(); err != nil {
+		return nil, w.fail(err)
+	}
+	win := &syncWindow{lsn: w.nextLSN - 1, f: w.f, start: time.Now()}
+	w.windows = append(w.windows, win)
+	w.inFlight++
+	return win, nil
+}
+
+// completeWindow runs win's fsync outside the writer lock — this is the
+// pipelining: appends (and further window starts, up to MaxSyncWindows)
+// proceed while the fsync is in flight — then marks the window done and
+// releases the done prefix of the queue.
+func (w *Writer) completeWindow(win *syncWindow) {
+	err := win.f.Sync()
+	w.mu.Lock()
+	win.done = true
+	win.err = err
+	w.inFlight--
+	w.releaseWindowsLocked()
+	// Wake unconditionally: committers waiting for a slot, rotation/Sync
+	// waiting for inFlight == 0, and durability waiters all key off this.
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// releaseWindowsLocked pops the done prefix of the window queue in FIFO
+// order, advancing durable only when every earlier window has landed. An
+// fsync failure in any window poisons the writer before later windows can
+// release, so no ack is ever issued across a hole.
+func (w *Writer) releaseWindowsLocked() {
+	for len(w.windows) > 0 && w.windows[0].done {
+		win := w.windows[0]
+		w.windows = w.windows[1:]
+		if win.err != nil {
+			w.fail(win.err)
+			continue
+		}
+		if w.err != nil || win.lsn <= w.durable {
+			continue
+		}
+		batch := win.lsn - w.durable
+		w.durable = win.lsn
+		w.syncs++
+		if w.cfg.Instr.Sync != nil {
+			w.cfg.Instr.Sync(time.Since(win.start), batch)
+		}
+	}
+}
+
 // fail records the writer's first IO error and wakes all committers; the
 // writer is unusable afterwards. Callers hold mu.
 func (w *Writer) fail(err error) error {
@@ -649,6 +792,9 @@ func (w *Writer) fail(err error) error {
 	return w.err
 }
 
+// groupCommitLoop opens a new commit window each tick when records are
+// waiting and a window slot is free; the window's fsync runs on its own
+// goroutine so the ticker keeps pipelining up to MaxSyncWindows fsyncs.
 func (w *Writer) groupCommitLoop() {
 	defer close(w.done)
 	t := time.NewTicker(w.cfg.FsyncInterval)
@@ -657,10 +803,15 @@ func (w *Writer) groupCommitLoop() {
 		select {
 		case <-t.C:
 			w.mu.Lock()
-			if w.err == nil && !w.closed && w.durable < w.nextLSN-1 {
-				_ = w.syncLocked()
+			var win *syncWindow
+			if w.err == nil && !w.closed &&
+				w.inFlight < w.cfg.MaxSyncWindows && w.windowedLocked() < w.nextLSN-1 {
+				win, _ = w.startWindowLocked()
 			}
 			w.mu.Unlock()
+			if win != nil {
+				go w.completeWindow(win)
+			}
 		case <-w.stop:
 			return
 		}
@@ -725,8 +876,9 @@ func (w *Writer) Prune(upto uint64) error {
 	return nil
 }
 
-// Close stops the group-commit loop, makes everything appended durable, and
-// closes the active segment. Further Appends fail.
+// Close stops the group-commit loop, drains in-flight commit windows, makes
+// everything appended durable, and closes the active segment. Further
+// Appends fail.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -734,6 +886,7 @@ func (w *Writer) Close() error {
 		return w.err
 	}
 	w.closed = true
+	w.cond.Broadcast()
 	w.mu.Unlock()
 	if w.cfg.FsyncInterval > 0 {
 		close(w.stop)
@@ -741,6 +894,9 @@ func (w *Writer) Close() error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	for w.inFlight > 0 {
+		w.cond.Wait()
+	}
 	var err error
 	if w.err == nil {
 		err = w.syncLocked()

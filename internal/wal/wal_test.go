@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -170,8 +171,16 @@ func TestWALRoundTrip(t *testing.T) {
 }
 
 func TestWALGroupCommit(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		t.Run(fmt.Sprintf("windows=%d", k), func(t *testing.T) {
+			testGroupCommit(t, k)
+		})
+	}
+}
+
+func testGroupCommit(t *testing.T, maxWindows int) {
 	dir := t.TempDir()
-	w, err := Open(Config{Dir: dir, FsyncInterval: 2 * time.Millisecond})
+	w, err := Open(Config{Dir: dir, FsyncInterval: 2 * time.Millisecond, MaxSyncWindows: maxWindows})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,15 +291,24 @@ func TestWALRotationAndPrune(t *testing.T) {
 	}
 }
 
-// TestWALCrashAtEverySyncBoundary is the tentpole's core guarantee: kill
-// the log at every fsync boundary — clean, with a torn half-written frame,
-// or with a corrupted full frame — and recovery must restore exactly the
-// durably-committed prefix: exact counts, exact values, sketch-tolerance
-// medians, and a log that accepts appends again.
+// TestWALCrashAtEverySyncBoundary is the tentpole's core guarantee, swept
+// across the pipelined-commit configurations K∈{1,2,4}: kill the log at
+// every fsync boundary — clean, with a torn half-written frame, or with a
+// corrupted full frame — and recovery must restore exactly the
+// durably-committed prefix: exact counts, byte-identical payloads, exact
+// values, sketch-tolerance medians, and a log that accepts appends again.
 func TestWALCrashAtEverySyncBoundary(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("windows=%d", k), func(t *testing.T) {
+			testCrashAtEverySyncBoundary(t, k)
+		})
+	}
+}
+
+func testCrashAtEverySyncBoundary(t *testing.T, maxWindows int) {
 	live := filepath.Join(t.TempDir(), "live")
 	// Small segments so the boundary sweep crosses several rotations.
-	w, err := Open(Config{Dir: live, SegmentBytes: 600})
+	w, err := Open(Config{Dir: live, SegmentBytes: 600, MaxSyncWindows: maxWindows})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,6 +368,12 @@ func TestWALCrashAtEverySyncBoundary(t *testing.T) {
 			tamper.fn(t, dir)
 			w, recs := replayAll(t, dir)
 			checkPrefix(t, recs, vals, i+1)
+			// Replay is byte-identical, not merely value-equal.
+			for j, r := range recs {
+				if !bytes.Equal(r.Payload, testPayload(j, vals[j])) {
+					t.Fatalf("crash %d %s: record %d payload bytes differ", i, tamper.name, j)
+				}
+			}
 			if tamper.name != "clean" && w.Recovery().TornBytes == 0 {
 				t.Fatalf("crash %d %s: tear not detected", i, tamper.name)
 			}
@@ -645,6 +669,74 @@ func TestWALRejectsOversizedPayload(t *testing.T) {
 	}
 	if _, err := w.Append(1, nil); err != nil {
 		t.Fatalf("empty payload rejected: %v", err)
+	}
+}
+
+// TestWALPipelinedCommitConcurrent hammers the immediate-commit (zero
+// FsyncInterval) windowed path: many committers racing for K window slots,
+// with rotations interleaved. Every Commit that returns nil must be durable
+// — after Close, replay yields every record byte-identical — and the
+// in-order release invariant means durable never acknowledges across a
+// hole, which replayAll's contiguous-LSN check verifies.
+func TestWALPipelinedCommitConcurrent(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("windows=%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := Open(Config{Dir: dir, SegmentBytes: 2048, MaxSyncWindows: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers, each = 8, 40
+			var mu sync.Mutex
+			byLSN := make(map[uint64][]byte, workers*each)
+			errs := make(chan error, workers)
+			for g := 0; g < workers; g++ {
+				go func(g int) {
+					for i := 0; i < each; i++ {
+						p := testPayload(g*each+i, float64(g*each+i))
+						lsn, err := w.Append(1, p)
+						if err != nil {
+							errs <- err
+							return
+						}
+						mu.Lock()
+						byLSN[lsn] = p
+						mu.Unlock()
+						if err := w.Commit(lsn); err != nil {
+							errs <- err
+							return
+						}
+						if d := w.DurableLSN(); d < lsn {
+							errs <- fmt.Errorf("commit %d acked with durable %d", lsn, d)
+							return
+						}
+					}
+					errs <- nil
+				}(g)
+			}
+			for g := 0; g < workers; g++ {
+				if err := <-errs; err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := w.Stats()
+			if st.AppendedLSN != workers*each || st.DurableLSN != workers*each {
+				t.Fatalf("stats %+v", st)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rw, recs := replayAll(t, dir)
+			defer rw.Close()
+			if len(recs) != workers*each {
+				t.Fatalf("recovered %d records, want %d", len(recs), workers*each)
+			}
+			for _, r := range recs {
+				if !bytes.Equal(r.Payload, byLSN[r.LSN]) {
+					t.Fatalf("LSN %d: replayed payload differs from appended bytes", r.LSN)
+				}
+			}
+		})
 	}
 }
 

@@ -96,6 +96,45 @@ type report struct {
 	// GeomeanSpeedup summarises all comparisons in this report as one
 	// factor (the geometric mean of their speedups).
 	GeomeanSpeedup float64 `json:"geomean_speedup,omitempty"`
+	// ShardScaling maps a benchmark family to its shards=8 records/s over
+	// its shards=1 records/s — the shard fan-out efficiency number
+	// `make bench-e2e` tracks in BENCH_e2e.json.
+	ShardScaling map[string]float64 `json:"shard_scaling,omitempty"`
+}
+
+// shardScaling computes, for every family with shards=1 and shards=8 rows
+// carrying a records/s metric, the 8-shard over 1-shard throughput ratio.
+// Sub-benchmark names keep go test's "-N" GOMAXPROCS suffix on the row, so
+// it is stripped before matching.
+func shardScaling(benchmarks []benchmark) map[string]float64 {
+	perShard := map[string]map[string]float64{}
+	for _, b := range benchmarks {
+		i := strings.IndexByte(b.Name, '/')
+		if i < 0 || b.Metrics["records/s"] <= 0 {
+			continue
+		}
+		family, sub := b.Name[:i], b.Name[i+1:]
+		if j := strings.LastIndexByte(sub, '-'); j >= 0 {
+			if _, err := strconv.Atoi(sub[j+1:]); err == nil {
+				sub = sub[:j]
+			}
+		}
+		if perShard[family] == nil {
+			perShard[family] = map[string]float64{}
+		}
+		perShard[family][sub] = b.Metrics["records/s"]
+	}
+	out := map[string]float64{}
+	for family, subs := range perShard {
+		one, eight := subs["shards=1"], subs["shards=8"]
+		if one > 0 && eight > 0 {
+			out[family] = eight / one
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // comparePairs matches candidate rows to base rows sharing the same
@@ -222,6 +261,11 @@ func main() {
 		rep.GeomeanSpeedup = math.Exp(logSum / float64(len(rep.Comparisons)))
 		fmt.Fprintf(os.Stderr, "benchjson: geomean speedup over %d comparison(s): %.2fx\n",
 			len(rep.Comparisons), rep.GeomeanSpeedup)
+	}
+	rep.ShardScaling = shardScaling(rep.Benchmarks)
+	for family, ratio := range rep.ShardScaling {
+		fmt.Fprintf(os.Stderr, "benchjson: shard_scaling %-24s %.2fx (shards=8 vs shards=1 records/s)\n",
+			family, ratio)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
